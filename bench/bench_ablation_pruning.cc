@@ -1,0 +1,77 @@
+// Ablation for the §7 outlook feature implemented here: partition pruning
+// for seed-key equality predicates. Selective point queries scan one
+// partition instead of all n.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+pref::bench::TpchBench* g_bench = nullptr;
+double g_sf = 0.01;
+
+pref::QuerySpec PointQuery(const pref::Schema& schema, int64_t orderkey) {
+  return *pref::QueryBuilder(&schema, "point")
+              .From("orders")
+              .Where("orders", pref::Eq("o_orderkey", pref::Value(orderkey)))
+              .Join("lineitem", "o_orderkey", "l_orderkey")
+              .Agg(pref::AggFunc::kSum, "l_extendedprice", "total")
+              .Build();
+}
+
+void PrintTable() {
+  pref::CostModel model = pref::bench::PaperScaledModel(g_sf);
+  const auto& cp = g_bench->variants[0];  // lineitem/orders co-hashed
+  pref::QueryOptions off, on;
+  on.partition_pruning = true;
+  std::printf("\n=== Ablation: partition pruning (seed-key point query, CP) ===\n");
+  std::printf("%-22s %14s %18s\n", "mode", "simulated (s)", "rows processed");
+  for (auto [name, options] : {std::pair<const char*, pref::QueryOptions>{
+                                   "pruning off", off},
+                               {"pruning on", on}}) {
+    double total = 0;
+    size_t rows = 0;
+    for (int64_t key : {100, 2000, 7777, 123456}) {
+      auto r = g_bench->Run(cp, PointQuery(g_bench->db->schema(), key), options);
+      if (!r.ok()) continue;
+      total += r->stats.SimulatedSeconds(model);
+      rows += r->stats.total_rows_processed;
+    }
+    std::printf("%-22s %14.3f %18zu\n", name, total, rows);
+  }
+  std::printf("\n");
+}
+
+void BM_Point(benchmark::State& state, bool pruning) {
+  const auto& cp = g_bench->variants[0];
+  pref::QueryOptions options;
+  options.partition_pruning = pruning;
+  auto q = PointQuery(g_bench->db->schema(), 4242);
+  for (auto _ : state) {
+    auto r = g_bench->Run(cp, q, options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
+  auto bench = pref::bench::MakeTpchBench(g_sf, 10);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+  g_bench = &*bench;
+  PrintTable();
+  benchmark::RegisterBenchmark("pruning/off", BM_Point, false)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("pruning/on", BM_Point, true)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 10: bulk-loading cost of the four §5.1 variants, plus the
+// partition-index ablation (§2.3): PREF tables are cheap to load when
+// routing goes through the partition index and degrade to scanning the
+// referenced table without it.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "partition/bulk_loader.h"
+
+namespace {
+
+double g_sf = 0.01;
+pref::bench::TpchBench* g_bench = nullptr;
+
+/// Loads the whole database into empty partitioned tables of `config`,
+/// table by table in PREF dependency order, via the bulk loader. Returns
+/// wall seconds plus the physical copies written.
+pref::Result<std::pair<double, size_t>> LoadAll(const pref::Database& db,
+                                                pref::PartitioningConfig config,
+                                                bool use_partition_index) {
+  PREF_RETURN_NOT_OK(config.Finalize());
+  pref::PartitionedDatabase pdb(&db);
+  for (pref::TableId id : config.LoadOrder()) {
+    PREF_ASSIGN_OR_RAISE(auto* table, pdb.AddTable(id, config.spec(id)));
+    (void)table;
+  }
+  pref::BulkLoader loader(use_partition_index);
+  pref::Stopwatch timer;
+  size_t copies = 0;
+  for (pref::TableId id : config.LoadOrder()) {
+    PREF_ASSIGN_OR_RAISE(auto stats, loader.Append(&pdb, id, db.table(id).data()));
+    copies += stats.copies_written;
+  }
+  return std::make_pair(timer.ElapsedSeconds(), copies);
+}
+
+void PrintPaperTable() {
+  std::printf("\n=== Figure 10: costs of bulk loading (wall s, this machine) ===\n");
+  std::printf("%-32s %12s %16s\n", "variant", "load (s)", "copies written");
+  for (const auto& v : g_bench->variants) {
+    double seconds = 0;
+    size_t copies = 0;
+    for (const auto& config : v.configs) {
+      auto r = LoadAll(*g_bench->db, config, /*use_partition_index=*/true);
+      if (!r.ok()) {
+        std::printf("%-32s FAILED: %s\n", v.name.c_str(),
+                    r.status().ToString().c_str());
+        seconds = -1;
+        break;
+      }
+      seconds += r->first;
+      copies += r->second;
+    }
+    if (seconds >= 0) {
+      std::printf("%-32s %12.3f %16zu\n", v.name.c_str(), seconds, copies);
+    }
+  }
+  std::printf("(paper shape: CP lowest-ish, SD slightly higher, SD-wo-red ~2x SD,\n"
+              " WD highest)\n");
+
+  // Ablation: partition index vs naive partner scan, on the SD config.
+  std::printf("\n=== Ablation: partition index vs naive scan (SD config) ===\n");
+  const auto& sd = g_bench->variants[1];
+  auto with = LoadAll(*g_bench->db, sd.configs[0], true);
+  auto without = LoadAll(*g_bench->db, sd.configs[0], false);
+  if (with.ok() && without.ok()) {
+    std::printf("with partition index:    %10.3f s\n", with->first);
+    std::printf("without (scan lookup):   %10.3f s  (%.0fx slower)\n",
+                without->first, without->first / with->first);
+  }
+  std::printf("\n");
+}
+
+void BM_BulkLoad(benchmark::State& state, const pref::bench::Variant* variant) {
+  for (auto _ : state) {
+    for (const auto& config : variant->configs) {
+      auto r = LoadAll(*g_bench->db, config, true);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
+  auto bench = pref::bench::MakeTpchBench(g_sf, 10);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+  g_bench = &*bench;
+  PrintPaperTable();
+  for (const auto& v : g_bench->variants) {
+    benchmark::RegisterBenchmark(("fig10/" + v.name).c_str(), BM_BulkLoad, &v)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

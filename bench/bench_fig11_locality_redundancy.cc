@@ -1,0 +1,144 @@
+// Figure 11 (and Table 1): data-locality vs data-redundancy on TPC-H (a)
+// and TPC-DS (b) at 10 partitions, for every variant evaluated in the
+// paper, including the two baselines (All Hashed, All Replicated) and the
+// TPC-DS naive / individual-stars versions of CP and SD.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/tpcds_gen.h"
+#include "design/stars.h"
+#include "workloads/tpcds_workload.h"
+
+namespace {
+
+struct Row {
+  std::string name;
+  double dl;
+  double dr;
+};
+
+void Print(const char* title, const std::vector<Row>& rows, const char* paper) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-28s %6s %6s\n", "variant", "DL", "DR");
+  for (const auto& row : rows) {
+    std::printf("%-28s %6.2f %6.2f\n", row.name.c_str(), row.dl, row.dr);
+  }
+  std::printf("%s\n", paper);
+}
+
+pref::Status RunTpch(std::vector<Row>* rows) {
+  double sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
+  PREF_ASSIGN_OR_RAISE(auto bench, pref::bench::MakeTpchBench(sf, 10));
+  const pref::Schema& schema = bench.db->schema();
+  {
+    PREF_ASSIGN_OR_RAISE(auto config, pref::MakeAllHashed(schema, 10));
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeSingleConfigVariant(
+                                     *bench.db, "All Hashed", std::move(config)));
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  {
+    PREF_ASSIGN_OR_RAISE(auto config, pref::MakeAllReplicated(schema, 10));
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeSingleConfigVariant(
+                                     *bench.db, "All Replicated", std::move(config)));
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  for (const auto& v : bench.variants) {
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  return pref::Status::OK();
+}
+
+pref::Status RunTpcds(std::vector<Row>* rows) {
+  pref::TpcdsGenOptions gen;
+  gen.scale_factor = pref::bench::EnvScaleFactor("PREF_BENCH_DS_SF", 0.25);
+  PREF_ASSIGN_OR_RAISE(auto db0, pref::GenerateTpcds(gen));
+  pref::Database db(std::move(db0));
+  const pref::Schema& schema = db.schema();
+  const auto& small = pref::TpcdsSmallTables();
+
+  {
+    PREF_ASSIGN_OR_RAISE(auto config, pref::MakeAllHashed(schema, 10));
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeSingleConfigVariant(
+                                     db, "All Hashed", std::move(config)));
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  {
+    PREF_ASSIGN_OR_RAISE(auto config, pref::MakeAllReplicated(schema, 10));
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeSingleConfigVariant(
+                                     db, "All Replicated", std::move(config)));
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  {
+    PREF_ASSIGN_OR_RAISE(auto config, pref::MakeTpcdsClassicalNaive(schema, 10));
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeSingleConfigVariant(
+                                     db, "CP Naive", std::move(config)));
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  {
+    PREF_ASSIGN_OR_RAISE(auto deployment, pref::MakeTpcdsClassicalStars(db, 10));
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeDeploymentVariant(
+                                     db, "CP Individual Stars", std::move(deployment)));
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  {
+    pref::SdOptions options;
+    options.num_partitions = 10;
+    options.replicate_tables = small;
+    PREF_ASSIGN_OR_RAISE(auto sd, pref::SchemaDrivenDesign(db, options));
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeSingleConfigVariant(
+                                     db, "SD Naive", std::move(sd.config)));
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  {
+    pref::SdOptions options;
+    options.num_partitions = 10;
+    options.replicate_tables = small;
+    PREF_ASSIGN_OR_RAISE(auto deployment, pref::TpcdsSdIndividualStars(db, options));
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeDeploymentVariant(
+                                     db, "SD Individual Stars", std::move(deployment)));
+    rows->push_back({v.name, v.data_locality, v.data_redundancy});
+  }
+  {
+    pref::WdOptions options;
+    options.num_partitions = 10;
+    options.replicate_tables = small;
+    PREF_ASSIGN_OR_RAISE(auto graphs, pref::TpcdsQueryGraphs(schema));
+    PREF_ASSIGN_OR_RAISE(auto wd, pref::WorkloadDrivenDesign(db, graphs, options));
+    std::printf("[WD TPC-DS] components: %d -> %d -> %d (paper: 165 -> 17 -> 7)\n",
+                wd.initial_components, wd.components_after_phase1,
+                wd.components_after_phase2);
+    double dl = pref::WorkloadLocality(db, wd.deployment, graphs);
+    PREF_ASSIGN_OR_RAISE(auto v, pref::bench::MakeDeploymentVariant(
+                                     db, "WD (wo small tables)",
+                                     std::move(wd.deployment)));
+    rows->push_back({v.name, dl, v.data_redundancy});
+  }
+  return pref::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Row> tpch, tpcds;
+  pref::Status st = RunTpch(&tpch);
+  if (!st.ok()) {
+    std::fprintf(stderr, "TPC-H failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Print("Figure 11(a): TPC-H locality vs redundancy (10 partitions)", tpch,
+        "(paper: AH 0/0, AR 1/9, CP 1/1.21, SD 1/0.5, SD-wo-red 0.7/0.19, WD 1/1.5)");
+  st = RunTpcds(&tpcds);
+  if (!st.ok()) {
+    std::fprintf(stderr, "TPC-DS failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Print("Figure 11(b): TPC-DS locality vs redundancy (10 partitions)", tpcds,
+        "(paper: AH 0/0, AR 1/9, CPnaive 1/4.15, CPstars 1/1.32, SDnaive 0.49/0.23,\n"
+        " SDstars 0.65/0.38, WD 1/1.4)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 12: data-redundancy growth when scaling from 1 to 100 partitions
+// (nodes) on TPC-H (a) and TPC-DS (b). The paper's claim: CP grows
+// linearly (replication), SD and WD grow sub-linearly, so scale-out keeps
+// per-node data bounded only under the PREF-based designs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/tpcds_gen.h"
+#include "design/stars.h"
+#include "workloads/tpcds_workload.h"
+
+namespace {
+
+const std::vector<int> kNodeCounts = {1, 2, 5, 10, 20, 50, 100};
+
+pref::Status RunTpch() {
+  double sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
+  PREF_ASSIGN_OR_RAISE(auto gen, pref::GenerateTpch({sf, 42}));
+  pref::Database db(std::move(gen));
+  const pref::Schema& schema = db.schema();
+  const std::vector<std::string> small = {"nation", "region", "supplier"};
+
+  std::printf("\n=== Figure 12(a): TPC-H data-redundancy vs number of nodes ===\n");
+  std::printf("%5s %10s %10s %10s\n", "nodes", "CP", "SD", "WD");
+  for (int n : kNodeCounts) {
+    PREF_ASSIGN_OR_RAISE(auto cp_config, pref::MakeTpchClassical(schema, n));
+    PREF_ASSIGN_OR_RAISE(auto cp, pref::PartitionDatabase(db, cp_config));
+
+    pref::SdOptions sd_options;
+    sd_options.num_partitions = n;
+    sd_options.replicate_tables = small;
+    PREF_ASSIGN_OR_RAISE(auto sd, pref::SchemaDrivenDesign(db, sd_options));
+    PREF_ASSIGN_OR_RAISE(auto sd_pdb, pref::PartitionDatabase(db, sd.config));
+
+    pref::WdOptions wd_options;
+    wd_options.num_partitions = n;
+    wd_options.replicate_tables = small;
+    PREF_ASSIGN_OR_RAISE(
+        auto wd, pref::WorkloadDrivenDesign(db, pref::TpchQueryGraphs(schema),
+                                            wd_options));
+    PREF_ASSIGN_OR_RAISE(double wd_dr, wd.deployment.Redundancy(db));
+
+    std::printf("%5d %10.2f %10.2f %10.2f\n", n, cp->DataRedundancy(),
+                sd_pdb->DataRedundancy(), wd_dr);
+  }
+  std::printf("(paper shape: CP linear in n; SD/WD sub-linear, flattening)\n");
+  return pref::Status::OK();
+}
+
+pref::Status RunTpcds() {
+  pref::TpcdsGenOptions gen;
+  gen.scale_factor = pref::bench::EnvScaleFactor("PREF_BENCH_DS_SF", 0.1);
+  PREF_ASSIGN_OR_RAISE(auto db0, pref::GenerateTpcds(gen));
+  pref::Database db(std::move(db0));
+  const pref::Schema& schema = db.schema();
+  const auto& small = pref::TpcdsSmallTables();
+
+  std::printf("\n=== Figure 12(b): TPC-DS data-redundancy vs number of nodes ===\n");
+  std::printf("%5s %10s %10s %10s\n", "nodes", "CP stars", "SD stars", "WD");
+  PREF_ASSIGN_OR_RAISE(auto graphs, pref::TpcdsQueryGraphs(schema));
+  for (int n : kNodeCounts) {
+    PREF_ASSIGN_OR_RAISE(auto cp, pref::MakeTpcdsClassicalStars(db, n));
+    PREF_ASSIGN_OR_RAISE(double cp_dr, cp.Redundancy(db));
+
+    pref::SdOptions sd_options;
+    sd_options.num_partitions = n;
+    sd_options.replicate_tables = small;
+    PREF_ASSIGN_OR_RAISE(auto sd, pref::TpcdsSdIndividualStars(db, sd_options));
+    PREF_ASSIGN_OR_RAISE(double sd_dr, sd.Redundancy(db));
+
+    pref::WdOptions wd_options;
+    wd_options.num_partitions = n;
+    wd_options.replicate_tables = small;
+    PREF_ASSIGN_OR_RAISE(auto wd, pref::WorkloadDrivenDesign(db, graphs, wd_options));
+    PREF_ASSIGN_OR_RAISE(double wd_dr, wd.deployment.Redundancy(db));
+
+    std::printf("%5d %10.2f %10.2f %10.2f\n", n, cp_dr, sd_dr, wd_dr);
+  }
+  std::printf("(paper shape: CP linear; SD/WD sub-linear)\n\n");
+  return pref::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pref::Status st = RunTpch();
+  if (!st.ok()) {
+    std::fprintf(stderr, "TPC-H failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = RunTpcds();
+  if (!st.ok()) {
+    std::fprintf(stderr, "TPC-DS failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 7 + Table 1: total runtime of the TPC-H queries (Q13/Q22
+// excluded, as in the paper) under Classical / SD / SD-wo-redundancy / WD,
+// plus the data-locality and data-redundancy each variant achieves.
+//
+// Absolute numbers come from the simulated-cluster cost model (the paper
+// ran 10 EC2 m1.medium nodes with MySQL); the comparison *shape* —
+// WD < SD < SD-wo-red < Classical on total runtime, Table 1's DL/DR — is
+// the reproduced result.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+pref::bench::TpchBench* g_bench = nullptr;
+
+bool Excluded(int query_number) {
+  for (int q : pref::TpchExcludedQueries()) {
+    if (q == query_number) return true;
+  }
+  return false;
+}
+
+double TotalSimulatedSeconds(const pref::bench::Variant& variant,
+                             pref::CostModel model) {
+  double total = 0;
+  for (size_t i = 0; i < g_bench->queries.size(); ++i) {
+    if (Excluded(static_cast<int>(i) + 1)) continue;
+    auto result = g_bench->Run(variant, g_bench->queries[i]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "Q%zu failed on %s: %s\n", i + 1, variant.name.c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    total += result->stats.SimulatedSeconds(model);
+  }
+  return total;
+}
+
+void BM_TotalRuntime(benchmark::State& state, const pref::bench::Variant* variant) {
+  pref::CostModel model = pref::bench::PaperScaledModel(pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01));
+  double simulated = 0;
+  for (auto _ : state) {
+    simulated = TotalSimulatedSeconds(*variant, model);
+    benchmark::DoNotOptimize(simulated);
+  }
+  state.counters["simulated_total_s"] = simulated;
+  state.counters["DL"] = variant->data_locality;
+  state.counters["DR"] = variant->data_redundancy;
+}
+
+void PrintPaperTable() {
+  pref::CostModel model = pref::bench::PaperScaledModel(pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01));
+  std::printf("\n=== Figure 7: total runtime of all TPC-H queries (wo Q13/Q22) ===\n");
+  std::printf("%-32s %18s\n", "variant", "simulated total (s)");
+  for (const auto& v : g_bench->variants) {
+    std::printf("%-32s %18.3f\n", v.name.c_str(), TotalSimulatedSeconds(v, model));
+  }
+  std::printf("\n=== Table 1: data-locality / data-redundancy ===\n");
+  std::printf("%-32s %6s %6s\n", "variant", "DL", "DR");
+  for (const auto& v : g_bench->variants) {
+    std::printf("%-32s %6.2f %6.2f\n", v.name.c_str(), v.data_locality,
+                v.data_redundancy);
+  }
+  std::printf("(paper: CP 1.0/1.21, SD 1.0/0.5, SD-wo-red 0.7/0.19, WD 1.0/1.5)\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
+  auto bench = pref::bench::MakeTpchBench(sf, 10);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+  g_bench = &*bench;
+  PrintPaperTable();
+  for (const auto& v : g_bench->variants) {
+    benchmark::RegisterBenchmark(("fig7/" + v.name).c_str(), BM_TotalRuntime, &v)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 8: per-query runtime of the TPC-H workload under the four
+// partitioning variants. Prints one row per query with the simulated
+// runtime of each variant plus shuffle volume, mirroring the bar chart.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+pref::bench::TpchBench* g_bench = nullptr;
+double g_sf = 0.01;
+
+bool Excluded(int query_number) {
+  for (int q : pref::TpchExcludedQueries()) {
+    if (q == query_number) return true;
+  }
+  return false;
+}
+
+void PrintPaperTable() {
+  pref::CostModel model = pref::bench::PaperScaledModel(g_sf);
+  std::printf("\n=== Figure 8: runtime for individual TPC-H queries (simulated s) ===\n");
+  std::printf("%-5s", "query");
+  for (const auto& v : g_bench->variants) std::printf(" %28s", v.name.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < g_bench->queries.size(); ++i) {
+    if (Excluded(static_cast<int>(i) + 1)) continue;
+    std::printf("Q%-4zu", i + 1);
+    for (const auto& v : g_bench->variants) {
+      auto r = g_bench->Run(v, g_bench->queries[i]);
+      if (!r.ok()) {
+        std::printf(" %28s", "FAILED");
+        continue;
+      }
+      std::printf(" %17.3f (%6.2f MB)", r->stats.SimulatedSeconds(model),
+                  static_cast<double>(r->stats.bytes_shuffled) / 1e6);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_Query(benchmark::State& state, const pref::bench::Variant* variant,
+              const pref::QuerySpec* query) {
+  pref::CostModel model = pref::bench::PaperScaledModel(g_sf);
+  double simulated = 0;
+  for (auto _ : state) {
+    auto r = g_bench->Run(*variant, *query);
+    if (r.ok()) simulated = r->stats.SimulatedSeconds(model);
+    benchmark::DoNotOptimize(simulated);
+  }
+  state.counters["simulated_s"] = simulated;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
+  auto bench = pref::bench::MakeTpchBench(g_sf, 10);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+  g_bench = &*bench;
+  PrintPaperTable();
+  // Register wall-clock benchmarks for a representative query subset to
+  // keep the default run short (all queries via --benchmark_filter).
+  for (const auto& v : g_bench->variants) {
+    for (size_t i : {2u, 4u, 8u, 17u}) {  // Q3, Q5, Q9, Q18
+      benchmark::RegisterBenchmark(
+          ("fig8/Q" + std::to_string(i + 1) + "/" + v.name).c_str(), BM_Query, &v,
+          &g_bench->queries[i])
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Shared setup for the figure-reproduction benchmarks: builds the TPC-H
+// database and the four §5.1 partitioning variants (CP, SD, SD wo
+// redundancy, WD), with query routing for deployment-style variants.
+
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/tpcds_schema.h"
+#include "datagen/tpch_gen.h"
+#include "design/sd_design.h"
+#include "design/wd_design.h"
+#include "engine/executor.h"
+#include "partition/metrics.h"
+#include "partition/presets.h"
+#include "workloads/tpch_queries.h"
+
+namespace pref {
+namespace bench {
+
+inline double EnvScaleFactor(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+/// Cost model scaled so a reduced-SF in-memory run sits in the same
+/// data-bound regime as the paper's SF-10 cluster: node throughput and
+/// network bandwidth shrink by sf/10, keeping per-query cost ratios intact
+/// while exchange latency stays physical.
+inline CostModel PaperScaledModel(double scale_factor) {
+  CostModel model;
+  double ratio = scale_factor / 10.0;
+  model.rows_per_second_per_node = 5e6 * ratio;
+  model.network_bytes_per_second = 100e6 * ratio;
+  model.exchange_latency_seconds = 0.05;
+  return model;
+}
+
+/// One partitioning variant: one or more configurations (WD produces one
+/// per merged MAST) with their materialized databases.
+struct Variant {
+  std::string name;
+  std::vector<PartitioningConfig> configs;
+  std::vector<std::unique_ptr<PartitionedDatabase>> pdbs;
+  double data_locality = 0;
+  double data_redundancy = 0;
+
+  /// The partitioned database a query over `tables` routes to.
+  Result<const PartitionedDatabase*> Route(const std::vector<TableId>& tables) const {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      bool all = true;
+      for (TableId t : tables) all &= configs[i].Contains(t);
+      if (all) return pdbs[i].get();
+    }
+    return Status::NotFound("no configuration of variant '", name,
+                            "' covers the query");
+  }
+};
+
+struct TpchBench {
+  std::unique_ptr<Database> db;
+  std::vector<QuerySpec> queries;  // all 22
+  std::vector<Variant> variants;   // CP, SD, SD wo red, WD
+  int nodes = 10;
+
+  Result<QueryResult> Run(const Variant& variant, const QuerySpec& query,
+                          const QueryOptions& options = {}) const {
+    std::vector<TableId> tables;
+    for (const auto& ref : query.tables) {
+      PREF_ASSIGN_OR_RAISE(TableId id, db->schema().FindTable(ref.table));
+      tables.push_back(id);
+    }
+    PREF_ASSIGN_OR_RAISE(const PartitionedDatabase* pdb, variant.Route(tables));
+    return ExecuteQuery(query, *pdb, options);
+  }
+};
+
+inline Result<Variant> MakeSingleConfigVariant(const Database& db, std::string name,
+                                               PartitioningConfig config) {
+  Variant v;
+  v.name = std::move(name);
+  auto edges = SchemaEdges(db, config);
+  v.data_locality = DataLocality(config, edges);
+  PREF_ASSIGN_OR_RAISE(auto pdb, PartitionDatabase(db, config));
+  v.data_redundancy = pdb->DataRedundancy();
+  v.configs.push_back(std::move(config));
+  v.pdbs.push_back(std::move(pdb));
+  return v;
+}
+
+inline Result<Variant> MakeDeploymentVariant(
+    const Database& db, std::string name, Deployment deployment,
+    const std::vector<QueryGraph>* workload = nullptr) {
+  Variant v;
+  v.name = std::move(name);
+  v.data_locality = workload != nullptr
+                        ? WorkloadLocality(db, deployment, *workload)
+                        : deployment.Locality(db);
+  PREF_ASSIGN_OR_RAISE(v.data_redundancy, deployment.Redundancy(db));
+  PREF_ASSIGN_OR_RAISE(auto pdbs, deployment.Materialize(db));
+  v.pdbs = std::move(pdbs);
+  for (auto& config : deployment.configs()) v.configs.push_back(std::move(config));
+  return v;
+}
+
+/// Builds the full §5.1 comparison: Classical / SD / SD-wo-redundancy / WD.
+inline Result<TpchBench> MakeTpchBench(double scale_factor, int nodes,
+                                       uint64_t seed = 42) {
+  TpchBench bench;
+  bench.nodes = nodes;
+  PREF_ASSIGN_OR_RAISE(auto db, GenerateTpch({scale_factor, seed}));
+  bench.db = std::make_unique<Database>(std::move(db));
+  const Schema& schema = bench.db->schema();
+  bench.queries = TpchQueries(schema);
+
+  const std::vector<std::string> small = {"nation", "region", "supplier"};
+
+  {
+    PREF_ASSIGN_OR_RAISE(auto config, MakeTpchClassical(schema, nodes));
+    PREF_ASSIGN_OR_RAISE(auto v, MakeSingleConfigVariant(*bench.db, "Classical",
+                                                         std::move(config)));
+    bench.variants.push_back(std::move(v));
+  }
+  {
+    SdOptions options;
+    options.num_partitions = nodes;
+    options.replicate_tables = small;
+    PREF_ASSIGN_OR_RAISE(auto sd, SchemaDrivenDesign(*bench.db, options));
+    PREF_ASSIGN_OR_RAISE(
+        auto v, MakeSingleConfigVariant(*bench.db, "SD (wo small tables)",
+                                        std::move(sd.config)));
+    bench.variants.push_back(std::move(v));
+  }
+  {
+    SdOptions options;
+    options.num_partitions = nodes;
+    options.replicate_tables = small;
+    options.no_redundancy_tables = {"customer", "orders", "lineitem", "part",
+                                    "partsupp"};
+    PREF_ASSIGN_OR_RAISE(auto sd, SchemaDrivenDesign(*bench.db, options));
+    PREF_ASSIGN_OR_RAISE(
+        auto v, MakeSingleConfigVariant(*bench.db, "SD (wo small, wo redundancy)",
+                                        std::move(sd.config)));
+    bench.variants.push_back(std::move(v));
+  }
+  {
+    WdOptions options;
+    options.num_partitions = nodes;
+    options.replicate_tables = small;
+    auto workload = TpchQueryGraphs(schema);
+    PREF_ASSIGN_OR_RAISE(auto wd, WorkloadDrivenDesign(*bench.db, workload, options));
+    PREF_ASSIGN_OR_RAISE(
+        auto v, MakeDeploymentVariant(*bench.db, "WD (wo small tables)",
+                                      std::move(wd.deployment), &workload));
+    bench.variants.push_back(std::move(v));
+  }
+  return bench;
+}
+
+}  // namespace bench
+}  // namespace pref

@@ -1,0 +1,303 @@
+// prefsh — an interactive shell over the library: generate or import data,
+// run the design algorithms, partition, and execute SQL with EXPLAIN and
+// cost statistics. Run `help` inside the shell for commands.
+//
+//   $ build/examples/example_prefsh
+//   pref> gen tpch 0.01
+//   pref> design sd nation,region,supplier
+//   pref> partition 10
+//   pref> explain SELECT ... ;
+//   pref> SELECT o_orderpriority, COUNT(*) AS c FROM orders GROUP BY ...
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "catalog/tpcds_schema.h"
+#include "catalog/tpch_schema.h"
+#include "datagen/tpcds_gen.h"
+#include "datagen/tpch_gen.h"
+#include "design/sd_design.h"
+#include "design/wd_design.h"
+#include "engine/executor.h"
+#include "partition/mutation.h"
+#include "partition/partitioner.h"
+#include "partition/presets.h"
+#include "sql/parser.h"
+#include "storage/csv.h"
+#include "workloads/tpch_queries.h"
+
+namespace {
+
+using namespace pref;  // NOLINT — example brevity
+
+struct ShellState {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<PartitioningConfig> config;
+  std::unique_ptr<PartitionedDatabase> pdb;
+  int nodes = 10;
+};
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void PrintResult(const QueryResult& r, size_t max_rows = 25) {
+  for (const auto& name : r.column_names) std::printf("%-20s", name.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < std::min(r.rows.num_rows(), max_rows); ++i) {
+    for (int c = 0; c < r.rows.num_columns(); ++c) {
+      const Column& col = r.rows.column(c);
+      if (col.is_int()) {
+        std::printf("%-20lld", static_cast<long long>(col.GetInt64(i)));
+      } else if (col.is_double()) {
+        std::printf("%-20.4f", col.GetDouble(i));
+      } else {
+        std::printf("%-20s", col.GetString(i).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  if (r.rows.num_rows() > max_rows) {
+    std::printf("... (%zu rows total)\n", r.rows.num_rows());
+  }
+  CostModel model;
+  std::printf("[%zu rows, %d exchanges, %zu bytes shuffled, sim %.3fs, wall %.3fs]\n",
+              r.rows.num_rows(), r.stats.exchanges, r.stats.bytes_shuffled,
+              r.stats.SimulatedSeconds(model), r.stats.wall_seconds);
+}
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  gen tpch <sf> | gen tpcds <sf> [skew]   generate a database\n"
+      "  import <table> <file.csv>               append CSV rows to a table\n"
+      "  export <table> <file.csv>               write a table as CSV\n"
+      "  tables                                  list tables and row counts\n"
+      "  design sd [repl1,repl2,...]             schema-driven design\n"
+      "  design wd [repl1,repl2,...]             workload-driven (TPC-H queries)\n"
+      "  manual                                  classical TPC-H design\n"
+      "  partition <nodes>                       materialize the design\n"
+      "  config                                  show the current design\n"
+      "  explain SELECT ...                      show the rewritten plan\n"
+      "  delete <table> WHERE col = value        delete matching tuples\n"
+      "  SELECT ...                              execute SQL\n"
+      "  quit\n");
+}
+
+void Dispatch(ShellState* st, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  auto need_db = [&]() {
+    if (!st->db) std::printf("no database: run `gen` first\n");
+    return st->db != nullptr;
+  };
+  auto need_pdb = [&]() {
+    if (!st->pdb) std::printf("not partitioned: run `design` + `partition`\n");
+    return st->pdb != nullptr;
+  };
+
+  if (cmd == "help") {
+    Help();
+  } else if (cmd == "gen") {
+    std::string which;
+    double sf = 0.01, skew = 0.5;
+    in >> which >> sf >> skew;
+    if (which == "tpch") {
+      auto db = GenerateTpch({sf, 42});
+      if (!db.ok()) {
+        std::printf("%s\n", db.status().ToString().c_str());
+        return;
+      }
+      st->db = std::make_unique<Database>(std::move(*db));
+    } else if (which == "tpcds") {
+      TpcdsGenOptions o;
+      o.scale_factor = sf;
+      o.skew = skew;
+      auto db = GenerateTpcds(o);
+      if (!db.ok()) {
+        std::printf("%s\n", db.status().ToString().c_str());
+        return;
+      }
+      st->db = std::make_unique<Database>(std::move(*db));
+    } else {
+      std::printf("usage: gen tpch <sf> | gen tpcds <sf> [skew]\n");
+      return;
+    }
+    st->config.reset();
+    st->pdb.reset();
+    std::printf("generated %s: %zu tuples in %d tables\n", which.c_str(),
+                st->db->TotalRows(), st->db->num_tables());
+  } else if (cmd == "tables") {
+    if (!need_db()) return;
+    for (const auto& def : st->db->schema().tables()) {
+      std::printf("  %-26s %10zu rows\n", def.name.c_str(),
+                  st->db->table(def.id).num_rows());
+    }
+  } else if (cmd == "import" || cmd == "export") {
+    if (!need_db()) return;
+    std::string table, path;
+    in >> table >> path;
+    auto t = st->db->FindTable(table);
+    if (!t.ok()) {
+      std::printf("%s\n", t.status().ToString().c_str());
+      return;
+    }
+    Status s = cmd == "import" ? ImportCsvFile(*t, path) : ExportCsvFile(**t, path);
+    std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+    if (cmd == "import") st->pdb.reset();  // partitions are stale now
+  } else if (cmd == "design") {
+    if (!need_db()) return;
+    std::string kind, repl;
+    in >> kind >> repl;
+    auto replicate = SplitCommas(repl);
+    if (kind == "sd") {
+      SdOptions o;
+      o.num_partitions = st->nodes;
+      o.replicate_tables = replicate;
+      auto r = SchemaDrivenDesign(*st->db, o);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return;
+      }
+      st->config = std::make_unique<PartitioningConfig>(std::move(r->config));
+      std::printf("schema-driven design (est DR %.3f):\n%s",
+                  r->estimated_redundancy, st->config->ToString().c_str());
+    } else if (kind == "wd") {
+      WdOptions o;
+      o.num_partitions = st->nodes;
+      o.replicate_tables = replicate;
+      auto r = WorkloadDrivenDesign(*st->db, TpchQueryGraphs(st->db->schema()), o);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return;
+      }
+      std::printf("workload-driven: %d -> %d -> %d configurations; using #1:\n",
+                  r->initial_components, r->components_after_phase1,
+                  r->components_after_phase2);
+      st->config = std::make_unique<PartitioningConfig>(
+          std::move(r->deployment.configs().front()));
+      std::printf("%s", st->config->ToString().c_str());
+    } else {
+      std::printf("usage: design sd|wd [replicated,tables]\n");
+    }
+    st->pdb.reset();
+  } else if (cmd == "manual") {
+    if (!need_db()) return;
+    auto c = MakeTpchClassical(st->db->schema(), st->nodes);
+    if (!c.ok()) {
+      std::printf("%s\n", c.status().ToString().c_str());
+      return;
+    }
+    st->config = std::make_unique<PartitioningConfig>(std::move(*c));
+    st->pdb.reset();
+    std::printf("classical design set\n");
+  } else if (cmd == "partition") {
+    if (!need_db()) return;
+    int n = st->nodes;
+    in >> n;
+    st->nodes = n;
+    if (!st->config) {
+      std::printf("no design: run `design` or `manual` first\n");
+      return;
+    }
+    // Re-run the design if the node count changed the spec counts.
+    if (st->config->num_partitions() != n) {
+      std::printf("(design was for %d nodes; re-run design for %d)\n",
+                  st->config->num_partitions(), n);
+      return;
+    }
+    auto pdb = PartitionDatabase(*st->db, *st->config);
+    if (!pdb.ok()) {
+      std::printf("%s\n", pdb.status().ToString().c_str());
+      return;
+    }
+    st->pdb = std::move(*pdb);
+    std::printf("partitioned onto %d nodes: %zu tuples, DR = %.3f\n", n,
+                st->pdb->TotalRows(), st->pdb->DataRedundancy());
+  } else if (cmd == "config") {
+    if (st->config) {
+      std::printf("%s", st->config->ToString().c_str());
+    } else {
+      std::printf("no design yet\n");
+    }
+  } else if (cmd == "explain") {
+    if (!need_pdb()) return;
+    std::string rest;
+    std::getline(in, rest);
+    auto q = sql::ParseQuery(st->db->schema(), rest);
+    if (!q.ok()) {
+      std::printf("%s\n", q.status().ToString().c_str());
+      return;
+    }
+    auto text = ExplainQuery(*q, *st->pdb);
+    std::printf("%s", text.ok() ? text->c_str() : text.status().ToString().c_str());
+  } else if (cmd == "delete") {
+    if (!need_pdb()) return;
+    std::string table, where, col, eq, value;
+    in >> table >> where >> col >> eq >> value;
+    if (where != "WHERE" && where != "where") {
+      std::printf("usage: delete <table> WHERE <col> = <value>\n");
+      return;
+    }
+    Value v;
+    if (!value.empty() && value.front() == '\'') {
+      v = Value(value.substr(1, value.size() - 2));
+    } else if (value.find('.') != std::string::npos) {
+      v = Value(std::stod(value));
+    } else {
+      v = Value(static_cast<int64_t>(std::stoll(value)));
+    }
+    Mutator mutator(st->config.get());
+    auto r = mutator.Delete(st->pdb.get(), table, Dnf::And({Eq(col, v)}));
+    if (!r.ok()) {
+      std::printf("%s\n", r.status().ToString().c_str());
+      return;
+    }
+    std::printf("deleted %zu tuples (%zu copies)\n", r->tuples_affected,
+                r->copies_affected);
+  } else if (cmd == "SELECT" || cmd == "select") {
+    if (!need_pdb()) return;
+    auto q = sql::ParseQuery(st->db->schema(), line);
+    if (!q.ok()) {
+      std::printf("%s\n", q.status().ToString().c_str());
+      return;
+    }
+    auto r = ExecuteQuery(*q, *st->pdb);
+    if (!r.ok()) {
+      std::printf("%s\n", r.status().ToString().c_str());
+      return;
+    }
+    PrintResult(*r);
+  } else if (!cmd.empty()) {
+    std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShellState state;
+  std::printf("prefsh — PREF partitioning shell (type `help`)\n");
+  // Non-interactive mode: execute each argv command (used by tests/demos).
+  for (int i = 1; i < argc; ++i) {
+    std::printf("pref> %s\n", argv[i]);
+    Dispatch(&state, argv[i]);
+  }
+  if (argc > 1) return 0;
+  std::string line;
+  while (std::printf("pref> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    Dispatch(&state, line);
+  }
+  return 0;
+}

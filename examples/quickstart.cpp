@@ -1,0 +1,93 @@
+// Quickstart: define a small schema, PREF-partition it (the paper's
+// Figure 2 example), inspect the placement, and run SQL over the
+// partitioned database.
+
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "partition/partitioner.h"
+#include "sql/parser.h"
+#include "storage/table.h"
+
+using namespace pref;  // NOLINT — example brevity
+
+int main() {
+  // --- 1. Schema: lineitem <- orders <- customer (Figure 2) -------------
+  Schema schema;
+  (void)schema.AddTable(
+      "lineitem", {{"linekey", DataType::kInt64}, {"orderkey", DataType::kInt64}},
+      {"linekey"});
+  (void)schema.AddTable(
+      "orders", {{"orderkey", DataType::kInt64}, {"custkey", DataType::kInt64}},
+      {"orderkey"});
+  (void)schema.AddTable(
+      "customer", {{"custkey", DataType::kInt64}, {"cname", DataType::kString}},
+      {"custkey"});
+
+  Database db(std::move(schema));
+  RowBlock& l = (*db.FindTable("lineitem"))->data();
+  for (auto [lk, ok] : {std::pair<int64_t, int64_t>{0, 1}, {1, 4}, {2, 1}, {3, 2},
+                        {4, 3}}) {
+    l.column(0).AppendInt64(lk);
+    l.column(1).AppendInt64(ok);
+  }
+  RowBlock& o = (*db.FindTable("orders"))->data();
+  for (auto [ok, ck] :
+       {std::pair<int64_t, int64_t>{1, 1}, {2, 1}, {3, 2}, {4, 1}}) {
+    o.column(0).AppendInt64(ok);
+    o.column(1).AppendInt64(ck);
+  }
+  RowBlock& c = (*db.FindTable("customer"))->data();
+  for (auto [ck, nm] :
+       {std::pair<int64_t, const char*>{1, "A"}, {2, "B"}, {3, "C"}}) {
+    c.column(0).AppendInt64(ck);
+    c.column(1).AppendString(nm);
+  }
+
+  // --- 2. Partition: lineitem hashed; orders and customer PREF-chained. --
+  PartitioningConfig config(&db.schema(), 3);
+  (void)config.AddHash("lineitem", {"linekey"});
+  (void)config.AddPref("orders", {"orderkey"}, "lineitem", {"orderkey"});
+  (void)config.AddPref("customer", {"custkey"}, "orders", {"custkey"});
+  auto pdb = PartitionDatabase(db, std::move(config));
+  if (!pdb.ok()) {
+    std::printf("partitioning failed: %s\n", pdb.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Partitioned database (3 nodes):\n");
+  for (const auto* table : (*pdb)->tables()) {
+    std::printf("  %s: %zu rows total (%zu distinct) — %s\n",
+                table->name().c_str(), table->TotalRows(), table->DistinctRows(),
+                table->spec().ToString(db.schema(), table->id()).c_str());
+  }
+  std::printf("Data redundancy DR = %.2f\n\n", (*pdb)->DataRedundancy());
+
+  // --- 3. SQL over the partitioned database ------------------------------
+  const char* text =
+      "SELECT c.cname, SUM(o.orderkey) AS key_sum, COUNT(*) AS orders "
+      "FROM orders o JOIN customer c ON o.custkey = c.custkey "
+      "GROUP BY c.cname";
+  auto query = sql::ParseQuery(db.schema(), text, "quickstart");
+  if (!query.ok()) {
+    std::printf("parse failed: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  auto result = ExecuteQuery(*query, **pdb);
+  if (!result.ok()) {
+    std::printf("execution failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Query: %s\n", text);
+  for (size_t r = 0; r < result->rows.num_rows(); ++r) {
+    std::printf("  %s  key_sum=%ld  orders=%ld\n",
+                result->rows.column(0).GetString(r).c_str(),
+                static_cast<long>(result->rows.column(1).GetInt64(r)),
+                static_cast<long>(result->rows.column(2).GetInt64(r)));
+  }
+  std::printf(
+      "Join executed locally per node (exchanges: %d — only the aggregate "
+      "shuffle), bytes shuffled: %zu\n",
+      result->stats.exchanges, result->stats.bytes_shuffled);
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "catalog/schema.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace pref {
+
+Result<ColumnId> TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<ColumnId>(i);
+  }
+  return Status::NotFound("column '", column_name, "' not in table '", name, "'");
+}
+
+bool JoinPredicate::EquivalentTo(const JoinPredicate& other) const {
+  auto same = [](const JoinPredicate& a, const JoinPredicate& b) {
+    return a.left_table == b.left_table && a.right_table == b.right_table &&
+           a.left_columns == b.left_columns && a.right_columns == b.right_columns;
+  };
+  return same(*this, other) || same(Reversed(), other);
+}
+
+Result<TableId> Schema::AddTable(const std::string& name,
+                                 std::vector<ColumnDef> columns,
+                                 std::vector<std::string> primary_key) {
+  if (columns.empty()) return Status::Invalid("table '", name, "' has no columns");
+  if (FindTable(name).ok()) return Status::AlreadyExists("table '", name, "'");
+  std::unordered_set<std::string> seen;
+  for (const auto& c : columns) {
+    if (!seen.insert(c.name).second) {
+      return Status::Invalid("duplicate column '", c.name, "' in table '", name, "'");
+    }
+  }
+  TableDef def;
+  def.id = static_cast<TableId>(tables_.size());
+  def.name = name;
+  def.columns = std::move(columns);
+  for (const auto& pk_col : primary_key) {
+    PREF_ASSIGN_OR_RAISE(ColumnId cid, def.FindColumn(pk_col));
+    def.primary_key.push_back(cid);
+  }
+  tables_.push_back(std::move(def));
+  return tables_.back().id;
+}
+
+Status Schema::AddForeignKey(const std::string& fk_name, const std::string& src_table,
+                             const std::vector<std::string>& src_columns,
+                             const std::string& dst_table,
+                             const std::vector<std::string>& dst_columns) {
+  if (src_columns.empty() || src_columns.size() != dst_columns.size()) {
+    return Status::Invalid("foreign key '", fk_name,
+                           "': column lists must be non-empty and equal-sized");
+  }
+  PREF_ASSIGN_OR_RAISE(TableId src, FindTable(src_table));
+  PREF_ASSIGN_OR_RAISE(TableId dst, FindTable(dst_table));
+  ForeignKey fk;
+  fk.name = fk_name;
+  fk.src_table = src;
+  fk.dst_table = dst;
+  for (const auto& c : src_columns) {
+    PREF_ASSIGN_OR_RAISE(ColumnId cid, table(src).FindColumn(c));
+    fk.src_columns.push_back(cid);
+  }
+  for (const auto& c : dst_columns) {
+    PREF_ASSIGN_OR_RAISE(ColumnId cid, table(dst).FindColumn(c));
+    fk.dst_columns.push_back(cid);
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+Result<TableId> Schema::FindTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return t.id;
+  }
+  return Status::NotFound("table '", name, "' not in schema");
+}
+
+JoinPredicate Schema::PredicateOf(const ForeignKey& fk) const {
+  return JoinPredicate{fk.src_table, fk.src_columns, fk.dst_table, fk.dst_columns};
+}
+
+Result<JoinPredicate> Schema::MakePredicate(
+    const std::string& left_table, const std::vector<std::string>& left_columns,
+    const std::string& right_table,
+    const std::vector<std::string>& right_columns) const {
+  if (left_columns.empty() || left_columns.size() != right_columns.size()) {
+    return Status::Invalid("join predicate column lists must be non-empty equal-sized");
+  }
+  PREF_ASSIGN_OR_RAISE(TableId lt, FindTable(left_table));
+  PREF_ASSIGN_OR_RAISE(TableId rt, FindTable(right_table));
+  JoinPredicate p;
+  p.left_table = lt;
+  p.right_table = rt;
+  for (const auto& c : left_columns) {
+    PREF_ASSIGN_OR_RAISE(ColumnId cid, table(lt).FindColumn(c));
+    p.left_columns.push_back(cid);
+  }
+  for (const auto& c : right_columns) {
+    PREF_ASSIGN_OR_RAISE(ColumnId cid, table(rt).FindColumn(c));
+    p.right_columns.push_back(cid);
+  }
+  return p;
+}
+
+Result<Schema> Schema::Subset(const std::vector<std::string>& keep_tables) const {
+  Schema out;
+  std::vector<TableId> old_ids;
+  for (const auto& name : keep_tables) {
+    PREF_ASSIGN_OR_RAISE(TableId id, FindTable(name));
+    old_ids.push_back(id);
+    const TableDef& t = table(id);
+    std::vector<std::string> pk_names;
+    for (ColumnId c : t.primary_key) pk_names.push_back(t.column(c).name);
+    PREF_ASSIGN_OR_RAISE(TableId new_id, out.AddTable(t.name, t.columns, pk_names));
+    (void)new_id;
+  }
+  auto kept = [&](TableId id) {
+    return std::find(old_ids.begin(), old_ids.end(), id) != old_ids.end();
+  };
+  for (const auto& fk : foreign_keys_) {
+    if (!kept(fk.src_table) || !kept(fk.dst_table)) continue;
+    std::vector<std::string> src_cols, dst_cols;
+    for (ColumnId c : fk.src_columns) src_cols.push_back(table(fk.src_table).column(c).name);
+    for (ColumnId c : fk.dst_columns) dst_cols.push_back(table(fk.dst_table).column(c).name);
+    PREF_RETURN_NOT_OK(out.AddForeignKey(fk.name, table(fk.src_table).name, src_cols,
+                                         table(fk.dst_table).name, dst_cols));
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream ss;
+  for (const auto& t : tables_) {
+    ss << t.name << "(";
+    for (size_t i = 0; i < t.columns.size(); ++i) {
+      if (i) ss << ", ";
+      ss << t.columns[i].name << " " << DataTypeName(t.columns[i].type);
+    }
+    ss << ")\n";
+  }
+  for (const auto& fk : foreign_keys_) {
+    ss << "  FK " << fk.name << ": " << table(fk.src_table).name << " -> "
+       << table(fk.dst_table).name << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace pref

@@ -1,0 +1,126 @@
+// Schema catalog: table definitions, referential constraints (foreign keys)
+// and join predicates. The design algorithms (§3, §4) consume this catalog
+// to build schema graphs; the partitioners consume it to resolve column
+// references in partitioning predicates.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "catalog/value.h"
+
+namespace pref {
+
+using TableId = int32_t;
+using ColumnId = int32_t;
+constexpr TableId kInvalidTableId = -1;
+
+/// \brief One column of a table definition.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// \brief A table definition within a Schema.
+struct TableDef {
+  TableId id = kInvalidTableId;
+  std::string name;
+  std::vector<ColumnDef> columns;
+  /// Column indices forming the primary key (possibly empty).
+  std::vector<ColumnId> primary_key;
+
+  Result<ColumnId> FindColumn(const std::string& column_name) const;
+  const ColumnDef& column(ColumnId id) const { return columns[static_cast<size_t>(id)]; }
+  int num_columns() const { return static_cast<int>(columns.size()); }
+};
+
+/// \brief A referential constraint: `src_table.src_columns` references
+/// `dst_table.dst_columns` (an *outgoing* foreign key of the src table, in
+/// the paper's terminology).
+struct ForeignKey {
+  std::string name;
+  TableId src_table = kInvalidTableId;
+  std::vector<ColumnId> src_columns;
+  TableId dst_table = kInvalidTableId;
+  std::vector<ColumnId> dst_columns;
+};
+
+/// \brief An equi-join predicate between two tables: a conjunction of
+/// column-equality terms `left.left_columns[i] = right.right_columns[i]`.
+///
+/// This is the paper's "partitioning predicate" (Definition 1): PREF only
+/// supports simple equi-join predicates and conjunctions thereof, since
+/// other predicates degenerate to (near-)full redundancy.
+struct JoinPredicate {
+  TableId left_table = kInvalidTableId;
+  std::vector<ColumnId> left_columns;
+  TableId right_table = kInvalidTableId;
+  std::vector<ColumnId> right_columns;
+
+  /// The same predicate with sides exchanged.
+  JoinPredicate Reversed() const {
+    return JoinPredicate{right_table, right_columns, left_table, left_columns};
+  }
+
+  /// True if this predicate mentions `t` on either side.
+  bool Mentions(TableId t) const { return left_table == t || right_table == t; }
+
+  /// Columns of table `t` in this predicate; `t` must be one of the sides.
+  const std::vector<ColumnId>& ColumnsOf(TableId t) const {
+    return t == left_table ? left_columns : right_columns;
+  }
+
+  /// Equality up to side exchange.
+  bool EquivalentTo(const JoinPredicate& other) const;
+};
+
+/// \brief A database schema: tables plus referential constraints.
+class Schema {
+ public:
+  /// Adds a table; fails on duplicate name or empty column list.
+  Result<TableId> AddTable(const std::string& name, std::vector<ColumnDef> columns,
+                           std::vector<std::string> primary_key = {});
+
+  /// Adds a foreign key by table/column names; all names must resolve and
+  /// the two column lists must have equal, non-zero size.
+  Status AddForeignKey(const std::string& fk_name, const std::string& src_table,
+                       const std::vector<std::string>& src_columns,
+                       const std::string& dst_table,
+                       const std::vector<std::string>& dst_columns);
+
+  Result<TableId> FindTable(const std::string& name) const;
+  const TableDef& table(TableId id) const { return tables_[static_cast<size_t>(id)]; }
+  const std::vector<TableDef>& tables() const { return tables_; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// The equi-join predicate induced by a referential constraint
+  /// (src side on the left).
+  JoinPredicate PredicateOf(const ForeignKey& fk) const;
+
+  /// Builds a join predicate from names:
+  /// `left.l_col = right.r_col [AND ...]`.
+  Result<JoinPredicate> MakePredicate(
+      const std::string& left_table, const std::vector<std::string>& left_columns,
+      const std::string& right_table,
+      const std::vector<std::string>& right_columns) const;
+
+  /// Restricts the schema to the named tables; foreign keys between removed
+  /// tables are dropped. Used to exclude replicated small tables before
+  /// running the design algorithms (§3.1).
+  Result<Schema> Subset(const std::vector<std::string>& keep_tables) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace pref

@@ -1,0 +1,309 @@
+#include "catalog/tpcds_schema.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pref {
+
+namespace {
+constexpr DataType kI = DataType::kInt64;
+constexpr DataType kD = DataType::kDouble;
+constexpr DataType kS = DataType::kString;
+}  // namespace
+
+Schema MakeTpcdsSchema() {
+  Schema s;
+  auto ok = [](auto&& r) { assert(r.ok()); };
+
+  // --- Dimension tables -----------------------------------------------
+  ok(s.AddTable("date_dim",
+                {{"d_date_sk", kI}, {"d_year", kI}, {"d_moy", kI}, {"d_dom", kI},
+                 {"d_day_name", kS}},
+                {"d_date_sk"}));
+  ok(s.AddTable("time_dim",
+                {{"t_time_sk", kI}, {"t_hour", kI}, {"t_minute", kI}},
+                {"t_time_sk"}));
+  ok(s.AddTable("item",
+                {{"i_item_sk", kI}, {"i_brand_id", kI}, {"i_class", kS},
+                 {"i_category", kS}, {"i_current_price", kD}},
+                {"i_item_sk"}));
+  ok(s.AddTable("customer",
+                {{"c_customer_sk", kI}, {"c_current_cdemo_sk", kI},
+                 {"c_current_hdemo_sk", kI}, {"c_current_addr_sk", kI},
+                 {"c_first_name", kS}, {"c_last_name", kS}},
+                {"c_customer_sk"}));
+  ok(s.AddTable("customer_address",
+                {{"ca_address_sk", kI}, {"ca_city", kS}, {"ca_state", kS},
+                 {"ca_zip", kS}},
+                {"ca_address_sk"}));
+  ok(s.AddTable("customer_demographics",
+                {{"cd_demo_sk", kI}, {"cd_gender", kS}, {"cd_marital_status", kS},
+                 {"cd_education_status", kS}},
+                {"cd_demo_sk"}));
+  ok(s.AddTable("household_demographics",
+                {{"hd_demo_sk", kI}, {"hd_income_band_sk", kI},
+                 {"hd_buy_potential", kS}, {"hd_dep_count", kI}},
+                {"hd_demo_sk"}));
+  ok(s.AddTable("income_band",
+                {{"ib_income_band_sk", kI}, {"ib_lower_bound", kI},
+                 {"ib_upper_bound", kI}},
+                {"ib_income_band_sk"}));
+  ok(s.AddTable("store",
+                {{"s_store_sk", kI}, {"s_store_name", kS}, {"s_state", kS},
+                 {"s_market_id", kI}},
+                {"s_store_sk"}));
+  ok(s.AddTable("call_center",
+                {{"cc_call_center_sk", kI}, {"cc_name", kS}, {"cc_class", kS}},
+                {"cc_call_center_sk"}));
+  ok(s.AddTable("catalog_page",
+                {{"cp_catalog_page_sk", kI}, {"cp_department", kS},
+                 {"cp_type", kS}},
+                {"cp_catalog_page_sk"}));
+  ok(s.AddTable("web_site",
+                {{"web_site_sk", kI}, {"web_name", kS}, {"web_class", kS}},
+                {"web_site_sk"}));
+  ok(s.AddTable("web_page",
+                {{"wp_web_page_sk", kI}, {"wp_type", kS}, {"wp_char_count", kI}},
+                {"wp_web_page_sk"}));
+  ok(s.AddTable("warehouse",
+                {{"w_warehouse_sk", kI}, {"w_warehouse_name", kS},
+                 {"w_state", kS}},
+                {"w_warehouse_sk"}));
+  ok(s.AddTable("promotion",
+                {{"p_promo_sk", kI}, {"p_channel_email", kS}, {"p_channel_tv", kS}},
+                {"p_promo_sk"}));
+  ok(s.AddTable("reason",
+                {{"r_reason_sk", kI}, {"r_reason_desc", kS}},
+                {"r_reason_sk"}));
+  ok(s.AddTable("ship_mode",
+                {{"sm_ship_mode_sk", kI}, {"sm_type", kS}, {"sm_carrier", kS}},
+                {"sm_ship_mode_sk"}));
+
+  // --- Fact tables ------------------------------------------------------
+  ok(s.AddTable("store_sales",
+                {{"ss_sold_date_sk", kI}, {"ss_sold_time_sk", kI},
+                 {"ss_item_sk", kI}, {"ss_customer_sk", kI}, {"ss_cdemo_sk", kI},
+                 {"ss_hdemo_sk", kI}, {"ss_addr_sk", kI}, {"ss_store_sk", kI},
+                 {"ss_promo_sk", kI}, {"ss_ticket_number", kI},
+                 {"ss_quantity", kI}, {"ss_sales_price", kD},
+                 {"ss_net_profit", kD}},
+                {"ss_item_sk", "ss_ticket_number"}));
+  ok(s.AddTable("store_returns",
+                {{"sr_returned_date_sk", kI}, {"sr_item_sk", kI},
+                 {"sr_customer_sk", kI}, {"sr_store_sk", kI},
+                 {"sr_reason_sk", kI}, {"sr_ticket_number", kI},
+                 {"sr_return_quantity", kI}, {"sr_return_amt", kD}},
+                {"sr_item_sk", "sr_ticket_number"}));
+  ok(s.AddTable("catalog_sales",
+                {{"cs_sold_date_sk", kI}, {"cs_sold_time_sk", kI},
+                 {"cs_ship_date_sk", kI},
+                 {"cs_bill_customer_sk", kI}, {"cs_bill_cdemo_sk", kI},
+                 {"cs_bill_hdemo_sk", kI}, {"cs_bill_addr_sk", kI},
+                 {"cs_call_center_sk", kI},
+                 {"cs_catalog_page_sk", kI}, {"cs_ship_mode_sk", kI},
+                 {"cs_warehouse_sk", kI}, {"cs_item_sk", kI},
+                 {"cs_promo_sk", kI}, {"cs_order_number", kI},
+                 {"cs_quantity", kI}, {"cs_sales_price", kD},
+                 {"cs_net_profit", kD}},
+                {"cs_item_sk", "cs_order_number"}));
+  ok(s.AddTable("catalog_returns",
+                {{"cr_returned_date_sk", kI}, {"cr_item_sk", kI},
+                 {"cr_refunded_customer_sk", kI}, {"cr_call_center_sk", kI},
+                 {"cr_reason_sk", kI}, {"cr_order_number", kI},
+                 {"cr_return_quantity", kI}, {"cr_return_amount", kD}},
+                {"cr_item_sk", "cr_order_number"}));
+  ok(s.AddTable("web_sales",
+                {{"ws_sold_date_sk", kI}, {"ws_sold_time_sk", kI},
+                 {"ws_ship_date_sk", kI}, {"ws_item_sk", kI},
+                 {"ws_bill_customer_sk", kI}, {"ws_bill_hdemo_sk", kI},
+                 {"ws_bill_addr_sk", kI},
+                 {"ws_web_page_sk", kI}, {"ws_web_site_sk", kI},
+                 {"ws_ship_mode_sk", kI}, {"ws_warehouse_sk", kI},
+                 {"ws_promo_sk", kI}, {"ws_order_number", kI},
+                 {"ws_quantity", kI}, {"ws_sales_price", kD},
+                 {"ws_net_profit", kD}},
+                {"ws_item_sk", "ws_order_number"}));
+  ok(s.AddTable("web_returns",
+                {{"wr_returned_date_sk", kI}, {"wr_item_sk", kI},
+                 {"wr_refunded_customer_sk", kI}, {"wr_web_page_sk", kI},
+                 {"wr_reason_sk", kI}, {"wr_order_number", kI},
+                 {"wr_return_quantity", kI}, {"wr_return_amt", kD}},
+                {"wr_item_sk", "wr_order_number"}));
+  ok(s.AddTable("inventory",
+                {{"inv_date_sk", kI}, {"inv_item_sk", kI},
+                 {"inv_warehouse_sk", kI}, {"inv_quantity_on_hand", kI}},
+                {"inv_date_sk", "inv_item_sk", "inv_warehouse_sk"}));
+
+  auto fk = [&](const char* name, const char* src, const char* sc, const char* dst,
+                const char* dc) {
+    Status st = s.AddForeignKey(name, src, {sc}, dst, {dc});
+    assert(st.ok());
+    (void)st;
+  };
+
+  // Dimension-to-dimension snowflake edges.
+  fk("fk_customer_cdemo", "customer", "c_current_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("fk_customer_hdemo", "customer", "c_current_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("fk_customer_addr", "customer", "c_current_addr_sk", "customer_address",
+     "ca_address_sk");
+  fk("fk_hdemo_income", "household_demographics", "hd_income_band_sk", "income_band",
+     "ib_income_band_sk");
+
+  // store_sales star.
+  fk("fk_ss_date", "store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk");
+  fk("fk_ss_time", "store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk");
+  fk("fk_ss_item", "store_sales", "ss_item_sk", "item", "i_item_sk");
+  fk("fk_ss_customer", "store_sales", "ss_customer_sk", "customer", "c_customer_sk");
+  fk("fk_ss_cdemo", "store_sales", "ss_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("fk_ss_hdemo", "store_sales", "ss_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("fk_ss_addr", "store_sales", "ss_addr_sk", "customer_address", "ca_address_sk");
+  fk("fk_ss_store", "store_sales", "ss_store_sk", "store", "s_store_sk");
+  fk("fk_ss_promo", "store_sales", "ss_promo_sk", "promotion", "p_promo_sk");
+
+  // store_returns star (+ link back to store_sales via item/ticket).
+  fk("fk_sr_date", "store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("fk_sr_item", "store_returns", "sr_item_sk", "item", "i_item_sk");
+  fk("fk_sr_customer", "store_returns", "sr_customer_sk", "customer",
+     "c_customer_sk");
+  fk("fk_sr_store", "store_returns", "sr_store_sk", "store", "s_store_sk");
+  fk("fk_sr_reason", "store_returns", "sr_reason_sk", "reason", "r_reason_sk");
+  {
+    Status st = s.AddForeignKey("fk_sr_ss", "store_returns",
+                                {"sr_item_sk", "sr_ticket_number"}, "store_sales",
+                                {"ss_item_sk", "ss_ticket_number"});
+    assert(st.ok());
+    (void)st;
+  }
+
+  // catalog_sales star.
+  fk("fk_cs_date", "catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk");
+  fk("fk_cs_time", "catalog_sales", "cs_sold_time_sk", "time_dim", "t_time_sk");
+  fk("fk_cs_ship_date", "catalog_sales", "cs_ship_date_sk", "date_dim", "d_date_sk");
+  fk("fk_cs_customer", "catalog_sales", "cs_bill_customer_sk", "customer",
+     "c_customer_sk");
+  fk("fk_cs_cdemo", "catalog_sales", "cs_bill_cdemo_sk", "customer_demographics",
+     "cd_demo_sk");
+  fk("fk_cs_hdemo", "catalog_sales", "cs_bill_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("fk_cs_addr", "catalog_sales", "cs_bill_addr_sk", "customer_address",
+     "ca_address_sk");
+  fk("fk_cs_cc", "catalog_sales", "cs_call_center_sk", "call_center",
+     "cc_call_center_sk");
+  fk("fk_cs_cp", "catalog_sales", "cs_catalog_page_sk", "catalog_page",
+     "cp_catalog_page_sk");
+  fk("fk_cs_sm", "catalog_sales", "cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk");
+  fk("fk_cs_wh", "catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("fk_cs_item", "catalog_sales", "cs_item_sk", "item", "i_item_sk");
+  fk("fk_cs_promo", "catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk");
+
+  // catalog_returns star (+ link to catalog_sales).
+  fk("fk_cr_date", "catalog_returns", "cr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("fk_cr_item", "catalog_returns", "cr_item_sk", "item", "i_item_sk");
+  fk("fk_cr_customer", "catalog_returns", "cr_refunded_customer_sk", "customer",
+     "c_customer_sk");
+  fk("fk_cr_cc", "catalog_returns", "cr_call_center_sk", "call_center",
+     "cc_call_center_sk");
+  fk("fk_cr_reason", "catalog_returns", "cr_reason_sk", "reason", "r_reason_sk");
+  {
+    Status st = s.AddForeignKey("fk_cr_cs", "catalog_returns",
+                                {"cr_item_sk", "cr_order_number"}, "catalog_sales",
+                                {"cs_item_sk", "cs_order_number"});
+    assert(st.ok());
+    (void)st;
+  }
+
+  // web_sales star.
+  fk("fk_ws_date", "web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk");
+  fk("fk_ws_time", "web_sales", "ws_sold_time_sk", "time_dim", "t_time_sk");
+  fk("fk_ws_ship_date", "web_sales", "ws_ship_date_sk", "date_dim", "d_date_sk");
+  fk("fk_ws_item", "web_sales", "ws_item_sk", "item", "i_item_sk");
+  fk("fk_ws_customer", "web_sales", "ws_bill_customer_sk", "customer",
+     "c_customer_sk");
+  fk("fk_ws_hdemo", "web_sales", "ws_bill_hdemo_sk", "household_demographics",
+     "hd_demo_sk");
+  fk("fk_ws_addr", "web_sales", "ws_bill_addr_sk", "customer_address",
+     "ca_address_sk");
+  fk("fk_ws_wp", "web_sales", "ws_web_page_sk", "web_page", "wp_web_page_sk");
+  fk("fk_ws_site", "web_sales", "ws_web_site_sk", "web_site", "web_site_sk");
+  fk("fk_ws_sm", "web_sales", "ws_ship_mode_sk", "ship_mode", "sm_ship_mode_sk");
+  fk("fk_ws_wh", "web_sales", "ws_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("fk_ws_promo", "web_sales", "ws_promo_sk", "promotion", "p_promo_sk");
+
+  // web_returns star (+ link to web_sales).
+  fk("fk_wr_date", "web_returns", "wr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("fk_wr_item", "web_returns", "wr_item_sk", "item", "i_item_sk");
+  fk("fk_wr_customer", "web_returns", "wr_refunded_customer_sk", "customer",
+     "c_customer_sk");
+  fk("fk_wr_wp", "web_returns", "wr_web_page_sk", "web_page", "wp_web_page_sk");
+  fk("fk_wr_reason", "web_returns", "wr_reason_sk", "reason", "r_reason_sk");
+  {
+    Status st = s.AddForeignKey("fk_wr_ws", "web_returns",
+                                {"wr_item_sk", "wr_order_number"}, "web_sales",
+                                {"ws_item_sk", "ws_order_number"});
+    assert(st.ok());
+    (void)st;
+  }
+
+  // inventory star.
+  fk("fk_inv_date", "inventory", "inv_date_sk", "date_dim", "d_date_sk");
+  fk("fk_inv_item", "inventory", "inv_item_sk", "item", "i_item_sk");
+  fk("fk_inv_wh", "inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk");
+
+  return s;
+}
+
+int64_t TpcdsBaseCardinality(const std::string& t) {
+  // Proportional to dsdgen SF-1 row counts, divided by ~24 so that the
+  // largest fact table matches TPC-H LINEITEM-at-SF-0.02 scale used in
+  // the in-memory experiments. Ratios between tables are preserved.
+  if (t == "date_dim") return 3049;        // 73049 / 24
+  if (t == "time_dim") return 3600;        // 86400 / 24
+  if (t == "item") return 750;             // 18000 / 24
+  if (t == "customer") return 4167;        // 100000 / 24
+  if (t == "customer_address") return 2084;  // 50014 / 24
+  if (t == "customer_demographics") return 8000;  // 1920800 / 240 (capped)
+  if (t == "household_demographics") return 300;  // 7200 / 24
+  if (t == "income_band") return 20;
+  if (t == "store") return 12;
+  if (t == "call_center") return 6;
+  if (t == "catalog_page") return 500;     // 11718 / 24
+  if (t == "web_site") return 30;
+  if (t == "web_page") return 60;
+  if (t == "warehouse") return 5;
+  if (t == "promotion") return 300;
+  if (t == "reason") return 35;
+  if (t == "ship_mode") return 20;
+  if (t == "store_sales") return 120000;   // 2880404 / 24
+  if (t == "store_returns") return 12000;  // 287514 / 24
+  if (t == "catalog_sales") return 60000;  // 1441548 / 24
+  if (t == "catalog_returns") return 6000; // 144067 / 24
+  if (t == "web_sales") return 30000;      // 719384 / 24
+  if (t == "web_returns") return 3000;     // 71763 / 24
+  if (t == "inventory") return 48000;      // 11745000 / 240 (capped)
+  return 0;
+}
+
+const std::vector<std::string>& TpcdsFactTables() {
+  static const std::vector<std::string> kFacts = {
+      "store_sales", "store_returns", "catalog_sales", "catalog_returns",
+      "web_sales",   "web_returns",   "inventory"};
+  return kFacts;
+}
+
+bool TpcdsIsFactTable(const std::string& t) {
+  const auto& f = TpcdsFactTables();
+  return std::find(f.begin(), f.end(), t) != f.end();
+}
+
+const std::vector<std::string>& TpcdsSmallTables() {
+  static const std::vector<std::string> kSmall = {
+      "income_band", "store", "call_center", "web_site", "web_page",
+      "warehouse",   "reason", "ship_mode"};
+  return kSmall;
+}
+
+}  // namespace pref

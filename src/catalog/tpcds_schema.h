@@ -1,0 +1,33 @@
+// The TPC-DS schema (24 tables: 7 fact + 17 dimension, skewed data) used by
+// the paper to evaluate design on a complex snowflake schema (§5.3).
+// Column sets are trimmed to surrogate keys, foreign keys and representative
+// measures; every referential constraint relevant to star-join workloads is
+// declared.
+
+#pragma once
+
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace pref {
+
+/// Builds the 24-table TPC-DS schema with referential constraints.
+Schema MakeTpcdsSchema();
+
+/// Base (scale-factor 1) cardinality of a TPC-DS table, keyed by name.
+/// Proportional to the official dsdgen SF-1 counts, reduced by a constant
+/// factor so SF-scaled experiments fit in memory (documented in DESIGN.md).
+int64_t TpcdsBaseCardinality(const std::string& table_name);
+
+/// The seven fact tables.
+const std::vector<std::string>& TpcdsFactTables();
+
+/// True if the named table is one of the seven fact tables.
+bool TpcdsIsFactTable(const std::string& table_name);
+
+/// Dimension tables with fewer than 1000 rows at SF 1 — the "small tables"
+/// the paper removes and replicates before running the design algorithms.
+const std::vector<std::string>& TpcdsSmallTables();
+
+}  // namespace pref

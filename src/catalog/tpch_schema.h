@@ -1,0 +1,22 @@
+// The TPC-H schema (8 tables, uniform data) used throughout the paper's
+// evaluation (§5). Column sets are trimmed to keys plus representative
+// payload; every join key referenced by the 22 benchmark queries is present.
+
+#pragma once
+
+#include "catalog/schema.h"
+
+namespace pref {
+
+/// Builds the TPC-H schema with all referential constraints.
+Schema MakeTpchSchema();
+
+/// Base (scale-factor 1) cardinalities of the TPC-H tables, keyed by name.
+/// LINEITEM is approximate in TPC-H itself (~6M at SF 1); we use the
+/// expected value. Scaled tables multiply by SF; NATION/REGION are fixed.
+int64_t TpchBaseCardinality(const std::string& table_name);
+
+/// True for tables whose size does not grow with scale factor.
+bool TpchIsFixedSize(const std::string& table_name);
+
+}  // namespace pref

@@ -1,0 +1,33 @@
+#include "catalog/value.h"
+
+#include <sstream>
+
+namespace pref {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  std::ostringstream ss;
+  if (is_int64()) {
+    ss << AsInt64();
+  } else if (is_double()) {
+    ss << AsDouble();
+  } else {
+    ss << '\'' << AsString() << '\'';
+  }
+  return ss.str();
+}
+
+}  // namespace pref

@@ -1,0 +1,64 @@
+// Value: the scalar type crossing the library's API boundaries.
+//
+// Storage is columnar (see storage/column.h); Value is used where a single
+// scalar is handed around — predicate constants, tuple materialization at
+// result boundaries, and partition-index keys.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace pref {
+
+/// Physical column types. Dates are stored as days-since-epoch int64s
+/// (kDate exists so schemas stay self-describing).
+enum class DataType : uint8_t { kInt64, kDouble, kString, kDate };
+
+const char* DataTypeName(DataType t);
+
+/// \brief A typed scalar: int64, double, or string.
+class Value {
+ public:
+  Value() : repr_(int64_t{0}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t AsInt64() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  uint64_t Hash() const {
+    if (is_int64()) return HashInt64(AsInt64());
+    if (is_double()) {
+      double d = AsDouble();
+      int64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return HashInt64(bits);
+    }
+    return HashBytes(AsString());
+  }
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> repr_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return static_cast<size_t>(v.Hash()); }
+};
+
+}  // namespace pref

@@ -1,0 +1,72 @@
+// Compact bitmaps backing the PREF auxiliary indexes (dup / hasS, §2.1).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pref {
+
+/// \brief Growable bitset with word-level popcount.
+///
+/// The PREF partitioner attaches one `dup` bitmap and one `hasS` bitmap to
+/// every partition of a PREF-partitioned table (Figure 2 of the paper). The
+/// query engine consumes them during duplicate elimination and semi-/anti-
+/// join rewrites, so Count()/CountZeros() must be cheap.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t n, bool value = false) { Resize(n, value); }
+
+  void Resize(size_t n, bool value = false) {
+    n_ = n;
+    words_.assign((n + 63) / 64, value ? ~uint64_t{0} : 0);
+    TrimTail();
+  }
+
+  void PushBack(bool value) {
+    if (n_ % 64 == 0) words_.push_back(0);
+    if (value) words_[n_ / 64] |= uint64_t{1} << (n_ % 64);
+    ++n_;
+  }
+
+  void Set(size_t i, bool value = true) {
+    if (value) {
+      words_[i / 64] |= uint64_t{1} << (i % 64);
+    } else {
+      words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+    }
+  }
+
+  bool Get(size_t i) const { return (words_[i / 64] >> (i % 64)) & 1; }
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Number of clear bits.
+  size_t CountZeros() const { return n_ - Count(); }
+
+  bool operator==(const Bitmap& other) const {
+    return n_ == other.n_ && words_ == other.words_;
+  }
+
+ private:
+  void TrimTail() {
+    if (n_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (n_ % 64)) - 1;
+    }
+  }
+
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pref

@@ -1,0 +1,36 @@
+// Hashing used for hash partitioning, hash joins and the partition index.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pref {
+
+/// 64-bit finalizer (MurmurHash3 fmix64). Good avalanche for integer keys,
+/// which dominate partitioning attributes in the TPC schemas.
+inline uint64_t HashInt64(int64_t v) {
+  uint64_t k = static_cast<uint64_t>(v);
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a for strings.
+inline uint64_t HashBytes(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace pref

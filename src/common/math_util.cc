@@ -1,0 +1,66 @@
+#include "common/math_util.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pref {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// log(exp(a) + exp(b)) without overflow.
+double LogAdd(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  if (a < b) std::swap(a, b);
+  return a + std::log1p(std::exp(b - a));
+}
+}  // namespace
+
+StirlingTable::StirlingTable(int max_n) : max_n_(max_n) {
+  assert(max_n >= 0);
+  log_s_.assign(max_n + 1, {});
+  for (int n = 0; n <= max_n; ++n) {
+    log_s_[n].assign(n + 1, kNegInf);
+  }
+  log_s_[0].assign(1, 0.0);  // S(0,0) = 1
+  for (int n = 1; n <= max_n; ++n) {
+    for (int k = 1; k <= n; ++k) {
+      // S(n,k) = k*S(n-1,k) + S(n-1,k-1)
+      double via_k =
+          (k <= n - 1) ? std::log(static_cast<double>(k)) + log_s_[n - 1][k] : kNegInf;
+      double via_k1 = (k - 1 <= n - 1) ? log_s_[n - 1][k - 1] : kNegInf;
+      log_s_[n][k] = LogAdd(via_k, via_k1);
+    }
+  }
+}
+
+double StirlingTable::LogStirling2(int n, int k) const {
+  assert(n >= 0 && n <= max_n_);
+  if (k < 0 || k > n) return kNegInf;
+  if (n == 0) return k == 0 ? 0.0 : kNegInf;
+  return log_s_[n][k];
+}
+
+double LogFactorial(int n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+
+double LogBinomial(int n, int k) {
+  if (k < 0 || k > n) return kNegInf;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double BellNumber(int n) {
+  assert(n >= 0);
+  // Bell triangle.
+  std::vector<double> prev{1.0};
+  for (int i = 1; i <= n; ++i) {
+    std::vector<double> cur(i + 1);
+    cur[0] = prev.back();
+    for (int j = 1; j <= i; ++j) cur[j] = cur[j - 1] + prev[j - 1];
+    prev = std::move(cur);
+  }
+  return prev[0];
+}
+
+}  // namespace pref

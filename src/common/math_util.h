@@ -1,0 +1,43 @@
+// Combinatorics for the Appendix A redundancy estimator and the §4.3 merge
+// search-space analysis (Stirling numbers of the second kind, Bell numbers).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pref {
+
+/// \brief Table of Stirling numbers of the second kind S(n, k) computed in
+/// log-space to avoid overflow (S(f, x) appears inside a ratio in the
+/// expected-copies formula, so only relative magnitudes matter).
+///
+/// S(n, k) counts the ways to partition a set of n labeled objects into k
+/// non-empty unlabeled subsets. Appendix A uses it to compute
+/// P_{f,n}(X = x) = C(n,x) * x! * S(f,x) / n^f.
+class StirlingTable {
+ public:
+  /// Precompute ln S(n, k) for all 0 <= k <= n <= max_n.
+  explicit StirlingTable(int max_n);
+
+  /// ln S(n, k); returns -infinity for S == 0 cases.
+  double LogStirling2(int n, int k) const;
+
+  int max_n() const { return max_n_; }
+
+ private:
+  int max_n_;
+  std::vector<std::vector<double>> log_s_;  // log_s_[n][k]
+};
+
+/// ln(n!)
+double LogFactorial(int n);
+
+/// ln C(n, k)
+double LogBinomial(int n, int k);
+
+/// Bell number B(n) as a double (number of set partitions of n elements);
+/// used to report the WD merge search-space size (§4.3).
+double BellNumber(int n);
+
+}  // namespace pref

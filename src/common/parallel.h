@@ -1,0 +1,28 @@
+// Minimal parallel-for over partitions: each simulated node's work runs on
+// its own thread. Safe wherever iterations touch disjoint state (the
+// executor's per-partition operators write to per-partition outputs and
+// per-node counters only).
+
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pref {
+
+/// Runs fn(0) .. fn(n-1), in parallel when the hardware has spare cores and
+/// n > 1; serially otherwise. Exceptions must not escape `fn`.
+inline void ParallelFor(int n, const std::function<void(int)>& fn) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (n <= 1 || hw <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) threads.emplace_back(fn, i);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace pref

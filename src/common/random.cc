@@ -1,0 +1,86 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pref {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four lanes via SplitMix64 as recommended by the xoshiro authors.
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+namespace {
+double Zeta(int64_t n, double theta) {
+  double sum = 0;
+  for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(int64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  zetan_ = Zeta(n, theta);
+  zeta2_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+int64_t ZipfGenerator::Next(Rng* rng) {
+  if (n_ == 1) return 1;
+  if (theta_ == 0.0) return rng->Uniform(1, n_);
+  double u = rng->NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  int64_t v = 1 + static_cast<int64_t>(static_cast<double>(n_) *
+                                       std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v > n_) v = n_;
+  if (v < 1) v = 1;
+  return v;
+}
+
+}  // namespace pref

@@ -1,0 +1,161 @@
+// Status: the error-handling currency of the library.
+//
+// Follows the Arrow/RocksDB idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h) instead of throwing. Exceptions are not
+// used on any hot path.
+
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace pref {
+
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,
+  kNotImplemented = 3,
+  kOutOfRange = 4,
+  kInternalError = 5,
+  kAlreadyExists = 6,
+  kNotFound = 7,
+  kExecutionError = 8,
+};
+
+/// \brief Operation outcome: either OK or an error code plus message.
+///
+/// The OK state is represented by a null internal state pointer, making
+/// `Status::OK()` and `ok()` checks free of allocation.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status Invalid(Args&&... args) {
+    return FromArgs(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status KeyError(Args&&... args) {
+    return FromArgs(StatusCode::kKeyError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return FromArgs(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return FromArgs(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return FromArgs(StatusCode::kInternalError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return FromArgs(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return FromArgs(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ExecutionError(Args&&... args) {
+    return FromArgs(StatusCode::kExecutionError, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code() == StatusCode::kInternalError; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeAsString(code())) + ": " + message();
+  }
+
+  static const char* CodeAsString(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "Invalid";
+      case StatusCode::kKeyError:
+        return "KeyError";
+      case StatusCode::kNotImplemented:
+        return "NotImplemented";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kInternalError:
+        return "Internal";
+      case StatusCode::kAlreadyExists:
+        return "AlreadyExists";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kExecutionError:
+        return "ExecutionError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status FromArgs(StatusCode code, Args&&... args) {
+    std::ostringstream ss;
+    (ss << ... << args);
+    return Status(code, ss.str());
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace pref
+
+/// Propagate a non-OK Status to the caller.
+#define PREF_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::pref::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define PREF_CONCAT_IMPL(x, y) x##y
+#define PREF_CONCAT(x, y) PREF_CONCAT_IMPL(x, y)
+
+/// Evaluate an expression yielding Result<T>; on error, propagate the
+/// Status; on success, move the value into `lhs`.
+#define PREF_ASSIGN_OR_RAISE(lhs, rexpr)                               \
+  auto PREF_CONCAT(_result_, __LINE__) = (rexpr);                      \
+  if (!PREF_CONCAT(_result_, __LINE__).ok())                           \
+    return PREF_CONCAT(_result_, __LINE__).status();                   \
+  lhs = std::move(PREF_CONCAT(_result_, __LINE__)).ValueOrDie()

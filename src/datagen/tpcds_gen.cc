@@ -1,0 +1,217 @@
+#include "datagen/tpcds_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/tpcds_schema.h"
+#include "common/random.h"
+
+namespace pref {
+
+namespace {
+
+/// Per-row value override for selected columns.
+using Override = std::function<Value(int64_t row)>;
+
+struct GenContext {
+  Database* db;
+  Rng* rng;
+  double skew;
+  /// (table, column) -> referenced table for single-column FKs.
+  std::map<std::pair<TableId, ColumnId>, TableId> fk_of_column;
+  /// Generated row counts (referenced tables must be filled first).
+  std::unordered_map<TableId, int64_t> row_counts;
+  /// Zipf generators keyed by (fact column, domain size), created lazily.
+  std::map<std::pair<TableId, ColumnId>, std::unique_ptr<ZipfGenerator>> zipfs;
+};
+
+int64_t ScaledCard(const std::string& name, double sf) {
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(
+             static_cast<double>(TpcdsBaseCardinality(name)) * sf)));
+}
+
+/// Fills `n` rows of `name`. PK head column gets the sequence 1..n; FK
+/// columns reference already-filled tables (Zipf-skewed for fact tables,
+/// uniform for dimensions, ~2% orphan -1 keys on fact tables); other
+/// columns get type-appropriate payload. `overrides` wins over all rules.
+void FillTable(GenContext* ctx, const std::string& name, int64_t n,
+               const std::map<std::string, Override>& overrides = {}) {
+  Table* t = *ctx->db->FindTable(name);
+  const TableDef& def = t->def();
+  const bool is_fact = TpcdsIsFactTable(name);
+  RowBlock& data = t->data();
+  data.Reserve(static_cast<size_t>(n));
+
+  // Resolve overrides to column ids.
+  std::unordered_map<ColumnId, const Override*> ov;
+  for (const auto& [col, fn] : overrides) {
+    ov[*def.FindColumn(col)] = &fn;
+  }
+
+  const ColumnId pk_head =
+      def.primary_key.empty() ? -1 : def.primary_key.front();
+
+  for (int64_t row = 1; row <= n; ++row) {
+    for (ColumnId c = 0; c < def.num_columns(); ++c) {
+      Column& col = data.column(c);
+      if (auto it = ov.find(c); it != ov.end()) {
+        Status st = col.AppendValue((*it->second)(row));
+        assert(st.ok());
+        (void)st;
+        continue;
+      }
+      auto fk_it = ctx->fk_of_column.find({def.id, c});
+      if (fk_it != ctx->fk_of_column.end()) {
+        int64_t domain = ctx->row_counts.at(fk_it->second);
+        int64_t v;
+        if (is_fact) {
+          auto& z = ctx->zipfs[{def.id, c}];
+          if (!z) z = std::make_unique<ZipfGenerator>(domain, ctx->skew);
+          // ~2% orphan keys exercise PREF condition (2) round-robin.
+          v = ctx->rng->Bernoulli(0.02) ? -1 : z->Next(ctx->rng);
+        } else {
+          v = ctx->rng->Uniform(1, domain);
+        }
+        col.AppendInt64(v);
+        continue;
+      }
+      if (c == pk_head && col.is_int()) {
+        col.AppendInt64(row);
+        continue;
+      }
+      // Payload columns.
+      if (col.is_int()) {
+        col.AppendInt64(ctx->rng->Uniform(0, 9999));
+      } else if (col.is_double()) {
+        col.AppendDouble(static_cast<double>(ctx->rng->Uniform(0, 99999)) / 100.0);
+      } else {
+        col.AppendString(def.column(c).name + "_" +
+                         std::to_string(ctx->rng->Uniform(0, 19)));
+      }
+    }
+  }
+  ctx->row_counts[def.id] = n;
+}
+
+/// Overrides that make a returns table reference real (item, order) pairs
+/// of its sales parent. Draws a random parent row per return.
+std::map<std::string, Override> ReturnsLinkedTo(GenContext* ctx,
+                                                const std::string& sales_table,
+                                                const std::string& item_col,
+                                                const std::string& order_col,
+                                                ColumnId sales_item_col,
+                                                ColumnId sales_order_col) {
+  const Table* sales = *ctx->db->FindTable(sales_table);
+  const RowBlock* block = &sales->data();
+  int64_t n_sales = static_cast<int64_t>(block->num_rows());
+  Rng* rng = ctx->rng;
+  // Draw the parent row once per return row; both overrides must agree, so
+  // cache the chosen row per `row` value.
+  auto chosen = std::make_shared<std::unordered_map<int64_t, size_t>>();
+  auto pick = [rng, n_sales, chosen](int64_t row) {
+    auto it = chosen->find(row);
+    if (it != chosen->end()) return it->second;
+    size_t r = static_cast<size_t>(rng->Uniform(0, n_sales - 1));
+    (*chosen)[row] = r;
+    return r;
+  };
+  std::map<std::string, Override> ov;
+  ov[item_col] = [block, pick, sales_item_col](int64_t row) {
+    return Value(block->column(sales_item_col).GetInt64(pick(row)));
+  };
+  ov[order_col] = [block, pick, sales_order_col](int64_t row) {
+    return Value(block->column(sales_order_col).GetInt64(pick(row)));
+  };
+  return ov;
+}
+
+}  // namespace
+
+Result<Database> GenerateTpcds(const TpcdsGenOptions& options) {
+  if (options.scale_factor <= 0) {
+    return Status::Invalid("scale_factor must be positive, got ",
+                           options.scale_factor);
+  }
+  if (options.skew < 0 || options.skew >= 1.0) {
+    return Status::Invalid("skew must be in [0, 1), got ", options.skew);
+  }
+  Database db(MakeTpcdsSchema());
+  Rng rng(options.seed);
+  GenContext ctx;
+  ctx.db = &db;
+  ctx.rng = &rng;
+  ctx.skew = options.skew;
+
+  // Index single-column FKs; composite FKs (sales<->returns) are handled
+  // via ReturnsLinkedTo overrides.
+  for (const auto& fk : db.schema().foreign_keys()) {
+    if (fk.src_columns.size() == 1) {
+      ctx.fk_of_column[{fk.src_table, fk.src_columns[0]}] = fk.dst_table;
+    }
+  }
+
+  const double sf = options.scale_factor;
+  auto card = [&](const char* t) { return ScaledCard(t, sf); };
+
+  // Dimensions in dependency order (referenced before referencing).
+  // date_dim and time_dim get calendar-shaped payloads (queries filter on
+  // d_year / d_moy / t_hour).
+  FillTable(&ctx, "date_dim", card("date_dim"),
+            {{"d_year", [](int64_t row) { return Value(1998 + (row - 1) / 365); }},
+             // Months cycle quickly so every month exists even at tiny
+             // scale factors.
+             {"d_moy", [](int64_t row) { return Value((row - 1) % 12 + 1); }},
+             {"d_dom", [](int64_t row) { return Value((row - 1) % 28 + 1); }}});
+  FillTable(&ctx, "time_dim", card("time_dim"),
+            {{"t_hour", [](int64_t row) { return Value((row - 1) % 24); }},
+             {"t_minute", [](int64_t row) { return Value(((row - 1) / 24) % 60); }}});
+  for (const char* t :
+       {"item", "income_band", "customer_address",
+        "customer_demographics", "household_demographics", "store", "call_center",
+        "catalog_page", "web_site", "web_page", "warehouse", "promotion", "reason",
+        "ship_mode", "customer"}) {
+    FillTable(&ctx, t, card(t));
+  }
+
+  // Fact tables: ticket/order numbers are the row sequence so composite
+  // keys (item_sk, number) are unique per sales row.
+  FillTable(&ctx, "store_sales", card("store_sales"),
+            {{"ss_ticket_number", [](int64_t row) { return Value(row); }}});
+  FillTable(&ctx, "catalog_sales", card("catalog_sales"),
+            {{"cs_order_number", [](int64_t row) { return Value(row); }}});
+  FillTable(&ctx, "web_sales", card("web_sales"),
+            {{"ws_order_number", [](int64_t row) { return Value(row); }}});
+  FillTable(&ctx, "inventory", card("inventory"));
+
+  // Returns reference real sales rows.
+  {
+    const TableDef& ss = db.table(*db.schema().FindTable("store_sales")).def();
+    auto ov = ReturnsLinkedTo(&ctx, "store_sales", "sr_item_sk",
+                              "sr_ticket_number", *ss.FindColumn("ss_item_sk"),
+                              *ss.FindColumn("ss_ticket_number"));
+    FillTable(&ctx, "store_returns", card("store_returns"), ov);
+  }
+  {
+    const TableDef& cs = db.table(*db.schema().FindTable("catalog_sales")).def();
+    auto ov = ReturnsLinkedTo(&ctx, "catalog_sales", "cr_item_sk",
+                              "cr_order_number", *cs.FindColumn("cs_item_sk"),
+                              *cs.FindColumn("cs_order_number"));
+    FillTable(&ctx, "catalog_returns", card("catalog_returns"), ov);
+  }
+  {
+    const TableDef& ws = db.table(*db.schema().FindTable("web_sales")).def();
+    auto ov = ReturnsLinkedTo(&ctx, "web_sales", "wr_item_sk", "wr_order_number",
+                              *ws.FindColumn("ws_item_sk"),
+                              *ws.FindColumn("ws_order_number"));
+    FillTable(&ctx, "web_returns", card("web_returns"), ov);
+  }
+
+  return db;
+}
+
+}  // namespace pref

@@ -1,0 +1,29 @@
+// TPC-DS data generator: 24-table snowflake schema with Zipf-skewed fact
+// foreign keys (the paper uses TPC-DS as its "complex schema with skewed
+// data" case, §1/§5).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace pref {
+
+struct TpcdsGenOptions {
+  /// Multiplies the base cardinalities of catalog/tpcds_schema.h.
+  double scale_factor = 1.0;
+  /// Zipf theta for fact-table foreign keys (0 = uniform). The default
+  /// mirrors dsdgen's visibly skewed sales distributions.
+  double skew = 0.85;
+  uint64_t seed = 7;
+};
+
+/// Generates a fully populated TPC-DS database. Returns tables reference
+/// rows actually present in the corresponding sales tables (so the
+/// sales<->returns composite-key joins have real partners); ~2% of
+/// nullable fact FKs are set to -1 to exercise orphan handling.
+Result<Database> GenerateTpcds(const TpcdsGenOptions& options);
+
+}  // namespace pref

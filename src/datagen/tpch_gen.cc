@@ -1,0 +1,203 @@
+#include "datagen/tpch_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "catalog/tpch_schema.h"
+#include "common/random.h"
+
+namespace pref {
+
+namespace {
+
+int64_t Scaled(const std::string& table, double sf) {
+  int64_t base = TpchBaseCardinality(table);
+  if (TpchIsFixedSize(table)) return base;
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(
+                                  static_cast<double>(base) * sf)));
+}
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                             "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                            "TRUCK"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+const char* kContainers[] = {"SM CASE", "LG BOX", "MED BAG", "JUMBO JAR",
+                             "WRAP PKG"};
+const char* kTypes[] = {"ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS",
+                        "MEDIUM POLISHED COPPER", "PROMO BURNISHED NICKEL",
+                        "SMALL PLATED TIN", "STANDARD POLISHED BRASS"};
+
+// Date domain: days since 1992-01-01, ~7 years as in the spec.
+constexpr int64_t kDateLo = 0;
+constexpr int64_t kDateHi = 2556;
+
+/// The j-th (0..3) supplier of part `p` among `s` suppliers. The stride
+/// floor(s/4) guarantees four distinct suppliers whenever s >= 4 (dbgen's
+/// spread formula degenerates for the reduced scale factors used here).
+int64_t SupplierOfPart(int64_t p, int64_t j, int64_t s) {
+  int64_t step = std::max<int64_t>(1, s / 4);
+  return (p - 1 + j * step) % s + 1;
+}
+
+}  // namespace
+
+Result<Database> GenerateTpch(const TpchGenOptions& options) {
+  if (options.scale_factor <= 0) {
+    return Status::Invalid("scale_factor must be positive, got ",
+                           options.scale_factor);
+  }
+  const double sf = options.scale_factor;
+  Database db(MakeTpchSchema());
+  Rng rng(options.seed);
+
+  const int64_t n_supplier = Scaled("supplier", sf);
+  const int64_t n_customer = Scaled("customer", sf);
+  const int64_t n_part = Scaled("part", sf);
+  const int64_t n_orders = Scaled("orders", sf);
+
+  // --- region ---------------------------------------------------------
+  {
+    RowBlock& r = (*db.FindTable("region"))->data();
+    for (int64_t i = 0; i < 5; ++i) {
+      r.column(0).AppendInt64(i);
+      r.column(1).AppendString(kRegions[i]);
+      r.column(2).AppendString("region comment");
+    }
+  }
+
+  // --- nation ---------------------------------------------------------
+  {
+    RowBlock& n = (*db.FindTable("nation"))->data();
+    for (int64_t i = 0; i < 25; ++i) {
+      n.column(0).AppendInt64(i);
+      n.column(1).AppendString("NATION_" + std::to_string(i));
+      n.column(2).AppendInt64(i % 5);
+      n.column(3).AppendString("nation comment");
+    }
+  }
+
+  // --- supplier ---------------------------------------------------------
+  {
+    RowBlock& s = (*db.FindTable("supplier"))->data();
+    s.Reserve(static_cast<size_t>(n_supplier));
+    for (int64_t i = 1; i <= n_supplier; ++i) {
+      s.column(0).AppendInt64(i);
+      s.column(1).AppendString("Supplier#" + std::to_string(i));
+      s.column(2).AppendInt64(rng.Uniform(0, 24));
+      s.column(3).AppendString("11-2345");
+      s.column(4).AppendDouble(static_cast<double>(rng.Uniform(-99999, 999999)) /
+                               100.0);
+    }
+  }
+
+  // --- customer ---------------------------------------------------------
+  {
+    RowBlock& c = (*db.FindTable("customer"))->data();
+    c.Reserve(static_cast<size_t>(n_customer));
+    for (int64_t i = 1; i <= n_customer; ++i) {
+      c.column(0).AppendInt64(i);
+      c.column(1).AppendString("Customer#" + std::to_string(i));
+      c.column(2).AppendInt64(rng.Uniform(0, 24));
+      c.column(3).AppendString("22-6789");
+      c.column(4).AppendDouble(static_cast<double>(rng.Uniform(-99999, 999999)) /
+                               100.0);
+      c.column(5).AppendString(kSegments[rng.Uniform(0, 4)]);
+    }
+  }
+
+  // --- part -------------------------------------------------------------
+  {
+    RowBlock& p = (*db.FindTable("part"))->data();
+    p.Reserve(static_cast<size_t>(n_part));
+    for (int64_t i = 1; i <= n_part; ++i) {
+      p.column(0).AppendInt64(i);
+      p.column(1).AppendString("part " + std::to_string(i));
+      p.column(2).AppendString("Brand#" + std::to_string(rng.Uniform(1, 5)) +
+                               std::to_string(rng.Uniform(1, 5)));
+      p.column(3).AppendString(kTypes[rng.Uniform(0, 5)]);
+      p.column(4).AppendInt64(rng.Uniform(1, 50));
+      p.column(5).AppendString(kContainers[rng.Uniform(0, 4)]);
+      p.column(6).AppendDouble(900.0 + static_cast<double>(i % 1000) / 10.0);
+    }
+  }
+
+  // --- partsupp: exactly 4 distinct suppliers per part --------------------
+  {
+    RowBlock& ps = (*db.FindTable("partsupp"))->data();
+    ps.Reserve(static_cast<size_t>(n_part * 4));
+    for (int64_t p = 1; p <= n_part; ++p) {
+      for (int64_t j = 0; j < 4; ++j) {
+        int64_t sk = SupplierOfPart(p, j, n_supplier);
+        ps.column(0).AppendInt64(p);
+        ps.column(1).AppendInt64(sk);
+        ps.column(2).AppendInt64(rng.Uniform(1, 9999));
+        ps.column(3).AppendDouble(static_cast<double>(rng.Uniform(100, 100000)) /
+                                  100.0);
+      }
+    }
+  }
+
+  // --- orders: one third of customers have no orders ----------------------
+  {
+    RowBlock& o = (*db.FindTable("orders"))->data();
+    o.Reserve(static_cast<size_t>(n_orders));
+    for (int64_t i = 1; i <= n_orders; ++i) {
+      // Spec: custkey never ≡ 0 (mod 3), leaving 1/3 of customers orderless.
+      int64_t ck;
+      do {
+        ck = rng.Uniform(1, n_customer);
+      } while (n_customer >= 3 && ck % 3 == 0);
+      o.column(0).AppendInt64(i);
+      o.column(1).AppendInt64(ck);
+      o.column(2).AppendString(rng.Bernoulli(0.5) ? "F" : "O");
+      o.column(3).AppendDouble(static_cast<double>(rng.Uniform(1000, 500000)) /
+                               100.0);
+      o.column(4).AppendInt64(rng.Uniform(kDateLo, kDateHi - 151));
+      o.column(5).AppendString(kPriorities[rng.Uniform(0, 4)]);
+      o.column(6).AppendInt64(0);
+    }
+  }
+
+  // --- lineitem: 1..7 lines per order -------------------------------------
+  {
+    const RowBlock& o = (*db.FindTable("orders"))->data();
+    RowBlock& l = (*db.FindTable("lineitem"))->data();
+    l.Reserve(static_cast<size_t>(n_orders) * 4);
+    for (int64_t oi = 0; oi < n_orders; ++oi) {
+      int64_t orderkey = o.column(0).GetInt64(static_cast<size_t>(oi));
+      int64_t odate = o.column(4).GetInt64(static_cast<size_t>(oi));
+      int64_t lines = rng.Uniform(1, 7);
+      for (int64_t ln = 1; ln <= lines; ++ln) {
+        int64_t partkey = rng.Uniform(1, n_part);
+        // Pick one of the 4 partsupp suppliers of this part.
+        int64_t suppkey = SupplierOfPart(partkey, rng.Uniform(0, 3), n_supplier);
+        double qty = static_cast<double>(rng.Uniform(1, 50));
+        double price = qty * (900.0 + static_cast<double>(partkey % 1000) / 10.0);
+        int64_t ship = odate + rng.Uniform(1, 121);
+        l.column(0).AppendInt64(orderkey);
+        l.column(1).AppendInt64(partkey);
+        l.column(2).AppendInt64(suppkey);
+        l.column(3).AppendInt64(ln);
+        l.column(4).AppendDouble(qty);
+        l.column(5).AppendDouble(price);
+        l.column(6).AppendDouble(static_cast<double>(rng.Uniform(0, 10)) / 100.0);
+        l.column(7).AppendDouble(static_cast<double>(rng.Uniform(0, 8)) / 100.0);
+        l.column(8).AppendString(kReturnFlags[rng.Uniform(0, 2)]);
+        l.column(9).AppendString(rng.Bernoulli(0.5) ? "F" : "O");
+        l.column(10).AppendInt64(ship);
+        l.column(11).AppendInt64(ship + rng.Uniform(-10, 30));
+        l.column(12).AppendInt64(ship + rng.Uniform(1, 30));
+        l.column(13).AppendString(kShipModes[rng.Uniform(0, 6)]);
+      }
+    }
+  }
+
+  return db;
+}
+
+}  // namespace pref

@@ -1,0 +1,30 @@
+// TPC-H data generator (dbgen equivalent): uniform distributions, spec
+// cardinality ratios, deterministic for a given seed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace pref {
+
+struct TpchGenOptions {
+  /// Scale factor. SF 1 corresponds to the official 6M-row LINEITEM; the
+  /// in-memory experiments use fractional SF (the paper's shape results are
+  /// invariant in SF, see §5.1/§5.3).
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Generates a fully populated TPC-H database.
+///
+/// Mirrors dbgen's structural properties that matter to PREF:
+///  * one third of customers place no orders (orphans for incoming-FK
+///    PREF partitions),
+///  * 1..7 lineitems per order, uniform part/supplier references,
+///  * exactly 4 partsupp rows per part with distinct suppliers.
+Result<Database> GenerateTpch(const TpchGenOptions& options);
+
+}  // namespace pref

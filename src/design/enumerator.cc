@@ -1,0 +1,275 @@
+#include "design/enumerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace pref {
+
+namespace {
+
+/// Orients `e` so that `left` is the referencing (left) side.
+JoinPredicate Oriented(const WeightedEdge& e, TableId left) {
+  return e.predicate.left_table == left ? e.predicate : e.predicate.Reversed();
+}
+
+/// A sub-MAST produced by cutting edges: node set + surviving edges.
+struct SubTree {
+  std::set<TableId> nodes;
+  std::vector<const WeightedEdge*> edges;
+};
+
+/// Splits `mast` into connected sub-trees after removing `cut` edges.
+std::vector<SubTree> SplitByCut(const Mast& mast,
+                                const std::set<const WeightedEdge*>& cut) {
+  std::vector<SubTree> out;
+  std::set<TableId> visited;
+  for (TableId start : mast.nodes) {
+    if (visited.count(start)) continue;
+    SubTree tree;
+    std::vector<TableId> stack{start};
+    visited.insert(start);
+    tree.nodes.insert(start);
+    while (!stack.empty()) {
+      TableId t = stack.back();
+      stack.pop_back();
+      for (const auto& e : mast.edges) {
+        if (cut.count(&e) || !e.predicate.Mentions(t)) continue;
+        TableId other =
+            e.predicate.left_table == t ? e.predicate.right_table : e.predicate.left_table;
+        if (visited.count(other)) continue;
+        visited.insert(other);
+        tree.nodes.insert(other);
+        tree.edges.push_back(&e);
+        stack.push_back(other);
+      }
+    }
+    // Collect edges fully inside this tree (the loop above may rediscover
+    // some; dedupe).
+    tree.edges.clear();
+    for (const auto& e : mast.edges) {
+      if (cut.count(&e)) continue;
+      if (tree.nodes.count(e.predicate.left_table) &&
+          tree.nodes.count(e.predicate.right_table)) {
+        tree.edges.push_back(&e);
+      }
+    }
+    out.push_back(std::move(tree));
+  }
+  return out;
+}
+
+/// Seed hash attributes: the seed-side columns of the heaviest edge
+/// incident to the seed (§3.1); primary key for isolated nodes.
+std::vector<ColumnId> SeedAttributes(const SubTree& tree, TableId seed,
+                                     const Schema& schema) {
+  const WeightedEdge* heaviest = nullptr;
+  for (const WeightedEdge* e : tree.edges) {
+    if (!e->predicate.Mentions(seed)) continue;
+    if (heaviest == nullptr || e->weight > heaviest->weight) heaviest = e;
+  }
+  if (heaviest != nullptr) return heaviest->predicate.ColumnsOf(seed);
+  const TableDef& def = schema.table(seed);
+  if (!def.primary_key.empty()) return def.primary_key;
+  return {0};
+}
+
+/// Builds the plan fragment for one sub-tree with `seed` as seed table.
+/// Returns the estimated size, filling `schemes`. Fails constraint checks
+/// by returning infinity.
+///
+/// Co-location refinement of Appendix A: if a parent table's placement is
+/// *determined* by a column set K (the seed's hash attributes, or the
+/// referencing columns of an r = 1 PREF edge) and the partitioning
+/// predicate's parent-side columns contain K, then every partitioning
+/// partner of a child tuple lives in a single partition and the edge's
+/// redundancy factor is exactly 1 — e.g. ORDERS PREF-partitioned on
+/// orderkey by a LINEITEM table hash-partitioned on orderkey. The generic
+/// balls-into-bins estimate only applies to scattered parents.
+double PlanSubTree(const SubTree& tree, TableId seed, const Schema& schema,
+                   RedundancyEstimator* estimator,
+                   const EnumerationConstraints& constraints,
+                   std::map<TableId, TableScheme>* schemes) {
+  const double n = static_cast<double>(estimator->num_partitions());
+  TableScheme seed_scheme;
+  seed_scheme.is_seed = true;
+  seed_scheme.hash_columns = SeedAttributes(tree, seed, schema);
+  seed_scheme.path_factor = 1.0;
+  // Per-table copy profiles for skew-aware cumulative estimation.
+  std::map<TableId, RedundancyEstimator::CopyProfile> profiles;
+  profiles[seed] = {};  // every seed tuple has exactly one copy
+  // colocation_key[t]: columns of t whose equality implies same partition
+  // (empty = placement is scattered).
+  std::map<TableId, std::set<ColumnId>> colocation_key;
+  colocation_key[seed] = std::set<ColumnId>(seed_scheme.hash_columns.begin(),
+                                            seed_scheme.hash_columns.end());
+  (*schemes)[seed] = std::move(seed_scheme);
+  double size = estimator->EstimateTableSize(seed, 1.0);
+
+  // BFS from the seed, PREF-partitioning every reached table by its parent
+  // (function addPREF of Listing 1), accumulating the path factor.
+  std::vector<TableId> stack{seed};
+  std::set<TableId> done{seed};
+  while (!stack.empty()) {
+    TableId parent = stack.back();
+    stack.pop_back();
+    double parent_factor = schemes->at(parent).path_factor;
+    for (const WeightedEdge* e : tree.edges) {
+      if (!e->predicate.Mentions(parent)) continue;
+      TableId child = e->predicate.left_table == parent ? e->predicate.right_table
+                                                        : e->predicate.left_table;
+      if (done.count(child)) continue;
+      done.insert(child);
+      TableScheme scheme;
+      scheme.is_seed = false;
+      scheme.predicate = Oriented(*e, child);
+      const auto& parent_key = colocation_key[parent];
+      std::set<ColumnId> pred_parent_cols(scheme.predicate.right_columns.begin(),
+                                          scheme.predicate.right_columns.end());
+      bool colocated = !parent_key.empty() &&
+                       std::includes(pred_parent_cols.begin(), pred_parent_cols.end(),
+                                     parent_key.begin(), parent_key.end());
+      if (colocated) {
+        // All partners of a child tuple share one partition: r(e) = 1 and
+        // the child's own placement is determined by its predicate columns.
+        scheme.path_factor = parent_factor;
+        colocation_key[child] =
+            std::set<ColumnId>(scheme.predicate.left_columns.begin(),
+                               scheme.predicate.left_columns.end());
+        RedundancyEstimator::CopyProfile profile;
+        profile.key_columns = scheme.predicate.left_columns;
+        profiles[child] = std::move(profile);  // one copy per tuple
+      } else if (constraints.naive_cumulative_estimates) {
+        // Appendix A verbatim: independent per-edge factors multiplied
+        // along the path from the seed (ablation baseline).
+        scheme.path_factor =
+            std::min(n, parent_factor * estimator->EdgeFactor(scheme.predicate));
+        profiles[child] = {};
+        colocation_key[child] = {};
+      } else {
+        // Cumulative redundancy: the child's copies are the occupancy of
+        // f * parent_copies(v) placements (per-value when the keys align),
+        // not an independent multiplication of edge factors.
+        RedundancyEstimator::CopyProfile child_profile;
+        scheme.path_factor = std::min(
+            n, estimator->EdgeFactor(scheme.predicate, &profiles[parent],
+                                     &child_profile));
+        profiles[child] = std::move(child_profile);
+        colocation_key[child] = {};
+      }
+      if (constraints.no_redundancy.count(child) &&
+          scheme.path_factor > 1.0 + constraints.epsilon) {
+        return std::numeric_limits<double>::infinity();
+      }
+      size += estimator->EstimateTableSize(child, scheme.path_factor);
+      (*schemes)[child] = std::move(scheme);
+      stack.push_back(child);
+    }
+  }
+  return size;
+}
+
+/// Best seed choice for one sub-tree; infinity if no seed satisfies the
+/// constraints.
+double BestPlanForSubTree(const SubTree& tree, const Schema& schema,
+                          RedundancyEstimator* estimator,
+                          const EnumerationConstraints& constraints,
+                          std::map<TableId, TableScheme>* best_schemes) {
+  double best = std::numeric_limits<double>::infinity();
+  for (TableId seed : tree.nodes) {
+    // A constrained table is a fine seed; an unconstrained seed is fine
+    // too. Constraint failures surface inside PlanSubTree.
+    std::map<TableId, TableScheme> schemes;
+    double size = PlanSubTree(tree, seed, schema, estimator, constraints, &schemes);
+    if (size < best) {
+      best = size;
+      *best_schemes = std::move(schemes);
+    }
+  }
+  return best;
+}
+
+/// Enumerates cut-sets of size k (indices into mast.edges), ordered by
+/// ascending total cut weight, capped at `limit` sets.
+std::vector<std::vector<size_t>> EnumerateCuts(const Mast& mast, size_t k,
+                                               int limit) {
+  std::vector<std::vector<size_t>> cuts;
+  std::vector<size_t> current;
+  std::function<void(size_t)> rec = [&](size_t start) {
+    if (static_cast<int>(cuts.size()) >= limit) return;
+    if (current.size() == k) {
+      cuts.push_back(current);
+      return;
+    }
+    for (size_t i = start; i < mast.edges.size(); ++i) {
+      current.push_back(i);
+      rec(i + 1);
+      current.pop_back();
+    }
+  };
+  rec(0);
+  std::sort(cuts.begin(), cuts.end(), [&](const auto& a, const auto& b) {
+    double wa = 0, wb = 0;
+    for (size_t i : a) wa += mast.edges[i].weight;
+    for (size_t i : b) wb += mast.edges[i].weight;
+    return wa < wb;
+  });
+  return cuts;
+}
+
+}  // namespace
+
+Result<ComponentPlan> FindOptimalPc(const Mast& mast, const Schema& schema,
+                                    RedundancyEstimator* estimator,
+                                    const EnumerationConstraints& constraints) {
+  if (mast.nodes.empty()) return Status::Invalid("empty MAST");
+  const size_t max_seeds = mast.nodes.size();
+  for (size_t num_seeds = 1; num_seeds <= max_seeds; ++num_seeds) {
+    size_t cuts_needed = num_seeds - 1;
+    if (cuts_needed > mast.edges.size()) break;
+    auto cut_sets = EnumerateCuts(mast, cuts_needed, constraints.max_cut_enumeration);
+    ComponentPlan best;
+    best.estimated_size = std::numeric_limits<double>::infinity();
+    for (const auto& cut_indices : cut_sets) {
+      std::set<const WeightedEdge*> cut;
+      double cut_weight = 0;
+      for (size_t i : cut_indices) {
+        cut.insert(&mast.edges[i]);
+        cut_weight += mast.edges[i].weight;
+      }
+      // Prefer the lightest feasible cut (maximal locality); cut_sets are
+      // sorted, so once a feasible plan exists, heavier cuts only compete
+      // if they tie on weight.
+      if (best.estimated_size < std::numeric_limits<double>::infinity() &&
+          cut_weight > best.cut_weight) {
+        break;
+      }
+      auto trees = SplitByCut(mast, cut);
+      ComponentPlan plan;
+      plan.num_seeds = static_cast<int>(trees.size());
+      plan.cut_weight = cut_weight;
+      plan.estimated_size = 0;
+      bool feasible = true;
+      for (const auto& tree : trees) {
+        std::map<TableId, TableScheme> schemes;
+        double size =
+            BestPlanForSubTree(tree, schema, estimator, constraints, &schemes);
+        if (std::isinf(size)) {
+          feasible = false;
+          break;
+        }
+        plan.estimated_size += size;
+        for (auto& [t, s] : schemes) plan.schemes[t] = std::move(s);
+      }
+      if (!feasible) continue;
+      if (plan.estimated_size < best.estimated_size) best = std::move(plan);
+    }
+    if (best.estimated_size < std::numeric_limits<double>::infinity()) {
+      return best;
+    }
+  }
+  return Status::Invalid("no partitioning configuration satisfies the constraints");
+}
+
+}  // namespace pref

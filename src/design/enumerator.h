@@ -1,0 +1,62 @@
+// Listing 1 (findOptimalPC): enumerate partitioning configurations for a
+// MAST — every node tried as the seed table, all other tables recursively
+// PREF partitioned along the tree — and pick the one minimizing the
+// estimated partitioned size. Extended with the §3.4 redundancy-free
+// constraints via multi-seed enumeration (cutting MAST edges).
+
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "design/estimator.h"
+#include "design/schema_graph.h"
+
+namespace pref {
+
+/// \brief The scheme chosen for one table inside a component plan.
+struct TableScheme {
+  bool is_seed = false;
+  /// Seed only: hash partitioning attributes.
+  std::vector<ColumnId> hash_columns;
+  /// PREF only: partitioning predicate with this table on the left.
+  JoinPredicate predicate;
+  /// Estimated cumulative redundancy factor (product of r(e) from the seed).
+  double path_factor = 1.0;
+};
+
+/// \brief An optimal partitioning plan for one MAST (connected component).
+struct ComponentPlan {
+  std::map<TableId, TableScheme> schemes;
+  /// Estimated total tuples after partitioning.
+  double estimated_size = 0;
+  /// Number of seed tables (1 unless redundancy-free constraints forced a
+  /// split, §3.4).
+  int num_seeds = 0;
+  /// Total weight of MAST edges cut to satisfy constraints (lost locality).
+  double cut_weight = 0;
+};
+
+struct EnumerationConstraints {
+  /// Tables that must not carry any redundancy (§3.4).
+  std::set<TableId> no_redundancy;
+  /// Estimation slack for declaring a table redundancy-free.
+  double epsilon = 0.01;
+  /// Cap on the number of edge cut-sets enumerated per seed count.
+  int max_cut_enumeration = 20000;
+  /// Ablation switch: estimate cumulative redundancy by multiplying
+  /// independent per-edge factors (the paper's Appendix A composition)
+  /// instead of propagating per-value copy profiles.
+  bool naive_cumulative_estimates = false;
+};
+
+/// Runs Listing 1 on one MAST. With constraints, enumerates configurations
+/// with 1, 2, ... seed tables (cutting 0, 1, ... MAST edges, lightest cut
+/// weight first) and stops at the first seed count admitting a valid
+/// configuration — the maximal-locality configuration satisfying the
+/// constraints, with minimal estimated size among those.
+Result<ComponentPlan> FindOptimalPc(const Mast& mast, const Schema& schema,
+                                    RedundancyEstimator* estimator,
+                                    const EnumerationConstraints& constraints = {});
+
+}  // namespace pref

@@ -1,0 +1,170 @@
+#include "design/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/stopwatch.h"
+#include "storage/partition.h"
+
+namespace pref {
+
+ExpectedCopies::ExpectedCopies(int num_partitions, int max_exact_f)
+    : n_(num_partitions), max_exact_f_(max_exact_f), stirling_(max_exact_f) {
+  precomputed_.resize(static_cast<size_t>(max_exact_f) + 1);
+  precomputed_[0] = 0.0;
+  for (int f = 1; f <= max_exact_f_; ++f) {
+    precomputed_[static_cast<size_t>(f)] = ExactStirling(f);
+  }
+}
+
+double ExpectedCopies::ExactStirling(int f) const {
+  if (f <= 0) return 0.0;
+  const double log_nf = static_cast<double>(f) * std::log(static_cast<double>(n_));
+  const int m = std::min<int>(n_, f);
+  double e = 0;
+  for (int x = 1; x <= m; ++x) {
+    double log_p = LogBinomial(n_, x) + LogFactorial(x) +
+                   stirling_.LogStirling2(f, x) - log_nf;
+    e += static_cast<double>(x) * std::exp(log_p);
+  }
+  return e;
+}
+
+double ExpectedCopies::ClosedForm(double f) const {
+  if (f <= 0) return 0.0;
+  const double n = static_cast<double>(n_);
+  if (n_ == 1) return 1.0;
+  return n * (1.0 - std::pow(1.0 - 1.0 / n, f));
+}
+
+double ExpectedCopies::GroupOccupancy(double f, double parent_copies) const {
+  if (f <= 0) return 0.0;
+  const double n = static_cast<double>(n_);
+  double c = std::min(std::max(parent_copies, 1.0), n);
+  if (c <= 1.0 + 1e-12) return GetContinuous(f);  // Stirling-exact path
+  return n * (1.0 - std::pow(1.0 - c / n, f));
+}
+
+double ExpectedCopies::GetContinuous(double f) const {
+  if (f <= 0) return 0.0;
+  if (f < 1.0) return 1.0;  // at least one placement
+  double lo = Get(static_cast<int64_t>(f));
+  double hi = Get(static_cast<int64_t>(f) + 1);
+  double frac = f - std::floor(f);
+  return lo + (hi - lo) * frac;
+}
+
+double ExpectedCopies::Get(int64_t f) const {
+  if (f <= 0) return 0.0;
+  if (f <= max_exact_f_) return precomputed_[static_cast<size_t>(f)];
+  return ClosedForm(static_cast<double>(f));
+}
+
+RedundancyEstimator::RedundancyEstimator(const Database* db, int num_partitions,
+                                         double sample_rate, uint64_t seed)
+    : db_(db),
+      n_(num_partitions),
+      sample_rate_(std::clamp(sample_rate, 1e-4, 1.0)),
+      seed_(seed),
+      expected_(num_partitions) {}
+
+namespace {
+uint64_t KeyHash(const RowBlock& rows, const std::vector<ColumnId>& cols, size_t r,
+                 uint64_t seed) {
+  uint64_t h = seed;
+  for (ColumnId c : cols) h = HashCombine(h, rows.column(c).HashAt(r));
+  return h;
+}
+}  // namespace
+
+const RedundancyEstimator::Histogram& RedundancyEstimator::HistogramFor(
+    TableId table, const std::vector<ColumnId>& cols) {
+  auto key = std::make_pair(table, cols);
+  auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+
+  Stopwatch timer;
+  Histogram hist;
+  hist.sampled_fraction = sample_rate_;
+  const RowBlock& rows = db_->table(table).data();
+  // Hash-based distinct-value sampling: a value is kept iff its hash lands
+  // below the rate threshold. The same hash (same seed) is used for every
+  // table, so histograms of joined columns sample the same value subset.
+  const uint64_t threshold = static_cast<uint64_t>(
+      sample_rate_ * static_cast<double>(UINT64_MAX));
+  std::unordered_map<uint64_t, int64_t> freq;  // keyed by value hash
+  freq.reserve(rows.num_rows() / 4 + 16);
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    uint64_t h = KeyHash(rows, cols, r, seed_);
+    if (sample_rate_ < 1.0 && h > threshold) continue;
+    freq[h]++;
+  }
+  hist.freqs = std::move(freq);
+  estimation_seconds_ += timer.ElapsedSeconds();
+  auto [pos, inserted] = histograms_.emplace(std::move(key), std::move(hist));
+  return pos->second;
+}
+
+double RedundancyEstimator::EdgeFactor(const JoinPredicate& p,
+                                       const CopyProfile* parent,
+                                       CopyProfile* child) {
+  const TableId referencing = p.left_table;
+  const TableId referenced = p.right_table;
+  const Histogram& s_hist = HistogramFor(referenced, p.right_columns);
+  const Histogram& r_hist = HistogramFor(referencing, p.left_columns);
+
+  Stopwatch timer;
+  // Per-value parent copies are applicable iff the parent profile is keyed
+  // by exactly the columns this predicate references.
+  const bool per_value_parent =
+      parent != nullptr && parent->key_columns == p.right_columns &&
+      !parent->copies.empty();
+  const double parent_avg = parent == nullptr ? 1.0 : parent->average;
+
+  if (child != nullptr) {
+    child->key_columns = p.left_columns;
+    child->copies.clear();
+  }
+
+  // Copies of the referencing table: for every sampled distinct value v
+  // with multiplicity m_v on the referencing side, the m_v tuples each get
+  // the occupancy of f_v * parent_copies(v) placements when v occurs f_v
+  // times in the referenced column, and exactly 1 copy (condition 2) when
+  // it does not occur at all.
+  double copies_sampled = 0;
+  double tuples_sampled = 0;
+  for (const auto& [value_hash, m_v] : r_hist.freqs) {
+    auto it = s_hist.freqs.find(value_hash);
+    double per_tuple = 1.0;
+    if (it != s_hist.freqs.end()) {
+      double c = parent_avg;
+      if (per_value_parent) {
+        auto pit = parent->copies.find(value_hash);
+        if (pit != parent->copies.end()) c = pit->second;
+      }
+      per_tuple = std::max(
+          1.0, expected_.GroupOccupancy(static_cast<double>(it->second), c));
+    }
+    copies_sampled += static_cast<double>(m_v) * per_tuple;
+    tuples_sampled += static_cast<double>(m_v);
+    if (child != nullptr) child->copies.emplace(value_hash, per_tuple);
+  }
+  double copies = copies_sampled / r_hist.sampled_fraction;
+  double size = static_cast<double>(db_->table(referencing).num_rows());
+  estimation_seconds_ += timer.ElapsedSeconds();
+  if (size == 0) return 1.0;
+  double factor = std::clamp(copies / size, 1.0, static_cast<double>(n_));
+  if (child != nullptr) {
+    child->average = tuples_sampled == 0 ? 1.0 : copies_sampled / tuples_sampled;
+  }
+  return factor;
+}
+
+double RedundancyEstimator::EstimateTableSize(TableId table,
+                                              double path_factor) const {
+  return static_cast<double>(db_->table(table).num_rows()) * path_factor;
+}
+
+}  // namespace pref

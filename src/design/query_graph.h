@@ -1,0 +1,81 @@
+// Query graphs (§4.2): the join structure of a workload query, which is
+// all the workload-driven design consumes.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace pref {
+
+/// \brief An undirected labeled query graph G_Q: tables plus equi-join
+/// predicates. Non-equi joins are retained separately so the engine can
+/// execute them, but they never enter schema graphs (they would degenerate
+/// to full redundancy under PREF, §2.1).
+struct QueryGraph {
+  std::string name;
+  std::vector<TableId> tables;
+  std::vector<JoinPredicate> equi_joins;
+
+  bool UsesTable(TableId t) const {
+    for (TableId x : tables) {
+      if (x == t) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief Convenience builder resolving table/column names.
+class QueryGraphBuilder {
+ public:
+  QueryGraphBuilder(const Schema* schema, std::string name)
+      : schema_(schema) {
+    graph_.name = std::move(name);
+  }
+
+  QueryGraphBuilder& Table(const std::string& table) {
+    auto id = schema_->FindTable(table);
+    if (!id.ok()) {
+      status_ = id.status();
+      return *this;
+    }
+    if (!graph_.UsesTable(*id)) graph_.tables.push_back(*id);
+    return *this;
+  }
+
+  /// Adds `left.lcol = right.rcol` (both tables are added as nodes).
+  QueryGraphBuilder& Join(const std::string& left, const std::string& lcol,
+                          const std::string& right, const std::string& rcol) {
+    return JoinMulti(left, {lcol}, right, {rcol});
+  }
+
+  QueryGraphBuilder& JoinMulti(const std::string& left,
+                               const std::vector<std::string>& lcols,
+                               const std::string& right,
+                               const std::vector<std::string>& rcols) {
+    Table(left);
+    Table(right);
+    auto p = schema_->MakePredicate(left, lcols, right, rcols);
+    if (!p.ok()) {
+      status_ = p.status();
+      return *this;
+    }
+    graph_.equi_joins.push_back(*p);
+    return *this;
+  }
+
+  Result<QueryGraph> Build() {
+    if (!status_.ok()) return status_;
+    return graph_;
+  }
+
+ private:
+  const Schema* schema_;
+  QueryGraph graph_;
+  Status status_;
+};
+
+}  // namespace pref

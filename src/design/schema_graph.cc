@@ -1,0 +1,228 @@
+#include "design/schema_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace pref {
+
+namespace {
+
+/// Union-find over TableIds.
+class DisjointSet {
+ public:
+  int Find(TableId t) {
+    auto it = parent_.find(t);
+    if (it == parent_.end()) {
+      parent_[t] = t;
+      return t;
+    }
+    if (it->second != t) it->second = Find(it->second);
+    return it->second;
+  }
+  bool Union(TableId a, TableId b) {
+    TableId ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::map<TableId, TableId> parent_;
+};
+
+bool SameEdge(const WeightedEdge& a, const WeightedEdge& b) {
+  return a.predicate.EquivalentTo(b.predicate);
+}
+
+}  // namespace
+
+SchemaGraph SchemaGraph::FromSchema(const Database& db,
+                                    const std::vector<std::string>& exclude_tables) {
+  SchemaGraph g;
+  std::set<TableId> excluded;
+  for (const auto& name : exclude_tables) {
+    auto id = db.schema().FindTable(name);
+    if (id.ok()) excluded.insert(*id);
+  }
+  for (const auto& t : db.schema().tables()) {
+    if (!excluded.count(t.id)) g.AddNode(t.id);
+  }
+  for (const auto& e : SchemaEdges(db)) {
+    if (excluded.count(e.predicate.left_table) ||
+        excluded.count(e.predicate.right_table)) {
+      continue;
+    }
+    g.AddEdge(e);
+  }
+  return g;
+}
+
+SchemaGraph SchemaGraph::FromEdges(std::vector<WeightedEdge> edges) {
+  SchemaGraph g;
+  for (const auto& e : edges) g.AddEdge(e);
+  return g;
+}
+
+void SchemaGraph::AddEdge(const WeightedEdge& e) {
+  nodes_.insert(e.predicate.left_table);
+  nodes_.insert(e.predicate.right_table);
+  for (const auto& existing : edges_) {
+    if (SameEdge(existing, e)) return;
+  }
+  edges_.push_back(e);
+}
+
+double SchemaGraph::TotalWeight() const {
+  double total = 0;
+  for (const auto& e : edges_) total += e.weight;
+  return total;
+}
+
+std::vector<std::set<TableId>> SchemaGraph::ConnectedComponents() const {
+  DisjointSet ds;
+  for (TableId t : nodes_) ds.Find(t);
+  for (const auto& e : edges_) {
+    ds.Union(e.predicate.left_table, e.predicate.right_table);
+  }
+  std::map<TableId, std::set<TableId>> by_root;
+  for (TableId t : nodes_) by_root[ds.Find(t)].insert(t);
+  std::vector<std::set<TableId>> out;
+  for (auto& [root, nodes] : by_root) out.push_back(std::move(nodes));
+  return out;
+}
+
+std::string SchemaGraph::ToString(const Schema& schema) const {
+  std::ostringstream ss;
+  for (const auto& e : edges_) {
+    ss << schema.table(e.predicate.left_table).name << " -- "
+       << schema.table(e.predicate.right_table).name << " (w=" << e.weight << ")\n";
+  }
+  return ss.str();
+}
+
+std::vector<const WeightedEdge*> Mast::EdgesOf(TableId t) const {
+  std::vector<const WeightedEdge*> out;
+  for (const auto& e : edges) {
+    if (e.predicate.Mentions(t)) out.push_back(&e);
+  }
+  return out;
+}
+
+bool Mast::Contains(const Mast& other) const {
+  for (TableId t : other.nodes) {
+    if (!nodes.count(t)) return false;
+  }
+  for (const auto& oe : other.edges) {
+    bool found = false;
+    for (const auto& e : edges) {
+      if (e.predicate.EquivalentTo(oe.predicate)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Result<Mast> Mast::Merge(const Mast& a, const Mast& b) {
+  Mast out = a;
+  DisjointSet ds;
+  for (const auto& e : a.edges) {
+    ds.Union(e.predicate.left_table, e.predicate.right_table);
+  }
+  for (const auto& e : b.edges) {
+    bool duplicate = false;
+    for (const auto& ae : a.edges) {
+      if (ae.predicate.EquivalentTo(e.predicate)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    if (!ds.Union(e.predicate.left_table, e.predicate.right_table)) {
+      return Status::Invalid("merging MASTs would create a cycle");
+    }
+    out.edges.push_back(e);
+    out.total_weight += e.weight;
+  }
+  for (TableId t : b.nodes) out.nodes.insert(t);
+  return out;
+}
+
+std::string Mast::ToString(const Schema& schema) const {
+  std::ostringstream ss;
+  ss << "MAST(w=" << total_weight << "):";
+  for (const auto& e : edges) {
+    ss << " " << schema.table(e.predicate.left_table).name << "--"
+       << schema.table(e.predicate.right_table).name;
+  }
+  return ss.str();
+}
+
+Mast MaximumSpanningTree(const SchemaGraph& graph, uint64_t tie_break_seed) {
+  // Kruskal on descending weight; equal weights permuted by the seed.
+  std::vector<size_t> order(graph.edges().size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  Rng rng(tie_break_seed + 1);
+  std::vector<uint64_t> jitter(order.size());
+  for (auto& j : jitter) j = rng.Next();
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const auto& ea = graph.edges()[a];
+    const auto& eb = graph.edges()[b];
+    if (ea.weight != eb.weight) return ea.weight > eb.weight;
+    return jitter[a] < jitter[b];
+  });
+  Mast mast;
+  mast.nodes = graph.nodes();
+  DisjointSet ds;
+  for (size_t i : order) {
+    const auto& e = graph.edges()[i];
+    if (ds.Union(e.predicate.left_table, e.predicate.right_table)) {
+      mast.edges.push_back(e);
+      mast.total_weight += e.weight;
+    }
+  }
+  return mast;
+}
+
+std::vector<Mast> EnumerateMaximumSpanningTrees(const SchemaGraph& graph,
+                                                int max_candidates) {
+  std::vector<Mast> out;
+  auto same_mast = [](const Mast& a, const Mast& b) {
+    if (a.edges.size() != b.edges.size()) return false;
+    for (const auto& ea : a.edges) {
+      bool found = false;
+      for (const auto& eb : b.edges) {
+        if (ea.predicate.EquivalentTo(eb.predicate)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  // Try several deterministic tie-break orders; keep distinct trees of
+  // maximal weight. 4x oversampling saturates quickly when few ties exist.
+  for (int attempt = 0; attempt < max_candidates * 4 &&
+                        static_cast<int>(out.size()) < max_candidates;
+       ++attempt) {
+    Mast m = MaximumSpanningTree(graph, static_cast<uint64_t>(attempt));
+    bool duplicate = false;
+    for (const auto& existing : out) {
+      if (same_mast(existing, m)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace pref

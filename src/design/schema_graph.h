@@ -1,0 +1,85 @@
+// Schema graphs G_S (§3.1) and their maximum spanning trees (§3.2).
+//
+// Nodes are tables; an edge is an equi-join predicate labeled with the
+// network cost of executing that join remotely — the size of the smaller
+// table, since that is the relation typically shipped.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "partition/metrics.h"
+#include "storage/table.h"
+
+namespace pref {
+
+/// \brief An undirected, labeled, weighted schema graph.
+class SchemaGraph {
+ public:
+  /// The schema-driven graph: one edge per referential constraint among the
+  /// tables NOT listed in `exclude_tables` (the paper removes replicated
+  /// small tables before design, §3.1).
+  static SchemaGraph FromSchema(const Database& db,
+                                const std::vector<std::string>& exclude_tables = {});
+
+  /// A graph from an explicit edge list (the workload-driven path builds
+  /// one per query from its join predicates, §4.2). Non-equi predicates
+  /// must already be filtered out by the caller.
+  static SchemaGraph FromEdges(std::vector<WeightedEdge> edges);
+
+  void AddNode(TableId t) { nodes_.insert(t); }
+  /// Adds an edge (and its endpoints). Parallel edges with equivalent
+  /// predicates are collapsed.
+  void AddEdge(const WeightedEdge& e);
+
+  const std::set<TableId>& nodes() const { return nodes_; }
+  const std::vector<WeightedEdge>& edges() const { return edges_; }
+
+  double TotalWeight() const;
+
+  /// Connected components (as node sets), in deterministic order.
+  std::vector<std::set<TableId>> ConnectedComponents() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::set<TableId> nodes_;
+  std::vector<WeightedEdge> edges_;
+};
+
+/// \brief A maximum spanning tree (per connected component a spanning tree;
+/// for a multi-component graph this is a maximum spanning forest).
+struct Mast {
+  std::set<TableId> nodes;
+  std::vector<WeightedEdge> edges;
+  double total_weight = 0;
+
+  /// Edges incident to `t`.
+  std::vector<const WeightedEdge*> EdgesOf(TableId t) const;
+
+  /// True if `other`'s nodes and edges (up to predicate equivalence and
+  /// equal weight) are all contained in this MAST (§4.1 merge phase 1).
+  bool Contains(const Mast& other) const;
+
+  /// Union of two MASTs; fails if the union contains a cycle (§4.3).
+  static Result<Mast> Merge(const Mast& a, const Mast& b);
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Computes one maximum spanning forest of `graph` (Kruskal with a
+/// deterministic tie-break given by `tie_break_seed`).
+Mast MaximumSpanningTree(const SchemaGraph& graph, uint64_t tie_break_seed = 0);
+
+/// Enumerates up to `max_candidates` distinct maximum spanning forests of
+/// equal (maximal) total weight, by re-running Kruskal under different
+/// tie-break permutations. Exhaustive all-MST enumeration is exponential;
+/// this bounded variant covers the equal-weight alternatives the paper
+/// exploits (§3.1) while staying tractable.
+std::vector<Mast> EnumerateMaximumSpanningTrees(const SchemaGraph& graph,
+                                                int max_candidates);
+
+}  // namespace pref

@@ -1,0 +1,117 @@
+#include "design/sd_design.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stopwatch.h"
+
+namespace pref {
+
+namespace {
+
+/// Translates a ComponentPlan fragment into AddHash/AddPref calls.
+Status ApplyPlan(const Schema& schema, const ComponentPlan& plan,
+                 PartitioningConfig* config) {
+  for (const auto& [table, scheme] : plan.schemes) {
+    const TableDef& def = schema.table(table);
+    if (scheme.is_seed) {
+      std::vector<std::string> cols;
+      for (ColumnId c : scheme.hash_columns) cols.push_back(def.column(c).name);
+      PREF_RETURN_NOT_OK(config->AddHash(def.name, cols));
+    } else {
+      const TableDef& ref = schema.table(scheme.predicate.right_table);
+      std::vector<std::string> cols, ref_cols;
+      for (ColumnId c : scheme.predicate.left_columns) cols.push_back(def.column(c).name);
+      for (ColumnId c : scheme.predicate.right_columns)
+        ref_cols.push_back(ref.column(c).name);
+      PREF_RETURN_NOT_OK(config->AddPref(def.name, cols, ref.name, ref_cols));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SdResult> SchemaDrivenDesign(const Database& db, const SdOptions& options) {
+  Stopwatch timer;
+  const Schema& schema = db.schema();
+  std::vector<std::string> exclude = options.replicate_tables;
+  if (!options.restrict_to_tables.empty()) {
+    for (const auto& t : schema.tables()) {
+      bool keep = false;
+      for (const auto& name : options.restrict_to_tables) {
+        if (t.name == name) keep = true;
+      }
+      if (!keep) exclude.push_back(t.name);
+    }
+  }
+  SchemaGraph graph = SchemaGraph::FromSchema(db, exclude);
+
+  RedundancyEstimator estimator(&db, options.num_partitions, options.sample_rate,
+                                options.seed);
+  EnumerationConstraints constraints;
+  constraints.naive_cumulative_estimates = options.naive_estimator;
+  for (const auto& name : options.no_redundancy_tables) {
+    PREF_ASSIGN_OR_RAISE(TableId id, schema.FindTable(name));
+    constraints.no_redundancy.insert(id);
+  }
+
+  SdResult result{PartitioningConfig(&schema, options.num_partitions)};
+
+  // Decompose the graph into connected components; each is optimized
+  // independently, enumerating equal-weight MAST alternatives.
+  for (const auto& component_nodes : graph.ConnectedComponents()) {
+    SchemaGraph component;
+    for (TableId t : component_nodes) component.AddNode(t);
+    for (const auto& e : graph.edges()) {
+      if (component_nodes.count(e.predicate.left_table)) component.AddEdge(e);
+    }
+    auto masts = EnumerateMaximumSpanningTrees(component, options.max_mast_candidates);
+    if (masts.empty()) continue;
+
+    const Mast* best_mast = nullptr;
+    ComponentPlan best_plan;
+    best_plan.estimated_size = std::numeric_limits<double>::infinity();
+    Status last_error;
+    for (const auto& mast : masts) {
+      auto plan = FindOptimalPc(mast, schema, &estimator, constraints);
+      if (!plan.ok()) {
+        last_error = plan.status();
+        continue;
+      }
+      if (plan->estimated_size < best_plan.estimated_size) {
+        best_plan = std::move(*plan);
+        best_mast = &mast;
+      }
+    }
+    if (best_mast == nullptr) return last_error;
+    PREF_RETURN_NOT_OK(ApplyPlan(schema, best_plan, &result.config));
+    result.masts.push_back(*best_mast);
+    result.estimated_size += best_plan.estimated_size;
+    result.num_seed_tables += best_plan.num_seeds;
+  }
+
+  // Replicate the excluded small tables.
+  double replicated_rows = 0;
+  for (const auto& name : options.replicate_tables) {
+    PREF_RETURN_NOT_OK(result.config.AddReplicated(name));
+    PREF_ASSIGN_OR_RAISE(const Table* t, db.FindTable(name));
+    replicated_rows += static_cast<double>(t->num_rows()) *
+                       static_cast<double>(options.num_partitions);
+  }
+  result.estimated_size += replicated_rows;
+
+  PREF_RETURN_NOT_OK(result.config.Finalize());
+
+  // DR estimate over the tables covered by the configuration.
+  double original = 0;
+  for (const auto& [id, spec] : result.config.specs()) {
+    original += static_cast<double>(db.table(id).num_rows());
+  }
+  result.estimated_redundancy =
+      original == 0 ? 0.0 : result.estimated_size / original - 1.0;
+  result.design_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pref

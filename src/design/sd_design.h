@@ -1,0 +1,53 @@
+// Schema-driven automated partitioning design (§3): derive the schema
+// graph from the referential constraints, extract maximum spanning trees,
+// and enumerate PREF configurations minimizing estimated redundancy.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/enumerator.h"
+#include "partition/config.h"
+
+namespace pref {
+
+struct SdOptions {
+  int num_partitions = 10;
+  /// Histogram sampling rate for the Appendix A estimator (Figure 13).
+  double sample_rate = 1.0;
+  uint64_t seed = 17;
+  /// Small tables to exclude from the schema graph and replicate instead
+  /// (the paper's "wo small tables" variants, §3.1).
+  std::vector<std::string> replicate_tables;
+  /// Tables for which data redundancy is disallowed (§3.4).
+  std::vector<std::string> no_redundancy_tables;
+  /// If non-empty, design only these tables (the "individual stars"
+  /// variants of §5.3 restrict the design to one star sub-schema at a
+  /// time); all other tables are left out of the configuration entirely.
+  std::vector<std::string> restrict_to_tables;
+  /// Bound on the number of equal-weight MASTs examined per component.
+  int max_mast_candidates = 8;
+  /// Ablation: use the paper's naive per-edge factor multiplication
+  /// instead of the skew-aware copy-profile propagation.
+  bool naive_estimator = false;
+};
+
+struct SdResult {
+  PartitioningConfig config;
+  /// Chosen MAST per connected component of the schema graph.
+  std::vector<Mast> masts;
+  /// Estimated tuples after partitioning (replicated tables included).
+  double estimated_size = 0;
+  /// Estimated data redundancy DR.
+  double estimated_redundancy = 0;
+  /// Total seed tables across components.
+  int num_seed_tables = 0;
+  /// Wall time of the design run.
+  double design_seconds = 0;
+};
+
+/// Runs the schema-driven design over all tables of `db`.
+Result<SdResult> SchemaDrivenDesign(const Database& db, const SdOptions& options);
+
+}  // namespace pref

@@ -1,0 +1,47 @@
+#include "design/stars.h"
+
+#include <algorithm>
+#include <set>
+
+#include "catalog/tpcds_schema.h"
+
+namespace pref {
+
+Result<Deployment> TpcdsSdIndividualStars(const Database& db,
+                                          const SdOptions& base) {
+  const Schema& schema = db.schema();
+  Deployment deployment;
+  for (const auto& fact_name : TpcdsFactTables()) {
+    PREF_ASSIGN_OR_RAISE(TableId fact_id, schema.FindTable(fact_name));
+    std::set<std::string> star{fact_name};
+    for (const auto& fk : schema.foreign_keys()) {
+      if (fk.src_table != fact_id) continue;
+      const std::string& dst = schema.table(fk.dst_table).name;
+      if (TpcdsIsFactTable(dst)) continue;  // fact-fact edges are cut
+      star.insert(dst);
+    }
+    SdOptions options = base;
+    options.restrict_to_tables.assign(star.begin(), star.end());
+    // Replicate only the small tables that belong to this star.
+    options.replicate_tables.clear();
+    for (const auto& small : base.replicate_tables) {
+      if (star.count(small)) options.replicate_tables.push_back(small);
+    }
+    // Remove replicated tables from the restricted set (they are excluded
+    // from the schema graph anyway).
+    auto& restrict = options.restrict_to_tables;
+    restrict.erase(std::remove_if(restrict.begin(), restrict.end(),
+                                  [&](const std::string& t) {
+                                    return std::find(options.replicate_tables.begin(),
+                                                     options.replicate_tables.end(),
+                                                     t) !=
+                                           options.replicate_tables.end();
+                                  }),
+                   restrict.end());
+    PREF_ASSIGN_OR_RAISE(SdResult result, SchemaDrivenDesign(db, options));
+    deployment.AddConfig(std::move(result.config));
+  }
+  return deployment;
+}
+
+}  // namespace pref

@@ -1,0 +1,21 @@
+// "Individual stars" design variants for TPC-DS (§5.3): split the
+// snowflake schema into one star per fact table (duplicating dimension
+// tables at the cut) and run the schema-driven design on each star
+// independently. The result is a Deployment, like the workload-driven
+// algorithm's output.
+
+#pragma once
+
+#include "design/sd_design.h"
+#include "partition/deployment.h"
+
+namespace pref {
+
+/// Runs SchemaDrivenDesign once per TPC-DS fact table, restricted to the
+/// star of that fact (the fact plus its directly referenced non-fact
+/// dimensions, minus `base.replicate_tables` which are replicated in every
+/// star configuration).
+Result<Deployment> TpcdsSdIndividualStars(const Database& db,
+                                          const SdOptions& base);
+
+}  // namespace pref

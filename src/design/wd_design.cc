@@ -1,0 +1,276 @@
+#include "design/wd_design.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/stopwatch.h"
+
+namespace pref {
+
+namespace {
+
+/// Canonical signature of a MAST (sorted edge endpoints + columns), used to
+/// memoize optimal-plan computations across merge configurations (§4.3).
+std::string MastSignature(const Mast& mast) {
+  std::vector<std::string> parts;
+  for (const auto& e : mast.edges) {
+    TableId a = e.predicate.left_table, b = e.predicate.right_table;
+    auto ca = e.predicate.left_columns, cb = e.predicate.right_columns;
+    if (b < a) {
+      std::swap(a, b);
+      std::swap(ca, cb);
+    }
+    std::ostringstream ss;
+    ss << a << ':';
+    for (ColumnId c : ca) ss << c << ',';
+    ss << '=' << b << ':';
+    for (ColumnId c : cb) ss << c << ',';
+    parts.push_back(ss.str());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string sig;
+  for (TableId t : mast.nodes) sig += std::to_string(t) + ";";
+  sig += "|";
+  for (const auto& p : parts) {
+    sig += p;
+    sig += '|';
+  }
+  return sig;
+}
+
+/// A merge expression: a merged MAST with its cached optimal plan.
+struct MergeExpr {
+  Mast mast;
+  ComponentPlan plan;
+};
+
+/// A merge configuration: a set of merge expressions (Figure 6).
+struct MergeConfig {
+  std::vector<MergeExpr> exprs;
+  double total_size = 0;
+
+  std::string Signature() const {
+    std::vector<std::string> sigs;
+    for (const auto& e : exprs) sigs.push_back(MastSignature(e.mast));
+    std::sort(sigs.begin(), sigs.end());
+    std::string out;
+    for (const auto& s : sigs) {
+      out += s;
+      out += '#';
+    }
+    return out;
+  }
+};
+
+/// Plan cache keyed by MAST signature.
+class PlanCache {
+ public:
+  PlanCache(const Schema* schema, RedundancyEstimator* estimator)
+      : schema_(schema), estimator_(estimator) {}
+
+  Result<ComponentPlan> PlanFor(const Mast& mast) {
+    std::string sig = MastSignature(mast);
+    auto it = cache_.find(sig);
+    if (it != cache_.end()) return it->second;
+    PREF_ASSIGN_OR_RAISE(ComponentPlan plan,
+                         FindOptimalPc(mast, *schema_, estimator_, {}));
+    cache_[sig] = plan;
+    return plan;
+  }
+
+ private:
+  const Schema* schema_;
+  RedundancyEstimator* estimator_;
+  std::map<std::string, ComponentPlan> cache_;
+};
+
+Status ApplyPlanToConfig(const Schema& schema, const ComponentPlan& plan,
+                         PartitioningConfig* config) {
+  for (const auto& [table, scheme] : plan.schemes) {
+    const TableDef& def = schema.table(table);
+    if (scheme.is_seed) {
+      std::vector<std::string> cols;
+      for (ColumnId c : scheme.hash_columns) cols.push_back(def.column(c).name);
+      PREF_RETURN_NOT_OK(config->AddHash(def.name, cols));
+    } else {
+      const TableDef& ref = schema.table(scheme.predicate.right_table);
+      std::vector<std::string> cols, ref_cols;
+      for (ColumnId c : scheme.predicate.left_columns) cols.push_back(def.column(c).name);
+      for (ColumnId c : scheme.predicate.right_columns)
+        ref_cols.push_back(ref.column(c).name);
+      PREF_RETURN_NOT_OK(config->AddPref(def.name, cols, ref.name, ref_cols));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double WorkloadLocality(const Database& db, const Deployment& deployment,
+                        const std::vector<QueryGraph>& workload) {
+  double covered = 0, total = 0;
+  for (const auto& query : workload) {
+    const PartitioningConfig* config = deployment.RouteQuery(query.tables);
+    for (const auto& p : query.equi_joins) {
+      double w = static_cast<double>(std::min(db.table(p.left_table).num_rows(),
+                                              db.table(p.right_table).num_rows()));
+      total += w;
+      if (config != nullptr && EdgeIsLocal(*config, p)) covered += w;
+    }
+  }
+  return total == 0 ? 1.0 : covered / total;
+}
+
+Result<WdResult> WorkloadDrivenDesign(const Database& db,
+                                      const std::vector<QueryGraph>& workload,
+                                      const WdOptions& options) {
+  Stopwatch timer;
+  const Schema& schema = db.schema();
+  RedundancyEstimator estimator(&db, options.num_partitions, options.sample_rate,
+                                options.seed);
+  PlanCache plans(&schema, &estimator);
+
+  std::set<TableId> replicated;
+  for (const auto& name : options.replicate_tables) {
+    PREF_ASSIGN_OR_RAISE(TableId id, schema.FindTable(name));
+    replicated.insert(id);
+  }
+
+  // --- Per-query MASTs, one per connected component (§4.2). --------------
+  // Among equal-weight MAST alternatives keep the one whose optimal plan
+  // has minimal estimated size.
+  std::vector<MergeExpr> units;
+  for (const auto& query : workload) {
+    SchemaGraph g;
+    for (TableId t : query.tables) {
+      if (!replicated.count(t)) g.AddNode(t);
+    }
+    for (const auto& p : query.equi_joins) {
+      if (replicated.count(p.left_table) || replicated.count(p.right_table)) continue;
+      WeightedEdge e;
+      e.predicate = p;
+      e.weight = static_cast<double>(
+          std::min(db.table(p.left_table).num_rows(),
+                   db.table(p.right_table).num_rows()));
+      g.AddEdge(e);
+    }
+    for (const auto& component_nodes : g.ConnectedComponents()) {
+      if (component_nodes.size() < 2) continue;  // single tables constrain nothing
+      SchemaGraph component;
+      for (TableId t : component_nodes) component.AddNode(t);
+      for (const auto& e : g.edges()) {
+        if (component_nodes.count(e.predicate.left_table)) component.AddEdge(e);
+      }
+      auto masts = EnumerateMaximumSpanningTrees(component, options.max_mast_candidates);
+      MergeExpr best;
+      best.plan.estimated_size = std::numeric_limits<double>::infinity();
+      for (auto& mast : masts) {
+        auto plan = plans.PlanFor(mast);
+        if (!plan.ok()) continue;
+        if (plan->estimated_size < best.plan.estimated_size) {
+          best.mast = std::move(mast);
+          best.plan = std::move(*plan);
+        }
+      }
+      if (std::isinf(best.plan.estimated_size)) {
+        return Status::Internal("no plan for a query component of ", query.name);
+      }
+      units.push_back(std::move(best));
+    }
+  }
+
+  WdResult result;
+  result.initial_components = static_cast<int>(units.size());
+
+  // --- Phase 1: containment merging (§4.1). -------------------------------
+  // Sort by descending edge count so containers precede the contained.
+  std::stable_sort(units.begin(), units.end(), [](const MergeExpr& a, const MergeExpr& b) {
+    return a.mast.edges.size() > b.mast.edges.size();
+  });
+  std::vector<MergeExpr> phase1;
+  for (auto& unit : units) {
+    bool contained = false;
+    for (const auto& kept : phase1) {
+      if (kept.mast.Contains(unit.mast)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) phase1.push_back(std::move(unit));
+  }
+  result.components_after_phase1 = static_cast<int>(phase1.size());
+
+  // --- Phase 2: cost-based merging via level-wise DP (§4.3, Figure 6). ----
+  // Beam of merge configurations per level; memoization prunes duplicate
+  // configurations reached by different merge orders.
+  std::vector<MergeConfig> beam;
+  {
+    MergeConfig empty;
+    beam.push_back(std::move(empty));
+  }
+  for (auto& unit : phase1) {
+    std::vector<MergeConfig> next;
+    std::set<std::string> seen;
+    auto push = [&](MergeConfig&& cfg) {
+      std::string sig = cfg.Signature();
+      if (!seen.insert(sig).second) return;
+      next.push_back(std::move(cfg));
+    };
+    for (const auto& cfg : beam) {
+      // (a) keep the unit as its own merge expression.
+      {
+        MergeConfig extended = cfg;
+        extended.exprs.push_back(unit);
+        extended.total_size += unit.plan.estimated_size;
+        push(std::move(extended));
+      }
+      // (b) merge the unit into each existing expression, if acyclic and
+      // if it does not increase the estimated size over keeping separate
+      // databases (|D^P(Qi+j)| < |D^P(Qi)| + |D^P(Qj)| is checked globally
+      // through the beam ranking; invalid merges are skipped).
+      for (size_t i = 0; i < cfg.exprs.size(); ++i) {
+        auto merged_mast = Mast::Merge(cfg.exprs[i].mast, unit.mast);
+        if (!merged_mast.ok()) continue;
+        auto plan = plans.PlanFor(*merged_mast);
+        if (!plan.ok()) continue;
+        MergeConfig extended = cfg;
+        extended.total_size -= extended.exprs[i].plan.estimated_size;
+        extended.exprs[i].mast = std::move(*merged_mast);
+        extended.exprs[i].plan = std::move(*plan);
+        extended.total_size += extended.exprs[i].plan.estimated_size;
+        push(std::move(extended));
+      }
+    }
+    std::sort(next.begin(), next.end(), [](const MergeConfig& a, const MergeConfig& b) {
+      return a.total_size < b.total_size;
+    });
+    if (static_cast<int>(next.size()) > options.beam_width) {
+      next.resize(static_cast<size_t>(options.beam_width));
+    }
+    beam = std::move(next);
+  }
+  if (beam.empty()) return Status::Internal("merge DP produced no configuration");
+  MergeConfig final_config = std::move(beam.front());
+  result.components_after_phase2 = static_cast<int>(final_config.exprs.size());
+  result.estimated_size = final_config.total_size;
+
+  // --- Emit one PartitioningConfig per final MAST. -------------------------
+  for (auto& expr : final_config.exprs) {
+    PartitioningConfig config(&schema, options.num_partitions);
+    PREF_RETURN_NOT_OK(ApplyPlanToConfig(schema, expr.plan, &config));
+    for (TableId t : replicated) {
+      PREF_RETURN_NOT_OK(config.AddReplicated(schema.table(t).name));
+    }
+    PREF_RETURN_NOT_OK(config.Finalize());
+    result.deployment.AddConfig(std::move(config));
+    result.final_masts.push_back(std::move(expr.mast));
+  }
+  result.design_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pref

@@ -1,0 +1,58 @@
+// Workload-driven automated partitioning design (§4): per-query MASTs,
+// containment merging (phase 1), and cost-based dynamic-programming
+// merging (phase 2), producing one partitioning configuration per final
+// merged MAST (a Deployment).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/enumerator.h"
+#include "design/query_graph.h"
+#include "partition/deployment.h"
+
+namespace pref {
+
+struct WdOptions {
+  int num_partitions = 10;
+  double sample_rate = 1.0;
+  uint64_t seed = 17;
+  /// Small tables replicated in every output configuration and excluded
+  /// from the query graphs.
+  std::vector<std::string> replicate_tables;
+  /// Beam width for the level-wise merge DP. Width 1 reproduces the
+  /// paper's "optimal configuration per level" chain (Figure 6); larger
+  /// widths explore more merge configurations.
+  int beam_width = 4;
+  int max_mast_candidates = 4;
+};
+
+struct WdResult {
+  /// One configuration per final merged MAST (plus replicated tables).
+  Deployment deployment;
+  std::vector<Mast> final_masts;
+  /// Connected components before any merge (one per query component).
+  int initial_components = 0;
+  /// After containment merging (phase 1).
+  int components_after_phase1 = 0;
+  /// After cost-based merging (phase 2).
+  int components_after_phase2 = 0;
+  /// Sum of estimated per-MAST partitioned sizes.
+  double estimated_size = 0;
+  double design_seconds = 0;
+};
+
+/// Runs the workload-driven design for `workload` over `db`.
+Result<WdResult> WorkloadDrivenDesign(const Database& db,
+                                      const std::vector<QueryGraph>& workload,
+                                      const WdOptions& options);
+
+/// Workload-level data locality: each query is routed to its deployment
+/// configuration and contributes the weight of its join edges that execute
+/// locally there (§4.1 maximizes this per query). This is the DL the paper
+/// reports for WD variants.
+double WorkloadLocality(const Database& db, const Deployment& deployment,
+                        const std::vector<QueryGraph>& workload);
+
+}  // namespace pref

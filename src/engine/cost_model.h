@@ -1,0 +1,45 @@
+// Simulated-cluster cost model.
+//
+// The engine physically executes queries in one process, but accounts CPU
+// and network as if each partition lived on its own shared-nothing node
+// (the paper's 10x m1.medium EC2 cluster). Reported runtimes are
+//   max_node_cpu + network_bytes / bandwidth + exchanges * latency,
+// which preserves the quantity Figures 7-9 measure: the penalty of remote
+// operators and of redundant data.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pref {
+
+struct CostModel {
+  /// Per-node row processing throughput (rows/s). m1.medium-class CPU.
+  double rows_per_second_per_node = 5e6;
+  /// Effective network bandwidth for shuffles (bytes/s).
+  double network_bytes_per_second = 100e6;
+  /// Fixed coordination latency per exchange operator.
+  double exchange_latency_seconds = 0.05;
+};
+
+struct ExecStats {
+  size_t bytes_shuffled = 0;
+  size_t rows_shuffled = 0;
+  int exchanges = 0;
+  /// Rows consumed by operators, per simulated node.
+  std::vector<size_t> node_rows;
+  size_t total_rows_processed = 0;
+  double wall_seconds = 0;
+
+  double SimulatedSeconds(const CostModel& model) const {
+    size_t max_node = 0;
+    for (size_t r : node_rows) max_node = r > max_node ? r : max_node;
+    double cpu = static_cast<double>(max_node) / model.rows_per_second_per_node;
+    double net = static_cast<double>(bytes_shuffled) / model.network_bytes_per_second +
+                 static_cast<double>(exchanges) * model.exchange_latency_seconds;
+    return cpu + net;
+  }
+};
+
+}  // namespace pref

@@ -1,0 +1,621 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
+namespace pref {
+
+namespace {
+
+/// Per-node materialized blocks of one operator's output.
+struct DistResult {
+  std::vector<RowBlock> nodes;
+};
+
+std::vector<DataType> TypesOf(const PlanNode& node) {
+  std::vector<DataType> types;
+  types.reserve(node.cols.size());
+  for (const auto& c : node.cols) types.push_back(c.type);
+  return types;
+}
+
+DistResult MakeDist(const PlanNode& node, int n) {
+  DistResult out;
+  auto types = TypesOf(node);
+  out.nodes.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.nodes.emplace_back(types);
+  return out;
+}
+
+bool CompareValues(const Value& a, CompareOp op, const Value& lo, const Value& hi) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == lo;
+    case CompareOp::kNe:
+      return !(a == lo);
+    case CompareOp::kLt:
+      return a < lo;
+    case CompareOp::kLe:
+      return a < lo || a == lo;
+    case CompareOp::kGt:
+      return lo < a;
+    case CompareOp::kGe:
+      return lo < a || a == lo;
+    case CompareOp::kBetween:
+      return !(a < lo) && !(hi < a);
+  }
+  return false;
+}
+
+bool EvalDnf(const BoundDnf& dnf, const RowBlock& rows, size_t r) {
+  if (dnf.empty()) return true;
+  for (const auto& conj : dnf.disjuncts) {
+    bool all = true;
+    for (const auto& p : conj) {
+      Value v = rows.column(p.slot).GetValue(r);
+      if (!CompareValues(v, p.op, p.value, p.value_hi)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+using GroupKey = std::vector<Value>;
+struct GroupKeyHasher {
+  size_t operator()(const GroupKey& k) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& v : k) h = HashCombine(h, v.Hash());
+    return static_cast<size_t>(h);
+  }
+};
+
+struct AggState {
+  double sum = 0;
+  int64_t count = 0;
+  bool has_value = false;
+  Value min_v, max_v;
+};
+
+class Executor {
+ public:
+  Executor(const PartitionedDatabase& pdb, const CostModel& cost_model)
+      : pdb_(pdb), cost_model_(cost_model) {}
+
+  Result<QueryResult> Run(const PlanNode& root) {
+    Stopwatch timer;
+    n_ = 0;
+    for (const auto* t : pdb_.tables()) {
+      n_ = std::max(n_, t->num_partitions());
+    }
+    if (n_ == 0) return Status::Invalid("partitioned database has no tables");
+    stats_.node_rows.assign(static_cast<size_t>(n_), 0);
+
+    PREF_ASSIGN_OR_RAISE(DistResult dist, Exec(root));
+    QueryResult result;
+    result.rows = RowBlock(TypesOf(root));
+    for (auto& block : dist.nodes) {
+      for (size_t r = 0; r < block.num_rows(); ++r) result.rows.AppendRow(block, r);
+    }
+    for (const auto& c : root.cols) result.column_names.push_back(c.name);
+    for (size_t r : stats_.node_rows) stats_.total_rows_processed += r;
+    stats_.wall_seconds = timer.ElapsedSeconds();
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  void Charge(int node, size_t rows) {
+    stats_.node_rows[static_cast<size_t>(node)] += rows;
+  }
+
+  Result<DistResult> Exec(const PlanNode& node) {
+    switch (node.kind) {
+      case OpKind::kScan:
+        return ExecScan(node);
+      case OpKind::kFilter:
+        return ExecFilter(node);
+      case OpKind::kJoin:
+        return ExecJoin(node);
+      case OpKind::kRepartition:
+        return ExecRepartition(node);
+      case OpKind::kDupElim:
+        return ExecDupElim(node);
+      case OpKind::kValueDistinct:
+        return ExecValueDistinct(node);
+      case OpKind::kPartialAgg:
+        return ExecPartialAgg(node);
+      case OpKind::kGather:
+        return ExecGather(node);
+      case OpKind::kFinalAgg:
+        return ExecFinalAgg(node);
+      case OpKind::kProject:
+        return ExecProject(node);
+      case OpKind::kSort:
+        return ExecSort(node);
+      case OpKind::kBroadcast:
+        return Status::NotImplemented("broadcast operator");
+    }
+    return Status::Internal("unknown operator");
+  }
+
+  Result<DistResult> ExecScan(const PlanNode& node) {
+    const PartitionedTable* pt = pdb_.GetTable(node.scan_table);
+    if (pt == nullptr) {
+      return Status::Invalid("scan: table not in partitioned database");
+    }
+    DistResult out = MakeDist(node, n_);
+    const size_t base_cols = node.project_slots.size();
+    for (int p = 0; p < pt->num_partitions(); ++p) {
+      if (!node.scan_partitions.empty() &&
+          std::find(node.scan_partitions.begin(), node.scan_partitions.end(), p) ==
+              node.scan_partitions.end()) {
+        continue;
+      }
+      const Partition& part = pt->partition(p);
+      const RowBlock& rows = part.rows;
+      Charge(p, rows.num_rows());
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        if (node.scan_has_partner.has_value() &&
+            part.has_partner.Get(r) != *node.scan_has_partner) {
+          continue;
+        }
+        // Filter is bound to base-table column ids.
+        if (!node.scan_filter.empty()) {
+          bool keep = false;
+          for (const auto& conj : node.scan_filter.disjuncts) {
+            bool all = true;
+            for (const auto& pred : conj) {
+              Value v = rows.column(pred.slot).GetValue(r);
+              if (!CompareValues(v, pred.op, pred.value, pred.value_hi)) {
+                all = false;
+                break;
+              }
+            }
+            if (all) {
+              keep = true;
+              break;
+            }
+          }
+          if (!keep) continue;
+        }
+        for (size_t i = 0; i < base_cols; ++i) {
+          dst.column(static_cast<int>(i))
+              .AppendFrom(rows.column(node.project_slots[i]), r);
+        }
+        if (node.scan_attach_dup) {
+          dst.column(static_cast<int>(base_cols))
+              .AppendInt64(part.dup.empty() ? 0 : (part.dup.Get(r) ? 1 : 0));
+        }
+      }
+    }
+    return out;
+  }
+
+  Result<DistResult> ExecFilter(const PlanNode& node) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+    DistResult out = MakeDist(node, n_);
+    for (int p = 0; p < n_; ++p) {
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      // Predicate evaluation piggybacks on the producing operator: no
+      // separate CPU charge (as in the paper's engine, where filters are
+      // pushed into the per-node DBMS scan).
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      for (size_t r = 0; r < src.num_rows(); ++r) {
+        if (EvalDnf(node.filter, src, r)) dst.AppendRow(src, r);
+      }
+    }
+    return out;
+  }
+
+  Result<DistResult> ExecJoin(const PlanNode& node) {
+    PREF_ASSIGN_OR_RAISE(DistResult left, Exec(*node.children[0]));
+    PREF_ASSIGN_OR_RAISE(DistResult right, Exec(*node.children[1]));
+    DistResult out = MakeDist(node, n_);
+    const auto& ls = node.join_left_slots;
+    const auto& rs = node.join_right_slots;
+    const bool inner = node.join_type == JoinType::kInner;
+    // Per-partition bodies are independent (disjoint outputs and per-node
+    // counters): execute the simulated nodes concurrently.
+    ParallelFor(n_, [&](int p) {
+      const RowBlock& l = left.nodes[static_cast<size_t>(p)];
+      const RowBlock& r = right.nodes[static_cast<size_t>(p)];
+      Charge(p, l.num_rows() + r.num_rows());
+      if (l.num_rows() == 0) return;
+      // Build on the right side.
+      std::unordered_multimap<uint64_t, size_t> build;
+      build.reserve(r.num_rows());
+      for (size_t i = 0; i < r.num_rows(); ++i) {
+        build.emplace(r.HashRow(rs, i), i);
+      }
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      for (size_t i = 0; i < l.num_rows(); ++i) {
+        uint64_t h = l.HashRow(ls, i);
+        bool matched = false;
+        auto range = build.equal_range(h);
+        for (auto it = range.first; it != range.second; ++it) {
+          if (!l.RowsEqual(ls, i, r, rs, it->second)) continue;
+          matched = true;
+          if (!inner) break;
+          // Emit concatenated row.
+          for (int c = 0; c < l.num_columns(); ++c) {
+            dst.column(c).AppendFrom(l.column(c), i);
+          }
+          for (int c = 0; c < r.num_columns(); ++c) {
+            dst.column(l.num_columns() + c).AppendFrom(r.column(c), it->second);
+          }
+        }
+        bool emit_left_only = (node.join_type == JoinType::kSemi && matched) ||
+                              (node.join_type == JoinType::kAnti && !matched);
+        if (emit_left_only) dst.AppendRow(l, i);
+      }
+    });
+    return out;
+  }
+
+  Result<DistResult> ExecRepartition(const PlanNode& node) {
+    const PlanNode& child = *node.children[0];
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child));
+    DistResult out = MakeDist(node, n_);
+    stats_.exchanges++;
+    for (int p = 0; p < n_; ++p) {
+      if (child.replicated && p != 0) continue;  // one copy feeds the shuffle
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      Charge(p, src.num_rows());
+      for (size_t r = 0; r < src.num_rows(); ++r) {
+        int target = static_cast<int>(src.HashRow(node.hash_slots, r) %
+                                      static_cast<uint64_t>(n_));
+        if (target != p) {
+          stats_.rows_shuffled++;
+          stats_.bytes_shuffled += src.RowByteSize(r);
+        }
+        out.nodes[static_cast<size_t>(target)].AppendRow(src, r);
+      }
+    }
+    return out;
+  }
+
+  Result<DistResult> ExecDupElim(const PlanNode& node) {
+    const PlanNode& child = *node.children[0];
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child));
+    DistResult out = MakeDist(node, n_);
+    for (int p = 0; p < n_; ++p) {
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      // The dup-bitmap filter is a fused predicate (dup = 0), not a
+      // standalone pass: no CPU charge.
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      for (size_t r = 0; r < src.num_rows(); ++r) {
+        bool dup = false;
+        for (int slot : child.active_dup_slots) {
+          if (src.column(slot).GetInt64(r) != 0) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) dst.AppendRow(src, r);
+      }
+    }
+    return out;
+  }
+
+  Result<DistResult> ExecValueDistinct(const PlanNode& node) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+    DistResult out = MakeDist(node, n_);
+    std::vector<ColumnId> key_cols(node.project_slots.begin(),
+                                   node.project_slots.end());
+    for (int p = 0; p < n_; ++p) {
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      Charge(p, src.num_rows());
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      std::unordered_map<uint64_t, std::vector<size_t>> seen;
+      for (size_t r = 0; r < src.num_rows(); ++r) {
+        uint64_t h = src.HashRow(key_cols, r);
+        auto& bucket = seen[h];
+        bool duplicate = false;
+        for (size_t prev : bucket) {
+          if (src.RowsEqual(key_cols, r, src, key_cols, prev)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        bucket.push_back(r);
+        dst.AppendRow(src, r);
+      }
+    }
+    return out;
+  }
+
+  Result<DistResult> ExecGather(const PlanNode& node) {
+    const PlanNode& child = *node.children[0];
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child));
+    DistResult out = MakeDist(node, n_);
+    if (child.replicated) {
+      // One copy is already complete; no network needed.
+      out.nodes[0] = std::move(in.nodes[0]);
+      return out;
+    }
+    stats_.exchanges++;
+    for (int p = 0; p < n_; ++p) {
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      Charge(p, src.num_rows());
+      for (size_t r = 0; r < src.num_rows(); ++r) {
+        if (p != 0) {
+          stats_.rows_shuffled++;
+          stats_.bytes_shuffled += src.RowByteSize(r);
+        }
+        out.nodes[0].AppendRow(src, r);
+      }
+    }
+    return out;
+  }
+
+  void Accumulate(const PlanNode& node, const RowBlock& src, size_t r,
+                  std::vector<AggState>* states) {
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      const BoundAgg& agg = node.aggs[a];
+      AggState& st = (*states)[a];
+      switch (agg.func) {
+        case AggFunc::kCountStar:
+          st.count++;
+          break;
+        case AggFunc::kCount:
+          st.count++;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg: {
+          const Column& c = src.column(agg.slot);
+          st.sum += c.is_int() ? static_cast<double>(c.GetInt64(r)) : c.GetDouble(r);
+          st.count++;
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          Value v = src.column(agg.slot).GetValue(r);
+          if (!st.has_value) {
+            st.min_v = v;
+            st.max_v = v;
+            st.has_value = true;
+          } else {
+            if (v < st.min_v) st.min_v = v;
+            if (st.max_v < v) st.max_v = std::move(v);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  Result<DistResult> ExecPartialAgg(const PlanNode& node) {
+    const PlanNode& child = *node.children[0];
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child));
+    DistResult out = MakeDist(node, n_);
+    std::vector<ColumnId> group_cols(node.group_slots.begin(),
+                                     node.group_slots.end());
+    for (int p = 0; p < n_; ++p) {
+      if (child.replicated && p != 0) continue;  // aggregate one copy only
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      Charge(p, src.num_rows());
+      std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHasher> groups;
+      for (size_t r = 0; r < src.num_rows(); ++r) {
+        GroupKey key;
+        key.reserve(group_cols.size());
+        for (ColumnId g : group_cols) key.push_back(src.column(g).GetValue(r));
+        auto [it, inserted] =
+            groups.try_emplace(std::move(key), node.aggs.size());
+        Accumulate(node, src, r, &it->second);
+      }
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      for (const auto& [key, states] : groups) {
+        int c = 0;
+        for (const auto& v : key) {
+          Status st = dst.column(c++).AppendValue(v);
+          if (!st.ok()) return st;
+        }
+        for (size_t a = 0; a < node.aggs.size(); ++a) {
+          const BoundAgg& agg = node.aggs[a];
+          const AggState& s = states[a];
+          switch (agg.func) {
+            case AggFunc::kCountStar:
+            case AggFunc::kCount:
+              dst.column(c++).AppendInt64(s.count);
+              break;
+            case AggFunc::kSum:
+              if (agg.output_type == DataType::kDouble) {
+                dst.column(c++).AppendDouble(s.sum);
+              } else {
+                dst.column(c++).AppendInt64(static_cast<int64_t>(s.sum));
+              }
+              break;
+            case AggFunc::kAvg:
+              dst.column(c++).AppendDouble(s.sum);
+              dst.column(c++).AppendInt64(s.count);
+              break;
+            case AggFunc::kMin: {
+              Status st = dst.column(c++).AppendValue(s.min_v);
+              if (!st.ok()) return st;
+              break;
+            }
+            case AggFunc::kMax: {
+              Status st = dst.column(c++).AppendValue(s.max_v);
+              if (!st.ok()) return st;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  Result<DistResult> ExecFinalAgg(const PlanNode& node) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+    DistResult out = MakeDist(node, n_);
+    const size_t k = node.group_slots.size();
+    std::vector<ColumnId> group_cols(node.group_slots.begin(),
+                                     node.group_slots.end());
+    for (int p = 0; p < n_; ++p) {
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      Charge(p, src.num_rows());
+      if (src.num_rows() == 0) continue;
+      // Merge partial states per group.
+      std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHasher> groups;
+      for (size_t r = 0; r < src.num_rows(); ++r) {
+        GroupKey key;
+        key.reserve(k);
+        for (ColumnId g : group_cols) key.push_back(src.column(g).GetValue(r));
+        auto [it, inserted] =
+            groups.try_emplace(std::move(key), node.aggs.size());
+        // Partial layout: group cols then partial cols in agg order.
+        int c = static_cast<int>(k);
+        for (size_t a = 0; a < node.aggs.size(); ++a) {
+          const BoundAgg& agg = node.aggs[a];
+          AggState& st = it->second[a];
+          switch (agg.func) {
+            case AggFunc::kCountStar:
+            case AggFunc::kCount:
+              st.count += src.column(c++).GetInt64(r);
+              break;
+            case AggFunc::kSum: {
+              const Column& col = src.column(c++);
+              st.sum += col.is_int() ? static_cast<double>(col.GetInt64(r))
+                                     : col.GetDouble(r);
+              break;
+            }
+            case AggFunc::kAvg:
+              st.sum += src.column(c++).GetDouble(r);
+              st.count += src.column(c++).GetInt64(r);
+              break;
+            case AggFunc::kMin: {
+              Value v = src.column(c++).GetValue(r);
+              if (!st.has_value || v < st.min_v) st.min_v = v;
+              st.has_value = true;
+              break;
+            }
+            case AggFunc::kMax: {
+              Value v = src.column(c++).GetValue(r);
+              if (!st.has_value || st.max_v < v) st.max_v = v;
+              st.has_value = true;
+              break;
+            }
+          }
+        }
+      }
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      for (const auto& [key, states] : groups) {
+        int c = 0;
+        for (const auto& v : key) {
+          Status st = dst.column(c++).AppendValue(v);
+          if (!st.ok()) return st;
+        }
+        for (size_t a = 0; a < node.aggs.size(); ++a) {
+          const BoundAgg& agg = node.aggs[a];
+          const AggState& s = states[a];
+          switch (agg.func) {
+            case AggFunc::kCountStar:
+            case AggFunc::kCount:
+              dst.column(c++).AppendInt64(s.count);
+              break;
+            case AggFunc::kSum:
+              if (agg.output_type == DataType::kDouble) {
+                dst.column(c++).AppendDouble(s.sum);
+              } else {
+                dst.column(c++).AppendInt64(static_cast<int64_t>(s.sum));
+              }
+              break;
+            case AggFunc::kAvg:
+              dst.column(c++).AppendDouble(s.count == 0 ? 0.0
+                                                        : s.sum / static_cast<double>(
+                                                                      s.count));
+              break;
+            case AggFunc::kMin: {
+              Status st = dst.column(c++).AppendValue(s.min_v);
+              if (!st.ok()) return st;
+              break;
+            }
+            case AggFunc::kMax: {
+              Status st = dst.column(c++).AppendValue(s.max_v);
+              if (!st.ok()) return st;
+              break;
+            }
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  Result<DistResult> ExecSort(const PlanNode& node) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+    DistResult out = MakeDist(node, n_);
+    for (int p = 0; p < n_; ++p) {
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      if (src.num_rows() == 0) continue;
+      Charge(p, src.num_rows());
+      std::vector<size_t> order(src.num_rows());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        for (const auto& [slot, desc] : node.sort_keys) {
+          Value va = src.column(slot).GetValue(a);
+          Value vb = src.column(slot).GetValue(b);
+          if (va < vb) return !desc;
+          if (vb < va) return desc;
+        }
+        return false;
+      });
+      size_t keep = node.limit >= 0
+                        ? std::min<size_t>(order.size(),
+                                           static_cast<size_t>(node.limit))
+                        : order.size();
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      for (size_t i = 0; i < keep; ++i) dst.AppendRow(src, order[i]);
+    }
+    return out;
+  }
+
+  Result<DistResult> ExecProject(const PlanNode& node) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+    DistResult out = MakeDist(node, n_);
+    for (int p = 0; p < n_; ++p) {
+      const RowBlock& src = in.nodes[static_cast<size_t>(p)];
+      // Projection is free: column selection costs nothing extra.
+      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      for (size_t r = 0; r < src.num_rows(); ++r) {
+        for (size_t i = 0; i < node.project_slots.size(); ++i) {
+          dst.column(static_cast<int>(i))
+              .AppendFrom(src.column(node.project_slots[i]), r);
+        }
+      }
+    }
+    return out;
+  }
+
+  const PartitionedDatabase& pdb_;
+  const CostModel& cost_model_;
+  int n_ = 0;
+  ExecStats stats_;
+};
+
+}  // namespace
+
+Result<QueryResult> ExecutePlan(const PlanNode& root, const PartitionedDatabase& pdb,
+                                const CostModel& cost_model) {
+  Executor executor(pdb, cost_model);
+  return executor.Run(root);
+}
+
+Result<QueryResult> ExecuteQuery(const QuerySpec& query,
+                                 const PartitionedDatabase& pdb,
+                                 const QueryOptions& options,
+                                 const CostModel& cost_model) {
+  PREF_ASSIGN_OR_RAISE(auto plan, RewriteQuery(query, pdb, options));
+  return ExecutePlan(*plan, pdb, cost_model);
+}
+
+}  // namespace pref

@@ -1,0 +1,37 @@
+// Parallel executor: runs a rewritten plan over a PartitionedDatabase,
+// physically moving tuples between per-node memory arenas and accounting
+// simulated network/CPU costs.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/plan.h"
+#include "engine/rewriter.h"
+#include "storage/partition.h"
+
+namespace pref {
+
+struct QueryResult {
+  /// Final rows at the coordinator.
+  RowBlock rows;
+  std::vector<std::string> column_names;
+  ExecStats stats;
+
+  QueryResult() : rows(std::vector<DataType>{}) {}
+};
+
+/// Executes a rewritten plan.
+Result<QueryResult> ExecutePlan(const PlanNode& root, const PartitionedDatabase& pdb,
+                                const CostModel& cost_model = {});
+
+/// Rewrites (§2.2) and executes `query` over `pdb`.
+Result<QueryResult> ExecuteQuery(const QuerySpec& query,
+                                 const PartitionedDatabase& pdb,
+                                 const QueryOptions& options = {},
+                                 const CostModel& cost_model = {});
+
+}  // namespace pref

@@ -1,0 +1,64 @@
+#include "engine/plan.h"
+
+#include <sstream>
+
+namespace pref {
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kScan:
+      return "Scan";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kRepartition:
+      return "Repartition";
+    case OpKind::kBroadcast:
+      return "Broadcast";
+    case OpKind::kDupElim:
+      return "DupElim";
+    case OpKind::kValueDistinct:
+      return "ValueDistinct";
+    case OpKind::kPartialAgg:
+      return "PartialAgg";
+    case OpKind::kGather:
+      return "Gather";
+    case OpKind::kFinalAgg:
+      return "FinalAgg";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kSort:
+      return "Sort";
+  }
+  return "Unknown";
+}
+
+std::string PlanNode::ToString(const Schema& schema, int indent) const {
+  std::ostringstream ss;
+  ss << std::string(static_cast<size_t>(indent) * 2, ' ') << OpKindName(kind);
+  if (kind == OpKind::kScan) {
+    ss << " " << schema.table(scan_table).name;
+    if (scan_has_partner.has_value()) {
+      ss << (scan_has_partner.value() ? " [hasS=1]" : " [hasS=0]");
+    }
+    if (!scan_partitions.empty()) {
+      ss << " [pruned->";
+      for (size_t i = 0; i < scan_partitions.size(); ++i) {
+        if (i) ss << ",";
+        ss << scan_partitions[i];
+      }
+      ss << "]";
+    }
+  }
+  ss << " {" << PartitionMethodName(part.method);
+  if (!active_dup_slots.empty()) ss << ", dup";
+  if (replicated) ss << ", repl";
+  ss << "}\n";
+  for (const auto& child : children) {
+    ss << child->ToString(schema, indent + 1);
+  }
+  return ss.str();
+}
+
+}  // namespace pref

@@ -1,0 +1,162 @@
+// Executable plans: the operator tree produced by the §2.2 rewriter and
+// consumed by the executor. Every node carries the two rewrite properties
+// of the paper — Part(o) (partitioning of the intermediate result) and
+// Dup(o) (whether PREF duplicates may be present, tracked precisely as the
+// set of *active dup column slots*).
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+#include "storage/partition.h"
+
+namespace pref {
+
+enum class OpKind : uint8_t {
+  kScan,
+  kFilter,
+  kJoin,
+  kRepartition,
+  kBroadcast,
+  kDupElim,
+  kValueDistinct,
+  kPartialAgg,
+  kGather,
+  kFinalAgg,
+  kProject,
+  kSort,
+};
+
+const char* OpKindName(OpKind k);
+
+struct OutputCol {
+  std::string name;
+  DataType type;
+  /// Provenance: the base-table column this slot carries (invalid for
+  /// computed columns). Used by the rewriter's co-location checks.
+  TableId origin_table = kInvalidTableId;
+  ColumnId origin_col = -1;
+};
+
+/// \brief Part(o): how an intermediate result is distributed.
+///
+/// `anchor` records the physical basis of the partitioning (the base-table
+/// columns whose values determined placement), which the rewriter uses for
+/// the case (2)/(3) co-location checks of §2.2.
+struct PartProp {
+  PartitionMethod method = PartitionMethod::kNone;
+  /// Current output slots of the partitioning attributes (HASH) or of the
+  /// PREF table's predicate columns (PREF).
+  std::vector<int> slots;
+  int num_partitions = 0;
+
+  /// HASH: the base (table, columns) the hash values came from.
+  TableId anchor_table = kInvalidTableId;
+  std::vector<ColumnId> anchor_columns;
+
+  /// PREF: the base PREF table and the identity of its seed.
+  TableId pref_table = kInvalidTableId;
+  const PartitionSpec* pref_spec = nullptr;
+  TableId seed_table = kInvalidTableId;
+  std::vector<ColumnId> seed_columns;
+};
+
+/// Compare-op payload bound to output slots.
+struct BoundPredicate {
+  int slot = -1;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+  Value value_hi;
+};
+
+struct BoundDnf {
+  std::vector<std::vector<BoundPredicate>> disjuncts;
+  bool empty() const { return disjuncts.empty(); }
+};
+
+struct BoundAgg {
+  AggFunc func = AggFunc::kCountStar;
+  int slot = -1;  // input slot (unused for COUNT(*))
+  std::string output_name;
+  DataType output_type = DataType::kInt64;
+};
+
+/// \brief One node of the executable plan.
+struct PlanNode {
+  OpKind kind;
+  std::vector<std::unique_ptr<PlanNode>> children;
+  std::vector<OutputCol> cols;
+
+  // Properties (the paper's Part(o) / Dup(o)).
+  PartProp part;
+  /// Slots of dup columns that currently witness PREF duplication. Empty
+  /// means Dup(o) = 0.
+  std::vector<int> active_dup_slots;
+  /// True if every node holds a full copy of this result.
+  bool replicated = false;
+  /// Equivalence class per output slot: two slots share a class iff equi
+  /// joins upstream force their values equal on every row. The rewriter
+  /// uses this for co-location checks (e.g. part hashed on p_partkey is
+  /// co-located with a join key on l_partkey after p = l on partkey).
+  std::vector<int> slot_class;
+  /// Base tables whose rows still sit at their Definition-1 placements in
+  /// this intermediate (every surviving copy in its original partition).
+  /// Local joins preserve both sides' sets; exchanges clear them. A PREF
+  /// table R can join the intermediate locally on its partitioning
+  /// predicate iff the referenced table is in this set (§2.2 case 3
+  /// generalized to chained intermediates).
+  std::vector<TableId> faithful_tables;
+
+  // --- kScan ---------------------------------------------------------
+  TableId scan_table = kInvalidTableId;
+  std::string scan_alias;
+  BoundDnf scan_filter;  // bound to table ColumnIds via `slot`
+  /// Filter on the PREF hasS bitmap (semi/anti rewrite, §2.2): require
+  /// has_partner == *scan_has_partner.
+  std::optional<bool> scan_has_partner;
+  /// Attach the dup bitmap as a trailing int column.
+  bool scan_attach_dup = false;
+  /// Partition pruning (§7 outlook): when non-empty, scan only these
+  /// partitions. Hash/range pruning yields one partition; PREF pruning via
+  /// the referenced table's partition index can yield several.
+  std::vector<int> scan_partitions;
+
+  // --- kJoin ----------------------------------------------------------
+  JoinType join_type = JoinType::kInner;
+  std::vector<int> join_left_slots;
+  std::vector<int> join_right_slots;
+
+  // --- kFilter ----------------------------------------------------------
+  BoundDnf filter;
+
+  // --- kRepartition ------------------------------------------------------
+  std::vector<int> hash_slots;
+
+  // --- kPartialAgg / kFinalAgg ---------------------------------------
+  std::vector<int> group_slots;  // for FinalAgg: slots in the partial layout
+  std::vector<BoundAgg> aggs;
+
+  // --- kProject ---------------------------------------------------------
+  std::vector<int> project_slots;
+
+  // --- kSort -------------------------------------------------------------
+  /// (slot, descending) sort keys; applied at the coordinator.
+  std::vector<std::pair<int, bool>> sort_keys;
+  /// Row limit after sorting; -1 = unlimited.
+  int64_t limit = -1;
+
+  int FindCol(const std::string& name) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::string ToString(const Schema& schema, int indent = 0) const;
+};
+
+}  // namespace pref

@@ -1,0 +1,130 @@
+#include "engine/query.h"
+
+namespace pref {
+
+namespace {
+std::string EffectiveAlias(const TableRef& ref) {
+  return ref.alias.empty() ? ref.table : ref.alias;
+}
+}  // namespace
+
+QueryBuilder& QueryBuilder::From(const std::string& table, const std::string& alias) {
+  if (!status_.ok()) return *this;
+  auto id = schema_->FindTable(table);
+  if (!id.ok()) {
+    status_ = id.status();
+    return *this;
+  }
+  spec_.tables.push_back({table, alias});
+  spec_.table_filters.emplace_back();
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(const std::string& alias_or_table,
+                                  SimplePredicate pred) {
+  Dnf d;
+  d.disjuncts.push_back({std::move(pred)});
+  return WhereDnf(alias_or_table, std::move(d));
+}
+
+QueryBuilder& QueryBuilder::WhereDnf(const std::string& alias_or_table, Dnf dnf) {
+  if (!status_.ok()) return *this;
+  for (size_t i = 0; i < spec_.tables.size(); ++i) {
+    if (EffectiveAlias(spec_.tables[i]) == alias_or_table) {
+      Dnf& existing = spec_.table_filters[i];
+      if (existing.empty()) {
+        existing = std::move(dnf);
+      } else {
+        // Conjoin two DNFs: distribute (small in practice).
+        Dnf combined;
+        for (const auto& a : existing.disjuncts) {
+          for (const auto& b : dnf.disjuncts) {
+            auto conj = a;
+            conj.insert(conj.end(), b.begin(), b.end());
+            combined.disjuncts.push_back(std::move(conj));
+          }
+        }
+        existing = std::move(combined);
+      }
+      return *this;
+    }
+  }
+  status_ = Status::NotFound("Where: table/alias '", alias_or_table,
+                             "' not in FROM list");
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Join(const std::string& table, const std::string& left_col,
+                                 const std::string& right_col, JoinType type,
+                                 const std::string& alias) {
+  return JoinMulti(table, {left_col}, {right_col}, type, alias);
+}
+
+QueryBuilder& QueryBuilder::JoinMulti(const std::string& table,
+                                      std::vector<std::string> left_cols,
+                                      std::vector<std::string> right_cols,
+                                      JoinType type, const std::string& alias) {
+  if (!status_.ok()) return *this;
+  auto id = schema_->FindTable(table);
+  if (!id.ok()) {
+    status_ = id.status();
+    return *this;
+  }
+  if (left_cols.empty() || left_cols.size() != right_cols.size()) {
+    status_ = Status::Invalid("join column lists must be non-empty equal-sized");
+    return *this;
+  }
+  spec_.tables.push_back({table, alias});
+  spec_.table_filters.emplace_back();
+  JoinStep step;
+  step.table_index = static_cast<int>(spec_.tables.size()) - 1;
+  step.type = type;
+  step.left_columns = std::move(left_cols);
+  step.right_columns = std::move(right_cols);
+  spec_.joins.push_back(std::move(step));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::ResidualFilter(Dnf dnf) {
+  spec_.residual_filter = std::move(dnf);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(std::vector<std::string> columns) {
+  spec_.group_by = std::move(columns);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Agg(AggFunc func, const std::string& column,
+                                const std::string& output_name) {
+  spec_.aggregates.push_back({func, column, output_name});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Project(std::vector<std::string> columns) {
+  spec_.projection = std::move(columns);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Having(Dnf dnf) {
+  spec_.having = std::move(dnf);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OrderBy(const std::string& column, bool descending) {
+  spec_.order_by.emplace_back(column, descending);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(int64_t n) {
+  spec_.limit = n;
+  return *this;
+}
+
+Result<QuerySpec> QueryBuilder::Build() {
+  if (!status_.ok()) return status_;
+  if (spec_.tables.empty()) return Status::Invalid("query has no tables");
+  return spec_;
+}
+
+}  // namespace pref

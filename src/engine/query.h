@@ -1,0 +1,150 @@
+// Query specifications: the SPJA query shape the engine executes (§2.2).
+//
+// A QuerySpec is a left-deep join tree over base tables with per-table
+// filters, an optional post-join residual filter, and an optional
+// aggregation. The engine rewrites it against a PartitionedDatabase into an
+// executable plan (engine/rewriter.h).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace pref {
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
+
+/// \brief One simple comparison `column op value` (or BETWEEN lo AND hi).
+struct SimplePredicate {
+  std::string column;  // qualified "alias.column" or bare column name
+  CompareOp op = CompareOp::kEq;
+  Value value;
+  Value value_hi;  // BETWEEN upper bound
+};
+
+/// \brief A filter in disjunctive normal form: OR over AND-conjunctions.
+/// An empty DNF means "accept everything".
+struct Dnf {
+  std::vector<std::vector<SimplePredicate>> disjuncts;
+
+  bool empty() const { return disjuncts.empty(); }
+  static Dnf And(std::vector<SimplePredicate> preds) {
+    Dnf d;
+    d.disjuncts.push_back(std::move(preds));
+    return d;
+  }
+};
+
+enum class JoinType : uint8_t { kInner, kSemi, kAnti };
+
+enum class AggFunc : uint8_t { kSum, kCount, kCountStar, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  std::string column;  // unused for COUNT(*)
+  std::string output_name;
+};
+
+/// \brief A base-table occurrence in the FROM clause. Aliases make
+/// self-joins expressible; output columns are named `alias_column` when an
+/// alias differs from the table name, else just `column`.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+/// \brief One step of the left-deep join tree: joins the accumulated
+/// result with `table_index` (into QuerySpec::tables) on equal columns.
+struct JoinStep {
+  int table_index = 0;
+  JoinType type = JoinType::kInner;
+  /// Positional column pairs: left side references columns of the
+  /// accumulated result; right side references the new table.
+  std::vector<std::string> left_columns;
+  std::vector<std::string> right_columns;
+};
+
+/// \brief An SPJA query.
+struct QuerySpec {
+  std::string name;
+  std::vector<TableRef> tables;   // tables[0] starts the join tree
+  std::vector<Dnf> table_filters; // parallel to `tables` (may be empty DNF)
+  std::vector<JoinStep> joins;    // tables[1..] in join order
+  Dnf residual_filter;            // applied after all joins
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+  /// Filter over the aggregated output (HAVING); columns refer to group
+  /// keys or aggregate output names.
+  Dnf having;
+  /// Eliminate PREF duplicates and project these columns (used when there
+  /// is no aggregation); empty = all columns.
+  std::vector<std::string> projection;
+  /// Coordinator-side ordering: (output column, descending).
+  std::vector<std::pair<std::string, bool>> order_by;
+  /// Row limit applied after ordering; -1 = unlimited.
+  int64_t limit = -1;
+};
+
+/// \brief Fluent builder with name validation against a schema.
+class QueryBuilder {
+ public:
+  QueryBuilder(const Schema* schema, std::string name) : schema_(schema) {
+    spec_.name = std::move(name);
+  }
+
+  QueryBuilder& From(const std::string& table, const std::string& alias = "");
+  QueryBuilder& Where(const std::string& alias_or_table, SimplePredicate pred);
+  QueryBuilder& WhereDnf(const std::string& alias_or_table, Dnf dnf);
+  QueryBuilder& Join(const std::string& table, const std::string& left_col,
+                     const std::string& right_col, JoinType type = JoinType::kInner,
+                     const std::string& alias = "");
+  QueryBuilder& JoinMulti(const std::string& table,
+                          std::vector<std::string> left_cols,
+                          std::vector<std::string> right_cols,
+                          JoinType type = JoinType::kInner,
+                          const std::string& alias = "");
+  QueryBuilder& ResidualFilter(Dnf dnf);
+  QueryBuilder& GroupBy(std::vector<std::string> columns);
+  QueryBuilder& Agg(AggFunc func, const std::string& column,
+                    const std::string& output_name);
+  QueryBuilder& Project(std::vector<std::string> columns);
+  QueryBuilder& Having(Dnf dnf);
+  QueryBuilder& OrderBy(const std::string& column, bool descending = false);
+  QueryBuilder& Limit(int64_t n);
+
+  Result<QuerySpec> Build();
+
+ private:
+  const Schema* schema_;
+  QuerySpec spec_;
+  Status status_;
+};
+
+/// Helpers for building predicates tersely.
+inline SimplePredicate Eq(std::string col, Value v) {
+  return {std::move(col), CompareOp::kEq, std::move(v), Value()};
+}
+inline SimplePredicate Ne(std::string col, Value v) {
+  return {std::move(col), CompareOp::kNe, std::move(v), Value()};
+}
+inline SimplePredicate Lt(std::string col, Value v) {
+  return {std::move(col), CompareOp::kLt, std::move(v), Value()};
+}
+inline SimplePredicate Le(std::string col, Value v) {
+  return {std::move(col), CompareOp::kLe, std::move(v), Value()};
+}
+inline SimplePredicate Gt(std::string col, Value v) {
+  return {std::move(col), CompareOp::kGt, std::move(v), Value()};
+}
+inline SimplePredicate Ge(std::string col, Value v) {
+  return {std::move(col), CompareOp::kGe, std::move(v), Value()};
+}
+inline SimplePredicate Between(std::string col, Value lo, Value hi) {
+  return {std::move(col), CompareOp::kBetween, std::move(lo), std::move(hi)};
+}
+
+}  // namespace pref

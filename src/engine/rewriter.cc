@@ -1,0 +1,1073 @@
+#include "engine/rewriter.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/hash.h"
+
+namespace pref {
+
+namespace {
+
+std::string ScanColName(const TableRef& ref, const std::string& col) {
+  std::string alias = ref.alias.empty() ? ref.table : ref.alias;
+  return alias == ref.table ? col : alias + "." + col;
+}
+
+DataType AggOutputType(AggFunc func, DataType input) {
+  switch (func) {
+    case AggFunc::kCount:
+    case AggFunc::kCountStar:
+      return DataType::kInt64;
+    case AggFunc::kAvg:
+      return DataType::kDouble;
+    case AggFunc::kSum:
+      return input == DataType::kDouble ? DataType::kDouble : DataType::kInt64;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return input;
+  }
+  return DataType::kInt64;
+}
+
+/// If `table`'s placement is fully value-determined — every PREF link in
+/// its reference chain is co-located (the link predicate's referenced-side
+/// columns contain the columns determining the parent's placement) and
+/// orphan-free — returns the columns of `table` that determine its
+/// partition. Such a table is physically hash-partitioned on those columns
+/// and carries no duplicates, so the rewriter can expose it as HASH.
+std::optional<std::vector<ColumnId>> EffectiveHashColumns(
+    const PartitionedDatabase& pdb, TableId table) {
+  const PartitionedTable* pt = pdb.GetTable(table);
+  if (pt == nullptr) return std::nullopt;
+  const PartitionSpec& spec = pt->spec();
+  if (spec.method == PartitionMethod::kHash) return spec.attributes;
+  if (spec.method != PartitionMethod::kPref) return std::nullopt;
+  // Orphans are placed round-robin, off their value-hash position.
+  for (int p = 0; p < pt->num_partitions(); ++p) {
+    if (pt->partition(p).has_partner.CountZeros() != 0) return std::nullopt;
+  }
+  auto parent_cols = EffectiveHashColumns(pdb, spec.referenced_table);
+  if (!parent_cols.has_value()) return std::nullopt;
+  const JoinPredicate& pred = *spec.predicate;
+  std::vector<ColumnId> mapped;
+  for (ColumnId pc : *parent_cols) {
+    bool found = false;
+    for (size_t j = 0; j < pred.right_columns.size(); ++j) {
+      if (pred.right_columns[j] == pc) {
+        mapped.push_back(pred.left_columns[j]);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;  // parent key not covered by predicate
+  }
+  return mapped;
+}
+
+class Rewriter {
+ public:
+  Rewriter(const QuerySpec& query, const PartitionedDatabase& pdb,
+           const QueryOptions& options)
+      : query_(query), pdb_(pdb), options_(options), schema_(pdb.schema()) {}
+
+  Result<std::unique_ptr<PlanNode>> Run();
+
+ private:
+  struct RefInfo {
+    TableId table = kInvalidTableId;
+    const PartitionedTable* pt = nullptr;
+    std::set<ColumnId> needed;
+    bool removed = false;                     // semi/anti rewrite dropped it
+    std::optional<bool> has_partner_filter;   // set on the surviving side
+  };
+
+  /// Resolves "alias.col" or bare "col" to (table-ref index, ColumnId).
+  Result<std::pair<int, ColumnId>> ResolveColumn(const std::string& name) const {
+    for (size_t i = 0; i < query_.tables.size(); ++i) {
+      const TableRef& ref = query_.tables[i];
+      std::string alias = ref.alias.empty() ? ref.table : ref.alias;
+      std::string bare = name;
+      if (name.size() > alias.size() + 1 && name.compare(0, alias.size(), alias) == 0 &&
+          name[alias.size()] == '.') {
+        bare = name.substr(alias.size() + 1);
+      } else if (alias != ref.table) {
+        // Aliased tables must be referenced with the alias prefix.
+        continue;
+      }
+      auto col = schema_.table(refs_[i].table).FindColumn(bare);
+      if (col.ok()) return std::make_pair(static_cast<int>(i), *col);
+    }
+    return Status::NotFound("column '", name, "' not resolvable in query '",
+                            query_.name, "'");
+  }
+
+  Status CollectNeededColumns();
+  Status ApplySemiAntiRewrites();
+  Result<std::unique_ptr<PlanNode>> BuildScan(int ref_index);
+  Result<BoundDnf> BindDnfToSlots(const Dnf& dnf, const PlanNode& node) const;
+  Result<BoundDnf> BindDnfToTable(const Dnf& dnf, int ref_index) const;
+  std::unique_ptr<PlanNode> MakeRepartition(std::unique_ptr<PlanNode> child,
+                                            std::vector<int> slots);
+  std::unique_ptr<PlanNode> MakeDedup(std::unique_ptr<PlanNode> child);
+  Result<std::unique_ptr<PlanNode>> BuildJoins();
+  Result<std::unique_ptr<PlanNode>> AddAggregation(std::unique_ptr<PlanNode> node);
+  Result<std::unique_ptr<PlanNode>> AddProjection(std::unique_ptr<PlanNode> node);
+
+  const QuerySpec& query_;
+  const PartitionedDatabase& pdb_;
+  const QueryOptions& options_;
+  const Schema& schema_;
+  std::vector<RefInfo> refs_;
+  int n_ = 0;
+};
+
+Status Rewriter::CollectNeededColumns() {
+  auto need = [&](const std::string& name) -> Status {
+    PREF_ASSIGN_OR_RAISE(auto rc, ResolveColumn(name));
+    refs_[static_cast<size_t>(rc.first)].needed.insert(rc.second);
+    return Status::OK();
+  };
+  for (size_t i = 0; i < query_.tables.size(); ++i) {
+    for (const auto& conj : query_.table_filters[i].disjuncts) {
+      for (const auto& p : conj) PREF_RETURN_NOT_OK(need(p.column));
+    }
+  }
+  for (const auto& step : query_.joins) {
+    for (const auto& c : step.left_columns) PREF_RETURN_NOT_OK(need(c));
+    for (const auto& c : step.right_columns) PREF_RETURN_NOT_OK(need(c));
+  }
+  for (const auto& conj : query_.residual_filter.disjuncts) {
+    for (const auto& p : conj) PREF_RETURN_NOT_OK(need(p.column));
+  }
+  for (const auto& g : query_.group_by) PREF_RETURN_NOT_OK(need(g));
+  for (const auto& a : query_.aggregates) {
+    if (a.func != AggFunc::kCountStar) PREF_RETURN_NOT_OK(need(a.column));
+  }
+  for (const auto& p : query_.projection) PREF_RETURN_NOT_OK(need(p));
+  if (query_.projection.empty() && query_.aggregates.empty()) {
+    // SELECT *: everything.
+    for (size_t i = 0; i < refs_.size(); ++i) {
+      for (ColumnId c = 0; c < schema_.table(refs_[i].table).num_columns(); ++c) {
+        refs_[i].needed.insert(c);
+      }
+    }
+  }
+  // Partitioning attributes are needed for the co-location checks.
+  for (auto& ref : refs_) {
+    const PartitionSpec& spec = ref.pt->spec();
+    for (ColumnId c : spec.attributes) ref.needed.insert(c);
+    if (spec.method == PartitionMethod::kPref) {
+      for (ColumnId c : spec.predicate->left_columns) ref.needed.insert(c);
+    }
+    if (ref.needed.empty()) ref.needed.insert(0);
+  }
+  return Status::OK();
+}
+
+Status Rewriter::ApplySemiAntiRewrites() {
+  if (!options_.pref_optimizations) return Status::OK();
+  for (const auto& step : query_.joins) {
+    if (step.type == JoinType::kInner) continue;
+    size_t s_idx = static_cast<size_t>(step.table_index);
+    // (a) S unfiltered.
+    if (!query_.table_filters[s_idx].empty()) continue;
+    // (b) S's columns unused outside this join step.
+    bool used_elsewhere = false;
+    auto uses_s = [&](const std::string& name) {
+      auto rc = ResolveColumn(name);
+      return rc.ok() && rc->first == step.table_index;
+    };
+    for (const auto& other : query_.joins) {
+      if (&other == &step) continue;
+      for (const auto& c : other.left_columns) used_elsewhere |= uses_s(c);
+      for (const auto& c : other.right_columns) used_elsewhere |= uses_s(c);
+    }
+    for (const auto& conj : query_.residual_filter.disjuncts) {
+      for (const auto& p : conj) used_elsewhere |= uses_s(p.column);
+    }
+    for (const auto& g : query_.group_by) used_elsewhere |= uses_s(g);
+    for (const auto& a : query_.aggregates) {
+      if (a.func != AggFunc::kCountStar) used_elsewhere |= uses_s(a.column);
+    }
+    for (const auto& p : query_.projection) used_elsewhere |= uses_s(p);
+    if (used_elsewhere) continue;
+    // (c) all left columns come from one table R, PREF-referencing S on
+    // exactly this predicate.
+    int r_idx = -1;
+    std::vector<ColumnId> left_cols, right_cols;
+    bool ok = true;
+    for (size_t k = 0; k < step.left_columns.size(); ++k) {
+      auto lc = ResolveColumn(step.left_columns[k]);
+      auto rc = ResolveColumn(step.right_columns[k]);
+      if (!lc.ok() || !rc.ok() || rc->first != step.table_index) {
+        ok = false;
+        break;
+      }
+      if (r_idx == -1) r_idx = lc->first;
+      if (lc->first != r_idx) {
+        ok = false;
+        break;
+      }
+      left_cols.push_back(lc->second);
+      right_cols.push_back(rc->second);
+    }
+    if (!ok || r_idx < 0) continue;
+    RefInfo& r = refs_[static_cast<size_t>(r_idx)];
+    const PartitionSpec& spec = r.pt->spec();
+    if (spec.method != PartitionMethod::kPref ||
+        spec.referenced_table != refs_[s_idx].table) {
+      continue;
+    }
+    // Predicate equality (order-insensitive pairing).
+    const JoinPredicate& p = *spec.predicate;
+    if (p.left_columns.size() != left_cols.size()) continue;
+    bool same = true;
+    std::vector<bool> matched(p.left_columns.size(), false);
+    for (size_t k = 0; k < left_cols.size() && same; ++k) {
+      bool found = false;
+      for (size_t m = 0; m < p.left_columns.size(); ++m) {
+        if (!matched[m] && p.left_columns[m] == left_cols[k] &&
+            p.right_columns[m] == right_cols[k]) {
+          matched[m] = true;
+          found = true;
+          break;
+        }
+      }
+      same = found;
+    }
+    if (!same) continue;
+    // Rewrite: drop S, filter R on hasS.
+    r.has_partner_filter = step.type == JoinType::kSemi;
+    refs_[s_idx].removed = true;
+  }
+  return Status::OK();
+}
+
+Result<BoundDnf> Rewriter::BindDnfToTable(const Dnf& dnf, int ref_index) const {
+  BoundDnf out;
+  for (const auto& conj : dnf.disjuncts) {
+    std::vector<BoundPredicate> bound;
+    for (const auto& p : conj) {
+      PREF_ASSIGN_OR_RAISE(auto rc, ResolveColumn(p.column));
+      if (rc.first != ref_index) {
+        return Status::Invalid("filter column '", p.column,
+                               "' does not belong to the filtered table");
+      }
+      bound.push_back({rc.second, p.op, p.value, p.value_hi});
+    }
+    out.disjuncts.push_back(std::move(bound));
+  }
+  return out;
+}
+
+Result<BoundDnf> Rewriter::BindDnfToSlots(const Dnf& dnf, const PlanNode& node) const {
+  BoundDnf out;
+  for (const auto& conj : dnf.disjuncts) {
+    std::vector<BoundPredicate> bound;
+    for (const auto& p : conj) {
+      int slot = node.FindCol(p.column);
+      if (slot < 0) {
+        return Status::NotFound("column '", p.column, "' not in plan output");
+      }
+      bound.push_back({slot, p.op, p.value, p.value_hi});
+    }
+    out.disjuncts.push_back(std::move(bound));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<PlanNode>> Rewriter::BuildScan(int ref_index) {
+  const RefInfo& ref = refs_[static_cast<size_t>(ref_index)];
+  const TableRef& tref = query_.tables[static_cast<size_t>(ref_index)];
+  const TableDef& def = schema_.table(ref.table);
+  const PartitionSpec& spec = ref.pt->spec();
+
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OpKind::kScan;
+  node->scan_table = ref.table;
+  node->scan_alias = tref.alias.empty() ? tref.table : tref.alias;
+  node->scan_has_partner = ref.has_partner_filter;
+
+  std::vector<ColumnId> read_cols(ref.needed.begin(), ref.needed.end());
+  for (ColumnId c : read_cols) {
+    OutputCol col;
+    col.name = ScanColName(tref, def.column(c).name);
+    col.type = def.column(c).type;
+    col.origin_table = ref.table;
+    col.origin_col = c;
+    node->cols.push_back(std::move(col));
+  }
+  node->project_slots.assign(read_cols.begin(), read_cols.end());  // base cols
+
+  PREF_ASSIGN_OR_RAISE(node->scan_filter,
+                       BindDnfToTable(query_.table_filters[static_cast<size_t>(
+                                          ref_index)],
+                                      ref_index));
+
+  auto slot_of = [&](ColumnId c) {
+    for (size_t i = 0; i < read_cols.size(); ++i) {
+      if (read_cols[i] == c) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  node->part.num_partitions = spec.num_partitions;
+  switch (spec.method) {
+    case PartitionMethod::kHash:
+      node->part.method = PartitionMethod::kHash;
+      for (ColumnId c : spec.attributes) node->part.slots.push_back(slot_of(c));
+      node->part.anchor_table = ref.table;
+      node->part.anchor_columns = spec.attributes;
+      break;
+    case PartitionMethod::kPref: {
+      // A fully co-located, orphan-free PREF chain is physically hash
+      // partitioning: expose it as HASH (duplicate-free), which unlocks
+      // case (1)/(2) joins on the inherited key.
+      auto effective = EffectiveHashColumns(pdb_, ref.table);
+      if (effective.has_value()) {
+        node->part.method = PartitionMethod::kHash;
+        for (ColumnId c : *effective) node->part.slots.push_back(slot_of(c));
+        node->part.anchor_table = spec.seed_table;
+        node->part.anchor_columns = spec.seed_attributes;
+        break;
+      }
+      node->part.method = PartitionMethod::kPref;
+      for (ColumnId c : spec.predicate->left_columns) {
+        node->part.slots.push_back(slot_of(c));
+      }
+      node->part.pref_table = ref.table;
+      node->part.pref_spec = &spec;
+      node->part.seed_table = spec.seed_table;
+      node->part.seed_columns = spec.seed_attributes;
+      // Attach the dup column.
+      node->scan_attach_dup = true;
+      OutputCol dup_col;
+      dup_col.name = "__dup." + node->scan_alias;
+      dup_col.type = DataType::kInt64;
+      node->cols.push_back(std::move(dup_col));
+      node->active_dup_slots.push_back(static_cast<int>(node->cols.size()) - 1);
+      break;
+    }
+    case PartitionMethod::kReplicated:
+      node->part.method = PartitionMethod::kReplicated;
+      node->replicated = true;
+      break;
+    case PartitionMethod::kRange:
+      // Range placement is value-determined but not hash-compatible: keep
+      // the method so PREF tables referencing this seed join locally via
+      // the faithfulness rule, while case (1) co-hash checks stay off.
+      node->part.method = PartitionMethod::kRange;
+      for (ColumnId c : spec.attributes) node->part.slots.push_back(slot_of(c));
+      node->part.anchor_table = ref.table;
+      node->part.anchor_columns = spec.attributes;
+      break;
+    default:
+      node->part.method = PartitionMethod::kNone;
+      break;
+  }
+
+  node->faithful_tables.push_back(ref.table);
+  node->slot_class.resize(node->cols.size());
+  for (size_t i = 0; i < node->cols.size(); ++i) {
+    node->slot_class[i] = static_cast<int>(i);
+  }
+
+  // Partition pruning (§7 outlook). A single-disjunct equality filter
+  // covering a placement-determining column set restricts the scan:
+  //  * hash (or co-located effective-hash) placement -> the one partition
+  //    the values hash to;
+  //  * PREF placement -> the referenced table's partition-index entry for
+  //    the predicate-key values (several partitions; no pruning if the key
+  //    is absent, since a partnerless tuple may sit anywhere round-robin).
+  // Either way every qualifying row lives in the pruned set, so the
+  // co-location properties (and local joins) remain valid.
+  if (options_.partition_pruning && node->scan_filter.disjuncts.size() == 1) {
+    // Bound equality values per base column.
+    auto value_of = [&](ColumnId col) -> const Value* {
+      for (const auto& p : node->scan_filter.disjuncts[0]) {
+        if (p.op == CompareOp::kEq && p.slot == col) return &p.value;
+      }
+      return nullptr;
+    };
+    if (node->part.method == PartitionMethod::kHash) {
+      // part.slots index into read_cols; recover the base columns.
+      std::vector<const Value*> values;
+      bool covered = !node->part.slots.empty();
+      for (int slot : node->part.slots) {
+        const Value* v = value_of(read_cols[static_cast<size_t>(slot)]);
+        if (v == nullptr) {
+          covered = false;
+          break;
+        }
+        values.push_back(v);
+      }
+      if (covered) {
+        uint64_t h = 0x84222325cbf29ce4ULL;
+        for (const Value* v : values) h = HashCombine(h, v->Hash());
+        node->scan_partitions = {
+            static_cast<int>(h % static_cast<uint64_t>(spec.num_partitions))};
+      }
+    } else if (spec.method == PartitionMethod::kPref) {
+      const PartitionedTable* ref_table = pdb_.GetTable(spec.referenced_table);
+      const PartitionIndex* index =
+          ref_table == nullptr
+              ? nullptr
+              : ref_table->FindPartitionIndex(spec.predicate->right_columns);
+      if (index != nullptr) {
+        PartitionIndex::Key key;
+        bool covered = true;
+        for (ColumnId c : spec.predicate->left_columns) {
+          const Value* v = value_of(c);
+          if (v == nullptr) {
+            covered = false;
+            break;
+          }
+          key.push_back(*v);
+        }
+        if (covered) {
+          const auto& parts = index->Lookup(key);
+          if (!parts.empty()) node->scan_partitions = parts;
+        }
+      }
+    }
+  }
+  return node;
+}
+
+std::unique_ptr<PlanNode> Rewriter::MakeRepartition(std::unique_ptr<PlanNode> child,
+                                                    std::vector<int> slots) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OpKind::kRepartition;
+  node->cols = child->cols;
+  node->slot_class = child->slot_class;
+  node->hash_slots = slots;
+  node->part.method = PartitionMethod::kHash;
+  node->part.slots = std::move(slots);
+  node->part.num_partitions = n_;
+  // Anchor from slot provenance if available.
+  bool anchored = true;
+  for (int s : node->part.slots) {
+    const OutputCol& c = child->cols[static_cast<size_t>(s)];
+    if (c.origin_table == kInvalidTableId) {
+      anchored = false;
+      break;
+    }
+    if (node->part.anchor_table == kInvalidTableId) {
+      node->part.anchor_table = c.origin_table;
+    }
+    if (node->part.anchor_table != c.origin_table) anchored = false;
+  }
+  if (anchored && node->part.anchor_table != kInvalidTableId) {
+    for (int s : node->part.slots) {
+      node->part.anchor_columns.push_back(child->cols[static_cast<size_t>(s)].origin_col);
+    }
+  } else {
+    node->part.anchor_table = kInvalidTableId;
+    node->part.anchor_columns.clear();
+  }
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> Rewriter::MakeDedup(std::unique_ptr<PlanNode> child) {
+  if (child->active_dup_slots.empty()) return child;
+  if (options_.pref_optimizations) {
+    auto node = std::make_unique<PlanNode>();
+    node->kind = OpKind::kDupElim;
+    node->cols = child->cols;
+    node->slot_class = child->slot_class;
+    node->part = child->part;
+    node->replicated = child->replicated;
+    node->children.push_back(std::move(child));
+    return node;
+  }
+  // Without the dup-bitmap optimization: full-row shuffle + value distinct
+  // over the non-dup columns.
+  std::vector<int> value_slots;
+  for (size_t i = 0; i < child->cols.size(); ++i) {
+    if (child->cols[i].name.rfind("__dup.", 0) != 0) {
+      value_slots.push_back(static_cast<int>(i));
+    }
+  }
+  auto shuffled = MakeRepartition(std::move(child), value_slots);
+  // Value-based repartition must NOT bitmap-dedup (that is the very
+  // optimization being disabled): clear the child's active set knowledge by
+  // marking this exchange as a raw shuffle via hash_slots only. The
+  // executor skips bitmap dedup when pref optimizations are off; we encode
+  // that by keeping active_dup_slots on the repartition output.
+  shuffled->active_dup_slots.clear();
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OpKind::kValueDistinct;
+  node->cols = shuffled->cols;
+  node->slot_class = shuffled->slot_class;
+  node->part = shuffled->part;
+  node->project_slots = value_slots;  // distinct key
+  node->children.push_back(std::move(shuffled));
+  return node;
+}
+
+Result<std::unique_ptr<PlanNode>> Rewriter::BuildJoins() {
+  // First surviving table starts the tree.
+  int first = -1;
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    if (!refs_[i].removed) {
+      first = static_cast<int>(i);
+      break;
+    }
+  }
+  if (first != 0) {
+    return Status::Invalid("the first table of query '", query_.name,
+                           "' was rewritten away; reorder the join tree");
+  }
+  PREF_ASSIGN_OR_RAISE(auto current, BuildScan(0));
+
+  for (const auto& step : query_.joins) {
+    if (refs_[static_cast<size_t>(step.table_index)].removed) continue;
+    PREF_ASSIGN_OR_RAISE(auto right, BuildScan(step.table_index));
+
+    // Bind join slots.
+    std::vector<int> left_slots, right_slots;
+    for (const auto& name : step.left_columns) {
+      int s = current->FindCol(name);
+      if (s < 0) return Status::NotFound("join column '", name, "' not in left input");
+      left_slots.push_back(s);
+    }
+    for (const auto& name : step.right_columns) {
+      int s = right->FindCol(name);
+      if (s < 0) return Status::NotFound("join column '", name, "' not in right input");
+      right_slots.push_back(s);
+    }
+
+    // --- §2.2 join locality cases -------------------------------------
+    bool local = false;
+    enum class ResultProp { kLeft, kRight, kHashSide, kReplicatedBoth } result_prop =
+        ResultProp::kLeft;
+    // Replicated inputs join locally everywhere.
+    if (current->replicated && right->replicated) {
+      local = true;
+      result_prop = ResultProp::kReplicatedBoth;
+    } else if (current->replicated && step.type == JoinType::kInner) {
+      // A replicated left joined with a partitioned right is local. (For
+      // semi/anti joins this would duplicate surviving left rows across
+      // partitions, so those take the re-partitioning path.)
+      local = true;
+      result_prop = ResultProp::kRight;
+    } else if (right->replicated) {
+      local = true;
+      result_prop = ResultProp::kLeft;
+    }
+    auto slots_match = [](const std::vector<int>& a, const std::vector<int>& b) {
+      return !a.empty() && a == b;
+    };
+    // Case (1): both sides hash partitioned such that equal join keys land
+    // on the same node. Strictly: both hashed on the full join key; also
+    // accepted: both hashed on the *same aligned subset* of the join key
+    // (equal join keys imply equal subset values imply equal placement).
+    auto same_class = [](const PlanNode& node, int a, int b) {
+      if (a == b) return true;
+      if (node.slot_class.empty()) return false;
+      return node.slot_class[static_cast<size_t>(a)] ==
+             node.slot_class[static_cast<size_t>(b)];
+    };
+    auto co_hashed = [&](const PartProp& l, const PartProp& r) {
+      if (l.method != PartitionMethod::kHash || r.method != PartitionMethod::kHash) {
+        return false;
+      }
+      if (l.num_partitions != r.num_partitions) return false;
+      if (l.slots.empty() || l.slots.size() != r.slots.size()) return false;
+      for (size_t k = 0; k < l.slots.size(); ++k) {
+        int pos = -1;
+        for (size_t i = 0; i < left_slots.size(); ++i) {
+          if (same_class(*current, left_slots[i], l.slots[k])) {
+            pos = static_cast<int>(i);
+            break;
+          }
+        }
+        if (pos < 0 ||
+            !same_class(*right, right_slots[static_cast<size_t>(pos)], r.slots[k])) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (!local && co_hashed(current->part, right->part)) {
+      local = true;
+      result_prop = ResultProp::kLeft;
+    }
+    // Cases (2) and (3): PREF-side join on its partitioning predicate.
+    auto origin_matches = [&](const PlanNode& node, const std::vector<int>& slots,
+                              TableId table, const std::vector<ColumnId>& cols) {
+      if (slots.size() != cols.size()) return false;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        const OutputCol& c = node.cols[static_cast<size_t>(slots[i])];
+        if (c.origin_table != table || c.origin_col != cols[i]) return false;
+      }
+      return true;
+    };
+    auto check_pref_cases = [&](PlanNode* pref_side, PlanNode* other,
+                                const std::vector<int>& pref_slots,
+                                const std::vector<int>& other_slots) {
+      const PartProp& p = pref_side->part;
+      if (p.method != PartitionMethod::kPref) return false;
+      if (!slots_match(p.slots, pref_slots)) return false;
+      const JoinPredicate& pred = *p.pref_spec->predicate;
+      // Other side must carry the referenced table's predicate columns.
+      if (!origin_matches(*other, other_slots, pred.right_table,
+                          pred.right_columns)) {
+        return false;
+      }
+      if (other->part.num_partitions != p.num_partitions &&
+          other->part.method != PartitionMethod::kNone) {
+        return false;
+      }
+      // Unified case (2)/(3): if the other input still presents the
+      // referenced table's rows at their Definition-1 placements, the PREF
+      // side joins locally regardless of the referenced table's own scheme
+      // (hash, range, round-robin, or another PREF family).
+      {
+        bool referenced_faithful =
+            std::find(other->faithful_tables.begin(), other->faithful_tables.end(),
+                       pred.right_table) != other->faithful_tables.end();
+        if (referenced_faithful) return true;
+      }
+      if (other->part.method == PartitionMethod::kHash) {
+        // Case (2): the hash side must carry the seed scheme — placed by
+        // the same (table, columns) hash the PREF family was built on. The
+        // hash attributes need not be the join columns: e.g. after the
+        // local join (L JOIN O) the intermediate keeps L's hash-on-orderkey
+        // placement, and CUSTOMER (PREF by O, seed L) joins it locally on
+        // custkey because its copies were placed wherever its partner
+        // orders' copies are.
+        return other->part.anchor_table == p.seed_table &&
+               other->part.anchor_columns == p.seed_columns;
+      }
+      if (other->part.method == PartitionMethod::kPref) {
+        // Case (3), generalized to chained intermediates: the referenced
+        // table's rows must still sit at their Definition-1 placements in
+        // the other input (true for base scans and preserved by every
+        // local join), and both PREF families must share the seed scheme.
+        bool referenced_faithful =
+            std::find(other->faithful_tables.begin(), other->faithful_tables.end(),
+                      pred.right_table) != other->faithful_tables.end();
+        return referenced_faithful && other->part.seed_table == p.seed_table &&
+               other->part.seed_columns == p.seed_columns;
+      }
+      return false;
+    };
+    bool left_is_referencing = false, right_is_referencing = false;
+    if (!local && check_pref_cases(current.get(), right.get(), left_slots,
+                                   right_slots)) {
+      local = true;
+      left_is_referencing = true;
+      result_prop =
+          right->part.method == PartitionMethod::kHash ? ResultProp::kHashSide
+                                                       : ResultProp::kRight;
+    } else if (!local && check_pref_cases(right.get(), current.get(), right_slots,
+                                          left_slots)) {
+      local = true;
+      right_is_referencing = true;
+      result_prop = current->part.method == PartitionMethod::kHash
+                        ? ResultProp::kHashSide
+                        : ResultProp::kLeft;
+    }
+
+    if (!local) {
+      // Neither case applies: re-partition so both sides are hashed on the
+      // join keys (duplicates eliminated before shuffling, §2.2). A side
+      // already hash-partitioned on its join key keeps its placement.
+      bool left_ok = current->part.method == PartitionMethod::kHash &&
+                     current->part.num_partitions == n_ &&
+                     slots_match(current->part.slots, left_slots);
+      if (!left_ok) {
+        current = MakeDedup(std::move(current));
+        current = MakeRepartition(std::move(current), left_slots);
+      }
+      bool right_ok = right->part.method == PartitionMethod::kHash &&
+                      right->part.num_partitions == n_ &&
+                      slots_match(right->part.slots, right_slots);
+      if (!right_ok) {
+        right = MakeDedup(std::move(right));
+        right = MakeRepartition(std::move(right), right_slots);
+      }
+      result_prop = ResultProp::kLeft;
+    }
+
+    // Build the join node.
+    auto join = std::make_unique<PlanNode>();
+    join->kind = OpKind::kJoin;
+    join->join_type = step.type;
+    join->join_left_slots = left_slots;
+    join->join_right_slots = right_slots;
+    const int left_ncols = static_cast<int>(current->cols.size());
+    const bool keep_right_cols = step.type == JoinType::kInner;
+
+    join->cols = current->cols;
+    if (keep_right_cols) {
+      for (const auto& c : right->cols) join->cols.push_back(c);
+    }
+
+    auto shift = [&](const std::vector<int>& slots) {
+      std::vector<int> out;
+      for (int s : slots) out.push_back(s + left_ncols);
+      return out;
+    };
+
+    // --- Part(o) and Dup(o) -------------------------------------------
+    const PlanNode& left_ref = *current;
+    const PlanNode& right_ref = *right;
+    if (result_prop == ResultProp::kReplicatedBoth) {
+      join->replicated = true;
+      join->part.method = PartitionMethod::kReplicated;
+      join->part.num_partitions = n_;
+    } else if (!keep_right_cols) {
+      // Semi/anti joins output only left columns: left properties hold.
+      join->part = left_ref.part;
+      join->active_dup_slots = left_ref.active_dup_slots;
+      join->replicated = left_ref.replicated;
+    } else if (left_is_referencing) {
+      // Cases (2)/(3) with the left input referencing: the result takes the
+      // referenced (right) input's scheme; case (2) clears Dup, case (3)
+      // inherits the referenced input's dup status.
+      join->part = right_ref.part;
+      join->part.slots = shift(right_ref.part.slots);
+      if (right_ref.part.method == PartitionMethod::kPref) {
+        join->active_dup_slots = shift(right_ref.active_dup_slots);
+      }
+      join->replicated = false;
+    } else if (right_is_referencing) {
+      join->part = left_ref.part;
+      if (left_ref.part.method == PartitionMethod::kPref) {
+        join->active_dup_slots = left_ref.active_dup_slots;
+      }
+      join->replicated = false;
+    } else {
+      switch (result_prop) {
+        case ResultProp::kLeft:
+          join->part = left_ref.part;
+          join->active_dup_slots = left_ref.active_dup_slots;
+          if (keep_right_cols) {
+            for (int s : right_ref.active_dup_slots) {
+              join->active_dup_slots.push_back(s + left_ncols);
+            }
+          }
+          join->replicated = left_ref.replicated && right_ref.replicated;
+          break;
+        case ResultProp::kRight:
+        case ResultProp::kHashSide:
+          join->part = right_ref.part;
+          join->part.slots = shift(right_ref.part.slots);
+          join->active_dup_slots = left_ref.active_dup_slots;
+          for (int s : right_ref.active_dup_slots) {
+            join->active_dup_slots.push_back(s + left_ncols);
+          }
+          join->replicated = false;
+          break;
+        case ResultProp::kReplicatedBoth:
+          break;  // handled above
+      }
+    }
+
+    // Pruning propagation: when a local join has one equality-pruned scan
+    // side, matching rows of the other side can only live in the same
+    // partition — restrict its scan too (inner/semi; anti joins must keep
+    // scanning the probe side everywhere, which `local` semantics already
+    // handle since only the build side is restricted).
+    if (options_.partition_pruning && local) {
+      auto propagate = [](PlanNode* from, PlanNode* to) {
+        if (from->kind == OpKind::kScan && !from->scan_partitions.empty() &&
+            to->kind == OpKind::kScan && to->scan_partitions.empty()) {
+          to->scan_partitions = from->scan_partitions;
+        }
+      };
+      if (step.type != JoinType::kAnti) {
+        propagate(current.get(), right.get());
+      }
+      propagate(right.get(), current.get());
+    }
+
+    // Placement faithfulness: preserved for both sides of a local join
+    // (exchange nodes carry empty sets, so the union handles the
+    // re-partitioned paths too). Semi/anti keep only the surviving side.
+    join->faithful_tables = left_ref.faithful_tables;
+    if (keep_right_cols) {
+      for (TableId t : right_ref.faithful_tables) join->faithful_tables.push_back(t);
+    }
+
+    // Slot equivalence classes: inherit, then merge the join-key pairs.
+    join->slot_class = left_ref.slot_class;
+    if (keep_right_cols) {
+      for (int c : right_ref.slot_class) join->slot_class.push_back(c + left_ncols);
+      std::function<int(int)> find_class = [&](int s) {
+        while (join->slot_class[static_cast<size_t>(s)] != s) {
+          s = join->slot_class[static_cast<size_t>(s)];
+        }
+        return s;
+      };
+      for (size_t i = 0; i < left_slots.size(); ++i) {
+        int a = find_class(left_slots[i]);
+        int b = find_class(right_slots[i] + left_ncols);
+        if (a != b) join->slot_class[static_cast<size_t>(b)] = a;
+      }
+      for (size_t i = 0; i < join->slot_class.size(); ++i) {
+        join->slot_class[i] = find_class(static_cast<int>(i));
+      }
+    }
+
+    join->children.push_back(std::move(current));
+    join->children.push_back(std::move(right));
+    current = std::move(join);
+  }
+
+  // Residual filter after all joins.
+  if (!query_.residual_filter.empty()) {
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = OpKind::kFilter;
+    filter->cols = current->cols;
+    PREF_ASSIGN_OR_RAISE(filter->filter,
+                         BindDnfToSlots(query_.residual_filter, *current));
+    filter->part = current->part;
+    filter->active_dup_slots = current->active_dup_slots;
+    filter->replicated = current->replicated;
+    filter->faithful_tables = current->faithful_tables;
+    filter->slot_class = current->slot_class;
+    filter->children.push_back(std::move(current));
+    current = std::move(filter);
+  }
+  return current;
+}
+
+Result<std::unique_ptr<PlanNode>> Rewriter::AddAggregation(
+    std::unique_ptr<PlanNode> node) {
+  if (query_.aggregates.empty()) return node;
+
+  // Duplicates must be eliminated before any aggregation.
+  node = MakeDedup(std::move(node));
+
+  // Bind group slots and aggregate inputs.
+  std::vector<int> group_slots;
+  for (const auto& g : query_.group_by) {
+    int s = node->FindCol(g);
+    if (s < 0) return Status::NotFound("group-by column '", g, "' not in plan output");
+    group_slots.push_back(s);
+  }
+  std::vector<BoundAgg> aggs;
+  for (const auto& a : query_.aggregates) {
+    BoundAgg bound;
+    bound.func = a.func;
+    bound.output_name = a.output_name;
+    if (a.func == AggFunc::kCountStar) {
+      bound.slot = -1;
+      bound.output_type = DataType::kInt64;
+    } else {
+      int s = node->FindCol(a.column);
+      if (s < 0) {
+        return Status::NotFound("aggregate column '", a.column,
+                                "' not in plan output");
+      }
+      bound.slot = s;
+      bound.output_type = AggOutputType(a.func, node->cols[static_cast<size_t>(s)].type);
+    }
+    aggs.push_back(std::move(bound));
+  }
+
+  const bool input_replicated = node->replicated;
+
+  // Alignment: input hash-partitioned and group columns start with the
+  // partitioning attributes (§2.2 aggregation rule).
+  bool aligned = false;
+  if (node->part.method == PartitionMethod::kHash &&
+      node->part.num_partitions == n_ &&
+      node->part.slots.size() <= group_slots.size()) {
+    aligned = std::equal(node->part.slots.begin(), node->part.slots.end(),
+                         group_slots.begin());
+  }
+  if (input_replicated) aligned = true;  // executed on a single node
+
+  // Partial aggregation per node.
+  auto partial = std::make_unique<PlanNode>();
+  partial->kind = OpKind::kPartialAgg;
+  partial->group_slots = group_slots;
+  partial->aggs = aggs;
+  for (int g : group_slots) partial->cols.push_back(node->cols[static_cast<size_t>(g)]);
+  for (const auto& a : aggs) {
+    if (a.func == AggFunc::kAvg) {
+      partial->cols.push_back({a.output_name + ".sum", DataType::kDouble,
+                               kInvalidTableId, -1});
+      partial->cols.push_back({a.output_name + ".cnt", DataType::kInt64,
+                               kInvalidTableId, -1});
+    } else {
+      DataType t = a.func == AggFunc::kCount || a.func == AggFunc::kCountStar
+                       ? DataType::kInt64
+                       : a.output_type;
+      partial->cols.push_back({a.output_name, t, kInvalidTableId, -1});
+    }
+  }
+  partial->part = node->part;
+  // Group slots move to the front of the partial layout.
+  partial->part.slots.clear();
+  if (node->part.method == PartitionMethod::kHash && aligned && !input_replicated) {
+    for (size_t i = 0; i < node->part.slots.size(); ++i) {
+      partial->part.slots.push_back(static_cast<int>(i));
+    }
+  } else {
+    partial->part.method = PartitionMethod::kNone;
+  }
+  partial->replicated = false;  // executor reads one copy of replicated input
+  partial->children.push_back(std::move(node));
+  std::unique_ptr<PlanNode> current = std::move(partial);
+
+  // Exchange if not aligned: grouped -> repartition on group columns;
+  // global -> gather to the coordinator.
+  if (!aligned) {
+    if (group_slots.empty()) {
+      auto gather = std::make_unique<PlanNode>();
+      gather->kind = OpKind::kGather;
+      gather->cols = current->cols;
+      gather->part.method = PartitionMethod::kNone;
+      gather->part.num_partitions = n_;
+      gather->children.push_back(std::move(current));
+      current = std::move(gather);
+    } else {
+      std::vector<int> partial_group_slots;
+      for (size_t i = 0; i < group_slots.size(); ++i) {
+        partial_group_slots.push_back(static_cast<int>(i));
+      }
+      current = MakeRepartition(std::move(current), partial_group_slots);
+    }
+  }
+
+  // Final aggregation.
+  auto final_agg = std::make_unique<PlanNode>();
+  final_agg->kind = OpKind::kFinalAgg;
+  for (size_t i = 0; i < group_slots.size(); ++i) {
+    final_agg->group_slots.push_back(static_cast<int>(i));
+    final_agg->cols.push_back(current->cols[i]);
+  }
+  final_agg->aggs = aggs;
+  for (const auto& a : aggs) {
+    final_agg->cols.push_back({a.output_name, a.output_type, kInvalidTableId, -1});
+  }
+  final_agg->part = current->part;
+  final_agg->children.push_back(std::move(current));
+  current = std::move(final_agg);
+
+  // HAVING: a local filter over the aggregated output.
+  if (!query_.having.empty()) {
+    auto having = std::make_unique<PlanNode>();
+    having->kind = OpKind::kFilter;
+    having->cols = current->cols;
+    PREF_ASSIGN_OR_RAISE(having->filter, BindDnfToSlots(query_.having, *current));
+    having->part = current->part;
+    having->children.push_back(std::move(current));
+    current = std::move(having);
+  }
+
+  // Deliver the grouped result to the coordinator.
+  if (!query_.group_by.empty() || aligned) {
+    auto gather = std::make_unique<PlanNode>();
+    gather->kind = OpKind::kGather;
+    gather->cols = current->cols;
+    gather->part.method = PartitionMethod::kNone;
+    gather->part.num_partitions = n_;
+    gather->children.push_back(std::move(current));
+    current = std::move(gather);
+  }
+  return current;
+}
+
+Result<std::unique_ptr<PlanNode>> Rewriter::AddProjection(
+    std::unique_ptr<PlanNode> node) {
+  if (!query_.aggregates.empty()) return node;
+
+  // Projection: eliminate PREF duplicates, gather, project.
+  node = MakeDedup(std::move(node));
+  if (node->kind != OpKind::kGather) {
+    auto gather = std::make_unique<PlanNode>();
+    gather->kind = OpKind::kGather;
+    gather->cols = node->cols;
+    gather->part.method = PartitionMethod::kNone;
+    gather->part.num_partitions = n_;
+    gather->replicated = false;
+    gather->children.push_back(std::move(node));
+    node = std::move(gather);
+  }
+  auto project = std::make_unique<PlanNode>();
+  project->kind = OpKind::kProject;
+  if (query_.projection.empty()) {
+    for (size_t i = 0; i < node->cols.size(); ++i) {
+      if (node->cols[i].name.rfind("__dup.", 0) == 0) continue;
+      project->project_slots.push_back(static_cast<int>(i));
+      project->cols.push_back(node->cols[i]);
+    }
+  } else {
+    for (const auto& name : query_.projection) {
+      int s = node->FindCol(name);
+      if (s < 0) {
+        return Status::NotFound("projection column '", name, "' not in plan output");
+      }
+      project->project_slots.push_back(s);
+      project->cols.push_back(node->cols[static_cast<size_t>(s)]);
+    }
+  }
+  project->part.method = PartitionMethod::kNone;
+  project->part.num_partitions = n_;
+  project->children.push_back(std::move(node));
+  return project;
+}
+
+Result<std::unique_ptr<PlanNode>> Rewriter::Run() {
+  n_ = 0;
+  refs_.resize(query_.tables.size());
+  for (size_t i = 0; i < query_.tables.size(); ++i) {
+    PREF_ASSIGN_OR_RAISE(TableId id, schema_.FindTable(query_.tables[i].table));
+    refs_[i].table = id;
+    const PartitionedTable* pt = pdb_.GetTable(id);
+    if (pt == nullptr) {
+      return Status::Invalid("table '", query_.tables[i].table,
+                             "' is not partitioned in this database");
+    }
+    refs_[i].pt = pt;
+    n_ = std::max(n_, pt->num_partitions());
+  }
+  PREF_RETURN_NOT_OK(CollectNeededColumns());
+  PREF_RETURN_NOT_OK(ApplySemiAntiRewrites());
+  PREF_ASSIGN_OR_RAISE(auto joined, BuildJoins());
+  PREF_ASSIGN_OR_RAISE(auto aggregated, AddAggregation(std::move(joined)));
+  PREF_ASSIGN_OR_RAISE(auto projected, AddProjection(std::move(aggregated)));
+  if (query_.order_by.empty() && query_.limit < 0) return projected;
+  // Coordinator-side sort / limit.
+  auto sort = std::make_unique<PlanNode>();
+  sort->kind = OpKind::kSort;
+  sort->cols = projected->cols;
+  sort->part = projected->part;
+  sort->limit = query_.limit;
+  for (const auto& [name, desc] : query_.order_by) {
+    int slot = projected->FindCol(name);
+    if (slot < 0) {
+      return Status::NotFound("ORDER BY column '", name, "' not in query output");
+    }
+    sort->sort_keys.emplace_back(slot, desc);
+  }
+  sort->children.push_back(std::move(projected));
+  return sort;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PlanNode>> RewriteQuery(const QuerySpec& query,
+                                               const PartitionedDatabase& pdb,
+                                               const QueryOptions& options) {
+  Rewriter rewriter(query, pdb, options);
+  return rewriter.Run();
+}
+
+Result<std::string> ExplainQuery(const QuerySpec& query,
+                                 const PartitionedDatabase& pdb,
+                                 const QueryOptions& options) {
+  PREF_ASSIGN_OR_RAISE(auto plan, RewriteQuery(query, pdb, options));
+  return plan->ToString(pdb.schema());
+}
+
+}  // namespace pref

@@ -1,0 +1,41 @@
+// The §2.2 rewrite process: turns an SPJA QuerySpec into an executable
+// plan over a PartitionedDatabase. Bottom-up, it computes Part(o) and
+// Dup(o) for every operator, inserts re-partitioning and PREF-duplicate
+// elimination where required, recognizes the three no-repartition join
+// cases, and applies the hasS semi-/anti-join rewrites.
+
+#pragma once
+
+#include <memory>
+
+#include "engine/plan.h"
+#include "engine/query.h"
+#include "storage/partition.h"
+
+namespace pref {
+
+struct QueryOptions {
+  /// Apply the PREF-specific optimizations of §2.2: dup-bitmap duplicate
+  /// elimination and hasS semi-/anti-join rewrites. When false (the
+  /// "wo Optimizations" bars of Figure 9), duplicate elimination falls
+  /// back to a full-row shuffle + value-distinct and semi-/anti-joins are
+  /// executed as real joins.
+  bool pref_optimizations = true;
+  /// Partition pruning for seed-key equality predicates (§7 outlook).
+  bool partition_pruning = false;
+};
+
+/// Rewrites `query` for execution over `pdb`. Every table referenced by
+/// the query must have a partitioned representation in `pdb`.
+Result<std::unique_ptr<PlanNode>> RewriteQuery(const QuerySpec& query,
+                                               const PartitionedDatabase& pdb,
+                                               const QueryOptions& options = {});
+
+/// Renders the rewritten plan (EXPLAIN): one line per operator with its
+/// Part(o)/Dup(o) properties, suitable for inspecting which joins execute
+/// locally and where exchanges were inserted.
+Result<std::string> ExplainQuery(const QuerySpec& query,
+                                 const PartitionedDatabase& pdb,
+                                 const QueryOptions& options = {});
+
+}  // namespace pref

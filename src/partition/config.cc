@@ -1,0 +1,169 @@
+#include "partition/config.h"
+
+#include <functional>
+#include <sstream>
+
+namespace pref {
+
+Status PartitioningConfig::AddSpec(const std::string& table, PartitionSpec spec) {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema_->FindTable(table));
+  if (specs_.count(id)) {
+    return Status::AlreadyExists("table '", table, "' already has a spec");
+  }
+  specs_[id] = std::move(spec);
+  finalized_ = false;
+  return Status::OK();
+}
+
+Status PartitioningConfig::AddHash(const std::string& table,
+                                   const std::vector<std::string>& columns) {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema_->FindTable(table));
+  if (columns.empty()) return Status::Invalid("hash partitioning needs columns");
+  std::vector<ColumnId> cols;
+  for (const auto& c : columns) {
+    PREF_ASSIGN_OR_RAISE(ColumnId cid, schema_->table(id).FindColumn(c));
+    cols.push_back(cid);
+  }
+  return AddSpec(table, PartitionSpec::Hash(std::move(cols), num_partitions_));
+}
+
+Status PartitioningConfig::AddHashOnPrimaryKey(const std::string& table) {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema_->FindTable(table));
+  const TableDef& def = schema_->table(id);
+  if (def.primary_key.empty()) {
+    return Status::Invalid("table '", table, "' has no primary key");
+  }
+  return AddSpec(table, PartitionSpec::Hash(def.primary_key, num_partitions_));
+}
+
+Status PartitioningConfig::AddRange(const std::string& table,
+                                    const std::string& column,
+                                    std::vector<Value> bounds) {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema_->FindTable(table));
+  PREF_ASSIGN_OR_RAISE(ColumnId cid, schema_->table(id).FindColumn(column));
+  if (static_cast<int>(bounds.size()) != num_partitions_ - 1) {
+    return Status::Invalid("range partitioning of '", table, "' needs exactly ",
+                           num_partitions_ - 1, " bounds, got ", bounds.size());
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) {
+      return Status::Invalid("range bounds for '", table,
+                             "' must be strictly ascending");
+    }
+  }
+  return AddSpec(table, PartitionSpec::Range(cid, std::move(bounds),
+                                             num_partitions_));
+}
+
+Status PartitioningConfig::AddReplicated(const std::string& table) {
+  return AddSpec(table, PartitionSpec::Replicated(num_partitions_));
+}
+
+Status PartitioningConfig::AddRoundRobin(const std::string& table) {
+  return AddSpec(table, PartitionSpec::RoundRobin(num_partitions_));
+}
+
+Status PartitioningConfig::AddPref(const std::string& table,
+                                   const std::vector<std::string>& columns,
+                                   const std::string& referenced,
+                                   const std::vector<std::string>& ref_columns) {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema_->FindTable(table));
+  PREF_ASSIGN_OR_RAISE(TableId ref_id, schema_->FindTable(referenced));
+  if (id == ref_id) {
+    return Status::Invalid("table '", table, "' cannot PREF-reference itself");
+  }
+  PREF_ASSIGN_OR_RAISE(
+      JoinPredicate p, schema_->MakePredicate(table, columns, referenced, ref_columns));
+  PartitionSpec spec;
+  spec.method = PartitionMethod::kPref;
+  spec.attributes = p.left_columns;
+  spec.num_partitions = num_partitions_;
+  spec.referenced_table = ref_id;
+  spec.predicate = p;
+  return AddSpec(table, std::move(spec));
+}
+
+Status PartitioningConfig::AddRefByForeignKey(const std::string& fk_name) {
+  for (const auto& fk : schema_->foreign_keys()) {
+    if (fk.name != fk_name) continue;
+    const TableDef& src = schema_->table(fk.src_table);
+    const TableDef& dst = schema_->table(fk.dst_table);
+    std::vector<std::string> src_cols, dst_cols;
+    for (ColumnId c : fk.src_columns) src_cols.push_back(src.column(c).name);
+    for (ColumnId c : fk.dst_columns) dst_cols.push_back(dst.column(c).name);
+    return AddPref(src.name, src_cols, dst.name, dst_cols);
+  }
+  return Status::NotFound("foreign key '", fk_name, "' not in schema");
+}
+
+Status PartitioningConfig::Finalize() {
+  load_order_.clear();
+  // Check PREF targets exist and partition counts agree.
+  for (const auto& [id, spec] : specs_) {
+    if (spec.num_partitions != num_partitions_ &&
+        spec.method != PartitionMethod::kReplicated) {
+      return Status::Invalid("table '", schema_->table(id).name,
+                             "' has inconsistent partition count");
+    }
+    if (spec.method == PartitionMethod::kPref) {
+      auto it = specs_.find(spec.referenced_table);
+      if (it == specs_.end()) {
+        return Status::Invalid("PREF table '", schema_->table(id).name,
+                               "' references unpartitioned table '",
+                               schema_->table(spec.referenced_table).name, "'");
+      }
+    }
+  }
+  // Topological sort over PREF edges; also detects cycles.
+  std::map<TableId, int> state;  // 0 = unvisited, 1 = visiting, 2 = done
+  Status cycle_error;
+  std::function<Status(TableId)> visit = [&](TableId id) -> Status {
+    int& st = state[id];
+    if (st == 2) return Status::OK();
+    if (st == 1) {
+      return Status::Invalid("PREF reference cycle through table '",
+                             schema_->table(id).name, "'");
+    }
+    st = 1;
+    const PartitionSpec& spec = specs_.at(id);
+    if (spec.method == PartitionMethod::kPref) {
+      PREF_RETURN_NOT_OK(visit(spec.referenced_table));
+    }
+    st = 2;
+    load_order_.push_back(id);
+    return Status::OK();
+  };
+  for (const auto& [id, spec] : specs_) {
+    PREF_RETURN_NOT_OK(visit(id));
+  }
+  // Resolve seed tables (Definition 1): walk the referenced chain to the
+  // first non-PREF table.
+  for (TableId id : load_order_) {
+    PartitionSpec& spec = specs_.at(id);
+    if (spec.method != PartitionMethod::kPref) continue;
+    const PartitionSpec& ref_spec = specs_.at(spec.referenced_table);
+    if (ref_spec.method == PartitionMethod::kPref) {
+      spec.seed_table = ref_spec.seed_table;
+      spec.seed_attributes = ref_spec.seed_attributes;
+    } else {
+      spec.seed_table = spec.referenced_table;
+      spec.seed_attributes = ref_spec.attributes;
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+std::string PartitioningConfig::ToString() const {
+  std::ostringstream ss;
+  for (const auto& [id, spec] : specs_) {
+    ss << schema_->table(id).name << ": " << spec.ToString(*schema_, id);
+    if (spec.method == PartitionMethod::kPref && spec.seed_table != kInvalidTableId) {
+      ss << " (seed: " << schema_->table(spec.seed_table).name << ")";
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace pref

@@ -1,0 +1,81 @@
+// PartitioningConfig: the paper's "partitioning configuration" — one
+// partitioning scheme per table (§3.1). Validates PREF reference chains
+// (acyclic, consistent partition counts) and resolves each PREF table's
+// seed table (Definition 1).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/partition.h"
+
+namespace pref {
+
+/// \brief Maps every table of a schema to a PartitionSpec.
+class PartitioningConfig {
+ public:
+  PartitioningConfig(const Schema* schema, int num_partitions)
+      : schema_(schema), num_partitions_(num_partitions) {}
+
+  int num_partitions() const { return num_partitions_; }
+  const Schema& schema() const { return *schema_; }
+
+  /// HASH-partition `table` on the named columns.
+  Status AddHash(const std::string& table, const std::vector<std::string>& columns);
+  /// HASH-partition `table` on its primary key.
+  Status AddHashOnPrimaryKey(const std::string& table);
+  /// RANGE-partition `table` on `column` with ascending upper bounds
+  /// (exactly num_partitions - 1 of them; the last partition is unbounded).
+  Status AddRange(const std::string& table, const std::string& column,
+                  std::vector<Value> bounds);
+  /// Replicate `table` to all nodes.
+  Status AddReplicated(const std::string& table);
+  /// ROUND-ROBIN-partition `table`.
+  Status AddRoundRobin(const std::string& table);
+
+  /// PREF-partition `table` by `referenced` with the given equi-join
+  /// partitioning predicate (column lists are positional pairs:
+  /// table.columns[i] = referenced.ref_columns[i]).
+  Status AddPref(const std::string& table, const std::vector<std::string>& columns,
+                 const std::string& referenced,
+                 const std::vector<std::string>& ref_columns);
+
+  /// REF-partition (classic reference partitioning [Eadon et al. 2008]):
+  /// co-partition `table` by the destination of its *outgoing* foreign key
+  /// `fk_name`. Implemented as the PREF special case whose predicate is the
+  /// referential constraint.
+  Status AddRefByForeignKey(const std::string& fk_name);
+
+  /// True if a spec was assigned to `table`.
+  bool Contains(TableId table) const { return specs_.count(table) > 0; }
+  const PartitionSpec& spec(TableId table) const { return specs_.at(table); }
+  const std::map<TableId, PartitionSpec>& specs() const { return specs_; }
+
+  /// Validates the configuration and finalizes PREF metadata:
+  ///  * every PREF-referenced table has a spec,
+  ///  * PREF reference edges are acyclic,
+  ///  * partition counts agree along PREF chains,
+  ///  * seed_table / seed_attributes are resolved for every PREF spec.
+  Status Finalize();
+
+  /// Tables ordered so that every PREF-referenced table precedes its
+  /// referencing tables. Only valid after Finalize().
+  const std::vector<TableId>& LoadOrder() const { return load_order_; }
+
+  bool finalized() const { return finalized_; }
+
+  std::string ToString() const;
+
+ private:
+  Status AddSpec(const std::string& table, PartitionSpec spec);
+
+  const Schema* schema_;
+  int num_partitions_;
+  std::map<TableId, PartitionSpec> specs_;
+  std::vector<TableId> load_order_;
+  bool finalized_ = false;
+};
+
+}  // namespace pref

@@ -1,0 +1,97 @@
+#include "partition/deployment.h"
+
+#include <algorithm>
+
+namespace pref {
+
+bool SpecsEquivalent(const PartitionSpec& a, const PartitionSpec& b) {
+  if (a.method != b.method || a.num_partitions != b.num_partitions) return false;
+  switch (a.method) {
+    case PartitionMethod::kHash:
+      return a.attributes == b.attributes;
+    case PartitionMethod::kRange: {
+      if (a.attributes != b.attributes) return false;
+      if (a.range_bounds.size() != b.range_bounds.size()) return false;
+      for (size_t i = 0; i < a.range_bounds.size(); ++i) {
+        if (!(a.range_bounds[i] == b.range_bounds[i])) return false;
+      }
+      return true;
+    }
+    case PartitionMethod::kPref:
+      return a.referenced_table == b.referenced_table &&
+             a.predicate.has_value() && b.predicate.has_value() &&
+             a.predicate->EquivalentTo(*b.predicate);
+    default:
+      return true;  // replicated / round-robin carry no parameters
+  }
+}
+
+Result<std::vector<std::unique_ptr<PartitionedDatabase>>> Deployment::Materialize(
+    const Database& db) const {
+  std::vector<std::unique_ptr<PartitionedDatabase>> out;
+  for (const auto& config : configs_) {
+    PREF_ASSIGN_OR_RAISE(auto pdb, PartitionDatabase(db, config));
+    out.push_back(std::move(pdb));
+  }
+  return out;
+}
+
+Result<double> Deployment::Redundancy(const Database& db) const {
+  PREF_ASSIGN_OR_RAISE(auto pdbs, Materialize(db));
+  // Count each distinct (table, scheme) once.
+  struct Placed {
+    TableId table;
+    const PartitionSpec* spec;
+    size_t rows;
+  };
+  std::vector<Placed> placed;
+  size_t total_partitioned = 0;
+  size_t total_original = 0;
+  std::vector<bool> seen_table(static_cast<size_t>(db.num_tables()), false);
+  for (size_t i = 0; i < configs_.size(); ++i) {
+    for (const auto& [table_id, spec] : configs_[i].specs()) {
+      bool duplicate = false;
+      for (const auto& p : placed) {
+        if (p.table == table_id && SpecsEquivalent(*p.spec, spec)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      const PartitionedTable* pt = pdbs[i]->GetTable(table_id);
+      placed.push_back({table_id, &spec, pt->TotalRows()});
+      total_partitioned += pt->TotalRows();
+      if (!seen_table[static_cast<size_t>(table_id)]) {
+        seen_table[static_cast<size_t>(table_id)] = true;
+        total_original += db.table(table_id).num_rows();
+      }
+    }
+  }
+  if (total_original == 0) return 0.0;
+  return static_cast<double>(total_partitioned) /
+             static_cast<double>(total_original) - 1.0;
+}
+
+double Deployment::Locality(const Database& db) const {
+  double covered = 0, total = 0;
+  for (const auto& config : configs_) {
+    for (const auto& e : SchemaEdges(db, config)) {
+      total += e.weight;
+      if (EdgeIsLocal(config, e.predicate)) covered += e.weight;
+    }
+  }
+  return total == 0 ? 0.0 : covered / total;
+}
+
+const PartitioningConfig* Deployment::RouteQuery(
+    const std::vector<TableId>& tables) const {
+  const PartitioningConfig* best = nullptr;
+  for (const auto& config : configs_) {
+    bool all = std::all_of(tables.begin(), tables.end(),
+                           [&](TableId t) { return config.Contains(t); });
+    if (all && best == nullptr) best = &config;
+  }
+  return best;
+}
+
+}  // namespace pref

@@ -1,0 +1,54 @@
+// Deployment: a set of partitioning configurations materialized side by
+// side. The workload-driven design (§4) produces one configuration per
+// merged MAST, and a table appearing in several MASTs under *different*
+// schemes is physically duplicated while identical schemes are shared
+// (§4.3). The "CP individual stars" TPC-DS baseline (§5.3) has the same
+// shape. DR for a deployment counts each distinct (table, scheme) pair
+// once, matching the paper's union semantics.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "partition/config.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace pref {
+
+/// True if two specs partition identically (method, attributes, partition
+/// count and — for PREF — referenced table and predicate).
+bool SpecsEquivalent(const PartitionSpec& a, const PartitionSpec& b);
+
+class Deployment {
+ public:
+  void AddConfig(PartitioningConfig config) {
+    configs_.push_back(std::move(config));
+  }
+
+  std::vector<PartitioningConfig>& configs() { return configs_; }
+  const std::vector<PartitioningConfig>& configs() const { return configs_; }
+
+  /// Materializes every configuration against `db`.
+  Result<std::vector<std::unique_ptr<PartitionedDatabase>>> Materialize(
+      const Database& db) const;
+
+  /// DR over the union of all configurations: each (table, scheme) pair is
+  /// stored once; a table under k distinct schemes is stored k times.
+  Result<double> Redundancy(const Database& db) const;
+
+  /// Weighted DL across configurations (each configuration contributes the
+  /// FK edges among its tables).
+  double Locality(const Database& db) const;
+
+  /// The configuration a query touching exactly `tables` routes to: the
+  /// first configuration containing all of them (queries are routed to the
+  /// merged MAST that contains them). Null if none qualifies.
+  const PartitioningConfig* RouteQuery(const std::vector<TableId>& tables) const;
+
+ private:
+  std::vector<PartitioningConfig> configs_;
+};
+
+}  // namespace pref

@@ -1,0 +1,84 @@
+#include "partition/metrics.h"
+
+#include <algorithm>
+
+namespace pref {
+
+std::vector<WeightedEdge> SchemaEdges(const Database& db) {
+  std::vector<WeightedEdge> edges;
+  for (const auto& fk : db.schema().foreign_keys()) {
+    WeightedEdge e;
+    e.predicate = db.schema().PredicateOf(fk);
+    e.weight = static_cast<double>(std::min(db.table(fk.src_table).num_rows(),
+                                            db.table(fk.dst_table).num_rows()));
+    edges.push_back(std::move(e));
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> SchemaEdges(const Database& db,
+                                      const PartitioningConfig& config) {
+  std::vector<WeightedEdge> edges;
+  for (auto& e : SchemaEdges(db)) {
+    if (config.Contains(e.predicate.left_table) &&
+        config.Contains(e.predicate.right_table)) {
+      edges.push_back(std::move(e));
+    }
+  }
+  return edges;
+}
+
+bool EdgeIsLocal(const PartitioningConfig& config, const JoinPredicate& edge) {
+  if (!config.Contains(edge.left_table) || !config.Contains(edge.right_table)) {
+    return false;
+  }
+  const PartitionSpec& l = config.spec(edge.left_table);
+  const PartitionSpec& r = config.spec(edge.right_table);
+  if (l.method == PartitionMethod::kReplicated ||
+      r.method == PartitionMethod::kReplicated) {
+    return true;
+  }
+  // One side PREF-partitioned by the other on this predicate.
+  if (l.method == PartitionMethod::kPref &&
+      l.referenced_table == edge.right_table && l.predicate.has_value() &&
+      l.predicate->EquivalentTo(edge)) {
+    return true;
+  }
+  if (r.method == PartitionMethod::kPref && r.referenced_table == edge.left_table &&
+      r.predicate.has_value() && r.predicate->EquivalentTo(edge.Reversed())) {
+    return true;
+  }
+  // Co-hash on the join key.
+  if (l.method == PartitionMethod::kHash && r.method == PartitionMethod::kHash &&
+      l.num_partitions == r.num_partitions && l.attributes == edge.left_columns &&
+      r.attributes == edge.right_columns) {
+    return true;
+  }
+  return false;
+}
+
+double DataLocality(const PartitioningConfig& config,
+                    const std::vector<WeightedEdge>& edges) {
+  double covered = 0, total = 0;
+  for (const auto& e : edges) {
+    total += e.weight;
+    if (EdgeIsLocal(config, e.predicate)) covered += e.weight;
+  }
+  return total == 0 ? 0.0 : covered / total;
+}
+
+LocalityReport EvaluateConfig(const PartitioningConfig& config,
+                              const std::vector<WeightedEdge>& edges,
+                              const PartitionedDatabase& pdb) {
+  LocalityReport report;
+  for (const auto& e : edges) {
+    report.total_weight += e.weight;
+    if (EdgeIsLocal(config, e.predicate)) report.covered_weight += e.weight;
+  }
+  report.data_locality =
+      report.total_weight == 0 ? 0.0 : report.covered_weight / report.total_weight;
+  report.data_redundancy = pdb.DataRedundancy();
+  return report;
+}
+
+}  // namespace pref

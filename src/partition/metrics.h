@@ -1,0 +1,54 @@
+// Data-locality (DL, §3.2) and data-redundancy (DR, §3.3) metrics for a
+// partitioning configuration over a weighted join-edge set.
+
+#pragma once
+
+#include <vector>
+
+#include "partition/config.h"
+#include "storage/table.h"
+
+namespace pref {
+
+/// \brief One edge of a schema graph G_S: an equi-join predicate weighted by
+/// the network cost of executing it remotely (the size of the smaller of
+/// the two tables, per §3.1).
+struct WeightedEdge {
+  JoinPredicate predicate;
+  double weight = 0;
+};
+
+/// Builds the schema-driven edge set: one edge per referential constraint,
+/// weighted by min(|src|, |dst|) from the actual table cardinalities.
+std::vector<WeightedEdge> SchemaEdges(const Database& db);
+
+/// Builds the same edge set over a schema subset (tables without a spec in
+/// `config` are skipped).
+std::vector<WeightedEdge> SchemaEdges(const Database& db,
+                                      const PartitioningConfig& config);
+
+/// \brief Whether a join over `edge` executes without network transfer
+/// under `config`:
+///  * either side replicated, or
+///  * one side PREF-partitioned by the other with an equivalent predicate, or
+///  * both sides hash-partitioned on exactly the predicate columns with the
+///    same partition count.
+bool EdgeIsLocal(const PartitioningConfig& config, const JoinPredicate& edge);
+
+struct LocalityReport {
+  double data_locality = 0;    // DL in [0, 1]
+  double data_redundancy = 0;  // DR >= 0
+  double covered_weight = 0;
+  double total_weight = 0;
+};
+
+/// Computes DL over `edges` and DR over the materialized `pdb`.
+LocalityReport EvaluateConfig(const PartitioningConfig& config,
+                              const std::vector<WeightedEdge>& edges,
+                              const PartitionedDatabase& pdb);
+
+/// DL only (no materialized database needed).
+double DataLocality(const PartitioningConfig& config,
+                    const std::vector<WeightedEdge>& edges);
+
+}  // namespace pref

@@ -1,0 +1,170 @@
+#include "partition/mutation.h"
+
+#include <set>
+
+#include "engine/plan.h"
+#include "partition/partitioner.h"
+
+namespace pref {
+
+namespace {
+
+/// Binds a name-based Dnf to ColumnIds of `def`.
+Result<BoundDnf> BindDnf(const TableDef& def, const Dnf& filter) {
+  BoundDnf bound;
+  for (const auto& conj : filter.disjuncts) {
+    std::vector<BoundPredicate> preds;
+    for (const auto& p : conj) {
+      PREF_ASSIGN_OR_RAISE(ColumnId c, def.FindColumn(p.column));
+      preds.push_back({c, p.op, p.value, p.value_hi});
+    }
+    bound.disjuncts.push_back(std::move(preds));
+  }
+  return bound;
+}
+
+bool Matches(const BoundDnf& dnf, const RowBlock& rows, size_t r) {
+  if (dnf.empty()) return true;
+  for (const auto& conj : dnf.disjuncts) {
+    bool all = true;
+    for (const auto& p : conj) {
+      Value v = rows.column(p.slot).GetValue(r);
+      bool ok = false;
+      switch (p.op) {
+        case CompareOp::kEq:
+          ok = v == p.value;
+          break;
+        case CompareOp::kNe:
+          ok = !(v == p.value);
+          break;
+        case CompareOp::kLt:
+          ok = v < p.value;
+          break;
+        case CompareOp::kLe:
+          ok = v < p.value || v == p.value;
+          break;
+        case CompareOp::kGt:
+          ok = p.value < v;
+          break;
+        case CompareOp::kGe:
+          ok = p.value < v || v == p.value;
+          break;
+        case CompareOp::kBetween:
+          ok = !(v < p.value) && !(p.value_hi < v);
+          break;
+      }
+      if (!ok) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+void RebuildIndexes(PartitionedTable* table) {
+  for (auto& [cols, idx] : table->indexes()) {
+    idx = std::make_unique<PartitionIndex>();
+    for (int p = 0; p < table->num_partitions(); ++p) {
+      const RowBlock& rows = table->partition(p).rows;
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        PartitionIndex::Key key;
+        for (ColumnId c : cols) key.push_back(rows.column(c).GetValue(r));
+        idx->Add(key, p);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::set<ColumnId>> Mutator::FrozenColumns(const Schema& schema,
+                                                  TableId table) const {
+  std::set<ColumnId> frozen;
+  if (config_ == nullptr) return frozen;
+  if (config_->Contains(table)) {
+    const PartitionSpec& spec = config_->spec(table);
+    for (ColumnId c : spec.attributes) frozen.insert(c);
+    if (spec.method == PartitionMethod::kPref) {
+      for (ColumnId c : spec.predicate->left_columns) frozen.insert(c);
+    }
+  }
+  // Columns of `table` referenced by other tables' PREF predicates.
+  for (const auto& [other, spec] : config_->specs()) {
+    if (spec.method == PartitionMethod::kPref && spec.referenced_table == table) {
+      for (ColumnId c : spec.predicate->right_columns) frozen.insert(c);
+    }
+  }
+  return frozen;
+}
+
+Result<MutationStats> Mutator::Delete(PartitionedDatabase* pdb,
+                                      const std::string& table, const Dnf& filter) {
+  PREF_ASSIGN_OR_RAISE(PartitionedTable * pt, pdb->FindTable(table));
+  PREF_ASSIGN_OR_RAISE(BoundDnf bound, BindDnf(pt->def(), filter));
+  MutationStats stats;
+  for (int p = 0; p < pt->num_partitions(); ++p) {
+    Partition& part = pt->partition(p);
+    const size_t n = part.rows.num_rows();
+    std::vector<bool> keep(n, true);
+    for (size_t r = 0; r < n; ++r) {
+      if (!Matches(bound, part.rows, r)) continue;
+      keep[r] = false;
+      stats.copies_affected++;
+      // Count each logical tuple once: the dup=0 copy (or any copy for
+      // non-PREF tables, where copies are unique per partition anyway).
+      if (part.dup.empty() || !part.dup.Get(r)) stats.tuples_affected++;
+    }
+    for (int c = 0; c < part.rows.num_columns(); ++c) {
+      part.rows.column(c).RemoveRows(keep);
+    }
+    if (!part.dup.empty()) {
+      Bitmap dup, partner;
+      for (size_t r = 0; r < n; ++r) {
+        if (!keep[r]) continue;
+        dup.PushBack(part.dup.Get(r));
+        partner.PushBack(part.has_partner.Get(r));
+      }
+      part.dup = std::move(dup);
+      part.has_partner = std::move(partner);
+    }
+  }
+  // Replicated tables store each tuple once per node.
+  if (pt->spec().method == PartitionMethod::kReplicated && pt->num_partitions() > 0) {
+    stats.tuples_affected /= static_cast<size_t>(pt->num_partitions());
+  }
+  RebuildIndexes(pt);
+  return stats;
+}
+
+Result<MutationStats> Mutator::Update(PartitionedDatabase* pdb,
+                                      const std::string& table,
+                                      const std::string& column, const Value& value,
+                                      const Dnf& filter) {
+  PREF_ASSIGN_OR_RAISE(PartitionedTable * pt, pdb->FindTable(table));
+  PREF_ASSIGN_OR_RAISE(ColumnId target, pt->def().FindColumn(column));
+  PREF_ASSIGN_OR_RAISE(auto frozen, FrozenColumns(pdb->schema(), pt->id()));
+  if (frozen.count(target)) {
+    return Status::Invalid(
+        "column '", column, "' of table '", table,
+        "' participates in a partitioning predicate and cannot be updated (§2.3)");
+  }
+  PREF_ASSIGN_OR_RAISE(BoundDnf bound, BindDnf(pt->def(), filter));
+  MutationStats stats;
+  for (int p = 0; p < pt->num_partitions(); ++p) {
+    Partition& part = pt->partition(p);
+    for (size_t r = 0; r < part.rows.num_rows(); ++r) {
+      if (!Matches(bound, part.rows, r)) continue;
+      PREF_RETURN_NOT_OK(part.rows.column(target).SetValue(r, value));
+      stats.copies_affected++;
+      if (part.dup.empty() || !part.dup.Get(r)) stats.tuples_affected++;
+    }
+  }
+  if (pt->spec().method == PartitionMethod::kReplicated && pt->num_partitions() > 0) {
+    stats.tuples_affected /= static_cast<size_t>(pt->num_partitions());
+  }
+  return stats;
+}
+
+}  // namespace pref

@@ -1,0 +1,56 @@
+// Updates and deletes over partitioned tables (§2.3, last paragraph):
+// "updates and deletes over a PREF partitioned table are applied to all
+// partitions. However, we do not allow that updates modify those attributes
+// used in a partitioning predicate of a PREF scheme (neither in the
+// referenced nor in the referencing table)."
+
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "engine/query.h"
+#include "partition/config.h"
+#include "storage/partition.h"
+
+namespace pref {
+
+struct MutationStats {
+  /// Logical tuples affected (each counted once).
+  size_t tuples_affected = 0;
+  /// Physical copies touched across partitions (>= tuples for PREF).
+  size_t copies_affected = 0;
+};
+
+/// \brief Applies §2.3-style mutations to a PartitionedDatabase.
+///
+/// The `config` is consulted to reject updates that would touch any column
+/// participating in a partitioning predicate or hash key (which would
+/// silently break Definition 1). Deletes are unrestricted — removing every
+/// copy of a tuple preserves the invariants, though downstream PREF tables
+/// may be left with orphan placements (the same holds in the paper's
+/// system; re-partitioning restores minimality).
+class Mutator {
+ public:
+  explicit Mutator(const PartitioningConfig* config) : config_(config) {}
+
+  /// Deletes every copy of the tuples matching `filter` (bound by name to
+  /// columns of `table`) from all partitions.
+  Result<MutationStats> Delete(PartitionedDatabase* pdb, const std::string& table,
+                               const Dnf& filter);
+
+  /// Sets `column = value` on every copy of the tuples matching `filter`.
+  /// Fails with Invalid if `column` is a partitioning attribute of the
+  /// table or appears in any PREF predicate referencing it.
+  Result<MutationStats> Update(PartitionedDatabase* pdb, const std::string& table,
+                               const std::string& column, const Value& value,
+                               const Dnf& filter);
+
+ private:
+  /// Columns of `table` that no update may modify.
+  Result<std::set<ColumnId>> FrozenColumns(const Schema& schema, TableId table) const;
+
+  const PartitioningConfig* config_;
+};
+
+}  // namespace pref

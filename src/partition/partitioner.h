@@ -1,0 +1,38 @@
+// The partitioner: applies a PartitioningConfig to an unpartitioned
+// Database D, producing the partitioned database D^P.
+//
+// Implements Definition 1 of the paper for PREF tables:
+//   (1) a tuple r of the referencing table R is placed into every partition
+//       P_i(R) for which some s in P_i(S) satisfies the partitioning
+//       predicate p(r, s) — duplicating r when partners exist in several
+//       partitions of S;
+//   (2) tuples without any partitioning partner are assigned round-robin.
+// It also materializes the §2.1 auxiliary indexes (dup, hasS) and the §2.3
+// partition indexes on every referenced attribute set.
+
+#pragma once
+
+#include <memory>
+
+#include "partition/config.h"
+#include "storage/partition.h"
+#include "storage/table.h"
+
+namespace pref {
+
+/// \brief Partitions `db` according to `config` (which must Finalize()
+/// cleanly; PartitionDatabase finalizes it if the caller has not).
+///
+/// Tables are processed in PREF dependency order. For every PREF predicate,
+/// a partition index is built on the referenced table's predicate columns
+/// and retained for later bulk loads.
+Result<std::unique_ptr<PartitionedDatabase>> PartitionDatabase(
+    const Database& db, PartitioningConfig config);
+
+/// \brief Builds (or rebuilds) a partition index on `columns` of `table`
+/// from its current partition contents. Exposed for bulk loading and for
+/// the Fig-10 ablation which loads without pre-built indexes.
+PartitionIndex* BuildPartitionIndex(PartitionedTable* table,
+                                    const std::vector<ColumnId>& columns);
+
+}  // namespace pref

@@ -1,0 +1,106 @@
+#include "partition/presets.h"
+
+#include <algorithm>
+
+#include "catalog/tpcds_schema.h"
+
+namespace pref {
+
+Result<PartitioningConfig> MakeAllHashed(const Schema& schema, int num_partitions) {
+  PartitioningConfig config(&schema, num_partitions);
+  for (const auto& t : schema.tables()) {
+    if (t.primary_key.empty()) {
+      PREF_RETURN_NOT_OK(config.AddHash(t.name, {t.columns[0].name}));
+    } else {
+      PREF_RETURN_NOT_OK(config.AddHashOnPrimaryKey(t.name));
+    }
+  }
+  PREF_RETURN_NOT_OK(config.Finalize());
+  return config;
+}
+
+Result<PartitioningConfig> MakeAllReplicated(const Schema& schema,
+                                             int num_partitions) {
+  PartitioningConfig config(&schema, num_partitions);
+  for (const auto& t : schema.tables()) {
+    PREF_RETURN_NOT_OK(config.AddReplicated(t.name));
+  }
+  PREF_RETURN_NOT_OK(config.Finalize());
+  return config;
+}
+
+Result<PartitioningConfig> MakeTpchClassical(const Schema& schema,
+                                             int num_partitions) {
+  PartitioningConfig config(&schema, num_partitions);
+  PREF_RETURN_NOT_OK(config.AddHash("lineitem", {"l_orderkey"}));
+  PREF_RETURN_NOT_OK(config.AddHash("orders", {"o_orderkey"}));
+  for (const auto& t : schema.tables()) {
+    if (t.name == "lineitem" || t.name == "orders") continue;
+    PREF_RETURN_NOT_OK(config.AddReplicated(t.name));
+  }
+  PREF_RETURN_NOT_OK(config.Finalize());
+  return config;
+}
+
+Result<PartitioningConfig> MakeTpcdsClassicalNaive(const Schema& schema,
+                                                   int num_partitions) {
+  PartitioningConfig config(&schema, num_partitions);
+  // Biggest table co-hashed with its biggest connected table on the
+  // composite sales/returns join key.
+  PREF_RETURN_NOT_OK(
+      config.AddHash("store_sales", {"ss_item_sk", "ss_ticket_number"}));
+  PREF_RETURN_NOT_OK(
+      config.AddHash("store_returns", {"sr_item_sk", "sr_ticket_number"}));
+  for (const auto& t : schema.tables()) {
+    if (t.name == "store_sales" || t.name == "store_returns") continue;
+    PREF_RETURN_NOT_OK(config.AddReplicated(t.name));
+  }
+  PREF_RETURN_NOT_OK(config.Finalize());
+  return config;
+}
+
+Result<Deployment> MakeTpcdsClassicalStars(const Database& db, int num_partitions) {
+  const Schema& schema = db.schema();
+  Deployment deployment;
+  for (const auto& fact_name : TpcdsFactTables()) {
+    PREF_ASSIGN_OR_RAISE(TableId fact_id, schema.FindTable(fact_name));
+    // Collect dimensions directly referenced by this fact table (fact-fact
+    // edges, e.g. returns -> sales, are cut by the star decomposition).
+    struct Dim {
+      const ForeignKey* fk;
+      size_t rows;
+    };
+    std::vector<Dim> dims;
+    for (const auto& fk : schema.foreign_keys()) {
+      if (fk.src_table != fact_id) continue;
+      if (TpcdsIsFactTable(schema.table(fk.dst_table).name)) continue;
+      dims.push_back({&fk, db.table(fk.dst_table).num_rows()});
+    }
+    if (dims.empty()) {
+      return Status::Internal("fact table '", fact_name, "' has no dimensions");
+    }
+    // Co-hash the fact with its biggest dimension on the FK join key.
+    const Dim* biggest =
+        &*std::max_element(dims.begin(), dims.end(),
+                           [](const Dim& a, const Dim& b) { return a.rows < b.rows; });
+    PartitioningConfig config(&schema, num_partitions);
+    const TableDef& fact = schema.table(fact_id);
+    const TableDef& big_dim = schema.table(biggest->fk->dst_table);
+    std::vector<std::string> fact_cols, dim_cols;
+    for (ColumnId c : biggest->fk->src_columns) fact_cols.push_back(fact.column(c).name);
+    for (ColumnId c : biggest->fk->dst_columns)
+      dim_cols.push_back(big_dim.column(c).name);
+    PREF_RETURN_NOT_OK(config.AddHash(fact.name, fact_cols));
+    PREF_RETURN_NOT_OK(config.AddHash(big_dim.name, dim_cols));
+    for (const auto& d : dims) {
+      const std::string& name = schema.table(d.fk->dst_table).name;
+      if (name == big_dim.name || config.Contains(d.fk->dst_table)) continue;
+      PREF_RETURN_NOT_OK(config.AddReplicated(name));
+    }
+    PREF_RETURN_NOT_OK(config.Finalize());
+    deployment.AddConfig(std::move(config));
+  }
+  return deployment;
+}
+
+}  // namespace pref

@@ -1,0 +1,40 @@
+// Baseline partitioning configurations from §5 of the paper:
+//  * All Hashed / All Replicated (Figure 11 baselines),
+//  * Classical Partitioning CP for TPC-H (co-hash LINEITEM/ORDERS on the
+//    join key, replicate the rest) — the manual data-warehousing design,
+//  * CP Naive and CP Individual Stars for TPC-DS.
+
+#pragma once
+
+#include "common/result.h"
+#include "partition/config.h"
+#include "partition/deployment.h"
+#include "storage/table.h"
+
+namespace pref {
+
+/// Every table hash-partitioned on its primary key (DL = 0, DR = 0).
+Result<PartitioningConfig> MakeAllHashed(const Schema& schema, int num_partitions);
+
+/// Every table replicated (DL = 1, DR = n-1).
+Result<PartitioningConfig> MakeAllReplicated(const Schema& schema,
+                                             int num_partitions);
+
+/// Classical TPC-H warehouse design: LINEITEM and ORDERS hash co-partitioned
+/// on the orderkey, all other tables replicated.
+Result<PartitioningConfig> MakeTpchClassical(const Schema& schema,
+                                             int num_partitions);
+
+/// CP Naive for TPC-DS: the biggest table (store_sales) co-hashed with its
+/// biggest connected table (store_returns) on their composite join key;
+/// everything else replicated.
+Result<PartitioningConfig> MakeTpcdsClassicalNaive(const Schema& schema,
+                                                   int num_partitions);
+
+/// CP Individual Stars for TPC-DS: one configuration per fact table; in
+/// each star the fact table is co-hashed with its biggest dimension on the
+/// join key and the remaining dimensions of the star are replicated.
+/// Dimension tables shared by several stars are duplicated at the cut.
+Result<Deployment> MakeTpcdsClassicalStars(const Database& db, int num_partitions);
+
+}  // namespace pref

@@ -1,0 +1,159 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace pref {
+namespace sql {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE",   "GROUP", "BY",    "JOIN", "SEMI",
+      "ANTI",   "ON",    "AND",     "OR",    "AS",    "SUM",  "COUNT",
+      "AVG",    "MIN",   "MAX",     "BETWEEN", "NOT", "INNER",
+      "HAVING", "ORDER", "LIMIT", "ASC", "DESC"};
+  return kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+}  // namespace
+
+bool IsKeyword(const std::string& upper) { return Keywords().count(upper) > 0; }
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenKind kind, std::string text, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      // Identifier, possibly dotted (alias.column).
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_' || input[j] == '.')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (word.find('.') == std::string::npos && IsKeyword(upper)) {
+        push(TokenKind::kKeyword, upper, start);
+      } else {
+        push(TokenKind::kIdentifier, word, start);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') is_float = true;
+        ++j;
+      }
+      std::string num = input.substr(i, j - i);
+      Token t;
+      t.position = start;
+      t.text = num;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::stod(num);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::stoll(num);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::Invalid("unterminated string literal at offset ", start);
+      }
+      push(TokenKind::kString, input.substr(i + 1, j - i - 1), start);
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        break;
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+        } else {
+          return Status::Invalid("unexpected '!' at offset ", start);
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::Invalid("unexpected character '", std::string(1, c),
+                               "' at offset ", start);
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace pref

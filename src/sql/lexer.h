@@ -1,0 +1,49 @@
+// SQL lexer for the engine's SPJA subset.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pref {
+namespace sql {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // foo, foo.bar (dotted identifiers are one token)
+  kKeyword,     // SELECT, FROM, ... (uppercased in `text`)
+  kInteger,
+  kFloat,
+  kString,  // 'quoted' (quotes stripped)
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kEq,
+  kNe,  // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset for error messages
+};
+
+/// Tokenizes `input`; keywords are recognized case-insensitively and
+/// reported uppercased.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True if `word` (uppercase) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace sql
+}  // namespace pref

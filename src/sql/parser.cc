@@ -1,0 +1,447 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "sql/lexer.h"
+
+namespace pref {
+namespace sql {
+
+namespace {
+
+CompareOp NegateOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+    case CompareOp::kBetween:
+      return CompareOp::kBetween;  // caller rejects NOT BETWEEN
+  }
+  return op;
+}
+
+struct SelectItem {
+  bool is_agg = false;
+  AggFunc func = AggFunc::kCountStar;
+  std::string column;  // empty for COUNT(*)
+  std::string name;
+};
+
+class Parser {
+ public:
+  Parser(const Schema& schema, std::vector<Token> tokens, std::string name)
+      : schema_(schema), tokens_(std::move(tokens)) {
+    spec_.name = std::move(name);
+  }
+
+  Result<QuerySpec> Parse() {
+    PREF_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    PREF_RETURN_NOT_OK(ParseSelectList());
+    PREF_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    PREF_RETURN_NOT_OK(ParseFrom());
+    if (AcceptKeyword("WHERE")) {
+      PREF_ASSIGN_OR_RAISE(Dnf where, ParseOr());
+      PREF_RETURN_NOT_OK(AttachWhere(std::move(where)));
+    }
+    if (AcceptKeyword("GROUP")) {
+      PREF_RETURN_NOT_OK(ExpectKeyword("BY"));
+      PREF_RETURN_NOT_OK(ParseGroupBy());
+    }
+    if (AcceptKeyword("HAVING")) {
+      PREF_ASSIGN_OR_RAISE(spec_.having, ParseOr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      PREF_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        PREF_ASSIGN_OR_RAISE(std::string col, ExpectIdentifier("order-by column"));
+        bool desc = false;
+        if (AcceptKeyword("DESC")) {
+          desc = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        spec_.order_by.emplace_back(std::move(col), desc);
+      } while (Accept(TokenKind::kComma));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInteger) return Error("expected LIMIT count");
+      spec_.limit = Next().int_value;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    PREF_RETURN_NOT_OK(AssembleOutputs());
+    return spec_;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) return Error("expected ", kw);
+    return Status::OK();
+  }
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Accept(kind)) return Error("expected ", what);
+    return Status::OK();
+  }
+  template <typename... Args>
+  Status Error(Args&&... args) const {
+    return Status::Invalid("SQL parse error at offset ", Peek().position, ": ",
+                           std::forward<Args>(args)...);
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) return Error("expected ", what);
+    return Next().text;
+  }
+
+  // --- SELECT ----------------------------------------------------------
+  Status ParseSelectList() {
+    do {
+      SelectItem item;
+      if (Peek().kind == TokenKind::kStar) {
+        ++pos_;
+        select_star_ = true;
+        continue;
+      }
+      if (Peek().kind == TokenKind::kKeyword &&
+          (Peek().text == "SUM" || Peek().text == "COUNT" || Peek().text == "AVG" ||
+           Peek().text == "MIN" || Peek().text == "MAX")) {
+        std::string func = Next().text;
+        PREF_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+        item.is_agg = true;
+        if (func == "SUM") item.func = AggFunc::kSum;
+        if (func == "AVG") item.func = AggFunc::kAvg;
+        if (func == "MIN") item.func = AggFunc::kMin;
+        if (func == "MAX") item.func = AggFunc::kMax;
+        if (func == "COUNT") {
+          if (Accept(TokenKind::kStar)) {
+            item.func = AggFunc::kCountStar;
+            PREF_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+            item.name = "count";
+            PREF_RETURN_NOT_OK(MaybeAlias(&item));
+            items_.push_back(std::move(item));
+            continue;
+          }
+          item.func = AggFunc::kCount;
+        }
+        PREF_ASSIGN_OR_RAISE(item.column, ExpectIdentifier("aggregate argument"));
+        PREF_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        std::string base = item.column;
+        std::replace(base.begin(), base.end(), '.', '_');
+        item.name = func;
+        std::transform(item.name.begin(), item.name.end(), item.name.begin(),
+                       [](char c) { return static_cast<char>(std::tolower(c)); });
+        item.name += "_" + base;
+        PREF_RETURN_NOT_OK(MaybeAlias(&item));
+        items_.push_back(std::move(item));
+        continue;
+      }
+      PREF_ASSIGN_OR_RAISE(item.column, ExpectIdentifier("select column"));
+      item.name = item.column;
+      PREF_RETURN_NOT_OK(MaybeAlias(&item));
+      items_.push_back(std::move(item));
+    } while (Accept(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Status MaybeAlias(SelectItem* item) {
+    if (AcceptKeyword("AS")) {
+      PREF_ASSIGN_OR_RAISE(item->name, ExpectIdentifier("alias"));
+    }
+    return Status::OK();
+  }
+
+  // --- FROM / JOIN ------------------------------------------------------
+  Status ParseFrom() {
+    PREF_RETURN_NOT_OK(ParseTableRef());
+    for (;;) {
+      JoinType type = JoinType::kInner;
+      if (AcceptKeyword("SEMI")) {
+        type = JoinType::kSemi;
+      } else if (AcceptKeyword("ANTI")) {
+        type = JoinType::kAnti;
+      } else {
+        AcceptKeyword("INNER");
+      }
+      if (!AcceptKeyword("JOIN")) {
+        if (type != JoinType::kInner) return Error("expected JOIN");
+        break;
+      }
+      PREF_RETURN_NOT_OK(ParseTableRef());
+      PREF_RETURN_NOT_OK(ExpectKeyword("ON"));
+      JoinStep step;
+      step.table_index = static_cast<int>(spec_.tables.size()) - 1;
+      step.type = type;
+      do {
+        PREF_ASSIGN_OR_RAISE(std::string a, ExpectIdentifier("join column"));
+        PREF_RETURN_NOT_OK(Expect(TokenKind::kEq, "="));
+        PREF_ASSIGN_OR_RAISE(std::string b, ExpectIdentifier("join column"));
+        // Orient: the side belonging to the newly joined table is "right".
+        PREF_ASSIGN_OR_RAISE(int ta, TableOf(a));
+        PREF_ASSIGN_OR_RAISE(int tb, TableOf(b));
+        if (tb == step.table_index && ta != step.table_index) {
+          step.left_columns.push_back(a);
+          step.right_columns.push_back(b);
+        } else if (ta == step.table_index && tb != step.table_index) {
+          step.left_columns.push_back(b);
+          step.right_columns.push_back(a);
+        } else {
+          return Error("join condition must link the joined table to an earlier one");
+        }
+      } while (AcceptKeyword("AND"));
+      spec_.joins.push_back(std::move(step));
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef() {
+    PREF_ASSIGN_OR_RAISE(std::string table, ExpectIdentifier("table name"));
+    PREF_RETURN_NOT_OK(schema_.FindTable(table).status());
+    std::string alias;
+    if (Peek().kind == TokenKind::kIdentifier) alias = Next().text;
+    spec_.tables.push_back({table, alias});
+    spec_.table_filters.emplace_back();
+    return Status::OK();
+  }
+
+  /// Table-ref index owning qualified/bare column `name`.
+  Result<int> TableOf(const std::string& name) const {
+    for (size_t i = 0; i < spec_.tables.size(); ++i) {
+      const TableRef& ref = spec_.tables[i];
+      std::string alias = ref.alias.empty() ? ref.table : ref.alias;
+      std::string bare = name;
+      if (name.size() > alias.size() + 1 && name.compare(0, alias.size(), alias) == 0 &&
+          name[alias.size()] == '.') {
+        bare = name.substr(alias.size() + 1);
+      } else if (alias != ref.table) {
+        continue;
+      }
+      TableId id = *schema_.FindTable(ref.table);
+      if (schema_.table(id).FindColumn(bare).ok()) return static_cast<int>(i);
+    }
+    return Error("column '", name, "' not resolvable");
+  }
+
+  // --- WHERE (recursive descent to DNF) ---------------------------------
+  Result<Dnf> ParseOr() {
+    PREF_ASSIGN_OR_RAISE(Dnf left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      PREF_ASSIGN_OR_RAISE(Dnf right, ParseAnd());
+      for (auto& d : right.disjuncts) left.disjuncts.push_back(std::move(d));
+    }
+    return left;
+  }
+
+  Result<Dnf> ParseAnd() {
+    PREF_ASSIGN_OR_RAISE(Dnf left, ParsePrimary());
+    while (AcceptKeyword("AND")) {
+      PREF_ASSIGN_OR_RAISE(Dnf right, ParsePrimary());
+      // Distribute: (A1|A2) AND (B1|B2) = A1B1|A1B2|A2B1|A2B2.
+      Dnf combined;
+      for (const auto& a : left.disjuncts) {
+        for (const auto& b : right.disjuncts) {
+          auto conj = a;
+          conj.insert(conj.end(), b.begin(), b.end());
+          combined.disjuncts.push_back(std::move(conj));
+        }
+      }
+      left = std::move(combined);
+    }
+    return left;
+  }
+
+  Result<Dnf> ParsePrimary() {
+    if (AcceptKeyword("NOT")) {
+      if (Accept(TokenKind::kLParen)) {
+        return Error("NOT over parenthesized expressions is not supported");
+      }
+      PREF_ASSIGN_OR_RAISE(SimplePredicate pred, ParsePredicate());
+      if (pred.op == CompareOp::kBetween) {
+        return Error("NOT BETWEEN is not supported");
+      }
+      pred.op = NegateOp(pred.op);
+      return Dnf::And({std::move(pred)});
+    }
+    if (Accept(TokenKind::kLParen)) {
+      PREF_ASSIGN_OR_RAISE(Dnf inner, ParseOr());
+      PREF_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+      return inner;
+    }
+    PREF_ASSIGN_OR_RAISE(SimplePredicate pred, ParsePredicate());
+    return Dnf::And({std::move(pred)});
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger:
+        ++pos_;
+        return Value(t.int_value);
+      case TokenKind::kFloat:
+        ++pos_;
+        return Value(t.float_value);
+      case TokenKind::kString:
+        ++pos_;
+        return Value(t.text);
+      default:
+        return Error("expected literal");
+    }
+  }
+
+  Result<SimplePredicate> ParsePredicate() {
+    PREF_ASSIGN_OR_RAISE(std::string column, ExpectIdentifier("column"));
+    SimplePredicate pred;
+    pred.column = std::move(column);
+    if (AcceptKeyword("BETWEEN")) {
+      pred.op = CompareOp::kBetween;
+      PREF_ASSIGN_OR_RAISE(pred.value, ParseLiteral());
+      PREF_RETURN_NOT_OK(ExpectKeyword("AND"));
+      PREF_ASSIGN_OR_RAISE(pred.value_hi, ParseLiteral());
+      return pred;
+    }
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        pred.op = CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        pred.op = CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        pred.op = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        pred.op = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        pred.op = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        pred.op = CompareOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    ++pos_;
+    PREF_ASSIGN_OR_RAISE(pred.value, ParseLiteral());
+    return pred;
+  }
+
+  /// Pushes single-table pieces of the WHERE clause down to table filters;
+  /// the remainder becomes the residual filter.
+  Status AttachWhere(Dnf where) {
+    if (where.disjuncts.size() == 1) {
+      // Split the conjunction by owning table.
+      std::map<int, std::vector<SimplePredicate>> by_table;
+      for (auto& pred : where.disjuncts[0]) {
+        PREF_ASSIGN_OR_RAISE(int t, TableOf(pred.column));
+        by_table[t].push_back(std::move(pred));
+      }
+      for (auto& [t, preds] : by_table) {
+        Dnf d;
+        d.disjuncts.push_back(std::move(preds));
+        spec_.table_filters[static_cast<size_t>(t)] = std::move(d);
+      }
+      return Status::OK();
+    }
+    // Multiple disjuncts all over one table -> that table's filter.
+    int common = -1;
+    bool single_table = true;
+    for (const auto& conj : where.disjuncts) {
+      for (const auto& pred : conj) {
+        PREF_ASSIGN_OR_RAISE(int t, TableOf(pred.column));
+        if (common == -1) common = t;
+        if (t != common) single_table = false;
+      }
+    }
+    if (single_table && common >= 0) {
+      spec_.table_filters[static_cast<size_t>(common)] = std::move(where);
+    } else {
+      spec_.residual_filter = std::move(where);
+    }
+    return Status::OK();
+  }
+
+  // --- GROUP BY / outputs -----------------------------------------------
+  Status ParseGroupBy() {
+    do {
+      PREF_ASSIGN_OR_RAISE(std::string col, ExpectIdentifier("group-by column"));
+      spec_.group_by.push_back(std::move(col));
+    } while (Accept(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Status AssembleOutputs() {
+    bool any_agg = false;
+    for (const auto& item : items_) any_agg |= item.is_agg;
+    if (any_agg || !spec_.group_by.empty()) {
+      for (const auto& item : items_) {
+        if (item.is_agg) {
+          spec_.aggregates.push_back({item.func, item.column, item.name});
+        } else {
+          // Bare columns must be grouping keys.
+          bool grouped = std::find(spec_.group_by.begin(), spec_.group_by.end(),
+                                   item.column) != spec_.group_by.end();
+          if (!grouped) {
+            return Status::Invalid("column '", item.column,
+                                   "' must appear in GROUP BY");
+          }
+        }
+      }
+      if (spec_.aggregates.empty()) {
+        return Status::Invalid("GROUP BY without aggregates is not supported");
+      }
+    } else if (!select_star_) {
+      for (const auto& item : items_) spec_.projection.push_back(item.column);
+    }
+    return Status::OK();
+  }
+
+  const Schema& schema_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  QuerySpec spec_;
+  std::vector<SelectItem> items_;
+  bool select_star_ = false;
+};
+
+}  // namespace
+
+Result<QuerySpec> ParseQuery(const Schema& schema, const std::string& query_text,
+                             const std::string& query_name) {
+  PREF_ASSIGN_OR_RAISE(auto tokens, Tokenize(query_text));
+  Parser parser(schema, std::move(tokens), query_name);
+  return parser.Parse();
+}
+
+}  // namespace sql
+}  // namespace pref

@@ -1,0 +1,36 @@
+// SQL front end: parses the engine's SPJA subset into a QuerySpec.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//   SELECT select_item [, ...]
+//   FROM table [alias]
+//        { [INNER | SEMI | ANTI] JOIN table [alias] ON equality [AND ...] }*
+//   [WHERE condition]
+//   [GROUP BY column [, ...]]
+//
+//   select_item := column | agg(column) [AS name] | COUNT(*) [AS name]
+//   agg         := SUM | COUNT | AVG | MIN | MAX
+//   equality    := column = column
+//   condition   := boolean combination (AND / OR / NOT / parentheses) of
+//                  column op literal | column BETWEEN literal AND literal
+//   op          := = | <> | != | < | <= | > | >=
+//
+// The WHERE condition is normalized to DNF; conjunction branches that
+// reference a single table are pushed down to that table's scan, the rest
+// become the post-join residual filter.
+
+#pragma once
+
+#include <string>
+
+#include "engine/query.h"
+
+namespace pref {
+namespace sql {
+
+/// Parses `query_text` against `schema` into an executable QuerySpec.
+Result<QuerySpec> ParseQuery(const Schema& schema, const std::string& query_text,
+                             const std::string& query_name = "sql");
+
+}  // namespace sql
+}  // namespace pref

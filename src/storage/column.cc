@@ -1,0 +1,119 @@
+#include "storage/column.h"
+
+namespace pref {
+
+Column::Column(DataType type) : type_(type) {
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      data_ = Ints{};
+      break;
+    case DataType::kDouble:
+      data_ = Doubles{};
+      break;
+    case DataType::kString:
+      data_ = Strings{};
+      break;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+void Column::Reserve(size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (is_int()) {
+    if (!v.is_int64()) return Status::Invalid("expected int64 value");
+    AppendInt64(v.AsInt64());
+  } else if (is_double()) {
+    if (!v.is_double()) return Status::Invalid("expected double value");
+    AppendDouble(v.AsDouble());
+  } else {
+    if (!v.is_string()) return Status::Invalid("expected string value");
+    AppendString(v.AsString());
+  }
+  return Status::OK();
+}
+
+Value Column::GetValue(size_t row) const {
+  if (is_int()) return Value(GetInt64(row));
+  if (is_double()) return Value(GetDouble(row));
+  return Value(GetString(row));
+}
+
+uint64_t Column::HashAt(size_t row) const {
+  if (is_int()) return HashInt64(GetInt64(row));
+  if (is_double()) {
+    double d = GetDouble(row);
+    int64_t bits;
+    __builtin_memcpy(&bits, &d, sizeof(d));
+    return HashInt64(bits);
+  }
+  return HashBytes(GetString(row));
+}
+
+bool Column::EqualAt(size_t row, const Column& other, size_t other_row) const {
+  assert(type_ == other.type_ || (is_int() && other.is_int()));
+  if (is_int()) return GetInt64(row) == other.GetInt64(other_row);
+  if (is_double()) return GetDouble(row) == other.GetDouble(other_row);
+  return GetString(row) == other.GetString(other_row);
+}
+
+void Column::AppendFrom(const Column& other, size_t other_row) {
+  if (is_int()) {
+    AppendInt64(other.GetInt64(other_row));
+  } else if (is_double()) {
+    AppendDouble(other.GetDouble(other_row));
+  } else {
+    AppendString(other.GetString(other_row));
+  }
+}
+
+void Column::RemoveRows(const std::vector<bool>& keep) {
+  std::visit(
+      [&keep](auto& vec) {
+        size_t out = 0;
+        for (size_t i = 0; i < vec.size(); ++i) {
+          if (keep[i]) {
+            if (out != i) vec[out] = std::move(vec[i]);
+            ++out;
+          }
+        }
+        vec.resize(out);
+      },
+      data_);
+}
+
+Status Column::SetValue(size_t row, const Value& v) {
+  if (is_int()) {
+    if (!v.is_int64()) return Status::Invalid("expected int64 value");
+    std::get<Ints>(data_)[row] = v.AsInt64();
+  } else if (is_double()) {
+    if (!v.is_double()) return Status::Invalid("expected double value");
+    std::get<Doubles>(data_)[row] = v.AsDouble();
+  } else {
+    if (!v.is_string()) return Status::Invalid("expected string value");
+    std::get<Strings>(data_)[row] = v.AsString();
+  }
+  return Status::OK();
+}
+
+size_t Column::ByteSize() const {
+  if (is_int()) return ints().size() * sizeof(int64_t);
+  if (is_double()) return doubles().size() * sizeof(double);
+  size_t total = 0;
+  for (const auto& s : strings()) total += s.size() + sizeof(size_t);
+  return total;
+}
+
+size_t Column::RowByteSize(size_t row) const {
+  if (is_int()) return sizeof(int64_t);
+  if (is_double()) return sizeof(double);
+  return GetString(row).size() + sizeof(size_t);
+}
+
+}  // namespace pref

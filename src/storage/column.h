@@ -1,0 +1,83 @@
+// Columnar storage primitive: one typed value vector.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+
+namespace pref {
+
+/// \brief A single column: a typed, contiguous vector of values.
+///
+/// Int64 and Date share the int64 representation. Access is either typed
+/// (fast path used by the executor and the partitioners) or via boxed
+/// Value at API boundaries.
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  DataType type() const { return type_; }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  void Reserve(size_t n);
+
+  void AppendInt64(int64_t v) { std::get<Ints>(data_).push_back(v); }
+  void AppendDouble(double v) { std::get<Doubles>(data_).push_back(v); }
+  void AppendString(std::string v) {
+    std::get<Strings>(data_).push_back(std::move(v));
+  }
+  /// Appends a boxed value; the value's runtime type must match the column.
+  Status AppendValue(const Value& v);
+
+  int64_t GetInt64(size_t row) const { return std::get<Ints>(data_)[row]; }
+  double GetDouble(size_t row) const { return std::get<Doubles>(data_)[row]; }
+  const std::string& GetString(size_t row) const {
+    return std::get<Strings>(data_)[row];
+  }
+
+  Value GetValue(size_t row) const;
+  uint64_t HashAt(size_t row) const;
+  bool EqualAt(size_t row, const Column& other, size_t other_row) const;
+
+  /// Appends other[other_row] to this column; types must match.
+  void AppendFrom(const Column& other, size_t other_row);
+
+  /// Compacts the column, keeping only rows where keep[i] is true.
+  void RemoveRows(const std::vector<bool>& keep);
+
+  /// Overwrites row `row` with `v` (type-checked).
+  Status SetValue(size_t row, const Value& v);
+
+  /// Approximate in-memory footprint in bytes (used by the network cost
+  /// model and the DR size accounting).
+  size_t ByteSize() const;
+
+  /// Bytes occupied by a single row of this column.
+  size_t RowByteSize(size_t row) const;
+
+  bool is_int() const { return std::holds_alternative<Ints>(data_); }
+  bool is_double() const { return std::holds_alternative<Doubles>(data_); }
+  bool is_string() const { return std::holds_alternative<Strings>(data_); }
+
+  /// Direct access to the int64 payload (int64/date columns only).
+  const std::vector<int64_t>& ints() const { return std::get<Ints>(data_); }
+  const std::vector<double>& doubles() const { return std::get<Doubles>(data_); }
+  const std::vector<std::string>& strings() const { return std::get<Strings>(data_); }
+
+ private:
+  using Ints = std::vector<int64_t>;
+  using Doubles = std::vector<double>;
+  using Strings = std::vector<std::string>;
+
+  DataType type_;
+  std::variant<Ints, Doubles, Strings> data_;
+};
+
+}  // namespace pref

@@ -1,0 +1,185 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pref {
+
+namespace {
+
+/// Splits one CSV record, honoring double-quoted fields.
+Result<std::vector<std::string>> SplitRecord(const std::string& line, char delim,
+                                             size_t line_no) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      quoted = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (quoted) {
+    return Status::Invalid("CSV line ", line_no, ": unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& field, DataType type, size_t line_no) {
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kDate: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::Invalid("CSV line ", line_no, ": '", field,
+                               "' is not an integer");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::Invalid("CSV line ", line_no, ": '", field,
+                               "' is not a number");
+      }
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(field);
+  }
+  return Status::Internal("unknown column type");
+}
+
+std::string QuoteField(const std::string& s, char delim) {
+  bool needs_quotes = s.find(delim) != std::string::npos ||
+                      s.find('"') != std::string::npos ||
+                      s.find('\n') != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status ImportCsv(Table* table, std::istream& input, const CsvOptions& options) {
+  const TableDef& def = table->def();
+  std::string line;
+  size_t line_no = 0;
+
+  // Column order: identity unless a header remaps it.
+  std::vector<ColumnId> order;
+  if (options.header) {
+    if (!std::getline(input, line)) {
+      return Status::Invalid("CSV import: missing header line");
+    }
+    ++line_no;
+    PREF_ASSIGN_OR_RAISE(auto names, SplitRecord(line, options.delimiter, line_no));
+    if (static_cast<int>(names.size()) != def.num_columns()) {
+      return Status::Invalid("CSV header has ", names.size(), " columns, table '",
+                             def.name, "' has ", def.num_columns());
+    }
+    for (const auto& name : names) {
+      PREF_ASSIGN_OR_RAISE(ColumnId c, def.FindColumn(name));
+      order.push_back(c);
+    }
+  } else {
+    for (ColumnId c = 0; c < def.num_columns(); ++c) order.push_back(c);
+  }
+
+  // Stage into a scratch block for atomicity.
+  RowBlock staged(&def);
+  std::vector<Value> row(static_cast<size_t>(def.num_columns()));
+  while (std::getline(input, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    PREF_ASSIGN_OR_RAISE(auto fields, SplitRecord(line, options.delimiter, line_no));
+    if (fields.size() != order.size()) {
+      return Status::Invalid("CSV line ", line_no, ": expected ", order.size(),
+                             " fields, got ", fields.size());
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      ColumnId c = order[i];
+      PREF_ASSIGN_OR_RAISE(row[static_cast<size_t>(c)],
+                           ParseField(fields[i], def.column(c).type, line_no));
+    }
+    PREF_RETURN_NOT_OK(staged.AppendRowValues(row));
+  }
+  for (size_t r = 0; r < staged.num_rows(); ++r) {
+    table->data().AppendRow(staged, r);
+  }
+  return Status::OK();
+}
+
+Status ImportCsvFile(Table* table, const std::string& path,
+                     const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '", path, "' for reading");
+  return ImportCsv(table, in, options);
+}
+
+Status ExportCsv(const Table& table, std::ostream& output,
+                 const CsvOptions& options) {
+  const TableDef& def = table.def();
+  if (options.header) {
+    for (int c = 0; c < def.num_columns(); ++c) {
+      if (c) output << options.delimiter;
+      output << def.column(c).name;
+    }
+    output << '\n';
+  }
+  const RowBlock& rows = table.data();
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    for (int c = 0; c < def.num_columns(); ++c) {
+      if (c) output << options.delimiter;
+      const Column& col = rows.column(c);
+      if (col.is_int()) {
+        output << col.GetInt64(r);
+      } else if (col.is_double()) {
+        std::ostringstream ss;
+        ss.precision(17);
+        ss << col.GetDouble(r);
+        output << ss.str();
+      } else {
+        output << QuoteField(col.GetString(r), options.delimiter);
+      }
+    }
+    output << '\n';
+  }
+  if (!output) return Status::Internal("CSV export: stream write failed");
+  return Status::OK();
+}
+
+Status ExportCsvFile(const Table& table, const std::string& path,
+                     const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open '", path, "' for writing");
+  return ExportCsv(table, out, options);
+}
+
+}  // namespace pref

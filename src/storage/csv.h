@@ -1,0 +1,35 @@
+// CSV import/export for base tables, so users can load their own data
+// instead of the built-in generators.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace pref {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds column names; on import they must match the table
+  /// definition (any order), on export they are always written.
+  bool header = true;
+};
+
+/// Appends the rows of `input` (CSV text) to `table`. Values are parsed by
+/// the table's column types; string fields may be double-quoted (with ""
+/// escaping). Fails atomically: on a parse error the table is unchanged.
+Status ImportCsv(Table* table, std::istream& input, const CsvOptions& options = {});
+Status ImportCsvFile(Table* table, const std::string& path,
+                     const CsvOptions& options = {});
+
+/// Writes the table as CSV. Strings containing the delimiter, quotes or
+/// newlines are quoted.
+Status ExportCsv(const Table& table, std::ostream& output,
+                 const CsvOptions& options = {});
+Status ExportCsvFile(const Table& table, const std::string& path,
+                     const CsvOptions& options = {});
+
+}  // namespace pref

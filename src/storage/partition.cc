@@ -1,0 +1,187 @@
+#include "storage/partition.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pref {
+
+const char* PartitionMethodName(PartitionMethod m) {
+  switch (m) {
+    case PartitionMethod::kNone:
+      return "NONE";
+    case PartitionMethod::kHash:
+      return "HASH";
+    case PartitionMethod::kRange:
+      return "RANGE";
+    case PartitionMethod::kRoundRobin:
+      return "ROUND_ROBIN";
+    case PartitionMethod::kReplicated:
+      return "REPLICATED";
+    case PartitionMethod::kPref:
+      return "PREF";
+  }
+  return "UNKNOWN";
+}
+
+std::string PartitionSpec::ToString(const Schema& schema, TableId self) const {
+  std::ostringstream ss;
+  ss << PartitionMethodName(method);
+  if ((method == PartitionMethod::kHash || method == PartitionMethod::kRange) &&
+      !attributes.empty()) {
+    ss << " BY (";
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      if (i) ss << ", ";
+      ss << schema.table(self).column(attributes[i]).name;
+    }
+    ss << ")";
+  } else if (method == PartitionMethod::kPref && predicate.has_value()) {
+    ss << " ON " << schema.table(referenced_table).name << " BY (";
+    const auto& p = *predicate;
+    for (size_t i = 0; i < p.left_columns.size(); ++i) {
+      if (i) ss << " AND ";
+      ss << schema.table(p.left_table).column(p.left_columns[i]).name << " = "
+         << schema.table(p.right_table).column(p.right_columns[i]).name;
+    }
+    ss << ")";
+  }
+  ss << " x" << num_partitions;
+  return ss.str();
+}
+
+const std::vector<int> PartitionIndex::kEmpty;
+
+void PartitionIndex::Add(const Key& key, int part) {
+  auto& parts = map_[key];
+  if (std::find(parts.begin(), parts.end(), part) == parts.end()) {
+    parts.push_back(part);
+  }
+}
+
+const std::vector<int>& PartitionIndex::Lookup(const Key& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+PartitionedTable::PartitionedTable(const TableDef* def, PartitionSpec spec)
+    : def_(def), spec_(std::move(spec)) {
+  partitions_.reserve(static_cast<size_t>(spec_.num_partitions));
+  for (int i = 0; i < spec_.num_partitions; ++i) partitions_.emplace_back(def_);
+}
+
+size_t PartitionedTable::TotalRows() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p.rows.num_rows();
+  return total;
+}
+
+size_t PartitionedTable::DistinctRows() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) {
+    if (p.dup.empty()) {
+      total += p.rows.num_rows();
+    } else {
+      total += p.dup.CountZeros();
+    }
+  }
+  // A replicated table stores every row on every node but logically holds
+  // the base cardinality once.
+  if (spec_.method == PartitionMethod::kReplicated && num_partitions() > 0) {
+    return total / static_cast<size_t>(num_partitions());
+  }
+  return total;
+}
+
+size_t PartitionedTable::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p.rows.ByteSize();
+  return total;
+}
+
+PartitionIndex* PartitionedTable::AddPartitionIndex(
+    const std::vector<ColumnId>& columns) {
+  indexes_.emplace_back(columns, std::make_unique<PartitionIndex>());
+  return indexes_.back().second.get();
+}
+
+const PartitionIndex* PartitionedTable::FindPartitionIndex(
+    const std::vector<ColumnId>& columns) const {
+  for (const auto& [cols, idx] : indexes_) {
+    if (cols == columns) return idx.get();
+  }
+  return nullptr;
+}
+
+Result<PartitionedTable*> PartitionedDatabase::AddTable(TableId id,
+                                                        PartitionSpec spec) {
+  if (tables_.count(id)) {
+    return Status::AlreadyExists("table '", schema().table(id).name,
+                                 "' already partitioned");
+  }
+  auto table =
+      std::make_unique<PartitionedTable>(&schema().table(id), std::move(spec));
+  PartitionedTable* ptr = table.get();
+  tables_[id] = std::move(table);
+  return ptr;
+}
+
+Result<PartitionedTable*> PartitionedDatabase::FindTable(const std::string& name) {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema().FindTable(name));
+  PartitionedTable* t = GetTable(id);
+  if (t == nullptr) return Status::NotFound("table '", name, "' not partitioned");
+  return t;
+}
+
+Result<const PartitionedTable*> PartitionedDatabase::FindTable(
+    const std::string& name) const {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema().FindTable(name));
+  const PartitionedTable* t = GetTable(id);
+  if (t == nullptr) return Status::NotFound("table '", name, "' not partitioned");
+  return t;
+}
+
+PartitionedTable* PartitionedDatabase::GetTable(TableId id) {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const PartitionedTable* PartitionedDatabase::GetTable(TableId id) const {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<PartitionedTable*> PartitionedDatabase::tables() {
+  std::vector<PartitionedTable*> out;
+  out.reserve(tables_.size());
+  for (auto& [id, t] : tables_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<const PartitionedTable*> PartitionedDatabase::tables() const {
+  std::vector<const PartitionedTable*> out;
+  out.reserve(tables_.size());
+  for (const auto& [id, t] : tables_) out.push_back(t.get());
+  return out;
+}
+
+size_t PartitionedDatabase::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [id, t] : tables_) total += t->TotalRows();
+  return total;
+}
+
+size_t PartitionedDatabase::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [id, t] : tables_) total += t->TotalBytes();
+  return total;
+}
+
+double PartitionedDatabase::DataRedundancy() const {
+  size_t original = 0;
+  for (const auto& [id, t] : tables_) {
+    original += source_->table(id).num_rows();
+  }
+  if (original == 0) return 0.0;
+  return static_cast<double>(TotalRows()) / static_cast<double>(original) - 1.0;
+}
+
+}  // namespace pref

@@ -1,0 +1,215 @@
+// Partitioned storage: the paper's database D^P.
+//
+// A PartitionedTable holds n Partitions (one per simulated cluster node),
+// each a columnar RowBlock plus the two PREF auxiliary bitmap indexes of
+// §2.1 (`dup`: is this row a PREF-introduced duplicate; `hasS`: does this
+// row have a partitioning partner in the referenced table). A
+// PartitionedDatabase also carries the partition indexes of §2.3 used for
+// bulk loading.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "storage/table.h"
+
+namespace pref {
+
+/// Horizontal partitioning methods. kNone marks an intermediate result with
+/// no exploitable partitioning (the paper's Part(o).m = NONE).
+enum class PartitionMethod : uint8_t {
+  kNone,
+  kHash,
+  kRange,
+  kRoundRobin,
+  kReplicated,
+  kPref,
+};
+
+const char* PartitionMethodName(PartitionMethod m);
+
+/// \brief Partitioning descriptor of one table (or intermediate result):
+/// the paper's Part(o) = {method m, attribute list A, partition count c},
+/// extended with the PREF linkage (referenced table, partitioning predicate,
+/// seed table).
+struct PartitionSpec {
+  PartitionMethod method = PartitionMethod::kNone;
+  /// Partitioning attributes (columns of *this* table). For PREF these are
+  /// the local columns of the partitioning predicate.
+  std::vector<ColumnId> attributes;
+  /// Number of partitions (cluster nodes).
+  int num_partitions = 0;
+
+  /// RANGE only: ascending upper bounds; partition i holds values v with
+  /// bounds[i-1] <= v < bounds[i], the last partition holds the tail.
+  /// Exactly num_partitions - 1 entries; single partitioning column.
+  std::vector<Value> range_bounds;
+
+  /// PREF only: the directly referenced table S.
+  TableId referenced_table = kInvalidTableId;
+  /// PREF only: the partitioning predicate p(r, s); left side = this table.
+  std::optional<JoinPredicate> predicate;
+  /// PREF only: the seed table — first non-PREF table along the predicate
+  /// path (Definition 1).
+  TableId seed_table = kInvalidTableId;
+  /// Seed partitioning attributes of the seed table (identifies the
+  /// co-partitioning family for the rewriter's case (2)/(3) checks).
+  std::vector<ColumnId> seed_attributes;
+
+  static PartitionSpec Hash(std::vector<ColumnId> attrs, int n) {
+    PartitionSpec s;
+    s.method = PartitionMethod::kHash;
+    s.attributes = std::move(attrs);
+    s.num_partitions = n;
+    return s;
+  }
+  static PartitionSpec Range(ColumnId column, std::vector<Value> bounds, int n) {
+    PartitionSpec s;
+    s.method = PartitionMethod::kRange;
+    s.attributes = {column};
+    s.range_bounds = std::move(bounds);
+    s.num_partitions = n;
+    return s;
+  }
+  static PartitionSpec RoundRobin(int n) {
+    PartitionSpec s;
+    s.method = PartitionMethod::kRoundRobin;
+    s.num_partitions = n;
+    return s;
+  }
+  static PartitionSpec Replicated(int n) {
+    PartitionSpec s;
+    s.method = PartitionMethod::kReplicated;
+    s.num_partitions = n;
+    return s;
+  }
+
+  std::string ToString(const Schema& schema, TableId self) const;
+};
+
+/// \brief One partition: rows plus the PREF bitmap indexes.
+struct Partition {
+  explicit Partition(const TableDef* def) : rows(def) {}
+  explicit Partition(const std::vector<DataType>& types) : rows(types) {}
+
+  RowBlock rows;
+  /// dup[i] == true iff row i is a PREF-introduced duplicate (not the first
+  /// occurrence of the original tuple across partitions). Empty for non-PREF
+  /// tables.
+  Bitmap dup;
+  /// has_partner[i] == true iff row i has at least one partitioning partner
+  /// in the referenced table (the paper's hasS index). Empty for non-PREF.
+  Bitmap has_partner;
+};
+
+/// \brief Partition index (§2.3): maps a referenced-attribute key of table S
+/// to the set of partitions of S containing that key. Lets bulk loading of
+/// a referencing PREF table avoid a join against S.
+class PartitionIndex {
+ public:
+  using Key = std::vector<Value>;
+
+  struct KeyHasher {
+    size_t operator()(const Key& k) const {
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (const auto& v : k) h = HashCombine(h, v.Hash());
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Records that `key` occurs in partition `part` (idempotent).
+  void Add(const Key& key, int part);
+
+  /// Partitions containing `key`; empty if the key is absent.
+  const std::vector<int>& Lookup(const Key& key) const;
+
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Key, std::vector<int>, KeyHasher> map_;
+  static const std::vector<int> kEmpty;
+};
+
+/// \brief A partitioned table: spec + n partitions (+ optional partition
+/// indexes on referenced attribute sets).
+class PartitionedTable {
+ public:
+  PartitionedTable(const TableDef* def, PartitionSpec spec);
+
+  const TableDef& def() const { return *def_; }
+  const std::string& name() const { return def_->name; }
+  TableId id() const { return def_->id; }
+  const PartitionSpec& spec() const { return spec_; }
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  Partition& partition(int i) { return partitions_[static_cast<size_t>(i)]; }
+  const Partition& partition(int i) const {
+    return partitions_[static_cast<size_t>(i)];
+  }
+
+  /// Total row count across partitions — |T^P| of §3.3, duplicates included.
+  size_t TotalRows() const;
+  /// Rows that are not PREF duplicates (equals the base-table cardinality
+  /// once partitioning is correct; checked by tests).
+  size_t DistinctRows() const;
+  size_t TotalBytes() const;
+
+  /// Registers a partition index keyed by the given columns of this table.
+  PartitionIndex* AddPartitionIndex(const std::vector<ColumnId>& columns);
+  /// Finds a partition index on exactly these columns, or null.
+  const PartitionIndex* FindPartitionIndex(const std::vector<ColumnId>& columns) const;
+
+  using IndexEntry = std::pair<std::vector<ColumnId>, std::unique_ptr<PartitionIndex>>;
+  /// All registered partition indexes (mutable: bulk loading maintains them).
+  std::vector<IndexEntry>& indexes() { return indexes_; }
+  const std::vector<IndexEntry>& indexes() const { return indexes_; }
+
+ private:
+  const TableDef* def_;
+  PartitionSpec spec_;
+  std::vector<Partition> partitions_;
+  std::vector<IndexEntry> indexes_;
+};
+
+/// \brief The partitioned database D^P: one PartitionedTable per schema
+/// table. Borrows the Schema (and its TableDefs) from the source Database,
+/// which must outlive it.
+class PartitionedDatabase {
+ public:
+  explicit PartitionedDatabase(const Database* source) : source_(source) {}
+
+  const Database& source() const { return *source_; }
+  const Schema& schema() const { return source_->schema(); }
+
+  /// Adds a table with the given spec; fails if already present.
+  Result<PartitionedTable*> AddTable(TableId id, PartitionSpec spec);
+
+  Result<PartitionedTable*> FindTable(const std::string& name);
+  Result<const PartitionedTable*> FindTable(const std::string& name) const;
+  PartitionedTable* GetTable(TableId id);
+  const PartitionedTable* GetTable(TableId id) const;
+
+  /// All partitioned tables (iteration order = insertion order).
+  std::vector<PartitionedTable*> tables();
+  std::vector<const PartitionedTable*> tables() const;
+
+  /// |D^P|: total tuples across all partitioned tables.
+  size_t TotalRows() const;
+  size_t TotalBytes() const;
+
+  /// Data-redundancy DR = |D^P| / |D| - 1 (§3.3), computed over the tables
+  /// present in this partitioned database.
+  double DataRedundancy() const;
+
+ private:
+  const Database* source_;
+  std::map<TableId, std::unique_ptr<PartitionedTable>> tables_;
+};
+
+}  // namespace pref

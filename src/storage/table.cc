@@ -1,0 +1,104 @@
+#include "storage/table.h"
+
+namespace pref {
+
+RowBlock::RowBlock(const TableDef* def) : def_(def) {
+  columns_.reserve(def->columns.size());
+  for (const auto& c : def->columns) columns_.emplace_back(c.type);
+}
+
+RowBlock::RowBlock(const std::vector<DataType>& types) {
+  columns_.reserve(types.size());
+  for (DataType t : types) columns_.emplace_back(t);
+}
+
+void RowBlock::Reserve(size_t n) {
+  for (auto& c : columns_) c.Reserve(n);
+}
+
+void RowBlock::AppendRow(const RowBlock& src, size_t row) {
+  assert(src.num_columns() == num_columns());
+  for (int i = 0; i < num_columns(); ++i) {
+    columns_[static_cast<size_t>(i)].AppendFrom(src.column(i), row);
+  }
+}
+
+Status RowBlock::AppendRowValues(const std::vector<Value>& values) {
+  if (static_cast<int>(values.size()) != num_columns()) {
+    return Status::Invalid("row arity ", values.size(), " != column count ",
+                           num_columns());
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    PREF_RETURN_NOT_OK(columns_[static_cast<size_t>(i)].AppendValue(
+        values[static_cast<size_t>(i)]));
+  }
+  return Status::OK();
+}
+
+std::vector<Value> RowBlock::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.GetValue(row));
+  return out;
+}
+
+uint64_t RowBlock::HashRow(const std::vector<ColumnId>& cols, size_t row) const {
+  uint64_t h = 0x84222325cbf29ce4ULL;
+  for (ColumnId c : cols) h = HashCombine(h, column(c).HashAt(row));
+  return h;
+}
+
+bool RowBlock::RowsEqual(const std::vector<ColumnId>& cols, size_t row,
+                         const RowBlock& other,
+                         const std::vector<ColumnId>& other_cols,
+                         size_t other_row) const {
+  assert(cols.size() == other_cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (!column(cols[i]).EqualAt(row, other.column(other_cols[i]), other_row)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t RowBlock::ByteSize() const {
+  size_t total = 0;
+  for (const auto& c : columns_) total += c.ByteSize();
+  return total;
+}
+
+size_t RowBlock::RowByteSize(size_t row) const {
+  size_t total = 0;
+  for (const auto& c : columns_) total += c.RowByteSize(row);
+  return total;
+}
+
+Database::Database(Schema schema)
+    : schema_(std::make_unique<Schema>(std::move(schema))) {
+  tables_.reserve(static_cast<size_t>(schema_->num_tables()));
+  for (const auto& def : schema_->tables()) tables_.emplace_back(&def);
+}
+
+Result<Table*> Database::FindTable(const std::string& name) {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema_->FindTable(name));
+  return &table(id);
+}
+
+Result<const Table*> Database::FindTable(const std::string& name) const {
+  PREF_ASSIGN_OR_RAISE(TableId id, schema_->FindTable(name));
+  return &table(id);
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t.num_rows();
+  return total;
+}
+
+size_t Database::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t.ByteSize();
+  return total;
+}
+
+}  // namespace pref

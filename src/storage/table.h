@@ -1,0 +1,109 @@
+// In-memory columnar tables and databases (the *unpartitioned* form, the
+// paper's database D).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/column.h"
+
+namespace pref {
+
+/// \brief A columnar chunk of rows conforming to a TableDef.
+///
+/// Used both for base tables (class Table below) and for the per-node
+/// partitions (storage/partition.h) and intermediate results of the
+/// executor.
+class RowBlock {
+ public:
+  explicit RowBlock(const TableDef* def);
+  /// A block with an explicit column-type list (intermediate results whose
+  /// schema is synthesized by the planner).
+  explicit RowBlock(const std::vector<DataType>& types);
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  Column& column(int i) { return columns_[static_cast<size_t>(i)]; }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+
+  void Reserve(size_t n);
+
+  /// Appends row `row` of `src` (which must have identical column types).
+  void AppendRow(const RowBlock& src, size_t row);
+
+  /// Appends a row of boxed values (type-checked).
+  Status AppendRowValues(const std::vector<Value>& values);
+
+  /// Materializes row `row` as boxed values.
+  std::vector<Value> GetRow(size_t row) const;
+
+  /// Combined hash of the given columns at `row` — join/partitioning key.
+  uint64_t HashRow(const std::vector<ColumnId>& cols, size_t row) const;
+
+  /// True iff rows agree on the given column lists.
+  bool RowsEqual(const std::vector<ColumnId>& cols, size_t row, const RowBlock& other,
+                 const std::vector<ColumnId>& other_cols, size_t other_row) const;
+
+  /// Total payload bytes.
+  size_t ByteSize() const;
+  /// Payload bytes of one row.
+  size_t RowByteSize(size_t row) const;
+
+  const TableDef* def() const { return def_; }
+
+ private:
+  const TableDef* def_ = nullptr;  // may be null for synthesized blocks
+  std::vector<Column> columns_;
+};
+
+/// \brief A named base table: definition + data.
+class Table {
+ public:
+  explicit Table(const TableDef* def) : def_(def), data_(def) {}
+
+  const TableDef& def() const { return *def_; }
+  const std::string& name() const { return def_->name; }
+  TableId id() const { return def_->id; }
+
+  RowBlock& data() { return data_; }
+  const RowBlock& data() const { return data_; }
+
+  size_t num_rows() const { return data_.num_rows(); }
+  size_t ByteSize() const { return data_.ByteSize(); }
+
+ private:
+  const TableDef* def_;
+  RowBlock data_;
+};
+
+/// \brief The unpartitioned database D: a Schema plus one Table per
+/// TableDef. Owns the schema.
+class Database {
+ public:
+  explicit Database(Schema schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  Table& table(TableId id) { return tables_[static_cast<size_t>(id)]; }
+  const Table& table(TableId id) const { return tables_[static_cast<size_t>(id)]; }
+
+  Result<Table*> FindTable(const std::string& name);
+  Result<const Table*> FindTable(const std::string& name) const;
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  /// Total number of tuples across all tables (the |D| of §3.3).
+  size_t TotalRows() const;
+  /// Total payload bytes across all tables.
+  size_t TotalBytes() const;
+
+ private:
+  std::unique_ptr<Schema> schema_;  // stable address for TableDef pointers
+  std::vector<Table> tables_;
+};
+
+}  // namespace pref

@@ -1,0 +1,108 @@
+#include "workloads/tpcds_queries.h"
+
+#include "sql/parser.h"
+
+namespace pref {
+
+const std::vector<const char*>& TpcdsExecutableSql() {
+  static const std::vector<const char*> kSql = {
+      // q3-style: store sales by brand for one month.
+      "SELECT d_year, i_brand_id, SUM(ss_net_profit) AS profit "
+      "FROM store_sales "
+      "JOIN date_dim ON ss_sold_date_sk = d_date_sk "
+      "JOIN item ON ss_item_sk = i_item_sk "
+      "WHERE d_moy = 11 GROUP BY d_year, i_brand_id",
+
+      // q7-style: demographic filter star.
+      "SELECT i_category, AVG(ss_quantity) AS avg_qty, COUNT(*) AS cnt "
+      "FROM store_sales "
+      "JOIN item ON ss_item_sk = i_item_sk "
+      "JOIN customer_demographics ON ss_cdemo_sk = cd_demo_sk "
+      "WHERE cd_gender = 'cd_gender_1' GROUP BY i_category",
+
+      // q19-style: customer-address star.
+      "SELECT ca_state, SUM(ss_sales_price) AS sales "
+      "FROM store_sales "
+      "JOIN customer ON ss_customer_sk = c_customer_sk "
+      "JOIN customer_address ON ss_addr_sk = ca_address_sk "
+      "GROUP BY ca_state",
+
+      // q42-style: category totals by year.
+      "SELECT d_year, i_category, SUM(ss_net_profit) AS profit "
+      "FROM store_sales "
+      "JOIN date_dim ON ss_sold_date_sk = d_date_sk "
+      "JOIN item ON ss_item_sk = i_item_sk "
+      "GROUP BY d_year, i_category ORDER BY profit DESC LIMIT 20",
+
+      // q52-style on the web channel.
+      "SELECT d_year, i_brand_id, SUM(ws_sales_price) AS sales "
+      "FROM web_sales "
+      "JOIN date_dim ON ws_sold_date_sk = d_date_sk "
+      "JOIN item ON ws_item_sk = i_item_sk "
+      "GROUP BY d_year, i_brand_id",
+
+      // q20-style on the catalog channel with a date filter.
+      "SELECT i_category, SUM(cs_sales_price) AS sales "
+      "FROM catalog_sales "
+      "JOIN date_dim ON cs_sold_date_sk = d_date_sk "
+      "JOIN item ON cs_item_sk = i_item_sk "
+      "WHERE d_year >= 2 GROUP BY i_category",
+
+      // sales-returns composite join (q93-style).
+      "SELECT r_reason_desc, SUM(sr_return_amt) AS refunded, COUNT(*) AS cnt "
+      "FROM store_returns "
+      "JOIN store_sales ON sr_item_sk = ss_item_sk AND "
+      "sr_ticket_number = ss_ticket_number "
+      "JOIN reason ON sr_reason_sk = r_reason_sk "
+      "GROUP BY r_reason_desc",
+
+      // q21-style inventory star.
+      "SELECT w_warehouse_name, SUM(inv_quantity_on_hand) AS qty "
+      "FROM inventory "
+      "JOIN warehouse ON inv_warehouse_sk = w_warehouse_sk "
+      "JOIN item ON inv_item_sk = i_item_sk "
+      "GROUP BY w_warehouse_name",
+
+      // customer snowflake through household demographics.
+      "SELECT hd_buy_potential, COUNT(*) AS customers "
+      "FROM customer "
+      "JOIN household_demographics ON c_current_hdemo_sk = hd_demo_sk "
+      "GROUP BY hd_buy_potential",
+
+      // semi join: items that sold in stores.
+      "SELECT COUNT(*) AS sold_items FROM item "
+      "SEMI JOIN store_sales ON i_item_sk = ss_item_sk",
+
+      // anti join: customers who never bought on the web.
+      "SELECT COUNT(*) AS quiet_customers FROM customer "
+      "ANTI JOIN web_sales ON c_customer_sk = ws_bill_customer_sk",
+
+      // q96-style: time-of-day traffic.
+      "SELECT t_hour, COUNT(*) AS sales "
+      "FROM store_sales "
+      "JOIN time_dim ON ss_sold_time_sk = t_time_sk "
+      "JOIN household_demographics ON ss_hdemo_sk = hd_demo_sk "
+      "WHERE hd_dep_count >= 5000 GROUP BY t_hour",
+
+      // q55-style with HAVING.
+      "SELECT i_brand_id, SUM(ss_sales_price) AS sales "
+      "FROM store_sales JOIN item ON ss_item_sk = i_item_sk "
+      "GROUP BY i_brand_id HAVING sales > 100.0 "
+      "ORDER BY sales DESC LIMIT 10",
+  };
+  return kSql;
+}
+
+Result<std::vector<QuerySpec>> TpcdsExecutableQueries(const Schema& schema) {
+  std::vector<QuerySpec> out;
+  int i = 0;
+  for (const char* text : TpcdsExecutableSql()) {
+    PREF_ASSIGN_OR_RAISE(
+        QuerySpec spec,
+        sql::ParseQuery(schema, text, "ds" + std::to_string(++i)));
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace pref

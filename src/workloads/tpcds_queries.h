@@ -1,0 +1,21 @@
+// Executable TPC-DS-style queries: a representative set of star and
+// snowflake SPJA queries over the 24-table schema, written in the SQL
+// subset (sql/parser.h). They power TPC-DS engine tests and the
+// locality-explorer example; the full 99-query *join-graph* workload used
+// by the design algorithms lives in tpcds_workload.h.
+
+#pragma once
+
+#include <vector>
+
+#include "engine/query.h"
+
+namespace pref {
+
+/// Parses and returns the executable TPC-DS query set (≥ 12 queries).
+Result<std::vector<QuerySpec>> TpcdsExecutableQueries(const Schema& schema);
+
+/// The raw SQL texts (parallel to TpcdsExecutableQueries, for display).
+const std::vector<const char*>& TpcdsExecutableSql();
+
+}  // namespace pref

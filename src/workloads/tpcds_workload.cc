@@ -1,0 +1,273 @@
+#include "workloads/tpcds_workload.h"
+
+#include <map>
+
+#include "catalog/tpcds_schema.h"
+
+namespace pref {
+
+namespace {
+
+/// Short table codes used by the block table.
+const std::map<std::string, std::string>& CodeMap() {
+  static const std::map<std::string, std::string> kCodes = {
+      {"ss", "store_sales"},     {"sr", "store_returns"},
+      {"cs", "catalog_sales"},   {"cr", "catalog_returns"},
+      {"ws", "web_sales"},       {"wr", "web_returns"},
+      {"inv", "inventory"},      {"d", "date_dim"},
+      {"t", "time_dim"},         {"i", "item"},
+      {"c", "customer"},         {"ca", "customer_address"},
+      {"cd", "customer_demographics"},
+      {"hd", "household_demographics"},
+      {"ib", "income_band"},     {"s", "store"},
+      {"cc", "call_center"},     {"cp", "catalog_page"},
+      {"web", "web_site"},       {"wp", "web_page"},
+      {"w", "warehouse"},        {"p", "promotion"},
+      {"r", "reason"},           {"sm", "ship_mode"}};
+  return kCodes;
+}
+
+}  // namespace
+
+const std::vector<TpcdsBlockSpec>& TpcdsBlocks() {
+  // One entry per SPJA block; multi-channel queries and queries whose
+  // subqueries scan different fact tables contribute several blocks
+  // (paper: 99 queries -> 165 components).
+  static const std::vector<TpcdsBlockSpec> kBlocks = {
+      {"q01", "sr", {"d", "s", "c"}},
+      {"q02", "ws", {"d"}},
+      {"q02", "cs", {"d"}},
+      {"q03", "ss", {"d", "i"}},
+      {"q04", "ss", {"d", "c"}},
+      {"q04", "cs", {"d", "c"}},
+      {"q04", "ws", {"d", "c"}},
+      {"q05", "ss", {"d", "s"}},
+      {"q05", "sr", {"d", "s"}},
+      {"q05", "cs", {"d", "cp"}},
+      {"q05", "cr", {"d", "cc"}},
+      {"q05", "ws", {"d", "web"}},
+      {"q05", "wr", {"d", "wp"}},
+      {"q06", "ss", {"d", "i", "c", "ca"}},
+      {"q07", "ss", {"d", "i", "cd", "p"}},
+      {"q08", "ss", {"d", "s", "c", "ca"}},
+      {"q09", "ss", {"d"}},
+      {"q10", "c", {"ca", "cd", "ss", "d"}},
+      {"q10", "c", {"ca", "cd", "ws", "d"}},
+      {"q10", "c", {"ca", "cd", "cs", "d"}},
+      {"q11", "ss", {"d", "c"}},
+      {"q11", "ws", {"d", "c"}},
+      {"q12", "ws", {"d", "i"}},
+      {"q13", "ss", {"d", "s", "cd", "hd", "ca"}},
+      {"q14", "ss", {"d", "i"}},
+      {"q14", "cs", {"d", "i"}},
+      {"q14", "ws", {"d", "i"}},
+      {"q15", "cs", {"d", "c", "ca"}},
+      {"q16", "cs", {"d", "ca", "cc"}},
+      {"q17", "ss", {"d", "i", "s"}},
+      {"q17", "sr", {"d", "ss"}},
+      {"q17", "cs", {"d", "c"}},
+      {"q18", "cs", {"d", "i", "c", "cd", "ca"}},
+      {"q19", "ss", {"d", "i", "c", "ca", "s"}},
+      {"q20", "cs", {"d", "i"}},
+      {"q21", "inv", {"d", "i", "w"}},
+      {"q22", "inv", {"d", "i", "w"}},
+      {"q23", "ss", {"d", "i"}},
+      {"q23", "cs", {"d", "c"}},
+      {"q23", "ws", {"d", "c"}},
+      {"q24", "sr", {"ss", "s", "i", "c"}},
+      {"q25", "ss", {"d", "i", "s"}},
+      {"q25", "sr", {"d", "ss"}},
+      {"q25", "cs", {"d", "c"}},
+      {"q26", "cs", {"d", "i", "cd", "p"}},
+      {"q27", "ss", {"d", "i", "s", "cd"}},
+      {"q28", "ss", {}},
+      {"q29", "ss", {"d", "i", "s"}},
+      {"q29", "sr", {"d", "ss"}},
+      {"q29", "cs", {"d", "c"}},
+      {"q30", "wr", {"d", "c", "ca"}},
+      {"q31", "ss", {"d", "ca"}},
+      {"q31", "ws", {"d", "ca"}},
+      {"q32", "cs", {"d", "i"}},
+      {"q33", "ss", {"d", "i", "ca"}},
+      {"q33", "cs", {"d", "i", "ca"}},
+      {"q33", "ws", {"d", "i", "ca"}},
+      {"q34", "ss", {"d", "s", "hd", "c"}},
+      {"q35", "c", {"ca", "cd", "ss", "d"}},
+      {"q35", "c", {"ca", "cd", "ws", "d"}},
+      {"q35", "c", {"ca", "cd", "cs", "d"}},
+      {"q36", "ss", {"d", "i", "s"}},
+      {"q37", "inv", {"d", "i"}},
+      {"q37", "cs", {"i"}},
+      {"q38", "ss", {"d", "c"}},
+      {"q38", "cs", {"d", "c"}},
+      {"q38", "ws", {"d", "c"}},
+      {"q39", "inv", {"d", "i", "w"}},
+      {"q40", "cs", {"d", "i", "w"}},
+      {"q40", "cr", {"cs"}},
+      {"q41", "i", {}},
+      {"q42", "ss", {"d", "i"}},
+      {"q43", "ss", {"d", "s"}},
+      {"q44", "ss", {"i"}},
+      {"q45", "ws", {"d", "i", "c", "ca"}},
+      {"q46", "ss", {"d", "s", "hd", "c", "ca"}},
+      {"q47", "ss", {"d", "i", "s"}},
+      {"q48", "ss", {"d", "s", "cd", "ca"}},
+      {"q49", "sr", {"ss", "d"}},
+      {"q49", "cr", {"cs", "d"}},
+      {"q49", "wr", {"ws", "d"}},
+      {"q50", "sr", {"ss", "d", "s"}},
+      {"q51", "ws", {"d", "i"}},
+      {"q51", "ss", {"d", "i"}},
+      {"q52", "ss", {"d", "i"}},
+      {"q53", "ss", {"d", "i", "s"}},
+      {"q54", "cs", {"d", "i", "c"}},
+      {"q54", "ws", {"d", "i", "c"}},
+      {"q54", "ss", {"d", "c", "ca", "s"}},
+      {"q55", "ss", {"d", "i"}},
+      {"q56", "ss", {"d", "i", "ca"}},
+      {"q56", "cs", {"d", "i", "ca"}},
+      {"q56", "ws", {"d", "i", "ca"}},
+      {"q57", "cs", {"d", "i", "cc"}},
+      {"q58", "ss", {"d", "i"}},
+      {"q58", "cs", {"d", "i"}},
+      {"q58", "ws", {"d", "i"}},
+      {"q59", "ss", {"d", "s"}},
+      {"q60", "ss", {"d", "i", "ca"}},
+      {"q60", "cs", {"d", "i", "ca"}},
+      {"q60", "ws", {"d", "i", "ca"}},
+      {"q61", "ss", {"d", "i", "c", "ca", "s", "p"}},
+      {"q62", "ws", {"d", "w", "sm", "wp"}},
+      {"q63", "ss", {"d", "i", "s"}},
+      {"q64", "ss", {"d", "i", "c", "cd", "hd", "ca", "s", "p"}},
+      {"q64", "sr", {"ss"}},
+      {"q64", "cs", {"d", "i"}},
+      {"q64", "cr", {"cs"}},
+      {"q65", "ss", {"d", "i", "s"}},
+      {"q66", "ws", {"d", "t", "w", "sm"}},
+      {"q66", "cs", {"d", "t", "w", "sm"}},
+      {"q67", "ss", {"d", "i", "s"}},
+      {"q68", "ss", {"d", "s", "hd", "c", "ca"}},
+      {"q69", "c", {"ca", "cd", "ss", "d"}},
+      {"q69", "c", {"ca", "cd", "ws", "d"}},
+      {"q69", "c", {"ca", "cd", "cs", "d"}},
+      {"q70", "ss", {"d", "s"}},
+      {"q71", "ss", {"d", "t", "i"}},
+      {"q71", "cs", {"d", "t", "i"}},
+      {"q71", "ws", {"d", "t", "i"}},
+      {"q72", "cs", {"d", "i", "cd", "hd", "p", "inv", "w"}},
+      {"q73", "ss", {"d", "s", "hd", "c"}},
+      {"q74", "ss", {"d", "c"}},
+      {"q74", "ws", {"d", "c"}},
+      {"q75", "sr", {"ss", "d", "i"}},
+      {"q75", "cr", {"cs", "d", "i"}},
+      {"q75", "wr", {"ws", "d", "i"}},
+      {"q76", "ss", {"d", "i"}},
+      {"q76", "ws", {"d", "i"}},
+      {"q76", "cs", {"d", "i"}},
+      {"q77", "ss", {"d", "s"}},
+      {"q77", "sr", {"d", "s"}},
+      {"q77", "cs", {"d", "cp"}},
+      {"q77", "cr", {"d"}},
+      {"q77", "ws", {"d", "wp"}},
+      {"q77", "wr", {"d", "wp"}},
+      {"q78", "sr", {"ss", "d"}},
+      {"q78", "cr", {"cs", "d"}},
+      {"q78", "wr", {"ws", "d"}},
+      {"q79", "ss", {"d", "s", "hd", "c"}},
+      {"q80", "sr", {"ss", "d", "i", "s", "p"}},
+      {"q80", "cr", {"cs", "d", "i", "cc", "p"}},
+      {"q80", "wr", {"ws", "d", "i", "web", "p"}},
+      {"q81", "cr", {"d", "c", "ca"}},
+      {"q82", "inv", {"d", "i"}},
+      {"q82", "ss", {"i"}},
+      {"q83", "sr", {"d", "i"}},
+      {"q83", "cr", {"d", "i"}},
+      {"q83", "wr", {"d", "i"}},
+      {"q84", "c", {"ca", "cd", "hd", "ib", "sr", "r"}},
+      {"q85", "wr", {"ws", "d", "r", "wp"}},
+      {"q86", "ws", {"d", "i"}},
+      {"q87", "ss", {"d", "c"}},
+      {"q87", "cs", {"d", "c"}},
+      {"q87", "ws", {"d", "c"}},
+      {"q88", "ss", {"t", "s", "hd"}},
+      {"q89", "ss", {"d", "i", "s"}},
+      {"q90", "ws", {"t", "hd", "wp"}},
+      {"q91", "cr", {"d", "c", "cc"}},
+      {"q91", "c", {"ca", "cd", "hd"}},
+      {"q92", "ws", {"d", "i"}},
+      {"q93", "sr", {"ss", "r"}},
+      {"q94", "ws", {"d", "ca", "web", "wr"}},
+      {"q95", "ws", {"d", "ca", "web", "wr"}},
+      {"q96", "ss", {"t", "hd", "s"}},
+      {"q97", "ss", {"d"}},
+      {"q97", "cs", {"d"}},
+      {"q98", "ss", {"d", "i"}},
+      {"q99", "cs", {"d", "w", "sm", "cc"}},
+  };
+  return kBlocks;
+}
+
+int TpcdsQueryCount() { return 99; }
+
+Result<std::vector<QueryGraph>> TpcdsQueryGraphs(const Schema& schema) {
+  const auto& codes = CodeMap();
+  auto table_of = [&](const std::string& code) -> Result<TableId> {
+    auto it = codes.find(code);
+    if (it == codes.end()) return Status::NotFound("unknown table code '", code, "'");
+    return schema.FindTable(it->second);
+  };
+  // FK connecting a and b (either direction); first match wins.
+  auto fk_between = [&](TableId a, TableId b) -> const ForeignKey* {
+    for (const auto& fk : schema.foreign_keys()) {
+      if ((fk.src_table == a && fk.dst_table == b) ||
+          (fk.src_table == b && fk.dst_table == a)) {
+        return &fk;
+      }
+    }
+    return nullptr;
+  };
+
+  std::vector<QueryGraph> graphs;
+  int block_index = 0;
+  for (const auto& block : TpcdsBlocks()) {
+    QueryGraph g;
+    g.name = block.query + "#" + std::to_string(block_index++);
+    PREF_ASSIGN_OR_RAISE(TableId root, table_of(block.root));
+    g.tables.push_back(root);
+    // customer (if present) anchors the demographic snowflake.
+    TableId customer = *schema.FindTable("customer");
+    TableId hd = *schema.FindTable("household_demographics");
+    for (const auto& ref_code : block.refs) {
+      PREF_ASSIGN_OR_RAISE(TableId ref, table_of(ref_code));
+      // Candidate attach points: for the customer snowflake prefer the
+      // customer (then household_demographics for income_band); otherwise
+      // root first, then earlier tables in listed order.
+      std::vector<TableId> candidates;
+      bool snowflake = ref_code == "ib";
+      if (snowflake) {
+        if (ref_code == "ib" && g.UsesTable(hd)) candidates.push_back(hd);
+        if (g.UsesTable(customer) && ref != customer) candidates.push_back(customer);
+      }
+      candidates.push_back(root);
+      for (TableId t : g.tables) {
+        if (t != root) candidates.push_back(t);
+      }
+      const ForeignKey* fk = nullptr;
+      for (TableId cand : candidates) {
+        if (cand == ref) continue;
+        fk = fk_between(cand, ref);
+        if (fk != nullptr) break;
+      }
+      if (fk == nullptr) {
+        return Status::Invalid("block ", g.name, ": no foreign key connects '",
+                               ref_code, "'");
+      }
+      if (!g.UsesTable(ref)) g.tables.push_back(ref);
+      g.equi_joins.push_back(schema.PredicateOf(*fk));
+    }
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+}  // namespace pref

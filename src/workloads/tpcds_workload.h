@@ -1,0 +1,41 @@
+// The TPC-DS workload as join graphs for the workload-driven design
+// (§5.3). The paper reports: 99 queries decompose into 165 connected
+// components (one per SPJA block after separating subqueries / UNION
+// branches), which merge phase 1 reduces to 17 and the cost-based phase 2
+// to 7 (one per fact table).
+//
+// Substitution note (DESIGN.md): the official queries' SQL is not
+// reproduced; each query is encoded as its SPJA blocks' star/snowflake
+// join templates — which is exactly the information the WD algorithm
+// consumes (§4.2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/query_graph.h"
+
+namespace pref {
+
+/// One SPJA block: a root table joined to a set of referenced tables along
+/// foreign-key paths, e.g. "ss:d,i,s" (store_sales star with date_dim,
+/// item, store) or "sr:ss,r" (store_returns joined to its sales parent and
+/// reason).
+struct TpcdsBlockSpec {
+  std::string query;              // e.g. "q05"
+  std::string root;               // table short code
+  std::vector<std::string> refs;  // short codes of referenced tables
+};
+
+/// The 99-query block table (>= 160 blocks).
+const std::vector<TpcdsBlockSpec>& TpcdsBlocks();
+
+/// Expands the block table into QueryGraphs, one per block, resolving each
+/// reference through the first foreign key from root (or ref) matching.
+Result<std::vector<QueryGraph>> TpcdsQueryGraphs(const Schema& schema);
+
+/// Number of distinct queries in the workload (99).
+int TpcdsQueryCount();
+
+}  // namespace pref

@@ -1,0 +1,354 @@
+#include "workloads/tpch_queries.h"
+
+#include <cassert>
+
+namespace pref {
+
+namespace {
+
+QuerySpec MustBuild(QueryBuilder& builder) {
+  auto spec = builder.Build();
+  assert(spec.ok());
+  return *spec;
+}
+QuerySpec MustBuild(QueryBuilder&& builder) { return MustBuild(builder); }
+
+Value S(const char* s) { return Value(std::string(s)); }
+Value I(int64_t v) { return Value(v); }
+Value D(double v) { return Value(v); }
+
+}  // namespace
+
+std::vector<QuerySpec> TpchQueries(const Schema& schema) {
+  std::vector<QuerySpec> qs;
+
+  // Q1: pricing summary report. Single-table scan + group aggregation.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q1")
+                             .From("lineitem")
+                             .Where("lineitem", Le("l_shipdate", I(2400)))
+                             .GroupBy({"l_returnflag", "l_linestatus"})
+                             .Agg(AggFunc::kSum, "l_quantity", "sum_qty")
+                             .Agg(AggFunc::kSum, "l_extendedprice", "sum_price")
+                             .Agg(AggFunc::kAvg, "l_quantity", "avg_qty")
+                             .Agg(AggFunc::kAvg, "l_discount", "avg_disc")
+                             .Agg(AggFunc::kCountStar, "", "count_order")));
+
+  // Q2: minimum-cost supplier. (The correlated min-subquery is flattened
+  // to its join path part-partsupp-supplier-nation-region.)
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q2")
+                             .From("part")
+                             .Where("part", Eq("p_size", I(15)))
+                             .Join("partsupp", "p_partkey", "ps_partkey")
+                             .Join("supplier", "ps_suppkey", "s_suppkey")
+                             .Join("nation", "s_nationkey", "n_nationkey")
+                             .Join("region", "n_regionkey", "r_regionkey")
+                             .Where("region", Eq("r_name", S("EUROPE")))
+                             .GroupBy({"p_partkey"})
+                             .Agg(AggFunc::kMin, "ps_supplycost", "min_cost")));
+
+  // Q3: shipping priority.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q3")
+                             .From("customer")
+                             .Where("customer", Eq("c_mktsegment", S("BUILDING")))
+                             .Join("orders", "c_custkey", "o_custkey")
+                             .Where("orders", Lt("o_orderdate", I(1200)))
+                             .Join("lineitem", "o_orderkey", "l_orderkey")
+                             .Where("lineitem", Gt("l_shipdate", I(1200)))
+                             .GroupBy({"l_orderkey", "o_shippriority"})
+                             .Agg(AggFunc::kSum, "l_extendedprice", "revenue")));
+
+  // Q4: order priority checking — orders with at least one late lineitem
+  // (EXISTS flattened to a semi join; the right-side filter keeps this on
+  // the generic semi-join path rather than the hasS rewrite).
+  {
+    QueryBuilder b(&schema, "Q4");
+    b.From("orders")
+        .Where("orders", Between("o_orderdate", I(800), I(892)))
+        .Join("lineitem", "o_orderkey", "l_orderkey", JoinType::kSemi)
+        .Where("lineitem", Gt("l_receiptdate", I(820)))
+        .GroupBy({"o_orderpriority"})
+        .Agg(AggFunc::kCountStar, "", "order_count");
+    qs.push_back(MustBuild(std::move(b)));
+  }
+
+  // Q5: local supplier volume. The c_nationkey = s_nationkey condition is
+  // folded into a composite join with supplier.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q5")
+                             .From("customer")
+                             .Join("orders", "c_custkey", "o_custkey")
+                             .Where("orders", Between("o_orderdate", I(365), I(730)))
+                             .Join("lineitem", "o_orderkey", "l_orderkey")
+                             .JoinMulti("supplier", {"l_suppkey", "c_nationkey"},
+                                        {"s_suppkey", "s_nationkey"})
+                             .Join("nation", "s_nationkey", "n_nationkey")
+                             .Join("region", "n_regionkey", "r_regionkey")
+                             .Where("region", Eq("r_name", S("ASIA")))
+                             .GroupBy({"n_name"})
+                             .Agg(AggFunc::kSum, "l_extendedprice", "revenue")));
+
+  // Q6: forecasting revenue change. Pure scan.
+  {
+    QueryBuilder b(&schema, "Q6");
+    b.From("lineitem")
+        .Where("lineitem", Between("l_shipdate", I(365), I(730)))
+        .Where("lineitem", Between("l_discount", D(0.02), D(0.04)))
+        .Where("lineitem", Lt("l_quantity", D(24.0)))
+        .Agg(AggFunc::kSum, "l_extendedprice", "revenue");
+    qs.push_back(MustBuild(std::move(b)));
+  }
+
+  // Q7: volume shipping between two nations (nation self-join via aliases).
+  qs.push_back(MustBuild(
+      QueryBuilder(&schema, "Q7")
+          .From("supplier")
+          .Join("lineitem", "s_suppkey", "l_suppkey")
+          .Join("orders", "l_orderkey", "o_orderkey")
+          .Join("customer", "o_custkey", "c_custkey")
+          .Join("nation", "s_nationkey", "n1.n_nationkey", JoinType::kInner, "n1")
+          .Where("n1", Eq("n1.n_name", S("NATION_7")))
+          .Join("nation", "c_nationkey", "n2.n_nationkey", JoinType::kInner, "n2")
+          .Where("n2", Eq("n2.n_name", S("NATION_8")))
+          .GroupBy({"n1.n_name", "n2.n_name"})
+          .Agg(AggFunc::kSum, "l_extendedprice", "revenue")));
+
+  // Q8: national market share (group key simplified: no YEAR()).
+  qs.push_back(MustBuild(
+      QueryBuilder(&schema, "Q8")
+          .From("part")
+          .Where("part", Eq("p_type", S("ECONOMY ANODIZED STEEL")))
+          .Join("lineitem", "p_partkey", "l_partkey")
+          .Join("supplier", "l_suppkey", "s_suppkey")
+          .Join("orders", "l_orderkey", "o_orderkey")
+          .Where("orders", Between("o_orderdate", I(1095), I(1825)))
+          .Join("customer", "o_custkey", "c_custkey")
+          .Join("nation", "c_nationkey", "n1.n_nationkey", JoinType::kInner, "n1")
+          .Join("region", "n1.n_regionkey", "r_regionkey")
+          .Where("region", Eq("r_name", S("AMERICA")))
+          .Join("nation", "s_nationkey", "n2.n_nationkey", JoinType::kInner, "n2")
+          .GroupBy({"n2.n_name"})
+          .Agg(AggFunc::kSum, "l_extendedprice", "volume")));
+
+  // Q9: product type profit measure.
+  qs.push_back(MustBuild(
+      QueryBuilder(&schema, "Q9")
+          .From("part")
+          .Where("part", Eq("p_brand", S("Brand#11")))
+          .Join("lineitem", "p_partkey", "l_partkey")
+          .Join("supplier", "l_suppkey", "s_suppkey")
+          .JoinMulti("partsupp", {"l_partkey", "l_suppkey"},
+                     {"ps_partkey", "ps_suppkey"})
+          .Join("orders", "l_orderkey", "o_orderkey")
+          .Join("nation", "s_nationkey", "n_nationkey")
+          .GroupBy({"n_name"})
+          .Agg(AggFunc::kSum, "l_extendedprice", "amount")
+          .Agg(AggFunc::kSum, "ps_supplycost", "cost")));
+
+  // Q10: returned item reporting.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q10")
+                             .From("customer")
+                             .Join("orders", "c_custkey", "o_custkey")
+                             .Where("orders", Between("o_orderdate", I(270), I(360)))
+                             .Join("lineitem", "o_orderkey", "l_orderkey")
+                             .Where("lineitem", Eq("l_returnflag", S("R")))
+                             .Join("nation", "c_nationkey", "n_nationkey")
+                             .GroupBy({"c_name", "n_name"})
+                             .Agg(AggFunc::kSum, "l_extendedprice", "revenue")));
+
+  // Q11: important stock identification.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q11")
+                             .From("partsupp")
+                             .Join("supplier", "ps_suppkey", "s_suppkey")
+                             .Join("nation", "s_nationkey", "n_nationkey")
+                             .Where("nation", Eq("n_name", S("NATION_3")))
+                             .GroupBy({"ps_partkey"})
+                             .Agg(AggFunc::kSum, "ps_supplycost", "value")));
+
+  // Q12: shipping modes and order priority.
+  {
+    Dnf modes;
+    modes.disjuncts.push_back({Eq("l_shipmode", S("MAIL")),
+                               Between("l_receiptdate", I(365), I(730))});
+    modes.disjuncts.push_back({Eq("l_shipmode", S("SHIP")),
+                               Between("l_receiptdate", I(365), I(730))});
+    qs.push_back(MustBuild(QueryBuilder(&schema, "Q12")
+                               .From("orders")
+                               .Join("lineitem", "o_orderkey", "l_orderkey")
+                               .WhereDnf("lineitem", modes)
+                               .GroupBy({"l_shipmode"})
+                               .Agg(AggFunc::kCountStar, "", "line_count")));
+  }
+
+  // Q13: customer distribution. The paper rewrites the left outer join to
+  // the hasS anti-join form to make it finish (§5.1); this is that form:
+  // customers without orders, counted.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q13")
+                             .From("customer")
+                             .Join("orders", "c_custkey", "o_custkey",
+                                   JoinType::kAnti)
+                             .GroupBy({"c_nationkey"})
+                             .Agg(AggFunc::kCountStar, "", "custdist")));
+
+  // Q14: promotion effect.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q14")
+                             .From("lineitem")
+                             .Where("lineitem", Between("l_shipdate", I(700), I(730)))
+                             .Join("part", "l_partkey", "p_partkey")
+                             .GroupBy({"p_type"})
+                             .Agg(AggFunc::kSum, "l_extendedprice", "revenue")));
+
+  // Q15: top supplier (max-revenue subquery flattened to the group-by).
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q15")
+                             .From("supplier")
+                             .Join("lineitem", "s_suppkey", "l_suppkey")
+                             .Where("lineitem", Between("l_shipdate", I(700), I(790)))
+                             .GroupBy({"s_name"})
+                             .Agg(AggFunc::kSum, "l_extendedprice", "total_revenue")));
+
+  // Q16: parts/supplier relationship.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q16")
+                             .From("partsupp")
+                             .Join("part", "ps_partkey", "p_partkey")
+                             .Where("part", Ne("p_brand", S("Brand#45")))
+                             .Where("part", Gt("p_size", I(20)))
+                             .GroupBy({"p_brand", "p_type", "p_size"})
+                             .Agg(AggFunc::kCountStar, "", "supplier_cnt")));
+
+  // Q17: small-quantity-order revenue.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q17")
+                             .From("lineitem")
+                             .Join("part", "l_partkey", "p_partkey")
+                             .Where("part", Eq("p_brand", S("Brand#23")))
+                             .Where("part", Eq("p_container", S("MED BAG")))
+                             .Agg(AggFunc::kSum, "l_extendedprice", "total")
+                             .Agg(AggFunc::kAvg, "l_quantity", "avg_qty")));
+
+  // Q18: large volume customer.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q18")
+                             .From("customer")
+                             .Join("orders", "c_custkey", "o_custkey")
+                             .Where("orders", Gt("o_totalprice", D(4000.0)))
+                             .Join("lineitem", "o_orderkey", "l_orderkey")
+                             .GroupBy({"c_name", "o_orderkey"})
+                             .Agg(AggFunc::kSum, "l_quantity", "sum_qty")));
+
+  // Q19: discounted revenue — the classic three-disjunct DNF over
+  // part/lineitem attributes, applied after the join.
+  {
+    Dnf dnf;
+    dnf.disjuncts.push_back({Eq("p_brand", S("Brand#12")),
+                             Eq("p_container", S("SM CASE")),
+                             Between("l_quantity", D(1.0), D(11.0))});
+    dnf.disjuncts.push_back({Eq("p_brand", S("Brand#23")),
+                             Eq("p_container", S("MED BAG")),
+                             Between("l_quantity", D(10.0), D(20.0))});
+    dnf.disjuncts.push_back({Eq("p_brand", S("Brand#34")),
+                             Eq("p_container", S("LG BOX")),
+                             Between("l_quantity", D(20.0), D(30.0))});
+    qs.push_back(MustBuild(QueryBuilder(&schema, "Q19")
+                               .From("lineitem")
+                               .Join("part", "l_partkey", "p_partkey")
+                               .ResidualFilter(dnf)
+                               .Agg(AggFunc::kSum, "l_extendedprice", "revenue")));
+  }
+
+  // Q20: potential part promotion — supplier semi partsupp (nested EXISTS
+  // flattened), joined with the nation filter.
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q20")
+                             .From("supplier")
+                             .Join("nation", "s_nationkey", "n_nationkey")
+                             .Where("nation", Eq("n_name", S("NATION_4")))
+                             .Join("partsupp", "s_suppkey", "ps_suppkey",
+                                   JoinType::kSemi)
+                             .Project({"s_name"})));
+
+  // Q21: suppliers who kept orders waiting (the l2/l3 self-join EXISTS
+  // pair is dropped; the join path supplier-lineitem-orders-nation stays).
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q21")
+                             .From("supplier")
+                             .Join("lineitem", "s_suppkey", "l_suppkey")
+                             .Join("orders", "l_orderkey", "o_orderkey")
+                             .Where("orders", Eq("o_orderstatus", S("F")))
+                             .Join("nation", "s_nationkey", "n_nationkey")
+                             .Where("nation", Eq("n_name", S("NATION_12")))
+                             .GroupBy({"s_name"})
+                             .Agg(AggFunc::kCountStar, "", "numwait")));
+
+  // Q22: global sales opportunity — customers with above-average balance
+  // and no orders (anti join, as the paper's optimized form).
+  qs.push_back(MustBuild(QueryBuilder(&schema, "Q22")
+                             .From("customer")
+                             .Where("customer", Gt("c_acctbal", D(0.0)))
+                             .Join("orders", "c_custkey", "o_custkey",
+                                   JoinType::kAnti)
+                             .GroupBy({"c_nationkey"})
+                             .Agg(AggFunc::kCountStar, "", "numcust")
+                             .Agg(AggFunc::kSum, "c_acctbal", "totacctbal")));
+
+  return qs;
+}
+
+const std::vector<int>& TpchExcludedQueries() {
+  static const std::vector<int> kExcluded = {13, 22};
+  return kExcluded;
+}
+
+Result<QueryGraph> ToQueryGraph(const QuerySpec& spec, const Schema& schema) {
+  QueryGraph graph;
+  graph.name = spec.name;
+  // Nodes: distinct base tables.
+  for (const auto& ref : spec.tables) {
+    PREF_ASSIGN_OR_RAISE(TableId id, schema.FindTable(ref.table));
+    if (!graph.UsesTable(id)) graph.tables.push_back(id);
+  }
+  // Resolve a column reference to (table id, column id) using the same
+  // alias convention as the engine.
+  auto resolve = [&](const std::string& name)
+      -> Result<std::pair<TableId, ColumnId>> {
+    for (const auto& ref : spec.tables) {
+      std::string alias = ref.alias.empty() ? ref.table : ref.alias;
+      std::string bare = name;
+      if (name.size() > alias.size() + 1 && name.compare(0, alias.size(), alias) == 0 &&
+          name[alias.size()] == '.') {
+        bare = name.substr(alias.size() + 1);
+      } else if (alias != ref.table) {
+        continue;
+      }
+      PREF_ASSIGN_OR_RAISE(TableId tid, schema.FindTable(ref.table));
+      auto col = schema.table(tid).FindColumn(bare);
+      if (col.ok()) return std::make_pair(tid, *col);
+    }
+    return Status::NotFound("column '", name, "' not resolvable");
+  };
+  for (const auto& step : spec.joins) {
+    JoinPredicate p;
+    for (size_t i = 0; i < step.left_columns.size(); ++i) {
+      PREF_ASSIGN_OR_RAISE(auto l, resolve(step.left_columns[i]));
+      PREF_ASSIGN_OR_RAISE(auto r, resolve(step.right_columns[i]));
+      if (i == 0) {
+        p.left_table = l.first;
+        p.right_table = r.first;
+      }
+      if (l.first != p.left_table || r.first != p.right_table) {
+        // Mixed-side composite predicate: keep only the leading pair.
+        continue;
+      }
+      p.left_columns.push_back(l.second);
+      p.right_columns.push_back(r.second);
+    }
+    if (p.left_table == p.right_table) continue;  // self join: no edge
+    graph.equi_joins.push_back(std::move(p));
+  }
+  return graph;
+}
+
+std::vector<QueryGraph> TpchQueryGraphs(const Schema& schema) {
+  std::vector<QueryGraph> graphs;
+  for (const auto& spec : TpchQueries(schema)) {
+    auto g = ToQueryGraph(spec, schema);
+    assert(g.ok());
+    graphs.push_back(std::move(*g));
+  }
+  return graphs;
+}
+
+}  // namespace pref

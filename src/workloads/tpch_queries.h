@@ -1,0 +1,37 @@
+// The TPC-H workload (22 queries) in two forms:
+//  * engine-executable QuerySpecs reproducing each query's join structure,
+//    selective filters and aggregation shape (§5.1, Figures 7-8), and
+//  * QueryGraphs for the workload-driven design algorithm (§4).
+//
+// Deviations from official TPC-H SQL (documented per query below and in
+// DESIGN.md): no ORDER BY/LIMIT (irrelevant to locality), no scalar
+// expressions inside aggregates (sum(a*b) becomes sum(a)), correlated
+// subqueries flattened to the joins they induce, and Q13/Q22's outer joins
+// expressed through the anti-join form the paper itself uses to make Q13
+// finish (§5.1).
+
+#pragma once
+
+#include <vector>
+
+#include "design/query_graph.h"
+#include "engine/query.h"
+
+namespace pref {
+
+/// All 22 queries, index i = Q(i+1).
+std::vector<QuerySpec> TpchQueries(const Schema& schema);
+
+/// Query numbers (1-based) excluded from the paper's Figure 7/8 runtime
+/// totals (Q13 and Q22 did not finish under MySQL without rewrites).
+const std::vector<int>& TpchExcludedQueries();
+
+/// Join-graph form of a query spec for the WD algorithm. Self-join edges
+/// (same table on both sides) are dropped — they cannot co-partition
+/// anything beyond what the table's own scheme provides.
+Result<QueryGraph> ToQueryGraph(const QuerySpec& spec, const Schema& schema);
+
+/// Join graphs of the full workload.
+std::vector<QueryGraph> TpchQueryGraphs(const Schema& schema);
+
+}  // namespace pref

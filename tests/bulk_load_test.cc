@@ -1,0 +1,245 @@
+// Tests for §2.3 bulk loading: routing per scheme, dup/hasS maintenance,
+// partition-index maintenance, and the naive (no-index) ablation path.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "datagen/tpch_gen.h"
+#include "partition/bulk_loader.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+/// Splits the orders table: first 80% loaded via initial partitioning,
+/// last 20% returned as a bulk-load batch.
+RowBlock TailRows(const Table& t, double fraction, size_t* cut_out) {
+  size_t cut = static_cast<size_t>(static_cast<double>(t.num_rows()) * fraction);
+  *cut_out = cut;
+  RowBlock tail(&t.def());
+  for (size_t r = cut; r < t.num_rows(); ++r) tail.AppendRow(t.data(), r);
+  return tail;
+}
+
+/// Copies the first `cut` rows of `t` into a fresh Database that otherwise
+/// mirrors `db` (only `table_name` is truncated).
+Database TruncatedCopy(const Database& db, const std::string& table_name,
+                       size_t cut) {
+  Schema schema_copy = db.schema();
+  Database out(std::move(schema_copy));
+  for (const auto& def : db.schema().tables()) {
+    const Table& src = db.table(def.id);
+    Table* dst = *out.FindTable(def.name);
+    size_t limit = def.name == table_name ? cut : src.num_rows();
+    for (size_t r = 0; r < limit; ++r) dst->data().AppendRow(src.data(), r);
+  }
+  return out;
+}
+
+TEST(BulkLoadTest, HashRoutingMatchesPartitioner) {
+  auto db = GenerateTpch({0.001, 3});
+  ASSERT_TRUE(db.ok());
+  const Table& orders = **db->FindTable("orders");
+  size_t cut;
+  RowBlock tail = TailRows(orders, 0.8, &cut);
+  Database head_db = TruncatedCopy(*db, "orders", cut);
+
+  PartitioningConfig config(&head_db.schema(), 4);
+  ASSERT_TRUE(config.AddHash("orders", {"o_orderkey"}).ok());
+  auto pdb = PartitionDatabase(head_db, std::move(config));
+  ASSERT_TRUE(pdb.ok());
+
+  TableId o_id = *head_db.schema().FindTable("orders");
+  BulkLoader loader;
+  auto stats = loader.Append(pdb->get(), o_id, tail);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows_inserted, tail.num_rows());
+  EXPECT_EQ(stats->copies_written, tail.num_rows());
+
+  // Result must equal partitioning the full table in one go.
+  PartitioningConfig full_config(&db->schema(), 4);
+  ASSERT_TRUE(full_config.AddHash("orders", {"o_orderkey"}).ok());
+  auto full = PartitionDatabase(*db, std::move(full_config));
+  ASSERT_TRUE(full.ok());
+  const PartitionedTable* a = (*pdb)->GetTable(o_id);
+  const PartitionedTable* b = (*full)->GetTable(*db->schema().FindTable("orders"));
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(a->partition(p).rows.num_rows(), b->partition(p).rows.num_rows());
+  }
+}
+
+TEST(BulkLoadTest, ReplicatedGoesEverywhere) {
+  auto db = GenerateTpch({0.001, 3});
+  ASSERT_TRUE(db.ok());
+  PartitioningConfig config(&db->schema(), 3);
+  ASSERT_TRUE(config.AddReplicated("nation").ok());
+  auto pdb = PartitionDatabase(*db, std::move(config));
+  ASSERT_TRUE(pdb.ok());
+  TableId n_id = *db->schema().FindTable("nation");
+  RowBlock extra(&db->schema().table(n_id));
+  ASSERT_TRUE(extra
+                  .AppendRowValues({Value(int64_t{99}), Value(std::string("ATLANTIS")),
+                                    Value(int64_t{0}), Value(std::string("c"))})
+                  .ok());
+  BulkLoader loader;
+  auto stats = loader.Append(pdb->get(), n_id, extra);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->copies_written, 3u);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ((*pdb)->GetTable(n_id)->partition(p).rows.num_rows(), 26u);
+  }
+}
+
+TEST(BulkLoadTest, PrefRoutingUsesPartitionIndexAndKeepsInvariants) {
+  auto db = GenerateTpch({0.002, 5});
+  ASSERT_TRUE(db.ok());
+  const Table& orders = **db->FindTable("orders");
+  size_t cut;
+  RowBlock tail = TailRows(orders, 0.7, &cut);
+  Database head_db = TruncatedCopy(*db, "orders", cut);
+
+  PartitioningConfig config(&head_db.schema(), 6);
+  ASSERT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+  ASSERT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  auto pdb = PartitionDatabase(head_db, std::move(config));
+  ASSERT_TRUE(pdb.ok());
+
+  TableId o_id = *head_db.schema().FindTable("orders");
+  BulkLoader loader(/*use_partition_index=*/true);
+  auto stats = loader.Append(pdb->get(), o_id, tail);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->index_lookups, tail.num_rows());
+  EXPECT_EQ(stats->scan_probes, 0u);
+
+  // The loaded table must satisfy Definition 1 against the *full* source
+  // database (head + tail = original orders).
+  CheckPrefInvariants(*db, **pdb, o_id);
+}
+
+TEST(BulkLoadTest, NaiveScanPathMatchesIndexPath) {
+  auto db = GenerateTpch({0.001, 5});
+  ASSERT_TRUE(db.ok());
+  const Table& orders = **db->FindTable("orders");
+  size_t cut;
+  RowBlock tail = TailRows(orders, 0.8, &cut);
+  Database head_db = TruncatedCopy(*db, "orders", cut);
+
+  auto make_pdb = [&]() {
+    PartitioningConfig config(&head_db.schema(), 4);
+    EXPECT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+    EXPECT_TRUE(
+        config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+    auto pdb = PartitionDatabase(head_db, std::move(config));
+    EXPECT_TRUE(pdb.ok());
+    return std::move(*pdb);
+  };
+  auto with_index = make_pdb();
+  auto without_index = make_pdb();
+  TableId o_id = *head_db.schema().FindTable("orders");
+
+  BulkLoader indexed(true), naive(false);
+  auto s1 = indexed.Append(with_index.get(), o_id, tail);
+  auto s2 = naive.Append(without_index.get(), o_id, tail);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_GT(s2->scan_probes, 0u);
+  EXPECT_EQ(s1->copies_written, s2->copies_written);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(with_index->GetTable(o_id)->partition(p).rows.num_rows(),
+              without_index->GetTable(o_id)->partition(p).rows.num_rows());
+  }
+  CheckPrefInvariants(*db, *without_index, o_id);
+}
+
+TEST(BulkLoadTest, OrphansRoundRobin) {
+  auto db = GenerateTpch({0.001, 5});
+  ASSERT_TRUE(db.ok());
+  PartitioningConfig config(&db->schema(), 4);
+  ASSERT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+  ASSERT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  auto pdb = PartitionDatabase(*db, std::move(config));
+  ASSERT_TRUE(pdb.ok());
+  TableId o_id = *db->schema().FindTable("orders");
+  // Insert 8 orders with order keys that have no lineitems.
+  RowBlock extra(&db->schema().table(o_id));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(extra
+                    .AppendRowValues({Value(int64_t{9000000 + i}), Value(int64_t{1}),
+                                      Value(std::string("O")), Value(1.0),
+                                      Value(int64_t{100}), Value(std::string("1-URGENT")),
+                                      Value(int64_t{0})})
+                    .ok());
+  }
+  std::vector<size_t> before(4);
+  for (int p = 0; p < 4; ++p) {
+    before[static_cast<size_t>(p)] =
+        (*pdb)->GetTable(o_id)->partition(p).rows.num_rows();
+  }
+  BulkLoader loader;
+  auto stats = loader.Append(pdb->get(), o_id, extra);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->copies_written, 8u);
+  // Exactly two orphans per partition (round-robin of 8 over 4).
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ((*pdb)->GetTable(o_id)->partition(p).rows.num_rows(),
+              before[static_cast<size_t>(p)] + 2);
+  }
+}
+
+TEST(BulkLoadTest, MaintainsOwnPartitionIndexForDownstreamLoads) {
+  // orders is PREF on lineitem; customer is PREF on orders. §2.3 requires
+  // a referenced table to be fully loaded before its referencing table, so
+  // the initial database here holds no customers at all: orders' tail is
+  // bulk loaded first, then every customer routes via the *updated* orders
+  // partition index.
+  auto db = GenerateTpch({0.001, 11});
+  ASSERT_TRUE(db.ok());
+  const Table& customer = **db->FindTable("customer");
+  size_t ccut;
+  RowBlock ctail = TailRows(customer, 0.0, &ccut);  // all customers
+  const Table& orders = **db->FindTable("orders");
+  size_t ocut;
+  RowBlock otail = TailRows(orders, 0.5, &ocut);
+
+  Database head_db = TruncatedCopy(*db, "orders", ocut);
+  Database head2 = TruncatedCopy(head_db, "customer", ccut);
+
+  PartitioningConfig config(&head2.schema(), 4);
+  ASSERT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+  ASSERT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  ASSERT_TRUE(
+      config.AddPref("customer", {"c_custkey"}, "orders", {"o_custkey"}).ok());
+  auto pdb = PartitionDatabase(head2, std::move(config));
+  ASSERT_TRUE(pdb.ok());
+
+  TableId o_id = *head2.schema().FindTable("orders");
+  TableId c_id = *head2.schema().FindTable("customer");
+  BulkLoader loader;
+  ASSERT_TRUE(loader.Append(pdb->get(), o_id, otail).ok());
+  ASSERT_TRUE(loader.Append(pdb->get(), c_id, ctail).ok());
+  CheckPrefInvariants(*db, **pdb, o_id);
+  CheckPrefInvariants(*db, **pdb, c_id);
+}
+
+TEST(BulkLoadTest, ErrorsOnUnknownTableAndBadArity) {
+  auto db = GenerateTpch({0.001, 3});
+  ASSERT_TRUE(db.ok());
+  PartitioningConfig config(&db->schema(), 2);
+  ASSERT_TRUE(config.AddHash("orders", {"o_orderkey"}).ok());
+  auto pdb = PartitionDatabase(*db, std::move(config));
+  ASSERT_TRUE(pdb.ok());
+  BulkLoader loader;
+  TableId c_id = *db->schema().FindTable("customer");
+  RowBlock rows(&db->schema().table(c_id));
+  EXPECT_TRUE(loader.Append(pdb->get(), c_id, rows).status().IsNotFound());
+  TableId o_id = *db->schema().FindTable("orders");
+  RowBlock bad({DataType::kInt64});
+  EXPECT_TRUE(loader.Append(pdb->get(), o_id, bad).status().IsInvalid());
+}
+
+}  // namespace
+}  // namespace pref

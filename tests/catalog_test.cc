@@ -1,0 +1,179 @@
+// Unit tests for the schema catalog and the TPC-H / TPC-DS definitions.
+
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/tpch_schema.h"
+#include "catalog/tpcds_schema.h"
+
+namespace pref {
+namespace {
+
+Schema TwoTableSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddTable("a", {{"a_id", DataType::kInt64}, {"a_x", DataType::kDouble}},
+                         {"a_id"})
+                  .ok());
+  EXPECT_TRUE(
+      s.AddTable("b", {{"b_id", DataType::kInt64}, {"b_a_id", DataType::kInt64}},
+                 {"b_id"})
+          .ok());
+  EXPECT_TRUE(s.AddForeignKey("fk_b_a", "b", {"b_a_id"}, "a", {"a_id"}).ok());
+  return s;
+}
+
+TEST(SchemaTest, AddAndFindTables) {
+  Schema s = TwoTableSchema();
+  EXPECT_EQ(s.num_tables(), 2);
+  auto a = s.FindTable("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(s.table(*a).name, "a");
+  EXPECT_FALSE(s.FindTable("zzz").ok());
+}
+
+TEST(SchemaTest, DuplicateTableRejected) {
+  Schema s = TwoTableSchema();
+  EXPECT_TRUE(s.AddTable("a", {{"x", DataType::kInt64}}).status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, EmptyColumnsRejected) {
+  Schema s;
+  EXPECT_TRUE(s.AddTable("t", {}).status().IsInvalid());
+}
+
+TEST(SchemaTest, DuplicateColumnRejected) {
+  Schema s;
+  EXPECT_FALSE(
+      s.AddTable("t", {{"c", DataType::kInt64}, {"c", DataType::kDouble}}).ok());
+}
+
+TEST(SchemaTest, PrimaryKeyResolved) {
+  Schema s = TwoTableSchema();
+  const TableDef& a = s.table(*s.FindTable("a"));
+  ASSERT_EQ(a.primary_key.size(), 1u);
+  EXPECT_EQ(a.column(a.primary_key[0]).name, "a_id");
+}
+
+TEST(SchemaTest, ForeignKeyResolved) {
+  Schema s = TwoTableSchema();
+  ASSERT_EQ(s.foreign_keys().size(), 1u);
+  const ForeignKey& fk = s.foreign_keys()[0];
+  EXPECT_EQ(s.table(fk.src_table).name, "b");
+  EXPECT_EQ(s.table(fk.dst_table).name, "a");
+  JoinPredicate p = s.PredicateOf(fk);
+  EXPECT_EQ(p.left_table, fk.src_table);
+  EXPECT_EQ(p.right_table, fk.dst_table);
+}
+
+TEST(SchemaTest, BadForeignKeyRejected) {
+  Schema s = TwoTableSchema();
+  EXPECT_FALSE(s.AddForeignKey("bad", "b", {"nope"}, "a", {"a_id"}).ok());
+  EXPECT_FALSE(s.AddForeignKey("bad", "b", {"b_a_id"}, "zzz", {"a_id"}).ok());
+  EXPECT_FALSE(s.AddForeignKey("bad", "b", {}, "a", {}).ok());
+  EXPECT_FALSE(s.AddForeignKey("bad", "b", {"b_a_id"}, "a", {"a_id", "a_x"}).ok());
+}
+
+TEST(SchemaTest, MakePredicateByName) {
+  Schema s = TwoTableSchema();
+  auto p = s.MakePredicate("b", {"b_a_id"}, "a", {"a_id"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(s.table(p->left_table).name, "b");
+  EXPECT_EQ(p->left_columns.size(), 1u);
+}
+
+TEST(SchemaTest, PredicateEquivalence) {
+  Schema s = TwoTableSchema();
+  JoinPredicate p = *s.MakePredicate("b", {"b_a_id"}, "a", {"a_id"});
+  EXPECT_TRUE(p.EquivalentTo(p));
+  EXPECT_TRUE(p.EquivalentTo(p.Reversed()));
+  JoinPredicate q = *s.MakePredicate("b", {"b_id"}, "a", {"a_id"});
+  EXPECT_FALSE(p.EquivalentTo(q));
+}
+
+TEST(SchemaTest, SubsetKeepsOnlyRequestedTablesAndFks) {
+  Schema tpch = MakeTpchSchema();
+  auto sub = tpch.Subset({"customer", "orders", "lineitem", "part", "partsupp"});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_tables(), 5);
+  // nation/region/supplier FKs must be gone; orders->customer etc. retained.
+  for (const auto& fk : sub->foreign_keys()) {
+    EXPECT_TRUE(sub->FindTable(sub->table(fk.src_table).name).ok());
+    EXPECT_TRUE(sub->FindTable(sub->table(fk.dst_table).name).ok());
+  }
+  // orders->customer, lineitem->orders, lineitem->part, partsupp->part.
+  EXPECT_EQ(sub->foreign_keys().size(), 4u);
+}
+
+TEST(TpchSchemaTest, ShapeMatchesSpec) {
+  Schema s = MakeTpchSchema();
+  EXPECT_EQ(s.num_tables(), 8);
+  EXPECT_EQ(s.foreign_keys().size(), 9u);
+  for (const char* name : {"region", "nation", "supplier", "customer", "part",
+                           "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(s.FindTable(name).ok()) << name;
+  }
+}
+
+TEST(TpchSchemaTest, Cardinalities) {
+  EXPECT_EQ(TpchBaseCardinality("lineitem"), 6000000);
+  EXPECT_EQ(TpchBaseCardinality("orders"), 1500000);
+  EXPECT_EQ(TpchBaseCardinality("nation"), 25);
+  EXPECT_EQ(TpchBaseCardinality("unknown"), 0);
+  EXPECT_TRUE(TpchIsFixedSize("nation"));
+  EXPECT_TRUE(TpchIsFixedSize("region"));
+  EXPECT_FALSE(TpchIsFixedSize("lineitem"));
+}
+
+TEST(TpcdsSchemaTest, ShapeMatchesSpec) {
+  Schema s = MakeTpcdsSchema();
+  EXPECT_EQ(s.num_tables(), 24);
+  EXPECT_EQ(TpcdsFactTables().size(), 7u);
+  for (const auto& fact : TpcdsFactTables()) {
+    EXPECT_TRUE(s.FindTable(fact).ok()) << fact;
+    EXPECT_TRUE(TpcdsIsFactTable(fact));
+  }
+  EXPECT_FALSE(TpcdsIsFactTable("item"));
+  // Every table has a positive base cardinality.
+  for (const auto& t : s.tables()) {
+    EXPECT_GT(TpcdsBaseCardinality(t.name), 0) << t.name;
+  }
+}
+
+TEST(TpcdsSchemaTest, AllForeignKeysResolve) {
+  Schema s = MakeTpcdsSchema();
+  EXPECT_GT(s.foreign_keys().size(), 40u);
+  for (const auto& fk : s.foreign_keys()) {
+    EXPECT_GE(fk.src_table, 0);
+    EXPECT_GE(fk.dst_table, 0);
+    EXPECT_EQ(fk.src_columns.size(), fk.dst_columns.size());
+    // Destination columns must be the primary key of the referenced table
+    // for single-column FKs to dimensions.
+    const TableDef& dst = s.table(fk.dst_table);
+    if (fk.dst_columns.size() == 1 && dst.primary_key.size() == 1) {
+      EXPECT_EQ(fk.dst_columns[0], dst.primary_key[0]) << fk.name;
+    }
+  }
+}
+
+TEST(TpcdsSchemaTest, SmallTablesAreSmall) {
+  for (const auto& t : TpcdsSmallTables()) {
+    EXPECT_LT(TpcdsBaseCardinality(t), 1000) << t;
+  }
+}
+
+TEST(ValueTest, TypedAccessAndEquality) {
+  Value i(int64_t{42}), d(3.5), s(std::string("hi"));
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 3.5);
+  EXPECT_EQ(s.AsString(), "hi");
+  EXPECT_EQ(i, Value(int64_t{42}));
+  EXPECT_NE(i.Hash(), Value(int64_t{43}).Hash());
+  EXPECT_EQ(s.ToString(), "'hi'");
+  EXPECT_EQ(i.ToString(), "42");
+}
+
+}  // namespace
+}  // namespace pref

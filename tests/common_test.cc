@@ -1,0 +1,236 @@
+// Unit tests for the common runtime: Status/Result, RNG, Zipf, bitmap,
+// hashing and the combinatorics used by the Appendix A estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/bitmap.h"
+#include "common/hash.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pref {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad arg: ", 42);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalid());
+  EXPECT_EQ(st.message(), "bad arg: 42");
+  EXPECT_EQ(st.ToString(), "Invalid: bad arg: 42");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::KeyError("k");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsKeyError());
+  EXPECT_TRUE(st.IsKeyError());
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsKeyError());
+}
+
+TEST(StatusTest, AllCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PREF_ASSIGN_OR_RAISE(int h, Half(x));
+  PREF_ASSIGN_OR_RAISE(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+
+  Result<int> err = Half(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalid());
+}
+
+TEST(ResultTest, AssignOrRaisePropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(RngTest, UniformSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(42, 42), 42);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(1);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Rng rng(5);
+  ZipfGenerator z(100, 0.0);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[z.Next(&rng)]++;
+  // Every value in [1,100], roughly uniform (within 3x of expectation).
+  for (const auto& [v, c] : counts) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+    EXPECT_LT(c, 600);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  Rng rng(5);
+  ZipfGenerator z(1000, 0.99);
+  int head = 0, total = 50000;
+  for (int i = 0; i < total; ++i) {
+    if (z.Next(&rng) <= 10) head++;
+  }
+  // With theta=0.99 the top-10 of 1000 values should hold a large share.
+  EXPECT_GT(static_cast<double>(head) / total, 0.3);
+}
+
+TEST(ZipfTest, DomainRespected) {
+  Rng rng(11);
+  ZipfGenerator z(7, 0.8);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = z.Next(&rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(BitmapTest, SetGetResize) {
+  Bitmap b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(129));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_EQ(b.Count(), 3u);
+  EXPECT_EQ(b.CountZeros(), 127u);
+  b.Set(64, false);
+  EXPECT_FALSE(b.Get(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitmapTest, PushBack) {
+  Bitmap b;
+  for (int i = 0; i < 200; ++i) b.PushBack(i % 3 == 0);
+  EXPECT_EQ(b.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(b.Get(static_cast<size_t>(i)), i % 3 == 0);
+  EXPECT_EQ(b.Count(), 67u);
+}
+
+TEST(BitmapTest, InitialValueTrue) {
+  Bitmap b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_EQ(b.CountZeros(), 0u);
+}
+
+TEST(HashTest, Int64Avalanche) {
+  EXPECT_NE(HashInt64(1), HashInt64(2));
+  EXPECT_NE(HashInt64(0), HashInt64(1));
+  EXPECT_EQ(HashInt64(77), HashInt64(77));
+}
+
+TEST(HashTest, Bytes) {
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+}
+
+TEST(MathTest, StirlingSmallValues) {
+  StirlingTable t(10);
+  // S(3,2) = 3, S(4,2) = 7, S(5,3) = 25
+  EXPECT_NEAR(std::exp(t.LogStirling2(3, 2)), 3.0, 1e-9);
+  EXPECT_NEAR(std::exp(t.LogStirling2(4, 2)), 7.0, 1e-9);
+  EXPECT_NEAR(std::exp(t.LogStirling2(5, 3)), 25.0, 1e-9);
+  EXPECT_NEAR(std::exp(t.LogStirling2(5, 5)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(t.LogStirling2(5, 1)), 1.0, 1e-9);
+  EXPECT_TRUE(std::isinf(t.LogStirling2(5, 6)));
+  EXPECT_TRUE(std::isinf(t.LogStirling2(5, 0)));
+}
+
+TEST(MathTest, StirlingRowSumsToBell) {
+  StirlingTable t(12);
+  for (int n : {5, 8, 12}) {
+    double sum = 0;
+    for (int k = 1; k <= n; ++k) sum += std::exp(t.LogStirling2(n, k));
+    EXPECT_NEAR(sum, BellNumber(n), BellNumber(n) * 1e-9);
+  }
+}
+
+TEST(MathTest, BellNumbers) {
+  EXPECT_DOUBLE_EQ(BellNumber(0), 1.0);
+  EXPECT_DOUBLE_EQ(BellNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(BellNumber(2), 2.0);
+  EXPECT_DOUBLE_EQ(BellNumber(3), 5.0);
+  EXPECT_DOUBLE_EQ(BellNumber(5), 52.0);
+  EXPECT_DOUBLE_EQ(BellNumber(10), 115975.0);
+}
+
+TEST(MathTest, LogBinomial) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 0)), 1.0, 1e-9);
+  EXPECT_TRUE(std::isinf(LogBinomial(3, 5)));
+}
+
+}  // namespace
+}  // namespace pref

@@ -1,0 +1,148 @@
+// Tests for CSV import/export: round-tripping, quoting, header mapping,
+// and error atomicity.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datagen/tpch_gen.h"
+#include "catalog/tpch_schema.h"
+#include "storage/csv.h"
+
+namespace pref {
+namespace {
+
+Database MakeDb() {
+  Schema s;
+  EXPECT_TRUE(s.AddTable("t",
+                         {{"id", DataType::kInt64},
+                          {"score", DataType::kDouble},
+                          {"tag", DataType::kString},
+                          {"day", DataType::kDate}},
+                         {"id"})
+                  .ok());
+  return Database(std::move(s));
+}
+
+TEST(CsvTest, ImportBasic) {
+  Database db = MakeDb();
+  Table* t = *db.FindTable("t");
+  std::istringstream in(
+      "id,score,tag,day\n"
+      "1,2.5,alpha,100\n"
+      "2,-0.25,beta,200\n");
+  ASSERT_TRUE(ImportCsv(t, in).ok());
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->data().column(0).GetInt64(1), 2);
+  EXPECT_DOUBLE_EQ(t->data().column(1).GetDouble(1), -0.25);
+  EXPECT_EQ(t->data().column(2).GetString(0), "alpha");
+  EXPECT_EQ(t->data().column(3).GetInt64(1), 200);
+}
+
+TEST(CsvTest, HeaderRemapsColumnOrder) {
+  Database db = MakeDb();
+  Table* t = *db.FindTable("t");
+  std::istringstream in(
+      "tag,id,day,score\n"
+      "x,7,1,3.5\n");
+  ASSERT_TRUE(ImportCsv(t, in).ok());
+  EXPECT_EQ(t->data().column(0).GetInt64(0), 7);
+  EXPECT_DOUBLE_EQ(t->data().column(1).GetDouble(0), 3.5);
+  EXPECT_EQ(t->data().column(2).GetString(0), "x");
+}
+
+TEST(CsvTest, NoHeaderUsesSchemaOrder) {
+  Database db = MakeDb();
+  Table* t = *db.FindTable("t");
+  std::istringstream in("5,1.5,z,9\n");
+  CsvOptions options;
+  options.header = false;
+  ASSERT_TRUE(ImportCsv(t, in, options).ok());
+  EXPECT_EQ(t->data().column(0).GetInt64(0), 5);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndQuotes) {
+  Database db = MakeDb();
+  Table* t = *db.FindTable("t");
+  std::istringstream in(
+      "id,score,tag,day\n"
+      "1,0.5,\"hello, \"\"world\"\"\",3\n");
+  ASSERT_TRUE(ImportCsv(t, in).ok());
+  EXPECT_EQ(t->data().column(2).GetString(0), "hello, \"world\"");
+}
+
+TEST(CsvTest, ErrorsAreAtomic) {
+  Database db = MakeDb();
+  Table* t = *db.FindTable("t");
+  std::istringstream in(
+      "id,score,tag,day\n"
+      "1,2.5,ok,1\n"
+      "oops,2.5,bad,2\n");
+  Status st = ImportCsv(t, in);
+  EXPECT_TRUE(st.IsInvalid());
+  EXPECT_EQ(t->num_rows(), 0u);  // nothing applied
+}
+
+TEST(CsvTest, ErrorMessagesCarryLineNumbers) {
+  Database db = MakeDb();
+  Table* t = *db.FindTable("t");
+  std::istringstream in(
+      "id,score,tag,day\n"
+      "1,notanumber,x,1\n");
+  Status st = ImportCsv(t, in);
+  ASSERT_TRUE(st.IsInvalid());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  Database db = MakeDb();
+  Table* t = *db.FindTable("t");
+  std::istringstream in(
+      "id,score,tag,day\n"
+      "1,2.5,x\n");
+  EXPECT_TRUE(ImportCsv(t, in).IsInvalid());
+  std::istringstream bad_header("id,score\n");
+  EXPECT_TRUE(ImportCsv(t, bad_header).IsInvalid());
+  std::istringstream unknown("id,score,tag,nope\n1,1.0,x,1\n");
+  EXPECT_FALSE(ImportCsv(t, unknown).ok());
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Database db = MakeDb();
+  Table* t = *db.FindTable("t");
+  std::istringstream in(
+      "id,score,tag,day\n"
+      "1,0.1,\"a,b\",10\n"
+      "2,12345.6789,plain,20\n"
+      "3,-1e-9,\"q\"\"q\",30\n");
+  ASSERT_TRUE(ImportCsv(t, in).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(ExportCsv(*t, out).ok());
+  Database db2 = MakeDb();
+  Table* t2 = *db2.FindTable("t");
+  std::istringstream back(out.str());
+  ASSERT_TRUE(ImportCsv(t2, back).ok());
+  ASSERT_EQ(t2->num_rows(), t->num_rows());
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    EXPECT_EQ(t->data().GetRow(r), t2->data().GetRow(r)) << "row " << r;
+  }
+}
+
+TEST(CsvTest, FileRoundTripOnTpchTable) {
+  auto db = GenerateTpch({0.001, 3});
+  ASSERT_TRUE(db.ok());
+  const Table& nation = **db->FindTable("nation");
+  std::string path = testing::TempDir() + "/nation.csv";
+  ASSERT_TRUE(ExportCsvFile(nation, path).ok());
+  Database fresh(MakeTpchSchema());
+  Table* loaded = *fresh.FindTable("nation");
+  ASSERT_TRUE(ImportCsvFile(loaded, path).ok());
+  ASSERT_EQ(loaded->num_rows(), nation.num_rows());
+  for (size_t r = 0; r < nation.num_rows(); ++r) {
+    EXPECT_EQ(loaded->data().GetRow(r), nation.data().GetRow(r));
+  }
+  EXPECT_TRUE(ImportCsvFile(loaded, "/no/such/file.csv").IsNotFound());
+}
+
+}  // namespace
+}  // namespace pref

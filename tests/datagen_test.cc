@@ -1,0 +1,240 @@
+// Tests for the TPC-H and TPC-DS data generators: cardinality ratios,
+// referential integrity, determinism, orphan/skew structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "catalog/tpcds_schema.h"
+#include "catalog/tpch_schema.h"
+#include "datagen/tpcds_gen.h"
+#include "datagen/tpch_gen.h"
+
+namespace pref {
+namespace {
+
+TpchGenOptions SmallTpch() {
+  TpchGenOptions o;
+  o.scale_factor = 0.002;  // ~12k lineitems
+  o.seed = 42;
+  return o;
+}
+
+TEST(TpchGenTest, RejectsBadScaleFactor) {
+  TpchGenOptions o;
+  o.scale_factor = 0;
+  EXPECT_FALSE(GenerateTpch(o).ok());
+  o.scale_factor = -1;
+  EXPECT_FALSE(GenerateTpch(o).ok());
+}
+
+TEST(TpchGenTest, CardinalityRatios) {
+  auto db = GenerateTpch(SmallTpch());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db->FindTable("region"))->num_rows(), 5u);
+  EXPECT_EQ((*db->FindTable("nation"))->num_rows(), 25u);
+  size_t customers = (*db->FindTable("customer"))->num_rows();
+  size_t orders = (*db->FindTable("orders"))->num_rows();
+  size_t lineitems = (*db->FindTable("lineitem"))->num_rows();
+  size_t parts = (*db->FindTable("part"))->num_rows();
+  size_t partsupps = (*db->FindTable("partsupp"))->num_rows();
+  EXPECT_EQ(customers, 300u);
+  EXPECT_EQ(orders, 3000u);
+  EXPECT_EQ(partsupps, parts * 4);
+  // ~4 lineitems per order on average.
+  double per_order = static_cast<double>(lineitems) / static_cast<double>(orders);
+  EXPECT_GT(per_order, 3.0);
+  EXPECT_LT(per_order, 5.0);
+}
+
+TEST(TpchGenTest, Deterministic) {
+  auto a = GenerateTpch(SmallTpch());
+  auto b = GenerateTpch(SmallTpch());
+  ASSERT_TRUE(a.ok() && b.ok());
+  const RowBlock& la = (*a->FindTable("lineitem"))->data();
+  const RowBlock& lb = (*b->FindTable("lineitem"))->data();
+  ASSERT_EQ(la.num_rows(), lb.num_rows());
+  for (size_t i = 0; i < std::min<size_t>(la.num_rows(), 100); ++i) {
+    EXPECT_EQ(la.GetRow(i), lb.GetRow(i));
+  }
+  TpchGenOptions other = SmallTpch();
+  other.seed = 43;
+  auto c = GenerateTpch(other);
+  ASSERT_TRUE(c.ok());
+  // Different seed must give different data somewhere in the first rows.
+  const RowBlock& lc = (*c->FindTable("lineitem"))->data();
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min<size_t>({la.num_rows(), lc.num_rows(), 50});
+       ++i) {
+    if (la.GetRow(i) != lc.GetRow(i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpchGenTest, ReferentialIntegrity) {
+  auto db = GenerateTpch(SmallTpch());
+  ASSERT_TRUE(db.ok());
+  // Every o_custkey exists in customer.
+  const RowBlock& c = (*db->FindTable("customer"))->data();
+  std::unordered_set<int64_t> custkeys(c.column(0).ints().begin(),
+                                       c.column(0).ints().end());
+  for (int64_t ck : (*db->FindTable("orders"))->data().column(1).ints()) {
+    EXPECT_TRUE(custkeys.count(ck)) << ck;
+  }
+  // Every l_orderkey exists in orders.
+  const RowBlock& o = (*db->FindTable("orders"))->data();
+  std::unordered_set<int64_t> orderkeys(o.column(0).ints().begin(),
+                                        o.column(0).ints().end());
+  for (int64_t ok : (*db->FindTable("lineitem"))->data().column(0).ints()) {
+    EXPECT_TRUE(orderkeys.count(ok)) << ok;
+  }
+  // Every (l_partkey, l_suppkey) exists in partsupp.
+  const RowBlock& ps = (*db->FindTable("partsupp"))->data();
+  std::set<std::pair<int64_t, int64_t>> pskeys;
+  for (size_t i = 0; i < ps.num_rows(); ++i) {
+    pskeys.insert({ps.column(0).GetInt64(i), ps.column(1).GetInt64(i)});
+  }
+  const RowBlock& l = (*db->FindTable("lineitem"))->data();
+  for (size_t i = 0; i < l.num_rows(); ++i) {
+    EXPECT_TRUE(
+        pskeys.count({l.column(1).GetInt64(i), l.column(2).GetInt64(i)}))
+        << "row " << i;
+  }
+}
+
+TEST(TpchGenTest, OneThirdOfCustomersHaveNoOrders) {
+  auto db = GenerateTpch(SmallTpch());
+  ASSERT_TRUE(db.ok());
+  std::unordered_set<int64_t> with_orders(
+      (*db->FindTable("orders"))->data().column(1).ints().begin(),
+      (*db->FindTable("orders"))->data().column(1).ints().end());
+  size_t customers = (*db->FindTable("customer"))->num_rows();
+  // Customers with custkey % 3 == 0 never appear.
+  for (int64_t ck : with_orders) EXPECT_NE(ck % 3, 0);
+  // So at least ~1/3 of customers are orderless.
+  EXPECT_LE(with_orders.size(), customers * 2 / 3 + 1);
+}
+
+TEST(TpchGenTest, PartsuppHasDistinctSuppliersPerPart) {
+  auto db = GenerateTpch(SmallTpch());
+  ASSERT_TRUE(db.ok());
+  const RowBlock& ps = (*db->FindTable("partsupp"))->data();
+  std::map<int64_t, std::set<int64_t>> suppliers_of;
+  for (size_t i = 0; i < ps.num_rows(); ++i) {
+    suppliers_of[ps.column(0).GetInt64(i)].insert(ps.column(1).GetInt64(i));
+  }
+  for (const auto& [part, sups] : suppliers_of) {
+    EXPECT_EQ(sups.size(), 4u) << "part " << part;
+  }
+}
+
+TpcdsGenOptions SmallTpcds() {
+  TpcdsGenOptions o;
+  o.scale_factor = 0.05;
+  o.seed = 7;
+  return o;
+}
+
+TEST(TpcdsGenTest, RejectsBadOptions) {
+  TpcdsGenOptions o;
+  o.scale_factor = 0;
+  EXPECT_FALSE(GenerateTpcds(o).ok());
+  o = TpcdsGenOptions();
+  o.skew = 1.0;
+  EXPECT_FALSE(GenerateTpcds(o).ok());
+}
+
+TEST(TpcdsGenTest, AllTablesPopulated) {
+  auto db = GenerateTpcds(SmallTpcds());
+  ASSERT_TRUE(db.ok());
+  for (const auto& t : db->schema().tables()) {
+    EXPECT_GT(db->table(t.id).num_rows(), 0u) << t.name;
+  }
+  // Fact tables dominate.
+  EXPECT_GT((*db->FindTable("store_sales"))->num_rows(),
+            (*db->FindTable("item"))->num_rows());
+}
+
+TEST(TpcdsGenTest, SurrogateKeysAreSequences) {
+  auto db = GenerateTpcds(SmallTpcds());
+  ASSERT_TRUE(db.ok());
+  const RowBlock& item = (*db->FindTable("item"))->data();
+  for (size_t i = 0; i < item.num_rows(); ++i) {
+    EXPECT_EQ(item.column(0).GetInt64(i), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(TpcdsGenTest, FactForeignKeysInDomainOrOrphan) {
+  auto db = GenerateTpcds(SmallTpcds());
+  ASSERT_TRUE(db.ok());
+  int64_t n_items = static_cast<int64_t>((*db->FindTable("item"))->num_rows());
+  int orphans = 0;
+  const auto& col = (*db->FindTable("store_sales"))->data().column(2);  // ss_item_sk
+  for (int64_t v : col.ints()) {
+    if (v == -1) {
+      orphans++;
+    } else {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, n_items);
+    }
+  }
+  // ~2% orphans.
+  double frac = static_cast<double>(orphans) / static_cast<double>(col.size());
+  EXPECT_GT(frac, 0.005);
+  EXPECT_LT(frac, 0.05);
+}
+
+TEST(TpcdsGenTest, FactKeysAreSkewed) {
+  auto db = GenerateTpcds(SmallTpcds());
+  ASSERT_TRUE(db.ok());
+  // Top-decile of customers should receive far more than 10% of sales.
+  const auto& col = (*db->FindTable("store_sales"))->data().column(3);  // customer
+  int64_t n_cust = static_cast<int64_t>((*db->FindTable("customer"))->num_rows());
+  int64_t head = 0, total = 0;
+  for (int64_t v : col.ints()) {
+    if (v == -1) continue;
+    total++;
+    if (v <= n_cust / 10) head++;
+  }
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.25);
+}
+
+TEST(TpcdsGenTest, ReturnsReferenceRealSales) {
+  auto db = GenerateTpcds(SmallTpcds());
+  ASSERT_TRUE(db.ok());
+  const RowBlock& ss = (*db->FindTable("store_sales"))->data();
+  const TableDef& ssd = (*db->FindTable("store_sales"))->def();
+  ColumnId ss_item = *ssd.FindColumn("ss_item_sk");
+  ColumnId ss_tick = *ssd.FindColumn("ss_ticket_number");
+  std::set<std::pair<int64_t, int64_t>> sales_keys;
+  for (size_t i = 0; i < ss.num_rows(); ++i) {
+    sales_keys.insert({ss.column(ss_item).GetInt64(i), ss.column(ss_tick).GetInt64(i)});
+  }
+  const RowBlock& sr = (*db->FindTable("store_returns"))->data();
+  const TableDef& srd = (*db->FindTable("store_returns"))->def();
+  ColumnId sr_item = *srd.FindColumn("sr_item_sk");
+  ColumnId sr_tick = *srd.FindColumn("sr_ticket_number");
+  for (size_t i = 0; i < sr.num_rows(); ++i) {
+    EXPECT_TRUE(sales_keys.count(
+        {sr.column(sr_item).GetInt64(i), sr.column(sr_tick).GetInt64(i)}))
+        << "return row " << i;
+  }
+}
+
+TEST(TpcdsGenTest, Deterministic) {
+  auto a = GenerateTpcds(SmallTpcds());
+  auto b = GenerateTpcds(SmallTpcds());
+  ASSERT_TRUE(a.ok() && b.ok());
+  const RowBlock& fa = (*a->FindTable("web_sales"))->data();
+  const RowBlock& fb = (*b->FindTable("web_sales"))->data();
+  ASSERT_EQ(fa.num_rows(), fb.num_rows());
+  for (size_t i = 0; i < std::min<size_t>(fa.num_rows(), 50); ++i) {
+    EXPECT_EQ(fa.GetRow(i), fb.GetRow(i));
+  }
+}
+
+}  // namespace
+}  // namespace pref

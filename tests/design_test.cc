@@ -1,0 +1,394 @@
+// Tests for the design substrate: schema graphs, MAST extraction, the
+// Appendix A estimator (exact + sampled), findOptimalPC (Listing 1), the
+// §3.4 constraint handling, and the schema-driven algorithm end-to-end on
+// TPC-H (matching §5.1's reported configurations).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/tpch_gen.h"
+#include "design/enumerator.h"
+#include "design/estimator.h"
+#include "design/schema_graph.h"
+#include "design/sd_design.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+TEST(SchemaGraphTest, FromSchemaBuildsFkEdges) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  SchemaGraph g = SchemaGraph::FromSchema(*db);
+  EXPECT_EQ(g.nodes().size(), 8u);
+  EXPECT_EQ(g.edges().size(), 9u);
+  // Edge weight = size of the smaller table: orders--customer weighs
+  // |customer|.
+  bool found = false;
+  for (const auto& e : g.edges()) {
+    const auto& s = db->schema();
+    std::string l = s.table(e.predicate.left_table).name;
+    std::string r = s.table(e.predicate.right_table).name;
+    if ((l == "orders" && r == "customer") || (l == "customer" && r == "orders")) {
+      found = true;
+      EXPECT_DOUBLE_EQ(e.weight,
+                       static_cast<double>((*db->FindTable("customer"))->num_rows()));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SchemaGraphTest, ExcludeTablesDropsNodesAndEdges) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  SchemaGraph g = SchemaGraph::FromSchema(*db, {"nation", "region", "supplier"});
+  EXPECT_EQ(g.nodes().size(), 5u);
+  // Surviving edges: L-O, O-C, L-PS, PS-P.
+  EXPECT_EQ(g.edges().size(), 4u);
+}
+
+TEST(SchemaGraphTest, ParallelEdgesCollapsed) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  SchemaGraph g;
+  WeightedEdge e;
+  e.predicate = *db->schema().MakePredicate("orders", {"o_custkey"}, "customer",
+                                            {"c_custkey"});
+  e.weight = 5;
+  g.AddEdge(e);
+  WeightedEdge mirrored;
+  mirrored.predicate = e.predicate.Reversed();
+  mirrored.weight = 5;
+  g.AddEdge(mirrored);
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(SchemaGraphTest, ConnectedComponents) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  SchemaGraph g = SchemaGraph::FromSchema(*db);
+  EXPECT_EQ(g.ConnectedComponents().size(), 1u);
+  SchemaGraph reduced =
+      SchemaGraph::FromSchema(*db, {"lineitem", "partsupp", "nation"});
+  // Remaining: region | supplier | customer-orders | part (customer-orders
+  // still linked; others isolated).
+  auto comps = reduced.ConnectedComponents();
+  EXPECT_EQ(comps.size(), 4u);
+}
+
+TEST(MastTest, PicksHeaviestAcyclicSubset) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  SchemaGraph g = SchemaGraph::FromSchema(*db);
+  Mast m = MaximumSpanningTree(g);
+  // Spanning tree over 8 connected nodes: 7 edges.
+  EXPECT_EQ(m.edges.size(), 7u);
+  // Figure 4's discard: one of the two weight-25 nation edges
+  // (supplier-nation or customer-nation) must be dropped, plus the
+  // lineitem-supplier edge (10k) stays since... verify weight total equals
+  // sum of all but the two lightest removable edges by checking against a
+  // recomputed optimum: total graph weight minus MAST weight equals the
+  // weight of dropped edges (2 edges dropped from 9).
+  EXPECT_EQ(g.edges().size() - m.edges.size(), 2u);
+  EXPECT_LT(m.total_weight, g.TotalWeight());
+}
+
+TEST(MastTest, EnumerationFindsEqualWeightAlternatives) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  SchemaGraph g = SchemaGraph::FromSchema(*db);
+  auto masts = EnumerateMaximumSpanningTrees(g, 8);
+  ASSERT_GE(masts.size(), 2u);  // the two weight-25 nation edges tie
+  for (const auto& m : masts) {
+    EXPECT_DOUBLE_EQ(m.total_weight, masts[0].total_weight);
+    EXPECT_EQ(m.edges.size(), 7u);
+  }
+}
+
+TEST(MastTest, ContainsAndMerge) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  const Schema& s = db->schema();
+  auto edge = [&](const char* lt, const char* lc, const char* rt, const char* rc,
+                  double w) {
+    WeightedEdge e;
+    e.predicate = *s.MakePredicate(lt, {lc}, rt, {rc});
+    e.weight = w;
+    return e;
+  };
+  Mast big;
+  big.nodes = {*s.FindTable("lineitem"), *s.FindTable("orders"),
+               *s.FindTable("customer")};
+  big.edges = {edge("lineitem", "l_orderkey", "orders", "o_orderkey", 3),
+               edge("orders", "o_custkey", "customer", "c_custkey", 2)};
+  big.total_weight = 5;
+  Mast small;
+  small.nodes = {*s.FindTable("lineitem"), *s.FindTable("orders")};
+  small.edges = {edge("orders", "o_orderkey", "lineitem", "l_orderkey", 3)};
+  small.total_weight = 3;
+  EXPECT_TRUE(big.Contains(small));  // reversed predicate counts as equal
+  EXPECT_FALSE(small.Contains(big));
+
+  Mast other;
+  other.nodes = {*s.FindTable("customer"), *s.FindTable("nation")};
+  other.edges = {edge("customer", "c_nationkey", "nation", "n_nationkey", 1)};
+  other.total_weight = 1;
+  auto merged = Mast::Merge(big, other);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->nodes.size(), 4u);
+  EXPECT_EQ(merged->edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged->total_weight, 6);
+
+  // Merging in an edge that closes a cycle fails.
+  Mast cyclic;
+  cyclic.nodes = {*s.FindTable("lineitem"), *s.FindTable("customer")};
+  cyclic.edges = {edge("lineitem", "l_suppkey", "customer", "c_custkey", 9)};
+  cyclic.total_weight = 9;
+  EXPECT_FALSE(Mast::Merge(*merged, cyclic).ok());
+}
+
+TEST(ExpectedCopiesTest, StirlingMatchesClosedForm) {
+  for (int n : {2, 3, 10, 40}) {
+    ExpectedCopies e(n);
+    for (int f : {1, 2, 3, 5, 8, 13, 30, 64}) {
+      EXPECT_NEAR(e.ExactStirling(f), e.ClosedForm(f), 1e-6)
+          << "n=" << n << " f=" << f;
+    }
+  }
+}
+
+TEST(ExpectedCopiesTest, BoundaryBehaviour) {
+  ExpectedCopies e(10);
+  EXPECT_DOUBLE_EQ(e.Get(0), 0.0);
+  EXPECT_DOUBLE_EQ(e.Get(1), 1.0);
+  EXPECT_GT(e.Get(2), 1.0);
+  EXPECT_LT(e.Get(2), 2.0);
+  // Monotone in f, saturating at n.
+  double prev = 0;
+  for (int f = 1; f < 500; f *= 2) {
+    double v = e.Get(f);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, 10.0 + 1e-9);
+    prev = v;
+  }
+  EXPECT_NEAR(e.Get(10000), 10.0, 1e-6);
+  ExpectedCopies single(1);
+  EXPECT_DOUBLE_EQ(single.Get(7), 1.0);
+}
+
+TEST(EstimatorTest, UniqueReferencedKeyGivesFactorOne) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  RedundancyEstimator est(&*db, 10);
+  // LINEITEM PREF by ORDERS on orderkey: o_orderkey is unique, so every
+  // lineitem has exactly one partner partition.
+  JoinPredicate p = *db->schema().MakePredicate("lineitem", {"l_orderkey"}, "orders",
+                                                {"o_orderkey"});
+  EXPECT_NEAR(est.EdgeFactor(p), 1.0, 1e-9);
+}
+
+TEST(EstimatorTest, EstimateMatchesMeasuredRedundancy) {
+  // The accuracy claim of Figure 13 at sampling rate 100%: estimate the
+  // size of ORDERS PREF by LINEITEM (scattered partners) and compare with
+  // the actual partitioned size.
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  const int n = 10;
+  PartitioningConfig config(&db->schema(), n);
+  ASSERT_TRUE(config.AddHash("lineitem", {"l_partkey"}).ok());  // scatter orderkeys
+  ASSERT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  auto pdb = PartitionDatabase(*db, config);
+  ASSERT_TRUE(pdb.ok());
+  double actual =
+      static_cast<double>((*pdb)->GetTable(*db->schema().FindTable("orders"))->TotalRows());
+
+  RedundancyEstimator est(&*db, n);
+  JoinPredicate p = *db->schema().MakePredicate("orders", {"o_orderkey"}, "lineitem",
+                                                {"l_orderkey"});
+  double estimated = est.EdgeFactor(p) *
+                     static_cast<double>((*db->FindTable("orders"))->num_rows());
+  EXPECT_NEAR(estimated / actual, 1.0, 0.05);
+}
+
+TEST(EstimatorTest, SampledEstimateCloseToExact) {
+  auto db = GenerateTpch({0.005, 42});
+  ASSERT_TRUE(db.ok());
+  JoinPredicate p = *db->schema().MakePredicate("orders", {"o_orderkey"}, "lineitem",
+                                                {"l_orderkey"});
+  RedundancyEstimator exact(&*db, 10, 1.0);
+  RedundancyEstimator sampled(&*db, 10, 0.1);
+  double e = exact.EdgeFactor(p);
+  double s = sampled.EdgeFactor(p);
+  EXPECT_NEAR(s / e, 1.0, 0.10);  // paper: ~3% error at 10% on TPC-H
+}
+
+TEST(EstimatorTest, OrphansCountOneCopy) {
+  // Customers without orders (1/3 of them) must be counted with one copy.
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  RedundancyEstimator est(&*db, 10);
+  JoinPredicate p = *db->schema().MakePredicate("customer", {"c_custkey"}, "orders",
+                                                {"o_custkey"});
+  double r = est.EdgeFactor(p);
+  // Active customers (~2/3) have many orders (near n copies); orphans 1.
+  EXPECT_GT(r, 2.0);
+  EXPECT_LT(r, 10.0);
+}
+
+TEST(FindOptimalPcTest, ChosenSeedIsNoWorseThanPaperChoice) {
+  // §5.1 reports LINEITEM as the suggested seed. Several seeds tie within
+  // estimation noise here (co-located chains make C, L and PS seeds all
+  // cheap); what Listing 1 guarantees is minimality of the estimated size.
+  // Verify the *measured* size of the chosen configuration does not exceed
+  // the paper's LINEITEM-seed configuration.
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  SchemaGraph g = SchemaGraph::FromSchema(*db, {"nation", "region", "supplier"});
+  Mast mast = MaximumSpanningTree(g);
+  RedundancyEstimator est(&*db, 10);
+  auto plan = FindOptimalPc(mast, db->schema(), &est);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_seeds, 1);
+  // Exactly one seed; whichever it is, its heaviest incident neighbor is
+  // co-located (path factor stays 1 one hop downstream), and every factor
+  // is within [1, n].
+  int seeds = 0;
+  for (const auto& [t, scheme] : plan->schemes) {
+    if (scheme.is_seed) seeds++;
+    EXPECT_GE(scheme.path_factor, 1.0 - 1e-9);
+    EXPECT_LE(scheme.path_factor, 10.0 + 1e-9);
+  }
+  EXPECT_EQ(seeds, 1);
+
+  // Materialize the chosen plan and the paper's manual plan; compare.
+  SdOptions options;
+  options.num_partitions = 10;
+  options.replicate_tables = {"nation", "region", "supplier"};
+  auto sd = SchemaDrivenDesign(*db, options);
+  ASSERT_TRUE(sd.ok());
+  auto chosen = PartitionDatabase(*db, sd->config);
+  auto manual = PartitionDatabase(*db, MakeTpchSdManual(db->schema(), 10));
+  ASSERT_TRUE(chosen.ok() && manual.ok());
+  EXPECT_LE((*chosen)->TotalRows(), (*manual)->TotalRows() * 101 / 100);
+}
+
+TEST(FindOptimalPcTest, RedundancyFreeConstraintsForceTwoSeeds) {
+  // §5.1 SD (wo small tables, wo data-redundancy): the algorithm must pick
+  // two seed tables, PART and CUSTOMER, with LINEITEM PREF by ORDERS,
+  // ORDERS by CUSTOMER and PARTSUPP by PART — and DL drops to 0.7.
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  SchemaGraph g = SchemaGraph::FromSchema(*db, {"nation", "region", "supplier"});
+  Mast mast = MaximumSpanningTree(g);
+  RedundancyEstimator est(&*db, 10);
+  EnumerationConstraints constraints;
+  for (const char* t : {"customer", "orders", "lineitem", "part", "partsupp"}) {
+    constraints.no_redundancy.insert(*db->schema().FindTable(t));
+  }
+  auto plan = FindOptimalPc(mast, db->schema(), &est, constraints);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_seeds, 2);
+  auto id = [&](const char* t) { return *db->schema().FindTable(t); };
+  EXPECT_TRUE(plan->schemes.at(id("customer")).is_seed);
+  EXPECT_TRUE(plan->schemes.at(id("part")).is_seed);
+  // ORDERS PREF by CUSTOMER; LINEITEM PREF by ORDERS; PARTSUPP PREF by PART.
+  EXPECT_EQ(plan->schemes.at(id("orders")).predicate.right_table, id("customer"));
+  EXPECT_EQ(plan->schemes.at(id("lineitem")).predicate.right_table, id("orders"));
+  EXPECT_EQ(plan->schemes.at(id("partsupp")).predicate.right_table, id("part"));
+  // All tables redundancy-free.
+  for (const auto& [t, scheme] : plan->schemes) {
+    EXPECT_NEAR(scheme.path_factor, 1.0, 0.02);
+  }
+  // Cut weight = |PARTSUPP| (the dropped L-PS edge) => DL = 0.7.
+  double total = g.TotalWeight();
+  EXPECT_NEAR(1.0 - plan->cut_weight / total, 0.7, 0.03);
+}
+
+TEST(SdDesignTest, TpchEndToEndMatchesPaper) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  SdOptions options;
+  options.num_partitions = 10;
+  options.replicate_tables = {"nation", "region", "supplier"};
+  auto result = SchemaDrivenDesign(*db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_seed_tables, 1);
+  // DL = 1.0 on the reduced graph; all 4 reduced-graph edges local.
+  auto edges = SchemaEdges(*db, result->config);
+  EXPECT_DOUBLE_EQ(DataLocality(result->config, edges), 1.0);
+  // Materialize and compare DR with Table 1 (0.5) and the estimate.
+  auto pdb = PartitionDatabase(*db, result->config);
+  ASSERT_TRUE(pdb.ok());
+  double dr = (*pdb)->DataRedundancy();
+  EXPECT_GT(dr, 0.2);
+  EXPECT_LT(dr, 1.0);
+  EXPECT_NEAR(result->estimated_redundancy, dr, 0.15);
+  // Definition 1 holds for every PREF table.
+  for (const auto& [id, spec] : result->config.specs()) {
+    if (spec.method == PartitionMethod::kPref) {
+      CheckPrefInvariants(*db, **pdb, id);
+    }
+  }
+}
+
+TEST(SdDesignTest, NoRedundancyVariantEndToEnd) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  SdOptions options;
+  options.num_partitions = 10;
+  options.replicate_tables = {"nation", "region", "supplier"};
+  options.no_redundancy_tables = {"customer", "orders", "lineitem", "part",
+                                  "partsupp"};
+  auto result = SchemaDrivenDesign(*db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_seed_tables, 2);
+  auto pdb = PartitionDatabase(*db, result->config);
+  ASSERT_TRUE(pdb.ok());
+  // Only the replicated small tables add redundancy; the five big tables
+  // are duplicate-free. Paper: DR = 0.19 (their DR includes replicas).
+  for (const char* t : {"customer", "orders", "lineitem", "part", "partsupp"}) {
+    const PartitionedTable* pt = (*pdb)->GetTable(*db->schema().FindTable(t));
+    EXPECT_EQ(pt->TotalRows(), (*db->FindTable(t))->num_rows()) << t;
+  }
+}
+
+TEST(SdDesignTest, SampledDesignAgreesWithExact) {
+  auto db = GenerateTpch({0.005, 42});
+  ASSERT_TRUE(db.ok());
+  SdOptions exact;
+  exact.num_partitions = 10;
+  exact.replicate_tables = {"nation", "region", "supplier"};
+  SdOptions sampled = exact;
+  sampled.sample_rate = 0.1;
+  auto a = SchemaDrivenDesign(*db, exact);
+  auto b = SchemaDrivenDesign(*db, sampled);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_seed_tables, b->num_seed_tables);
+  EXPECT_NEAR(b->estimated_size / a->estimated_size, 1.0, 0.15);
+}
+
+TEST(SdDesignTest, IsolatedTableBecomesHashSeed) {
+  // A schema component with a single table must still get a scheme.
+  Schema s;
+  ASSERT_TRUE(s.AddTable("solo", {{"id", DataType::kInt64}, {"v", DataType::kDouble}},
+                         {"id"})
+                  .ok());
+  Database db(std::move(s));
+  RowBlock& data = (*db.FindTable("solo"))->data();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(data.AppendRowValues({Value(int64_t{i}), Value(1.0)}).ok());
+  }
+  SdOptions options;
+  options.num_partitions = 4;
+  auto result = SchemaDrivenDesign(db, options);
+  ASSERT_TRUE(result.ok());
+  TableId solo = *db.schema().FindTable("solo");
+  EXPECT_EQ(result->config.spec(solo).method, PartitionMethod::kHash);
+}
+
+}  // namespace
+}  // namespace pref

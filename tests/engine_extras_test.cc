@@ -1,0 +1,199 @@
+// Tests for HAVING / ORDER BY / LIMIT (builder and SQL paths) and the
+// EXPLAIN facade.
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch_gen.h"
+#include "engine/executor.h"
+#include "partition/presets.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+class EngineExtrasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = GenerateTpch({0.002, 42});
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(*db));
+    auto pdb = PartitionDatabase(*db_, MakeTpchSdManual(db_->schema(), 4));
+    ASSERT_TRUE(pdb.ok());
+    pdb_ = std::move(*pdb);
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PartitionedDatabase> pdb_;
+};
+
+TEST_F(EngineExtrasTest, OrderByAscendingAndDescending) {
+  auto q = QueryBuilder(&db_->schema(), "order")
+               .From("orders")
+               .GroupBy({"o_orderpriority"})
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .OrderBy("cnt", /*descending=*/true)
+               .Build();
+  ASSERT_TRUE(q.ok());
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->rows.num_rows(), 2u);
+  for (size_t i = 1; i < r->rows.num_rows(); ++i) {
+    EXPECT_GE(r->rows.column(1).GetInt64(i - 1), r->rows.column(1).GetInt64(i));
+  }
+  // Ascending on the group key.
+  auto q2 = QueryBuilder(&db_->schema(), "order2")
+                .From("orders")
+                .GroupBy({"o_orderpriority"})
+                .Agg(AggFunc::kCountStar, "", "cnt")
+                .OrderBy("o_orderpriority")
+                .Build();
+  auto r2 = ExecuteQuery(*q2, *pdb_);
+  ASSERT_TRUE(r2.ok());
+  for (size_t i = 1; i < r2->rows.num_rows(); ++i) {
+    EXPECT_LE(r2->rows.column(0).GetString(i - 1), r2->rows.column(0).GetString(i));
+  }
+}
+
+TEST_F(EngineExtrasTest, MultiKeySortIsStableLexicographic) {
+  auto q = QueryBuilder(&db_->schema(), "multi")
+               .From("orders")
+               .GroupBy({"o_orderstatus", "o_orderpriority"})
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .OrderBy("o_orderstatus")
+               .OrderBy("o_orderpriority", true)
+               .Build();
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->rows.num_rows(); ++i) {
+    const std::string& s0 = r->rows.column(0).GetString(i - 1);
+    const std::string& s1 = r->rows.column(0).GetString(i);
+    EXPECT_LE(s0, s1);
+    if (s0 == s1) {
+      EXPECT_GE(r->rows.column(1).GetString(i - 1), r->rows.column(1).GetString(i));
+    }
+  }
+}
+
+TEST_F(EngineExtrasTest, LimitTruncatesAfterSort) {
+  auto q = QueryBuilder(&db_->schema(), "topk")
+               .From("customer")
+               .Project({"c_custkey", "c_acctbal"})
+               .OrderBy("c_acctbal", true)
+               .Limit(5)
+               .Build();
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.num_rows(), 5u);
+  // These must be the 5 largest balances in the base data.
+  std::vector<double> balances;
+  for (double v : (*db_->FindTable("customer"))->data().column(4).doubles()) {
+    balances.push_back(v);
+  }
+  std::sort(balances.rbegin(), balances.rend());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(r->rows.column(1).GetDouble(i), balances[i]);
+  }
+}
+
+TEST_F(EngineExtrasTest, LimitWithoutOrder) {
+  auto q = QueryBuilder(&db_->schema(), "lim")
+               .From("customer")
+               .Project({"c_custkey"})
+               .Limit(7)
+               .Build();
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.num_rows(), 7u);
+}
+
+TEST_F(EngineExtrasTest, HavingFiltersGroups) {
+  auto all = QueryBuilder(&db_->schema(), "all")
+                 .From("orders")
+                 .GroupBy({"o_custkey"})
+                 .Agg(AggFunc::kCountStar, "", "cnt")
+                 .Build();
+  auto filtered = QueryBuilder(&db_->schema(), "having")
+                      .From("orders")
+                      .GroupBy({"o_custkey"})
+                      .Agg(AggFunc::kCountStar, "", "cnt")
+                      .Having(Dnf::And({Ge("cnt", Value(int64_t{20}))}))
+                      .Build();
+  auto ra = ExecuteQuery(*all, *pdb_);
+  auto rf = ExecuteQuery(*filtered, *pdb_);
+  ASSERT_TRUE(ra.ok() && rf.ok());
+  size_t expected = 0;
+  for (size_t i = 0; i < ra->rows.num_rows(); ++i) {
+    if (ra->rows.column(1).GetInt64(i) >= 20) expected++;
+  }
+  EXPECT_EQ(rf->rows.num_rows(), expected);
+  for (size_t i = 0; i < rf->rows.num_rows(); ++i) {
+    EXPECT_GE(rf->rows.column(1).GetInt64(i), 20);
+  }
+}
+
+TEST_F(EngineExtrasTest, SqlHavingOrderLimitRoundTrip) {
+  auto q = sql::ParseQuery(db_->schema(),
+                           "SELECT o_custkey, COUNT(*) AS cnt FROM orders "
+                           "GROUP BY o_custkey HAVING cnt >= 15 "
+                           "ORDER BY cnt DESC, o_custkey ASC LIMIT 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->limit, 3);
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_TRUE(q->order_by[0].second);
+  EXPECT_FALSE(q->order_by[1].second);
+  EXPECT_FALSE(q->having.empty());
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->rows.num_rows(), 3u);
+  for (size_t i = 1; i < r->rows.num_rows(); ++i) {
+    EXPECT_GE(r->rows.column(1).GetInt64(i - 1), r->rows.column(1).GetInt64(i));
+  }
+}
+
+TEST_F(EngineExtrasTest, OrderByUnknownColumnFails) {
+  auto q = QueryBuilder(&db_->schema(), "bad")
+               .From("customer")
+               .Project({"c_custkey"})
+               .OrderBy("no_such")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(ExecuteQuery(*q, *pdb_).ok());
+}
+
+TEST_F(EngineExtrasTest, ExplainShowsLocalJoinAndExchanges) {
+  auto q = QueryBuilder(&db_->schema(), "explain")
+               .From("lineitem")
+               .Join("orders", "l_orderkey", "o_orderkey")
+               .GroupBy({"o_orderpriority"})
+               .Agg(AggFunc::kSum, "o_totalprice", "rev")
+               .Build();
+  auto text = ExplainQuery(*q, *pdb_);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Join"), std::string::npos);
+  EXPECT_NE(text->find("Scan lineitem"), std::string::npos);
+  EXPECT_NE(text->find("Repartition"), std::string::npos);  // group exchange
+  EXPECT_NE(text->find("Gather"), std::string::npos);
+  // Under SD, the join itself is local: exactly one Repartition (the
+  // aggregation), counted by occurrences.
+  size_t count = 0, pos = 0;
+  while ((pos = text->find("Repartition", pos)) != std::string::npos) {
+    count++;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(EngineExtrasTest, ExplainShowsHasSRewrite) {
+  auto q = QueryBuilder(&db_->schema(), "semi")
+               .From("customer")
+               .Join("orders", "c_custkey", "o_custkey", JoinType::kSemi)
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  auto text = ExplainQuery(*q, *pdb_);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("[hasS=1]"), std::string::npos);
+  EXPECT_EQ(text->find("Scan orders"), std::string::npos);  // join dropped
+}
+
+}  // namespace
+}  // namespace pref

@@ -1,0 +1,459 @@
+// Engine tests: §2.2 rewrite rules (join cases 1-3, repartition insertion,
+// duplicate elimination, hasS semi-/anti-rewrites), executor correctness
+// against a single-node reference execution, and cost accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "datagen/tpch_gen.h"
+#include "engine/executor.h"
+#include "partition/presets.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+/// Canonical form of a result: rows keyed by their int/string columns;
+/// double columns collected for tolerant comparison (different partition
+/// layouts accumulate floating sums in different orders).
+struct CanonResult {
+  std::multiset<std::string> keys;
+  std::map<std::string, std::vector<double>> doubles;
+};
+
+CanonResult Canon(const QueryResult& result) {
+  CanonResult out;
+  for (size_t r = 0; r < result.rows.num_rows(); ++r) {
+    std::string key;
+    std::vector<double> ds;
+    for (int c = 0; c < result.rows.num_columns(); ++c) {
+      const Column& col = result.rows.column(c);
+      if (col.is_double()) {
+        ds.push_back(col.GetDouble(r));
+      } else if (col.is_int()) {
+        key += std::to_string(col.GetInt64(r));
+        key += '|';
+      } else {
+        key += col.GetString(r);
+        key += '|';
+      }
+    }
+    out.keys.insert(key);
+    auto& bucket = out.doubles[key];
+    bucket.insert(bucket.end(), ds.begin(), ds.end());
+  }
+  // Keys may repeat (raw projections): compare double buckets as sorted
+  // multisets.
+  for (auto& [key, ds] : out.doubles) std::sort(ds.begin(), ds.end());
+  return out;
+}
+
+void ExpectResultsEqual(const QueryResult& expected, const QueryResult& actual,
+                        const std::string& label) {
+  CanonResult e = Canon(expected), a = Canon(actual);
+  EXPECT_EQ(e.keys, a.keys) << label;
+  if (e.keys != a.keys) return;
+  for (const auto& [key, evals] : e.doubles) {
+    const auto& avals = a.doubles[key];
+    ASSERT_EQ(evals.size(), avals.size()) << label << " key " << key;
+    for (size_t i = 0; i < evals.size(); ++i) {
+      double tol = std::max(1e-6, std::fabs(evals[i]) * 1e-9);
+      EXPECT_NEAR(evals[i], avals[i], tol) << label << " key " << key;
+    }
+  }
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = GenerateTpch({0.002, 42});
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(*db));
+    // Reference: single node, everything hash partitioned.
+    auto ref_config = MakeAllHashed(db_->schema(), 1);
+    ASSERT_TRUE(ref_config.ok());
+    auto ref = PartitionDatabase(*db_, *ref_config);
+    ASSERT_TRUE(ref.ok());
+    reference_ = std::move(*ref);
+    // SD-style PREF configuration on 6 nodes.
+    auto sd = PartitionDatabase(*db_, MakeTpchSdManual(db_->schema(), 6));
+    ASSERT_TRUE(sd.ok());
+    sd_pdb_ = std::move(*sd);
+    // Classical configuration on 6 nodes.
+    auto cp_config = MakeTpchClassical(db_->schema(), 6);
+    ASSERT_TRUE(cp_config.ok());
+    auto cp = PartitionDatabase(*db_, *cp_config);
+    ASSERT_TRUE(cp.ok());
+    cp_pdb_ = std::move(*cp);
+  }
+
+  /// Runs `q` on the reference and on `pdb`; expects identical results.
+  QueryResult CheckAgainstReference(const QuerySpec& q,
+                                    const PartitionedDatabase& pdb,
+                                    QueryOptions options = {}) {
+    auto expected = ExecuteQuery(q, *reference_);
+    auto actual = ExecuteQuery(q, pdb, options);
+    EXPECT_TRUE(expected.ok()) << expected.status().ToString();
+    EXPECT_TRUE(actual.ok()) << actual.status().ToString();
+    if (expected.ok() && actual.ok()) {
+      ExpectResultsEqual(*expected, *actual, q.name);
+      return std::move(*actual);
+    }
+    return QueryResult();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PartitionedDatabase> reference_;
+  std::unique_ptr<PartitionedDatabase> sd_pdb_;
+  std::unique_ptr<PartitionedDatabase> cp_pdb_;
+};
+
+TEST_F(EngineTest, ScanFilterProject) {
+  auto q = QueryBuilder(&db_->schema(), "scan")
+               .From("customer")
+               .Where("customer", Eq("c_mktsegment", Value(std::string("BUILDING"))))
+               .Project({"c_custkey", "c_name"})
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *sd_pdb_);
+  EXPECT_GT(r.rows.num_rows(), 0u);
+  EXPECT_EQ(r.column_names, (std::vector<std::string>{"c_custkey", "c_name"}));
+}
+
+TEST_F(EngineTest, FilterOperatorsAllWork) {
+  for (auto pred : {Lt("c_acctbal", Value(0.0)), Le("c_acctbal", Value(0.0)),
+                    Gt("c_acctbal", Value(5000.0)), Ge("c_acctbal", Value(5000.0)),
+                    Ne("c_mktsegment", Value(std::string("BUILDING"))),
+                    Between("c_acctbal", Value(100.0), Value(200.0))}) {
+    auto q = QueryBuilder(&db_->schema(), "filter-op")
+                 .From("customer")
+                 .Where("customer", pred)
+                 .Agg(AggFunc::kCountStar, "", "cnt")
+                 .Build();
+    ASSERT_TRUE(q.ok());
+    CheckAgainstReference(*q, *sd_pdb_);
+  }
+}
+
+TEST_F(EngineTest, DnfResidualFilter) {
+  Dnf dnf;
+  dnf.disjuncts.push_back({Eq("c_mktsegment", Value(std::string("BUILDING"))),
+                           Gt("c_acctbal", Value(0.0))});
+  dnf.disjuncts.push_back({Eq("c_mktsegment", Value(std::string("MACHINERY")))});
+  auto q = QueryBuilder(&db_->schema(), "dnf")
+               .From("customer")
+               .WhereDnf("customer", dnf)
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  CheckAgainstReference(*q, *sd_pdb_);
+}
+
+TEST_F(EngineTest, Case1CoHashedJoinIsLocal) {
+  // CP: lineitem and orders co-hashed on orderkey -> no repartition; the
+  // only exchange is the final gather of partial aggregates.
+  auto q = QueryBuilder(&db_->schema(), "case1")
+               .From("lineitem")
+               .Join("orders", "l_orderkey", "o_orderkey")
+               .Agg(AggFunc::kSum, "l_extendedprice", "rev")
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *cp_pdb_);
+  EXPECT_EQ(r.stats.exchanges, 1);  // gather of partials only
+}
+
+TEST_F(EngineTest, Case2PrefSeedJoinIsLocal) {
+  // SD: orders is PREF by lineitem (seed, hash on orderkey): case (2).
+  auto q = QueryBuilder(&db_->schema(), "case2")
+               .From("lineitem")
+               .Join("orders", "l_orderkey", "o_orderkey")
+               .Agg(AggFunc::kSum, "o_totalprice", "total")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *sd_pdb_);
+  EXPECT_EQ(r.stats.exchanges, 1);
+}
+
+TEST_F(EngineTest, Case3PrefPrefJoinIsLocal) {
+  // Figure 3's query: customer (PREF by orders) join orders (PREF by
+  // lineitem) on custkey, grouped by c_name -> the join itself is local;
+  // the aggregation re-partitions on the group key.
+  auto q = QueryBuilder(&db_->schema(), "fig3")
+               .From("orders")
+               .Join("customer", "o_custkey", "c_custkey")
+               .GroupBy({"c_name"})
+               .Agg(AggFunc::kSum, "o_totalprice", "revenue")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *sd_pdb_);
+  // Repartition (group) + gather: 2 exchanges; the join added none.
+  EXPECT_EQ(r.stats.exchanges, 2);
+}
+
+TEST_F(EngineTest, ThreeWayPrefChainLocal) {
+  auto q = QueryBuilder(&db_->schema(), "chain")
+               .From("lineitem")
+               .Join("orders", "l_orderkey", "o_orderkey")
+               .Join("customer", "o_custkey", "c_custkey")
+               .Agg(AggFunc::kSum, "l_extendedprice", "rev")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *sd_pdb_);
+  EXPECT_EQ(r.stats.exchanges, 1);  // both joins local under SD
+}
+
+TEST_F(EngineTest, NonColocatedJoinRepartitions) {
+  // Under CP, customer is replicated -> local. Under a both-hashed-on-PK
+  // database, orders x customer must shuffle.
+  auto all_hashed = MakeAllHashed(db_->schema(), 6);
+  ASSERT_TRUE(all_hashed.ok());
+  auto pdb = PartitionDatabase(*db_, *all_hashed);
+  ASSERT_TRUE(pdb.ok());
+  auto q = QueryBuilder(&db_->schema(), "shuffle")
+               .From("orders")
+               .Join("customer", "o_custkey", "c_custkey")
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, **pdb);
+  EXPECT_GT(r.stats.bytes_shuffled, 0u);
+  EXPECT_GE(r.stats.exchanges, 2);  // at least one side repartitioned + gather
+}
+
+TEST_F(EngineTest, ReplicatedJoinIsLocal) {
+  auto q = QueryBuilder(&db_->schema(), "repl")
+               .From("customer")
+               .Join("nation", "c_nationkey", "n_nationkey")
+               .GroupBy({"n_name"})
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *sd_pdb_);
+  EXPECT_GT(r.rows.num_rows(), 0u);
+}
+
+TEST_F(EngineTest, CountOverPrefTableEliminatesDuplicates) {
+  // customer is PREF partitioned under SD and physically holds duplicates;
+  // COUNT(*) must still equal the base cardinality.
+  auto q = QueryBuilder(&db_->schema(), "count-dedup")
+               .From("customer")
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  auto r = ExecuteQuery(*q, *sd_pdb_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.num_rows(), 1u);
+  EXPECT_EQ(r->rows.column(0).GetInt64(0),
+            static_cast<int64_t>((*db_->FindTable("customer"))->num_rows()));
+  // The PREF table materially contains more copies than the base count.
+  EXPECT_GT(sd_pdb_->GetTable(*db_->schema().FindTable("customer"))->TotalRows(),
+            (*db_->FindTable("customer"))->num_rows());
+}
+
+TEST_F(EngineTest, DistinctCountWithAndWithoutOptimizations) {
+  // Figure 9 query (1): with the dup index, duplicate elimination is a
+  // local bitmap filter; without it, a full-row shuffle is needed. Results
+  // agree; the unoptimized run ships far more bytes.
+  auto q = QueryBuilder(&db_->schema(), "fig9-distinct")
+               .From("customer")
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryOptions with_opt, without_opt;
+  without_opt.pref_optimizations = false;
+  auto a = ExecuteQuery(*q, *sd_pdb_, with_opt);
+  auto b = ExecuteQuery(*q, *sd_pdb_, without_opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectResultsEqual(*a, *b, "fig9-distinct");
+  EXPECT_GT(b->stats.bytes_shuffled, a->stats.bytes_shuffled);
+}
+
+TEST_F(EngineTest, SemiJoinViaHasSIndex) {
+  // Figure 9 query (2): customers with orders.
+  auto q = QueryBuilder(&db_->schema(), "fig9-semi")
+               .From("customer")
+               .Join("orders", "c_custkey", "o_custkey", JoinType::kSemi)
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *sd_pdb_);
+  // Optimized: the orders scan disappears entirely.
+  QueryOptions no_opt;
+  no_opt.pref_optimizations = false;
+  auto slow = ExecuteQuery(*q, *sd_pdb_, no_opt);
+  ASSERT_TRUE(slow.ok());
+  auto fast = ExecuteQuery(*q, *sd_pdb_);
+  ASSERT_TRUE(fast.ok());
+  ExpectResultsEqual(*slow, *fast, "fig9-semi");
+  EXPECT_LT(r.stats.total_rows_processed, slow->stats.total_rows_processed);
+}
+
+TEST_F(EngineTest, AntiJoinViaHasSIndex) {
+  // Figure 9 query (3): customers without orders (1/3 of them).
+  auto q = QueryBuilder(&db_->schema(), "fig9-anti")
+               .From("customer")
+               .Join("orders", "c_custkey", "o_custkey", JoinType::kAnti)
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *sd_pdb_);
+  ASSERT_EQ(r.rows.num_rows(), 1u);
+  size_t customers = (*db_->FindTable("customer"))->num_rows();
+  int64_t without = r.rows.column(0).GetInt64(0);
+  EXPECT_GT(without, static_cast<int64_t>(customers / 4));
+  EXPECT_LT(without, static_cast<int64_t>(customers / 2));
+}
+
+TEST_F(EngineTest, SemiAntiPartitionConsistency) {
+  // hasS semi + hasS anti counts must sum to the base cardinality.
+  auto semi = QueryBuilder(&db_->schema(), "semi")
+                  .From("customer")
+                  .Join("orders", "c_custkey", "o_custkey", JoinType::kSemi)
+                  .Agg(AggFunc::kCountStar, "", "cnt")
+                  .Build();
+  auto anti = QueryBuilder(&db_->schema(), "anti")
+                  .From("customer")
+                  .Join("orders", "c_custkey", "o_custkey", JoinType::kAnti)
+                  .Agg(AggFunc::kCountStar, "", "cnt")
+                  .Build();
+  ASSERT_TRUE(semi.ok() && anti.ok());
+  auto s = ExecuteQuery(*semi, *sd_pdb_);
+  auto a = ExecuteQuery(*anti, *sd_pdb_);
+  ASSERT_TRUE(s.ok() && a.ok());
+  EXPECT_EQ(s->rows.column(0).GetInt64(0) + a->rows.column(0).GetInt64(0),
+            static_cast<int64_t>((*db_->FindTable("customer"))->num_rows()));
+}
+
+TEST_F(EngineTest, GroupByAlignedWithHashPartitioning) {
+  // Group by the hash key of a hash-partitioned table: single-phase local
+  // aggregation, only the gather moves data.
+  auto q = QueryBuilder(&db_->schema(), "aligned")
+               .From("orders")
+               .GroupBy({"o_orderkey"})
+               .Agg(AggFunc::kSum, "o_totalprice", "sum")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryResult r = CheckAgainstReference(*q, *cp_pdb_);
+  EXPECT_EQ(r.stats.exchanges, 1);
+}
+
+TEST_F(EngineTest, AllAggregateFunctions) {
+  auto q = QueryBuilder(&db_->schema(), "aggs")
+               .From("orders")
+               .GroupBy({"o_orderstatus"})
+               .Agg(AggFunc::kSum, "o_totalprice", "sum")
+               .Agg(AggFunc::kMin, "o_totalprice", "min")
+               .Agg(AggFunc::kMax, "o_totalprice", "max")
+               .Agg(AggFunc::kAvg, "o_totalprice", "avg")
+               .Agg(AggFunc::kCount, "o_totalprice", "cnt")
+               .Agg(AggFunc::kCountStar, "", "cnt2")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  CheckAgainstReference(*q, *sd_pdb_);
+  CheckAgainstReference(*q, *cp_pdb_);
+}
+
+TEST_F(EngineTest, PartitionPruningCutsScanWork) {
+  auto q = QueryBuilder(&db_->schema(), "prune")
+               .From("orders")
+               .Where("orders", Eq("o_orderkey", Value(int64_t{100})))
+               .Project({"o_orderkey", "o_totalprice"})
+               .Build();
+  ASSERT_TRUE(q.ok());
+  QueryOptions pruned;
+  pruned.partition_pruning = true;
+  auto without = ExecuteQuery(*q, *cp_pdb_);
+  auto with = ExecuteQuery(*q, *cp_pdb_, pruned);
+  ASSERT_TRUE(without.ok() && with.ok());
+  ExpectResultsEqual(*without, *with, "prune");
+  EXPECT_LT(with->stats.total_rows_processed,
+            without->stats.total_rows_processed / 2);
+}
+
+TEST_F(EngineTest, JoinWithFiltersOnBothSides) {
+  auto q = QueryBuilder(&db_->schema(), "filters")
+               .From("lineitem")
+               .Where("lineitem", Gt("l_quantity", Value(25.0)))
+               .Join("orders", "l_orderkey", "o_orderkey")
+               .Where("orders", Eq("o_orderstatus", Value(std::string("F"))))
+               .GroupBy({"o_orderpriority"})
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  CheckAgainstReference(*q, *sd_pdb_);
+  CheckAgainstReference(*q, *cp_pdb_);
+}
+
+TEST_F(EngineTest, FourWayJoinMatchesReferenceUnderAllConfigs) {
+  auto q = QueryBuilder(&db_->schema(), "fourway")
+               .From("lineitem")
+               .Join("orders", "l_orderkey", "o_orderkey")
+               .Join("customer", "o_custkey", "c_custkey")
+               .Join("nation", "c_nationkey", "n_nationkey")
+               .GroupBy({"n_name"})
+               .Agg(AggFunc::kSum, "l_extendedprice", "volume")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  CheckAgainstReference(*q, *sd_pdb_);
+  CheckAgainstReference(*q, *cp_pdb_);
+}
+
+TEST_F(EngineTest, CompositeKeyJoin) {
+  auto q = QueryBuilder(&db_->schema(), "composite")
+               .From("lineitem")
+               .JoinMulti("partsupp", {"l_partkey", "l_suppkey"},
+                          {"ps_partkey", "ps_suppkey"})
+               .Agg(AggFunc::kSum, "ps_supplycost", "cost")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  // Under SD, partsupp is PREF by lineitem on exactly this predicate.
+  QueryResult r = CheckAgainstReference(*q, *sd_pdb_);
+  EXPECT_EQ(r.stats.exchanges, 1);
+}
+
+TEST_F(EngineTest, SelfJoinWithAliases) {
+  auto q = QueryBuilder(&db_->schema(), "selfjoin")
+               .From("orders", "o1")
+               .Where("o1", Eq("o1.o_orderstatus", Value(std::string("F"))))
+               .Join("orders", "o1.o_custkey", "o2.o_custkey", JoinType::kInner,
+                     "o2")
+               .Agg(AggFunc::kCountStar, "", "pairs")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  CheckAgainstReference(*q, *sd_pdb_);
+}
+
+TEST_F(EngineTest, SimulatedCostReflectsShuffles) {
+  CostModel model;
+  auto q = QueryBuilder(&db_->schema(), "cost")
+               .From("orders")
+               .Join("customer", "o_custkey", "c_custkey")
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  auto all_hashed = PartitionDatabase(*db_, *MakeAllHashed(db_->schema(), 6));
+  ASSERT_TRUE(all_hashed.ok());
+  auto local = ExecuteQuery(*q, *sd_pdb_);
+  auto remote = ExecuteQuery(*q, **all_hashed);
+  ASSERT_TRUE(local.ok() && remote.ok());
+  EXPECT_LT(local->stats.SimulatedSeconds(model),
+            remote->stats.SimulatedSeconds(model));
+}
+
+TEST_F(EngineTest, ErrorsSurfaceCleanly) {
+  auto q = QueryBuilder(&db_->schema(), "bad").From("nope").Build();
+  EXPECT_FALSE(q.ok());
+  auto q2 = QueryBuilder(&db_->schema(), "badcol")
+                .From("orders")
+                .Project({"no_such_col"})
+                .Build();
+  ASSERT_TRUE(q2.ok());  // name resolution happens at rewrite time
+  EXPECT_FALSE(ExecuteQuery(*q2, *sd_pdb_).ok());
+}
+
+}  // namespace
+}  // namespace pref

@@ -1,0 +1,187 @@
+// Tests for §2.3 updates and deletes over partitioned tables.
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch_gen.h"
+#include "engine/executor.h"
+#include "partition/mutation.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+class MutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = GenerateTpch({0.002, 42});
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(*db));
+    config_ = std::make_unique<PartitioningConfig>(
+        MakeTpchSdManual(db_->schema(), 5));
+    auto pdb = PartitionDatabase(*db_, *config_);
+    ASSERT_TRUE(pdb.ok());
+    pdb_ = std::move(*pdb);
+  }
+
+  int64_t CountRows(const std::string& table) {
+    auto q = QueryBuilder(&db_->schema(), "count")
+                 .From(table)
+                 .Agg(AggFunc::kCountStar, "", "cnt")
+                 .Build();
+    auto r = ExecuteQuery(*q, *pdb_);
+    EXPECT_TRUE(r.ok());
+    return r->rows.column(0).GetInt64(0);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PartitioningConfig> config_;
+  std::unique_ptr<PartitionedDatabase> pdb_;
+};
+
+TEST_F(MutationTest, DeleteRemovesAllCopies) {
+  Mutator mutator(config_.get());
+  int64_t before = CountRows("customer");
+  // Customers in the BUILDING segment disappear from every partition.
+  auto stats = mutator.Delete(pdb_.get(), "customer",
+                              Dnf::And({Eq("c_mktsegment",
+                                           Value(std::string("BUILDING")))}));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->tuples_affected, 0u);
+  EXPECT_GE(stats->copies_affected, stats->tuples_affected);
+  EXPECT_EQ(CountRows("customer"),
+            before - static_cast<int64_t>(stats->tuples_affected));
+  // No copy of a BUILDING customer survives anywhere.
+  const PartitionedTable* c = pdb_->GetTable(*db_->schema().FindTable("customer"));
+  const TableDef& def = c->def();
+  ColumnId seg = *def.FindColumn("c_mktsegment");
+  for (int p = 0; p < c->num_partitions(); ++p) {
+    const RowBlock& rows = c->partition(p).rows;
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      EXPECT_NE(rows.column(seg).GetString(r), "BUILDING");
+    }
+    // Bitmap lengths stay consistent after compaction.
+    EXPECT_EQ(c->partition(p).dup.size(), rows.num_rows());
+    EXPECT_EQ(c->partition(p).has_partner.size(), rows.num_rows());
+  }
+}
+
+TEST_F(MutationTest, DeleteOnReplicatedTableCountsTuplesOnce) {
+  Mutator mutator(config_.get());
+  auto stats = mutator.Delete(pdb_.get(), "nation",
+                              Dnf::And({Eq("n_nationkey", Value(int64_t{3}))}));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tuples_affected, 1u);
+  EXPECT_EQ(stats->copies_affected, 5u);  // one per node
+}
+
+TEST_F(MutationTest, DeleteKeepsQueriesConsistent) {
+  Mutator mutator(config_.get());
+  // Delete all orders above a price; a downstream join must agree with a
+  // fresh partitioning of the mutated base data.
+  ASSERT_TRUE(mutator.Delete(pdb_.get(), "orders",
+                             Dnf::And({Gt("o_totalprice", Value(3000.0))}))
+                  .ok());
+  auto q = QueryBuilder(&db_->schema(), "join")
+               .From("orders")
+               .Join("customer", "o_custkey", "c_custkey")
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Build();
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  // Reference: count qualifying orders in the base data (every order joins
+  // exactly one customer).
+  const RowBlock& orders = (*db_->FindTable("orders"))->data();
+  ColumnId price = *db_->schema().table(*db_->schema().FindTable("orders"))
+                        .FindColumn("o_totalprice");
+  int64_t expected = 0;
+  for (size_t i = 0; i < orders.num_rows(); ++i) {
+    if (orders.column(price).GetDouble(i) <= 3000.0) expected++;
+  }
+  EXPECT_EQ(r->rows.column(0).GetInt64(0), expected);
+}
+
+TEST_F(MutationTest, DeleteMaintainsPartitionIndexes) {
+  // orders carries a partition index (built for customer's PREF routing);
+  // after deleting an order key, the index must not route to it anymore.
+  Mutator mutator(config_.get());
+  PartitionedTable* o = pdb_->GetTable(*db_->schema().FindTable("orders"));
+  ASSERT_FALSE(o->indexes().empty());
+  const auto& cols = o->indexes()[0].first;
+  // Pick an existing key.
+  PartitionIndex::Key key;
+  for (ColumnId c : cols) key.push_back(o->partition(0).rows.column(c).GetValue(0));
+  ASSERT_FALSE(o->indexes()[0].second->Lookup(key).empty());
+  // Delete by that column value (single-column index on o_custkey).
+  ASSERT_EQ(cols.size(), 1u);
+  const std::string col_name = o->def().column(cols[0]).name;
+  ASSERT_TRUE(
+      mutator.Delete(pdb_.get(), "orders", Dnf::And({Eq(col_name, key[0])})).ok());
+  EXPECT_TRUE(o->indexes()[0].second->Lookup(key).empty());
+}
+
+TEST_F(MutationTest, UpdatePayloadColumnEverywhere) {
+  Mutator mutator(config_.get());
+  auto stats =
+      mutator.Update(pdb_.get(), "customer", "c_acctbal", Value(0.0),
+                     Dnf::And({Eq("c_mktsegment", Value(std::string("MACHINERY")))}));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->tuples_affected, 0u);
+  const PartitionedTable* c = pdb_->GetTable(*db_->schema().FindTable("customer"));
+  ColumnId seg = *c->def().FindColumn("c_mktsegment");
+  ColumnId bal = *c->def().FindColumn("c_acctbal");
+  for (int p = 0; p < c->num_partitions(); ++p) {
+    const RowBlock& rows = c->partition(p).rows;
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      if (rows.column(seg).GetString(r) == "MACHINERY") {
+        EXPECT_DOUBLE_EQ(rows.column(bal).GetDouble(r), 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(MutationTest, UpdateOnPredicateColumnRejected) {
+  Mutator mutator(config_.get());
+  // c_custkey is customer's partitioning-predicate column.
+  EXPECT_TRUE(mutator
+                  .Update(pdb_.get(), "customer", "c_custkey", Value(int64_t{1}),
+                          Dnf::And({Eq("c_name", Value(std::string("x")))}))
+                  .status()
+                  .IsInvalid());
+  // o_custkey is referenced by customer's PREF predicate.
+  EXPECT_TRUE(mutator
+                  .Update(pdb_.get(), "orders", "o_custkey", Value(int64_t{1}),
+                          Dnf())
+                  .status()
+                  .IsInvalid());
+  // l_orderkey is lineitem's hash attribute.
+  EXPECT_TRUE(mutator
+                  .Update(pdb_.get(), "lineitem", "l_orderkey", Value(int64_t{1}),
+                          Dnf())
+                  .status()
+                  .IsInvalid());
+  // Payload updates on the same tables are fine.
+  EXPECT_TRUE(mutator
+                  .Update(pdb_.get(), "orders", "o_totalprice", Value(1.0),
+                          Dnf::And({Eq("o_orderkey", Value(int64_t{1}))}))
+                  .ok());
+}
+
+TEST_F(MutationTest, TypeMismatchRejected) {
+  Mutator mutator(config_.get());
+  EXPECT_FALSE(mutator
+                   .Update(pdb_.get(), "customer", "c_acctbal",
+                           Value(std::string("oops")), Dnf())
+                   .ok());
+}
+
+TEST_F(MutationTest, UnknownTableOrColumn) {
+  Mutator mutator(config_.get());
+  EXPECT_FALSE(mutator.Delete(pdb_.get(), "nope", Dnf()).ok());
+  EXPECT_FALSE(mutator
+                   .Update(pdb_.get(), "customer", "no_col", Value(0.0), Dnf())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace pref

@@ -1,0 +1,328 @@
+// Parameterized property tests: Definition-1 invariants, losslessness and
+// metric bounds swept across partitioning configurations, partition
+// counts and data seeds; incremental-load equivalence swept across batch
+// splits; estimator laws swept across partition counts and skew.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/tpch_gen.h"
+#include "design/estimator.h"
+#include "engine/executor.h"
+#include "partition/bulk_loader.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "partition/presets.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+// ---------------------------------------------------------------------
+// Sweep 1: every configuration kind x partition count x data seed keeps
+// the Definition-1 invariants and loses no tuples.
+// ---------------------------------------------------------------------
+
+enum class ConfigKind {
+  kSdManual,       // hash seed + 4-table PREF chain
+  kClassical,      // co-hash + replication
+  kAllHashed,      // no PREF at all
+  kRangeChain,     // range seed + PREF
+  kRoundRobinChain // round-robin seed + PREF
+};
+
+std::string KindName(ConfigKind k) {
+  switch (k) {
+    case ConfigKind::kSdManual:
+      return "SdManual";
+    case ConfigKind::kClassical:
+      return "Classical";
+    case ConfigKind::kAllHashed:
+      return "AllHashed";
+    case ConfigKind::kRangeChain:
+      return "RangeChain";
+    case ConfigKind::kRoundRobinChain:
+      return "RoundRobinChain";
+  }
+  return "?";
+}
+
+Result<PartitioningConfig> BuildConfig(ConfigKind kind, const Database& db, int n) {
+  const Schema& schema = db.schema();
+  switch (kind) {
+    case ConfigKind::kSdManual:
+      return MakeTpchSdManual(schema, n);
+    case ConfigKind::kClassical:
+      return MakeTpchClassical(schema, n);
+    case ConfigKind::kAllHashed:
+      return MakeAllHashed(schema, n);
+    case ConfigKind::kRangeChain: {
+      PartitioningConfig config(&schema, n);
+      int64_t orders = static_cast<int64_t>((*db.FindTable("orders"))->num_rows());
+      std::vector<Value> bounds;
+      for (int i = 1; i < n; ++i) {
+        bounds.push_back(Value(orders * i / n + 1));
+      }
+      PREF_RETURN_NOT_OK(config.AddRange("orders", "o_orderkey", std::move(bounds)));
+      PREF_RETURN_NOT_OK(
+          config.AddPref("lineitem", {"l_orderkey"}, "orders", {"o_orderkey"}));
+      PREF_RETURN_NOT_OK(
+          config.AddPref("customer", {"c_custkey"}, "orders", {"o_custkey"}));
+      PREF_RETURN_NOT_OK(config.Finalize());
+      return config;
+    }
+    case ConfigKind::kRoundRobinChain: {
+      PartitioningConfig config(&schema, n);
+      PREF_RETURN_NOT_OK(config.AddRoundRobin("customer"));
+      PREF_RETURN_NOT_OK(
+          config.AddPref("orders", {"o_custkey"}, "customer", {"c_custkey"}));
+      PREF_RETURN_NOT_OK(
+          config.AddPref("lineitem", {"l_orderkey"}, "orders", {"o_orderkey"}));
+      PREF_RETURN_NOT_OK(config.Finalize());
+      return config;
+    }
+  }
+  return Status::Internal("unknown kind");
+}
+
+using PartitionSweepParam = std::tuple<ConfigKind, int /*partitions*/, int /*seed*/>;
+
+class PartitionSweepTest : public ::testing::TestWithParam<PartitionSweepParam> {};
+
+TEST_P(PartitionSweepTest, InvariantsHold) {
+  auto [kind, n, seed] = GetParam();
+  auto db = GenerateTpch({0.001, static_cast<uint64_t>(seed)});
+  ASSERT_TRUE(db.ok());
+  auto config = BuildConfig(kind, *db, n);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  auto pdb = PartitionDatabase(*db, *config);
+  ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+
+  for (const auto& [table_id, spec] : config->specs()) {
+    const PartitionedTable* pt = (*pdb)->GetTable(table_id);
+    ASSERT_NE(pt, nullptr);
+    // Losslessness: distinct rows equal the base cardinality.
+    EXPECT_EQ(pt->DistinctRows(), db->table(table_id).num_rows())
+        << db->schema().table(table_id).name;
+    // Full Definition-1 check for PREF tables.
+    if (spec.method == PartitionMethod::kPref) {
+      CheckPrefInvariants(*db, **pdb, table_id);
+    }
+    // Non-PREF, non-replicated tables never duplicate.
+    if (spec.method == PartitionMethod::kHash ||
+        spec.method == PartitionMethod::kRange ||
+        spec.method == PartitionMethod::kRoundRobin) {
+      EXPECT_EQ(pt->TotalRows(), db->table(table_id).num_rows());
+    }
+  }
+  // DR bounds: [0, n-1].
+  double dr = (*pdb)->DataRedundancy();
+  EXPECT_GE(dr, -1e-9);
+  EXPECT_LE(dr, static_cast<double>(n - 1) + 1e-9);
+}
+
+TEST_P(PartitionSweepTest, QueryOracleAgrees) {
+  auto [kind, n, seed] = GetParam();
+  auto db = GenerateTpch({0.001, static_cast<uint64_t>(seed)});
+  ASSERT_TRUE(db.ok());
+  auto config = BuildConfig(kind, *db, n);
+  ASSERT_TRUE(config.ok());
+  auto pdb = PartitionDatabase(*db, *config);
+  ASSERT_TRUE(pdb.ok());
+  auto ref = PartitionDatabase(*db, *MakeAllHashed(db->schema(), 1));
+  ASSERT_TRUE(ref.ok());
+
+  // A 3-way join + group-by touching only tables present in every kind.
+  auto q = QueryBuilder(&db->schema(), "oracle")
+               .From("lineitem")
+               .Join("orders", "l_orderkey", "o_orderkey")
+               .Join("customer", "o_custkey", "c_custkey")
+               .GroupBy({"c_mktsegment"})
+               .Agg(AggFunc::kCountStar, "", "cnt")
+               .Agg(AggFunc::kSum, "l_quantity", "qty")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  auto expected = ExecuteQuery(*q, **ref);
+  auto actual = ExecuteQuery(*q, **pdb);
+  ASSERT_TRUE(expected.ok() && actual.ok())
+      << expected.status().ToString() << " / " << actual.status().ToString();
+  ASSERT_EQ(expected->rows.num_rows(), actual->rows.num_rows());
+  // Compare via sorted (segment, count) pairs; sums with tolerance.
+  std::map<std::string, std::pair<int64_t, double>> e, a;
+  for (size_t r = 0; r < expected->rows.num_rows(); ++r) {
+    e[expected->rows.column(0).GetString(r)] = {
+        expected->rows.column(1).GetInt64(r), expected->rows.column(2).GetDouble(r)};
+  }
+  for (size_t r = 0; r < actual->rows.num_rows(); ++r) {
+    a[actual->rows.column(0).GetString(r)] = {actual->rows.column(1).GetInt64(r),
+                                              actual->rows.column(2).GetDouble(r)};
+  }
+  for (const auto& [key, val] : e) {
+    ASSERT_TRUE(a.count(key)) << key;
+    EXPECT_EQ(a[key].first, val.first) << key;
+    EXPECT_NEAR(a[key].second, val.second, std::fabs(val.second) * 1e-9 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweepTest,
+    ::testing::Combine(::testing::Values(ConfigKind::kSdManual,
+                                         ConfigKind::kClassical,
+                                         ConfigKind::kAllHashed,
+                                         ConfigKind::kRangeChain,
+                                         ConfigKind::kRoundRobinChain),
+                       ::testing::Values(2, 3, 7), ::testing::Values(1, 99)),
+    [](const ::testing::TestParamInfo<PartitionSweepParam>& info) {
+      return KindName(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 2: bulk loading in k batches is equivalent to one-shot
+// partitioning (same distinct rows per table; Definition 1 intact).
+// ---------------------------------------------------------------------
+
+class BatchedLoadTest : public ::testing::TestWithParam<int /*batches*/> {};
+
+TEST_P(BatchedLoadTest, EquivalentToOneShot) {
+  const int batches = GetParam();
+  auto db = GenerateTpch({0.001, 7});
+  ASSERT_TRUE(db.ok());
+  PartitioningConfig config = MakeTpchSdManual(db->schema(), 4);
+
+  // Empty-partitioned database, then load every table in `batches` chunks
+  // following the PREF dependency order.
+  PartitionedDatabase pdb(&*db);
+  for (TableId id : config.LoadOrder()) {
+    ASSERT_TRUE(pdb.AddTable(id, config.spec(id)).ok());
+  }
+  BulkLoader loader;
+  for (TableId id : config.LoadOrder()) {
+    const RowBlock& src = db->table(id).data();
+    size_t per = src.num_rows() / static_cast<size_t>(batches) + 1;
+    for (size_t start = 0; start < src.num_rows(); start += per) {
+      RowBlock chunk(&db->schema().table(id));
+      for (size_t r = start; r < std::min(src.num_rows(), start + per); ++r) {
+        chunk.AppendRow(src, r);
+      }
+      auto stats = loader.Append(&pdb, id, chunk);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    }
+  }
+
+  for (const auto& [id, spec] : config.specs()) {
+    EXPECT_EQ(pdb.GetTable(id)->DistinctRows(), db->table(id).num_rows());
+    if (spec.method == PartitionMethod::kPref) {
+      CheckPrefInvariants(*db, pdb, id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchedLoadTest, ::testing::Values(1, 2, 5, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Sweep 3: estimator laws across partition counts.
+// ---------------------------------------------------------------------
+
+class ExpectedCopiesLawTest : public ::testing::TestWithParam<int /*n*/> {};
+
+TEST_P(ExpectedCopiesLawTest, StirlingEqualsClosedFormAndMonotone) {
+  const int n = GetParam();
+  ExpectedCopies e(n);
+  double prev = 0;
+  for (int f = 1; f <= 64; ++f) {
+    EXPECT_NEAR(e.ExactStirling(f), e.ClosedForm(f), 1e-6) << "f=" << f;
+    double v = e.Get(f);
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_GE(v, 1.0 - 1e-12);
+    EXPECT_LE(v, static_cast<double>(n) + 1e-9);
+    prev = v;
+  }
+  // Group occupancy: exact for f=1, classic for c=1, bounded by n.
+  for (double c : {1.0, 2.5, static_cast<double>(n)}) {
+    EXPECT_NEAR(e.GroupOccupancy(1, c), std::min(c, static_cast<double>(n)), 1e-9);
+    EXPECT_LE(e.GroupOccupancy(50, c), static_cast<double>(n) + 1e-9);
+  }
+  EXPECT_NEAR(e.GroupOccupancy(7, 1.0), e.Get(7), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, ExpectedCopiesLawTest,
+                         ::testing::Values(1, 2, 4, 10, 25, 64),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+class EstimatorAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<int /*n*/, int /*seed*/>> {};
+
+TEST_P(EstimatorAccuracyTest, SingleEdgeEstimateTracksMeasurement) {
+  auto [n, seed] = GetParam();
+  auto db = GenerateTpch({0.002, static_cast<uint64_t>(seed)});
+  ASSERT_TRUE(db.ok());
+  // Scatter lineitem by partkey; orders PREF by orderkey has scattered
+  // partners and genuine duplication.
+  PartitioningConfig config(&db->schema(), n);
+  ASSERT_TRUE(config.AddHash("lineitem", {"l_partkey"}).ok());
+  ASSERT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  auto pdb = PartitionDatabase(*db, config);
+  ASSERT_TRUE(pdb.ok());
+  double actual = static_cast<double>(
+      (*pdb)->GetTable(*db->schema().FindTable("orders"))->TotalRows());
+
+  RedundancyEstimator est(&*db, n);
+  JoinPredicate p = *db->schema().MakePredicate("orders", {"o_orderkey"}, "lineitem",
+                                                {"l_orderkey"});
+  double estimated =
+      est.EdgeFactor(p) * static_cast<double>((*db->FindTable("orders"))->num_rows());
+  EXPECT_NEAR(estimated / actual, 1.0, 0.06)
+      << "n=" << n << " estimated=" << estimated << " actual=" << actual;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EstimatorAccuracyTest,
+    ::testing::Combine(::testing::Values(2, 5, 10, 20), ::testing::Values(42, 7)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 4: locality metric laws.
+// ---------------------------------------------------------------------
+
+class LocalityLawTest : public ::testing::TestWithParam<int /*n*/> {};
+
+TEST_P(LocalityLawTest, BaselinesBracketDesigns) {
+  const int n = GetParam();
+  auto db = GenerateTpch({0.001, 5});
+  ASSERT_TRUE(db.ok());
+  auto edges = SchemaEdges(*db);
+  auto hashed = MakeAllHashed(db->schema(), n);
+  auto replicated = MakeAllReplicated(db->schema(), n);
+  auto sd = MakeTpchSdManual(db->schema(), n);
+  ASSERT_TRUE(hashed.ok() && replicated.ok());
+  double dl_h = DataLocality(*hashed, edges);
+  double dl_r = DataLocality(*replicated, edges);
+  double dl_sd = DataLocality(sd, edges);
+  EXPECT_DOUBLE_EQ(dl_h, 0.0);
+  EXPECT_DOUBLE_EQ(dl_r, 1.0);
+  EXPECT_GE(dl_sd, dl_h);
+  EXPECT_LE(dl_sd, dl_r);
+  // DL is independent of n for these schemes.
+  auto hashed2 = MakeAllHashed(db->schema(), n * 2);
+  EXPECT_DOUBLE_EQ(DataLocality(*hashed2, edges), dl_h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, LocalityLawTest, ::testing::Values(2, 5, 10, 50),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pref

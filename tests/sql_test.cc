@@ -1,0 +1,243 @@
+// Tests for the SQL front end: lexing, parsing to QuerySpec, filter
+// pushdown, and end-to-end execution equivalence with builder-made queries.
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch_gen.h"
+#include "engine/executor.h"
+#include "partition/presets.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+using sql::ParseQuery;
+using sql::Tokenize;
+using sql::TokenKind;
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a.b, c FROM t WHERE x >= 1.5 AND y <> 'hi'");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds[0], TokenKind::kKeyword);     // SELECT
+  EXPECT_EQ(kinds[1], TokenKind::kIdentifier);  // a.b
+  EXPECT_EQ((*tokens)[1].text, "a.b");
+  EXPECT_EQ(kinds[2], TokenKind::kComma);
+  EXPECT_EQ(kinds.back(), TokenKind::kEnd);
+  // ">=" and "<>" fold into single tokens.
+  bool has_ge = false, has_ne = false, has_float = false, has_str = false;
+  for (const auto& t : *tokens) {
+    has_ge |= t.kind == TokenKind::kGe;
+    has_ne |= t.kind == TokenKind::kNe;
+    has_float |= t.kind == TokenKind::kFloat && t.float_value == 1.5;
+    has_str |= t.kind == TokenKind::kString && t.text == "hi";
+  }
+  EXPECT_TRUE(has_ge && has_ne && has_float && has_str);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, NegativeNumbers) {
+  auto tokens = Tokenize("x = -42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].int_value, -42);
+}
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = GenerateTpch({0.002, 42});
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<Database>(std::move(*db));
+    auto pdb = PartitionDatabase(*db_, MakeTpchSdManual(db_->schema(), 4));
+    ASSERT_TRUE(pdb.ok());
+    pdb_ = std::move(*pdb);
+  }
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<PartitionedDatabase> pdb_;
+};
+
+TEST_F(SqlTest, SimpleProjection) {
+  auto q = ParseQuery(db_->schema(),
+                      "SELECT c_custkey, c_name FROM customer "
+                      "WHERE c_mktsegment = 'BUILDING'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->projection, (std::vector<std::string>{"c_custkey", "c_name"}));
+  // Filter pushed down to the customer scan.
+  EXPECT_FALSE(q->table_filters[0].empty());
+  EXPECT_TRUE(q->residual_filter.empty());
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rows.num_rows(), 0u);
+}
+
+TEST_F(SqlTest, AggregationWithGroupBy) {
+  auto q = ParseQuery(db_->schema(),
+                      "SELECT o_orderstatus, SUM(o_totalprice) AS revenue, COUNT(*) "
+                      "FROM orders GROUP BY o_orderstatus");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->aggregates.size(), 2u);
+  EXPECT_EQ(q->aggregates[0].output_name, "revenue");
+  EXPECT_EQ(q->aggregates[1].func, AggFunc::kCountStar);
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.num_rows(), 2u);  // F and O
+}
+
+TEST_F(SqlTest, JoinsWithOnConditions) {
+  auto q = ParseQuery(db_->schema(),
+                      "SELECT c_name, SUM(o_totalprice) AS revenue "
+                      "FROM orders JOIN customer ON o_custkey = c_custkey "
+                      "GROUP BY c_name");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->joins.size(), 1u);
+  EXPECT_EQ(q->joins[0].left_columns[0], "o_custkey");
+  EXPECT_EQ(q->joins[0].right_columns[0], "c_custkey");
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rows.num_rows(), 0u);
+}
+
+TEST_F(SqlTest, JoinOrientationIsAutodetected) {
+  // ON written "backwards" still orients correctly.
+  auto q = ParseQuery(db_->schema(),
+                      "SELECT COUNT(*) FROM orders "
+                      "JOIN customer ON c_custkey = o_custkey");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->joins[0].left_columns[0], "o_custkey");
+  EXPECT_EQ(q->joins[0].right_columns[0], "c_custkey");
+}
+
+TEST_F(SqlTest, SemiAndAntiJoins) {
+  auto semi = ParseQuery(db_->schema(),
+                         "SELECT COUNT(*) FROM customer "
+                         "SEMI JOIN orders ON c_custkey = o_custkey");
+  auto anti = ParseQuery(db_->schema(),
+                         "SELECT COUNT(*) FROM customer "
+                         "ANTI JOIN orders ON c_custkey = o_custkey");
+  ASSERT_TRUE(semi.ok() && anti.ok());
+  EXPECT_EQ(semi->joins[0].type, JoinType::kSemi);
+  EXPECT_EQ(anti->joins[0].type, JoinType::kAnti);
+  auto rs = ExecuteQuery(*semi, *pdb_);
+  auto ra = ExecuteQuery(*anti, *pdb_);
+  ASSERT_TRUE(rs.ok() && ra.ok());
+  EXPECT_EQ(rs->rows.column(0).GetInt64(0) + ra->rows.column(0).GetInt64(0),
+            static_cast<int64_t>((*db_->FindTable("customer"))->num_rows()));
+}
+
+TEST_F(SqlTest, MultiColumnJoin) {
+  auto q = ParseQuery(db_->schema(),
+                      "SELECT SUM(ps_supplycost) FROM lineitem "
+                      "JOIN partsupp ON l_partkey = ps_partkey AND "
+                      "l_suppkey = ps_suppkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->joins[0].left_columns.size(), 2u);
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+}
+
+TEST_F(SqlTest, WhereDnfAndPushdown) {
+  auto q = ParseQuery(
+      db_->schema(),
+      "SELECT COUNT(*) FROM customer WHERE "
+      "(c_mktsegment = 'BUILDING' AND c_acctbal > 0.0) OR "
+      "c_mktsegment = 'MACHINERY'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // All predicates over customer: pushed to the table filter as 2-way DNF.
+  EXPECT_EQ(q->table_filters[0].disjuncts.size(), 2u);
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+}
+
+TEST_F(SqlTest, CrossTableDisjunctionBecomesResidual) {
+  auto q = ParseQuery(db_->schema(),
+                      "SELECT COUNT(*) FROM orders "
+                      "JOIN customer ON o_custkey = c_custkey "
+                      "WHERE c_mktsegment = 'BUILDING' OR o_totalprice > 100.0");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->residual_filter.disjuncts.size(), 2u);
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+}
+
+TEST_F(SqlTest, BetweenAndNot) {
+  auto q = ParseQuery(db_->schema(),
+                      "SELECT COUNT(*) FROM lineitem WHERE "
+                      "l_quantity BETWEEN 10.0 AND 20.0 AND NOT l_returnflag = 'R'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& conj = q->table_filters[0].disjuncts[0];
+  ASSERT_EQ(conj.size(), 2u);
+  EXPECT_EQ(conj[0].op, CompareOp::kBetween);
+  EXPECT_EQ(conj[1].op, CompareOp::kNe);
+}
+
+TEST_F(SqlTest, AliasedSelfJoin) {
+  auto q = ParseQuery(db_->schema(),
+                      "SELECT COUNT(*) FROM orders o1 "
+                      "JOIN orders o2 ON o1.o_custkey = o2.o_custkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto r = ExecuteQuery(*q, *pdb_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rows.column(0).GetInt64(0), 0);
+}
+
+TEST_F(SqlTest, SqlMatchesBuilderResult) {
+  // The Figure 3 query written in SQL equals the builder version.
+  auto sql_q = ParseQuery(db_->schema(),
+                          "SELECT c_name, SUM(o_totalprice) AS revenue "
+                          "FROM orders JOIN customer ON o_custkey = c_custkey "
+                          "GROUP BY c_name");
+  auto built = QueryBuilder(&db_->schema(), "fig3")
+                   .From("orders")
+                   .Join("customer", "o_custkey", "c_custkey")
+                   .GroupBy({"c_name"})
+                   .Agg(AggFunc::kSum, "o_totalprice", "revenue")
+                   .Build();
+  ASSERT_TRUE(sql_q.ok() && built.ok());
+  auto a = ExecuteQuery(*sql_q, *pdb_);
+  auto b = ExecuteQuery(*built, *pdb_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows.num_rows(), b->rows.num_rows());
+}
+
+TEST_F(SqlTest, ParseErrors) {
+  EXPECT_FALSE(ParseQuery(db_->schema(), "SELEC x FROM t").ok());
+  EXPECT_FALSE(ParseQuery(db_->schema(), "SELECT x FROM no_such_table").ok());
+  EXPECT_FALSE(ParseQuery(db_->schema(), "SELECT c_name FROM customer GROUP BY").ok());
+  EXPECT_FALSE(
+      ParseQuery(db_->schema(), "SELECT c_name FROM customer WHERE c_name").ok());
+  EXPECT_FALSE(ParseQuery(db_->schema(),
+                          "SELECT c_name, SUM(c_acctbal) FROM customer "
+                          "GROUP BY c_custkey")
+                   .ok());  // c_name not grouped
+  EXPECT_FALSE(ParseQuery(db_->schema(),
+                          "SELECT COUNT(*) FROM customer JOIN orders ON "
+                          "c_custkey = c_custkey")
+                   .ok());  // join does not link the new table
+  EXPECT_FALSE(ParseQuery(db_->schema(), "SELECT * FROM customer extra tokens").ok());
+}
+
+TEST_F(SqlTest, SelectStar) {
+  auto q = ParseQuery(db_->schema(), "SELECT * FROM region");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->projection.empty());
+  EXPECT_TRUE(q->aggregates.empty());
+}
+
+}  // namespace
+}  // namespace pref

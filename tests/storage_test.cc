@@ -1,0 +1,254 @@
+// Unit tests for columnar storage, partitions and the partition index.
+
+#include <gtest/gtest.h>
+
+#include "storage/partition.h"
+#include "storage/table.h"
+
+namespace pref {
+namespace {
+
+Schema SmallSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddTable("t",
+                         {{"id", DataType::kInt64},
+                          {"score", DataType::kDouble},
+                          {"tag", DataType::kString}},
+                         {"id"})
+                  .ok());
+  return s;
+}
+
+TEST(ColumnTest, TypedAppendAndGet) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(7);
+  c.AppendInt64(-3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetInt64(0), 7);
+  EXPECT_EQ(c.GetInt64(1), -3);
+  EXPECT_EQ(c.GetValue(1), Value(int64_t{-3}));
+}
+
+TEST(ColumnTest, DateSharesIntRepresentation) {
+  Column c(DataType::kDate);
+  c.AppendInt64(19000);
+  EXPECT_TRUE(c.is_int());
+  EXPECT_EQ(c.GetInt64(0), 19000);
+}
+
+TEST(ColumnTest, AppendValueTypeChecked) {
+  Column c(DataType::kDouble);
+  EXPECT_TRUE(c.AppendValue(Value(1.5)).ok());
+  EXPECT_FALSE(c.AppendValue(Value(int64_t{1})).ok());
+  EXPECT_FALSE(c.AppendValue(Value(std::string("x"))).ok());
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ColumnTest, HashAndEqualAt) {
+  Column a(DataType::kString), b(DataType::kString);
+  a.AppendString("foo");
+  b.AppendString("foo");
+  b.AppendString("bar");
+  EXPECT_EQ(a.HashAt(0), b.HashAt(0));
+  EXPECT_TRUE(a.EqualAt(0, b, 0));
+  EXPECT_FALSE(a.EqualAt(0, b, 1));
+}
+
+TEST(ColumnTest, ByteSize) {
+  Column i(DataType::kInt64);
+  i.AppendInt64(1);
+  i.AppendInt64(2);
+  EXPECT_EQ(i.ByteSize(), 16u);
+  EXPECT_EQ(i.RowByteSize(0), 8u);
+  Column s(DataType::kString);
+  s.AppendString("abcd");
+  EXPECT_EQ(s.RowByteSize(0), 4u + sizeof(size_t));
+}
+
+TEST(RowBlockTest, AppendAndFetchRows) {
+  Schema schema = SmallSchema();
+  const TableDef& def = schema.table(0);
+  RowBlock block(&def);
+  ASSERT_TRUE(
+      block.AppendRowValues({Value(int64_t{1}), Value(2.5), Value(std::string("a"))})
+          .ok());
+  ASSERT_TRUE(
+      block.AppendRowValues({Value(int64_t{2}), Value(5.0), Value(std::string("b"))})
+          .ok());
+  EXPECT_EQ(block.num_rows(), 2u);
+  auto row = block.GetRow(1);
+  EXPECT_EQ(row[0], Value(int64_t{2}));
+  EXPECT_EQ(row[2], Value(std::string("b")));
+}
+
+TEST(RowBlockTest, ArityAndTypeErrors) {
+  Schema schema = SmallSchema();
+  RowBlock block(&schema.table(0));
+  EXPECT_FALSE(block.AppendRowValues({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(block
+                   .AppendRowValues({Value(1.0), Value(2.5), Value(std::string("a"))})
+                   .ok());
+}
+
+TEST(RowBlockTest, AppendRowCopiesBetweenBlocks) {
+  Schema schema = SmallSchema();
+  RowBlock a(&schema.table(0)), b(&schema.table(0));
+  ASSERT_TRUE(
+      a.AppendRowValues({Value(int64_t{9}), Value(1.0), Value(std::string("z"))}).ok());
+  b.AppendRow(a, 0);
+  EXPECT_EQ(b.num_rows(), 1u);
+  EXPECT_EQ(b.GetRow(0), a.GetRow(0));
+}
+
+TEST(RowBlockTest, HashRowAndRowsEqual) {
+  Schema schema = SmallSchema();
+  RowBlock a(&schema.table(0));
+  ASSERT_TRUE(
+      a.AppendRowValues({Value(int64_t{1}), Value(1.0), Value(std::string("x"))}).ok());
+  ASSERT_TRUE(
+      a.AppendRowValues({Value(int64_t{1}), Value(2.0), Value(std::string("y"))}).ok());
+  ASSERT_TRUE(
+      a.AppendRowValues({Value(int64_t{2}), Value(1.0), Value(std::string("x"))}).ok());
+  EXPECT_EQ(a.HashRow({0}, 0), a.HashRow({0}, 1));
+  EXPECT_NE(a.HashRow({0}, 0), a.HashRow({0}, 2));
+  EXPECT_TRUE(a.RowsEqual({0}, 0, a, {0}, 1));
+  EXPECT_FALSE(a.RowsEqual({0}, 0, a, {0}, 2));
+  EXPECT_TRUE(a.RowsEqual({1, 2}, 0, a, {1, 2}, 2));
+}
+
+TEST(RowBlockTest, SynthesizedSchema) {
+  RowBlock block({DataType::kInt64, DataType::kInt64});
+  EXPECT_EQ(block.num_columns(), 2);
+  EXPECT_EQ(block.def(), nullptr);
+}
+
+TEST(DatabaseTest, TablesMatchSchema) {
+  Database db(SmallSchema());
+  EXPECT_EQ(db.num_tables(), 1);
+  auto t = db.FindTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "t");
+  EXPECT_FALSE(db.FindTable("nope").ok());
+  EXPECT_EQ(db.TotalRows(), 0u);
+}
+
+TEST(PartitionIndexTest, AddAndLookup) {
+  PartitionIndex idx;
+  PartitionIndex::Key k1{Value(int64_t{1})}, k2{Value(int64_t{2})};
+  idx.Add(k1, 0);
+  idx.Add(k1, 2);
+  idx.Add(k1, 0);  // idempotent
+  idx.Add(k2, 1);
+  EXPECT_EQ(idx.Lookup(k1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(idx.Lookup(k2), (std::vector<int>{1}));
+  EXPECT_TRUE(idx.Lookup({Value(int64_t{3})}).empty());
+  EXPECT_EQ(idx.num_keys(), 2u);
+}
+
+TEST(PartitionIndexTest, CompositeKeys) {
+  PartitionIndex idx;
+  PartitionIndex::Key k{Value(int64_t{1}), Value(std::string("a"))};
+  PartitionIndex::Key other{Value(int64_t{1}), Value(std::string("b"))};
+  idx.Add(k, 3);
+  EXPECT_EQ(idx.Lookup(k).size(), 1u);
+  EXPECT_TRUE(idx.Lookup(other).empty());
+}
+
+TEST(PartitionedTableTest, RowAccounting) {
+  Schema schema = SmallSchema();
+  PartitionedTable pt(&schema.table(0), PartitionSpec::Hash({0}, 3));
+  EXPECT_EQ(pt.num_partitions(), 3);
+  ASSERT_TRUE(pt.partition(0)
+                  .rows
+                  .AppendRowValues(
+                      {Value(int64_t{1}), Value(1.0), Value(std::string("a"))})
+                  .ok());
+  ASSERT_TRUE(pt.partition(1)
+                  .rows
+                  .AppendRowValues(
+                      {Value(int64_t{2}), Value(2.0), Value(std::string("b"))})
+                  .ok());
+  EXPECT_EQ(pt.TotalRows(), 2u);
+  EXPECT_EQ(pt.DistinctRows(), 2u);  // no dup bitmap -> all distinct
+}
+
+TEST(PartitionedTableTest, DupBitmapAffectsDistinctCount) {
+  Schema schema = SmallSchema();
+  PartitionedTable pt(&schema.table(0), PartitionSpec::Hash({0}, 2));
+  auto& p0 = pt.partition(0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(p0.rows
+                    .AppendRowValues(
+                        {Value(int64_t{i}), Value(0.0), Value(std::string("x"))})
+                    .ok());
+  }
+  p0.dup.PushBack(false);
+  p0.dup.PushBack(true);
+  p0.dup.PushBack(true);
+  EXPECT_EQ(pt.TotalRows(), 3u);
+  EXPECT_EQ(pt.DistinctRows(), 1u);
+}
+
+TEST(PartitionedTableTest, PartitionIndexRegistry) {
+  Schema schema = SmallSchema();
+  PartitionedTable pt(&schema.table(0), PartitionSpec::Hash({0}, 2));
+  EXPECT_EQ(pt.FindPartitionIndex({0}), nullptr);
+  PartitionIndex* idx = pt.AddPartitionIndex({0});
+  idx->Add({Value(int64_t{5})}, 1);
+  const PartitionIndex* found = pt.FindPartitionIndex({0});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->Lookup({Value(int64_t{5})}).size(), 1u);
+  EXPECT_EQ(pt.FindPartitionIndex({0, 1}), nullptr);
+}
+
+TEST(PartitionedDatabaseTest, AddFindAndRedundancy) {
+  Database db(SmallSchema());
+  Table* t = *db.FindTable("t");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t->data()
+                    .AppendRowValues(
+                        {Value(int64_t{i}), Value(0.5), Value(std::string("s"))})
+                    .ok());
+  }
+  PartitionedDatabase pdb(&db);
+  auto pt = pdb.AddTable(0, PartitionSpec::Hash({0}, 2));
+  ASSERT_TRUE(pt.ok());
+  EXPECT_TRUE(pdb.AddTable(0, PartitionSpec::Hash({0}, 2)).status().IsAlreadyExists());
+
+  // Copy all 4 rows into partition 0 and 2 of them again into partition 1:
+  // |D^P| = 6, |D| = 4 -> DR = 0.5.
+  for (int i = 0; i < 4; ++i) (*pt)->partition(0).rows.AppendRow(t->data(), i);
+  for (int i = 0; i < 2; ++i) (*pt)->partition(1).rows.AppendRow(t->data(), i);
+  EXPECT_EQ(pdb.TotalRows(), 6u);
+  EXPECT_DOUBLE_EQ(pdb.DataRedundancy(), 0.5);
+
+  EXPECT_TRUE(pdb.FindTable("t").ok());
+  EXPECT_FALSE(pdb.FindTable("nope").ok());
+}
+
+TEST(PartitionedTableTest, ReplicatedDistinctRows) {
+  Schema schema = SmallSchema();
+  PartitionedTable pt(&schema.table(0), PartitionSpec::Replicated(3));
+  for (int part = 0; part < 3; ++part) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(pt.partition(part)
+                      .rows
+                      .AppendRowValues(
+                          {Value(int64_t{i}), Value(0.0), Value(std::string("r"))})
+                      .ok());
+    }
+  }
+  EXPECT_EQ(pt.TotalRows(), 15u);
+  EXPECT_EQ(pt.DistinctRows(), 5u);
+}
+
+TEST(PartitionSpecTest, ToStringDescribesScheme) {
+  Schema schema = SmallSchema();
+  PartitionSpec h = PartitionSpec::Hash({0}, 4);
+  EXPECT_EQ(h.ToString(schema, 0), "HASH BY (id) x4");
+  PartitionSpec r = PartitionSpec::Replicated(2);
+  EXPECT_EQ(r.ToString(schema, 0), "REPLICATED x2");
+}
+
+}  // namespace
+}  // namespace pref

@@ -1,0 +1,138 @@
+// Shared test helpers: Definition-1 invariant checking for PREF-partitioned
+// tables and hand-built partitioning configurations.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "partition/config.h"
+#include "partition/partitioner.h"
+#include "storage/partition.h"
+#include "storage/table.h"
+
+namespace pref {
+
+/// Renders a row as a comparable string key (test-only; source rows are
+/// assumed unique, which holds for all generated tables).
+inline std::string RowKey(const RowBlock& rows, size_t r) {
+  std::string key;
+  for (const auto& v : rows.GetRow(r)) {
+    key += v.ToString();
+    key += '|';
+  }
+  return key;
+}
+
+/// \brief Validates Definition 1 plus the dup/hasS semantics of §2.1 for a
+/// PREF-partitioned table:
+///  * condition (1): a row appears in exactly the partitions of the
+///    referenced table holding a partitioning partner;
+///  * condition (2): partnerless rows appear in exactly one partition;
+///  * exactly one copy of every source row has dup = 0;
+///  * has_partner matches the existence of partners;
+///  * bitmap lengths equal partition row counts.
+inline void CheckPrefInvariants(const Database& db, const PartitionedDatabase& pdb,
+                                TableId table_id) {
+  const PartitionedTable* pt = pdb.GetTable(table_id);
+  ASSERT_NE(pt, nullptr);
+  ASSERT_EQ(pt->spec().method, PartitionMethod::kPref);
+  const JoinPredicate& p = *pt->spec().predicate;
+  const PartitionedTable* ref = pdb.GetTable(pt->spec().referenced_table);
+  ASSERT_NE(ref, nullptr);
+  const RowBlock& src = db.table(table_id).data();
+
+  // Partner partitions per predicate key of the referenced table.
+  std::map<std::string, std::set<int>> ref_parts_of_key;
+  for (int i = 0; i < ref->num_partitions(); ++i) {
+    const RowBlock& rows = ref->partition(i).rows;
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      std::string key;
+      for (ColumnId c : p.right_columns) {
+        key += rows.column(c).GetValue(r).ToString();
+        key += '|';
+      }
+      ref_parts_of_key[key].insert(i);
+    }
+  }
+
+  // Expected partition set per source row.
+  std::map<std::string, std::set<int>> expected;
+  std::map<std::string, bool> expect_partner;
+  for (size_t r = 0; r < src.num_rows(); ++r) {
+    std::string pred_key;
+    for (ColumnId c : p.left_columns) {
+      pred_key += src.column(c).GetValue(r).ToString();
+      pred_key += '|';
+    }
+    auto it = ref_parts_of_key.find(pred_key);
+    std::string row = RowKey(src, r);
+    if (it == ref_parts_of_key.end()) {
+      expected[row] = {};  // filled by actual single placement below
+      expect_partner[row] = false;
+    } else {
+      expected[row] = it->second;
+      expect_partner[row] = true;
+    }
+  }
+
+  // Observed placements.
+  std::map<std::string, std::set<int>> observed;
+  std::map<std::string, int> non_dup_copies;
+  for (int i = 0; i < pt->num_partitions(); ++i) {
+    const Partition& part = pt->partition(i);
+    ASSERT_EQ(part.dup.size(), part.rows.num_rows());
+    ASSERT_EQ(part.has_partner.size(), part.rows.num_rows());
+    for (size_t r = 0; r < part.rows.num_rows(); ++r) {
+      std::string row = RowKey(part.rows, r);
+      observed[row].insert(i);
+      if (!part.dup.Get(r)) non_dup_copies[row]++;
+      auto partner_it = expect_partner.find(row);
+      ASSERT_NE(partner_it, expect_partner.end()) << "unknown row " << row;
+      EXPECT_EQ(part.has_partner.Get(r), partner_it->second) << row;
+    }
+  }
+
+  EXPECT_EQ(observed.size(), expected.size());
+  for (const auto& [row, parts] : expected) {
+    auto obs = observed.find(row);
+    ASSERT_NE(obs, observed.end()) << "missing row " << row;
+    if (expect_partner[row]) {
+      EXPECT_EQ(obs->second, parts) << "row " << row;
+    } else {
+      EXPECT_EQ(obs->second.size(), 1u) << "orphan row " << row;
+    }
+    EXPECT_EQ(non_dup_copies[row], 1) << "row " << row;
+  }
+}
+
+// (engine result comparison helpers live in engine-dependent tests; see
+// workload_test.cc / engine_test.cc)
+
+/// The SD (wo small tables) TPC-H configuration of §5.1, built by hand:
+/// LINEITEM seed (hash on orderkey); ORDERS, PARTSUPP, PART, CUSTOMER
+/// PREF-chained along the MAST; NATION/REGION/SUPPLIER replicated.
+inline PartitioningConfig MakeTpchSdManual(const Schema& schema, int n) {
+  PartitioningConfig config(&schema, n);
+  EXPECT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("customer", {"c_custkey"}, "orders", {"o_custkey"}).ok());
+  EXPECT_TRUE(config
+                  .AddPref("partsupp", {"ps_partkey", "ps_suppkey"}, "lineitem",
+                           {"l_partkey", "l_suppkey"})
+                  .ok());
+  EXPECT_TRUE(config.AddPref("part", {"p_partkey"}, "partsupp", {"ps_partkey"}).ok());
+  EXPECT_TRUE(config.AddReplicated("nation").ok());
+  EXPECT_TRUE(config.AddReplicated("region").ok());
+  EXPECT_TRUE(config.AddReplicated("supplier").ok());
+  EXPECT_TRUE(config.Finalize().ok());
+  return config;
+}
+
+}  // namespace pref

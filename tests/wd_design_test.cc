@@ -1,0 +1,176 @@
+// Tests for the workload-driven design (§4): per-query MASTs, containment
+// merging (phase 1), cost-based DP merging (phase 2), and the emitted
+// deployment.
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch_gen.h"
+#include "design/query_graph.h"
+#include "design/wd_design.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+QueryGraph Q(const Schema& schema, const std::string& name,
+             std::vector<std::array<const char*, 4>> joins) {
+  QueryGraphBuilder b(&schema, name);
+  for (const auto& j : joins) b.Join(j[0], j[1], j[2], j[3]);
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return *g;
+}
+
+std::vector<QueryGraph> Figure5ishWorkload(const Schema& s) {
+  // Mirrors the shape of Figure 5: Q2 contained in Q1, Q4 contained in Q3,
+  // and the two residual MASTs mergeable without a cycle.
+  return {
+      Q(s, "Q1",
+        {{"lineitem", "l_orderkey", "orders", "o_orderkey"},
+         {"orders", "o_custkey", "customer", "c_custkey"}}),
+      Q(s, "Q2", {{"lineitem", "l_orderkey", "orders", "o_orderkey"}}),
+      Q(s, "Q3",
+        {{"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+         {"supplier", "s_nationkey", "nation", "n_nationkey"}}),
+      Q(s, "Q4", {{"supplier", "s_nationkey", "nation", "n_nationkey"}}),
+  };
+}
+
+TEST(QueryGraphTest, BuilderResolvesNames) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  auto g = QueryGraphBuilder(&db->schema(), "q")
+               .Join("orders", "o_custkey", "customer", "c_custkey")
+               .Table("nation")
+               .Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->tables.size(), 3u);
+  EXPECT_EQ(g->equi_joins.size(), 1u);
+  EXPECT_FALSE(QueryGraphBuilder(&db->schema(), "bad")
+                   .Join("orders", "nope", "customer", "c_custkey")
+                   .Build()
+                   .ok());
+}
+
+TEST(WdDesignTest, ContainmentMergeReducesComponents) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  WdOptions options;
+  options.num_partitions = 10;
+  auto result = WorkloadDrivenDesign(*db, Figure5ishWorkload(db->schema()), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->initial_components, 4);
+  EXPECT_EQ(result->components_after_phase1, 2);
+  EXPECT_LE(result->components_after_phase2, 2);
+  EXPECT_GE(result->components_after_phase2, 1);
+  EXPECT_EQ(result->deployment.configs().size(),
+            static_cast<size_t>(result->components_after_phase2));
+}
+
+TEST(WdDesignTest, DeploymentConfigsAreValidAndMaterialize) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  WdOptions options;
+  options.num_partitions = 6;
+  auto result = WorkloadDrivenDesign(*db, Figure5ishWorkload(db->schema()), options);
+  ASSERT_TRUE(result.ok());
+  auto pdbs = result->deployment.Materialize(*db);
+  ASSERT_TRUE(pdbs.ok());
+  for (size_t i = 0; i < pdbs->size(); ++i) {
+    const auto& config = result->deployment.configs()[i];
+    for (const auto& [table, spec] : config.specs()) {
+      if (spec.method == PartitionMethod::kPref) {
+        CheckPrefInvariants(*db, *(*pdbs)[i], table);
+      }
+    }
+  }
+}
+
+TEST(WdDesignTest, QueriesRouteToTheirMast) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  WdOptions options;
+  options.num_partitions = 10;
+  auto workload = Figure5ishWorkload(db->schema());
+  auto result = WorkloadDrivenDesign(*db, workload, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& q : workload) {
+    const PartitioningConfig* routed = result->deployment.RouteQuery(q.tables);
+    ASSERT_NE(routed, nullptr) << q.name;
+    // Every join edge of the query is local under the routed config (the
+    // WD guarantee: per-query data-locality maximized; these queries are
+    // trees so nothing is cut).
+    for (const auto& p : q.equi_joins) {
+      EXPECT_TRUE(EdgeIsLocal(*routed, p)) << q.name;
+    }
+  }
+}
+
+TEST(WdDesignTest, ReplicatedTablesExcludedFromGraphs) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  WdOptions options;
+  options.num_partitions = 10;
+  options.replicate_tables = {"nation", "region", "supplier"};
+  auto workload = Figure5ishWorkload(db->schema());
+  auto result = WorkloadDrivenDesign(*db, workload, options);
+  ASSERT_TRUE(result.ok());
+  // Q3 loses its supplier/nation edges entirely; Q4 vanishes. Only the
+  // C-O-L component remains.
+  EXPECT_EQ(result->initial_components, 2);  // Q1 and Q2 components
+  EXPECT_EQ(result->components_after_phase1, 1);
+  // Replicated tables present in every emitted config.
+  for (const auto& config : result->deployment.configs()) {
+    EXPECT_TRUE(config.Contains(*db->schema().FindTable("nation")));
+    EXPECT_EQ(config.spec(*db->schema().FindTable("nation")).method,
+              PartitionMethod::kReplicated);
+  }
+}
+
+TEST(WdDesignTest, CyclicQueryGraphStillGetsTreeConfig) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  // A query joining L-O, O-C and also L-S, S-N, C-N closes the cycle
+  // O-C-N-S-L: the MAST must drop the lightest edge.
+  auto q = Q(db->schema(), "cyclic",
+             {{"lineitem", "l_orderkey", "orders", "o_orderkey"},
+              {"orders", "o_custkey", "customer", "c_custkey"},
+              {"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+              {"supplier", "s_nationkey", "nation", "n_nationkey"},
+              {"customer", "c_nationkey", "nation", "n_nationkey"}});
+  WdOptions options;
+  options.num_partitions = 10;
+  auto result = WorkloadDrivenDesign(*db, {q}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->final_masts.size(), 1u);
+  EXPECT_EQ(result->final_masts[0].edges.size(), 4u);  // 5 nodes, tree
+}
+
+TEST(WdDesignTest, MergeOnlyWhenItShrinksTotalSize) {
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  // Two disjoint single-edge queries over the same big table pair vs
+  // disjoint pairs: identical queries must merge to one component.
+  auto q1 = Q(db->schema(), "a", {{"lineitem", "l_orderkey", "orders", "o_orderkey"}});
+  auto q2 = Q(db->schema(), "b", {{"lineitem", "l_orderkey", "orders", "o_orderkey"}});
+  WdOptions options;
+  options.num_partitions = 10;
+  auto result = WorkloadDrivenDesign(*db, {q1, q2}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->components_after_phase1, 1);  // identical -> contained
+  EXPECT_EQ(result->components_after_phase2, 1);
+}
+
+TEST(WdDesignTest, EmptyWorkloadYieldsEmptyDeployment) {
+  auto db = GenerateTpch({0.001, 1});
+  ASSERT_TRUE(db.ok());
+  WdOptions options;
+  auto result = WorkloadDrivenDesign(*db, {}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->components_after_phase2, 0);
+  EXPECT_TRUE(result->deployment.configs().empty());
+}
+
+}  // namespace
+}  // namespace pref
