@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bulk_loading.dir/bench_fig10_bulk_loading.cc.o"
+  "CMakeFiles/bench_fig10_bulk_loading.dir/bench_fig10_bulk_loading.cc.o.d"
+  "bench_fig10_bulk_loading"
+  "bench_fig10_bulk_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bulk_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_prefsh.dir/prefsh.cpp.o"
+  "CMakeFiles/example_prefsh.dir/prefsh.cpp.o.d"
+  "example_prefsh"
+  "example_prefsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_prefsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

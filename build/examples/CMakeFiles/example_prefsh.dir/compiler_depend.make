@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_prefsh.
+# This may be replaced when dependencies are built.

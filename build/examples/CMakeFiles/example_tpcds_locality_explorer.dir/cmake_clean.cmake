@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpcds_locality_explorer.dir/tpcds_locality_explorer.cpp.o"
+  "CMakeFiles/example_tpcds_locality_explorer.dir/tpcds_locality_explorer.cpp.o.d"
+  "example_tpcds_locality_explorer"
+  "example_tpcds_locality_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpcds_locality_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpch_design_advisor.dir/tpch_design_advisor.cpp.o"
+  "CMakeFiles/example_tpch_design_advisor.dir/tpch_design_advisor.cpp.o.d"
+  "example_tpch_design_advisor"
+  "example_tpch_design_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpch_design_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_warehouse_loading.dir/warehouse_loading.cpp.o"
+  "CMakeFiles/example_warehouse_loading.dir/warehouse_loading.cpp.o.d"
+  "example_warehouse_loading"
+  "example_warehouse_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_warehouse_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

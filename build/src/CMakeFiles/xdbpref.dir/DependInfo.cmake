@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/xdbpref.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/tpcds_schema.cc" "src/CMakeFiles/xdbpref.dir/catalog/tpcds_schema.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/catalog/tpcds_schema.cc.o.d"
+  "/root/repo/src/catalog/tpch_schema.cc" "src/CMakeFiles/xdbpref.dir/catalog/tpch_schema.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/catalog/tpch_schema.cc.o.d"
+  "/root/repo/src/catalog/value.cc" "src/CMakeFiles/xdbpref.dir/catalog/value.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/catalog/value.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "src/CMakeFiles/xdbpref.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/xdbpref.dir/common/random.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/common/random.cc.o.d"
+  "/root/repo/src/datagen/tpcds_gen.cc" "src/CMakeFiles/xdbpref.dir/datagen/tpcds_gen.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/datagen/tpcds_gen.cc.o.d"
+  "/root/repo/src/datagen/tpch_gen.cc" "src/CMakeFiles/xdbpref.dir/datagen/tpch_gen.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/datagen/tpch_gen.cc.o.d"
+  "/root/repo/src/design/enumerator.cc" "src/CMakeFiles/xdbpref.dir/design/enumerator.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/design/enumerator.cc.o.d"
+  "/root/repo/src/design/estimator.cc" "src/CMakeFiles/xdbpref.dir/design/estimator.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/design/estimator.cc.o.d"
+  "/root/repo/src/design/schema_graph.cc" "src/CMakeFiles/xdbpref.dir/design/schema_graph.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/design/schema_graph.cc.o.d"
+  "/root/repo/src/design/sd_design.cc" "src/CMakeFiles/xdbpref.dir/design/sd_design.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/design/sd_design.cc.o.d"
+  "/root/repo/src/design/stars.cc" "src/CMakeFiles/xdbpref.dir/design/stars.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/design/stars.cc.o.d"
+  "/root/repo/src/design/wd_design.cc" "src/CMakeFiles/xdbpref.dir/design/wd_design.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/design/wd_design.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/xdbpref.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/CMakeFiles/xdbpref.dir/engine/plan.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/engine/plan.cc.o.d"
+  "/root/repo/src/engine/query.cc" "src/CMakeFiles/xdbpref.dir/engine/query.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/engine/query.cc.o.d"
+  "/root/repo/src/engine/rewriter.cc" "src/CMakeFiles/xdbpref.dir/engine/rewriter.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/engine/rewriter.cc.o.d"
+  "/root/repo/src/partition/bulk_loader.cc" "src/CMakeFiles/xdbpref.dir/partition/bulk_loader.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/partition/bulk_loader.cc.o.d"
+  "/root/repo/src/partition/config.cc" "src/CMakeFiles/xdbpref.dir/partition/config.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/partition/config.cc.o.d"
+  "/root/repo/src/partition/deployment.cc" "src/CMakeFiles/xdbpref.dir/partition/deployment.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/partition/deployment.cc.o.d"
+  "/root/repo/src/partition/metrics.cc" "src/CMakeFiles/xdbpref.dir/partition/metrics.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/partition/metrics.cc.o.d"
+  "/root/repo/src/partition/mutation.cc" "src/CMakeFiles/xdbpref.dir/partition/mutation.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/partition/mutation.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/CMakeFiles/xdbpref.dir/partition/partitioner.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/partition/partitioner.cc.o.d"
+  "/root/repo/src/partition/presets.cc" "src/CMakeFiles/xdbpref.dir/partition/presets.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/partition/presets.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/xdbpref.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/xdbpref.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/xdbpref.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/xdbpref.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/xdbpref.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/storage/partition.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/xdbpref.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/storage/table.cc.o.d"
+  "/root/repo/src/workloads/tpcds_queries.cc" "src/CMakeFiles/xdbpref.dir/workloads/tpcds_queries.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/workloads/tpcds_queries.cc.o.d"
+  "/root/repo/src/workloads/tpcds_workload.cc" "src/CMakeFiles/xdbpref.dir/workloads/tpcds_workload.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/workloads/tpcds_workload.cc.o.d"
+  "/root/repo/src/workloads/tpch_queries.cc" "src/CMakeFiles/xdbpref.dir/workloads/tpch_queries.cc.o" "gcc" "src/CMakeFiles/xdbpref.dir/workloads/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

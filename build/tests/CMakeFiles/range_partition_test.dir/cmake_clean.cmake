@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_partition_test.dir/range_partition_test.cc.o"
+  "CMakeFiles/range_partition_test.dir/range_partition_test.cc.o.d"
+  "range_partition_test"
+  "range_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

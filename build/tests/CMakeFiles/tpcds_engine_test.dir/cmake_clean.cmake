@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_engine_test.dir/tpcds_engine_test.cc.o"
+  "CMakeFiles/tpcds_engine_test.dir/tpcds_engine_test.cc.o.d"
+  "tpcds_engine_test"
+  "tpcds_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wd_design_test.dir/wd_design_test.cc.o"
+  "CMakeFiles/wd_design_test.dir/wd_design_test.cc.o.d"
+  "wd_design_test"
+  "wd_design_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wd_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
