@@ -9,6 +9,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "partition/bulk_loader.h"
 
 namespace {
@@ -21,14 +22,15 @@ pref::bench::TpchBench* g_bench = nullptr;
 /// wall seconds plus the physical copies written.
 pref::Result<std::pair<double, size_t>> LoadAll(const pref::Database& db,
                                                 pref::PartitioningConfig config,
-                                                bool use_partition_index) {
+                                                bool use_partition_index,
+                                                bool parallel = true) {
   PREF_RETURN_NOT_OK(config.Finalize());
   pref::PartitionedDatabase pdb(&db);
   for (pref::TableId id : config.LoadOrder()) {
     PREF_ASSIGN_OR_RAISE(auto* table, pdb.AddTable(id, config.spec(id)));
     (void)table;
   }
-  pref::BulkLoader loader(use_partition_index);
+  pref::BulkLoader loader(use_partition_index, parallel);
   pref::Stopwatch timer;
   size_t copies = 0;
   for (pref::TableId id : config.LoadOrder()) {
@@ -75,10 +77,50 @@ void PrintPaperTable() {
   std::printf("\n");
 }
 
-void BM_BulkLoad(benchmark::State& state, const pref::bench::Variant* variant) {
+/// Serial-vs-parallel bulk loading over the bounded ThreadPool: the load is
+/// repeated with the pool disabled and enabled per variant, reporting rows/s
+/// and the speedup. Results are bit-identical either way (asserted by
+/// tests/bulk_load_parallel_test); this reports the throughput delta.
+void PrintParallelTable() {
+  const int threads = pref::ThreadPool::Default().num_threads();
+  std::printf("=== Parallel bulk loading (bounded pool, %d thread%s) ===\n",
+              threads, threads == 1 ? "" : "s");
+  if (threads == 1) {
+    std::printf("(single hardware lane: set PREF_THREADS or run on a\n"
+                " multi-core host to see the parallel path win)\n");
+  }
+  std::printf("%-32s %10s %10s %8s\n", "variant", "serial(s)", "parallel(s)",
+              "speedup");
+  const size_t total_rows = g_bench->db->TotalRows();
+  for (const auto& v : g_bench->variants) {
+    double serial = 0, parallel = 0;
+    bool ok = true;
+    for (const auto& config : v.configs) {
+      auto s = LoadAll(*g_bench->db, config, true, /*parallel=*/false);
+      auto p = LoadAll(*g_bench->db, config, true, /*parallel=*/true);
+      if (!s.ok() || !p.ok()) {
+        std::printf("%-32s FAILED\n", v.name.c_str());
+        ok = false;
+        break;
+      }
+      serial += s->first;
+      parallel += p->first;
+    }
+    if (ok) {
+      std::printf("%-32s %10.3f %10.3f %7.2fx  (%.1fM rows/s parallel)\n",
+                  v.name.c_str(), serial, parallel, serial / parallel,
+                  static_cast<double>(total_rows) *
+                      static_cast<double>(v.configs.size()) / parallel / 1e6);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_BulkLoad(benchmark::State& state, const pref::bench::Variant* variant,
+                 bool parallel) {
   for (auto _ : state) {
     for (const auto& config : variant->configs) {
-      auto r = LoadAll(*g_bench->db, config, true);
+      auto r = LoadAll(*g_bench->db, config, true, parallel);
       benchmark::DoNotOptimize(r);
     }
   }
@@ -95,8 +137,14 @@ int main(int argc, char** argv) {
   }
   g_bench = &*bench;
   PrintPaperTable();
+  PrintParallelTable();
   for (const auto& v : g_bench->variants) {
-    benchmark::RegisterBenchmark(("fig10/" + v.name).c_str(), BM_BulkLoad, &v)
+    benchmark::RegisterBenchmark(("fig10/" + v.name).c_str(), BM_BulkLoad, &v,
+                                 /*parallel=*/true)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("fig10_serial/" + v.name).c_str(), BM_BulkLoad,
+                                 &v, /*parallel=*/false)
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
   }

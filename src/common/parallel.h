@@ -1,28 +1,27 @@
-// Minimal parallel-for over partitions: each simulated node's work runs on
-// its own thread. Safe wherever iterations touch disjoint state (the
-// executor's per-partition operators write to per-partition outputs and
-// per-node counters only).
+// Parallel-for over partitions, backed by the process-wide bounded
+// ThreadPool (common/thread_pool.h). Safe wherever iterations touch
+// disjoint state (the executor's per-partition operators write to
+// per-partition outputs and per-node counters only).
+//
+// Historically this header spawned one std::thread per iteration, which
+// oversubscribed the machine whenever the iteration count exceeded the
+// core count. The signature is unchanged; scheduling now goes through the
+// shared fixed-size pool with chunked static scheduling.
 
 #pragma once
 
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace pref {
 
-/// Runs fn(0) .. fn(n-1), in parallel when the hardware has spare cores and
-/// n > 1; serially otherwise. Exceptions must not escape `fn`.
+/// Runs fn(0) .. fn(n-1) on the default ThreadPool: in parallel when the
+/// pool has more than one lane and n > 1; serially otherwise. Concurrency
+/// is bounded by ThreadPool::DefaultConcurrency() regardless of n.
+/// Exceptions thrown by `fn` are rethrown on the calling thread.
 inline void ParallelFor(int n, const std::function<void(int)>& fn) {
-  unsigned hw = std::thread::hardware_concurrency();
-  if (n <= 1 || hw <= 1) {
-    for (int i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) threads.emplace_back(fn, i);
-  for (auto& t : threads) t.join();
+  ThreadPool::Default().ParallelFor(n, fn);
 }
 
 }  // namespace pref

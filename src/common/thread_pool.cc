@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace pref {
+
+namespace {
+
+/// Set while a thread executes ThreadPool::WorkerLoop, so nested
+/// ParallelFor calls from inside a task can detect their own pool and fall
+/// back to serial execution instead of deadlocking on a saturated queue.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+/// Completion state shared by one ParallelFor call and its queued chunks.
+struct ForkJoin {
+  std::mutex mu;
+  std::condition_variable done;
+  int remaining = 0;
+  std::exception_ptr error;
+
+  void Finish(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (e && !error) error = e;
+    if (--remaining == 0) done.notify_one();
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultConcurrency();
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::OnWorkerThread() const { return t_worker_pool == this; }
+
+void ThreadPool::ParallelForChunks(
+    size_t n, const std::function<void(int, size_t, size_t)>& body) {
+  if (n == 0) return;
+  const int lanes = num_threads();
+  if (lanes <= 1 || n == 1 || OnWorkerThread()) {
+    body(0, 0, n);
+    return;
+  }
+  const int chunks = static_cast<int>(
+      std::min<size_t>(n, static_cast<size_t>(lanes)));
+  const size_t base = n / static_cast<size_t>(chunks);
+  const size_t extra = n % static_cast<size_t>(chunks);
+
+  ForkJoin join;
+  join.remaining = chunks;
+  size_t begin = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Chunk 0 is reserved for the calling thread; queue the rest.
+    for (int c = 1; c < chunks; ++c) {
+      size_t b = base * static_cast<size_t>(c) +
+                 std::min<size_t>(static_cast<size_t>(c), extra);
+      size_t e = b + base + (static_cast<size_t>(c) < extra ? 1 : 0);
+      queue_.emplace_back([&join, &body, c, b, e] {
+        std::exception_ptr err;
+        try {
+          body(c, b, e);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        join.Finish(err);
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller works too: chunk 0 runs here instead of idling on the latch.
+  {
+    std::exception_ptr err;
+    try {
+      body(0, begin, base + (extra > 0 ? 1 : 0));
+    } catch (...) {
+      err = std::current_exception();
+    }
+    join.Finish(err);
+  }
+  std::unique_lock<std::mutex> lock(join.mu);
+  join.done.wait(lock, [&join] { return join.remaining == 0; });
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  ParallelForChunks(static_cast<size_t>(n), [&fn](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(static_cast<int>(i));
+  });
+}
+
+int ThreadPool::DefaultConcurrency() {
+  if (const char* env = std::getenv("PREF_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0 && v <= 1024) return static_cast<int>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pref

@@ -1,0 +1,83 @@
+// Bounded worker pool: the process-wide concurrency substrate.
+//
+// The pool owns a fixed set of worker threads (sized to the hardware, never
+// one thread per work item) and schedules parallel-for style workloads over
+// them with chunked static scheduling. It replaces the old spawn-per-
+// iteration ParallelFor, which oversubscribed the machine as soon as the
+// iteration count exceeded the core count.
+//
+// Design notes:
+//  * Workers are started once and reused across calls; a ParallelFor call
+//    costs two mutex handshakes per chunk, not a thread spawn.
+//  * [0, n) is split into at most num_threads() + 1 contiguous chunks; the
+//    calling thread executes one chunk itself, so a pool of k workers gives
+//    k + 1 lanes and ParallelFor(n) with n <= 1 (or a 1-wide pool) runs
+//    entirely on the caller with no synchronization.
+//  * Exceptions thrown by the body are captured (first one wins) and
+//    rethrown on the calling thread after all chunks finish.
+//  * Calls from inside a worker run serially on that worker. This keeps
+//    nested ParallelFor calls deadlock-free without needing work stealing.
+//  * Concurrency defaults to std::thread::hardware_concurrency() and can be
+//    overridden with the PREF_THREADS environment variable (useful for
+//    forcing multi-threaded execution in tests on small machines, or for
+//    pinning benchmarks).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pref {
+
+class ThreadPool {
+ public:
+  /// \param num_threads total concurrency (workers + calling thread).
+  /// 0 means DefaultConcurrency(). A pool of 1 spawns no workers.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes ParallelFor can use (worker threads + the caller).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0) .. fn(n-1) across the pool with chunked static scheduling
+  /// and blocks until every call returned. The first exception thrown by
+  /// `fn` is rethrown here after all chunks finish. Iterations must be safe
+  /// to run concurrently (disjoint state), but any given index runs exactly
+  /// once and indexes within one chunk run in increasing order.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// Chunked variant: splits [0, n) into at most num_threads() contiguous
+  /// ranges and runs body(chunk_index, begin, end) for each. chunk_index is
+  /// dense in [0, chunks_used) so callers can keep per-chunk accumulators
+  /// (e.g. probe counters) without sharing or locks.
+  void ParallelForChunks(
+      size_t n, const std::function<void(int chunk, size_t begin, size_t end)>& body);
+
+  /// Concurrency the default pool is built with: PREF_THREADS when set to a
+  /// positive integer, else hardware_concurrency(), else 1.
+  static int DefaultConcurrency();
+
+  /// Process-wide shared pool (constructed on first use).
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pref

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace pref {
 
@@ -222,8 +222,10 @@ class Executor {
     const auto& rs = node.join_right_slots;
     const bool inner = node.join_type == JoinType::kInner;
     // Per-partition bodies are independent (disjoint outputs and per-node
-    // counters): execute the simulated nodes concurrently.
-    ParallelFor(n_, [&](int p) {
+    // counters): execute the simulated nodes concurrently on the shared
+    // bounded pool (never more threads than the hardware has lanes, however
+    // many nodes are simulated).
+    ThreadPool::Default().ParallelFor(n_, [&](int p) {
       const RowBlock& l = left.nodes[static_cast<size_t>(p)];
       const RowBlock& r = right.nodes[static_cast<size_t>(p)];
       Charge(p, l.num_rows() + r.num_rows());

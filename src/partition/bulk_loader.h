@@ -5,6 +5,21 @@
 // referenced table. The loader also maintains the dup/hasS bitmaps and all
 // partition indexes registered on the loaded table (so later PREF loads
 // that reference it stay correct).
+//
+// The load is organized as three phases so the hot path can run on the
+// bounded ThreadPool while staying bit-identical to a serial load:
+//   1. Route  — compute the ordered partition list of every input row.
+//      Read-only against the database; parallel over row chunks with
+//      per-chunk probe/lookup counters (no shared counters).
+//   2. Append — materialize the copies. Parallel over *target partitions*:
+//      each task exclusively owns one partition's RowBlock and dup/hasS
+//      bitmaps, so the data path takes no locks.
+//   3. Index  — maintain this table's registered partition indexes.
+//      Parallel over indexes: each task exclusively owns one index.
+// Determinism: phase 1 produces the same placements the serial loop would
+// (round-robin assignment of orphans is replayed sequentially in row
+// order), and phases 2/3 insert in row order within each owned structure,
+// so partitions, bitmaps, and indexes come out identical either way.
 
 #pragma once
 
@@ -26,8 +41,11 @@ class BulkLoader {
   /// \param use_partition_index when false, PREF routing falls back to
   /// scanning the referenced table's partitions (the Fig-10 ablation
   /// measuring what the partition index buys).
-  explicit BulkLoader(bool use_partition_index = true)
-      : use_partition_index_(use_partition_index) {}
+  /// \param parallel when false, every phase runs on the calling thread
+  /// (the serial baseline of bench_fig10_bulk_loading). Results are
+  /// identical either way.
+  explicit BulkLoader(bool use_partition_index = true, bool parallel = true)
+      : use_partition_index_(use_partition_index), parallel_(parallel) {}
 
   /// Appends `new_rows` (same column layout as the table) to table `id`
   /// of `pdb`. The referenced table of a PREF spec must already be loaded.
@@ -36,6 +54,7 @@ class BulkLoader {
 
  private:
   bool use_partition_index_;
+  bool parallel_;
 };
 
 }  // namespace pref

@@ -1,0 +1,278 @@
+// Concurrency tests for the parallel bulk loader: the pooled path must
+// produce byte-identical partitions, dup/hasS bitmaps, and partition
+// indexes versus the serial path, across every partitioning method and the
+// TPC-H lineitem → orders → customer PREF chain. Run under ThreadSanitizer
+// in CI (the .github workflow's tsan job).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datagen/tpch_gen.h"
+#include "partition/bulk_loader.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+
+namespace pref {
+namespace {
+
+// The default pool is sized on first use from PREF_THREADS (else the
+// hardware). Force multiple lanes before anything touches the pool so the
+// parallel path really interleaves — also on single-core CI runners, where
+// TSan would otherwise have nothing to observe.
+const bool kForcedThreads = [] {
+  setenv("PREF_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+std::vector<ColumnId> AllColumns(const PartitionedTable& t) {
+  std::vector<ColumnId> cols(static_cast<size_t>(t.def().num_columns()));
+  std::iota(cols.begin(), cols.end(), 0);
+  return cols;
+}
+
+/// Asserts `a` and `b` agree on every partition's rows (value-identical, in
+/// order), dup/hasS bitmaps, and on every registered partition index
+/// (probed with all keys occurring in `full_data`).
+void ExpectTablesIdentical(const PartitionedTable& a, const PartitionedTable& b,
+                           const RowBlock& full_data) {
+  ASSERT_EQ(a.num_partitions(), b.num_partitions());
+  const auto cols = AllColumns(a);
+  for (int p = 0; p < a.num_partitions(); ++p) {
+    const Partition& pa = a.partition(p);
+    const Partition& pb = b.partition(p);
+    ASSERT_EQ(pa.rows.num_rows(), pb.rows.num_rows())
+        << a.name() << " partition " << p;
+    for (size_t r = 0; r < pa.rows.num_rows(); ++r) {
+      ASSERT_TRUE(pa.rows.RowsEqual(cols, r, pb.rows, cols, r))
+          << a.name() << " partition " << p << " row " << r;
+    }
+    EXPECT_TRUE(pa.dup == pb.dup) << a.name() << " dup bitmap, partition " << p;
+    EXPECT_TRUE(pa.has_partner == pb.has_partner)
+        << a.name() << " hasS bitmap, partition " << p;
+  }
+  ASSERT_EQ(a.indexes().size(), b.indexes().size());
+  for (size_t i = 0; i < a.indexes().size(); ++i) {
+    const auto& [cols_a, idx_a] = a.indexes()[i];
+    const auto& [cols_b, idx_b] = b.indexes()[i];
+    ASSERT_EQ(cols_a, cols_b);
+    EXPECT_EQ(idx_a->num_keys(), idx_b->num_keys());
+    for (size_t r = 0; r < full_data.num_rows(); ++r) {
+      PartitionIndex::Key key;
+      for (ColumnId c : cols_a) key.push_back(full_data.column(c).GetValue(r));
+      EXPECT_EQ(idx_a->Lookup(key), idx_b->Lookup(key))
+          << a.name() << " index " << i << " source row " << r;
+    }
+  }
+}
+
+/// Bulk loads every table of `db` into empty partitions of `config`, in
+/// PREF dependency order, with the given loader mode.
+Result<std::unique_ptr<PartitionedDatabase>> LoadAll(const Database& db,
+                                                     PartitioningConfig config,
+                                                     bool parallel) {
+  PREF_RETURN_NOT_OK(config.Finalize());
+  auto pdb = std::make_unique<PartitionedDatabase>(&db);
+  for (TableId id : config.LoadOrder()) {
+    PREF_ASSIGN_OR_RAISE(auto* table, pdb->AddTable(id, config.spec(id)));
+    (void)table;
+  }
+  BulkLoader loader(/*use_partition_index=*/true, parallel);
+  for (TableId id : config.LoadOrder()) {
+    PREF_RETURN_NOT_OK(loader.Append(pdb.get(), id, db.table(id).data()).status());
+  }
+  return pdb;
+}
+
+PartitioningConfig ChainConfig(const Schema& schema, int nodes) {
+  PartitioningConfig config(&schema, nodes);
+  EXPECT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("customer", {"c_custkey"}, "orders", {"o_custkey"}).ok());
+  EXPECT_TRUE(config.AddReplicated("nation").ok());
+  EXPECT_TRUE(config.AddRoundRobin("supplier").ok());
+  return config;
+}
+
+TEST(BulkLoadParallelTest, PoolHasMultipleLanes) {
+  ASSERT_TRUE(kForcedThreads);
+  // If this fails the remaining tests exercise nothing concurrent.
+  EXPECT_GE(ThreadPool::Default().num_threads(), 2);
+}
+
+TEST(BulkLoadParallelTest, FullLoadIdenticalToSerialAcrossPrefChain) {
+  auto db = GenerateTpch({0.002, 7});
+  ASSERT_TRUE(db.ok());
+  const int nodes = 6;
+  auto serial = LoadAll(*db, ChainConfig(db->schema(), nodes), false);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = LoadAll(*db, ChainConfig(db->schema(), nodes), true);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  for (const char* name : {"lineitem", "orders", "customer", "nation", "supplier"}) {
+    TableId id = *db->schema().FindTable(name);
+    ExpectTablesIdentical(*(*serial)->GetTable(id), *(*parallel)->GetTable(id),
+                          db->table(id).data());
+  }
+  // The parallel result must also satisfy Definition 1 outright.
+  CheckPrefInvariants(*db, **parallel, *db->schema().FindTable("orders"));
+  CheckPrefInvariants(*db, **parallel, *db->schema().FindTable("customer"));
+}
+
+TEST(BulkLoadParallelTest, TailLoadIdenticalToSerial) {
+  auto db = GenerateTpch({0.002, 11});
+  ASSERT_TRUE(db.ok());
+  const Table& orders = **db->FindTable("orders");
+  // Head rows partitioned up front, tail bulk-loaded serial vs parallel.
+  size_t cut = orders.num_rows() / 2;
+  RowBlock tail(&orders.def());
+  for (size_t r = cut; r < orders.num_rows(); ++r) {
+    tail.AppendRow(orders.data(), r);
+  }
+  Schema schema_copy = db->schema();
+  Database head_db(std::move(schema_copy));
+  for (const auto& def : db->schema().tables()) {
+    const Table& src = db->table(def.id);
+    Table* dst = *head_db.FindTable(def.name);
+    size_t limit = def.name == "orders" ? cut : src.num_rows();
+    for (size_t r = 0; r < limit; ++r) dst->data().AppendRow(src.data(), r);
+  }
+
+  auto make_pdb = [&]() {
+    PartitioningConfig config(&head_db.schema(), 4);
+    EXPECT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+    EXPECT_TRUE(
+        config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+    auto pdb = PartitionDatabase(head_db, std::move(config));
+    EXPECT_TRUE(pdb.ok());
+    return std::move(*pdb);
+  };
+  auto serial_pdb = make_pdb();
+  auto parallel_pdb = make_pdb();
+  TableId o_id = *head_db.schema().FindTable("orders");
+
+  BulkLoader serial_loader(true, /*parallel=*/false);
+  BulkLoader parallel_loader(true, /*parallel=*/true);
+  auto s1 = serial_loader.Append(serial_pdb.get(), o_id, tail);
+  auto s2 = parallel_loader.Append(parallel_pdb.get(), o_id, tail);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1->rows_inserted, s2->rows_inserted);
+  EXPECT_EQ(s1->copies_written, s2->copies_written);
+  EXPECT_EQ(s1->index_lookups, s2->index_lookups);
+  ExpectTablesIdentical(*serial_pdb->GetTable(o_id), *parallel_pdb->GetTable(o_id),
+                        orders.data());
+  CheckPrefInvariants(*db, *parallel_pdb, o_id);
+}
+
+TEST(BulkLoadParallelTest, NaiveScanPathIdenticalToSerial) {
+  // The no-partition-index ablation also runs its partner scans on the
+  // pool; results must still match the serial scan exactly.
+  auto db = GenerateTpch({0.001, 5});
+  ASSERT_TRUE(db.ok());
+  auto make_pdb = [&]() {
+    PartitioningConfig config(&db->schema(), 4);
+    EXPECT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+    auto pdb = PartitionDatabase(*db, std::move(config));
+    EXPECT_TRUE(pdb.ok());
+    PartitionSpec pref;
+    pref.method = PartitionMethod::kPref;
+    TableId o_id = *db->schema().FindTable("orders");
+    TableId l_id = *db->schema().FindTable("lineitem");
+    pref.num_partitions = 4;
+    pref.referenced_table = l_id;
+    pref.attributes = {0};  // o_orderkey
+    JoinPredicate p;
+    p.left_table = o_id;
+    p.left_columns = {0};
+    p.right_table = l_id;
+    p.right_columns = {0};  // l_orderkey
+    pref.predicate = p;
+    EXPECT_TRUE((*pdb)->AddTable(o_id, pref).ok());
+    return std::move(*pdb);
+  };
+  auto serial_pdb = make_pdb();
+  auto parallel_pdb = make_pdb();
+  TableId o_id = *db->schema().FindTable("orders");
+  const RowBlock& orders = db->table(o_id).data();
+
+  BulkLoader serial_loader(/*use_partition_index=*/false, /*parallel=*/false);
+  BulkLoader parallel_loader(/*use_partition_index=*/false, /*parallel=*/true);
+  auto s1 = serial_loader.Append(serial_pdb.get(), o_id, orders);
+  auto s2 = parallel_loader.Append(parallel_pdb.get(), o_id, orders);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_GT(s2->scan_probes, 0u);
+  EXPECT_EQ(s1->scan_probes, s2->scan_probes);
+  ExpectTablesIdentical(*serial_pdb->GetTable(o_id), *parallel_pdb->GetTable(o_id),
+                        orders);
+}
+
+TEST(BulkLoadParallelTest, RangeSpecWithoutAttributeIsInvalid) {
+  auto db = GenerateTpch({0.001, 3});
+  ASSERT_TRUE(db.ok());
+  PartitionedDatabase pdb(&*db);
+  TableId o_id = *db->schema().FindTable("orders");
+  PartitionSpec bad;  // hand-crafted: bypasses AddRange's validation
+  bad.method = PartitionMethod::kRange;
+  bad.num_partitions = 2;
+  bad.range_bounds = {Value(int64_t{10})};
+  ASSERT_TRUE(pdb.AddTable(o_id, bad).ok());
+  BulkLoader loader;
+  auto status = loader.Append(&pdb, o_id, db->table(o_id).data()).status();
+  EXPECT_TRUE(status.IsInvalid()) << status.ToString();
+}
+
+TEST(BulkLoadParallelTest, RangeSpecWithWrongBoundCountIsInvalid) {
+  auto db = GenerateTpch({0.001, 3});
+  ASSERT_TRUE(db.ok());
+  PartitionedDatabase pdb(&*db);
+  TableId o_id = *db->schema().FindTable("orders");
+  PartitionSpec bad;
+  bad.method = PartitionMethod::kRange;
+  bad.attributes = {0};
+  bad.num_partitions = 3;
+  bad.range_bounds = {Value(int64_t{10})};  // needs 2 bounds for 3 partitions
+  ASSERT_TRUE(pdb.AddTable(o_id, bad).ok());
+  BulkLoader loader;
+  auto status = loader.Append(&pdb, o_id, db->table(o_id).data()).status();
+  EXPECT_TRUE(status.IsInvalid()) << status.ToString();
+}
+
+TEST(BulkLoadParallelTest, RangeBulkLoadMatchesInitialPartitioningOnBounds) {
+  // upper_bound routing must agree with the partitioner's RangeBucket,
+  // including values exactly equal to a bound (which belong to the next
+  // partition: partition i holds bounds[i-1] <= v < bounds[i]).
+  auto db = GenerateTpch({0.001, 3});
+  ASSERT_TRUE(db.ok());
+  TableId o_id = *db->schema().FindTable("orders");
+  const Table& orders = db->table(o_id);
+
+  PartitioningConfig config(&db->schema(), 3);
+  ASSERT_TRUE(config
+                  .AddRange("orders", "o_orderkey",
+                            {Value(int64_t{100}), Value(int64_t{1000})})
+                  .ok());
+  auto full = PartitionDatabase(*db, std::move(config));
+  ASSERT_TRUE(full.ok());
+
+  PartitioningConfig config2(&db->schema(), 3);
+  ASSERT_TRUE(config2
+                  .AddRange("orders", "o_orderkey",
+                            {Value(int64_t{100}), Value(int64_t{1000})})
+                  .ok());
+  ASSERT_TRUE(config2.Finalize().ok());
+  PartitionedDatabase loaded(&*db);
+  ASSERT_TRUE(loaded.AddTable(o_id, config2.spec(o_id)).ok());
+  BulkLoader loader;
+  ASSERT_TRUE(loader.Append(&loaded, o_id, orders.data()).ok());
+
+  ExpectTablesIdentical(*(*full)->GetTable(o_id), *loaded.GetTable(o_id),
+                        orders.data());
+}
+
+}  // namespace
+}  // namespace pref

@@ -1,0 +1,133 @@
+// Tests for the bounded worker pool (common/thread_pool.h) and the
+// ParallelFor facade (common/parallel.h) rebuilt on top of it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/thread_pool.h"
+
+namespace pref {
+namespace {
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](int i) { hits[static_cast<size_t>(i)]++; });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrencyIsBoundedByPoolSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  // Far more iterations than lanes: the old implementation would have
+  // spawned 2000 threads; the pool must reuse at most 3 (workers + caller).
+  pool.ParallelFor(2000, [&](int) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_LE(seen.size(), 3u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(64, [&](int i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 200L * (64 * 63 / 2));
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int i) {
+                         ran++;
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+  // The pool must survive an exception and keep scheduling.
+  std::atomic<int> after{0};
+  pool.ParallelFor(50, [&](int) { after++; });
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, [&](int) {
+    // Runs serially when already on a pool worker; must complete either way.
+    pool.ParallelFor(8, [&](int) { inner_total++; });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ChunkIndexesAreDenseAndCoverTheRange) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1001;
+  std::vector<std::atomic<int>> covered(kN);
+  std::mutex mu;
+  std::set<int> chunks;
+  pool.ParallelForChunks(kN, [&](int chunk, size_t begin, size_t end) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert(chunk);
+    }
+    ASSERT_LT(begin, end);
+    for (size_t i = begin; i < end; ++i) covered[i]++;
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(covered[i].load(), 1);
+  // Dense chunk ids in [0, chunks.size()): per-chunk accumulator slots work.
+  EXPECT_EQ(*chunks.begin(), 0);
+  EXPECT_EQ(*chunks.rbegin(), static_cast<int>(chunks.size()) - 1);
+  EXPECT_LE(chunks.size(), 4u);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneIterationEdgeCases) {
+  ThreadPool pool(4);
+  int runs = 0;
+  pool.ParallelFor(0, [&](int) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  pool.ParallelFor(1, [&](int i) {
+    EXPECT_EQ(i, 0);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  pool.ParallelFor(16, [&](int) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPoolTest, FreeFunctionParallelForStillWorks) {
+  // The legacy entry point used across the engine: same signature, now
+  // bounded by the shared pool.
+  std::atomic<int> total{0};
+  ParallelFor(256, [&](int i) { total += i; });
+  EXPECT_EQ(total.load(), 256 * 255 / 2);
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultConcurrency(), 1);
+  EXPECT_GE(ThreadPool::Default().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace pref
