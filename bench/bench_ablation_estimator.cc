@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "catalog/tpcds_schema.h"
 #include "datagen/tpcds_gen.h"
 #include "design/sd_design.h"
@@ -16,7 +17,7 @@
 
 namespace {
 
-pref::Status Run() {
+pref::Status Run(pref::bench::BenchReport* report) {
   std::printf(
       "\n=== Ablation: skew-aware vs naive (Appendix A) redundancy estimation ===\n");
   std::printf("%6s %10s %16s %16s\n", "skew", "actual DR", "skew-aware (err)",
@@ -41,6 +42,14 @@ pref::Status Run() {
     auto err = [&](double est) {
       return actual == 0 ? 0.0 : std::fabs(est - actual) / actual * 100;
     };
+    if (report != nullptr) {
+      report->Result("skew=" + std::to_string(skew), 0);
+      report->Field("actual_redundancy", actual);
+      report->Field("aware_estimate", aware.estimated_redundancy);
+      report->Field("aware_error_pct", err(aware.estimated_redundancy));
+      report->Field("naive_estimate", naive.estimated_redundancy);
+      report->Field("naive_error_pct", err(naive.estimated_redundancy));
+    }
     std::printf("%6.2f %10.3f %9.3f (%4.0f%%) %9.3f (%4.0f%%)\n", skew, actual,
                 aware.estimated_redundancy, err(aware.estimated_redundancy),
                 naive.estimated_redundancy, err(naive.estimated_redundancy));
@@ -54,12 +63,14 @@ pref::Status Run() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  pref::Status st = Run();
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
+  pref::bench::BenchReport report("ablation_estimator", 0.25, 10);
+  pref::Status st = Run(&report);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
 }

@@ -22,7 +22,7 @@ pref::QuerySpec PointQuery(const pref::Schema& schema, int64_t orderkey) {
               .Build();
 }
 
-void PrintTable() {
+void PrintTable(pref::bench::BenchReport* report) {
   pref::CostModel model = pref::bench::PaperScaledModel(g_sf);
   const auto& cp = g_bench->variants[0];  // lineitem/orders co-hashed
   pref::QueryOptions off, on;
@@ -39,6 +39,11 @@ void PrintTable() {
       if (!r.ok()) continue;
       total += r->stats.SimulatedSeconds(model);
       rows += r->stats.total_rows_processed;
+    }
+    if (report != nullptr) {
+      report->Result(options.partition_pruning ? "pruning_on" : "pruning_off",
+                     total);
+      report->Field("rows_processed", static_cast<double>(rows));
     }
     std::printf("%-22s %14.3f %18zu\n", name, total, rows);
   }
@@ -59,6 +64,7 @@ void BM_Point(benchmark::State& state, bool pruning) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
   g_sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
   auto bench = pref::bench::MakeTpchBench(g_sf, 10);
   if (!bench.ok()) {
@@ -66,12 +72,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   g_bench = &*bench;
-  PrintTable();
+  pref::bench::BenchReport report("ablation_pruning", g_sf, g_bench->nodes);
+  PrintTable(&report);
   benchmark::RegisterBenchmark("pruning/off", BM_Point, false)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("pruning/on", BM_Point, true)
       ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
 }

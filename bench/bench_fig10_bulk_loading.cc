@@ -17,13 +17,19 @@ namespace {
 double g_sf = 0.01;
 pref::bench::TpchBench* g_bench = nullptr;
 
+/// Aggregated outcome of loading one whole configuration.
+struct LoadResult {
+  double seconds = 0;
+  size_t copies = 0;
+  pref::BulkLoadStats stats;  // per-phase seconds summed over tables
+};
+
 /// Loads the whole database into empty partitioned tables of `config`,
-/// table by table in PREF dependency order, via the bulk loader. Returns
-/// wall seconds plus the physical copies written.
-pref::Result<std::pair<double, size_t>> LoadAll(const pref::Database& db,
-                                                pref::PartitioningConfig config,
-                                                bool use_partition_index,
-                                                bool parallel = true) {
+/// table by table in PREF dependency order, via the bulk loader.
+pref::Result<LoadResult> LoadAll(const pref::Database& db,
+                                 pref::PartitioningConfig config,
+                                 bool use_partition_index,
+                                 bool parallel = true) {
   PREF_RETURN_NOT_OK(config.Finalize());
   pref::PartitionedDatabase pdb(&db);
   for (pref::TableId id : config.LoadOrder()) {
@@ -32,20 +38,29 @@ pref::Result<std::pair<double, size_t>> LoadAll(const pref::Database& db,
   }
   pref::BulkLoader loader(use_partition_index, parallel);
   pref::Stopwatch timer;
-  size_t copies = 0;
+  LoadResult out;
   for (pref::TableId id : config.LoadOrder()) {
     PREF_ASSIGN_OR_RAISE(auto stats, loader.Append(&pdb, id, db.table(id).data()));
-    copies += stats.copies_written;
+    out.copies += stats.copies_written;
+    out.stats.rows_inserted += stats.rows_inserted;
+    out.stats.copies_written += stats.copies_written;
+    out.stats.index_lookups += stats.index_lookups;
+    out.stats.scan_probes += stats.scan_probes;
+    out.stats.route_seconds += stats.route_seconds;
+    out.stats.append_seconds += stats.append_seconds;
+    out.stats.index_seconds += stats.index_seconds;
   }
-  return std::make_pair(timer.ElapsedSeconds(), copies);
+  out.seconds = timer.ElapsedSeconds();
+  return out;
 }
 
-void PrintPaperTable() {
+void PrintPaperTable(pref::bench::BenchReport* report) {
   std::printf("\n=== Figure 10: costs of bulk loading (wall s, this machine) ===\n");
   std::printf("%-32s %12s %16s\n", "variant", "load (s)", "copies written");
   for (const auto& v : g_bench->variants) {
     double seconds = 0;
     size_t copies = 0;
+    pref::BulkLoadStats phases;
     for (const auto& config : v.configs) {
       auto r = LoadAll(*g_bench->db, config, /*use_partition_index=*/true);
       if (!r.ok()) {
@@ -54,10 +69,20 @@ void PrintPaperTable() {
         seconds = -1;
         break;
       }
-      seconds += r->first;
-      copies += r->second;
+      seconds += r->seconds;
+      copies += r->copies;
+      phases.route_seconds += r->stats.route_seconds;
+      phases.append_seconds += r->stats.append_seconds;
+      phases.index_seconds += r->stats.index_seconds;
     }
     if (seconds >= 0) {
+      if (report != nullptr) {
+        report->Result(v.name, seconds);
+        report->Field("copies_written", static_cast<double>(copies));
+        report->Field("route_seconds", phases.route_seconds);
+        report->Field("append_seconds", phases.append_seconds);
+        report->Field("index_seconds", phases.index_seconds);
+      }
       std::printf("%-32s %12.3f %16zu\n", v.name.c_str(), seconds, copies);
     }
   }
@@ -70,9 +95,15 @@ void PrintPaperTable() {
   auto with = LoadAll(*g_bench->db, sd.configs[0], true);
   auto without = LoadAll(*g_bench->db, sd.configs[0], false);
   if (with.ok() && without.ok()) {
-    std::printf("with partition index:    %10.3f s\n", with->first);
+    if (report != nullptr) {
+      report->Result("SD/with_index", with->seconds);
+      report->Field("index_lookups", static_cast<double>(with->stats.index_lookups));
+      report->Result("SD/without_index", without->seconds);
+      report->Field("scan_probes", static_cast<double>(without->stats.scan_probes));
+    }
+    std::printf("with partition index:    %10.3f s\n", with->seconds);
     std::printf("without (scan lookup):   %10.3f s  (%.0fx slower)\n",
-                without->first, without->first / with->first);
+                without->seconds, without->seconds / with->seconds);
   }
   std::printf("\n");
 }
@@ -81,7 +112,7 @@ void PrintPaperTable() {
 /// repeated with the pool disabled and enabled per variant, reporting rows/s
 /// and the speedup. Results are bit-identical either way (asserted by
 /// tests/bulk_load_parallel_test); this reports the throughput delta.
-void PrintParallelTable() {
+void PrintParallelTable(pref::bench::BenchReport* report) {
   const int threads = pref::ThreadPool::Default().num_threads();
   std::printf("=== Parallel bulk loading (bounded pool, %d thread%s) ===\n",
               threads, threads == 1 ? "" : "s");
@@ -103,10 +134,15 @@ void PrintParallelTable() {
         ok = false;
         break;
       }
-      serial += s->first;
-      parallel += p->first;
+      serial += s->seconds;
+      parallel += p->seconds;
     }
     if (ok) {
+      if (report != nullptr) {
+        report->Result(v.name + "/serial", serial);
+        report->Result(v.name + "/parallel", parallel);
+        report->Field("speedup", serial / parallel);
+      }
       std::printf("%-32s %10.3f %10.3f %7.2fx  (%.1fM rows/s parallel)\n",
                   v.name.c_str(), serial, parallel, serial / parallel,
                   static_cast<double>(total_rows) *
@@ -129,6 +165,7 @@ void BM_BulkLoad(benchmark::State& state, const pref::bench::Variant* variant,
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
   g_sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
   auto bench = pref::bench::MakeTpchBench(g_sf, 10);
   if (!bench.ok()) {
@@ -136,8 +173,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   g_bench = &*bench;
-  PrintPaperTable();
-  PrintParallelTable();
+  pref::bench::BenchReport report("fig10", g_sf, g_bench->nodes);
+  PrintPaperTable(&report);
+  PrintParallelTable(&report);
   for (const auto& v : g_bench->variants) {
     benchmark::RegisterBenchmark(("fig10/" + v.name).c_str(), BM_BulkLoad, &v,
                                  /*parallel=*/true)
@@ -150,5 +188,5 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
 }

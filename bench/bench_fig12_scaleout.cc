@@ -17,7 +17,7 @@ namespace {
 
 const std::vector<int> kNodeCounts = {1, 2, 5, 10, 20, 50, 100};
 
-pref::Status RunTpch() {
+pref::Status RunTpch(pref::bench::BenchReport* report) {
   double sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
   PREF_ASSIGN_OR_RAISE(auto gen, pref::GenerateTpch({sf, 42}));
   pref::Database db(std::move(gen));
@@ -44,6 +44,14 @@ pref::Status RunTpch() {
                                             wd_options));
     PREF_ASSIGN_OR_RAISE(double wd_dr, wd.deployment.Redundancy(db));
 
+    for (auto [name, dr] :
+         {std::pair<const char*, double>{"CP", cp->DataRedundancy()},
+          {"SD", sd_pdb->DataRedundancy()},
+          {"WD", wd_dr}}) {
+      report->Result(std::string("tpch/") + name + "/nodes=" + std::to_string(n), 0);
+      report->Field("nodes", n);
+      report->Field("data_redundancy", dr);
+    }
     std::printf("%5d %10.2f %10.2f %10.2f\n", n, cp->DataRedundancy(),
                 sd_pdb->DataRedundancy(), wd_dr);
   }
@@ -51,7 +59,7 @@ pref::Status RunTpch() {
   return pref::Status::OK();
 }
 
-pref::Status RunTpcds() {
+pref::Status RunTpcds(pref::bench::BenchReport* report) {
   pref::TpcdsGenOptions gen;
   gen.scale_factor = pref::bench::EnvScaleFactor("PREF_BENCH_DS_SF", 0.1);
   PREF_ASSIGN_OR_RAISE(auto db0, pref::GenerateTpcds(gen));
@@ -78,6 +86,14 @@ pref::Status RunTpcds() {
     PREF_ASSIGN_OR_RAISE(auto wd, pref::WorkloadDrivenDesign(db, graphs, wd_options));
     PREF_ASSIGN_OR_RAISE(double wd_dr, wd.deployment.Redundancy(db));
 
+    for (auto [name, dr] : {std::pair<const char*, double>{"CP stars", cp_dr},
+                            {"SD stars", sd_dr},
+                            {"WD", wd_dr}}) {
+      report->Result(std::string("tpcds/") + name + "/nodes=" + std::to_string(n),
+                     0);
+      report->Field("nodes", n);
+      report->Field("data_redundancy", dr);
+    }
     std::printf("%5d %10.2f %10.2f %10.2f\n", n, cp_dr, sd_dr, wd_dr);
   }
   std::printf("(paper shape: CP linear; SD/WD sub-linear)\n\n");
@@ -87,17 +103,22 @@ pref::Status RunTpcds() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  pref::Status st = RunTpch();
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
+  pref::bench::BenchReport report(
+      "fig12", pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01), 10);
+  report.Config("tpcds_scale_factor",
+                pref::bench::EnvScaleFactor("PREF_BENCH_DS_SF", 0.1));
+  pref::Status st = RunTpch(&report);
   if (!st.ok()) {
     std::fprintf(stderr, "TPC-H failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  st = RunTpcds();
+  st = RunTpcds(&report);
   if (!st.ok()) {
     std::fprintf(stderr, "TPC-DS failed: %s\n", st.ToString().c_str());
     return 1;
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
 }

@@ -17,8 +17,9 @@ namespace {
 
 const std::vector<double> kRates = {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0};
 
-pref::Status Sweep(const pref::Database& db, const char* title,
-                   const std::vector<std::string>& replicate) {
+pref::Status Sweep(const pref::Database& db, const char* title, const char* tag,
+                   const std::vector<std::string>& replicate,
+                   pref::bench::BenchReport* report) {
   // Ground truth: materialize the configuration chosen at full sampling.
   pref::SdOptions exact_options;
   exact_options.num_partitions = 10;
@@ -36,6 +37,14 @@ pref::Status Sweep(const pref::Database& db, const char* title,
     double err = actual == 0
                      ? 0.0
                      : std::fabs(result.estimated_redundancy - actual) / actual;
+    if (report != nullptr) {
+      report->Result(std::string(tag) + "/rate=" + std::to_string(rate),
+                     result.design_seconds);
+      report->Field("sample_rate", rate);
+      report->Field("estimated_redundancy", result.estimated_redundancy);
+      report->Field("actual_redundancy", actual);
+      report->Field("relative_error", err);
+    }
     std::printf("%7.0f%% %14.3f %11.1f%% %14.4f\n", rate * 100,
                 result.estimated_redundancy, err * 100, result.design_seconds);
   }
@@ -45,19 +54,23 @@ pref::Status Sweep(const pref::Database& db, const char* title,
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
   double sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.02);
+  pref::bench::BenchReport report("fig13", sf, 10);
   auto tpch = pref::GenerateTpch({sf, 42});
   if (!tpch.ok()) return 1;
-  pref::Status st = Sweep(*tpch, "TPC-H (uniform)", {"nation", "region", "supplier"});
+  pref::Status st = Sweep(*tpch, "TPC-H (uniform)", "tpch",
+                          {"nation", "region", "supplier"}, &report);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
   pref::TpcdsGenOptions gen;
   gen.scale_factor = pref::bench::EnvScaleFactor("PREF_BENCH_DS_SF", 0.25);
+  report.Config("tpcds_scale_factor", gen.scale_factor);
   auto tpcds = pref::GenerateTpcds(gen);
   if (!tpcds.ok()) return 1;
-  st = Sweep(*tpcds, "TPC-DS (skewed)", pref::TpcdsSmallTables());
+  st = Sweep(*tpcds, "TPC-DS (skewed)", "tpcds", pref::TpcdsSmallTables(), &report);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -67,5 +80,5 @@ int main(int argc, char** argv) {
       " grows with rate; WD runtime is ~10x SD, dominated by the merge phase)\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
 }

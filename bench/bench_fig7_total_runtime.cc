@@ -25,7 +25,8 @@ bool Excluded(int query_number) {
 }
 
 double TotalSimulatedSeconds(const pref::bench::Variant& variant,
-                             pref::CostModel model) {
+                             pref::CostModel model,
+                             pref::bench::BenchReport* report = nullptr) {
   double total = 0;
   for (size_t i = 0; i < g_bench->queries.size(); ++i) {
     if (Excluded(static_cast<int>(i) + 1)) continue;
@@ -35,7 +36,14 @@ double TotalSimulatedSeconds(const pref::bench::Variant& variant,
                    result.status().ToString().c_str());
       continue;
     }
-    total += result->stats.SimulatedSeconds(model);
+    double simulated = result->stats.SimulatedSeconds(model);
+    if (report != nullptr) {
+      report->Result(variant.name + "/Q" + std::to_string(i + 1), simulated);
+      report->Field("bytes_shuffled",
+                    static_cast<double>(result->stats.bytes_shuffled));
+      report->Field("wall_seconds", result->stats.wall_seconds);
+    }
+    total += simulated;
   }
   return total;
 }
@@ -52,12 +60,18 @@ void BM_TotalRuntime(benchmark::State& state, const pref::bench::Variant* varian
   state.counters["DR"] = variant->data_redundancy;
 }
 
-void PrintPaperTable() {
+void PrintPaperTable(pref::bench::BenchReport* report) {
   pref::CostModel model = pref::bench::PaperScaledModel(pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01));
   std::printf("\n=== Figure 7: total runtime of all TPC-H queries (wo Q13/Q22) ===\n");
   std::printf("%-32s %18s\n", "variant", "simulated total (s)");
   for (const auto& v : g_bench->variants) {
-    std::printf("%-32s %18.3f\n", v.name.c_str(), TotalSimulatedSeconds(v, model));
+    double total = TotalSimulatedSeconds(v, model, report);
+    if (report != nullptr) {
+      report->Result(v.name + "/total", total);
+      report->Field("data_locality", v.data_locality);
+      report->Field("data_redundancy", v.data_redundancy);
+    }
+    std::printf("%-32s %18.3f\n", v.name.c_str(), total);
   }
   std::printf("\n=== Table 1: data-locality / data-redundancy ===\n");
   std::printf("%-32s %6s %6s\n", "variant", "DL", "DR");
@@ -71,6 +85,7 @@ void PrintPaperTable() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
   double sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
   auto bench = pref::bench::MakeTpchBench(sf, 10);
   if (!bench.ok()) {
@@ -78,7 +93,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   g_bench = &*bench;
-  PrintPaperTable();
+  pref::bench::BenchReport report("fig7", sf, g_bench->nodes);
+  PrintPaperTable(&report);
   for (const auto& v : g_bench->variants) {
     benchmark::RegisterBenchmark(("fig7/" + v.name).c_str(), BM_TotalRuntime, &v)
         ->Unit(benchmark::kMillisecond)
@@ -86,5 +102,5 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
 }

@@ -20,7 +20,7 @@ bool Excluded(int query_number) {
   return false;
 }
 
-void PrintPaperTable() {
+void PrintPaperTable(pref::bench::BenchReport* report) {
   pref::CostModel model = pref::bench::PaperScaledModel(g_sf);
   std::printf("\n=== Figure 8: runtime for individual TPC-H queries (simulated s) ===\n");
   std::printf("%-5s", "query");
@@ -35,7 +35,14 @@ void PrintPaperTable() {
         std::printf(" %28s", "FAILED");
         continue;
       }
-      std::printf(" %17.3f (%6.2f MB)", r->stats.SimulatedSeconds(model),
+      double simulated = r->stats.SimulatedSeconds(model);
+      if (report != nullptr) {
+        report->Result(v.name + "/Q" + std::to_string(i + 1), simulated);
+        report->Field("bytes_shuffled",
+                      static_cast<double>(r->stats.bytes_shuffled));
+        report->Field("exchanges", r->stats.exchanges);
+      }
+      std::printf(" %17.3f (%6.2f MB)", simulated,
                   static_cast<double>(r->stats.bytes_shuffled) / 1e6);
     }
     std::printf("\n");
@@ -58,6 +65,7 @@ void BM_Query(benchmark::State& state, const pref::bench::Variant* variant,
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
   g_sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
   auto bench = pref::bench::MakeTpchBench(g_sf, 10);
   if (!bench.ok()) {
@@ -65,7 +73,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   g_bench = &*bench;
-  PrintPaperTable();
+  pref::bench::BenchReport report("fig8", g_sf, g_bench->nodes);
+  PrintPaperTable(&report);
   // Register wall-clock benchmarks for a representative query subset to
   // keep the default run short (all queries via --benchmark_filter).
   for (const auto& v : g_bench->variants) {
@@ -79,5 +88,5 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
 }

@@ -42,7 +42,7 @@ pref::QuerySpec AntiQuery(const pref::Schema& schema) {
               .Build();
 }
 
-void PrintPaperTable() {
+void PrintPaperTable(pref::bench::BenchReport* report) {
   const pref::bench::Variant& sd = g_bench->variants[1];  // SD (wo small tables)
   pref::CostModel model = pref::bench::PaperScaledModel(g_sf);
   pref::QueryOptions with, without;
@@ -62,6 +62,11 @@ void PrintPaperTable() {
     }
     double f = fast->stats.SimulatedSeconds(model);
     double s = slow->stats.SimulatedSeconds(model);
+    if (report != nullptr) {
+      report->Result(q.name + "/w_opt", f);
+      report->Result(q.name + "/wo_opt", s);
+      report->Field("speedup", s / f);
+    }
     std::printf("%-12s %22.3f %22.3f %7.1fx\n", q.name.c_str(), f, s, s / f);
   }
   std::printf(
@@ -81,6 +86,7 @@ void BM_Fig9(benchmark::State& state, const pref::QuerySpec* query, bool optimiz
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
   g_sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.01);
   auto bench = pref::bench::MakeTpchBench(g_sf, 10);
   if (!bench.ok()) {
@@ -88,7 +94,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   g_bench = &*bench;
-  PrintPaperTable();
+  pref::bench::BenchReport report("fig9", g_sf, g_bench->nodes);
+  PrintPaperTable(&report);
   static auto distinct = DistinctQuery(g_bench->db->schema());
   static auto semi = SemiQuery(g_bench->db->schema());
   static auto anti = AntiQuery(g_bench->db->schema());
@@ -102,5 +109,5 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
 }

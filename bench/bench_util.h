@@ -4,17 +4,25 @@
 
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "catalog/tpcds_schema.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
 #include "datagen/tpch_gen.h"
 #include "design/sd_design.h"
 #include "design/wd_design.h"
 #include "engine/executor.h"
-#include "partition/metrics.h"
+#include "partition/locality.h"
 #include "partition/presets.h"
 #include "workloads/tpch_queries.h"
 
@@ -24,6 +32,133 @@ namespace bench {
 inline double EnvScaleFactor(const char* name, double fallback) {
   const char* v = std::getenv(name);
   return v == nullptr ? fallback : std::atof(v);
+}
+
+/// Observability flags shared by every bench_fig* main. Parsed (and
+/// stripped from argv) *before* benchmark::Initialize, which rejects flags
+/// it does not know.
+struct BenchArgs {
+  std::string json_path;   // --json=<path>: machine-readable BenchReport
+  std::string trace_path;  // --trace=<path>: Chrome trace of this run
+};
+
+inline BenchArgs ParseBenchArgs(int* argc, char** argv) {
+  BenchArgs out;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      out.json_path = std::string(arg.substr(7));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      out.trace_path = std::string(arg.substr(8));
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  // Tracing is opt-in per run; enable before any spans are created.
+  if (!out.trace_path.empty()) Tracer::Default().SetEnabled(true);
+  return out;
+}
+
+/// \brief Machine-readable benchmark output behind --json=<path>.
+///
+/// Fixed top-level schema (validated by bench/validate_bench_json):
+///   {"figure": str, "config": {str: num}, "results": [{"name": str,
+///    "simulated_seconds": num, ...}], "metrics": {...registry snapshot}}
+/// Results are one row per (variant, query) or per measured configuration;
+/// extra numeric fields attach to the most recent row.
+class BenchReport {
+ public:
+  BenchReport(std::string figure, double scale_factor, int nodes)
+      : figure_(std::move(figure)) {
+    Config("scale_factor", scale_factor);
+    Config("nodes", nodes);
+    Config("threads", ThreadPool::DefaultConcurrency());
+    Config("metrics_enabled", PREF_METRICS);
+  }
+
+  void Config(const std::string& key, double value) {
+    config_.emplace_back(key, value);
+  }
+
+  /// Starts a result row; Field() calls attach to it until the next Result.
+  void Result(std::string name, double simulated_seconds) {
+    results_.push_back({std::move(name), simulated_seconds, {}});
+  }
+  void Field(const std::string& key, double value) {
+    results_.back().fields.emplace_back(key, value);
+  }
+
+  Status WriteTo(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return Status::Invalid("cannot open '", path, "' for writing");
+    JsonWriter w(&os);
+    w.BeginObject();
+    w.Key("figure");
+    w.String(figure_);
+    w.Key("config");
+    w.BeginObject();
+    for (const auto& [k, v] : config_) {
+      w.Key(k);
+      w.Double(v);
+    }
+    w.EndObject();
+    w.Key("results");
+    w.BeginArray();
+    for (const auto& r : results_) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(r.name);
+      w.Key("simulated_seconds");
+      w.Double(r.simulated_seconds);
+      for (const auto& [k, v] : r.fields) {
+        w.Key(k);
+        w.Double(v);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    // The metrics snapshot is itself a complete JSON object; splice it in
+    // verbatim after the key.
+    w.Key("metrics");
+    MetricsRegistry::Default().WriteJson(os);
+    w.EndObject();
+    os << "\n";
+    if (!os.good()) return Status::Invalid("short write to '", path, "'");
+    return Status::OK();
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double simulated_seconds;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string figure_;
+  std::vector<std::pair<std::string, double>> config_;
+  std::vector<Row> results_;
+};
+
+/// Writes the outputs requested by --json/--trace. Returns false (with the
+/// failure on stderr) so mains can exit nonzero when a write fails.
+inline bool FinishBench(const BenchReport& report, const BenchArgs& args) {
+  bool ok = true;
+  if (!args.trace_path.empty()) {
+    Status s = Tracer::Default().WriteChromeTraceFile(args.trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+      ok = false;
+    }
+  }
+  if (!args.json_path.empty()) {
+    Status s = report.WriteTo(args.json_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "json export failed: %s\n", s.ToString().c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 /// Cost model scaled so a reduced-SF in-memory run sits in the same

@@ -1,0 +1,56 @@
+// CI schema validator for the bench_fig* --json=<path> output: checks the
+// file parses as JSON and that the fixed top-level keys emitted by
+// pref::bench::BenchReport are all present. Exits nonzero with a message
+// on the first violation so the smoke job fails loudly.
+//
+// Usage: validate_bench_json <report.json> [<report.json> ...]
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+const char* kRequiredKeys[] = {"figure", "config", "results", "metrics"};
+
+bool ValidateFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::vector<std::string> keys;
+  if (!pref::JsonValidator::Valid(text, &keys)) {
+    std::fprintf(stderr, "%s: not valid JSON\n", path);
+    return false;
+  }
+  for (const char* required : kRequiredKeys) {
+    if (std::find(keys.begin(), keys.end(), required) == keys.end()) {
+      std::fprintf(stderr, "%s: missing top-level key \"%s\"\n", path, required);
+      return false;
+    }
+  }
+  std::printf("%s: ok (%zu top-level keys)\n", path, keys.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <report.json> [...]\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok &= ValidateFile(argv[i]);
+  return ok ? 0 : 1;
+}

@@ -12,7 +12,7 @@
 #include "design/stars.h"
 #include "design/wd_design.h"
 #include "engine/executor.h"
-#include "partition/metrics.h"
+#include "partition/locality.h"
 #include "partition/partitioner.h"
 #include "partition/presets.h"
 #include "sql/parser.h"

@@ -10,7 +10,7 @@
 #include "design/sd_design.h"
 #include "design/wd_design.h"
 #include "engine/executor.h"
-#include "partition/metrics.h"
+#include "partition/locality.h"
 #include "partition/partitioner.h"
 #include "partition/presets.h"
 #include "workloads/tpch_queries.h"

@@ -1,0 +1,314 @@
+// Minimal JSON utilities shared by the observability exporters: string
+// escaping, a streaming writer with comma management, and a validating
+// recursive-descent checker that can report the keys of the top-level
+// object. Used by the metrics/trace JSON export, the bench --json emitter,
+// and the CI schema validator. Deliberately not a DOM — nothing in the
+// engine needs to *read* JSON beyond validation.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pref {
+
+inline void JsonAppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+inline std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  JsonAppendEscaped(&out, s);
+  return out;
+}
+
+/// \brief Streaming JSON writer. The caller drives structure
+/// (BeginObject/Key/Value/EndObject); the writer inserts commas. No
+/// validation beyond what the call sequence implies — emitting a value
+/// where a key is required produces broken JSON, so keep usage simple.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* os) : os_(os) {}
+
+  void BeginObject() {
+    Prefix();
+    *os_ << '{';
+    stack_.push_back(false);
+  }
+  void EndObject() {
+    stack_.pop_back();
+    *os_ << '}';
+  }
+  void BeginArray() {
+    Prefix();
+    *os_ << '[';
+    stack_.push_back(false);
+  }
+  void EndArray() {
+    stack_.pop_back();
+    *os_ << ']';
+  }
+  void Key(std::string_view k) {
+    Prefix();
+    *os_ << '"' << JsonEscaped(k) << "\":";
+    after_key_ = true;
+  }
+  void String(std::string_view v) {
+    Prefix();
+    *os_ << '"' << JsonEscaped(v) << '"';
+  }
+  void Int(int64_t v) {
+    Prefix();
+    *os_ << v;
+  }
+  void UInt(uint64_t v) {
+    Prefix();
+    *os_ << v;
+  }
+  void Double(double v) {
+    Prefix();
+    if (!std::isfinite(v)) {
+      // Raw JSON has no Infinity/NaN; encode as null.
+      *os_ << "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *os_ << buf;
+  }
+  void Bool(bool v) {
+    Prefix();
+    *os_ << (v ? "true" : "false");
+  }
+  void Null() {
+    Prefix();
+    *os_ << "null";
+  }
+
+ private:
+  /// Emits the separating comma for the second and later items of the
+  /// current object/array; a value directly after Key() never separates.
+  void Prefix() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) *os_ << ',';
+      stack_.back() = true;
+    }
+  }
+
+  std::ostream* os_;
+  std::vector<bool> stack_;  // per level: an item was already emitted
+  bool after_key_ = false;
+};
+
+/// \brief Validating recursive-descent JSON checker.
+///
+/// `Valid(text)` accepts exactly one JSON value (surrounded by optional
+/// whitespace). The two-argument form additionally records the keys of the
+/// top-level object (empty if the top-level value is not an object) so
+/// schema validators can check required fields without a DOM.
+class JsonValidator {
+ public:
+  static bool Valid(std::string_view text) { return Valid(text, nullptr); }
+
+  static bool Valid(std::string_view text, std::vector<std::string>* top_keys) {
+    JsonValidator v(text);
+    if (top_keys != nullptr) top_keys->clear();
+    if (!v.Value(/*depth=*/0, top_keys)) return false;
+    v.SkipWs();
+    return v.pos_ == v.text_.size();
+  }
+
+ private:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool StringToken(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+        ++pos_;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      } else {
+        if (out != nullptr) *out += c;
+        ++pos_;
+      }
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value(int depth, std::vector<std::string>* top_keys) {
+    if (depth > 128) return false;  // runaway nesting
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        SkipWs();
+        std::string key;
+        if (!StringToken(depth == 0 && top_keys != nullptr ? &key : nullptr)) {
+          return false;
+        }
+        if (depth == 0 && top_keys != nullptr) top_keys->push_back(std::move(key));
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+        ++pos_;
+        if (!Value(depth + 1, top_keys)) return false;
+        SkipWs();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        if (!Value(depth + 1, top_keys)) return false;
+        SkipWs();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') return StringToken(nullptr);
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pref

@@ -1,0 +1,165 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/json.h"
+
+namespace pref {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBounds();
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(num_buckets());
+  for (size_t i = 0; i < num_buckets(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 1us .. 100s, half-decade steps.
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 1e3; decade *= 10) {
+    bounds.push_back(decade);
+    if (decade * 5 <= 100) bounds.push_back(decade * 5);
+  }
+  return bounds;
+}
+
+size_t Histogram::BucketOf(double v) const {
+  // First bound >= v; everything past the last bound lands in the overflow
+  // bucket at index bounds_.size().
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_buckets(); ++i) total += BucketCount(i);
+  return total;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = name;
+    s.value = static_cast<double>(c->Get());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = name;
+    s.value = static_cast<double>(g->Get());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = name;
+    s.value = h->Sum();
+    s.count = h->TotalCount();
+    const auto& bounds = h->bounds();
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      double le = i < bounds.size() ? bounds[i]
+                                    : std::numeric_limits<double>::infinity();
+      s.buckets.emplace_back(le, h->BucketCount(i));
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  auto samples = Snapshot();
+  JsonWriter w(&os);
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& s : samples) {
+    if (s.kind != MetricSample::Kind::kCounter) continue;
+    w.Key(s.name);
+    w.UInt(static_cast<uint64_t>(s.value));
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& s : samples) {
+    if (s.kind != MetricSample::Kind::kGauge) continue;
+    w.Key(s.name);
+    w.Int(static_cast<int64_t>(s.value));
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& s : samples) {
+    if (s.kind != MetricSample::Kind::kHistogram) continue;
+    w.Key(s.name);
+    w.BeginObject();
+    w.Key("count");
+    w.UInt(s.count);
+    w.Key("sum");
+    w.Double(s.value);
+    w.Key("buckets");
+    w.BeginArray();
+    for (const auto& [le, count] : s.buckets) {
+      w.BeginObject();
+      w.Key("le");
+      w.Double(le);  // +inf encodes as null (overflow bucket)
+      w.Key("count");
+      w.UInt(count);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace pref

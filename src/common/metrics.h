@@ -1,0 +1,189 @@
+// Process-wide runtime metrics: named counters, gauges, and fixed-bucket
+// histograms behind a thread-safe registry.
+//
+// Design:
+//  * Hot-path operations (Counter::Add, Gauge::SetMax, Histogram::Observe)
+//    are lock-free relaxed atomics. Registration (GetCounter et al.) takes
+//    the registry mutex and allocates; call sites cache the returned
+//    reference (`static Counter& c = ...GetCounter("x")`) so steady state
+//    performs zero allocation and zero lookups.
+//  * Instrument handles are stable for the registry's lifetime: metrics are
+//    stored behind unique_ptr, so references never move.
+//  * The whole subsystem compiles out: building with PREF_METRICS=0 (CMake
+//    option PREF_METRICS=OFF) turns every hot-path operation into an empty
+//    inline function, so disabled overhead is a dead branch at most.
+//    Registration and Snapshot still work (returning zeros) so callers
+//    never need #ifdefs.
+//
+// Naming convention (see DESIGN.md §6): dot-separated lowercase paths,
+// subsystem first — `engine.exchange.bytes`, `pool.queue_depth`,
+// `load.copies_written`, `design.configs_enumerated`.
+
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef PREF_METRICS
+#define PREF_METRICS 1
+#endif
+
+namespace pref {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+#if PREF_METRICS
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value; SetMax maintains a high-water mark.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+#if PREF_METRICS
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(int64_t delta) {
+#if PREF_METRICS
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  void SetMax(int64_t v) {
+#if PREF_METRICS
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= bounds[i];
+/// one implicit overflow bucket past the last bound. Bounds are fixed at
+/// registration, so Observe is an upper_bound over a small immutable vector
+/// plus one relaxed fetch_add — no allocation, no locks.
+class Histogram {
+ public:
+  /// \param bounds strictly increasing bucket upper bounds. Empty selects
+  /// DefaultLatencyBounds().
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Exponential 1us .. 100s grid, for latencies observed in seconds.
+  static std::vector<double> DefaultLatencyBounds();
+
+  void Observe(double value) {
+#if PREF_METRICS
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    // Atomic double accumulation via CAS on the bit pattern.
+    uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+    uint64_t desired;
+    do {
+      desired = std::bit_cast<uint64_t>(std::bit_cast<double>(expected) + value);
+    } while (!sum_bits_.compare_exchange_weak(expected, desired,
+                                              std::memory_order_relaxed));
+#else
+    (void)value;
+#endif
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 (the trailing overflow bucket).
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const;
+  double Sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  void Reset();
+
+ private:
+  size_t BucketOf(double v) const;
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// One metric's state at Snapshot() time.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  double value = 0;    // counter/gauge reading; histogram sum
+  uint64_t count = 0;  // histogram observation count
+  /// Histograms only: (upper bound, count) per bucket; the overflow bucket
+  /// carries bound = +inf.
+  std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide shared registry.
+  static MetricsRegistry& Default();
+
+  /// Returns the named instrument, creating it on first use. The reference
+  /// stays valid for the registry's lifetime. Counters, gauges, and
+  /// histograms live in separate namespaces; don't reuse a name across
+  /// kinds (both would show up in Snapshot()).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// \param bounds used only on first registration; empty selects
+  /// Histogram::DefaultLatencyBounds().
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds = {});
+
+  /// Consistent-enough point-in-time view (each value read atomically),
+  /// sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Snapshot as one JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}]}}}
+  void WriteJson(std::ostream& os) const;
+
+  /// Zeroes every registered instrument (tests and bench reruns).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pref

@@ -1,8 +1,12 @@
-// Wall-clock stopwatch for reporting design-algorithm and loading runtimes.
+// Wall-clock stopwatch for reporting design-algorithm and loading runtimes,
+// plus an RAII ScopedTimer that reports the measured interval into a
+// double accumulator and/or a metrics Histogram on destruction.
 
 #pragma once
 
 #include <chrono>
+
+#include "common/metrics.h"
 
 namespace pref {
 
@@ -21,6 +25,30 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Measures construction-to-destruction and reports the elapsed seconds by
+/// *adding* to `sink` (so one accumulator can span several timed scopes)
+/// and/or observing into `hist`. Either target may be null.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink, Histogram* hist = nullptr)
+      : sink_(sink), hist_(hist) {}
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    double seconds = watch_.ElapsedSeconds();
+    if (sink_ != nullptr) *sink_ += seconds;
+    if (hist_ != nullptr) hist_->Observe(seconds);
+  }
+
+ private:
+  Stopwatch watch_;
+  double* sink_ = nullptr;
+  Histogram* hist_ = nullptr;
 };
 
 }  // namespace pref

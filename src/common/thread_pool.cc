@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <exception>
+#include <string>
+
+#include "common/stopwatch.h"
 
 namespace pref {
 
@@ -31,9 +34,20 @@ struct ForkJoin {
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) num_threads = DefaultConcurrency();
+  // Register metrics before spawning workers: the registry singleton then
+  // finishes construction before this pool does and outlives it, so worker
+  // threads can update counters right up to shutdown.
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  tasks_executed_ = &registry.GetCounter("pool.tasks_executed");
+  queue_depth_ = &registry.GetGauge("pool.queue_depth");
   workers_.reserve(static_cast<size_t>(num_threads - 1));
+  worker_busy_us_.reserve(static_cast<size_t>(num_threads - 1));
   for (int i = 0; i < num_threads - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    worker_busy_us_.push_back(
+        &registry.GetCounter("pool.worker_busy_us." + std::to_string(i)));
+  }
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -46,7 +60,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
@@ -57,7 +71,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+#if PREF_METRICS
+    Stopwatch busy;
     task();
+    worker_busy_us_[static_cast<size_t>(worker_index)]->Add(
+        static_cast<uint64_t>(busy.ElapsedSeconds() * 1e6));
+    tasks_executed_->Add(1);
+#else
+    (void)worker_index;
+    task();
+#endif
   }
 }
 
@@ -96,6 +119,9 @@ void ThreadPool::ParallelForChunks(
         join.Finish(err);
       });
     }
+#if PREF_METRICS
+    queue_depth_->SetMax(static_cast<int64_t>(queue_.size()));
+#endif
   }
   cv_.notify_all();
 

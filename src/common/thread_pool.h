@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace pref {
 
 class ThreadPool {
@@ -69,7 +71,7 @@ class ThreadPool {
   static ThreadPool& Default();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   /// True when the calling thread is one of this pool's workers.
   bool OnWorkerThread() const;
 
@@ -78,6 +80,12 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+
+  // Observability (see DESIGN.md §6). Fetched once at construction so the
+  // registry outlives the pool; per-task updates are relaxed atomics.
+  Counter* tasks_executed_ = nullptr;       // pool.tasks_executed
+  Gauge* queue_depth_ = nullptr;            // pool.queue_depth (high-water mark)
+  std::vector<Counter*> worker_busy_us_;    // pool.worker_busy_us.<i>
 };
 
 }  // namespace pref

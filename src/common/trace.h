@@ -1,0 +1,161 @@
+// Span-based tracer with Chrome trace-event (chrome://tracing / Perfetto)
+// JSON export.
+//
+// Two ways to record:
+//  * RAII TraceSpan — wall-clock span on the calling OS thread, recorded
+//    into a per-thread buffer on destruction (one uncontended lock per
+//    span; no cross-thread contention on the hot path).
+//  * Tracer::AddComplete — explicit start/duration on an arbitrary
+//    (pid, tid) track. The executor uses this to lay per-operator work out
+//    on a *simulated-cluster* timeline: pid kSimulatedPid, one track per
+//    simulated node plus a network track, timestamps in simulated
+//    microseconds (see DESIGN.md §6).
+//
+// Tracing is off by default; when disabled, a TraceSpan costs one relaxed
+// atomic load. With PREF_METRICS=0 the span type compiles to an empty
+// object and the cost is zero.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"  // PREF_METRICS default
+#include "common/status.h"
+
+namespace pref {
+
+class Tracer {
+ public:
+  /// pid used for wall-clock spans recorded by TraceSpan.
+  static constexpr int kProcessPid = 1;
+  /// pid used for explicit simulated-cluster timelines.
+  static constexpr int kSimulatedPid = 2;
+
+  Tracer();
+
+  /// Process-wide shared tracer (what TraceSpan records into by default).
+  static Tracer& Default();
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this tracer's epoch (the zero of every exported
+  /// timestamp).
+  double NowMicros() const;
+
+  /// Records one complete ("ph":"X") event on an explicit track. No-op
+  /// while disabled.
+  void AddComplete(std::string name, std::string category, double ts_us,
+                   double dur_us, int pid, int tid,
+                   std::vector<std::pair<std::string, int64_t>> args = {});
+
+  /// Names a track in the exported trace (chrome's thread_name metadata).
+  /// Idempotent per (pid, tid).
+  void SetTrackName(int pid, int tid, const std::string& name);
+
+  /// Drops every recorded event (track names included).
+  void Clear();
+
+  size_t EventCount() const;
+
+  /// Writes the Chrome trace-event JSON ({"traceEvents":[...]}).
+  void WriteChromeTrace(std::ostream& os) const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  friend class TraceSpan;
+
+  struct Event {
+    std::string name;
+    std::string category;
+    double ts_us = 0;
+    double dur_us = 0;
+    int pid = kProcessPid;
+    int tid = 0;
+    std::vector<std::pair<std::string, int64_t>> args;
+  };
+
+  /// One recording thread's buffer. Each writer locks only its own buffer;
+  /// the tracer-wide mutex is taken for registration and export.
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<Event> events;
+    int tid = 0;
+  };
+
+  ThreadBuffer& LocalBuffer();
+  void Append(ThreadBuffer& buffer, Event event);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// (pid, tid) -> track name, exported as metadata events.
+  std::vector<std::pair<std::pair<int, int>, std::string>> track_names_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> next_tid_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  /// Process-unique id: the thread-local buffer cache keys on this rather
+  /// than the tracer address, so a new tracer allocated where a destroyed
+  /// one lived never resolves to the old tracer's (freed) buffers.
+  uint64_t id_;
+};
+
+/// RAII wall-clock span: measures construction-to-destruction on the
+/// calling thread and records a complete event into `tracer` (the process
+/// default when omitted). `name`/`category` must outlive the span
+/// (string literals in practice).
+class TraceSpan {
+ public:
+#if PREF_METRICS
+  explicit TraceSpan(const char* name, const char* category = "default",
+                     Tracer* tracer = nullptr) {
+    Tracer& t = tracer != nullptr ? *tracer : Tracer::Default();
+    if (t.enabled()) {
+      tracer_ = &t;
+      name_ = name;
+      category_ = category;
+      start_us_ = t.NowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (tracer_ == nullptr) return;
+    Tracer::Event e;
+    e.name = name_;
+    e.category = category_;
+    e.ts_us = start_us_;
+    e.dur_us = tracer_->NowMicros() - start_us_;
+    e.pid = Tracer::kProcessPid;
+    e.args = std::move(args_);
+    Tracer::ThreadBuffer& buffer = tracer_->LocalBuffer();
+    e.tid = buffer.tid;
+    tracer_->Append(buffer, std::move(e));
+  }
+  void AddArg(const char* key, int64_t value) {
+    if (tracer_ != nullptr) args_.emplace_back(key, value);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when tracing was disabled at entry
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  double start_us_ = 0;
+  std::vector<std::pair<std::string, int64_t>> args_;
+#else
+  explicit TraceSpan(const char*, const char* = "default", Tracer* = nullptr) {}
+  void AddArg(const char*, int64_t) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+#endif
+};
+
+}  // namespace pref

@@ -5,6 +5,8 @@
 #include <functional>
 #include <limits>
 
+#include "common/metrics.h"
+
 namespace pref {
 
 namespace {
@@ -176,12 +178,20 @@ double BestPlanForSubTree(const SubTree& tree, const Schema& schema,
                           RedundancyEstimator* estimator,
                           const EnumerationConstraints& constraints,
                           std::map<TableId, TableScheme>* best_schemes) {
+  // Every (sub-tree, seed) pair is one candidate configuration; constraint
+  // failures (infinite size) count as pruned.
+  static Counter& enumerated =
+      MetricsRegistry::Default().GetCounter("design.configs_enumerated");
+  static Counter& pruned =
+      MetricsRegistry::Default().GetCounter("design.configs_pruned");
   double best = std::numeric_limits<double>::infinity();
   for (TableId seed : tree.nodes) {
     // A constrained table is a fine seed; an unconstrained seed is fine
     // too. Constraint failures surface inside PlanSubTree.
     std::map<TableId, TableScheme> schemes;
     double size = PlanSubTree(tree, seed, schema, estimator, constraints, &schemes);
+    enumerated.Add(1);
+    if (std::isinf(size)) pruned.Add(1);
     if (size < best) {
       best = size;
       *best_schemes = std::move(schemes);

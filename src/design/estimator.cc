@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "storage/partition.h"
 
@@ -110,6 +111,9 @@ const RedundancyEstimator::Histogram& RedundancyEstimator::HistogramFor(
 double RedundancyEstimator::EdgeFactor(const JoinPredicate& p,
                                        const CopyProfile* parent,
                                        CopyProfile* child) {
+  static Counter& invocations =
+      MetricsRegistry::Default().GetCounter("design.estimator_invocations");
+  invocations.Add(1);
   const TableId referencing = p.left_table;
   const TableId referenced = p.right_table;
   const Histogram& s_hist = HistogramFor(referenced, p.right_columns);

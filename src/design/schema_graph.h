@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "partition/metrics.h"
+#include "partition/locality.h"
 #include "storage/table.h"
 
 namespace pref {

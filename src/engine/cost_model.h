@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace pref {
@@ -23,6 +24,40 @@ struct CostModel {
   double exchange_latency_seconds = 0.05;
 };
 
+/// \brief One plan operator's share of a query's cost, per simulated node.
+///
+/// The executor fills one entry per plan node (pre-order `index`, parent
+/// link for tree reconstruction) and derives the aggregate ExecStats fields
+/// by merging these entries, so the per-operator breakdown sums *exactly*
+/// to the aggregates (asserted by tests/exec_stats_test).
+struct OperatorStats {
+  int index = 0;    // pre-order position in the plan tree
+  int parent = -1;  // -1 for the root
+  std::string op;   // OpKindName of the plan node
+  /// Rows received from child operators (sum of their rows_out).
+  size_t rows_in = 0;
+  /// Rows this operator produced across all nodes.
+  size_t rows_out = 0;
+  /// CPU-charged rows (sum of node_rows); feeds total_rows_processed.
+  size_t rows_processed = 0;
+  size_t rows_shuffled = 0;
+  size_t bytes_shuffled = 0;
+  int exchanges = 0;
+  /// CPU-charged rows per simulated node.
+  std::vector<size_t> node_rows;
+
+  /// Same accounting as ExecStats::SimulatedSeconds, scoped to this
+  /// operator: slowest node's CPU share plus this operator's network cost.
+  double SimulatedSeconds(const CostModel& model) const {
+    size_t max_node = 0;
+    for (size_t r : node_rows) max_node = r > max_node ? r : max_node;
+    double cpu = static_cast<double>(max_node) / model.rows_per_second_per_node;
+    double net = static_cast<double>(bytes_shuffled) / model.network_bytes_per_second +
+                 static_cast<double>(exchanges) * model.exchange_latency_seconds;
+    return cpu + net;
+  }
+};
+
 struct ExecStats {
   size_t bytes_shuffled = 0;
   size_t rows_shuffled = 0;
@@ -30,7 +65,11 @@ struct ExecStats {
   /// Rows consumed by operators, per simulated node.
   std::vector<size_t> node_rows;
   size_t total_rows_processed = 0;
+  /// Real wall-clock of producing this result. ExecutePlan measures plan
+  /// execution; ExecuteQuery measures rewrite + execution.
   double wall_seconds = 0;
+  /// Per-operator breakdown in pre-order; totals equal the fields above.
+  std::vector<OperatorStats> operators;
 
   double SimulatedSeconds(const CostModel& model) const {
     size_t max_node = 0;
@@ -39,6 +78,36 @@ struct ExecStats {
     double net = static_cast<double>(bytes_shuffled) / model.network_bytes_per_second +
                  static_cast<double>(exchanges) * model.exchange_latency_seconds;
     return cpu + net;
+  }
+
+  /// Folds one operator's contribution into the aggregate fields (the
+  /// executor's fan-in; does not touch `operators`).
+  void MergeOperator(const OperatorStats& op) {
+    bytes_shuffled += op.bytes_shuffled;
+    rows_shuffled += op.rows_shuffled;
+    exchanges += op.exchanges;
+    total_rows_processed += op.rows_processed;
+    if (node_rows.size() < op.node_rows.size()) node_rows.resize(op.node_rows.size(), 0);
+    for (size_t p = 0; p < op.node_rows.size(); ++p) node_rows[p] += op.node_rows[p];
+  }
+
+  /// Accumulates another query's stats into this one (workload totals):
+  /// aggregate fields sum, node_rows add element-wise, wall clocks add,
+  /// and the other side's operator breakdown is appended.
+  void Merge(const ExecStats& other) {
+    bytes_shuffled += other.bytes_shuffled;
+    rows_shuffled += other.rows_shuffled;
+    exchanges += other.exchanges;
+    total_rows_processed += other.total_rows_processed;
+    wall_seconds += other.wall_seconds;
+    if (node_rows.size() < other.node_rows.size()) {
+      node_rows.resize(other.node_rows.size(), 0);
+    }
+    for (size_t p = 0; p < other.node_rows.size(); ++p) {
+      node_rows[p] += other.node_rows[p];
+    }
+    operators.insert(operators.end(), other.operators.begin(),
+                     other.operators.end());
   }
 };
 

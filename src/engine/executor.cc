@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace pref {
 
@@ -89,6 +91,8 @@ class Executor {
 
   Result<QueryResult> Run(const PlanNode& root) {
     Stopwatch timer;
+    TraceSpan span("ExecutePlan", "engine");
+    const double sim_base_us = Tracer::Default().NowMicros();
     n_ = 0;
     for (const auto* t : pdb_.tables()) {
       n_ = std::max(n_, t->num_partitions());
@@ -96,55 +100,149 @@ class Executor {
     if (n_ == 0) return Status::Invalid("partitioned database has no tables");
     stats_.node_rows.assign(static_cast<size_t>(n_), 0);
 
-    PREF_ASSIGN_OR_RAISE(DistResult dist, Exec(root));
+    PREF_ASSIGN_OR_RAISE(DistResult dist, Exec(root, /*parent=*/-1));
     QueryResult result;
     result.rows = RowBlock(TypesOf(root));
     for (auto& block : dist.nodes) {
       for (size_t r = 0; r < block.num_rows(); ++r) result.rows.AppendRow(block, r);
     }
     for (const auto& c : root.cols) result.column_names.push_back(c.name);
-    for (size_t r : stats_.node_rows) stats_.total_rows_processed += r;
+
+    // Fan the per-operator breakdown into the aggregates: every aggregate
+    // counter is *derived* from the operator entries, so the breakdown sums
+    // to the totals by construction.
+    for (auto& op : ops_) {
+      for (size_t r : op.node_rows) op.rows_processed += r;
+      stats_.MergeOperator(op);
+    }
     stats_.wall_seconds = timer.ElapsedSeconds();
+    stats_.operators = std::move(ops_);
+
+    {
+      MetricsRegistry& registry = MetricsRegistry::Default();
+      static Counter& queries = registry.GetCounter("engine.queries");
+      static Counter& exchange_bytes = registry.GetCounter("engine.exchange.bytes");
+      static Counter& exchange_rows = registry.GetCounter("engine.exchange.rows");
+      static Counter& rows_processed = registry.GetCounter("engine.rows_processed");
+      static Histogram& query_seconds = registry.GetHistogram("engine.query_seconds");
+      queries.Add(1);
+      exchange_bytes.Add(stats_.bytes_shuffled);
+      exchange_rows.Add(stats_.rows_shuffled);
+      rows_processed.Add(stats_.total_rows_processed);
+      query_seconds.Observe(stats_.wall_seconds);
+    }
+    if (Tracer::Default().enabled()) EmitSimulatedTimeline(sim_base_us);
+    span.AddArg("operators", static_cast<int64_t>(stats_.operators.size()));
+    span.AddArg("rows_out", static_cast<int64_t>(result.rows.num_rows()));
+
     result.stats = stats_;
     return result;
   }
 
  private:
-  void Charge(int node, size_t rows) {
-    stats_.node_rows[static_cast<size_t>(node)] += rows;
+  void Charge(int op, int node, size_t rows) {
+    ops_[static_cast<size_t>(op)].node_rows[static_cast<size_t>(node)] += rows;
   }
 
-  Result<DistResult> Exec(const PlanNode& node) {
+  OperatorStats& Op(int op) { return ops_[static_cast<size_t>(op)]; }
+
+  /// Dispatches one plan node: registers its OperatorStats entry (pre-order
+  /// index, parent link), runs the operator, and credits its output rows to
+  /// the parent's rows_in. Every Exec* only touches its own entry.
+  Result<DistResult> Exec(const PlanNode& node, int parent) {
+    const int idx = static_cast<int>(ops_.size());
+    {
+      OperatorStats op;
+      op.index = idx;
+      op.parent = parent;
+      op.op = OpKindName(node.kind);
+      op.node_rows.assign(static_cast<size_t>(n_), 0);
+      ops_.push_back(std::move(op));
+    }
+    TraceSpan span(OpKindName(node.kind), "engine.op");
+    PREF_ASSIGN_OR_RAISE(DistResult out, Dispatch(node, idx));
+    size_t rows_out = 0;
+    for (const RowBlock& block : out.nodes) rows_out += block.num_rows();
+    Op(idx).rows_out = rows_out;
+    if (parent >= 0) Op(parent).rows_in += rows_out;
+    exec_order_.push_back(idx);
+    span.AddArg("rows_out", static_cast<int64_t>(rows_out));
+    return out;
+  }
+
+  Result<DistResult> Dispatch(const PlanNode& node, int op) {
     switch (node.kind) {
       case OpKind::kScan:
-        return ExecScan(node);
+        return ExecScan(node, op);
       case OpKind::kFilter:
-        return ExecFilter(node);
+        return ExecFilter(node, op);
       case OpKind::kJoin:
-        return ExecJoin(node);
+        return ExecJoin(node, op);
       case OpKind::kRepartition:
-        return ExecRepartition(node);
+        return ExecRepartition(node, op);
       case OpKind::kDupElim:
-        return ExecDupElim(node);
+        return ExecDupElim(node, op);
       case OpKind::kValueDistinct:
-        return ExecValueDistinct(node);
+        return ExecValueDistinct(node, op);
       case OpKind::kPartialAgg:
-        return ExecPartialAgg(node);
+        return ExecPartialAgg(node, op);
       case OpKind::kGather:
-        return ExecGather(node);
+        return ExecGather(node, op);
       case OpKind::kFinalAgg:
-        return ExecFinalAgg(node);
+        return ExecFinalAgg(node, op);
       case OpKind::kProject:
-        return ExecProject(node);
+        return ExecProject(node, op);
       case OpKind::kSort:
-        return ExecSort(node);
+        return ExecSort(node, op);
       case OpKind::kBroadcast:
         return Status::NotImplemented("broadcast operator");
     }
     return Status::Internal("unknown operator");
   }
 
-  Result<DistResult> ExecScan(const PlanNode& node) {
+  /// Lays the finished query out on a simulated-cluster timeline: one span
+  /// per operator per node (CPU share at the cost model's throughput) on
+  /// pid kSimulatedPid with one track per node, plus exchange spans on a
+  /// dedicated network track acting as barriers — the trace a real
+  /// shared-nothing run of this plan would produce.
+  void EmitSimulatedTimeline(double base_us) const {
+    Tracer& tracer = Tracer::Default();
+    const int pid = Tracer::kSimulatedPid;
+    for (int p = 0; p < n_; ++p) {
+      tracer.SetTrackName(pid, p, "node-" + std::to_string(p));
+    }
+    tracer.SetTrackName(pid, n_, "network");
+    std::vector<double> cursor(static_cast<size_t>(n_), base_us);
+    for (int idx : exec_order_) {
+      const OperatorStats& op = stats_.operators[static_cast<size_t>(idx)];
+      double max_end = base_us;
+      for (int p = 0; p < n_; ++p) {
+        size_t rows = op.node_rows[static_cast<size_t>(p)];
+        double dur = static_cast<double>(rows) /
+                     cost_model_.rows_per_second_per_node * 1e6;
+        tracer.AddComplete(op.op, "sim.node", cursor[static_cast<size_t>(p)], dur,
+                           pid, p,
+                           {{"rows", static_cast<int64_t>(rows)},
+                            {"op_index", op.index}});
+        cursor[static_cast<size_t>(p)] += dur;
+        max_end = std::max(max_end, cursor[static_cast<size_t>(p)]);
+      }
+      if (op.exchanges > 0 || op.bytes_shuffled > 0) {
+        double net_us =
+            static_cast<double>(op.bytes_shuffled) /
+                cost_model_.network_bytes_per_second * 1e6 +
+            static_cast<double>(op.exchanges) *
+                cost_model_.exchange_latency_seconds * 1e6;
+        tracer.AddComplete(op.op + ".exchange", "sim.net", max_end, net_us, pid, n_,
+                           {{"bytes", static_cast<int64_t>(op.bytes_shuffled)},
+                            {"rows", static_cast<int64_t>(op.rows_shuffled)}});
+        // An exchange is a barrier: every node resumes after it completes.
+        for (double& c : cursor) c = max_end + net_us;
+      }
+    }
+  }
+
+  Result<DistResult> ExecScan(const PlanNode& node, int op) {
     const PartitionedTable* pt = pdb_.GetTable(node.scan_table);
     if (pt == nullptr) {
       return Status::Invalid("scan: table not in partitioned database");
@@ -159,7 +257,7 @@ class Executor {
       }
       const Partition& part = pt->partition(p);
       const RowBlock& rows = part.rows;
-      Charge(p, rows.num_rows());
+      Charge(op, p, rows.num_rows());
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
       for (size_t r = 0; r < rows.num_rows(); ++r) {
         if (node.scan_has_partner.has_value() &&
@@ -198,8 +296,8 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecFilter(const PlanNode& node) {
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+  Result<DistResult> ExecFilter(const PlanNode& node, int op) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0], op));
     DistResult out = MakeDist(node, n_);
     for (int p = 0; p < n_; ++p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
@@ -214,9 +312,9 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecJoin(const PlanNode& node) {
-    PREF_ASSIGN_OR_RAISE(DistResult left, Exec(*node.children[0]));
-    PREF_ASSIGN_OR_RAISE(DistResult right, Exec(*node.children[1]));
+  Result<DistResult> ExecJoin(const PlanNode& node, int op) {
+    PREF_ASSIGN_OR_RAISE(DistResult left, Exec(*node.children[0], op));
+    PREF_ASSIGN_OR_RAISE(DistResult right, Exec(*node.children[1], op));
     DistResult out = MakeDist(node, n_);
     const auto& ls = node.join_left_slots;
     const auto& rs = node.join_right_slots;
@@ -228,7 +326,7 @@ class Executor {
     ThreadPool::Default().ParallelFor(n_, [&](int p) {
       const RowBlock& l = left.nodes[static_cast<size_t>(p)];
       const RowBlock& r = right.nodes[static_cast<size_t>(p)];
-      Charge(p, l.num_rows() + r.num_rows());
+      Charge(op, p, l.num_rows() + r.num_rows());
       if (l.num_rows() == 0) return;
       // Build on the right side.
       std::unordered_multimap<uint64_t, size_t> build;
@@ -261,21 +359,21 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecRepartition(const PlanNode& node) {
+  Result<DistResult> ExecRepartition(const PlanNode& node, int op) {
     const PlanNode& child = *node.children[0];
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child));
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
     DistResult out = MakeDist(node, n_);
-    stats_.exchanges++;
+    Op(op).exchanges++;
     for (int p = 0; p < n_; ++p) {
       if (child.replicated && p != 0) continue;  // one copy feeds the shuffle
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
-      Charge(p, src.num_rows());
+      Charge(op, p, src.num_rows());
       for (size_t r = 0; r < src.num_rows(); ++r) {
         int target = static_cast<int>(src.HashRow(node.hash_slots, r) %
                                       static_cast<uint64_t>(n_));
         if (target != p) {
-          stats_.rows_shuffled++;
-          stats_.bytes_shuffled += src.RowByteSize(r);
+          Op(op).rows_shuffled++;
+          Op(op).bytes_shuffled += src.RowByteSize(r);
         }
         out.nodes[static_cast<size_t>(target)].AppendRow(src, r);
       }
@@ -283,9 +381,9 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecDupElim(const PlanNode& node) {
+  Result<DistResult> ExecDupElim(const PlanNode& node, int op) {
     const PlanNode& child = *node.children[0];
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child));
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
     DistResult out = MakeDist(node, n_);
     for (int p = 0; p < n_; ++p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
@@ -306,14 +404,14 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecValueDistinct(const PlanNode& node) {
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+  Result<DistResult> ExecValueDistinct(const PlanNode& node, int op) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0], op));
     DistResult out = MakeDist(node, n_);
     std::vector<ColumnId> key_cols(node.project_slots.begin(),
                                    node.project_slots.end());
     for (int p = 0; p < n_; ++p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
-      Charge(p, src.num_rows());
+      Charge(op, p, src.num_rows());
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
       std::unordered_map<uint64_t, std::vector<size_t>> seen;
       for (size_t r = 0; r < src.num_rows(); ++r) {
@@ -334,23 +432,23 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecGather(const PlanNode& node) {
+  Result<DistResult> ExecGather(const PlanNode& node, int op) {
     const PlanNode& child = *node.children[0];
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child));
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
     DistResult out = MakeDist(node, n_);
     if (child.replicated) {
       // One copy is already complete; no network needed.
       out.nodes[0] = std::move(in.nodes[0]);
       return out;
     }
-    stats_.exchanges++;
+    Op(op).exchanges++;
     for (int p = 0; p < n_; ++p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
-      Charge(p, src.num_rows());
+      Charge(op, p, src.num_rows());
       for (size_t r = 0; r < src.num_rows(); ++r) {
         if (p != 0) {
-          stats_.rows_shuffled++;
-          stats_.bytes_shuffled += src.RowByteSize(r);
+          Op(op).rows_shuffled++;
+          Op(op).bytes_shuffled += src.RowByteSize(r);
         }
         out.nodes[0].AppendRow(src, r);
       }
@@ -394,16 +492,16 @@ class Executor {
     }
   }
 
-  Result<DistResult> ExecPartialAgg(const PlanNode& node) {
+  Result<DistResult> ExecPartialAgg(const PlanNode& node, int op) {
     const PlanNode& child = *node.children[0];
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child));
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
     DistResult out = MakeDist(node, n_);
     std::vector<ColumnId> group_cols(node.group_slots.begin(),
                                      node.group_slots.end());
     for (int p = 0; p < n_; ++p) {
       if (child.replicated && p != 0) continue;  // aggregate one copy only
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
-      Charge(p, src.num_rows());
+      Charge(op, p, src.num_rows());
       std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHasher> groups;
       for (size_t r = 0; r < src.num_rows(); ++r) {
         GroupKey key;
@@ -456,15 +554,15 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecFinalAgg(const PlanNode& node) {
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+  Result<DistResult> ExecFinalAgg(const PlanNode& node, int op) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0], op));
     DistResult out = MakeDist(node, n_);
     const size_t k = node.group_slots.size();
     std::vector<ColumnId> group_cols(node.group_slots.begin(),
                                      node.group_slots.end());
     for (int p = 0; p < n_; ++p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
-      Charge(p, src.num_rows());
+      Charge(op, p, src.num_rows());
       if (src.num_rows() == 0) continue;
       // Merge partial states per group.
       std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHasher> groups;
@@ -553,13 +651,13 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecSort(const PlanNode& node) {
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+  Result<DistResult> ExecSort(const PlanNode& node, int op) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0], op));
     DistResult out = MakeDist(node, n_);
     for (int p = 0; p < n_; ++p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       if (src.num_rows() == 0) continue;
-      Charge(p, src.num_rows());
+      Charge(op, p, src.num_rows());
       std::vector<size_t> order(src.num_rows());
       for (size_t i = 0; i < order.size(); ++i) order[i] = i;
       std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -581,8 +679,8 @@ class Executor {
     return out;
   }
 
-  Result<DistResult> ExecProject(const PlanNode& node) {
-    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0]));
+  Result<DistResult> ExecProject(const PlanNode& node, int op) {
+    PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0], op));
     DistResult out = MakeDist(node, n_);
     for (int p = 0; p < n_; ++p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
@@ -602,6 +700,14 @@ class Executor {
   const CostModel& cost_model_;
   int n_ = 0;
   ExecStats stats_;
+  /// Per-operator accounting, indexed by pre-order plan position. Entries
+  /// are appended before children run, so parent links always resolve; the
+  /// join fan-out only writes disjoint node_rows slots of its own entry.
+  std::vector<OperatorStats> ops_;
+  /// Operator indexes in execution-completion (post-order) order — the
+  /// order work would flow through a real cluster; drives the simulated
+  /// timeline export.
+  std::vector<int> exec_order_;
 };
 
 }  // namespace
@@ -616,8 +722,19 @@ Result<QueryResult> ExecuteQuery(const QuerySpec& query,
                                  const PartitionedDatabase& pdb,
                                  const QueryOptions& options,
                                  const CostModel& cost_model) {
-  PREF_ASSIGN_OR_RAISE(auto plan, RewriteQuery(query, pdb, options));
-  return ExecutePlan(*plan, pdb, cost_model);
+  Stopwatch timer;
+  TraceSpan span("ExecuteQuery", "engine");
+  auto plan = [&] {
+    TraceSpan rewrite_span("Rewrite", "engine");
+    return RewriteQuery(query, pdb, options);
+  }();
+  PREF_RETURN_NOT_OK(plan.status());
+  PREF_ASSIGN_OR_RAISE(QueryResult result, ExecutePlan(**plan, pdb, cost_model));
+  // Consistent meaning across both entry points: wall_seconds covers
+  // everything the caller asked for — rewrite + execution here, execution
+  // only in ExecutePlan.
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
 }
 
 }  // namespace pref

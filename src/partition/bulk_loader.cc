@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <numeric>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "partition/partitioner.h"
 
 namespace pref {
@@ -86,6 +89,8 @@ Result<BulkLoadStats> BulkLoader::Append(PartitionedDatabase* pdb, TableId id,
   const size_t rows = new_rows.num_rows();
   BulkLoadStats stats;
   stats.rows_inserted = rows;
+  TraceSpan load_span("BulkLoad", "load");
+  load_span.AddArg("rows", static_cast<int64_t>(rows));
 
   // ---------------------------------------------------------------- Phase 1
   // Route: the ordered partition list of every input row. Read-only against
@@ -96,111 +101,115 @@ Result<BulkLoadStats> BulkLoader::Append(PartitionedDatabase* pdb, TableId id,
   const bool is_pref = spec.method == PartitionMethod::kPref;
   std::vector<uint8_t> has_partner;  // per input row; PREF only
 
-  switch (spec.method) {
-    case PartitionMethod::kHash: {
-      ForChunks(parallel_, rows, [&](int, size_t begin, size_t end) {
-        for (size_t r = begin; r < end; ++r) {
-          placements[r].push_back(
-              static_cast<int>(new_rows.HashRow(spec.attributes, r) %
-                               static_cast<uint64_t>(n)));
-        }
-      });
-      break;
-    }
-    case PartitionMethod::kRange: {
-      if (spec.attributes.empty()) {
-        return Status::Invalid("RANGE spec of table '", table->name(),
-                               "' has no partitioning attribute");
-      }
-      if (spec.range_bounds.size() + 1 != static_cast<size_t>(n)) {
-        return Status::Invalid("RANGE spec of table '", table->name(), "' has ",
-                               spec.range_bounds.size(), " bounds for ", n,
-                               " partitions (want ", n - 1, ")");
-      }
-      const Column& col = new_rows.column(spec.attributes[0]);
-      const auto& bounds = spec.range_bounds;
-      ForChunks(parallel_, rows, [&](int, size_t begin, size_t end) {
-        for (size_t r = begin; r < end; ++r) {
-          const Value v = col.GetValue(r);
-          // First bound strictly greater than v == the owning partition
-          // (partition i holds bounds[i-1] <= v < bounds[i]).
-          placements[r].push_back(static_cast<int>(
-              std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin()));
-        }
-      });
-      break;
-    }
-    case PartitionMethod::kRoundRobin: {
-      int next = static_cast<int>(table->TotalRows() % static_cast<size_t>(n));
-      for (size_t r = 0; r < rows; ++r) {
-        placements[r].push_back(next);
-        next = (next + 1) % n;
-      }
-      break;
-    }
-    case PartitionMethod::kReplicated: {
-      ForChunks(parallel_, rows, [&](int, size_t begin, size_t end) {
-        for (size_t r = begin; r < end; ++r) {
-          placements[r].resize(static_cast<size_t>(n));
-          std::iota(placements[r].begin(), placements[r].end(), 0);
-        }
-      });
-      break;
-    }
-    case PartitionMethod::kPref: {
-      PartitionedTable* ref = pdb->GetTable(spec.referenced_table);
-      if (ref == nullptr) {
-        return Status::Invalid("PREF-referenced table of '", table->name(),
-                               "' missing from partitioned database");
-      }
-      const auto& ref_cols = spec.predicate->right_columns;
-      const PartitionIndex* index = nullptr;
-      if (use_partition_index_) {
-        // Built (serially) before the fan-out; afterwards it is only read.
-        index = ref->FindPartitionIndex(ref_cols);
-        if (index == nullptr) index = BuildPartitionIndex(ref, ref_cols);
-      }
-      has_partner.assign(rows, 0);
-      // Per-chunk counters: chunk indexes are dense in [0, lanes), so each
-      // routing task owns one slot and the hot loop shares no counters.
-      const size_t lanes = parallel_
-          ? static_cast<size_t>(ThreadPool::Default().num_threads())
-          : 1;
-      std::vector<size_t> lookups(lanes, 0);
-      std::vector<size_t> probes(lanes, 0);
-      ForChunks(parallel_, rows, [&](int chunk, size_t begin, size_t end) {
-        for (size_t r = begin; r < end; ++r) {
-          std::vector<int> parts;
-          if (index != nullptr) {
-            ++lookups[static_cast<size_t>(chunk)];
-            parts = index->Lookup(KeyOf(new_rows, spec.attributes, r));
-          } else {
-            parts = ScanForPartners(*ref, ref_cols, new_rows, spec.attributes, r,
-                                    &probes[static_cast<size_t>(chunk)]);
+  {
+    ScopedTimer route_timer(&stats.route_seconds);
+    TraceSpan route_span("BulkLoad.route", "load");
+    switch (spec.method) {
+      case PartitionMethod::kHash: {
+        ForChunks(parallel_, rows, [&](int, size_t begin, size_t end) {
+          for (size_t r = begin; r < end; ++r) {
+            placements[r].push_back(
+                static_cast<int>(new_rows.HashRow(spec.attributes, r) %
+                                 static_cast<uint64_t>(n)));
           }
-          if (!parts.empty()) {
-            placements[r] = std::move(parts);
-            has_partner[r] = 1;
-          }
+        });
+        break;
+      }
+      case PartitionMethod::kRange: {
+        if (spec.attributes.empty()) {
+          return Status::Invalid("RANGE spec of table '", table->name(),
+                                 "' has no partitioning attribute");
         }
-      });
-      stats.index_lookups = std::accumulate(lookups.begin(), lookups.end(),
+        if (spec.range_bounds.size() + 1 != static_cast<size_t>(n)) {
+          return Status::Invalid("RANGE spec of table '", table->name(), "' has ",
+                                 spec.range_bounds.size(), " bounds for ", n,
+                                 " partitions (want ", n - 1, ")");
+        }
+        const Column& col = new_rows.column(spec.attributes[0]);
+        const auto& bounds = spec.range_bounds;
+        ForChunks(parallel_, rows, [&](int, size_t begin, size_t end) {
+          for (size_t r = begin; r < end; ++r) {
+            const Value v = col.GetValue(r);
+            // First bound strictly greater than v == the owning partition
+            // (partition i holds bounds[i-1] <= v < bounds[i]).
+            placements[r].push_back(static_cast<int>(
+                std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin()));
+          }
+        });
+        break;
+      }
+      case PartitionMethod::kRoundRobin: {
+        int next = static_cast<int>(table->TotalRows() % static_cast<size_t>(n));
+        for (size_t r = 0; r < rows; ++r) {
+          placements[r].push_back(next);
+          next = (next + 1) % n;
+        }
+        break;
+      }
+      case PartitionMethod::kReplicated: {
+        ForChunks(parallel_, rows, [&](int, size_t begin, size_t end) {
+          for (size_t r = begin; r < end; ++r) {
+            placements[r].resize(static_cast<size_t>(n));
+            std::iota(placements[r].begin(), placements[r].end(), 0);
+          }
+        });
+        break;
+      }
+      case PartitionMethod::kPref: {
+        PartitionedTable* ref = pdb->GetTable(spec.referenced_table);
+        if (ref == nullptr) {
+          return Status::Invalid("PREF-referenced table of '", table->name(),
+                                 "' missing from partitioned database");
+        }
+        const auto& ref_cols = spec.predicate->right_columns;
+        const PartitionIndex* index = nullptr;
+        if (use_partition_index_) {
+          // Built (serially) before the fan-out; afterwards it is only read.
+          index = ref->FindPartitionIndex(ref_cols);
+          if (index == nullptr) index = BuildPartitionIndex(ref, ref_cols);
+        }
+        has_partner.assign(rows, 0);
+        // Per-chunk counters: chunk indexes are dense in [0, lanes), so each
+        // routing task owns one slot and the hot loop shares no counters.
+        const size_t lanes = parallel_
+            ? static_cast<size_t>(ThreadPool::Default().num_threads())
+            : 1;
+        std::vector<size_t> lookups(lanes, 0);
+        std::vector<size_t> probes(lanes, 0);
+        ForChunks(parallel_, rows, [&](int chunk, size_t begin, size_t end) {
+          for (size_t r = begin; r < end; ++r) {
+            std::vector<int> parts;
+            if (index != nullptr) {
+              ++lookups[static_cast<size_t>(chunk)];
+              parts = index->Lookup(KeyOf(new_rows, spec.attributes, r));
+            } else {
+              parts = ScanForPartners(*ref, ref_cols, new_rows, spec.attributes, r,
+                                      &probes[static_cast<size_t>(chunk)]);
+            }
+            if (!parts.empty()) {
+              placements[r] = std::move(parts);
+              has_partner[r] = 1;
+            }
+          }
+        });
+        stats.index_lookups = std::accumulate(lookups.begin(), lookups.end(),
+                                              size_t{0});
+        stats.scan_probes = std::accumulate(probes.begin(), probes.end(),
                                             size_t{0});
-      stats.scan_probes = std::accumulate(probes.begin(), probes.end(),
-                                          size_t{0});
-      // Orphans (no partitioning partner) go round-robin, replayed in row
-      // order so the result matches a serial load exactly.
-      int next_rr = static_cast<int>(table->TotalRows() % static_cast<size_t>(n));
-      for (size_t r = 0; r < rows; ++r) {
-        if (placements[r].empty()) {
-          placements[r].push_back(next_rr);
-          next_rr = (next_rr + 1) % n;
+        // Orphans (no partitioning partner) go round-robin, replayed in row
+        // order so the result matches a serial load exactly.
+        int next_rr = static_cast<int>(table->TotalRows() % static_cast<size_t>(n));
+        for (size_t r = 0; r < rows; ++r) {
+          if (placements[r].empty()) {
+            placements[r].push_back(next_rr);
+            next_rr = (next_rr + 1) % n;
+          }
         }
+        break;
       }
-      break;
+      case PartitionMethod::kNone:
+        return Status::Invalid("table '", table->name(), "' has no partitioning");
     }
-    case PartitionMethod::kNone:
-      return Status::Invalid("table '", table->name(), "' has no partitioning");
   }
 
   // ---------------------------------------------------------------- Phase 2
@@ -208,39 +217,66 @@ Result<BulkLoadStats> BulkLoader::Append(PartitionedDatabase* pdb, TableId id,
   // then fan out per partition. Each task exclusively owns its partition's
   // RowBlock and dup/hasS bitmaps — no locks on the data path — and appends
   // in input-row order, matching the serial loop byte for byte.
-  std::vector<std::vector<Copy>> per_part(static_cast<size_t>(n));
-  for (auto& list : per_part) list.reserve(rows / static_cast<size_t>(n) + 1);
-  for (size_t r = 0; r < rows; ++r) {
-    const auto& parts = placements[r];
-    for (size_t k = 0; k < parts.size(); ++k) {
-      per_part[static_cast<size_t>(parts[k])].push_back(Copy{r, k > 0});
-    }
-    stats.copies_written += parts.size();
-  }
-  ForEach(parallel_, n, [&](int p) {
-    Partition& part = table->partition(p);
-    const auto& list = per_part[static_cast<size_t>(p)];
-    part.rows.Reserve(part.rows.num_rows() + list.size());
-    for (const Copy& c : list) {
-      part.rows.AppendRow(new_rows, c.row);
-      if (is_pref) {
-        part.dup.PushBack(c.dup);
-        part.has_partner.PushBack(has_partner[c.row] != 0);
+  {
+    ScopedTimer append_timer(&stats.append_seconds);
+    TraceSpan append_span("BulkLoad.append", "load");
+    std::vector<std::vector<Copy>> per_part(static_cast<size_t>(n));
+    for (auto& list : per_part) list.reserve(rows / static_cast<size_t>(n) + 1);
+    for (size_t r = 0; r < rows; ++r) {
+      const auto& parts = placements[r];
+      for (size_t k = 0; k < parts.size(); ++k) {
+        per_part[static_cast<size_t>(parts[k])].push_back(Copy{r, k > 0});
       }
+      stats.copies_written += parts.size();
     }
-  });
+    ForEach(parallel_, n, [&](int p) {
+      Partition& part = table->partition(p);
+      const auto& list = per_part[static_cast<size_t>(p)];
+      part.rows.Reserve(part.rows.num_rows() + list.size());
+      for (const Copy& c : list) {
+        part.rows.AppendRow(new_rows, c.row);
+        if (is_pref) {
+          part.dup.PushBack(c.dup);
+          part.has_partner.PushBack(has_partner[c.row] != 0);
+        }
+      }
+    });
+  }
 
   // ---------------------------------------------------------------- Phase 3
   // Maintain the partition indexes registered on this table (so later PREF
   // loads that reference it stay correct). Each task exclusively owns one
   // index and inserts in row order — same structure as a serial load.
-  auto& indexes = table->indexes();
-  ForEach(parallel_, static_cast<int>(indexes.size()), [&](int i) {
-    auto& [cols, idx] = indexes[static_cast<size_t>(i)];
-    for (size_t r = 0; r < rows; ++r) {
-      for (int p : placements[r]) idx->Add(KeyOf(new_rows, cols, r), p);
-    }
-  });
+  {
+    ScopedTimer index_timer(&stats.index_seconds);
+    TraceSpan index_span("BulkLoad.index", "load");
+    auto& indexes = table->indexes();
+    ForEach(parallel_, static_cast<int>(indexes.size()), [&](int i) {
+      auto& [cols, idx] = indexes[static_cast<size_t>(i)];
+      for (size_t r = 0; r < rows; ++r) {
+        for (int p : placements[r]) idx->Add(KeyOf(new_rows, cols, r), p);
+      }
+    });
+  }
+
+  // Registry counters mirror the returned stats so bench --json snapshots
+  // and long-running loads can be inspected without plumbing BulkLoadStats.
+  static Counter& rows_inserted_ctr =
+      MetricsRegistry::Default().GetCounter("load.rows_inserted");
+  static Counter& copies_written_ctr =
+      MetricsRegistry::Default().GetCounter("load.copies_written");
+  static Counter& index_lookups_ctr =
+      MetricsRegistry::Default().GetCounter("load.index_lookups");
+  static Counter& scan_probes_ctr =
+      MetricsRegistry::Default().GetCounter("load.scan_probes");
+  static Histogram& load_seconds_hist =
+      MetricsRegistry::Default().GetHistogram("load.append_seconds");
+  rows_inserted_ctr.Add(stats.rows_inserted);
+  copies_written_ctr.Add(stats.copies_written);
+  index_lookups_ctr.Add(stats.index_lookups);
+  scan_probes_ctr.Add(stats.scan_probes);
+  load_seconds_hist.Observe(stats.route_seconds + stats.append_seconds +
+                            stats.index_seconds);
   return stats;
 }
 

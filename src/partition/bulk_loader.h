@@ -34,6 +34,11 @@ struct BulkLoadStats {
   size_t copies_written = 0;  // physical copies (>= rows_inserted for PREF)
   size_t index_lookups = 0;   // partition-index probes
   size_t scan_probes = 0;     // rows scanned by the naive (no-index) path
+  // Wall-clock per load phase (route / append / index maintenance), captured
+  // by ScopedTimer. route + append + index <= total load wall time.
+  double route_seconds = 0;
+  double append_seconds = 0;
+  double index_seconds = 0;
 };
 
 class BulkLoader {

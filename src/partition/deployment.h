@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "partition/config.h"
-#include "partition/metrics.h"
+#include "partition/locality.h"
 #include "partition/partitioner.h"
 
 namespace pref {

@@ -1,4 +1,4 @@
-#include "partition/metrics.h"
+#include "partition/locality.h"
 
 #include <algorithm>
 

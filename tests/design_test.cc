@@ -12,7 +12,7 @@
 #include "design/estimator.h"
 #include "design/schema_graph.h"
 #include "design/sd_design.h"
-#include "partition/metrics.h"
+#include "partition/locality.h"
 #include "partition/partitioner.h"
 #include "test_util.h"
 

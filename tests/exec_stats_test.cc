@@ -1,0 +1,168 @@
+// Tests for the per-operator ExecStats breakdown: operator entries form a
+// valid pre-order tree, their totals sum exactly to the aggregate fields
+// (they are derived by folding, so this guards the derivation), Merge()
+// accumulates across queries, and the executor's simulated timeline
+// exports one span per operator per node.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/trace.h"
+#include "datagen/tpch_gen.h"
+#include "engine/executor.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+#include "workloads/tpch_queries.h"
+
+namespace pref {
+namespace {
+
+class ExecStatsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = GenerateTpch({0.002, 42});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = new Database(std::move(*db));
+    auto config = MakeTpchSdManual(db_->schema(), 4);
+    auto pdb = PartitionDatabase(*db_, config);
+    ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+    pdb_ = pdb->release();
+  }
+  static void TearDownTestSuite() {
+    delete pdb_;
+    delete db_;
+    pdb_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static PartitionedDatabase* pdb_;
+};
+
+Database* ExecStatsTest::db_ = nullptr;
+PartitionedDatabase* ExecStatsTest::pdb_ = nullptr;
+
+void ExpectBreakdownSumsToAggregates(const ExecStats& stats) {
+  ASSERT_FALSE(stats.operators.empty());
+  size_t bytes = 0, rows_shuffled = 0, rows_processed = 0;
+  int exchanges = 0;
+  std::vector<size_t> node_rows(stats.node_rows.size(), 0);
+  for (const auto& op : stats.operators) {
+    bytes += op.bytes_shuffled;
+    rows_shuffled += op.rows_shuffled;
+    rows_processed += op.rows_processed;
+    exchanges += op.exchanges;
+    ASSERT_LE(op.node_rows.size(), node_rows.size());
+    for (size_t p = 0; p < op.node_rows.size(); ++p) {
+      node_rows[p] += op.node_rows[p];
+    }
+    // rows_processed of one operator is by definition the sum of its
+    // per-node charges.
+    size_t own = 0;
+    for (size_t r : op.node_rows) own += r;
+    EXPECT_EQ(op.rows_processed, own) << op.op;
+  }
+  EXPECT_EQ(bytes, stats.bytes_shuffled);
+  EXPECT_EQ(rows_shuffled, stats.rows_shuffled);
+  EXPECT_EQ(rows_processed, stats.total_rows_processed);
+  EXPECT_EQ(exchanges, stats.exchanges);
+  EXPECT_EQ(node_rows, stats.node_rows);
+}
+
+TEST_F(ExecStatsTest, BreakdownSumsExactlyToAggregates) {
+  auto queries = TpchQueries(db_->schema());
+  // Q3 (multi-join) and Q6 (single-table filter) exercise different plan
+  // shapes.
+  for (size_t i : {2u, 5u}) {
+    auto r = ExecuteQuery(queries[i], *pdb_);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectBreakdownSumsToAggregates(r->stats);
+  }
+}
+
+TEST_F(ExecStatsTest, OperatorsFormPreOrderTree) {
+  auto queries = TpchQueries(db_->schema());
+  auto r = ExecuteQuery(queries[2], *pdb_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& ops = r->stats.operators;
+  ASSERT_FALSE(ops.empty());
+  EXPECT_EQ(ops[0].parent, -1);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].index, static_cast<int>(i));
+    EXPECT_FALSE(ops[i].op.empty());
+    if (i > 0) {
+      // Pre-order: every non-root operator's parent precedes it.
+      EXPECT_GE(ops[i].parent, 0);
+      EXPECT_LT(ops[i].parent, static_cast<int>(i));
+    }
+  }
+}
+
+TEST_F(ExecStatsTest, WallSecondsIsPopulated) {
+  auto queries = TpchQueries(db_->schema());
+  auto r = ExecuteQuery(queries[2], *pdb_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->stats.wall_seconds, 0.0);
+}
+
+TEST(ExecStatsMerge, SumsAggregatesAndAppendsOperators) {
+  ExecStats a, b;
+  a.bytes_shuffled = 100;
+  a.rows_shuffled = 10;
+  a.exchanges = 1;
+  a.total_rows_processed = 50;
+  a.wall_seconds = 0.5;
+  a.node_rows = {30, 20};
+  a.operators.resize(2);
+  b.bytes_shuffled = 7;
+  b.rows_shuffled = 3;
+  b.exchanges = 2;
+  b.total_rows_processed = 9;
+  b.wall_seconds = 0.25;
+  b.node_rows = {4, 5, 6};  // wider than a: element-wise with resize
+  b.operators.resize(1);
+  a.Merge(b);
+  EXPECT_EQ(a.bytes_shuffled, 107u);
+  EXPECT_EQ(a.rows_shuffled, 13u);
+  EXPECT_EQ(a.exchanges, 3);
+  EXPECT_EQ(a.total_rows_processed, 59u);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 0.75);
+  ASSERT_EQ(a.node_rows.size(), 3u);
+  EXPECT_EQ(a.node_rows[0], 34u);
+  EXPECT_EQ(a.node_rows[1], 25u);
+  EXPECT_EQ(a.node_rows[2], 6u);
+  EXPECT_EQ(a.operators.size(), 3u);
+}
+
+#if PREF_METRICS
+TEST_F(ExecStatsTest, SimulatedTimelineEmitsOneSpanPerOperatorPerNode) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  auto queries = TpchQueries(db_->schema());
+  auto r = ExecuteQuery(queries[2], *pdb_);
+  tracer.SetEnabled(false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string json = os.str();
+  tracer.Clear();
+  ASSERT_TRUE(JsonValidator::Valid(json));
+
+  size_t node_spans = 0;
+  const std::string needle = "\"cat\":\"sim.node\"";
+  for (size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + needle.size())) {
+    ++node_spans;
+  }
+  const size_t nodes = r->stats.node_rows.size();
+  EXPECT_EQ(node_spans, r->stats.operators.size() * nodes);
+}
+#endif  // PREF_METRICS
+
+}  // namespace
+}  // namespace pref

@@ -10,7 +10,7 @@
 #include "catalog/tpch_schema.h"
 #include "datagen/tpch_gen.h"
 #include "partition/deployment.h"
-#include "partition/metrics.h"
+#include "partition/locality.h"
 #include "partition/partitioner.h"
 #include "partition/presets.h"
 #include "test_util.h"

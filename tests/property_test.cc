@@ -11,7 +11,7 @@
 #include "design/estimator.h"
 #include "engine/executor.h"
 #include "partition/bulk_loader.h"
-#include "partition/metrics.h"
+#include "partition/locality.h"
 #include "partition/partitioner.h"
 #include "partition/presets.h"
 #include "test_util.h"

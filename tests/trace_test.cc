@@ -1,0 +1,117 @@
+// Tests for the span tracer: RAII spans nest on the wall-clock timeline,
+// the exporter emits Chrome trace-event JSON the minimal checker accepts,
+// and disabled tracers record nothing.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace pref {
+namespace {
+
+/// Number of non-overlapping occurrences of `needle` in `s`.
+size_t CountOf(const std::string& s, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer;
+  {
+    TraceSpan span("outer", "test", &tracer);
+    span.AddArg("k", 1);
+  }
+  tracer.AddComplete("x", "test", 0, 10, Tracer::kSimulatedPid, 0);
+  EXPECT_EQ(tracer.EventCount(), 0u);
+}
+
+#if PREF_METRICS
+TEST(Tracer, SpansNest) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  {
+    TraceSpan outer("outer", "test", &tracer);
+    { TraceSpan inner("inner", "test", &tracer); }
+  }
+  ASSERT_EQ(tracer.EventCount(), 2u);
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(JsonValidator::Valid(json)) << json;
+  // Both spans exported on the same process-pid track; the inner span was
+  // recorded first (destroyed first).
+  size_t inner = json.find("\"inner\"");
+  size_t outer = json.find("\"outer\"");
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(outer, std::string::npos);
+  EXPECT_LT(inner, outer);
+  EXPECT_EQ(CountOf(json, "\"ph\":\"X\""), 2u);
+}
+
+TEST(Tracer, SpanArgsAreExported) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  {
+    TraceSpan span("load", "test", &tracer);
+    span.AddArg("rows", 123);
+  }
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  EXPECT_NE(os.str().find("\"rows\":123"), std::string::npos) << os.str();
+}
+
+TEST(Tracer, ExportsTopLevelTraceEventsObject) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  tracer.SetTrackName(Tracer::kSimulatedPid, 0, "node-0");
+  tracer.AddComplete("scan", "sim.node", 0, 100, Tracer::kSimulatedPid, 0,
+                     {{"rows", 42}});
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  std::vector<std::string> keys;
+  ASSERT_TRUE(JsonValidator::Valid(os.str(), &keys)) << os.str();
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys[0], "traceEvents");
+  // Track-name metadata plus the complete event.
+  EXPECT_NE(os.str().find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"node-0\""), std::string::npos);
+}
+
+TEST(Tracer, ClearDropsEvents) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  { TraceSpan span("s", "test", &tracer); }
+  EXPECT_EQ(tracer.EventCount(), 1u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.EventCount(), 0u);
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  EXPECT_TRUE(JsonValidator::Valid(os.str()));
+}
+
+TEST(Tracer, SpansFromMultipleThreadsGetDistinctTids) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  std::thread other([&] { TraceSpan span("other-thread", "test", &tracer); });
+  other.join();
+  { TraceSpan span("main-thread", "test", &tracer); }
+  EXPECT_EQ(tracer.EventCount(), 2u);
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  ASSERT_TRUE(JsonValidator::Valid(os.str()));
+}
+#endif  // PREF_METRICS
+
+}  // namespace
+}  // namespace pref
