@@ -38,7 +38,9 @@
 
 namespace pref {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. All methods are thread-safe;
+/// Add is one relaxed atomic add. With PREF_METRICS=0 Add is an empty
+/// inline no-op and Get always returns 0.
 class Counter {
  public:
   void Add(uint64_t delta = 1) {
@@ -55,7 +57,9 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
-/// Point-in-time signed value; SetMax maintains a high-water mark.
+/// Point-in-time signed value; SetMax maintains a high-water mark via a
+/// lock-free CAS loop. All methods are thread-safe (relaxed atomics);
+/// with PREF_METRICS=0 the mutators are no-ops and Get returns 0.
 class Gauge {
  public:
   void Set(int64_t v) {
@@ -105,6 +109,9 @@ class Histogram {
   /// Exponential 1us .. 100s grid, for latencies observed in seconds.
   static std::vector<double> DefaultLatencyBounds();
 
+  /// Thread-safe: one relaxed fetch_add on the bucket plus a CAS loop on
+  /// the running sum's bit pattern (no locks, no allocation). A no-op
+  /// with PREF_METRICS=0.
   void Observe(double value) {
 #if PREF_METRICS
     buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <string>
@@ -135,6 +136,55 @@ void ThreadPool::ParallelForChunks(
     }
     join.Finish(err);
   }
+  std::unique_lock<std::mutex> lock(join.mu);
+  join.done.wait(lock, [&join] { return join.remaining == 0; });
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+void ThreadPool::ParallelForMorsels(
+    size_t n, size_t morsel_size,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (morsel_size == 0) morsel_size = 1;
+  const size_t morsels = (n + morsel_size - 1) / morsel_size;
+  auto run = [&body, n, morsel_size](size_t m) {
+    const size_t begin = m * morsel_size;
+    body(m, begin, std::min(n, begin + morsel_size));
+  };
+  const int lanes = num_threads();
+  if (lanes <= 1 || morsels == 1 || OnWorkerThread()) {
+    for (size_t m = 0; m < morsels; ++m) run(m);
+    return;
+  }
+  // Dynamic scheduling: one worker closure per lane, each draining the
+  // shared morsel cursor until empty. All state lives on this frame; the
+  // ForkJoin wait below keeps it alive until every lane finished.
+  std::atomic<size_t> next{0};
+  ForkJoin join;
+  const int tasks = static_cast<int>(
+      std::min<size_t>(morsels, static_cast<size_t>(lanes)));
+  join.remaining = tasks;
+  auto drain = [&join, &next, &run, morsels] {
+    std::exception_ptr err;
+    try {
+      for (size_t m = next.fetch_add(1, std::memory_order_relaxed); m < morsels;
+           m = next.fetch_add(1, std::memory_order_relaxed)) {
+        run(m);
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+    join.Finish(err);
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int t = 1; t < tasks; ++t) queue_.emplace_back(drain);
+#if PREF_METRICS
+    queue_depth_->SetMax(static_cast<int64_t>(queue_.size()));
+#endif
+  }
+  cv_.notify_all();
+  drain();  // the caller is a lane too
   std::unique_lock<std::mutex> lock(join.mu);
   join.done.wait(lock, [&join] { return join.remaining == 0; });
   if (join.error) std::rethrow_exception(join.error);

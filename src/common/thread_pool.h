@@ -59,9 +59,27 @@ class ThreadPool {
   /// Chunked variant: splits [0, n) into at most num_threads() contiguous
   /// ranges and runs body(chunk_index, begin, end) for each. chunk_index is
   /// dense in [0, chunks_used) so callers can keep per-chunk accumulators
-  /// (e.g. probe counters) without sharing or locks.
+  /// (e.g. probe counters) without sharing or locks. Chunk boundaries
+  /// depend on the pool width; use ParallelForMorsels when downstream
+  /// logic must not observe the thread count.
   void ParallelForChunks(
       size_t n, const std::function<void(int chunk, size_t begin, size_t end)>& body);
+
+  /// Morsel-driven variant: splits [0, n) into fixed-size ranges of
+  /// `morsel_size` iterations (the last one ragged) and executes
+  /// body(morsel_index, begin, end) for each with *dynamic* scheduling —
+  /// up to num_threads() lanes pull the next unclaimed morsel from a shared
+  /// atomic cursor, so skewed morsels load-balance instead of serializing a
+  /// lane. Unlike ParallelForChunks, morsel boundaries depend only on `n`
+  /// and `morsel_size`, never on the pool width: callers that keep
+  /// per-morsel partial state (selection bitmap slices, partial hash
+  /// tables) and combine it in morsel order get results that are invariant
+  /// across thread counts. Any given morsel runs exactly once, on one lane;
+  /// the first exception is rethrown after all lanes drain (morsels not yet
+  /// claimed by the throwing lane still run on the others).
+  void ParallelForMorsels(
+      size_t n, size_t morsel_size,
+      const std::function<void(size_t morsel, size_t begin, size_t end)>& body);
 
   /// Concurrency the default pool is built with: PREF_THREADS when set to a
   /// positive integer, else hardware_concurrency(), else 1.

@@ -12,6 +12,12 @@ namespace pref {
 
 namespace {
 
+/// Rows per morsel for intra-node parallelism (scan selection, aggregation
+/// grouping). Fixed — never derived from the thread count — so morsel
+/// boundaries, and therefore fold order, are a pure function of the data
+/// and results are identical for any pool width (DESIGN.md §7).
+constexpr size_t kMorselRows = 4096;
+
 /// Per-node materialized blocks of one operator's output.
 struct DistResult {
   std::vector<RowBlock> nodes;
@@ -84,10 +90,23 @@ struct AggState {
   Value min_v, max_v;
 };
 
+/// One aggregation group: its dense id (first-occurrence order) and its
+/// rows in ascending source-row order.
+struct GroupSlot {
+  size_t gid = 0;
+  std::vector<size_t> rows;
+};
+
+/// Keys are inserted in global first-occurrence row order — the exact
+/// insertion sequence a serial row loop produces — so map iteration order,
+/// and therefore output row order, matches the serial path bit for bit.
+using GroupMap = std::unordered_map<GroupKey, GroupSlot, GroupKeyHasher>;
+
 class Executor {
  public:
-  Executor(const PartitionedDatabase& pdb, const CostModel& cost_model)
-      : pdb_(pdb), cost_model_(cost_model) {}
+  Executor(const PartitionedDatabase& pdb, const CostModel& cost_model,
+           ThreadPool* pool)
+      : pdb_(pdb), cost_model_(cost_model), pool_(pool) {}
 
   Result<QueryResult> Run(const PlanNode& root) {
     Stopwatch timer;
@@ -148,7 +167,10 @@ class Executor {
 
   /// Dispatches one plan node: registers its OperatorStats entry (pre-order
   /// index, parent link), runs the operator, and credits its output rows to
-  /// the parent's rows_in. Every Exec* only touches its own entry.
+  /// the parent's rows_in. Every Exec* only touches its own entry, and an
+  /// operator's internal fan-out only writes disjoint node_rows slots of
+  /// that entry — the recursion itself stays on the calling thread, so
+  /// `ops_` never reallocates under a concurrent writer.
   Result<DistResult> Exec(const PlanNode& node, int parent) {
     const int idx = static_cast<int>(ops_.size());
     {
@@ -200,6 +222,11 @@ class Executor {
     return Status::Internal("unknown operator");
   }
 
+  /// Runs fn(p) for every simulated node concurrently on the pool. Safe for
+  /// operator bodies that touch only their own node's input/output blocks
+  /// and their own node_rows slot (all per-node operators here qualify).
+  void ForEachNode(const std::function<void(int)>& fn) { pool_->ParallelFor(n_, fn); }
+
   /// Lays the finished query out on a simulated-cluster timeline: one span
   /// per operator per node (CPU share at the cost model's throughput) on
   /// pid kSimulatedPid with one track per node, plus exchange spans on a
@@ -242,6 +269,14 @@ class Executor {
     }
   }
 
+  /// Morsel-parallel table scan. Two phases:
+  ///   1. Select — each partition's rows are chunked into fixed-size
+  ///      morsels; every morsel evaluates the pushed-down predicates
+  ///      (hasS restriction + scan filter) into its own disjoint slice of
+  ///      the partition's selection bitmap. No locks, no shared writes.
+  ///   2. Append — one task per partition, exclusively owning its output
+  ///      block, materializes the selected rows in row order.
+  /// Output is therefore identical to a serial scan for any thread count.
   Result<DistResult> ExecScan(const PlanNode& node, int op) {
     const PartitionedTable* pt = pdb_.GetTable(node.scan_table);
     if (pt == nullptr) {
@@ -249,57 +284,93 @@ class Executor {
     }
     DistResult out = MakeDist(node, n_);
     const size_t base_cols = node.project_slots.size();
+
+    // The scanned partitions (partition pruning applied).
+    std::vector<int> parts;
     for (int p = 0; p < pt->num_partitions(); ++p) {
       if (!node.scan_partitions.empty() &&
           std::find(node.scan_partitions.begin(), node.scan_partitions.end(), p) ==
               node.scan_partitions.end()) {
         continue;
       }
-      const Partition& part = pt->partition(p);
-      const RowBlock& rows = part.rows;
-      Charge(op, p, rows.num_rows());
-      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
-      for (size_t r = 0; r < rows.num_rows(); ++r) {
-        if (node.scan_has_partner.has_value() &&
-            part.has_partner.Get(r) != *node.scan_has_partner) {
-          continue;
-        }
-        // Filter is bound to base-table column ids.
-        if (!node.scan_filter.empty()) {
-          bool keep = false;
-          for (const auto& conj : node.scan_filter.disjuncts) {
-            bool all = true;
-            for (const auto& pred : conj) {
-              Value v = rows.column(pred.slot).GetValue(r);
-              if (!CompareValues(v, pred.op, pred.value, pred.value_hi)) {
-                all = false;
-                break;
-              }
-            }
-            if (all) {
-              keep = true;
-              break;
-            }
-          }
-          if (!keep) continue;
-        }
-        for (size_t i = 0; i < base_cols; ++i) {
-          dst.column(static_cast<int>(i))
-              .AppendFrom(rows.column(node.project_slots[i]), r);
-        }
-        if (node.scan_attach_dup) {
-          dst.column(static_cast<int>(base_cols))
-              .AppendInt64(part.dup.empty() ? 0 : (part.dup.Get(r) ? 1 : 0));
-        }
+      parts.push_back(p);
+    }
+
+    struct Morsel {
+      int part;  // index into `parts`
+      size_t begin;
+      size_t end;
+    };
+    std::vector<Morsel> morsels;
+    std::vector<std::vector<uint8_t>> sel(parts.size());
+    size_t rows_total = 0;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      const size_t rows = pt->partition(parts[i]).rows.num_rows();
+      sel[i].assign(rows, 0);
+      rows_total += rows;
+      for (size_t b = 0; b < rows; b += kMorselRows) {
+        morsels.push_back(
+            {static_cast<int>(i), b, std::min(rows, b + kMorselRows)});
       }
     }
+
+    {
+      TraceSpan select_span("Scan.select", "engine.morsel");
+      select_span.AddArg("morsels", static_cast<int64_t>(morsels.size()));
+      select_span.AddArg("rows", static_cast<int64_t>(rows_total));
+      pool_->ParallelFor(static_cast<int>(morsels.size()), [&](int m) {
+        const Morsel& mo = morsels[static_cast<size_t>(m)];
+        const Partition& part = pt->partition(parts[static_cast<size_t>(mo.part)]);
+        const RowBlock& rows = part.rows;
+        uint8_t* s = sel[static_cast<size_t>(mo.part)].data();
+        for (size_t r = mo.begin; r < mo.end; ++r) {
+          if (node.scan_has_partner.has_value() &&
+              part.has_partner.Get(r) != *node.scan_has_partner) {
+            continue;
+          }
+          // Filter is bound to base-table column ids.
+          if (!EvalDnf(node.scan_filter, rows, r)) continue;
+          s[r] = 1;
+        }
+      });
+    }
+
+    {
+      TraceSpan append_span("Scan.append", "engine.morsel");
+      pool_->ParallelFor(static_cast<int>(parts.size()), [&](int i) {
+        const int p = parts[static_cast<size_t>(i)];
+        const Partition& part = pt->partition(p);
+        const RowBlock& rows = part.rows;
+        Charge(op, p, rows.num_rows());
+        RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+        const auto& s = sel[static_cast<size_t>(i)];
+        for (size_t r = 0; r < rows.num_rows(); ++r) {
+          if (s[r] == 0) continue;
+          for (size_t c = 0; c < base_cols; ++c) {
+            dst.column(static_cast<int>(c))
+                .AppendFrom(rows.column(node.project_slots[c]), r);
+          }
+          if (node.scan_attach_dup) {
+            dst.column(static_cast<int>(base_cols))
+                .AppendInt64(part.dup.empty() ? 0 : (part.dup.Get(r) ? 1 : 0));
+          }
+        }
+      });
+    }
+
+    static Counter& morsels_ctr =
+        MetricsRegistry::Default().GetCounter("exec.scan.morsels");
+    static Counter& rows_ctr =
+        MetricsRegistry::Default().GetCounter("exec.scan.rows");
+    morsels_ctr.Add(morsels.size());
+    rows_ctr.Add(rows_total);
     return out;
   }
 
   Result<DistResult> ExecFilter(const PlanNode& node, int op) {
     PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0], op));
     DistResult out = MakeDist(node, n_);
-    for (int p = 0; p < n_; ++p) {
+    ForEachNode([&](int p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       // Predicate evaluation piggybacks on the producing operator: no
       // separate CPU charge (as in the paper's engine, where filters are
@@ -308,7 +379,7 @@ class Executor {
       for (size_t r = 0; r < src.num_rows(); ++r) {
         if (EvalDnf(node.filter, src, r)) dst.AppendRow(src, r);
       }
-    }
+    });
     return out;
   }
 
@@ -323,7 +394,7 @@ class Executor {
     // counters): execute the simulated nodes concurrently on the shared
     // bounded pool (never more threads than the hardware has lanes, however
     // many nodes are simulated).
-    ThreadPool::Default().ParallelFor(n_, [&](int p) {
+    ForEachNode([&](int p) {
       const RowBlock& l = left.nodes[static_cast<size_t>(p)];
       const RowBlock& r = right.nodes[static_cast<size_t>(p)];
       Charge(op, p, l.num_rows() + r.num_rows());
@@ -364,6 +435,9 @@ class Executor {
     PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
     DistResult out = MakeDist(node, n_);
     Op(op).exchanges++;
+    // Serial on purpose: every source node writes every target block, and
+    // the shuffle counters are shared — an exchange is a barrier in the
+    // simulated cluster anyway.
     for (int p = 0; p < n_; ++p) {
       if (child.replicated && p != 0) continue;  // one copy feeds the shuffle
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
@@ -385,7 +459,7 @@ class Executor {
     const PlanNode& child = *node.children[0];
     PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
     DistResult out = MakeDist(node, n_);
-    for (int p = 0; p < n_; ++p) {
+    ForEachNode([&](int p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       // The dup-bitmap filter is a fused predicate (dup = 0), not a
       // standalone pass: no CPU charge.
@@ -400,7 +474,7 @@ class Executor {
         }
         if (!dup) dst.AppendRow(src, r);
       }
-    }
+    });
     return out;
   }
 
@@ -409,7 +483,7 @@ class Executor {
     DistResult out = MakeDist(node, n_);
     std::vector<ColumnId> key_cols(node.project_slots.begin(),
                                    node.project_slots.end());
-    for (int p = 0; p < n_; ++p) {
+    ForEachNode([&](int p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       Charge(op, p, src.num_rows());
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
@@ -428,7 +502,7 @@ class Executor {
         bucket.push_back(r);
         dst.AppendRow(src, r);
       }
-    }
+    });
     return out;
   }
 
@@ -492,6 +566,71 @@ class Executor {
     }
   }
 
+  /// Parallel group-by over one node's rows. Each fixed-size morsel builds
+  /// a partial hash table mapping group key → the morsel's rows for that
+  /// key; the tables are folded serially *in morsel order*, which restores
+  /// global row order within every group (morsels are ascending contiguous
+  /// ranges) and replays the serial loop's key-insertion sequence (first
+  /// occurrence in row order). Per-group work downstream — accumulating
+  /// AggStates by walking the group's rows in ascending order — therefore
+  /// performs the same floating-point additions in the same order as a
+  /// serial pass, making results bit-identical for any thread count.
+  GroupMap GroupRows(const RowBlock& src, const std::vector<ColumnId>& group_cols) {
+    const size_t rows = src.num_rows();
+    struct MorselGroups {
+      std::unordered_map<GroupKey, size_t, GroupKeyHasher> index;  // key → slot
+      /// (key in the index, rows of this morsel) in first-occurrence order.
+      std::vector<std::pair<const GroupKey*, std::vector<size_t>>> groups;
+    };
+    std::vector<MorselGroups> partial((rows + kMorselRows - 1) / kMorselRows);
+    {
+      TraceSpan span("Agg.group", "engine.morsel");
+      span.AddArg("morsels", static_cast<int64_t>(partial.size()));
+      span.AddArg("rows", static_cast<int64_t>(rows));
+      pool_->ParallelForMorsels(
+          rows, kMorselRows, [&](size_t m, size_t begin, size_t end) {
+            MorselGroups& mg = partial[m];
+            for (size_t r = begin; r < end; ++r) {
+              GroupKey key;
+              key.reserve(group_cols.size());
+              for (ColumnId g : group_cols) key.push_back(src.column(g).GetValue(r));
+              auto [it, inserted] =
+                  mg.index.try_emplace(std::move(key), mg.groups.size());
+              if (inserted) {
+                mg.groups.emplace_back(&it->first, std::vector<size_t>{});
+              }
+              mg.groups[it->second].second.push_back(r);
+            }
+          });
+    }
+    GroupMap out;
+    size_t next_gid = 0;
+    for (auto& mg : partial) {
+      for (auto& [key, rowlist] : mg.groups) {
+        auto [it, inserted] = out.try_emplace(*key);
+        if (inserted) it->second.gid = next_gid++;
+        auto& dst = it->second.rows;
+        dst.insert(dst.end(), rowlist.begin(), rowlist.end());
+      }
+    }
+    static Counter& morsels_ctr =
+        MetricsRegistry::Default().GetCounter("exec.agg.morsels");
+    static Counter& rows_ctr = MetricsRegistry::Default().GetCounter("exec.agg.rows");
+    static Counter& groups_ctr =
+        MetricsRegistry::Default().GetCounter("exec.agg.groups");
+    morsels_ctr.Add(partial.size());
+    rows_ctr.Add(rows);
+    groups_ctr.Add(out.size());
+    return out;
+  }
+
+  /// Indexes a GroupMap's slots by dense gid for the parallel fold.
+  static std::vector<const GroupSlot*> SlotsInOrder(const GroupMap& groups) {
+    std::vector<const GroupSlot*> slots(groups.size());
+    for (const auto& [key, slot] : groups) slots[slot.gid] = &slot;
+    return slots;
+  }
+
   Result<DistResult> ExecPartialAgg(const PlanNode& node, int op) {
     const PlanNode& child = *node.children[0];
     PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
@@ -502,17 +641,26 @@ class Executor {
       if (child.replicated && p != 0) continue;  // aggregate one copy only
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       Charge(op, p, src.num_rows());
-      std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHasher> groups;
-      for (size_t r = 0; r < src.num_rows(); ++r) {
-        GroupKey key;
-        key.reserve(group_cols.size());
-        for (ColumnId g : group_cols) key.push_back(src.column(g).GetValue(r));
-        auto [it, inserted] =
-            groups.try_emplace(std::move(key), node.aggs.size());
-        Accumulate(node, src, r, &it->second);
+      if (src.num_rows() == 0) continue;
+      GroupMap groups = GroupRows(src, group_cols);
+      const auto slots = SlotsInOrder(groups);
+      // Per-group accumulation: groups are disjoint, so they fan out on the
+      // pool; each group's rows are walked in ascending order (see
+      // GroupRows) for serial-identical floating-point sums.
+      std::vector<std::vector<AggState>> states(slots.size());
+      {
+        TraceSpan fold_span("Agg.fold", "engine.morsel");
+        pool_->ParallelFor(static_cast<int>(slots.size()), [&](int g) {
+          auto& st = states[static_cast<size_t>(g)];
+          st.resize(node.aggs.size());
+          for (size_t r : slots[static_cast<size_t>(g)]->rows) {
+            Accumulate(node, src, r, &st);
+          }
+        });
       }
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
-      for (const auto& [key, states] : groups) {
+      for (const auto& [key, slot] : groups) {
+        const auto& group_states = states[slot.gid];
         int c = 0;
         for (const auto& v : key) {
           Status st = dst.column(c++).AppendValue(v);
@@ -520,7 +668,7 @@ class Executor {
         }
         for (size_t a = 0; a < node.aggs.size(); ++a) {
           const BoundAgg& agg = node.aggs[a];
-          const AggState& s = states[a];
+          const AggState& s = group_states[a];
           switch (agg.func) {
             case AggFunc::kCountStar:
             case AggFunc::kCount:
@@ -564,51 +712,57 @@ class Executor {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       Charge(op, p, src.num_rows());
       if (src.num_rows() == 0) continue;
-      // Merge partial states per group.
-      std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHasher> groups;
-      for (size_t r = 0; r < src.num_rows(); ++r) {
-        GroupKey key;
-        key.reserve(k);
-        for (ColumnId g : group_cols) key.push_back(src.column(g).GetValue(r));
-        auto [it, inserted] =
-            groups.try_emplace(std::move(key), node.aggs.size());
-        // Partial layout: group cols then partial cols in agg order.
-        int c = static_cast<int>(k);
-        for (size_t a = 0; a < node.aggs.size(); ++a) {
-          const BoundAgg& agg = node.aggs[a];
-          AggState& st = it->second[a];
-          switch (agg.func) {
-            case AggFunc::kCountStar:
-            case AggFunc::kCount:
-              st.count += src.column(c++).GetInt64(r);
-              break;
-            case AggFunc::kSum: {
-              const Column& col = src.column(c++);
-              st.sum += col.is_int() ? static_cast<double>(col.GetInt64(r))
-                                     : col.GetDouble(r);
-              break;
-            }
-            case AggFunc::kAvg:
-              st.sum += src.column(c++).GetDouble(r);
-              st.count += src.column(c++).GetInt64(r);
-              break;
-            case AggFunc::kMin: {
-              Value v = src.column(c++).GetValue(r);
-              if (!st.has_value || v < st.min_v) st.min_v = v;
-              st.has_value = true;
-              break;
-            }
-            case AggFunc::kMax: {
-              Value v = src.column(c++).GetValue(r);
-              if (!st.has_value || st.max_v < v) st.max_v = v;
-              st.has_value = true;
-              break;
+      // Merge partial states per group; same morsel-parallel grouping and
+      // per-group row-order fold as ExecPartialAgg.
+      GroupMap groups = GroupRows(src, group_cols);
+      const auto slots = SlotsInOrder(groups);
+      std::vector<std::vector<AggState>> states(slots.size());
+      {
+        TraceSpan fold_span("Agg.fold", "engine.morsel");
+        pool_->ParallelFor(static_cast<int>(slots.size()), [&](int g) {
+          auto& st = states[static_cast<size_t>(g)];
+          st.resize(node.aggs.size());
+          for (size_t r : slots[static_cast<size_t>(g)]->rows) {
+            // Partial layout: group cols then partial cols in agg order.
+            int c = static_cast<int>(k);
+            for (size_t a = 0; a < node.aggs.size(); ++a) {
+              const BoundAgg& agg = node.aggs[a];
+              AggState& sa = st[a];
+              switch (agg.func) {
+                case AggFunc::kCountStar:
+                case AggFunc::kCount:
+                  sa.count += src.column(c++).GetInt64(r);
+                  break;
+                case AggFunc::kSum: {
+                  const Column& col = src.column(c++);
+                  sa.sum += col.is_int() ? static_cast<double>(col.GetInt64(r))
+                                         : col.GetDouble(r);
+                  break;
+                }
+                case AggFunc::kAvg:
+                  sa.sum += src.column(c++).GetDouble(r);
+                  sa.count += src.column(c++).GetInt64(r);
+                  break;
+                case AggFunc::kMin: {
+                  Value v = src.column(c++).GetValue(r);
+                  if (!sa.has_value || v < sa.min_v) sa.min_v = v;
+                  sa.has_value = true;
+                  break;
+                }
+                case AggFunc::kMax: {
+                  Value v = src.column(c++).GetValue(r);
+                  if (!sa.has_value || sa.max_v < v) sa.max_v = v;
+                  sa.has_value = true;
+                  break;
+                }
+              }
             }
           }
-        }
+        });
       }
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
-      for (const auto& [key, states] : groups) {
+      for (const auto& [key, slot] : groups) {
+        const auto& group_states = states[slot.gid];
         int c = 0;
         for (const auto& v : key) {
           Status st = dst.column(c++).AppendValue(v);
@@ -616,7 +770,7 @@ class Executor {
         }
         for (size_t a = 0; a < node.aggs.size(); ++a) {
           const BoundAgg& agg = node.aggs[a];
-          const AggState& s = states[a];
+          const AggState& s = group_states[a];
           switch (agg.func) {
             case AggFunc::kCountStar:
             case AggFunc::kCount:
@@ -654,9 +808,9 @@ class Executor {
   Result<DistResult> ExecSort(const PlanNode& node, int op) {
     PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0], op));
     DistResult out = MakeDist(node, n_);
-    for (int p = 0; p < n_; ++p) {
+    ForEachNode([&](int p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
-      if (src.num_rows() == 0) continue;
+      if (src.num_rows() == 0) return;
       Charge(op, p, src.num_rows());
       std::vector<size_t> order(src.num_rows());
       for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -675,14 +829,14 @@ class Executor {
                         : order.size();
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
       for (size_t i = 0; i < keep; ++i) dst.AppendRow(src, order[i]);
-    }
+    });
     return out;
   }
 
   Result<DistResult> ExecProject(const PlanNode& node, int op) {
     PREF_ASSIGN_OR_RAISE(DistResult in, Exec(*node.children[0], op));
     DistResult out = MakeDist(node, n_);
-    for (int p = 0; p < n_; ++p) {
+    ForEachNode([&](int p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       // Projection is free: column selection costs nothing extra.
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
@@ -692,17 +846,21 @@ class Executor {
               .AppendFrom(src.column(node.project_slots[i]), r);
         }
       }
-    }
+    });
     return out;
   }
 
   const PartitionedDatabase& pdb_;
   const CostModel& cost_model_;
+  /// Executes every operator fan-out; a 1-lane pool degrades to the serial
+  /// path with identical results.
+  ThreadPool* pool_;
   int n_ = 0;
   ExecStats stats_;
   /// Per-operator accounting, indexed by pre-order plan position. Entries
-  /// are appended before children run, so parent links always resolve; the
-  /// join fan-out only writes disjoint node_rows slots of its own entry.
+  /// are appended before children run, so parent links always resolve; an
+  /// operator's fan-out only writes disjoint node_rows slots of its own
+  /// entry.
   std::vector<OperatorStats> ops_;
   /// Operator indexes in execution-completion (post-order) order — the
   /// order work would flow through a real cluster; drives the simulated
@@ -713,15 +871,16 @@ class Executor {
 }  // namespace
 
 Result<QueryResult> ExecutePlan(const PlanNode& root, const PartitionedDatabase& pdb,
-                                const CostModel& cost_model) {
-  Executor executor(pdb, cost_model);
+                                const CostModel& cost_model, ThreadPool* pool) {
+  Executor executor(pdb, cost_model,
+                    pool != nullptr ? pool : &ThreadPool::Default());
   return executor.Run(root);
 }
 
 Result<QueryResult> ExecuteQuery(const QuerySpec& query,
                                  const PartitionedDatabase& pdb,
                                  const QueryOptions& options,
-                                 const CostModel& cost_model) {
+                                 const CostModel& cost_model, ThreadPool* pool) {
   Stopwatch timer;
   TraceSpan span("ExecuteQuery", "engine");
   auto plan = [&] {
@@ -729,7 +888,8 @@ Result<QueryResult> ExecuteQuery(const QuerySpec& query,
     return RewriteQuery(query, pdb, options);
   }();
   PREF_RETURN_NOT_OK(plan.status());
-  PREF_ASSIGN_OR_RAISE(QueryResult result, ExecutePlan(**plan, pdb, cost_model));
+  PREF_ASSIGN_OR_RAISE(QueryResult result,
+                       ExecutePlan(**plan, pdb, cost_model, pool));
   // Consistent meaning across both entry points: wall_seconds covers
   // everything the caller asked for — rewrite + execution here, execution
   // only in ExecutePlan.

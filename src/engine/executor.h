@@ -1,6 +1,15 @@
 // Parallel executor: runs a rewritten plan over a PartitionedDatabase,
 // physically moving tuples between per-node memory arenas and accounting
 // simulated network/CPU costs.
+//
+// Every data-parallel operator fans out on the bounded ThreadPool
+// (DESIGN.md §7): scans split each node's partitions into fixed-size
+// morsels with per-morsel selection-bitmap slices, aggregations group rows
+// with per-morsel partial hash tables folded deterministically, and
+// per-node operators (join, filter, sort, ...) run the simulated nodes
+// concurrently. Results — rows, their order, and ExecStats aggregates —
+// are bit-identical for any thread count, including the PREF_THREADS=1
+// serial baseline.
 
 #pragma once
 
@@ -15,6 +24,8 @@
 
 namespace pref {
 
+class ThreadPool;
+
 struct QueryResult {
   /// Final rows at the coordinator.
   RowBlock rows;
@@ -24,14 +35,18 @@ struct QueryResult {
   QueryResult() : rows(std::vector<DataType>{}) {}
 };
 
-/// Executes a rewritten plan.
+/// Executes a rewritten plan. Operator fan-out runs on `pool`
+/// (ThreadPool::Default() when null); a 1-lane pool executes everything on
+/// the calling thread and produces bit-identical results.
 Result<QueryResult> ExecutePlan(const PlanNode& root, const PartitionedDatabase& pdb,
-                                const CostModel& cost_model = {});
+                                const CostModel& cost_model = {},
+                                ThreadPool* pool = nullptr);
 
 /// Rewrites (§2.2) and executes `query` over `pdb`.
 Result<QueryResult> ExecuteQuery(const QuerySpec& query,
                                  const PartitionedDatabase& pdb,
                                  const QueryOptions& options = {},
-                                 const CostModel& cost_model = {});
+                                 const CostModel& cost_model = {},
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace pref

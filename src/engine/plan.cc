@@ -50,7 +50,9 @@ std::string PlanNode::ToString(const Schema& schema, int indent) const {
       }
       ss << "]";
     }
+    if (!scan_filter.empty()) ss << " [filter]";
   }
+  if (kind == OpKind::kSort && limit >= 0) ss << " [limit=" << limit << "]";
   ss << " {" << PartitionMethodName(part.method);
   if (!active_dup_slots.empty()) ss << ", dup";
   if (replicated) ss << ", repl";

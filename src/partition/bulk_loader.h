@@ -6,20 +6,13 @@
 // partition indexes registered on the loaded table (so later PREF loads
 // that reference it stay correct).
 //
-// The load is organized as three phases so the hot path can run on the
-// bounded ThreadPool while staying bit-identical to a serial load:
-//   1. Route  — compute the ordered partition list of every input row.
-//      Read-only against the database; parallel over row chunks with
-//      per-chunk probe/lookup counters (no shared counters).
-//   2. Append — materialize the copies. Parallel over *target partitions*:
-//      each task exclusively owns one partition's RowBlock and dup/hasS
-//      bitmaps, so the data path takes no locks.
-//   3. Index  — maintain this table's registered partition indexes.
-//      Parallel over indexes: each task exclusively owns one index.
-// Determinism: phase 1 produces the same placements the serial loop would
-// (round-robin assignment of orphans is replayed sequentially in row
-// order), and phases 2/3 insert in row order within each owned structure,
-// so partitions, bitmaps, and indexes come out identical either way.
+// The load runs the shared three-phase pipeline of
+// partition/load_phases.h (route → per-partition append → per-index
+// maintenance) — the same phases the initial PartitionDatabase pass uses —
+// so the hot path runs on the bounded ThreadPool while staying
+// bit-identical to a serial load. See load_phases.h for the ownership and
+// determinism model; this class adds the per-phase timers, trace spans,
+// and load.* registry counters.
 
 #pragma once
 

@@ -1,0 +1,237 @@
+#include "partition/load_phases.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "common/thread_pool.h"
+#include "partition/partitioner.h"
+
+namespace pref {
+
+namespace {
+
+PartitionIndex::Key KeyOf(const RowBlock& rows, const std::vector<ColumnId>& cols,
+                          size_t r) {
+  PartitionIndex::Key key;
+  key.reserve(cols.size());
+  for (ColumnId c : cols) key.push_back(rows.column(c).GetValue(r));
+  return key;
+}
+
+/// Finds the partitions of `ref` containing a partner of row `r` by
+/// scanning (the naive path used when no partition index is available).
+std::vector<int> ScanForPartners(const PartitionedTable& ref,
+                                 const std::vector<ColumnId>& ref_cols,
+                                 const RowBlock& rows,
+                                 const std::vector<ColumnId>& local_cols, size_t r,
+                                 size_t* probes) {
+  std::vector<int> out;
+  for (int p = 0; p < ref.num_partitions(); ++p) {
+    const RowBlock& ref_rows = ref.partition(p).rows;
+    for (size_t i = 0; i < ref_rows.num_rows(); ++i) {
+      ++*probes;
+      if (rows.RowsEqual(local_cols, r, ref_rows, ref_cols, i)) {
+        out.push_back(p);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Runs body(chunk, begin, end) over [0, n): on the default ThreadPool when
+/// `parallel`, as one chunk on the calling thread otherwise.
+void ForChunks(bool parallel, size_t n,
+               const std::function<void(int, size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (parallel) {
+    ThreadPool::Default().ParallelForChunks(n, body);
+  } else {
+    body(0, 0, n);
+  }
+}
+
+/// Runs fn(0) .. fn(n-1): pooled when `parallel`, serially otherwise.
+void ForEach(bool parallel, int n, const std::function<void(int)>& fn) {
+  if (parallel) {
+    ThreadPool::Default().ParallelFor(n, fn);
+  } else {
+    for (int i = 0; i < n; ++i) fn(i);
+  }
+}
+
+/// One physical copy scheduled for a target partition: source row plus the
+/// PREF dup flag (true for every placement after the row's first).
+struct Copy {
+  size_t row;
+  bool dup;
+};
+
+}  // namespace
+
+Result<RoutedPlacements> RoutePlacements(PartitionedDatabase* pdb,
+                                         PartitionedTable* table,
+                                         const RowBlock& rows,
+                                         bool use_partition_index, bool parallel) {
+  const PartitionSpec& spec = table->spec();
+  const int n = table->num_partitions();
+  const size_t num_rows = rows.num_rows();
+  RoutedPlacements route;
+  route.placements.resize(num_rows);
+
+  switch (spec.method) {
+    case PartitionMethod::kHash: {
+      ForChunks(parallel, num_rows, [&](int, size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          route.placements[r].push_back(
+              static_cast<int>(rows.HashRow(spec.attributes, r) %
+                               static_cast<uint64_t>(n)));
+        }
+      });
+      break;
+    }
+    case PartitionMethod::kRange: {
+      if (spec.attributes.empty()) {
+        return Status::Invalid("RANGE spec of table '", table->name(),
+                               "' has no partitioning attribute");
+      }
+      if (spec.range_bounds.size() + 1 != static_cast<size_t>(n)) {
+        return Status::Invalid("RANGE spec of table '", table->name(), "' has ",
+                               spec.range_bounds.size(), " bounds for ", n,
+                               " partitions (want ", n - 1, ")");
+      }
+      const Column& col = rows.column(spec.attributes[0]);
+      const auto& bounds = spec.range_bounds;
+      ForChunks(parallel, num_rows, [&](int, size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          const Value v = col.GetValue(r);
+          // First bound strictly greater than v == the owning partition
+          // (partition i holds bounds[i-1] <= v < bounds[i]).
+          route.placements[r].push_back(static_cast<int>(
+              std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin()));
+        }
+      });
+      break;
+    }
+    case PartitionMethod::kRoundRobin: {
+      // Round-robin continues from the table's current size, replayed in
+      // row order — identical to the serial loop for any thread count.
+      int next = static_cast<int>(table->TotalRows() % static_cast<size_t>(n));
+      for (size_t r = 0; r < num_rows; ++r) {
+        route.placements[r].push_back(next);
+        next = (next + 1) % n;
+      }
+      break;
+    }
+    case PartitionMethod::kReplicated: {
+      ForChunks(parallel, num_rows, [&](int, size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          route.placements[r].resize(static_cast<size_t>(n));
+          std::iota(route.placements[r].begin(), route.placements[r].end(), 0);
+        }
+      });
+      break;
+    }
+    case PartitionMethod::kPref: {
+      PartitionedTable* ref = pdb->GetTable(spec.referenced_table);
+      if (ref == nullptr) {
+        return Status::Invalid("PREF-referenced table of '", table->name(),
+                               "' missing from partitioned database");
+      }
+      const auto& ref_cols = spec.predicate->right_columns;
+      const PartitionIndex* index = nullptr;
+      if (use_partition_index) {
+        // Built (serially) before the fan-out; afterwards it is only read.
+        index = ref->FindPartitionIndex(ref_cols);
+        if (index == nullptr) index = BuildPartitionIndex(ref, ref_cols);
+      }
+      route.has_partner.assign(num_rows, 0);
+      // Per-chunk counters: chunk indexes are dense in [0, lanes), so each
+      // routing task owns one slot and the hot loop shares no counters.
+      const size_t lanes =
+          parallel ? static_cast<size_t>(ThreadPool::Default().num_threads()) : 1;
+      std::vector<size_t> lookups(lanes, 0);
+      std::vector<size_t> probes(lanes, 0);
+      ForChunks(parallel, num_rows, [&](int chunk, size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          std::vector<int> parts;
+          if (index != nullptr) {
+            ++lookups[static_cast<size_t>(chunk)];
+            parts = index->Lookup(KeyOf(rows, spec.attributes, r));
+          } else {
+            parts = ScanForPartners(*ref, ref_cols, rows, spec.attributes, r,
+                                    &probes[static_cast<size_t>(chunk)]);
+          }
+          if (!parts.empty()) {
+            route.placements[r] = std::move(parts);
+            route.has_partner[r] = 1;
+          }
+        }
+      });
+      route.index_lookups =
+          std::accumulate(lookups.begin(), lookups.end(), size_t{0});
+      route.scan_probes = std::accumulate(probes.begin(), probes.end(), size_t{0});
+      // Orphans (no partitioning partner) go round-robin, replayed in row
+      // order so the result matches a serial pass exactly.
+      int next_rr = static_cast<int>(table->TotalRows() % static_cast<size_t>(n));
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (route.placements[r].empty()) {
+          route.placements[r].push_back(next_rr);
+          next_rr = (next_rr + 1) % n;
+        }
+      }
+      break;
+    }
+    case PartitionMethod::kNone:
+      return Status::Invalid("table '", table->name(), "' has no partitioning");
+  }
+  return route;
+}
+
+size_t ApplyPlacements(PartitionedTable* table, const RowBlock& rows,
+                       const RoutedPlacements& route, bool parallel) {
+  const int n = table->num_partitions();
+  const size_t num_rows = rows.num_rows();
+  const bool is_pref = table->spec().method == PartitionMethod::kPref;
+  // Invert the placements into one work list per target partition, then fan
+  // out per partition. Each task exclusively owns its partition's RowBlock
+  // and dup/hasS bitmaps — no locks on the data path — and appends in
+  // input-row order, matching the serial loop byte for byte.
+  size_t copies = 0;
+  std::vector<std::vector<Copy>> per_part(static_cast<size_t>(n));
+  for (auto& list : per_part) list.reserve(num_rows / static_cast<size_t>(n) + 1);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const auto& parts = route.placements[r];
+    for (size_t k = 0; k < parts.size(); ++k) {
+      per_part[static_cast<size_t>(parts[k])].push_back(Copy{r, k > 0});
+    }
+    copies += parts.size();
+  }
+  ForEach(parallel, n, [&](int p) {
+    Partition& part = table->partition(p);
+    const auto& list = per_part[static_cast<size_t>(p)];
+    part.rows.Reserve(part.rows.num_rows() + list.size());
+    for (const Copy& c : list) {
+      part.rows.AppendRow(rows, c.row);
+      if (is_pref) {
+        part.dup.PushBack(c.dup);
+        part.has_partner.PushBack(route.has_partner[c.row] != 0);
+      }
+    }
+  });
+  return copies;
+}
+
+void MaintainPartitionIndexes(PartitionedTable* table, const RowBlock& rows,
+                              const RoutedPlacements& route, bool parallel) {
+  auto& indexes = table->indexes();
+  ForEach(parallel, static_cast<int>(indexes.size()), [&](int i) {
+    auto& [cols, idx] = indexes[static_cast<size_t>(i)];
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      for (int p : route.placements[r]) idx->Add(KeyOf(rows, cols, r), p);
+    }
+  });
+}
+
+}  // namespace pref

@@ -1,0 +1,75 @@
+// The shared three-phase load pipeline: route → append → index.
+//
+// Both the §2.3 bulk loader and the initial PartitionDatabase pass place
+// tuples with exactly the same three steps, so the skeleton lives here once:
+//
+//   1. Route  — compute the ordered partition list of every input row.
+//      Read-only against the database; parallel over row chunks with
+//      per-chunk probe/lookup counters (no shared counters). Round-robin
+//      decisions (RR tables, PREF orphans) are replayed sequentially in row
+//      order so placements match a serial pass exactly.
+//   2. Append — materialize the copies. Parallel over *target partitions*:
+//      each task exclusively owns one partition's RowBlock and dup/hasS
+//      bitmaps, so the data path takes no locks, and appends in input-row
+//      order — matching the serial loop byte for byte.
+//   3. Index  — maintain the partition indexes registered on the loaded
+//      table (so later PREF loads that reference it stay correct). Parallel
+//      over indexes: each task exclusively owns one index and inserts in
+//      row order.
+//
+// Determinism: every phase's output is a pure function of the input rows
+// and the current database state — independent of thread count, chunk
+// boundaries, and scheduling order. A `parallel = false` (or PREF_THREADS=1)
+// run produces bit-identical partitions, bitmaps, and indexes.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/partition.h"
+#include "storage/table.h"
+
+namespace pref {
+
+/// Phase-1 output: where every input row goes, plus routing statistics.
+struct RoutedPlacements {
+  /// placements[r] = ordered list of target partitions for input row r.
+  /// For PREF tables the first entry is the original (dup = 0), the rest
+  /// are duplicates (dup = 1); every other method places exactly once
+  /// (REPLICATED: once per partition, all originals).
+  std::vector<std::vector<int>> placements;
+  /// PREF only (empty otherwise): has_partner[r] != 0 iff row r has at
+  /// least one partitioning partner in the referenced table (the hasS bit).
+  std::vector<uint8_t> has_partner;
+  /// Partition-index probes performed while routing (PREF with index).
+  size_t index_lookups = 0;
+  /// Rows scanned by the naive no-index PREF path (Fig-10 ablation).
+  size_t scan_probes = 0;
+};
+
+/// Phase 1 (route): computes the placements of `rows` for `table` under its
+/// PartitionSpec. Reads (but does not modify) other tables of `pdb` for
+/// PREF routing; a missing partition index on the referenced table is built
+/// first (serially) when `use_partition_index` is set, otherwise routing
+/// scans the referenced partitions. Parallel over row chunks on
+/// ThreadPool::Default() when `parallel`.
+Result<RoutedPlacements> RoutePlacements(PartitionedDatabase* pdb,
+                                         PartitionedTable* table,
+                                         const RowBlock& rows,
+                                         bool use_partition_index, bool parallel);
+
+/// Phase 2 (append): materializes `route.placements` into the partitions of
+/// `table`, maintaining dup/hasS bitmaps for PREF tables. Parallel over
+/// target partitions (each task owns one partition exclusively). Returns
+/// the number of physical copies written (>= rows for PREF/REPLICATED).
+size_t ApplyPlacements(PartitionedTable* table, const RowBlock& rows,
+                       const RoutedPlacements& route, bool parallel);
+
+/// Phase 3 (index): inserts the routed rows into every partition index
+/// registered on `table`. Parallel over indexes (each task owns one index
+/// exclusively). No-op when the table has no registered indexes.
+void MaintainPartitionIndexes(PartitionedTable* table, const RowBlock& rows,
+                              const RoutedPlacements& route, bool parallel);
+
+}  // namespace pref

@@ -1,56 +1,12 @@
 #include "partition/partitioner.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "partition/load_phases.h"
+
 namespace pref {
 
 namespace {
-
-/// Routes every row of `src` into `out` partitions by hash of the spec's
-/// attribute columns.
-void HashPartition(const Table& src, PartitionedTable* out) {
-  const RowBlock& rows = src.data();
-  const auto& attrs = out->spec().attributes;
-  const int n = out->num_partitions();
-  for (size_t r = 0; r < rows.num_rows(); ++r) {
-    int p = static_cast<int>(rows.HashRow(attrs, r) % static_cast<uint64_t>(n));
-    out->partition(p).rows.AppendRow(rows, r);
-  }
-}
-
-/// Partition id for `v` under ascending upper bounds.
-int RangeBucket(const Value& v, const std::vector<Value>& bounds) {
-  int lo = 0;
-  for (const auto& b : bounds) {
-    if (v < b) return lo;
-    ++lo;
-  }
-  return lo;
-}
-
-void RangePartition(const Table& src, PartitionedTable* out) {
-  const RowBlock& rows = src.data();
-  const ColumnId col = out->spec().attributes[0];
-  for (size_t r = 0; r < rows.num_rows(); ++r) {
-    int p = RangeBucket(rows.column(col).GetValue(r), out->spec().range_bounds);
-    out->partition(p).rows.AppendRow(rows, r);
-  }
-}
-
-void RoundRobinPartition(const Table& src, PartitionedTable* out) {
-  const RowBlock& rows = src.data();
-  const int n = out->num_partitions();
-  for (size_t r = 0; r < rows.num_rows(); ++r) {
-    out->partition(static_cast<int>(r % static_cast<size_t>(n))).rows.AppendRow(rows, r);
-  }
-}
-
-void Replicate(const Table& src, PartitionedTable* out) {
-  const RowBlock& rows = src.data();
-  for (int p = 0; p < out->num_partitions(); ++p) {
-    RowBlock& dst = out->partition(p).rows;
-    dst.Reserve(rows.num_rows());
-    for (size_t r = 0; r < rows.num_rows(); ++r) dst.AppendRow(rows, r);
-  }
-}
 
 PartitionIndex::Key KeyOf(const RowBlock& rows, const std::vector<ColumnId>& cols,
                           size_t r) {
@@ -58,39 +14,6 @@ PartitionIndex::Key KeyOf(const RowBlock& rows, const std::vector<ColumnId>& col
   key.reserve(cols.size());
   for (ColumnId c : cols) key.push_back(rows.column(c).GetValue(r));
   return key;
-}
-
-/// PREF-partitions `src` (Definition 1). `ref_index` maps the referenced
-/// table's predicate-column keys to the partitions containing them.
-void PrefPartition(const Table& src, const PartitionIndex& ref_index,
-                   PartitionedTable* out) {
-  const RowBlock& rows = src.data();
-  const auto& attrs = out->spec().attributes;  // local predicate columns
-  const int n = out->num_partitions();
-  int next_round_robin = 0;
-  for (size_t r = 0; r < rows.num_rows(); ++r) {
-    const auto& parts = ref_index.Lookup(KeyOf(rows, attrs, r));
-    if (parts.empty()) {
-      // Condition (2): no partitioning partner — place once, round-robin.
-      Partition& p = out->partition(next_round_robin);
-      next_round_robin = (next_round_robin + 1) % n;
-      p.rows.AppendRow(rows, r);
-      p.dup.PushBack(false);
-      p.has_partner.PushBack(false);
-    } else {
-      // Condition (1): copy into every partition holding a partner. The
-      // first copy (lowest partition id) is the original; the rest are
-      // duplicates.
-      bool first = true;
-      for (int pid : parts) {
-        Partition& p = out->partition(pid);
-        p.rows.AppendRow(rows, r);
-        p.dup.PushBack(!first);
-        p.has_partner.PushBack(true);
-        first = false;
-      }
-    }
-  }
 }
 
 }  // namespace
@@ -108,43 +31,62 @@ PartitionIndex* BuildPartitionIndex(PartitionedTable* table,
 }
 
 Result<std::unique_ptr<PartitionedDatabase>> PartitionDatabase(
-    const Database& db, PartitioningConfig config) {
+    const Database& db, PartitioningConfig config, bool parallel) {
   if (!config.finalized()) {
     PREF_RETURN_NOT_OK(config.Finalize());
   }
+  TraceSpan span("PartitionDatabase", "partition");
+  static Counter& tables_ctr =
+      MetricsRegistry::Default().GetCounter("partition.tables");
+  static Counter& rows_routed_ctr =
+      MetricsRegistry::Default().GetCounter("partition.rows_routed");
+  static Counter& copies_written_ctr =
+      MetricsRegistry::Default().GetCounter("partition.copies_written");
+  static Counter& index_lookups_ctr =
+      MetricsRegistry::Default().GetCounter("partition.index_lookups");
+
   auto pdb = std::make_unique<PartitionedDatabase>(&db);
+  size_t total_rows = 0;
+  size_t total_copies = 0;
   for (TableId id : config.LoadOrder()) {
     const PartitionSpec& spec = config.spec(id);
     PREF_ASSIGN_OR_RAISE(PartitionedTable * out, pdb->AddTable(id, spec));
     const Table& src = db.table(id);
-    switch (spec.method) {
-      case PartitionMethod::kHash:
-        HashPartition(src, out);
-        break;
-      case PartitionMethod::kRange:
-        RangePartition(src, out);
-        break;
-      case PartitionMethod::kRoundRobin:
-        RoundRobinPartition(src, out);
-        break;
-      case PartitionMethod::kReplicated:
-        Replicate(src, out);
-        break;
-      case PartitionMethod::kPref: {
-        PartitionedTable* ref = pdb->GetTable(spec.referenced_table);
-        if (ref == nullptr) {
-          return Status::Internal("referenced table not yet partitioned");
-        }
-        const auto& ref_cols = spec.predicate->right_columns;
-        const PartitionIndex* index = ref->FindPartitionIndex(ref_cols);
-        if (index == nullptr) index = BuildPartitionIndex(ref, ref_cols);
-        PrefPartition(src, *index, out);
-        break;
-      }
-      case PartitionMethod::kNone:
-        return Status::Invalid("table '", src.name(), "' has no partitioning method");
+    // The initial partitioning pass is a bulk load into empty partitions:
+    // the shared route → append → index phases of load_phases.h, on the
+    // bounded ThreadPool when `parallel`. For PREF tables, RoutePlacements
+    // builds (and the database retains) the partition index on the
+    // referenced table's predicate columns.
+    TraceSpan table_span("PartitionTable", "partition");
+    table_span.AddArg("rows", static_cast<int64_t>(src.data().num_rows()));
+    RoutedPlacements route;
+    {
+      TraceSpan route_span("PartitionTable.route", "partition");
+      PREF_ASSIGN_OR_RAISE(route,
+                           RoutePlacements(pdb.get(), out, src.data(),
+                                           /*use_partition_index=*/true, parallel));
     }
+    size_t copies;
+    {
+      TraceSpan append_span("PartitionTable.append", "partition");
+      copies = ApplyPlacements(out, src.data(), route, parallel);
+    }
+    {
+      // Freshly added tables carry no registered indexes yet; this is the
+      // same phase the bulk loader runs, kept for symmetry and for future
+      // callers that pre-register indexes.
+      TraceSpan index_span("PartitionTable.index", "partition");
+      MaintainPartitionIndexes(out, src.data(), route, parallel);
+    }
+    total_rows += src.data().num_rows();
+    total_copies += copies;
+    index_lookups_ctr.Add(route.index_lookups);
+    tables_ctr.Add(1);
   }
+  rows_routed_ctr.Add(total_rows);
+  copies_written_ctr.Add(total_copies);
+  span.AddArg("rows", static_cast<int64_t>(total_rows));
+  span.AddArg("copies", static_cast<int64_t>(total_copies));
   return pdb;
 }
 

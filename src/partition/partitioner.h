@@ -26,8 +26,13 @@ namespace pref {
 /// Tables are processed in PREF dependency order. For every PREF predicate,
 /// a partition index is built on the referenced table's predicate columns
 /// and retained for later bulk loads.
+///
+/// Each table runs the shared route → append → index phases of
+/// partition/load_phases.h on the process-wide ThreadPool; pass
+/// `parallel = false` to run every phase on the calling thread. Results are
+/// bit-identical either way (partitions, dup/hasS bitmaps, indexes).
 Result<std::unique_ptr<PartitionedDatabase>> PartitionDatabase(
-    const Database& db, PartitioningConfig config);
+    const Database& db, PartitioningConfig config, bool parallel = true);
 
 /// \brief Builds (or rebuilds) a partition index on `columns` of `table`
 /// from its current partition contents. Exposed for bulk loading and for

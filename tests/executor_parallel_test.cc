@@ -1,0 +1,180 @@
+// Determinism tests for the parallel executor: a query run on a 1-lane pool
+// (the serial baseline) and on a multi-lane pool must produce *bit-identical*
+// results — same rows, same row order, same double bit patterns — and equal
+// ExecStats aggregates. This is stronger than the tolerant comparisons of
+// engine_test.cc on purpose: the morsel-parallel scan and the deterministic
+// aggregation fold (DESIGN.md §7) promise exact invariance across thread
+// counts, not merely equivalence up to reassociation.
+//
+// Run under ThreadSanitizer in CI alongside bulk_load_parallel_test.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datagen/tpch_gen.h"
+#include "engine/executor.h"
+#include "test_util.h"
+#include "workloads/tpch_queries.h"
+
+namespace pref {
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Bit-exact result comparison: row count, row order, and per-cell equality
+/// with doubles compared by bit pattern (catches reassociated FP sums that a
+/// tolerance would let through).
+void ExpectBitIdentical(const QueryResult& a, const QueryResult& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.rows.num_rows(), b.rows.num_rows()) << label;
+  ASSERT_EQ(a.rows.num_columns(), b.rows.num_columns()) << label;
+  EXPECT_EQ(a.column_names, b.column_names) << label;
+  for (int c = 0; c < a.rows.num_columns(); ++c) {
+    const Column& ca = a.rows.column(c);
+    const Column& cb = b.rows.column(c);
+    for (size_t r = 0; r < a.rows.num_rows(); ++r) {
+      if (ca.is_double()) {
+        EXPECT_EQ(DoubleBits(ca.GetDouble(r)), DoubleBits(cb.GetDouble(r)))
+            << label << " col " << c << " row " << r;
+      } else if (ca.is_int()) {
+        EXPECT_EQ(ca.GetInt64(r), cb.GetInt64(r))
+            << label << " col " << c << " row " << r;
+      } else {
+        EXPECT_EQ(ca.GetString(r), cb.GetString(r))
+            << label << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+/// ExecStats must agree on everything except wall-clock time: the same rows
+/// flowed through the same operators on the same simulated nodes.
+void ExpectStatsEqual(const ExecStats& a, const ExecStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.bytes_shuffled, b.bytes_shuffled) << label;
+  EXPECT_EQ(a.rows_shuffled, b.rows_shuffled) << label;
+  EXPECT_EQ(a.exchanges, b.exchanges) << label;
+  EXPECT_EQ(a.total_rows_processed, b.total_rows_processed) << label;
+  EXPECT_EQ(a.node_rows, b.node_rows) << label;
+  ASSERT_EQ(a.operators.size(), b.operators.size()) << label;
+  for (size_t i = 0; i < a.operators.size(); ++i) {
+    const OperatorStats& oa = a.operators[i];
+    const OperatorStats& ob = b.operators[i];
+    EXPECT_EQ(oa.op, ob.op) << label << " op " << i;
+    EXPECT_EQ(oa.parent, ob.parent) << label << " op " << i;
+    EXPECT_EQ(oa.rows_in, ob.rows_in) << label << " op " << oa.op;
+    EXPECT_EQ(oa.rows_out, ob.rows_out) << label << " op " << oa.op;
+    EXPECT_EQ(oa.rows_processed, ob.rows_processed) << label << " op " << oa.op;
+    EXPECT_EQ(oa.rows_shuffled, ob.rows_shuffled) << label << " op " << oa.op;
+    EXPECT_EQ(oa.bytes_shuffled, ob.bytes_shuffled) << label << " op " << oa.op;
+    EXPECT_EQ(oa.exchanges, ob.exchanges) << label << " op " << oa.op;
+    EXPECT_EQ(oa.node_rows, ob.node_rows) << label << " op " << oa.op;
+  }
+}
+
+class ExecutorParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Scale factor chosen so lineitem partitions span multiple 4096-row
+    // morsels: the multi-morsel code paths (bitmap slices, partial-table
+    // folds) actually run, rather than degenerating to one morsel each.
+    auto db = GenerateTpch({0.01, 42});
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    auto pdb = PartitionDatabase(*db_, MakeTpchSdManual(db_->schema(), 4));
+    ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+    pdb_ = pdb->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete pdb_;
+    pdb_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static PartitionedDatabase* pdb_;
+};
+
+Database* ExecutorParallelTest::db_ = nullptr;
+PartitionedDatabase* ExecutorParallelTest::pdb_ = nullptr;
+
+TEST_F(ExecutorParallelTest, LineitemSpansMultipleMorsels) {
+  // Guards the premise of this suite: if data shrinks below one morsel per
+  // partition, the bit-identity tests stop exercising parallel folds.
+  const PartitionedTable* li = pdb_->GetTable(*db_->schema().FindTable("lineitem"));
+  ASSERT_NE(li, nullptr);
+  size_t max_rows = 0;
+  for (int p = 0; p < li->num_partitions(); ++p) {
+    max_rows = std::max(max_rows, li->partition(p).rows.num_rows());
+  }
+  EXPECT_GT(max_rows, 4096u) << "largest lineitem partition fits one morsel";
+}
+
+TEST_F(ExecutorParallelTest, AllTpchQueriesBitIdenticalAcrossThreadCounts) {
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  size_t checked = 0;
+  for (const QuerySpec& q : TpchQueries(db_->schema())) {
+    auto a = ExecuteQuery(q, *pdb_, {}, {}, &serial);
+    auto b = ExecuteQuery(q, *pdb_, {}, {}, &parallel);
+    ASSERT_TRUE(a.ok()) << q.name << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << q.name << ": " << b.status().ToString();
+    ExpectBitIdentical(*a, *b, q.name);
+    ExpectStatsEqual(a->stats, b->stats, q.name);
+    ++checked;
+  }
+  EXPECT_GE(checked, 10u);
+}
+
+TEST_F(ExecutorParallelTest, ScanHeavyQueryProducesRowsOnBothPaths) {
+  // Q6 is the pure-scan query: selection bitmaps + scalar aggregation.
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  for (const QuerySpec& q : TpchQueries(db_->schema())) {
+    if (q.name != "Q6") continue;
+    auto a = ExecuteQuery(q, *pdb_, {}, {}, &serial);
+    auto b = ExecuteQuery(q, *pdb_, {}, {}, &parallel);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->rows.num_rows(), 1u);
+    EXPECT_EQ(DoubleBits(a->rows.column(0).GetDouble(0)),
+              DoubleBits(b->rows.column(0).GetDouble(0)));
+    return;
+  }
+  FAIL() << "Q6 not found in workload";
+}
+
+TEST_F(ExecutorParallelTest, AggregationHeavyQueryGroupOrderIsStable) {
+  // Q1 groups lineitem by (returnflag, linestatus): the parallel fold must
+  // reproduce the serial first-occurrence group order, not just the group
+  // set. Three runs on pools of different widths must agree row for row.
+  ThreadPool one(1);
+  ThreadPool two(2);
+  ThreadPool four(4);
+  const QuerySpec* q1 = nullptr;
+  auto qs = TpchQueries(db_->schema());
+  for (const QuerySpec& q : qs) {
+    if (q.name == "Q1") q1 = &q;
+  }
+  ASSERT_NE(q1, nullptr);
+  auto a = ExecuteQuery(*q1, *pdb_, {}, {}, &one);
+  auto b = ExecuteQuery(*q1, *pdb_, {}, {}, &two);
+  auto c = ExecuteQuery(*q1, *pdb_, {}, {}, &four);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_GT(a->rows.num_rows(), 1u);
+  ExpectBitIdentical(*a, *b, "Q1 1v2");
+  ExpectBitIdentical(*a, *c, "Q1 1v4");
+}
+
+}  // namespace
+}  // namespace pref

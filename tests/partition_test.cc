@@ -283,6 +283,48 @@ TEST(PartitionerTest, TpchSdConfigSatisfiesDefinition1) {
   }
 }
 
+TEST(PartitionerTest, ParallelPartitioningIdenticalToSerial) {
+  // PartitionDatabase runs the shared route → append → index phases of the
+  // bulk loader (partition/load_phases.h); the pooled path must reproduce
+  // the serial path exactly: same partition contents in the same row order,
+  // same dup/hasS bitmaps, same partition-index shapes.
+  auto db = GenerateTpch({0.002, 42});
+  ASSERT_TRUE(db.ok());
+  auto serial =
+      PartitionDatabase(*db, MakeTpchSdManual(db->schema(), 6), /*parallel=*/false);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel =
+      PartitionDatabase(*db, MakeTpchSdManual(db->schema(), 6), /*parallel=*/true);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  for (const PartitionedTable* a : (*serial)->tables()) {
+    const PartitionedTable* b = (*parallel)->GetTable(a->id());
+    ASSERT_NE(b, nullptr) << a->name();
+    ASSERT_EQ(a->num_partitions(), b->num_partitions()) << a->name();
+    std::vector<ColumnId> cols(static_cast<size_t>(a->def().num_columns()));
+    for (size_t c = 0; c < cols.size(); ++c) cols[c] = static_cast<ColumnId>(c);
+    for (int p = 0; p < a->num_partitions(); ++p) {
+      const Partition& pa = a->partition(p);
+      const Partition& pb = b->partition(p);
+      ASSERT_EQ(pa.rows.num_rows(), pb.rows.num_rows())
+          << a->name() << " partition " << p;
+      for (size_t r = 0; r < pa.rows.num_rows(); ++r) {
+        ASSERT_TRUE(pa.rows.RowsEqual(cols, r, pb.rows, cols, r))
+            << a->name() << " partition " << p << " row " << r;
+      }
+      EXPECT_TRUE(pa.dup == pb.dup) << a->name() << " dup, partition " << p;
+      EXPECT_TRUE(pa.has_partner == pb.has_partner)
+          << a->name() << " hasS, partition " << p;
+    }
+    ASSERT_EQ(a->indexes().size(), b->indexes().size()) << a->name();
+    for (size_t i = 0; i < a->indexes().size(); ++i) {
+      EXPECT_EQ(a->indexes()[i].first, b->indexes()[i].first) << a->name();
+      EXPECT_EQ(a->indexes()[i].second->num_keys(), b->indexes()[i].second->num_keys())
+          << a->name() << " index " << i;
+    }
+  }
+}
+
 TEST(PartitionerTest, PrefChainKeepsModerateRedundancy) {
   auto db = GenerateTpch({0.002, 42});
   ASSERT_TRUE(db.ok());

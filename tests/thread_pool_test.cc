@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/parallel.h"
@@ -95,6 +97,76 @@ TEST(ThreadPoolTest, ChunkIndexesAreDenseAndCoverTheRange) {
   EXPECT_EQ(*chunks.begin(), 0);
   EXPECT_EQ(*chunks.rbegin(), static_cast<int>(chunks.size()) - 1);
   EXPECT_LE(chunks.size(), 4u);
+}
+
+TEST(ThreadPoolTest, MorselsCoverRangeExactlyOnceWithFixedBoundaries) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10001;
+  constexpr size_t kMorsel = 256;
+  std::vector<std::atomic<int>> covered(kN);
+  std::mutex mu;
+  std::set<size_t> morsels;
+  pool.ParallelForMorsels(kN, kMorsel, [&](size_t m, size_t begin, size_t end) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ASSERT_TRUE(morsels.insert(m).second) << "morsel " << m << " ran twice";
+    }
+    // Boundaries are a pure function of (n, morsel_size): morsel m always
+    // covers [m*size, min(n, (m+1)*size)) regardless of pool width.
+    EXPECT_EQ(begin, m * kMorsel);
+    EXPECT_EQ(end, std::min(kN, begin + kMorsel));
+    for (size_t i = begin; i < end; ++i) covered[i]++;
+  });
+  EXPECT_EQ(morsels.size(), (kN + kMorsel - 1) / kMorsel);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(covered[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, MorselBoundariesIndependentOfPoolWidth) {
+  auto collect = [](ThreadPool& pool) {
+    std::mutex mu;
+    std::set<std::tuple<size_t, size_t, size_t>> seen;
+    pool.ParallelForMorsels(1000, 64, [&](size_t m, size_t b, size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.emplace(m, b, e);
+    });
+    return seen;
+  };
+  ThreadPool one(1), four(4);
+  EXPECT_EQ(collect(one), collect(four));
+}
+
+TEST(ThreadPoolTest, MorselExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelForMorsels(1000, 16,
+                                       [&](size_t m, size_t, size_t) {
+                                         if (m == 7) throw std::runtime_error("boom");
+                                       }),
+               std::runtime_error);
+  std::atomic<int> after{0};
+  pool.ParallelForMorsels(100, 10, [&](size_t, size_t b, size_t e) {
+    after += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPoolTest, MorselEdgeCases) {
+  ThreadPool pool(4);
+  int runs = 0;
+  pool.ParallelForMorsels(0, 128, [&](size_t, size_t, size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  // morsel_size 0 is clamped to 1 instead of dividing by zero.
+  std::atomic<int> singles{0};
+  pool.ParallelForMorsels(5, 0, [&](size_t, size_t b, size_t e) {
+    EXPECT_EQ(e, b + 1);
+    singles++;
+  });
+  EXPECT_EQ(singles.load(), 5);
+  // Nested call from a worker runs serially, like ParallelFor.
+  std::atomic<int> nested{0};
+  pool.ParallelForMorsels(4, 1, [&](size_t, size_t, size_t) {
+    pool.ParallelForMorsels(4, 1, [&](size_t, size_t, size_t) { nested++; });
+  });
+  EXPECT_EQ(nested.load(), 16);
 }
 
 TEST(ThreadPoolTest, ZeroAndOneIterationEdgeCases) {

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Markdown link checker — stdlib only, no network.
+
+Scans the repository's *.md files for inline links/images
+(``[text](target)``) and verifies that
+
+* relative file targets exist (relative to the containing file);
+* ``#anchor`` fragments — own-file or cross-file — resolve to a heading,
+  using GitHub's slugging rules (lowercase, spaces to dashes, punctuation
+  stripped, duplicate slugs suffixed -1, -2, ...).
+
+External targets (http/https/mailto) are not fetched; bare URLs outside
+link syntax are ignored. Fenced code blocks are skipped so shell snippets
+containing ``[...](...)`` cannot false-positive.
+
+Usage: python3 tools/check_markdown_links.py [root_dir]
+Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+import unicodedata
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def slugify(title: str) -> str:
+    """GitHub-style heading slug."""
+    # Strip inline code/emphasis markers and links ([text](url) -> text).
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+    title = title.replace("`", "").replace("*", "").replace("_", " ")
+    out = []
+    for ch in title.strip().lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-" if ch == "-" else "-")
+        else:
+            cat = unicodedata.category(ch)
+            # GitHub keeps marks/connector chars, drops punctuation/symbols.
+            if cat.startswith("M"):
+                out.append(ch)
+    return "".join(out)
+
+
+def heading_slugs(path: str) -> set:
+    slugs = {}
+    result = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(2))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            result.add(slug if n == 0 else f"{slug}-{n}")
+    return result
+
+
+def iter_markdown_files(root: str):
+    skip_dirs = {".git", "build", "third_party", "node_modules"}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in skip_dirs and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(md_path: str, slug_cache: dict) -> list:
+    errors = []
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in INLINE_LINK.finditer(line):
+                target = m.group(1)
+                if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                    continue  # http:, https:, mailto:, etc.
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(md_path), path_part)
+                    )
+                    if not os.path.exists(resolved):
+                        errors.append(f"{md_path}:{lineno}: missing file: {target}")
+                        continue
+                else:
+                    resolved = md_path
+                if fragment and resolved.endswith(".md"):
+                    if resolved not in slug_cache:
+                        slug_cache[resolved] = heading_slugs(resolved)
+                    if fragment.lower() not in slug_cache[resolved]:
+                        errors.append(
+                            f"{md_path}:{lineno}: missing anchor: {target}"
+                        )
+    return errors
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    slug_cache = {}
+    errors = []
+    count = 0
+    for md in sorted(iter_markdown_files(root)):
+        count += 1
+        errors.extend(check_file(md, slug_cache))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {count} markdown file(s)")
+        return 1
+    print(f"OK: {count} markdown file(s), no broken relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
