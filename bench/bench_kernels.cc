@@ -1,0 +1,375 @@
+// Microbenchmark for the vectorized execution kernels (DESIGN.md §8):
+// hash-join build and probe, and the repartition exchange, each measured
+// twice — the historical row-at-a-time implementation (std::unordered_
+// multimap build, AppendRow emission) against the kernel path (batch
+// hashing, flat open-addressing JoinHashTable, counting-sort ScatterPlan,
+// column-at-a-time gathers). Both variants produce identical output blocks
+// (checked at startup); the reported rows/s ratio is the kernel speedup.
+//
+// Joins probe lineitem against an orders build side on orderkey;
+// repartition shuffles lineitem across 10 targets on orderkey. Scale with
+// PREF_BENCH_SF (default 0.1).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/exchange_kernels.h"
+#include "engine/join_hash_table.h"
+
+namespace {
+
+using namespace pref;
+
+constexpr int kTargets = 10;
+constexpr size_t kMorselRows = 4096;  // mirrors the executor's morsel size
+
+struct KernelBenchData {
+  std::unique_ptr<Database> db;
+  const RowBlock* probe = nullptr;  // lineitem
+  const RowBlock* build = nullptr;  // orders
+  std::vector<ColumnId> probe_keys;
+  std::vector<ColumnId> build_keys;
+};
+
+KernelBenchData* g_data = nullptr;
+
+std::vector<DataType> ConcatTypes(const RowBlock& l, const RowBlock& r) {
+  std::vector<DataType> types;
+  for (int c = 0; c < l.num_columns(); ++c) types.push_back(l.column(c).type());
+  for (int c = 0; c < r.num_columns(); ++c) types.push_back(r.column(c).type());
+  return types;
+}
+
+// --- Row-at-a-time reference (the pre-kernel executor, verbatim shape) ---
+
+std::unordered_multimap<uint64_t, size_t> BuildRowAtATime(const RowBlock& r,
+                                                          const std::vector<ColumnId>& rs) {
+  std::unordered_multimap<uint64_t, size_t> build;
+  build.reserve(r.num_rows());
+  for (size_t i = 0; i < r.num_rows(); ++i) build.emplace(r.HashRow(rs, i), i);
+  return build;
+}
+
+RowBlock ProbeRowAtATime(const RowBlock& l, const RowBlock& r,
+                         const std::vector<ColumnId>& ls, const std::vector<ColumnId>& rs,
+                         const std::unordered_multimap<uint64_t, size_t>& build) {
+  RowBlock dst(ConcatTypes(l, r));
+  for (size_t i = 0; i < l.num_rows(); ++i) {
+    uint64_t h = l.HashRow(ls, i);
+    auto range = build.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (!l.RowsEqual(ls, i, r, rs, it->second)) continue;
+      for (int c = 0; c < l.num_columns(); ++c) dst.column(c).AppendFrom(l.column(c), i);
+      for (int c = 0; c < r.num_columns(); ++c) {
+        dst.column(l.num_columns() + c).AppendFrom(r.column(c), it->second);
+      }
+    }
+  }
+  return dst;
+}
+
+RowBlock RepartitionRowAtATime(const RowBlock& src, const std::vector<ColumnId>& keys,
+                               size_t* bytes_shuffled) {
+  std::vector<RowBlock> out;
+  std::vector<DataType> types;
+  for (int c = 0; c < src.num_columns(); ++c) types.push_back(src.column(c).type());
+  for (int t = 0; t < kTargets; ++t) out.emplace_back(types);
+  size_t bytes = 0;
+  for (size_t r = 0; r < src.num_rows(); ++r) {
+    int target = static_cast<int>(src.HashRow(keys, r) % kTargets);
+    if (target != 0) bytes += src.RowByteSize(r);
+    out[static_cast<size_t>(target)].AppendRow(src, r);
+  }
+  *bytes_shuffled = bytes;
+  RowBlock merged(types);
+  for (auto& block : out) merged.AppendBlock(block);
+  return merged;
+}
+
+// --- Kernel path (mirrors the executor's new join/exchange shape) ---
+
+JoinHashTable BuildKernel(const RowBlock& r, const std::vector<ColumnId>& rs) {
+  std::vector<uint64_t> hashes(r.num_rows());
+  r.HashRows(rs, hashes);
+  return JoinHashTable(hashes);
+}
+
+RowBlock ProbeKernel(const RowBlock& l, const RowBlock& r,
+                     const std::vector<ColumnId>& ls, const std::vector<ColumnId>& rs,
+                     const JoinHashTable& table) {
+  RowBlock dst(ConcatTypes(l, r));
+  std::vector<uint64_t> probe_hashes(l.num_rows());
+  l.HashRows(ls, probe_hashes);
+  struct MorselSel {
+    std::vector<uint32_t> left, right;
+  };
+  std::vector<MorselSel> sels((l.num_rows() + kMorselRows - 1) / kMorselRows);
+  std::vector<uint32_t> match_buf;
+  size_t total = 0;
+  for (size_t m = 0; m < sels.size(); ++m) {
+    const size_t row_end = std::min(l.num_rows(), (m + 1) * kMorselRows);
+    MorselSel& sel = sels[m];
+    for (size_t i = m * kMorselRows; i < row_end; ++i) {
+      match_buf.clear();
+      table.ForEachMatch(probe_hashes[i], [&](uint32_t b) {
+        if (l.RowsEqual(ls, i, r, rs, b)) match_buf.push_back(b);
+      });
+      for (size_t k = match_buf.size(); k-- > 0;) {
+        sel.left.push_back(static_cast<uint32_t>(i));
+        sel.right.push_back(match_buf[k]);
+      }
+    }
+    total += sel.left.size();
+  }
+  dst.Reserve(total);
+  for (const MorselSel& sel : sels) {
+    if (sel.left.empty()) continue;
+    for (int c = 0; c < l.num_columns(); ++c) dst.column(c).AppendGather(l.column(c), sel.left);
+    for (int c = 0; c < r.num_columns(); ++c) {
+      dst.column(l.num_columns() + c).AppendGather(r.column(c), sel.right);
+    }
+  }
+  return dst;
+}
+
+RowBlock RepartitionKernel(const RowBlock& src, const std::vector<ColumnId>& keys,
+                           size_t* bytes_shuffled) {
+  std::vector<uint64_t> hashes(src.num_rows());
+  src.HashRows(keys, hashes);
+  std::vector<uint32_t> targets(src.num_rows());
+  for (size_t r = 0; r < targets.size(); ++r) {
+    targets[r] = static_cast<uint32_t>(hashes[r] % kTargets);
+  }
+  std::vector<size_t> sizes(src.num_rows());
+  src.RowByteSizes(sizes);
+  size_t bytes = 0;
+  for (size_t r = 0; r < targets.size(); ++r) {
+    if (targets[r] != 0) bytes += sizes[r];
+  }
+  *bytes_shuffled = bytes;
+  ScatterPlan plan = BuildScatterPlan(targets, kTargets);
+  std::vector<DataType> types;
+  for (int c = 0; c < src.num_columns(); ++c) types.push_back(src.column(c).type());
+  RowBlock merged(types);
+  merged.Reserve(src.num_rows());
+  for (int t = 0; t < kTargets; ++t) merged.AppendGather(src, plan.SliceFor(t));
+  return merged;
+}
+
+// --- Benchmarks -----------------------------------------------------------
+
+void BM_JoinBuildRowAtATime(benchmark::State& state) {
+  for (auto _ : state) {
+    auto build = BuildRowAtATime(*g_data->build, g_data->build_keys);
+    benchmark::DoNotOptimize(build.size());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(g_data->build->num_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_JoinBuildKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto table = BuildKernel(*g_data->build, g_data->build_keys);
+    benchmark::DoNotOptimize(table.capacity());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(g_data->build->num_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_JoinProbeRowAtATime(benchmark::State& state) {
+  auto build = BuildRowAtATime(*g_data->build, g_data->build_keys);
+  for (auto _ : state) {
+    RowBlock out = ProbeRowAtATime(*g_data->probe, *g_data->build, g_data->probe_keys,
+                                   g_data->build_keys, build);
+    benchmark::DoNotOptimize(out.num_rows());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(g_data->probe->num_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_JoinProbeKernel(benchmark::State& state) {
+  JoinHashTable table = BuildKernel(*g_data->build, g_data->build_keys);
+  for (auto _ : state) {
+    RowBlock out = ProbeKernel(*g_data->probe, *g_data->build, g_data->probe_keys,
+                               g_data->build_keys, table);
+    benchmark::DoNotOptimize(out.num_rows());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(g_data->probe->num_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_RepartitionRowAtATime(benchmark::State& state) {
+  size_t bytes = 0;
+  for (auto _ : state) {
+    RowBlock out = RepartitionRowAtATime(*g_data->probe, g_data->probe_keys, &bytes);
+    benchmark::DoNotOptimize(out.num_rows());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(g_data->probe->num_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_RepartitionKernel(benchmark::State& state) {
+  size_t bytes = 0;
+  for (auto _ : state) {
+    RowBlock out = RepartitionKernel(*g_data->probe, g_data->probe_keys, &bytes);
+    benchmark::DoNotOptimize(out.num_rows());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(g_data->probe->num_rows()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+uint64_t BlockDigest(const RowBlock& b) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  std::vector<ColumnId> all;
+  for (int c = 0; c < b.num_columns(); ++c) all.push_back(c);
+  for (size_t r = 0; r < b.num_rows(); ++r) h = HashCombine(h, b.HashRow(all, r));
+  return h;
+}
+
+/// The comparison is only meaningful if both paths compute the same thing:
+/// identical output rows in identical order.
+bool VerifyVariantsAgree() {
+  auto mm = BuildRowAtATime(*g_data->build, g_data->build_keys);
+  JoinHashTable table = BuildKernel(*g_data->build, g_data->build_keys);
+  RowBlock a = ProbeRowAtATime(*g_data->probe, *g_data->build, g_data->probe_keys,
+                               g_data->build_keys, mm);
+  RowBlock b = ProbeKernel(*g_data->probe, *g_data->build, g_data->probe_keys,
+                           g_data->build_keys, table);
+  if (a.num_rows() != b.num_rows() || BlockDigest(a) != BlockDigest(b)) {
+    std::fprintf(stderr, "join variants disagree: %zu/%zu rows\n", a.num_rows(),
+                 b.num_rows());
+    return false;
+  }
+  size_t bytes_a = 0, bytes_b = 0;
+  RowBlock ra = RepartitionRowAtATime(*g_data->probe, g_data->probe_keys, &bytes_a);
+  RowBlock rb = RepartitionKernel(*g_data->probe, g_data->probe_keys, &bytes_b);
+  if (ra.num_rows() != rb.num_rows() || bytes_a != bytes_b ||
+      BlockDigest(ra) != BlockDigest(rb)) {
+    std::fprintf(stderr, "repartition variants disagree\n");
+    return false;
+  }
+  return true;
+}
+
+/// Median-of-k wall-clock of one variant, for the JSON report.
+template <typename Fn>
+double MeasureSeconds(Fn&& fn, int reps = 3) {
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch timer;
+    fn();
+    times.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void FillReport(pref::bench::BenchReport* report) {
+  const RowBlock& probe = *g_data->probe;
+  const RowBlock& build = *g_data->build;
+  const double probe_rows = static_cast<double>(probe.num_rows());
+  const double build_rows = static_cast<double>(build.num_rows());
+
+  double t = MeasureSeconds([&] {
+    auto b = BuildRowAtATime(build, g_data->build_keys);
+    benchmark::DoNotOptimize(b.size());
+  });
+  report->Result("join_build/rowatatime", t);
+  report->Field("rows_per_sec", build_rows / t);
+  double t_build_row = t;
+
+  t = MeasureSeconds([&] {
+    auto b = BuildKernel(build, g_data->build_keys);
+    benchmark::DoNotOptimize(b.capacity());
+  });
+  report->Result("join_build/kernel", t);
+  report->Field("rows_per_sec", build_rows / t);
+  report->Field("speedup", t_build_row / t);
+
+  auto mm = BuildRowAtATime(build, g_data->build_keys);
+  t = MeasureSeconds([&] {
+    RowBlock out = ProbeRowAtATime(probe, build, g_data->probe_keys,
+                                   g_data->build_keys, mm);
+    benchmark::DoNotOptimize(out.num_rows());
+  });
+  report->Result("join_probe/rowatatime", t);
+  report->Field("rows_per_sec", probe_rows / t);
+  double t_probe_row = t;
+
+  JoinHashTable table = BuildKernel(build, g_data->build_keys);
+  t = MeasureSeconds([&] {
+    RowBlock out =
+        ProbeKernel(probe, build, g_data->probe_keys, g_data->build_keys, table);
+    benchmark::DoNotOptimize(out.num_rows());
+  });
+  report->Result("join_probe/kernel", t);
+  report->Field("rows_per_sec", probe_rows / t);
+  report->Field("speedup", t_probe_row / t);
+
+  size_t bytes = 0;
+  t = MeasureSeconds([&] {
+    RowBlock out = RepartitionRowAtATime(probe, g_data->probe_keys, &bytes);
+    benchmark::DoNotOptimize(out.num_rows());
+  });
+  report->Result("repartition/rowatatime", t);
+  report->Field("rows_per_sec", probe_rows / t);
+  double t_rep_row = t;
+
+  t = MeasureSeconds([&] {
+    RowBlock out = RepartitionKernel(probe, g_data->probe_keys, &bytes);
+    benchmark::DoNotOptimize(out.num_rows());
+  });
+  report->Result("repartition/kernel", t);
+  report->Field("rows_per_sec", probe_rows / t);
+  report->Field("speedup", t_rep_row / t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pref::bench::ParseBenchArgs(&argc, argv);
+  double sf = pref::bench::EnvScaleFactor("PREF_BENCH_SF", 0.1);
+  auto db = pref::GenerateTpch({sf, 42});
+  if (!db.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  KernelBenchData data;
+  data.db = std::make_unique<pref::Database>(std::move(*db));
+  auto lineitem = data.db->FindTable("lineitem");
+  auto orders = data.db->FindTable("orders");
+  if (!lineitem.ok() || !orders.ok()) return 1;
+  data.probe = &(*lineitem)->data();
+  data.build = &(*orders)->data();
+  // l_orderkey and o_orderkey are the leading columns of both tables.
+  data.probe_keys = {0};
+  data.build_keys = {0};
+  g_data = &data;
+
+  if (!VerifyVariantsAgree()) return 1;
+
+  pref::bench::BenchReport report("bench_kernels", sf, kTargets);
+  report.Config("probe_rows", static_cast<double>(data.probe->num_rows()));
+  report.Config("build_rows", static_cast<double>(data.build->num_rows()));
+  FillReport(&report);
+
+  benchmark::RegisterBenchmark("kernels/join_build/rowatatime", BM_JoinBuildRowAtATime)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("kernels/join_build/kernel", BM_JoinBuildKernel)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("kernels/join_probe/rowatatime", BM_JoinProbeRowAtATime)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("kernels/join_probe/kernel", BM_JoinProbeKernel)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("kernels/repartition/rowatatime", BM_RepartitionRowAtATime)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("kernels/repartition/kernel", BM_RepartitionKernel)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return pref::bench::FinishBench(report, args) ? 0 : 1;
+}

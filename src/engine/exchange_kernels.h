@@ -1,0 +1,62 @@
+// Counting-sort kernels for the exchange operators (Repartition/Gather).
+//
+// A ScatterPlan groups one source block's rows by target node with the
+// classic two-pass prefix-sum partitioning pattern: count rows per target,
+// exclusive-scan the counts into offsets, then scatter each row id into its
+// target's slice. Rows of target t occupy ordered[offsets[t], offsets[t+1])
+// in ascending source-row order — exactly the order a serial row loop would
+// append them — so a consumer that gathers the slices source-by-source
+// reproduces the serial exchange output bit for bit (DESIGN.md §8).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pref {
+
+/// Exclusive prefix sum: returns [0, v[0], v[0]+v[1], ...] with one extra
+/// trailing element holding the total.
+inline std::vector<size_t> ExclusiveSum(std::span<const size_t> v) {
+  std::vector<size_t> out(v.size() + 1, 0);
+  for (size_t i = 0; i < v.size(); ++i) out[i + 1] = out[i] + v[i];
+  return out;
+}
+
+/// One source block's rows grouped by target: rows destined for target t
+/// sit in ordered[offsets[t], offsets[t+1]), ascending. Default-constructed
+/// plans (empty offsets) mean "no rows" and are skipped by consumers.
+struct ScatterPlan {
+  std::vector<uint32_t> ordered;
+  std::vector<size_t> offsets;  // size num_targets + 1; exclusive scan
+
+  bool empty() const { return offsets.empty(); }
+  size_t CountFor(int target) const {
+    if (offsets.empty()) return 0;
+    const size_t t = static_cast<size_t>(target);
+    return offsets[t + 1] - offsets[t];
+  }
+  std::span<const uint32_t> SliceFor(int target) const {
+    const size_t t = static_cast<size_t>(target);
+    return std::span<const uint32_t>(ordered).subspan(offsets[t], CountFor(target));
+  }
+};
+
+/// Builds the plan for one source block. `targets[r]` is row r's target in
+/// [0, num_targets). Two passes: count, exclusive-scan, scatter.
+inline ScatterPlan BuildScatterPlan(std::span<const uint32_t> targets,
+                                    int num_targets) {
+  ScatterPlan plan;
+  std::vector<size_t> counts(static_cast<size_t>(num_targets), 0);
+  for (uint32_t t : targets) counts[t]++;
+  plan.offsets = ExclusiveSum(counts);
+  plan.ordered.resize(targets.size());
+  std::vector<size_t> cursor(plan.offsets.begin(), plan.offsets.end() - 1);
+  for (size_t r = 0; r < targets.size(); ++r) {
+    plan.ordered[cursor[targets[r]]++] = static_cast<uint32_t>(r);
+  }
+  return plan;
+}
+
+}  // namespace pref

@@ -1,12 +1,15 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "engine/exchange_kernels.h"
+#include "engine/join_hash_table.h"
 
 namespace pref {
 
@@ -122,9 +125,7 @@ class Executor {
     PREF_ASSIGN_OR_RAISE(DistResult dist, Exec(root, /*parent=*/-1));
     QueryResult result;
     result.rows = RowBlock(TypesOf(root));
-    for (auto& block : dist.nodes) {
-      for (size_t r = 0; r < block.num_rows(); ++r) result.rows.AppendRow(block, r);
-    }
+    for (auto& block : dist.nodes) result.rows.AppendBlock(block);
     for (const auto& c : root.cols) result.column_names.push_back(c.name);
 
     // Fan the per-operator breakdown into the aggregates: every aggregate
@@ -344,15 +345,21 @@ class Executor {
         Charge(op, p, rows.num_rows());
         RowBlock& dst = out.nodes[static_cast<size_t>(p)];
         const auto& s = sel[static_cast<size_t>(i)];
+        // Selection bitmap → selection vector, then one gather per column.
+        std::vector<uint32_t> picked;
+        picked.reserve(rows.num_rows());
         for (size_t r = 0; r < rows.num_rows(); ++r) {
-          if (s[r] == 0) continue;
-          for (size_t c = 0; c < base_cols; ++c) {
-            dst.column(static_cast<int>(c))
-                .AppendFrom(rows.column(node.project_slots[c]), r);
-          }
-          if (node.scan_attach_dup) {
-            dst.column(static_cast<int>(base_cols))
-                .AppendInt64(part.dup.empty() ? 0 : (part.dup.Get(r) ? 1 : 0));
+          if (s[r] != 0) picked.push_back(static_cast<uint32_t>(r));
+        }
+        for (size_t c = 0; c < base_cols; ++c) {
+          dst.column(static_cast<int>(c))
+              .AppendGather(rows.column(node.project_slots[c]), picked);
+        }
+        if (node.scan_attach_dup) {
+          Column& dup_col = dst.column(static_cast<int>(base_cols));
+          dup_col.Reserve(picked.size());
+          for (uint32_t r : picked) {
+            dup_col.AppendInt64(part.dup.empty() ? 0 : (part.dup.Get(r) ? 1 : 0));
           }
         }
       });
@@ -376,9 +383,11 @@ class Executor {
       // separate CPU charge (as in the paper's engine, where filters are
       // pushed into the per-node DBMS scan).
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      std::vector<uint32_t> picked;
       for (size_t r = 0; r < src.num_rows(); ++r) {
-        if (EvalDnf(node.filter, src, r)) dst.AppendRow(src, r);
+        if (EvalDnf(node.filter, src, r)) picked.push_back(static_cast<uint32_t>(r));
       }
+      dst.AppendGather(src, picked);
     });
     return out;
   }
@@ -399,59 +408,128 @@ class Executor {
       const RowBlock& r = right.nodes[static_cast<size_t>(p)];
       Charge(op, p, l.num_rows() + r.num_rows());
       if (l.num_rows() == 0) return;
-      // Build on the right side.
-      std::unordered_multimap<uint64_t, size_t> build;
-      build.reserve(r.num_rows());
-      for (size_t i = 0; i < r.num_rows(); ++i) {
-        build.emplace(r.HashRow(rs, i), i);
+      // Build: batch-hash the right side, then insert (hash, row) pairs
+      // into a flat open-addressing table (DESIGN.md §8).
+      std::vector<uint64_t> build_hashes(r.num_rows());
+      r.HashRows(rs, build_hashes);
+      JoinHashTable table(build_hashes);
+      // Probe into per-morsel selection-vector pairs. Morsels are processed
+      // in ascending row order; matches per probe row are emitted in
+      // *descending* build-row order — the order the previous
+      // std::unordered_multimap path produced (libstdc++ prepends equal
+      // keys, so equal_range iterates newest-first) — keeping join output,
+      // and therefore every downstream stable sort with ties, bit-identical
+      // to the historical executor.
+      std::vector<uint64_t> probe_hashes(l.num_rows());
+      l.HashRows(ls, probe_hashes);
+      struct MorselSel {
+        std::vector<uint32_t> left, right;
+      };
+      std::vector<MorselSel> sels((l.num_rows() + kMorselRows - 1) / kMorselRows);
+      std::vector<uint32_t> match_buf;
+      size_t total_out = 0;
+      for (size_t m = 0; m < sels.size(); ++m) {
+        const size_t row_end = std::min(l.num_rows(), (m + 1) * kMorselRows);
+        MorselSel& sel = sels[m];
+        for (size_t i = m * kMorselRows; i < row_end; ++i) {
+          bool matched = false;
+          match_buf.clear();
+          table.ForEachMatch(probe_hashes[i], [&](uint32_t b) {
+            if (!inner && matched) return;  // semi/anti need one witness
+            if (!l.RowsEqual(ls, i, r, rs, b)) return;
+            matched = true;
+            if (inner) match_buf.push_back(b);
+          });
+          for (size_t k = match_buf.size(); k-- > 0;) {
+            sel.left.push_back(static_cast<uint32_t>(i));
+            sel.right.push_back(match_buf[k]);
+          }
+          bool emit_left_only = (node.join_type == JoinType::kSemi && matched) ||
+                                (node.join_type == JoinType::kAnti && !matched);
+          if (emit_left_only) sel.left.push_back(static_cast<uint32_t>(i));
+        }
+        total_out += sel.left.size();
       }
+      // Gather column-at-a-time in morsel order into an exactly-reserved
+      // output block (match counts are known, not estimated).
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
-      for (size_t i = 0; i < l.num_rows(); ++i) {
-        uint64_t h = l.HashRow(ls, i);
-        bool matched = false;
-        auto range = build.equal_range(h);
-        for (auto it = range.first; it != range.second; ++it) {
-          if (!l.RowsEqual(ls, i, r, rs, it->second)) continue;
-          matched = true;
-          if (!inner) break;
-          // Emit concatenated row.
+      dst.Reserve(total_out);
+      for (const MorselSel& sel : sels) {
+        if (sel.left.empty()) continue;
+        if (inner) {
           for (int c = 0; c < l.num_columns(); ++c) {
-            dst.column(c).AppendFrom(l.column(c), i);
+            dst.column(c).AppendGather(l.column(c), sel.left);
           }
           for (int c = 0; c < r.num_columns(); ++c) {
-            dst.column(l.num_columns() + c).AppendFrom(r.column(c), it->second);
+            dst.column(l.num_columns() + c).AppendGather(r.column(c), sel.right);
           }
+        } else {
+          dst.AppendGather(l, sel.left);
         }
-        bool emit_left_only = (node.join_type == JoinType::kSemi && matched) ||
-                              (node.join_type == JoinType::kAnti && !matched);
-        if (emit_left_only) dst.AppendRow(l, i);
       }
     });
     return out;
   }
 
+  /// Two-pass counting-sort shuffle (DESIGN.md §8). Pass 1 fans out over
+  /// *source* nodes: batch-hash each block, derive per-row targets, build a
+  /// ScatterPlan (count → exclusive prefix sum → scatter of row ids) and
+  /// per-source shuffle counters. Pass 2 fans out over *target* nodes: each
+  /// target owns its output block, reserves the exact row count, and
+  /// gathers its slice of every source in source order — reproducing the
+  /// serial row loop's output order bit for bit. The counters fold in
+  /// source order on the calling thread, so ExecStats are identical at any
+  /// pool width.
   Result<DistResult> ExecRepartition(const PlanNode& node, int op) {
     const PlanNode& child = *node.children[0];
     PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
     DistResult out = MakeDist(node, n_);
     Op(op).exchanges++;
-    // Serial on purpose: every source node writes every target block, and
-    // the shuffle counters are shared — an exchange is a barrier in the
-    // simulated cluster anyway.
-    for (int p = 0; p < n_; ++p) {
-      if (child.replicated && p != 0) continue;  // one copy feeds the shuffle
+    std::vector<ScatterPlan> plans(static_cast<size_t>(n_));
+    std::vector<size_t> src_rows_shuffled(static_cast<size_t>(n_), 0);
+    std::vector<size_t> src_bytes_shuffled(static_cast<size_t>(n_), 0);
+    pool_->ParallelFor(n_, [&](int p) {
+      if (child.replicated && p != 0) return;  // one copy feeds the shuffle
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       Charge(op, p, src.num_rows());
-      for (size_t r = 0; r < src.num_rows(); ++r) {
-        int target = static_cast<int>(src.HashRow(node.hash_slots, r) %
-                                      static_cast<uint64_t>(n_));
-        if (target != p) {
-          Op(op).rows_shuffled++;
-          Op(op).bytes_shuffled += src.RowByteSize(r);
-        }
-        out.nodes[static_cast<size_t>(target)].AppendRow(src, r);
+      const size_t rows = src.num_rows();
+      if (rows == 0) return;
+      std::vector<uint64_t> hashes(rows);
+      src.HashRows(node.hash_slots, hashes);
+      std::vector<uint32_t> targets(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        targets[r] = static_cast<uint32_t>(hashes[r] % static_cast<uint64_t>(n_));
       }
+      std::vector<size_t> sizes(rows);
+      src.RowByteSizes(sizes);
+      size_t moved_rows = 0, moved_bytes = 0;
+      for (size_t r = 0; r < rows; ++r) {
+        if (targets[r] != static_cast<uint32_t>(p)) {
+          moved_rows++;
+          moved_bytes += sizes[r];
+        }
+      }
+      src_rows_shuffled[static_cast<size_t>(p)] = moved_rows;
+      src_bytes_shuffled[static_cast<size_t>(p)] = moved_bytes;
+      plans[static_cast<size_t>(p)] = BuildScatterPlan(targets, n_);
+    });
+    for (int p = 0; p < n_; ++p) {
+      Op(op).rows_shuffled += src_rows_shuffled[static_cast<size_t>(p)];
+      Op(op).bytes_shuffled += src_bytes_shuffled[static_cast<size_t>(p)];
     }
+    pool_->ParallelFor(n_, [&](int t) {
+      RowBlock& dst = out.nodes[static_cast<size_t>(t)];
+      size_t total = 0;
+      for (const ScatterPlan& plan : plans) total += plan.CountFor(t);
+      if (total == 0) return;
+      dst.Reserve(total);
+      for (int p = 0; p < n_; ++p) {
+        const ScatterPlan& plan = plans[static_cast<size_t>(p)];
+        if (plan.empty()) continue;
+        auto slice = plan.SliceFor(t);
+        if (!slice.empty()) dst.AppendGather(in.nodes[static_cast<size_t>(p)], slice);
+      }
+    });
     return out;
   }
 
@@ -462,18 +540,27 @@ class Executor {
     ForEachNode([&](int p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       // The dup-bitmap filter is a fused predicate (dup = 0), not a
-      // standalone pass: no CPU charge.
+      // standalone pass: no CPU charge. The typed int payloads are hoisted
+      // out of the row loop — no per-row boxed access.
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      std::vector<const int64_t*> dup_cols;
+      dup_cols.reserve(child.active_dup_slots.size());
+      for (int slot : child.active_dup_slots) {
+        dup_cols.push_back(src.column(slot).ints().data());
+      }
+      std::vector<uint32_t> picked;
+      picked.reserve(src.num_rows());
       for (size_t r = 0; r < src.num_rows(); ++r) {
         bool dup = false;
-        for (int slot : child.active_dup_slots) {
-          if (src.column(slot).GetInt64(r) != 0) {
+        for (const int64_t* d : dup_cols) {
+          if (d[r] != 0) {
             dup = true;
             break;
           }
         }
-        if (!dup) dst.AppendRow(src, r);
+        if (!dup) picked.push_back(static_cast<uint32_t>(r));
       }
+      dst.AppendGather(src, picked);
     });
     return out;
   }
@@ -487,10 +574,12 @@ class Executor {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       Charge(op, p, src.num_rows());
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      std::vector<uint64_t> hashes(src.num_rows());
+      src.HashRows(key_cols, hashes);
       std::unordered_map<uint64_t, std::vector<size_t>> seen;
+      std::vector<uint32_t> picked;
       for (size_t r = 0; r < src.num_rows(); ++r) {
-        uint64_t h = src.HashRow(key_cols, r);
-        auto& bucket = seen[h];
+        auto& bucket = seen[hashes[r]];
         bool duplicate = false;
         for (size_t prev : bucket) {
           if (src.RowsEqual(key_cols, r, src, key_cols, prev)) {
@@ -500,12 +589,18 @@ class Executor {
         }
         if (duplicate) continue;
         bucket.push_back(r);
-        dst.AppendRow(src, r);
+        picked.push_back(static_cast<uint32_t>(r));
       }
+      dst.AppendGather(src, picked);
     });
     return out;
   }
 
+  /// Gather-to-coordinator as a counting-sort degenerate: every row's
+  /// target is node 0, so the "plan" is just per-source row counts. The
+  /// shuffle counters use whole-block sums (Column::ByteSize equals the sum
+  /// of per-row sizes by construction) and fold in source order; the concat
+  /// fans out over output *columns*, which are disjoint.
   Result<DistResult> ExecGather(const PlanNode& node, int op) {
     const PlanNode& child = *node.children[0];
     PREF_ASSIGN_OR_RAISE(DistResult in, Exec(child, op));
@@ -516,17 +611,23 @@ class Executor {
       return out;
     }
     Op(op).exchanges++;
+    size_t total = 0;
     for (int p = 0; p < n_; ++p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       Charge(op, p, src.num_rows());
-      for (size_t r = 0; r < src.num_rows(); ++r) {
-        if (p != 0) {
-          Op(op).rows_shuffled++;
-          Op(op).bytes_shuffled += src.RowByteSize(r);
-        }
-        out.nodes[0].AppendRow(src, r);
+      total += src.num_rows();
+      if (p != 0) {
+        Op(op).rows_shuffled += src.num_rows();
+        Op(op).bytes_shuffled += src.ByteSize();
       }
     }
+    RowBlock& dst = out.nodes[0];
+    dst.Reserve(total);
+    pool_->ParallelFor(dst.num_columns(), [&](int c) {
+      for (int p = 0; p < n_; ++p) {
+        dst.column(c).AppendColumn(in.nodes[static_cast<size_t>(p)].column(c));
+      }
+    });
     return out;
   }
 
@@ -812,9 +913,9 @@ class Executor {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       if (src.num_rows() == 0) return;
       Charge(op, p, src.num_rows());
-      std::vector<size_t> order(src.num_rows());
-      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      std::vector<uint32_t> order(src.num_rows());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+      std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
         for (const auto& [slot, desc] : node.sort_keys) {
           Value va = src.column(slot).GetValue(a);
           Value vb = src.column(slot).GetValue(b);
@@ -827,8 +928,8 @@ class Executor {
                         ? std::min<size_t>(order.size(),
                                            static_cast<size_t>(node.limit))
                         : order.size();
-      RowBlock& dst = out.nodes[static_cast<size_t>(p)];
-      for (size_t i = 0; i < keep; ++i) dst.AppendRow(src, order[i]);
+      order.resize(keep);
+      out.nodes[static_cast<size_t>(p)].AppendGather(src, order);
     });
     return out;
   }
@@ -838,13 +939,11 @@ class Executor {
     DistResult out = MakeDist(node, n_);
     ForEachNode([&](int p) {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
-      // Projection is free: column selection costs nothing extra.
+      // Projection is free: column selection costs nothing extra. Whole
+      // columns copy in one shot — no per-row dispatch at all.
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
-      for (size_t r = 0; r < src.num_rows(); ++r) {
-        for (size_t i = 0; i < node.project_slots.size(); ++i) {
-          dst.column(static_cast<int>(i))
-              .AppendFrom(src.column(node.project_slots[i]), r);
-        }
+      for (size_t i = 0; i < node.project_slots.size(); ++i) {
+        dst.column(static_cast<int>(i)).AppendColumn(src.column(node.project_slots[i]));
       }
     });
     return out;

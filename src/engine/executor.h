@@ -5,11 +5,14 @@
 // Every data-parallel operator fans out on the bounded ThreadPool
 // (DESIGN.md §7): scans split each node's partitions into fixed-size
 // morsels with per-morsel selection-bitmap slices, aggregations group rows
-// with per-morsel partial hash tables folded deterministically, and
-// per-node operators (join, filter, sort, ...) run the simulated nodes
-// concurrently. Results — rows, their order, and ExecStats aggregates —
-// are bit-identical for any thread count, including the PREF_THREADS=1
-// serial baseline.
+// with per-morsel partial hash tables folded deterministically, per-node
+// operators (join, filter, sort, ...) run the simulated nodes
+// concurrently, and exchanges run as two-pass counting-sort scatters
+// (parallel over sources, then over targets). Operators materialize
+// through column-at-a-time selection-vector kernels (DESIGN.md §8) rather
+// than row-at-a-time appends. Results — rows, their order, and ExecStats
+// aggregates — are bit-identical for any thread count, including the
+// PREF_THREADS=1 serial baseline.
 
 #pragma once
 

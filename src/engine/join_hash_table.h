@@ -1,0 +1,60 @@
+// Flat open-addressing hash table for the executor's hash joins.
+//
+// One contiguous vector of (hash, row) entries with power-of-two capacity
+// and linear probing, replacing std::unordered_multimap<uint64_t, size_t>
+// (one heap node + pointer chase per build row). Duplicate hashes are
+// supported: every (hash, row) pair is inserted at the first free slot at
+// or after its home slot, so a probe that scans forward from the home slot
+// until the first empty slot visits same-hash entries in insertion order —
+// ascending build-row order, which is also the match-emission order the
+// std::unordered_multimap path produced (equal keys keep insertion order).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pref {
+
+class JoinHashTable {
+ public:
+  /// Builds the table over one hash per build row; row ids are dense
+  /// [0, hashes.size()). Load factor is at most 1/2.
+  explicit JoinHashTable(std::span<const uint64_t> hashes) {
+    size_t cap = 16;
+    while (cap < hashes.size() * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, Entry{0, kEmpty});
+    for (size_t i = 0; i < hashes.size(); ++i) {
+      size_t s = hashes[i] & mask_;
+      while (slots_[s].row != kEmpty) s = (s + 1) & mask_;
+      slots_[s] = Entry{hashes[i], static_cast<uint32_t>(i)};
+    }
+  }
+
+  /// Invokes fn(row) for every build row whose hash equals `h`, in
+  /// ascending build-row order. Callers still confirm key equality — equal
+  /// hashes may be colliding distinct keys.
+  template <typename Fn>
+  void ForEachMatch(uint64_t h, Fn&& fn) const {
+    for (size_t s = h & mask_; slots_[s].row != kEmpty; s = (s + 1) & mask_) {
+      if (slots_[s].hash == h) fn(slots_[s].row);
+    }
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  struct Entry {
+    uint64_t hash;
+    uint32_t row;
+  };
+
+  std::vector<Entry> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace pref

@@ -73,6 +73,73 @@ void Column::AppendFrom(const Column& other, size_t other_row) {
   }
 }
 
+void Column::AppendGather(const Column& src, std::span<const uint32_t> sel) {
+  if (is_int()) {
+    auto& dst = std::get<Ints>(data_);
+    const auto& s = src.ints();
+    const size_t base = dst.size();
+    dst.resize(base + sel.size());
+    int64_t* out = dst.data() + base;
+    for (size_t i = 0; i < sel.size(); ++i) out[i] = s[sel[i]];
+  } else if (is_double()) {
+    auto& dst = std::get<Doubles>(data_);
+    const auto& s = src.doubles();
+    const size_t base = dst.size();
+    dst.resize(base + sel.size());
+    double* out = dst.data() + base;
+    for (size_t i = 0; i < sel.size(); ++i) out[i] = s[sel[i]];
+  } else {
+    auto& dst = std::get<Strings>(data_);
+    const auto& s = src.strings();
+    dst.reserve(dst.size() + sel.size());
+    for (uint32_t r : sel) dst.push_back(s[r]);
+  }
+}
+
+void Column::AppendColumn(const Column& src) {
+  if (is_int()) {
+    auto& dst = std::get<Ints>(data_);
+    dst.insert(dst.end(), src.ints().begin(), src.ints().end());
+  } else if (is_double()) {
+    auto& dst = std::get<Doubles>(data_);
+    dst.insert(dst.end(), src.doubles().begin(), src.doubles().end());
+  } else {
+    auto& dst = std::get<Strings>(data_);
+    dst.insert(dst.end(), src.strings().begin(), src.strings().end());
+  }
+}
+
+void Column::HashCombineInto(std::span<uint64_t> acc, size_t begin) const {
+  if (is_int()) {
+    const int64_t* v = ints().data() + begin;
+    for (size_t i = 0; i < acc.size(); ++i) {
+      acc[i] = HashCombine(acc[i], HashInt64(v[i]));
+    }
+  } else if (is_double()) {
+    const double* v = doubles().data() + begin;
+    for (size_t i = 0; i < acc.size(); ++i) {
+      int64_t bits;
+      __builtin_memcpy(&bits, &v[i], sizeof(bits));
+      acc[i] = HashCombine(acc[i], HashInt64(bits));
+    }
+  } else {
+    const std::string* v = strings().data() + begin;
+    for (size_t i = 0; i < acc.size(); ++i) {
+      acc[i] = HashCombine(acc[i], HashBytes(v[i]));
+    }
+  }
+}
+
+void Column::AddRowByteSizes(std::span<size_t> acc, size_t begin) const {
+  if (!is_string()) {
+    const size_t w = is_int() ? sizeof(int64_t) : sizeof(double);
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] += w;
+    return;
+  }
+  const std::string* v = strings().data() + begin;
+  for (size_t i = 0; i < acc.size(); ++i) acc[i] += v[i].size() + sizeof(size_t);
+}
+
 void Column::RemoveRows(const std::vector<bool>& keep) {
   std::visit(
       [&keep](auto& vec) {

@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -48,6 +49,24 @@ class Column {
 
   /// Appends other[other_row] to this column; types must match.
   void AppendFrom(const Column& other, size_t other_row);
+
+  /// Gather kernel: appends src[sel[0]], src[sel[1]], ... in selection
+  /// order, operating directly on the typed payload (no Value boxing).
+  /// The representations must match (int/date interchangeably).
+  void AppendGather(const Column& src, std::span<const uint32_t> sel);
+
+  /// Appends the entire payload of `src` (a gather with the identity
+  /// selection, without materializing it).
+  void AppendColumn(const Column& src);
+
+  /// Batch hash kernel: acc[i] = HashCombine(acc[i], HashAt(begin + i)) for
+  /// i in [0, acc.size()). Runs column-at-a-time over the typed payload;
+  /// bit-identical to calling HashAt row by row.
+  void HashCombineInto(std::span<uint64_t> acc, size_t begin = 0) const;
+
+  /// Batch size kernel: acc[i] += RowByteSize(begin + i). Fixed-width
+  /// columns add a constant without touching the payload.
+  void AddRowByteSizes(std::span<size_t> acc, size_t begin = 0) const;
 
   /// Compacts the column, keeping only rows where keep[i] is true.
   void RemoveRows(const std::vector<bool>& keep);

@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 namespace pref {
 
 RowBlock::RowBlock(const TableDef* def) : def_(def) {
@@ -20,6 +22,20 @@ void RowBlock::AppendRow(const RowBlock& src, size_t row) {
   assert(src.num_columns() == num_columns());
   for (int i = 0; i < num_columns(); ++i) {
     columns_[static_cast<size_t>(i)].AppendFrom(src.column(i), row);
+  }
+}
+
+void RowBlock::AppendGather(const RowBlock& src, std::span<const uint32_t> sel) {
+  assert(src.num_columns() == num_columns());
+  for (int i = 0; i < num_columns(); ++i) {
+    columns_[static_cast<size_t>(i)].AppendGather(src.column(i), sel);
+  }
+}
+
+void RowBlock::AppendBlock(const RowBlock& src) {
+  assert(src.num_columns() == num_columns());
+  for (int i = 0; i < num_columns(); ++i) {
+    columns_[static_cast<size_t>(i)].AppendColumn(src.column(i));
   }
 }
 
@@ -46,6 +62,17 @@ uint64_t RowBlock::HashRow(const std::vector<ColumnId>& cols, size_t row) const 
   uint64_t h = 0x84222325cbf29ce4ULL;
   for (ColumnId c : cols) h = HashCombine(h, column(c).HashAt(row));
   return h;
+}
+
+void RowBlock::HashRows(const std::vector<ColumnId>& cols, std::span<uint64_t> out,
+                        size_t begin) const {
+  std::fill(out.begin(), out.end(), 0x84222325cbf29ce4ULL);
+  for (ColumnId c : cols) column(c).HashCombineInto(out, begin);
+}
+
+void RowBlock::RowByteSizes(std::span<size_t> out, size_t begin) const {
+  std::fill(out.begin(), out.end(), 0);
+  for (const auto& c : columns_) c.AddRowByteSizes(out, begin);
 }
 
 bool RowBlock::RowsEqual(const std::vector<ColumnId>& cols, size_t row,

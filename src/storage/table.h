@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,13 @@ class RowBlock {
   /// Appends row `row` of `src` (which must have identical column types).
   void AppendRow(const RowBlock& src, size_t row);
 
+  /// Gather kernel: appends the rows sel[0], sel[1], ... of `src` in
+  /// selection order, column at a time (no per-row dispatch).
+  void AppendGather(const RowBlock& src, std::span<const uint32_t> sel);
+
+  /// Appends every row of `src` in order, column at a time.
+  void AppendBlock(const RowBlock& src);
+
   /// Appends a row of boxed values (type-checked).
   Status AppendRowValues(const std::vector<Value>& values);
 
@@ -43,6 +51,15 @@ class RowBlock {
 
   /// Combined hash of the given columns at `row` — join/partitioning key.
   uint64_t HashRow(const std::vector<ColumnId>& cols, size_t row) const;
+
+  /// Batch hash kernel: out[i] = HashRow(cols, begin + i). Seeds every slot
+  /// then folds one column at a time over the typed payloads; bit-identical
+  /// to the row-at-a-time HashRow.
+  void HashRows(const std::vector<ColumnId>& cols, std::span<uint64_t> out,
+                size_t begin = 0) const;
+
+  /// Batch size kernel: out[i] = RowByteSize(begin + i).
+  void RowByteSizes(std::span<size_t> out, size_t begin = 0) const;
 
   /// True iff rows agree on the given column lists.
   bool RowsEqual(const std::vector<ColumnId>& cols, size_t row, const RowBlock& other,

@@ -12,6 +12,7 @@
 
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -122,19 +123,32 @@ TEST_F(ExecutorParallelTest, LineitemSpansMultipleMorsels) {
 }
 
 TEST_F(ExecutorParallelTest, AllTpchQueriesBitIdenticalAcrossThreadCounts) {
+  // Now that the exchange operators are parallel counting-sort scatters,
+  // every pool width — not just scan/agg fan-out — must reproduce the
+  // 1-lane baseline bit for bit, ExecStats included.
   ThreadPool serial(1);
-  ThreadPool parallel(4);
+  ThreadPool two(2);
+  ThreadPool four(4);
+  ThreadPool eight(8);
+  std::vector<std::pair<const char*, ThreadPool*>> pools = {
+      {"2", &two}, {"4", &four}, {"8", &eight}};
   size_t checked = 0;
+  size_t with_shuffle = 0;
   for (const QuerySpec& q : TpchQueries(db_->schema())) {
     auto a = ExecuteQuery(q, *pdb_, {}, {}, &serial);
-    auto b = ExecuteQuery(q, *pdb_, {}, {}, &parallel);
     ASSERT_TRUE(a.ok()) << q.name << ": " << a.status().ToString();
-    ASSERT_TRUE(b.ok()) << q.name << ": " << b.status().ToString();
-    ExpectBitIdentical(*a, *b, q.name);
-    ExpectStatsEqual(a->stats, b->stats, q.name);
+    for (auto& [width, pool] : pools) {
+      auto b = ExecuteQuery(q, *pdb_, {}, {}, pool);
+      ASSERT_TRUE(b.ok()) << q.name << ": " << b.status().ToString();
+      ExpectBitIdentical(*a, *b, q.name + std::string(" @") + width);
+      ExpectStatsEqual(a->stats, b->stats, q.name + std::string(" @") + width);
+    }
+    if (a->stats.rows_shuffled > 0) ++with_shuffle;
     ++checked;
   }
   EXPECT_GE(checked, 10u);
+  // The identity claim must actually cover the parallel exchange path.
+  EXPECT_GE(with_shuffle, 3u) << "no query shuffled rows; exchange untested";
 }
 
 TEST_F(ExecutorParallelTest, ScanHeavyQueryProducesRowsOnBothPaths) {
