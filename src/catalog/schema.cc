@@ -113,8 +113,8 @@ Result<Schema> Schema::Subset(const std::vector<std::string>& keep_tables) const
     const TableDef& t = table(id);
     std::vector<std::string> pk_names;
     for (ColumnId c : t.primary_key) pk_names.push_back(t.column(c).name);
-    PREF_ASSIGN_OR_RAISE(TableId new_id, out.AddTable(t.name, t.columns, pk_names));
-    (void)new_id;
+    // The new id is recomputable (dense insertion order); only failure matters.
+    PREF_RETURN_NOT_OK(out.AddTable(t.name, t.columns, pk_names).status());
   }
   auto kept = [&](TableId id) {
     return std::find(old_ids.begin(), old_ids.end(), id) != old_ids.end();

@@ -1,7 +1,7 @@
 #include "catalog/tpcds_schema.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/status.h"
 
 namespace pref {
 
@@ -13,7 +13,7 @@ constexpr DataType kS = DataType::kString;
 
 Schema MakeTpcdsSchema() {
   Schema s;
-  auto ok = [](auto&& r) { assert(r.ok()); };
+  auto ok = [](auto&& r) { PREF_CHECK_OK(r.status()); };
 
   // --- Dimension tables -----------------------------------------------
   ok(s.AddTable("date_dim",
@@ -136,9 +136,7 @@ Schema MakeTpcdsSchema() {
 
   auto fk = [&](const char* name, const char* src, const char* sc, const char* dst,
                 const char* dc) {
-    Status st = s.AddForeignKey(name, src, {sc}, dst, {dc});
-    assert(st.ok());
-    (void)st;
+    PREF_CHECK_OK(s.AddForeignKey(name, src, {sc}, dst, {dc}));
   };
 
   // Dimension-to-dimension snowflake edges.
@@ -172,11 +170,9 @@ Schema MakeTpcdsSchema() {
   fk("fk_sr_store", "store_returns", "sr_store_sk", "store", "s_store_sk");
   fk("fk_sr_reason", "store_returns", "sr_reason_sk", "reason", "r_reason_sk");
   {
-    Status st = s.AddForeignKey("fk_sr_ss", "store_returns",
+    PREF_CHECK_OK(s.AddForeignKey("fk_sr_ss", "store_returns",
                                 {"sr_item_sk", "sr_ticket_number"}, "store_sales",
-                                {"ss_item_sk", "ss_ticket_number"});
-    assert(st.ok());
-    (void)st;
+                                {"ss_item_sk", "ss_ticket_number"}));
   }
 
   // catalog_sales star.
@@ -209,11 +205,9 @@ Schema MakeTpcdsSchema() {
      "cc_call_center_sk");
   fk("fk_cr_reason", "catalog_returns", "cr_reason_sk", "reason", "r_reason_sk");
   {
-    Status st = s.AddForeignKey("fk_cr_cs", "catalog_returns",
+    PREF_CHECK_OK(s.AddForeignKey("fk_cr_cs", "catalog_returns",
                                 {"cr_item_sk", "cr_order_number"}, "catalog_sales",
-                                {"cs_item_sk", "cs_order_number"});
-    assert(st.ok());
-    (void)st;
+                                {"cs_item_sk", "cs_order_number"}));
   }
 
   // web_sales star.
@@ -241,11 +235,9 @@ Schema MakeTpcdsSchema() {
   fk("fk_wr_wp", "web_returns", "wr_web_page_sk", "web_page", "wp_web_page_sk");
   fk("fk_wr_reason", "web_returns", "wr_reason_sk", "reason", "r_reason_sk");
   {
-    Status st = s.AddForeignKey("fk_wr_ws", "web_returns",
+    PREF_CHECK_OK(s.AddForeignKey("fk_wr_ws", "web_returns",
                                 {"wr_item_sk", "wr_order_number"}, "web_sales",
-                                {"ws_item_sk", "ws_order_number"});
-    assert(st.ok());
-    (void)st;
+                                {"ws_item_sk", "ws_order_number"}));
   }
 
   // inventory star.

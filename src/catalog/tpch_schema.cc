@@ -1,6 +1,6 @@
 #include "catalog/tpch_schema.h"
 
-#include <cassert>
+#include "common/status.h"
 
 namespace pref {
 
@@ -13,7 +13,7 @@ constexpr DataType kDate = DataType::kDate;
 
 Schema MakeTpchSchema() {
   Schema s;
-  auto ok = [](auto&& r) { assert(r.ok()); };
+  auto ok = [](auto&& r) { PREF_CHECK_OK(r.status()); };
 
   ok(s.AddTable("region",
                 {{"r_regionkey", kI}, {"r_name", kS}, {"r_comment", kS}},
@@ -82,9 +82,7 @@ Schema MakeTpchSchema() {
 
   auto fk = [&](const char* name, const char* src, std::vector<std::string> sc,
                 const char* dst, std::vector<std::string> dc) {
-    Status st = s.AddForeignKey(name, src, sc, dst, dc);
-    assert(st.ok());
-    (void)st;
+    PREF_CHECK_OK(s.AddForeignKey(name, src, sc, dst, dc));
   };
   fk("fk_nation_region", "nation", {"n_regionkey"}, "region", {"r_regionkey"});
   fk("fk_supplier_nation", "supplier", {"s_nationkey"}, "nation", {"n_nationkey"});

@@ -26,11 +26,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #ifndef PREF_METRICS
 #define PREF_METRICS 1
@@ -187,10 +189,13 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps are guarded; the instruments behind the unique_ptrs are not —
+  // they are internally thread-safe (relaxed atomics) and handed out by
+  // reference precisely so the hot path never touches mu_.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace pref

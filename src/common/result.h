@@ -11,8 +11,11 @@
 namespace pref {
 
 /// \brief Holds either a value of type T or an error Status.
+///
+/// [[nodiscard]] like Status: ignoring a Result drops both the value and
+/// the error, so the compiler flags it (-Werror in CI).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

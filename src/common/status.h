@@ -6,6 +6,8 @@
 
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -29,7 +31,13 @@ enum class StatusCode : char {
 ///
 /// The OK state is represented by a null internal state pointer, making
 /// `Status::OK()` and `ok()` checks free of allocation.
-class Status {
+///
+/// The class is [[nodiscard]]: any call that returns a Status and ignores
+/// it is a compile warning (-Werror in CI). Handle it with
+/// PREF_RETURN_NOT_OK (propagate) or PREF_CHECK_OK (abort on failure);
+/// a bare `(void)` cast is not an accepted disposal — if a Status really
+/// carries no information, the API should not return one.
+class [[nodiscard]] Status {
  public:
   Status() noexcept = default;
   Status(StatusCode code, std::string msg)
@@ -140,7 +148,36 @@ class Status {
   std::unique_ptr<State> state_;
 };
 
+namespace internal {
+
+/// Terminates the process with the failed expression and Status. Kept out
+/// of the macro body so the cold path is one outlined call. Writes to
+/// stderr (never stdout: query output must stay clean for diffing).
+[[noreturn]] inline void CheckOkFailed(const Status& st, const char* expr,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "PREF_CHECK_OK(%s) failed at %s:%d: %s\n", expr, file,
+               line, st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
 }  // namespace pref
+
+/// Dies (abort, independent of NDEBUG) unless `expr` evaluates to an OK
+/// Status. The checked-assert disposal for Status values that are
+/// structurally infallible (e.g. schema construction from compile-time
+/// literals): failure means the program itself is wrong, so it aborts
+/// loudly instead of being swallowed by an `assert` that compiles out in
+/// release builds.
+#define PREF_CHECK_OK(expr)                                              \
+  do {                                                                   \
+    const ::pref::Status _pref_check_st = (expr);                        \
+    if (!_pref_check_st.ok()) {                                          \
+      ::pref::internal::CheckOkFailed(_pref_check_st, #expr, __FILE__,   \
+                                      __LINE__);                         \
+    }                                                                    \
+  } while (0)
 
 /// Propagate a non-OK Status to the caller.
 #define PREF_RETURN_NOT_OK(expr)                \

@@ -19,15 +19,15 @@ thread_local const ThreadPool* t_worker_pool = nullptr;
 
 /// Completion state shared by one ParallelFor call and its queued chunks.
 struct ForkJoin {
-  std::mutex mu;
-  std::condition_variable done;
-  int remaining = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar done;
+  int remaining GUARDED_BY(mu) = 0;
+  std::exception_ptr error GUARDED_BY(mu);
 
   void Finish(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (e && !error) error = e;
-    if (--remaining == 0) done.notify_one();
+    if (--remaining == 0) done.NotifyOne();
   }
 };
 
@@ -54,10 +54,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -66,8 +66,12 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // The predicate runs with mu_ held (CondVar reacquires before each
+      // evaluation), so the guarded reads below are in order.
+      cv_.Wait(&lock, [this]() REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -101,10 +105,13 @@ void ThreadPool::ParallelForChunks(
   const size_t extra = n % static_cast<size_t>(chunks);
 
   ForkJoin join;
-  join.remaining = chunks;
+  {
+    MutexLock lock(&join.mu);
+    join.remaining = chunks;
+  }
   size_t begin = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Chunk 0 is reserved for the calling thread; queue the rest.
     for (int c = 1; c < chunks; ++c) {
       size_t b = base * static_cast<size_t>(c) +
@@ -124,7 +131,7 @@ void ThreadPool::ParallelForChunks(
     queue_depth_->SetMax(static_cast<int64_t>(queue_.size()));
 #endif
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   // The caller works too: chunk 0 runs here instead of idling on the latch.
   {
@@ -136,8 +143,9 @@ void ThreadPool::ParallelForChunks(
     }
     join.Finish(err);
   }
-  std::unique_lock<std::mutex> lock(join.mu);
-  join.done.wait(lock, [&join] { return join.remaining == 0; });
+  MutexLock lock(&join.mu);
+  join.done.Wait(&lock,
+                 [&join]() REQUIRES(join.mu) { return join.remaining == 0; });
   if (join.error) std::rethrow_exception(join.error);
 }
 
@@ -163,7 +171,10 @@ void ThreadPool::ParallelForMorsels(
   ForkJoin join;
   const int tasks = static_cast<int>(
       std::min<size_t>(morsels, static_cast<size_t>(lanes)));
-  join.remaining = tasks;
+  {
+    MutexLock lock(&join.mu);
+    join.remaining = tasks;
+  }
   auto drain = [&join, &next, &run, morsels] {
     std::exception_ptr err;
     try {
@@ -177,16 +188,17 @@ void ThreadPool::ParallelForMorsels(
     join.Finish(err);
   };
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (int t = 1; t < tasks; ++t) queue_.emplace_back(drain);
 #if PREF_METRICS
     queue_depth_->SetMax(static_cast<int64_t>(queue_.size()));
 #endif
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   drain();  // the caller is a lane too
-  std::unique_lock<std::mutex> lock(join.mu);
-  join.done.wait(lock, [&join] { return join.remaining == 0; });
+  MutexLock lock(&join.mu);
+  join.done.Wait(&lock,
+                 [&join]() REQUIRES(join.mu) { return join.remaining == 0; });
   if (join.error) std::rethrow_exception(join.error);
 }
 

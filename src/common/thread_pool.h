@@ -24,15 +24,15 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pref {
 
@@ -93,10 +93,12 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool OnWorkerThread() const;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  /// Written only during construction and joined in the destructor; never
+  /// mutated while workers run, so it needs no guard.
   std::vector<std::thread> workers_;
 
   // Observability (see DESIGN.md §6). Fetched once at construction so the

@@ -37,7 +37,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
   ThreadBuffer* raw = buffer.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     buffers_.push_back(std::move(buffer));
   }
   t_buffers.emplace(id_, raw);
@@ -45,7 +45,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
 }
 
 void Tracer::Append(ThreadBuffer& buffer, Event event) {
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(&buffer.mu);
   buffer.events.push_back(std::move(event));
 }
 
@@ -65,7 +65,7 @@ void Tracer::AddComplete(std::string name, std::string category, double ts_us,
 }
 
 void Tracer::SetTrackName(int pid, int tid, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [key, existing] : track_names_) {
     if (key == std::make_pair(pid, tid)) {
       existing = name;
@@ -76,19 +76,19 @@ void Tracer::SetTrackName(int pid, int tid, const std::string& name) {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     buffer->events.clear();
   }
   track_names_.clear();
 }
 
 size_t Tracer::EventCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     total += buffer->events.size();
   }
   return total;
@@ -101,7 +101,7 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
   // being the leading member.
   w.Key("traceEvents");
   w.BeginArray();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [key, name] : track_names_) {
     w.BeginObject();
     w.Key("name");
@@ -120,7 +120,7 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
     w.EndObject();
   }
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     for (const auto& e : buffer->events) {
       w.BeginObject();
       w.Key("name");

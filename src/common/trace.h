@@ -21,14 +21,15 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"  // PREF_METRICS default
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace pref {
 
@@ -89,20 +90,25 @@ class Tracer {
   };
 
   /// One recording thread's buffer. Each writer locks only its own buffer;
-  /// the tracer-wide mutex is taken for registration and export.
+  /// the tracer-wide mutex is taken for registration and export (mu_ is
+  /// always acquired before any buffer's mu, never the reverse).
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<Event> events;
-    int tid = 0;
+    Mutex mu;
+    std::vector<Event> events GUARDED_BY(mu);
+    int tid = 0;  // immutable after publication; read without the lock
   };
 
   ThreadBuffer& LocalBuffer();
   void Append(ThreadBuffer& buffer, Event event);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;
+  /// The vector (and ThreadBuffer ownership) is guarded; the buffers
+  /// themselves carry their own locks, so writers touch only mu of their
+  /// buffer after the one-time registration under mu_.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
   /// (pid, tid) -> track name, exported as metadata events.
-  std::vector<std::pair<std::pair<int, int>, std::string>> track_names_;
+  std::vector<std::pair<std::pair<int, int>, std::string>> track_names_
+      GUARDED_BY(mu_);
   std::atomic<bool> enabled_{false};
   std::atomic<int> next_tid_{0};
   std::chrono::steady_clock::time_point epoch_;

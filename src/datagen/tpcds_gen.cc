@@ -60,9 +60,7 @@ void FillTable(GenContext* ctx, const std::string& name, int64_t n,
     for (ColumnId c = 0; c < def.num_columns(); ++c) {
       Column& col = data.column(c);
       if (auto it = ov.find(c); it != ov.end()) {
-        Status st = col.AppendValue((*it->second)(row));
-        assert(st.ok());
-        (void)st;
+        PREF_CHECK_OK(col.AppendValue((*it->second)(row)));
         continue;
       }
       auto fk_it = ctx->fk_of_column.find({def.id, c});

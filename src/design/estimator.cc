@@ -139,6 +139,10 @@ double RedundancyEstimator::EdgeFactor(const JoinPredicate& p,
   // it does not occur at all.
   double copies_sampled = 0;
   double tuples_sampled = 0;
+  // lint:ordered-fold: iteration order is fixed for a given histogram
+  // (content-hashed keys, single-threaded build, same libstdc++ layout),
+  // so the float accumulation below replays identically across runs and
+  // thread counts.
   for (const auto& [value_hash, m_v] : r_hist.freqs) {
     auto it = s_hist.freqs.find(value_hash);
     double per_tuple = 1.0;

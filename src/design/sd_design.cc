@@ -56,7 +56,7 @@ Result<SdResult> SchemaDrivenDesign(const Database& db, const SdOptions& options
     constraints.no_redundancy.insert(id);
   }
 
-  SdResult result{PartitioningConfig(&schema, options.num_partitions)};
+  SdResult result{PartitioningConfig(&schema, options.num_partitions), {}};
 
   // Decompose the graph into connected components; each is optimized
   // independently, enumerating equal-weight MAST alternatives.

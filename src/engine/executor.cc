@@ -681,7 +681,7 @@ class Executor {
     struct MorselGroups {
       std::unordered_map<GroupKey, size_t, GroupKeyHasher> index;  // key → slot
       /// (key in the index, rows of this morsel) in first-occurrence order.
-      std::vector<std::pair<const GroupKey*, std::vector<size_t>>> groups;
+      std::vector<std::pair<const GroupKey*, std::vector<size_t>>> ordered;
     };
     std::vector<MorselGroups> partial((rows + kMorselRows - 1) / kMorselRows);
     {
@@ -696,18 +696,18 @@ class Executor {
               key.reserve(group_cols.size());
               for (ColumnId g : group_cols) key.push_back(src.column(g).GetValue(r));
               auto [it, inserted] =
-                  mg.index.try_emplace(std::move(key), mg.groups.size());
+                  mg.index.try_emplace(std::move(key), mg.ordered.size());
               if (inserted) {
-                mg.groups.emplace_back(&it->first, std::vector<size_t>{});
+                mg.ordered.emplace_back(&it->first, std::vector<size_t>{});
               }
-              mg.groups[it->second].second.push_back(r);
+              mg.ordered[it->second].second.push_back(r);
             }
           });
     }
     GroupMap out;
     size_t next_gid = 0;
     for (auto& mg : partial) {
-      for (auto& [key, rowlist] : mg.groups) {
+      for (auto& [key, rowlist] : mg.ordered) {
         auto [it, inserted] = out.try_emplace(*key);
         if (inserted) it->second.gid = next_gid++;
         auto& dst = it->second.rows;
@@ -728,6 +728,9 @@ class Executor {
   /// Indexes a GroupMap's slots by dense gid for the parallel fold.
   static std::vector<const GroupSlot*> SlotsInOrder(const GroupMap& groups) {
     std::vector<const GroupSlot*> slots(groups.size());
+    // lint:ordered-fold: writes land at slot.gid, a dense key assigned in
+    // deterministic first-occurrence order; visit order cannot change the
+    // filled array.
     for (const auto& [key, slot] : groups) slots[slot.gid] = &slot;
     return slots;
   }
@@ -760,6 +763,11 @@ class Executor {
         });
       }
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      // lint:ordered-fold: GroupMap insertion replays first-occurrence row
+      // order regardless of thread count (morsel-ordered fold, see
+      // GroupRows), and its hashes are content-based, so this emission
+      // order is reproducible across runs and PREF_THREADS settings; the
+      // engine's bit-identity tests (executor_parallel_test) pin it.
       for (const auto& [key, slot] : groups) {
         const auto& group_states = states[slot.gid];
         int c = 0;
@@ -862,6 +870,11 @@ class Executor {
         });
       }
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
+      // lint:ordered-fold: GroupMap insertion replays first-occurrence row
+      // order regardless of thread count (morsel-ordered fold, see
+      // GroupRows), and its hashes are content-based, so this emission
+      // order is reproducible across runs and PREF_THREADS settings; the
+      // engine's bit-identity tests (executor_parallel_test) pin it.
       for (const auto& [key, slot] : groups) {
         const auto& group_states = states[slot.gid];
         int c = 0;

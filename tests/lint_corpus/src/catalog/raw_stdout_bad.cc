@@ -1,0 +1,23 @@
+// Golden corpus: rule [raw-stdout] — stdout writes from library code.
+// stderr diagnostics, snprintf formatting, and string literals that merely
+// mention the tokens must not fire.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace pref {
+
+void EveryForbiddenWrite(int rows) {
+  std::cout << "rows=" << rows << "\n";  // expect: raw-stdout
+  printf("rows=%d\n", rows);  // expect: raw-stdout
+  fprintf(stdout, "rows=%d\n", rows);  // expect: raw-stdout
+}
+
+void AllowedWrites(int rows) {
+  fprintf(stderr, "diagnostic: rows=%d\n", rows);  // no finding: stderr
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", rows);  // no finding: formatting
+  std::string s = "call printf( or std::cout here";  // no finding: literal
+}
+
+}  // namespace pref

@@ -1,0 +1,13 @@
+// Golden corpus: src/common/random.* is the one place allowed to touch
+// raw entropy sources — rule [raw-random] must stay quiet here.
+#include <cstdlib>
+#include <random>
+
+namespace pref {
+
+unsigned CorpusEntropySeed() {
+  std::random_device rd;  // no finding: inside src/common/random.*
+  return rd() ^ static_cast<unsigned>(rand());  // no finding
+}
+
+}  // namespace pref

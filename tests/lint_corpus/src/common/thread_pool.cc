@@ -1,0 +1,14 @@
+// Golden corpus: src/common/thread_pool.* owns thread creation — rule
+// [raw-thread] must stay quiet here.
+#include <thread>
+#include <vector>
+
+namespace pref {
+
+void CorpusPoolSpawn(std::vector<std::thread>* workers) {
+  workers->emplace_back([] {});  // no finding
+  std::thread extra([] {});      // no finding: inside thread_pool.*
+  extra.join();
+}
+
+}  // namespace pref

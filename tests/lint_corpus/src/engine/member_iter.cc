@@ -1,0 +1,13 @@
+#include "member_iter.h"
+
+namespace pref {
+
+double FoldHistogram(const CorpusHistogram& h) {
+  double sum = 0;
+  for (const auto& [k, v] : h.freqs) {  // expect: unordered-iter
+    sum += static_cast<double>(v);
+  }
+  return sum;
+}
+
+}  // namespace pref

@@ -1,0 +1,16 @@
+// Golden corpus: unordered member declared in a header, iterated from the
+// sibling .cc — the linter must pick the member's type up across files.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace pref {
+
+struct CorpusHistogram {
+  std::unordered_map<uint64_t, int64_t> freqs;
+};
+
+double FoldHistogram(const CorpusHistogram& h);
+
+}  // namespace pref

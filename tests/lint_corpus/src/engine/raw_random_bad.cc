@@ -1,0 +1,27 @@
+// Golden corpus: rule [raw-random] — unseeded randomness and wall-clock
+// reads that make runs unrepeatable. All of these must fire outside
+// src/common/random.*.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace pref {
+
+int EveryForbiddenSource() {
+  int x = rand();  // expect: raw-random
+  std::random_device rd;  // expect: raw-random
+  x += static_cast<int>(rd());
+  x += static_cast<int>(time(NULL));  // expect: raw-random
+  auto now = std::chrono::system_clock::now();  // expect: raw-random
+  x += static_cast<int>(now.time_since_epoch().count());
+  // steady_clock is fine: monotonic timing, not wall-clock identity.
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  // Identifiers merely *containing* the tokens must not fire:
+  int grand = 0;
+  int strtime = 0;
+  return x + grand + strtime;
+}
+
+}  // namespace pref

@@ -1,0 +1,34 @@
+// Golden corpus: every way rule [unordered-iter] must fire in
+// result-producing code (src/engine scope). Each offending line carries an
+// `// expect: <rule>` marker the self-test checks against.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pref {
+
+using SeenSet = std::unordered_set<int>;
+
+int IterateEveryWay() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;  // expect: unordered-iter
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // expect: unordered-iter
+    total += it->second;
+  }
+  SeenSet seen{1, 2, 3};
+  for (int v : seen) total += v;  // expect: unordered-iter
+  return total;
+}
+
+struct Holder {
+  std::unordered_map<int, double> weights;
+};
+
+double MemberIteration(const Holder& h) {
+  double sum = 0;
+  for (const auto& [k, w] : h.weights) sum += w;  // expect: unordered-iter
+  return sum;
+}
+
+}  // namespace pref

@@ -1,0 +1,34 @@
+// Golden corpus: `// lint:ordered-fold` suppressions. A justified tag —
+// same line or in the contiguous comment block above — silences
+// [unordered-iter]; a tag without a reason is itself a finding.
+#include <unordered_map>
+
+namespace pref {
+
+int SuppressedSameLine() {
+  std::unordered_map<int, int> m{{1, 2}};
+  int total = 0;
+  // lint:ordered-fold: integer sum; any visit order yields the same total.
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+int SuppressedMultiLineBlock() {
+  std::unordered_map<int, int> m{{1, 2}};
+  int total = 0;
+  // lint:ordered-fold: the accumulation below is order-insensitive
+  // (integer addition is associative and commutative), so unspecified
+  // iteration order cannot change the result.
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+int BareTagWithoutReason() {
+  std::unordered_map<int, int> m{{1, 2}};
+  int total = 0;
+  // expect: unordered-iter -- a reasonless tag must fire: lint:ordered-fold
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+}  // namespace pref

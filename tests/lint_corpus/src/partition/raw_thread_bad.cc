@@ -1,0 +1,15 @@
+// Golden corpus: rule [raw-thread] — ad-hoc std::thread outside the
+// bounded pool. Mentions in comments (std::thread) must not fire.
+#include <thread>
+
+namespace pref {
+
+void SpawnUnbounded() {
+  std::thread worker([] {});  // expect: raw-thread
+  worker.join();
+  // hardware_concurrency is a capacity query, not a spawn; allowed:
+  unsigned hw = std::thread::hardware_concurrency();
+  (void)hw;
+}
+
+}  // namespace pref

@@ -1,0 +1,15 @@
+// Golden corpus: the same loop that fires in src/engine is fine here —
+// rule [unordered-iter] is scoped to result-producing code
+// (src/engine, src/partition, src/design), not the whole tree.
+#include <unordered_map>
+
+namespace pref {
+
+int StorageInternalIteration() {
+  std::unordered_map<int, int> m{{1, 2}};
+  int total = 0;
+  for (const auto& [k, v] : m) total += v;  // no finding: out of scope
+  return total;
+}
+
+}  // namespace pref

@@ -41,8 +41,12 @@ TEST_F(RangePartitionTest, RoutesByBounds) {
   for (int p = 0; p < 4; ++p) {
     const RowBlock& rows = o->partition(p).rows;
     for (int64_t key : rows.column(0).ints()) {
-      if (p > 0) EXPECT_GE(key, bounds[static_cast<size_t>(p) - 1].AsInt64());
-      if (p < 3) EXPECT_LT(key, bounds[static_cast<size_t>(p)].AsInt64());
+      if (p > 0) {
+        EXPECT_GE(key, bounds[static_cast<size_t>(p) - 1].AsInt64());
+      }
+      if (p < 3) {
+        EXPECT_LT(key, bounds[static_cast<size_t>(p)].AsInt64());
+      }
     }
   }
   EXPECT_EQ(o->TotalRows(), (*db_->FindTable("orders"))->num_rows());
