@@ -1,0 +1,417 @@
+// Concurrent query serving driver (DESIGN.md §10, EXPERIMENTS.md):
+// replays the TPC-H (or TPC-DS) query mix through the QueryScheduler at a
+// configurable client count and reports throughput + latency percentiles,
+// verifying on every completion that concurrent execution returns results
+// bit-identical to an isolated serial run of the same query.
+//
+// Phases:
+//  1. isolated  — every query once, one at a time (the baseline results
+//     and the serial latency distribution).
+//  2. closed    — closed loop: --clients=K clients, each keeping one query
+//     outstanding (K in flight at all times), replaying the mix
+//     --rounds times.
+//  3. open      — optional (--rate=R > 0): Poisson arrivals at R queries/s
+//     from a seeded generator, latency measured submit-to-completion
+//     including queue wait.
+//
+// Any result or ExecStats mismatch against the isolated baseline, or any
+// failed query, makes the run exit nonzero.
+//
+// Flags: --clients=N --rounds=R --rate=QPS --mix=tpch|tpcds plus the
+// standard --json=/--trace=. Scale via PREF_BENCH_SF (TPC-H, default 0.01)
+// / PREF_BENCH_DS_SF (TPC-DS, default 0.05).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "datagen/tpcds_gen.h"
+#include "engine/scheduler.h"
+#include "partition/presets.h"
+#include "workloads/tpcds_queries.h"
+
+namespace pref {
+namespace bench {
+namespace {
+
+struct ServeArgs {
+  int clients = 4;
+  int rounds = 2;
+  double rate = 0;  // open-loop queries/s; 0 skips the open-loop phase
+  std::string mix = "tpch";
+};
+
+ServeArgs ParseServeArgs(int argc, char** argv) {
+  ServeArgs out;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--clients=", 0) == 0) {
+      out.clients = std::atoi(argv[i] + 10);
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      out.rounds = std::atoi(argv[i] + 9);
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      out.rate = std::atof(argv[i] + 7);
+    } else if (arg.rfind("--mix=", 0) == 0) {
+      out.mix = std::string(arg.substr(6));
+    } else {
+      std::fprintf(stderr, "bench_serve: unknown flag '%s'\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (out.clients < 1) out.clients = 1;
+  if (out.rounds < 1) out.rounds = 1;
+  return out;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Bit-exact result comparison (the bench-side mirror of
+/// executor_parallel_test's ExpectBitIdentical): row count, row order, and
+/// per-cell equality with doubles compared by bit pattern.
+bool BitIdentical(const QueryResult& a, const QueryResult& b) {
+  if (a.rows.num_rows() != b.rows.num_rows()) return false;
+  if (a.rows.num_columns() != b.rows.num_columns()) return false;
+  if (a.column_names != b.column_names) return false;
+  for (int c = 0; c < a.rows.num_columns(); ++c) {
+    const Column& ca = a.rows.column(c);
+    const Column& cb = b.rows.column(c);
+    for (size_t r = 0; r < a.rows.num_rows(); ++r) {
+      if (ca.is_double()) {
+        if (DoubleBits(ca.GetDouble(r)) != DoubleBits(cb.GetDouble(r))) {
+          return false;
+        }
+      } else if (ca.is_int()) {
+        if (ca.GetInt64(r) != cb.GetInt64(r)) return false;
+      } else {
+        if (ca.GetString(r) != cb.GetString(r)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Per-query ExecStats must agree on everything except wall-clock — the
+/// same rows through the same operators, and the same per-query morsel
+/// counters (the satellite-fixed exec.scan.* / exec.agg.* scoping).
+bool StatsEqual(const ExecStats& a, const ExecStats& b) {
+  if (a.bytes_shuffled != b.bytes_shuffled) return false;
+  if (a.rows_shuffled != b.rows_shuffled) return false;
+  if (a.exchanges != b.exchanges) return false;
+  if (a.total_rows_processed != b.total_rows_processed) return false;
+  if (a.node_rows != b.node_rows) return false;
+  if (a.scan_morsels != b.scan_morsels) return false;
+  if (a.scan_rows != b.scan_rows) return false;
+  if (a.agg_morsels != b.agg_morsels) return false;
+  if (a.agg_rows != b.agg_rows) return false;
+  if (a.agg_groups != b.agg_groups) return false;
+  if (a.operators.size() != b.operators.size()) return false;
+  for (size_t i = 0; i < a.operators.size(); ++i) {
+    const OperatorStats& oa = a.operators[i];
+    const OperatorStats& ob = b.operators[i];
+    if (oa.op != ob.op || oa.parent != ob.parent) return false;
+    if (oa.rows_in != ob.rows_in || oa.rows_out != ob.rows_out) return false;
+    if (oa.rows_processed != ob.rows_processed) return false;
+    if (oa.rows_shuffled != ob.rows_shuffled) return false;
+    if (oa.bytes_shuffled != ob.bytes_shuffled) return false;
+    if (oa.exchanges != ob.exchanges) return false;
+    if (oa.node_rows != ob.node_rows) return false;
+  }
+  return true;
+}
+
+/// Exact nearest-rank percentile (q in (0, 1]) over raw latencies.
+double PercentileSeconds(std::vector<double> latencies, double q) {
+  if (latencies.empty()) return 0;
+  std::sort(latencies.begin(), latencies.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(latencies.size())));
+  if (rank == 0) rank = 1;
+  if (rank > latencies.size()) rank = latencies.size();
+  return latencies[rank - 1];
+}
+
+struct PhaseOutcome {
+  size_t queries = 0;
+  double wall_seconds = 0;
+  double simulated_seconds = 0;
+  std::vector<double> latencies;  // seconds
+  size_t errors = 0;
+  size_t mismatches = 0;
+};
+
+void ReportPhase(BenchReport* report, const std::string& name,
+                 const PhaseOutcome& out) {
+  report->Result(name, out.simulated_seconds);
+  report->Field("queries", static_cast<double>(out.queries));
+  report->Field("wall_seconds", out.wall_seconds);
+  report->Field("throughput_qps",
+                out.wall_seconds > 0
+                    ? static_cast<double>(out.queries) / out.wall_seconds
+                    : 0);
+  report->Field("p50_ms", PercentileSeconds(out.latencies, 0.50) * 1e3);
+  report->Field("p95_ms", PercentileSeconds(out.latencies, 0.95) * 1e3);
+  report->Field("p99_ms", PercentileSeconds(out.latencies, 0.99) * 1e3);
+  double sum = 0, mx = 0;
+  for (double l : out.latencies) {
+    sum += l;
+    mx = std::max(mx, l);
+  }
+  report->Field("mean_ms",
+                out.latencies.empty()
+                    ? 0
+                    : sum / static_cast<double>(out.latencies.size()) * 1e3);
+  report->Field("max_ms", mx * 1e3);
+  report->Field("errors", static_cast<double>(out.errors));
+  report->Field("mismatches", static_cast<double>(out.mismatches));
+  std::printf("%-18s %6zu queries  %8.3fs wall  %8.1f qps  p50 %7.2fms  "
+              "p95 %7.2fms  p99 %7.2fms  errors %zu  mismatches %zu\n",
+              name.c_str(), out.queries, out.wall_seconds,
+              out.wall_seconds > 0
+                  ? static_cast<double>(out.queries) / out.wall_seconds
+                  : 0,
+              PercentileSeconds(out.latencies, 0.50) * 1e3,
+              PercentileSeconds(out.latencies, 0.95) * 1e3,
+              PercentileSeconds(out.latencies, 0.99) * 1e3,
+              out.errors, out.mismatches);
+}
+
+/// The SD (wo small tables) TPC-H configuration of §5.1 (same shape as the
+/// engine tests use): LINEITEM seed, the MAST chained with PREF, small
+/// tables replicated.
+PartitioningConfig MakeTpchServeConfig(const Schema& schema, int n) {
+  PartitioningConfig config(&schema, n);
+  PREF_CHECK_OK(config.AddHash("lineitem", {"l_orderkey"}));
+  PREF_CHECK_OK(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}));
+  PREF_CHECK_OK(
+      config.AddPref("customer", {"c_custkey"}, "orders", {"o_custkey"}));
+  PREF_CHECK_OK(config.AddPref("partsupp", {"ps_partkey", "ps_suppkey"},
+                               "lineitem", {"l_partkey", "l_suppkey"}));
+  PREF_CHECK_OK(config.AddPref("part", {"p_partkey"}, "partsupp", {"ps_partkey"}));
+  PREF_CHECK_OK(config.AddReplicated("nation"));
+  PREF_CHECK_OK(config.AddReplicated("region"));
+  PREF_CHECK_OK(config.AddReplicated("supplier"));
+  PREF_CHECK_OK(config.Finalize());
+  return config;
+}
+
+/// One verified completion: latency bookkeeping + baseline comparison.
+void Consume(uint64_t id, Result<QueryResult> result, size_t query_index,
+             double latency_seconds, const std::vector<QueryResult>& baseline,
+             const std::vector<std::string>& names, const CostModel& cost_model,
+             PhaseOutcome* out) {
+  out->queries++;
+  out->latencies.push_back(latency_seconds);
+  if (!result.status().ok()) {
+    std::fprintf(stderr, "query %llu (%s) failed: %s\n",
+                 static_cast<unsigned long long>(id),
+                 names[query_index].c_str(), result.status().ToString().c_str());
+    out->errors++;
+    return;
+  }
+  out->simulated_seconds += result->stats.SimulatedSeconds(cost_model);
+  const QueryResult& expect = baseline[query_index];
+  if (!BitIdentical(*result, expect) ||
+      !StatsEqual(result->stats, expect.stats)) {
+    std::fprintf(stderr,
+                 "query %llu (%s): concurrent result diverges from isolated "
+                 "serial run\n",
+                 static_cast<unsigned long long>(id),
+                 names[query_index].c_str());
+    out->mismatches++;
+  }
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs bench_args = ParseBenchArgs(&argc, argv);
+  ServeArgs serve = ParseServeArgs(argc, argv);
+
+  const int nodes = 4;
+  Database db{Schema{}};
+  std::unique_ptr<PartitionedDatabase> pdb;
+  std::vector<QuerySpec> mix;
+  double sf = 0;
+  if (serve.mix == "tpch") {
+    sf = EnvScaleFactor("PREF_BENCH_SF", 0.01);
+    auto generated = GenerateTpch({sf, 42});
+    PREF_CHECK_OK(generated.status());
+    db = std::move(*generated);
+    auto partitioned =
+        PartitionDatabase(db, MakeTpchServeConfig(db.schema(), nodes));
+    PREF_CHECK_OK(partitioned.status());
+    pdb = std::move(*partitioned);
+    mix = TpchQueries(db.schema());
+  } else if (serve.mix == "tpcds") {
+    TpcdsGenOptions gen;
+    gen.scale_factor = sf = EnvScaleFactor("PREF_BENCH_DS_SF", 0.05);
+    auto generated = GenerateTpcds(gen);
+    PREF_CHECK_OK(generated.status());
+    db = std::move(*generated);
+    auto config = MakeAllHashed(db.schema(), nodes);
+    PREF_CHECK_OK(config.status());
+    auto partitioned = PartitionDatabase(db, *config);
+    PREF_CHECK_OK(partitioned.status());
+    pdb = std::move(*partitioned);
+    auto queries = TpcdsExecutableQueries(db.schema());
+    PREF_CHECK_OK(queries.status());
+    mix = std::move(*queries);
+  } else {
+    std::fprintf(stderr, "bench_serve: unknown --mix '%s' (tpch|tpcds)\n",
+                 serve.mix.c_str());
+    return 2;
+  }
+  const CostModel cost_model = PaperScaledModel(sf);
+  std::vector<std::string> names;
+  names.reserve(mix.size());
+  for (const auto& q : mix) names.push_back(q.name);
+
+  BenchReport report("serve", sf, nodes);
+  report.Config("clients", serve.clients);
+  report.Config("rounds", serve.rounds);
+  report.Config("rate", serve.rate);
+
+  // Phase 1: isolated serial baseline — one query at a time, directly on
+  // the executor. Everything afterwards must reproduce these bits.
+  std::vector<QueryResult> baseline;
+  PhaseOutcome isolated;
+  {
+    Stopwatch wall;
+    for (const auto& q : mix) {
+      Stopwatch latency;
+      auto result = ExecuteQuery(q, *pdb, {}, cost_model);
+      if (!result.status().ok()) {
+        std::fprintf(stderr, "isolated run of %s failed: %s\n", q.name.c_str(),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      isolated.latencies.push_back(latency.ElapsedSeconds());
+      isolated.queries++;
+      isolated.simulated_seconds += result->stats.SimulatedSeconds(cost_model);
+      baseline.push_back(std::move(*result));
+    }
+    isolated.wall_seconds = wall.ElapsedSeconds();
+  }
+  ReportPhase(&report, "isolated/total", isolated);
+
+  size_t total_errors = 0, total_mismatches = 0;
+
+  // Phase 2: closed loop — `clients` queries outstanding at all times,
+  // each completion immediately replaced by the next query in the mix.
+  {
+    QueryScheduler scheduler(*pdb, {serve.clients, nullptr});
+    const size_t total = mix.size() * static_cast<size_t>(serve.rounds);
+    PhaseOutcome closed;
+    std::map<uint64_t, std::pair<size_t, double>> inflight;  // id → (qidx, t0)
+    Stopwatch wall;
+    size_t issued = 0;
+    auto submit_next = [&] {
+      const size_t qidx = issued % mix.size();
+      SubmitOptions options;
+      options.cost_model = cost_model;
+      const uint64_t id = scheduler.Submit(mix[qidx], options);
+      inflight.emplace(id, std::make_pair(qidx, wall.ElapsedSeconds()));
+      ++issued;
+    };
+    for (int c = 0; c < serve.clients && issued < total; ++c) submit_next();
+    while (!inflight.empty()) {
+      const uint64_t id = scheduler.WaitAny();
+      const double now = wall.ElapsedSeconds();
+      auto it = inflight.find(id);
+      const auto [qidx, t0] = it->second;
+      inflight.erase(it);
+      Consume(id, scheduler.Take(id), qidx, now - t0, baseline, names,
+              cost_model, &closed);
+      if (issued < total) submit_next();
+    }
+    closed.wall_seconds = wall.ElapsedSeconds();
+    ReportPhase(&report, "closed/clients=" + std::to_string(serve.clients),
+                closed);
+    total_errors += closed.errors;
+    total_mismatches += closed.mismatches;
+  }
+
+  // Phase 3 (optional): open loop — Poisson arrivals at --rate qps from a
+  // seeded generator; admission still bounded at `clients` in flight, so a
+  // rate above capacity builds queueing delay (visible in the tail).
+  if (serve.rate > 0) {
+    QueryScheduler scheduler(*pdb, {serve.clients, nullptr});
+    const size_t total = mix.size() * static_cast<size_t>(serve.rounds);
+    Rng rng(42);
+    std::vector<double> arrivals;
+    arrivals.reserve(total);
+    double t = 0;
+    for (size_t i = 0; i < total; ++i) {
+      t += -std::log(1.0 - rng.NextDouble()) / serve.rate;
+      arrivals.push_back(t);
+    }
+    PhaseOutcome open;
+    std::map<uint64_t, std::pair<size_t, double>> inflight;
+    Stopwatch wall;
+    size_t issued = 0, done = 0;
+    auto drain_one = [&](uint64_t id) {
+      const double now = wall.ElapsedSeconds();
+      auto it = inflight.find(id);
+      const auto [qidx, t0] = it->second;
+      inflight.erase(it);
+      Consume(id, scheduler.Take(id), qidx, now - t0, baseline, names,
+              cost_model, &open);
+      ++done;
+    };
+    while (done < total) {
+      if (issued < total && wall.ElapsedSeconds() >= arrivals[issued]) {
+        const size_t qidx = issued % mix.size();
+        SubmitOptions options;
+        options.cost_model = cost_model;
+        const uint64_t id = scheduler.Submit(mix[qidx], options);
+        inflight.emplace(id, std::make_pair(qidx, arrivals[issued]));
+        ++issued;
+        continue;
+      }
+      if (const uint64_t id = scheduler.PollCompleted(); id != 0) {
+        drain_one(id);
+        continue;
+      }
+      if (issued == total) {
+        // Nothing left to submit: block for the stragglers.
+        drain_one(scheduler.WaitAny());
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    open.wall_seconds = wall.ElapsedSeconds();
+    char label[64];
+    std::snprintf(label, sizeof(label), "open/rate=%g", serve.rate);
+    ReportPhase(&report, label, open);
+    total_errors += open.errors;
+    total_mismatches += open.mismatches;
+  }
+
+  if (!FinishBench(report, bench_args)) return 1;
+  if (total_errors > 0 || total_mismatches > 0) {
+    std::fprintf(stderr, "bench_serve: %zu errors, %zu mismatches\n",
+                 total_errors, total_mismatches);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pref
+
+int main(int argc, char** argv) { return pref::bench::Main(argc, argv); }

@@ -3,13 +3,18 @@
 // pref::bench::BenchReport are all present. Exits nonzero with a message
 // on the first violation so the smoke job fails loudly.
 //
-// Usage: validate_bench_json <report.json> [<report.json> ...]
+// Usage: validate_bench_json [--require-fields=a,b,c] <report.json> [...]
+//
+// --require-fields=a,b,c additionally demands that each listed result
+// field key (e.g. the latency percentiles bench_serve emits) appears
+// somewhere in every file.
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json.h"
@@ -18,7 +23,20 @@ namespace {
 
 const char* kRequiredKeys[] = {"figure", "config", "results", "metrics"};
 
-bool ValidateFile(const char* path) {
+std::vector<std::string> SplitFields(std::string_view csv) {
+  std::vector<std::string> out;
+  while (!csv.empty()) {
+    const size_t comma = csv.find(',');
+    std::string_view field = csv.substr(0, comma);
+    if (!field.empty()) out.emplace_back(field);
+    if (comma == std::string_view::npos) break;
+    csv.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+bool ValidateFile(const char* path,
+                  const std::vector<std::string>& required_fields) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "%s: cannot open\n", path);
@@ -39,6 +57,17 @@ bool ValidateFile(const char* path) {
       return false;
     }
   }
+  // JsonValidator reports top-level keys only, so required result fields
+  // are checked textually: a field emitted by BenchReport::Field always
+  // appears as a quoted key.
+  for (const std::string& field : required_fields) {
+    const std::string needle = "\"" + field + "\":";
+    if (text.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "%s: missing required field \"%s\"\n", path,
+                   field.c_str());
+      return false;
+    }
+  }
   std::printf("%s: ok (%zu top-level keys)\n", path, keys.size());
   return true;
 }
@@ -46,11 +75,25 @@ bool ValidateFile(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <report.json> [...]\n", argv[0]);
+  std::vector<std::string> required_fields;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--require-fields=", 0) == 0) {
+      for (auto& f : SplitFields(arg.substr(17))) {
+        required_fields.push_back(std::move(f));
+      }
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--require-fields=a,b,c] <report.json> [...]\n",
+                 argv[0]);
     return 2;
   }
   bool ok = true;
-  for (int i = 1; i < argc; ++i) ok &= ValidateFile(argv[i]);
+  for (const char* path : paths) ok &= ValidateFile(path, required_fields);
   return ok ? 0 : 1;
 }

@@ -37,6 +37,34 @@ uint64_t Histogram::TotalCount() const {
   return total;
 }
 
+double Histogram::Quantile(double q) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (nearest-rank, 1-based), then walk the
+  // cumulative counts to the bucket containing it.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    const uint64_t count = BucketCount(i);
+    if (cumulative + count < rank) {
+      cumulative += count;
+      continue;
+    }
+    if (i >= bounds_.size()) return bounds_.back();  // overflow: floor
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    // Linear interpolation within the bucket.
+    const double fraction =
+        count == 0 ? 1.0
+                   : static_cast<double>(rank - cumulative) /
+                         static_cast<double>(count);
+    return lo + (hi - lo) * fraction;
+  }
+  return bounds_.back();  // unreachable: total > 0 guarantees a hit
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i < num_buckets(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);

@@ -136,6 +136,14 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   uint64_t TotalCount() const;
+  /// Estimated q-quantile (q in [0, 1]) assuming observations are spread
+  /// uniformly within each bucket: finds the bucket holding the q-th
+  /// observation and interpolates linearly between its bounds. Returns 0
+  /// with no observations; the overflow bucket reports its lower bound
+  /// (the last finite bound — a floor, since its width is unknown).
+  /// Reads are relaxed atomics, so concurrent Observes give a
+  /// consistent-enough estimate, same as Snapshot().
+  double Quantile(double q) const;
   double Sum() const {
     return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
   }

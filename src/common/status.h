@@ -25,6 +25,7 @@ enum class StatusCode : char {
   kAlreadyExists = 6,
   kNotFound = 7,
   kExecutionError = 8,
+  kCancelled = 9,
 };
 
 /// \brief Operation outcome: either OK or an error code plus message.
@@ -86,6 +87,10 @@ class [[nodiscard]] Status {
   static Status ExecutionError(Args&&... args) {
     return FromArgs(StatusCode::kExecutionError, std::forward<Args>(args)...);
   }
+  template <typename... Args>
+  static Status Cancelled(Args&&... args) {
+    return FromArgs(StatusCode::kCancelled, std::forward<Args>(args)...);
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -102,6 +107,7 @@ class [[nodiscard]] Status {
   bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   std::string ToString() const {
     if (ok()) return "OK";
@@ -128,6 +134,8 @@ class [[nodiscard]] Status {
         return "NotFound";
       case StatusCode::kExecutionError:
         return "ExecutionError";
+      case StatusCode::kCancelled:
+        return "Cancelled";
     }
     return "Unknown";
   }

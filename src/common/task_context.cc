@@ -1,0 +1,17 @@
+#include "common/task_context.h"
+
+namespace pref {
+
+namespace {
+thread_local uint64_t t_task_tag = 0;
+}  // namespace
+
+uint64_t CurrentTaskTag() { return t_task_tag; }
+
+TaskTagScope::TaskTagScope(uint64_t tag) : prev_(t_task_tag) {
+  t_task_tag = tag;
+}
+
+TaskTagScope::~TaskTagScope() { t_task_tag = prev_; }
+
+}  // namespace pref

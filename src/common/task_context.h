@@ -1,0 +1,43 @@
+// Per-thread logical task tag: the query identity that follows work across
+// threads.
+//
+// The QueryScheduler tags every query it admits with a nonzero id. The
+// ThreadPool captures the submitting thread's tag when a task is enqueued
+// and re-establishes it (via TaskTagScope) on whichever thread executes the
+// task, so a query's morsels, nested fan-outs, and trace spans all observe
+// the same tag no matter which worker they land on. Tag 0 means "untagged"
+// (single-query callers, tests, benches that bypass the scheduler) and
+// keeps every pre-scheduler code path byte-identical in output.
+//
+// Consumers:
+//  * ThreadPool — per-tag task queues dispatched round-robin across tags,
+//    so morsels of concurrent queries interleave fairly instead of FIFO
+//    head-of-line blocking behind one large query.
+//  * Tracer — spans stamp the current tag as a "qid" arg, giving every
+//    span a query identity in concurrent traces.
+
+#pragma once
+
+#include <cstdint>
+
+namespace pref {
+
+/// The calling thread's current task tag (0 = untagged).
+uint64_t CurrentTaskTag();
+
+/// RAII tag override for the current thread: establishes `tag` on
+/// construction and restores the previous tag on destruction. Cheap (one
+/// thread-local write each way); safe to nest.
+class TaskTagScope {
+ public:
+  explicit TaskTagScope(uint64_t tag);
+  ~TaskTagScope();
+
+  TaskTagScope(const TaskTagScope&) = delete;
+  TaskTagScope& operator=(const TaskTagScope&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+}  // namespace pref

@@ -15,8 +15,19 @@
 //    entirely on the caller with no synchronization.
 //  * Exceptions thrown by the body are captured (first one wins) and
 //    rethrown on the calling thread after all chunks finish.
-//  * Calls from inside a worker run serially on that worker. This keeps
-//    nested ParallelFor calls deadlock-free without needing work stealing.
+//  * Tasks are tagged with the submitting thread's CurrentTaskTag() (the
+//    query id under the QueryScheduler; 0 otherwise) and queued per tag;
+//    dispatch round-robins across tags so morsels of concurrent queries
+//    interleave fairly instead of queueing FIFO behind one large query.
+//    The executing thread re-establishes the tag (TaskTagScope), so nested
+//    submissions and trace spans inherit the query identity.
+//  * A thread waiting on its fork-join — the submitting caller or a worker
+//    that issued a nested ParallelFor — does not block idle: it executes
+//    queued tasks carrying its own tag until the join completes
+//    (help-first joins). This keeps nested fan-out from concurrent outer
+//    queries deadlock-free without spawning threads: no lane ever sleeps
+//    while work it is responsible for sits in the queue, and a pool of k
+//    lanes never runs more than k tasks at once.
 //  * Concurrency defaults to std::thread::hardware_concurrency() and can be
 //    overridden with the PREF_THREADS environment variable (useful for
 //    forcing multi-threaded execution in tests on small machines, or for
@@ -24,9 +35,12 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -81,6 +95,21 @@ class ThreadPool {
       size_t n, size_t morsel_size,
       const std::function<void(size_t morsel, size_t begin, size_t end)>& body);
 
+  /// Fire-and-forget: enqueues `fn` as one pool task tagged with the
+  /// calling thread's CurrentTaskTag(). The task runs on a worker, or on
+  /// any thread helping the pool (a joiner draining its tag, or an
+  /// external waiter calling TryRunOneTask). `fn` must not throw — there
+  /// is no joiner to rethrow to. Posted tasks still queued at destruction
+  /// are executed during shutdown, never dropped.
+  void Post(std::function<void()> fn);
+
+  /// Runs one queued task (any tag, round-robin pick) on the calling
+  /// thread. Returns false without blocking when the queue is empty. This
+  /// is how threads that wait on pool-external conditions (e.g. the
+  /// QueryScheduler's Take) lend their lane to the pool instead of
+  /// deadlocking a 1-lane configuration.
+  bool TryRunOneTask();
+
   /// Concurrency the default pool is built with: PREF_THREADS when set to a
   /// positive integer, else hardware_concurrency(), else 1.
   static int DefaultConcurrency();
@@ -89,13 +118,51 @@ class ThreadPool {
   static ThreadPool& Default();
 
  private:
+  struct Task {
+    uint64_t tag = 0;
+    std::function<void()> fn;
+  };
+
+  /// Completion state shared by one fork-join call and its queued chunks.
+  /// `remaining` is atomic so joiners and the shutdown path can poll it
+  /// without taking a lock inside a condition predicate that already holds
+  /// the pool mutex.
+  struct ForkJoin {
+    std::atomic<int> remaining{0};
+    Mutex mu;
+    std::exception_ptr error GUARDED_BY(mu);
+
+    void Finish(ThreadPool* pool, std::exception_ptr e);
+  };
+
   void WorkerLoop(int worker_index);
   /// True when the calling thread is one of this pool's workers.
   bool OnWorkerThread() const;
 
+  /// Enqueues under mu_ and updates the depth high-water mark. Caller
+  /// notifies cv_ after releasing the lock.
+  void EnqueueLocked(Task task) REQUIRES(mu_);
+  /// Round-robin pop across tags; requires !QueueEmptyLocked().
+  Task PopAnyLocked() REQUIRES(mu_);
+  /// Pops the oldest task carrying `tag`; returns false if none queued.
+  bool PopTaggedLocked(uint64_t tag, Task* out) REQUIRES(mu_);
+  bool QueueEmptyLocked() const REQUIRES(mu_) { return queued_ == 0; }
+  bool HasTaggedLocked(uint64_t tag) const REQUIRES(mu_);
+
+  /// Runs `task` with its tag established for the duration.
+  void RunTask(Task task);
+  /// Executes queued tasks carrying `tag` until `join` completes; sleeps
+  /// only while neither is possible. Rethrows the join's first error.
+  void HelpUntilDone(ForkJoin& join, uint64_t tag);
+
   mutable Mutex mu_;
   CondVar cv_;
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  /// Per-tag FIFO queues (ordered map: round-robin visits tags in a
+  /// deterministic cycle). queued_ is the total across tags.
+  std::map<uint64_t, std::deque<Task>> queue_ GUARDED_BY(mu_);
+  size_t queued_ GUARDED_BY(mu_) = 0;
+  /// Next round-robin position: the first tag >= rr_next_tag_ is served.
+  uint64_t rr_next_tag_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
   /// Written only during construction and joined in the destructor; never
   /// mutated while workers run, so it needs no guard.

@@ -60,6 +60,11 @@ void Tracer::AddComplete(std::string name, std::string category, double ts_us,
   e.dur_us = dur_us;
   e.pid = pid;
   e.tid = tid;
+  // Same query-identity stamp as TraceSpan: simulated-timeline events from
+  // concurrent queries carry their owner's id.
+  if (const uint64_t tag = CurrentTaskTag(); tag != 0) {
+    args.emplace_back("qid", static_cast<int64_t>(tag));
+  }
   e.args = std::move(args);
   Append(LocalBuffer(), std::move(e));
 }

@@ -29,6 +29,7 @@
 #include "common/metrics.h"  // PREF_METRICS default
 #include "common/mutex.h"
 #include "common/status.h"
+#include "common/task_context.h"
 #include "common/thread_annotations.h"
 
 namespace pref {
@@ -146,6 +147,11 @@ class TraceSpan {
     e.ts_us = start_us_;
     e.dur_us = tracer_->NowMicros() - start_us_;
     e.pid = Tracer::kProcessPid;
+    // Stamp the owning query's id so concurrent queries stay separable in
+    // the merged trace. Tag 0 (untagged) spans stay unchanged.
+    if (const uint64_t tag = CurrentTaskTag(); tag != 0) {
+      args_.emplace_back("qid", static_cast<int64_t>(tag));
+    }
     e.args = std::move(args_);
     Tracer::ThreadBuffer& buffer = tracer_->LocalBuffer();
     e.tid = buffer.tid;

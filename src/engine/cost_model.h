@@ -68,6 +68,15 @@ struct ExecStats {
   /// Real wall-clock of producing this result. ExecutePlan measures plan
   /// execution; ExecuteQuery measures rewrite + execution.
   double wall_seconds = 0;
+  /// Morsel-level executor counters, scoped to this query (the per-query
+  /// view of the exec.scan.* / exec.agg.* registry metrics — accumulated
+  /// inside the executor and folded into the global registry once at query
+  /// end, so concurrent queries never interleave each other's counts).
+  size_t scan_morsels = 0;
+  size_t scan_rows = 0;
+  size_t agg_morsels = 0;
+  size_t agg_rows = 0;
+  size_t agg_groups = 0;
   /// Per-operator breakdown in pre-order; totals equal the fields above.
   std::vector<OperatorStats> operators;
 
@@ -100,6 +109,11 @@ struct ExecStats {
     exchanges += other.exchanges;
     total_rows_processed += other.total_rows_processed;
     wall_seconds += other.wall_seconds;
+    scan_morsels += other.scan_morsels;
+    scan_rows += other.scan_rows;
+    agg_morsels += other.agg_morsels;
+    agg_rows += other.agg_rows;
+    agg_groups += other.agg_groups;
     if (node_rows.size() < other.node_rows.size()) {
       node_rows.resize(other.node_rows.size(), 0);
     }

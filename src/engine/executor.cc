@@ -108,8 +108,8 @@ using GroupMap = std::unordered_map<GroupKey, GroupSlot, GroupKeyHasher>;
 class Executor {
  public:
   Executor(const PartitionedDatabase& pdb, const CostModel& cost_model,
-           ThreadPool* pool)
-      : pdb_(pdb), cost_model_(cost_model), pool_(pool) {}
+           ThreadPool* pool, QueryControl* control)
+      : pdb_(pdb), cost_model_(cost_model), pool_(pool), control_(control) {}
 
   Result<QueryResult> Run(const PlanNode& root) {
     Stopwatch timer;
@@ -145,11 +145,24 @@ class Executor {
       static Counter& exchange_rows = registry.GetCounter("engine.exchange.rows");
       static Counter& rows_processed = registry.GetCounter("engine.rows_processed");
       static Histogram& query_seconds = registry.GetHistogram("engine.query_seconds");
+      static Counter& scan_morsels = registry.GetCounter("exec.scan.morsels");
+      static Counter& scan_rows = registry.GetCounter("exec.scan.rows");
+      static Counter& agg_morsels = registry.GetCounter("exec.agg.morsels");
+      static Counter& agg_rows = registry.GetCounter("exec.agg.rows");
+      static Counter& agg_groups = registry.GetCounter("exec.agg.groups");
       queries.Add(1);
       exchange_bytes.Add(stats_.bytes_shuffled);
       exchange_rows.Add(stats_.rows_shuffled);
       rows_processed.Add(stats_.total_rows_processed);
       query_seconds.Observe(stats_.wall_seconds);
+      // Morsel counters accumulate per query in stats_ (never straight
+      // into the registry from operator code), so concurrent queries keep
+      // clean per-query breakdowns; the registry sees one fold per query.
+      scan_morsels.Add(stats_.scan_morsels);
+      scan_rows.Add(stats_.scan_rows);
+      agg_morsels.Add(stats_.agg_morsels);
+      agg_rows.Add(stats_.agg_rows);
+      agg_groups.Add(stats_.agg_groups);
     }
     if (Tracer::Default().enabled()) EmitSimulatedTimeline(sim_base_us);
     span.AddArg("operators", static_cast<int64_t>(stats_.operators.size()));
@@ -173,6 +186,13 @@ class Executor {
   /// that entry — the recursion itself stays on the calling thread, so
   /// `ops_` never reallocates under a concurrent writer.
   Result<DistResult> Exec(const PlanNode& node, int parent) {
+    // Cooperative cancellation: one cheap check per operator bounds how
+    // long a cancel or deadline takes to land without polling in row loops.
+    if (control_ != nullptr && control_->ShouldStop()) {
+      return control_->cancelled()
+                 ? Status::Cancelled("query cancelled")
+                 : Status::Cancelled("query deadline exceeded");
+    }
     const int idx = static_cast<int>(ops_.size());
     {
       OperatorStats op;
@@ -365,12 +385,8 @@ class Executor {
       });
     }
 
-    static Counter& morsels_ctr =
-        MetricsRegistry::Default().GetCounter("exec.scan.morsels");
-    static Counter& rows_ctr =
-        MetricsRegistry::Default().GetCounter("exec.scan.rows");
-    morsels_ctr.Add(morsels.size());
-    rows_ctr.Add(rows_total);
+    stats_.scan_morsels += morsels.size();
+    stats_.scan_rows += rows_total;
     return out;
   }
 
@@ -714,14 +730,9 @@ class Executor {
         dst.insert(dst.end(), rowlist.begin(), rowlist.end());
       }
     }
-    static Counter& morsels_ctr =
-        MetricsRegistry::Default().GetCounter("exec.agg.morsels");
-    static Counter& rows_ctr = MetricsRegistry::Default().GetCounter("exec.agg.rows");
-    static Counter& groups_ctr =
-        MetricsRegistry::Default().GetCounter("exec.agg.groups");
-    morsels_ctr.Add(partial.size());
-    rows_ctr.Add(rows);
-    groups_ctr.Add(out.size());
+    stats_.agg_morsels += partial.size();
+    stats_.agg_rows += rows;
+    stats_.agg_groups += out.size();
     return out;
   }
 
@@ -967,6 +978,8 @@ class Executor {
   /// Executes every operator fan-out; a 1-lane pool degrades to the serial
   /// path with identical results.
   ThreadPool* pool_;
+  /// Optional cooperative cancellation; polled at operator boundaries.
+  QueryControl* control_;
   int n_ = 0;
   ExecStats stats_;
   /// Per-operator accounting, indexed by pre-order plan position. Entries
@@ -983,16 +996,18 @@ class Executor {
 }  // namespace
 
 Result<QueryResult> ExecutePlan(const PlanNode& root, const PartitionedDatabase& pdb,
-                                const CostModel& cost_model, ThreadPool* pool) {
+                                const CostModel& cost_model, ThreadPool* pool,
+                                QueryControl* control) {
   Executor executor(pdb, cost_model,
-                    pool != nullptr ? pool : &ThreadPool::Default());
+                    pool != nullptr ? pool : &ThreadPool::Default(), control);
   return executor.Run(root);
 }
 
 Result<QueryResult> ExecuteQuery(const QuerySpec& query,
                                  const PartitionedDatabase& pdb,
                                  const QueryOptions& options,
-                                 const CostModel& cost_model, ThreadPool* pool) {
+                                 const CostModel& cost_model, ThreadPool* pool,
+                                 QueryControl* control) {
   Stopwatch timer;
   TraceSpan span("ExecuteQuery", "engine");
   auto plan = [&] {
@@ -1001,7 +1016,7 @@ Result<QueryResult> ExecuteQuery(const QuerySpec& query,
   }();
   PREF_RETURN_NOT_OK(plan.status());
   PREF_ASSIGN_OR_RAISE(QueryResult result,
-                       ExecutePlan(**plan, pdb, cost_model, pool));
+                       ExecutePlan(**plan, pdb, cost_model, pool, control));
   // Consistent meaning across both entry points: wall_seconds covers
   // everything the caller asked for — rewrite + execution here, execution
   // only in ExecutePlan.

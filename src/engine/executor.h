@@ -16,10 +16,12 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "engine/cost_model.h"
 #include "engine/plan.h"
 #include "engine/rewriter.h"
@@ -38,18 +40,55 @@ struct QueryResult {
   QueryResult() : rows(std::vector<DataType>{}) {}
 };
 
+/// Cooperative cancellation and deadline for one query. The executor polls
+/// ShouldStop() at every operator boundary and returns Status::Cancelled
+/// when it fires, so a cancel lands within one operator's work, not one
+/// query's. Cancel() is thread-safe (one relaxed atomic store) and may be
+/// called from any thread, including while the query runs on the pool. The
+/// object must outlive the execution it controls.
+class QueryControl {
+ public:
+  QueryControl() = default;
+  QueryControl(const QueryControl&) = delete;
+  QueryControl& operator=(const QueryControl&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Arms a deadline `seconds` from now (<= 0 disarms). Not thread-safe
+  /// against concurrent ShouldStop — arm before execution starts.
+  void ArmTimeout(double seconds) {
+    timeout_seconds_ = seconds;
+    started_.Restart();
+  }
+
+  /// True once cancelled or past the armed deadline.
+  bool ShouldStop() const {
+    if (cancelled()) return true;
+    return timeout_seconds_ > 0 && started_.ElapsedSeconds() > timeout_seconds_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  double timeout_seconds_ = 0;  // 0 = no deadline
+  Stopwatch started_;
+};
+
 /// Executes a rewritten plan. Operator fan-out runs on `pool`
 /// (ThreadPool::Default() when null); a 1-lane pool executes everything on
-/// the calling thread and produces bit-identical results.
+/// the calling thread and produces bit-identical results. A non-null
+/// `control` enables cooperative cancellation (checked per operator).
 Result<QueryResult> ExecutePlan(const PlanNode& root, const PartitionedDatabase& pdb,
                                 const CostModel& cost_model = {},
-                                ThreadPool* pool = nullptr);
+                                ThreadPool* pool = nullptr,
+                                QueryControl* control = nullptr);
 
 /// Rewrites (§2.2) and executes `query` over `pdb`.
 Result<QueryResult> ExecuteQuery(const QuerySpec& query,
                                  const PartitionedDatabase& pdb,
                                  const QueryOptions& options = {},
                                  const CostModel& cost_model = {},
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 QueryControl* control = nullptr);
 
 }  // namespace pref

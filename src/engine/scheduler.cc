@@ -1,0 +1,199 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/task_context.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace pref {
+
+QueryScheduler::QueryScheduler(const PartitionedDatabase& pdb,
+                               ScheduleOptions options)
+    : pdb_(pdb),
+      pool_(options.pool != nullptr ? options.pool : &ThreadPool::Default()),
+      max_in_flight_(options.max_in_flight > 0 ? options.max_in_flight
+                                               : pool_->num_threads()) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  submitted_ = &registry.GetCounter("scheduler.submitted");
+  completed_ctr_ = &registry.GetCounter("scheduler.completed");
+  cancelled_ = &registry.GetCounter("scheduler.cancelled");
+  in_flight_hwm_ = &registry.GetGauge("scheduler.in_flight");
+  query_seconds_ = &registry.GetHistogram("scheduler.query_seconds");
+}
+
+QueryScheduler::~QueryScheduler() {
+  // Drain: every submitted query must finish before the entries (and the
+  // QueryControls the executor polls) go away. Lend this thread to the
+  // pool while waiting, same as Take.
+  for (;;) {
+    bool idle = false;
+    {
+      MutexLock lock(&mu_);
+      idle = in_flight_ == 0 && backlog_.empty();
+    }
+    if (idle) return;
+    if (pool_->TryRunOneTask()) continue;
+    MutexLock lock(&mu_);
+    if (in_flight_ == 0 && backlog_.empty()) return;
+    cv_.Wait(&lock);
+  }
+}
+
+void QueryScheduler::LaunchLocked() {
+  while (in_flight_ < max_in_flight_ && !backlog_.empty()) {
+    const uint64_t id = backlog_.front();
+    backlog_.pop_front();
+    Entry* entry = entries_.find(id)->second.get();
+    entry->state = State::kRunning;
+    ++in_flight_;
+#if PREF_METRICS
+    in_flight_hwm_->SetMax(in_flight_);
+#endif
+    // The tag scope makes Post capture this query's id, so the query task
+    // — and every morsel it fans out — carries it through the pool.
+    TaskTagScope tag(id);
+    pool_->Post([this, id, entry] { RunQuery(id, entry); });
+  }
+}
+
+void QueryScheduler::RunQuery(uint64_t id, Entry* entry) {
+  TraceSpan span("Query", "scheduler");
+  span.AddArg("id", static_cast<int64_t>(id));
+  if (entry->options.timeout_seconds > 0) {
+    entry->control.ArmTimeout(entry->options.timeout_seconds);
+  }
+  Stopwatch timer;
+  Result<QueryResult> result =
+      ExecuteQuery(entry->spec, pdb_, entry->options.query,
+                   entry->options.cost_model, pool_, &entry->control);
+  query_seconds_->Observe(timer.ElapsedSeconds());
+  completed_ctr_->Add(1);
+  if (!result.status().ok() && result.status().IsCancelled()) {
+    cancelled_->Add(1);
+  }
+  {
+    MutexLock lock(&mu_);
+    entry->result = std::move(result);
+    entry->state = State::kDone;
+    completed_.push_back(id);
+    --in_flight_;
+    LaunchLocked();
+    // Notify while still holding mu_: the moment in_flight_ hits zero the
+    // destructor may observe idle (it takes mu_ to check) and tear the
+    // CondVar down, so an unlocked notify here could touch a dead cv_.
+    // Waiters reacquire mu_ anyway; the held-lock broadcast costs nothing.
+    cv_.NotifyAll();
+  }
+}
+
+uint64_t QueryScheduler::Submit(const QuerySpec& query, SubmitOptions options) {
+  uint64_t id = 0;
+  {
+    MutexLock lock(&mu_);
+    id = next_id_++;
+    entries_.emplace(id, std::make_unique<Entry>(query, std::move(options)));
+    backlog_.push_back(id);
+    LaunchLocked();
+  }
+  cv_.NotifyAll();
+  submitted_->Add(1);
+  return id;
+}
+
+Result<QueryResult> QueryScheduler::Take(uint64_t id) {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      auto it = entries_.find(id);
+      if (it == entries_.end()) {
+        return Status::KeyError("unknown query id ", id);
+      }
+      Entry* entry = it->second.get();
+      if (entry->state == State::kTaken) {
+        return Status::KeyError("query ", id, " already taken");
+      }
+      if (entry->state == State::kDone) {
+        entry->state = State::kTaken;
+        auto cit = std::find(completed_.begin(), completed_.end(), id);
+        if (cit != completed_.end()) completed_.erase(cit);
+        return std::move(entry->result);
+      }
+    }
+    // Not finished: lend this thread to the pool instead of idling a lane
+    // (on a 1-lane pool this is what executes the query). Park only when
+    // there is nothing to help with; every completion and submission
+    // notifies cv_, and the state was rechecked under mu_ just before the
+    // wait, so the wakeup cannot be lost.
+    if (pool_->TryRunOneTask()) continue;
+    MutexLock lock(&mu_);
+    Entry* entry = entries_.find(id)->second.get();
+    if (entry->state == State::kDone || entry->state == State::kTaken) continue;
+    cv_.Wait(&lock);
+  }
+}
+
+uint64_t QueryScheduler::WaitAny() {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (!completed_.empty()) {
+        const uint64_t id = completed_.front();
+        completed_.pop_front();
+        return id;
+      }
+      if (in_flight_ == 0 && backlog_.empty()) return 0;  // nothing pending
+    }
+    if (pool_->TryRunOneTask()) continue;
+    MutexLock lock(&mu_);
+    if (!completed_.empty() || (in_flight_ == 0 && backlog_.empty())) continue;
+    cv_.Wait(&lock);
+  }
+}
+
+uint64_t QueryScheduler::PollCompleted() {
+  MutexLock lock(&mu_);
+  if (completed_.empty()) return 0;
+  const uint64_t id = completed_.front();
+  completed_.pop_front();
+  return id;
+}
+
+void QueryScheduler::Cancel(uint64_t id) {
+  bool notify = false;
+  {
+    MutexLock lock(&mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;
+    Entry* entry = it->second.get();
+    if (entry->state == State::kQueued) {
+      // Never started: complete it as cancelled right here.
+      auto bit = std::find(backlog_.begin(), backlog_.end(), id);
+      if (bit != backlog_.end()) backlog_.erase(bit);
+      entry->state = State::kDone;
+      entry->result = Status::Cancelled("query cancelled before start");
+      completed_.push_back(id);
+      completed_ctr_->Add(1);
+      cancelled_->Add(1);
+      notify = true;
+    } else if (entry->state == State::kRunning) {
+      // The executor observes this at its next operator boundary.
+      entry->control.Cancel();
+    }
+  }
+  if (notify) cv_.NotifyAll();
+}
+
+int QueryScheduler::InFlight() const {
+  MutexLock lock(&mu_);
+  return in_flight_;
+}
+
+int QueryScheduler::Backlog() const {
+  MutexLock lock(&mu_);
+  return static_cast<int>(backlog_.size());
+}
+
+}  // namespace pref

@@ -1,0 +1,155 @@
+// QueryScheduler: admits and multiplexes N concurrent queries over the
+// shared ThreadPool (DESIGN.md §10).
+//
+// Each submitted query gets a process-unique id (its *task tag*) and runs
+// as one fire-and-forget pool task; every morsel the query fans out carries
+// that tag, so the pool's round-robin tag dispatch interleaves concurrent
+// queries fairly instead of letting one large query's backlog starve the
+// rest. Admission control bounds how many queries execute at once
+// (max_in_flight); queries past the bound wait in a FIFO backlog and
+// launch as slots free up.
+//
+// Concurrency model (after the morsel-driven-parallelism template): no
+// thread is ever created per query. Queries are pool tasks; a waiter
+// (Take/WaitAny) that would otherwise block lends its thread to the pool
+// via TryRunOneTask, so even a 1-lane pool (PREF_THREADS=1, zero workers)
+// drives submitted queries to completion on the waiting thread — serially,
+// with bit-identical results.
+//
+// Per-query isolation:
+//  * results/stats — each query runs its own Executor; morsel counters
+//    accumulate in its ExecStats and fold into the metrics registry once
+//    at query end, so concurrent runs never interleave counts.
+//  * traces — spans inherit the query's tag and are stamped with a "qid"
+//    arg (see task_context.h).
+//  * cancellation — Cancel(id) stops a queued query immediately and an
+//    executing one at its next operator boundary; SubmitOptions::
+//    timeout_seconds arms a per-query deadline the same way. Both surface
+//    as Status::Cancelled through Take.
+//
+// Thread safety: all public methods are thread-safe. The scheduler must
+// outlive its in-flight queries — the destructor drains (runs or cancels
+// nothing; it waits for every submitted query to finish).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "engine/executor.h"
+
+namespace pref {
+
+class ThreadPool;
+
+struct ScheduleOptions {
+  /// Queries executing concurrently at most; 0 means the pool's lane count
+  /// (num_threads()). Submissions beyond the bound queue FIFO.
+  int max_in_flight = 0;
+  /// Pool to execute on; null means ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+};
+
+/// Per-submission knobs (the per-query slice of ExecuteQuery's options).
+struct SubmitOptions {
+  QueryOptions query;
+  CostModel cost_model;
+  /// > 0 arms a deadline: the query is cancelled (Status::Cancelled from
+  /// Take) once it has executed this long. 0 = no deadline.
+  double timeout_seconds = 0;
+};
+
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(const PartitionedDatabase& pdb,
+                          ScheduleOptions options = {});
+  /// Blocks until every submitted query completed (results of queries
+  /// never Take()n are discarded).
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Enqueues `query` for execution and returns its id (> 0). The spec is
+  /// copied; the scheduler's database reference must stay valid. Starts
+  /// immediately when an in-flight slot is free, else joins the backlog.
+  uint64_t Submit(const QuerySpec& query, SubmitOptions options = {});
+
+  /// Blocks until query `id` completes and returns its result (errors and
+  /// cancellations come back as the Status). Each id can be taken once;
+  /// taking an unknown or already-taken id returns KeyError. While
+  /// waiting, the calling thread executes pool tasks (it never idles a
+  /// lane).
+  Result<QueryResult> Take(uint64_t id);
+
+  /// Blocks until any not-yet-taken query completes and returns its id
+  /// (oldest completion first); 0 when nothing is pending. Pair with
+  /// Take(id) to consume the result.
+  uint64_t WaitAny();
+
+  /// Nonblocking WaitAny: the oldest completed, not-yet-claimed query id,
+  /// or 0 when none is ready right now (open-loop drivers poll this
+  /// between arrivals).
+  uint64_t PollCompleted();
+
+  /// Requests cancellation of query `id`: a queued query completes
+  /// immediately as cancelled; an executing one stops at its next operator
+  /// boundary. No-op for unknown/finished ids.
+  void Cancel(uint64_t id);
+
+  /// Queries currently executing (admitted, not yet finished).
+  int InFlight() const;
+  /// Submitted queries waiting for an in-flight slot.
+  int Backlog() const;
+
+ private:
+  enum class State { kQueued, kRunning, kDone, kTaken };
+
+  struct Entry {
+    QuerySpec spec;
+    SubmitOptions options;
+    QueryControl control;
+    State state = State::kQueued;
+    /// Valid once state >= kDone.
+    Result<QueryResult> result;
+
+    Entry(QuerySpec s, SubmitOptions o)
+        : spec(std::move(s)), options(std::move(o)),
+          result(Status::Internal("query not finished")) {}
+  };
+
+  /// Launches queued queries while in-flight slots are free.
+  void LaunchLocked() REQUIRES(mu_);
+  /// Runs one query on the pool (entered as a tagged pool task).
+  void RunQuery(uint64_t id, Entry* entry);
+
+  const PartitionedDatabase& pdb_;
+  ThreadPool* pool_;
+  int max_in_flight_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// All submissions by id; entries are stable (unique_ptr) so RunQuery
+  /// can touch its entry without holding mu_ while the map grows.
+  std::map<uint64_t, std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  /// Submission order waiting for a slot (front launches next).
+  std::deque<uint64_t> backlog_ GUARDED_BY(mu_);
+  /// Completion order not yet returned by WaitAny.
+  std::deque<uint64_t> completed_ GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  int in_flight_ GUARDED_BY(mu_) = 0;
+
+  // Observability (DESIGN.md §6).
+  Counter* submitted_ = nullptr;        // scheduler.submitted
+  Counter* completed_ctr_ = nullptr;    // scheduler.completed
+  Counter* cancelled_ = nullptr;        // scheduler.cancelled
+  Gauge* in_flight_hwm_ = nullptr;      // scheduler.in_flight (high-water)
+  Histogram* query_seconds_ = nullptr;  // scheduler.query_seconds
+};
+
+}  // namespace pref

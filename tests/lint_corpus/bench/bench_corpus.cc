@@ -1,0 +1,31 @@
+// Golden corpus for the bench/ scope: raw-random and raw-thread fire in
+// benchmark drivers (their numbers must replay from a seed just like the
+// library), but raw-stdout does not — human-readable stdout is what a
+// bench main is for.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+void bench_bad_randomness() {
+  int r = rand();  // expect: raw-random
+  (void)r;
+  auto now = std::chrono::system_clock::now();  // expect: raw-random
+  (void)now;
+}
+
+void bench_bad_threads() {
+  std::thread t([] {});  // expect: raw-thread
+  t.join();
+}
+
+void bench_stdout_is_fine() {
+  // The human-readable results table: legitimate in bench/, a finding in
+  // src/.
+  std::printf("p50 %7.2fms\n", 1.0);
+}
+
+void bench_sleep_is_fine() {
+  // Open-loop pacing; std::this_thread is not std::thread construction.
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+}

@@ -61,6 +61,38 @@ TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
 #endif
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram
+  h.Observe(0.5);
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(5.0);
+#if PREF_METRICS
+  // Nearest rank over 4 samples: q=0.25 → rank 1 of the 2 in (0,1] →
+  // halfway through the first bucket; q=0.75 → rank 3, first of the 2 in
+  // (1,10] → halfway through the second.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 5.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+  // Out-of-range q clamps instead of reading past the buckets.
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+#endif
+}
+
+TEST(Histogram, QuantileInOverflowBucketReportsLastFiniteBound) {
+  Histogram h({1.0, 10.0});
+  h.Observe(100.0);
+  h.Observe(200.0);
+#if PREF_METRICS
+  // The overflow bucket has no upper edge; the quantile saturates at the
+  // largest finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 10.0);
+#endif
+}
+
 TEST(Histogram, ConcurrentObservationsKeepTotalExact) {
   Histogram h({0.5});
   ThreadPool pool(4);

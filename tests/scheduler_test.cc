@@ -1,0 +1,247 @@
+// QueryScheduler tests (DESIGN.md §10): concurrent serving must be
+// *invisible* in the results — N clients multiplexed over one pool get
+// bit-identical rows and equal per-query ExecStats to an isolated serial
+// run — plus admission control, cancellation, and deadline behavior.
+//
+// Runs under ThreadSanitizer and AddressSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datagen/tpch_gen.h"
+#include "engine/scheduler.h"
+#include "test_util.h"
+#include "workloads/tpch_queries.h"
+
+namespace pref {
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Bit-exact result comparison (same contract as executor_parallel_test):
+/// row count, row order, and per-cell equality with doubles compared by
+/// bit pattern.
+void ExpectBitIdentical(const QueryResult& a, const QueryResult& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.rows.num_rows(), b.rows.num_rows()) << label;
+  ASSERT_EQ(a.rows.num_columns(), b.rows.num_columns()) << label;
+  EXPECT_EQ(a.column_names, b.column_names) << label;
+  for (int c = 0; c < a.rows.num_columns(); ++c) {
+    const Column& ca = a.rows.column(c);
+    const Column& cb = b.rows.column(c);
+    for (size_t r = 0; r < a.rows.num_rows(); ++r) {
+      if (ca.is_double()) {
+        EXPECT_EQ(DoubleBits(ca.GetDouble(r)), DoubleBits(cb.GetDouble(r)))
+            << label << " col " << c << " row " << r;
+      } else if (ca.is_int()) {
+        EXPECT_EQ(ca.GetInt64(r), cb.GetInt64(r))
+            << label << " col " << c << " row " << r;
+      } else {
+        EXPECT_EQ(ca.GetString(r), cb.GetString(r))
+            << label << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+/// Per-query ExecStats must agree on everything except wall-clock —
+/// including the per-query morsel counters (scan_*/agg_*), which is
+/// exactly what the per-query stats scoping fix guarantees: another
+/// query's morsels never leak into this query's counts.
+void ExpectStatsEqual(const ExecStats& a, const ExecStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.bytes_shuffled, b.bytes_shuffled) << label;
+  EXPECT_EQ(a.rows_shuffled, b.rows_shuffled) << label;
+  EXPECT_EQ(a.exchanges, b.exchanges) << label;
+  EXPECT_EQ(a.total_rows_processed, b.total_rows_processed) << label;
+  EXPECT_EQ(a.node_rows, b.node_rows) << label;
+  EXPECT_EQ(a.scan_morsels, b.scan_morsels) << label;
+  EXPECT_EQ(a.scan_rows, b.scan_rows) << label;
+  EXPECT_EQ(a.agg_morsels, b.agg_morsels) << label;
+  EXPECT_EQ(a.agg_rows, b.agg_rows) << label;
+  EXPECT_EQ(a.agg_groups, b.agg_groups) << label;
+  ASSERT_EQ(a.operators.size(), b.operators.size()) << label;
+  for (size_t i = 0; i < a.operators.size(); ++i) {
+    const OperatorStats& oa = a.operators[i];
+    const OperatorStats& ob = b.operators[i];
+    EXPECT_EQ(oa.op, ob.op) << label << " op " << i;
+    EXPECT_EQ(oa.parent, ob.parent) << label << " op " << i;
+    EXPECT_EQ(oa.rows_in, ob.rows_in) << label << " op " << oa.op;
+    EXPECT_EQ(oa.rows_out, ob.rows_out) << label << " op " << oa.op;
+    EXPECT_EQ(oa.rows_processed, ob.rows_processed) << label << " op " << oa.op;
+    EXPECT_EQ(oa.rows_shuffled, ob.rows_shuffled) << label << " op " << oa.op;
+    EXPECT_EQ(oa.bytes_shuffled, ob.bytes_shuffled) << label << " op " << oa.op;
+    EXPECT_EQ(oa.exchanges, ob.exchanges) << label << " op " << oa.op;
+    EXPECT_EQ(oa.node_rows, ob.node_rows) << label << " op " << oa.op;
+  }
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Same setup as executor_parallel_test: SF large enough that lineitem
+    // partitions span multiple morsels, so concurrent queries genuinely
+    // interleave fan-out tasks on the shared pool.
+    auto db = GenerateTpch({0.01, 42});
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+    auto pdb = PartitionDatabase(*db_, MakeTpchSdManual(db_->schema(), 4));
+    ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+    pdb_ = pdb->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete pdb_;
+    pdb_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static PartitionedDatabase* pdb_;
+};
+
+Database* SchedulerTest::db_ = nullptr;
+PartitionedDatabase* SchedulerTest::pdb_ = nullptr;
+
+TEST_F(SchedulerTest, ConcurrentMatchesIsolatedSerialRun) {
+  // The headline invariant: the full TPC-H mix submitted through the
+  // scheduler at N ∈ {2, 4, 8} concurrent clients returns, per query, the
+  // same bits and the same ExecStats as an isolated serial run.
+  ThreadPool serial(1);
+  const auto queries = TpchQueries(db_->schema());
+  std::vector<QueryResult> baseline;
+  for (const QuerySpec& q : queries) {
+    auto r = ExecuteQuery(q, *pdb_, {}, {}, &serial);
+    ASSERT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+    baseline.push_back(std::move(*r));
+  }
+
+  ThreadPool pool(4);
+  for (int clients : {2, 4, 8}) {
+    QueryScheduler scheduler(*pdb_, {clients, &pool});
+    std::map<uint64_t, size_t> submitted;  // id → query index
+    for (size_t i = 0; i < queries.size(); ++i) {
+      submitted.emplace(scheduler.Submit(queries[i]), i);
+    }
+    // Drain in completion order (out-of-order by design).
+    for (size_t n = 0; n < queries.size(); ++n) {
+      const uint64_t id = scheduler.WaitAny();
+      ASSERT_NE(id, 0u);
+      auto it = submitted.find(id);
+      ASSERT_NE(it, submitted.end());
+      const QuerySpec& q = queries[it->second];
+      auto result = scheduler.Take(id);
+      ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+      const std::string label = q.name + " @" + std::to_string(clients);
+      ExpectBitIdentical(baseline[it->second], *result, label);
+      ExpectStatsEqual(baseline[it->second].stats, result->stats, label);
+      submitted.erase(it);
+    }
+    EXPECT_EQ(scheduler.WaitAny(), 0u);  // nothing pending
+    EXPECT_TRUE(submitted.empty());
+  }
+}
+
+TEST_F(SchedulerTest, AdmissionBoundHoldsQueriesInBacklog) {
+  // A 1-lane pool has no workers, so nothing executes until a waiter lends
+  // its thread — the launch/backlog state right after Submit is exact.
+  ThreadPool lane(1);
+  QueryScheduler scheduler(*pdb_, {2, &lane});
+  const auto queries = TpchQueries(db_->schema());
+  ASSERT_GE(queries.size(), 5u);
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < 5; ++i) ids.push_back(scheduler.Submit(queries[i]));
+  EXPECT_EQ(scheduler.InFlight(), 2);  // bound, not 5
+  EXPECT_EQ(scheduler.Backlog(), 3);
+  for (uint64_t id : ids) {
+    auto result = scheduler.Take(id);  // the Take executes the queries
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_EQ(scheduler.InFlight(), 0);
+  EXPECT_EQ(scheduler.Backlog(), 0);
+}
+
+TEST_F(SchedulerTest, CancelQueuedQueryCompletesImmediately) {
+  ThreadPool lane(1);
+  QueryScheduler scheduler(*pdb_, {1, &lane});
+  const auto queries = TpchQueries(db_->schema());
+  const uint64_t running = scheduler.Submit(queries[0]);
+  const uint64_t queued = scheduler.Submit(queries[1]);
+  EXPECT_EQ(scheduler.Backlog(), 1);
+  scheduler.Cancel(queued);
+  // The cancelled query is done *now* — WaitAny sees it without anything
+  // having executed — and its slot never launches.
+  EXPECT_EQ(scheduler.WaitAny(), queued);
+  auto cancelled = scheduler.Take(queued);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.status().IsCancelled())
+      << cancelled.status().ToString();
+  auto result = scheduler.Take(running);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST_F(SchedulerTest, CancelBeforeExecutionYieldsCancelledStatus) {
+  // On a 1-lane pool the query task is posted but not yet executed, so the
+  // Cancel deterministically lands before the executor's first operator
+  // poll: Take must drive the query and get Status::Cancelled back.
+  ThreadPool lane(1);
+  QueryScheduler scheduler(*pdb_, {1, &lane});
+  const auto queries = TpchQueries(db_->schema());
+  const uint64_t id = scheduler.Submit(queries[0]);
+  EXPECT_EQ(scheduler.InFlight(), 1);
+  scheduler.Cancel(id);
+  auto result = scheduler.Take(id);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+}
+
+TEST_F(SchedulerTest, TimeoutCancelsQuery) {
+  QueryScheduler scheduler(*pdb_);
+  const auto queries = TpchQueries(db_->schema());
+  SubmitOptions options;
+  // A deadline below clock resolution has always expired by the first
+  // operator-boundary poll, so the outcome is deterministic.
+  options.timeout_seconds = 1e-12;
+  const uint64_t id = scheduler.Submit(queries[0], options);
+  auto result = scheduler.Take(id);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+}
+
+TEST_F(SchedulerTest, TakeIsOnceAndUnknownIdsAreErrors) {
+  QueryScheduler scheduler(*pdb_);
+  const auto queries = TpchQueries(db_->schema());
+  const uint64_t id = scheduler.Submit(queries[0]);
+  EXPECT_TRUE(scheduler.Take(id).ok());
+  auto again = scheduler.Take(id);
+  EXPECT_FALSE(again.ok());
+  auto unknown = scheduler.Take(999999);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(scheduler.WaitAny(), 0u);
+}
+
+TEST_F(SchedulerTest, DestructorDrainsUntakenQueries) {
+  // Submitting and never Taking must not leak, deadlock, or touch freed
+  // entries: the destructor waits for every query to finish.
+  ThreadPool pool(4);
+  {
+    QueryScheduler scheduler(*pdb_, {4, &pool});
+    const auto queries = TpchQueries(db_->schema());
+    for (size_t i = 0; i < 6; ++i) scheduler.Submit(queries[i]);
+  }  // ~QueryScheduler drains
+}
+
+}  // namespace
+}  // namespace pref

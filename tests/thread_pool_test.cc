@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/task_context.h"
 #include "common/thread_pool.h"
 
 namespace pref {
@@ -72,7 +73,8 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   ThreadPool pool(2);
   std::atomic<int> inner_total{0};
   pool.ParallelFor(8, [&](int) {
-    // Runs serially when already on a pool worker; must complete either way.
+    // Nested calls fan out too (the joiner helps drain same-tag tasks, so
+    // a worker blocking on an inner join can never deadlock the pool).
     pool.ParallelFor(8, [&](int) { inner_total++; });
   });
   EXPECT_EQ(inner_total.load(), 64);
@@ -161,7 +163,7 @@ TEST(ThreadPoolTest, MorselEdgeCases) {
     singles++;
   });
   EXPECT_EQ(singles.load(), 5);
-  // Nested call from a worker runs serially, like ParallelFor.
+  // Nested call from a worker fans out via help-joins, like ParallelFor.
   std::atomic<int> nested{0};
   pool.ParallelForMorsels(4, 1, [&](size_t, size_t, size_t) {
     pool.ParallelForMorsels(4, 1, [&](size_t, size_t, size_t) { nested++; });
@@ -186,6 +188,96 @@ TEST(ThreadPoolTest, SingleLanePoolRunsOnCaller) {
   EXPECT_EQ(pool.num_threads(), 1);
   const auto caller = std::this_thread::get_id();
   pool.ParallelFor(16, [&](int) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersWithNestedFanOutDoNotDeadlock) {
+  // The regression this guards (run under TSan in CI): multiple threads
+  // submitting nested ParallelForMorsels into one shared pool used to be
+  // able to park every lane inside an outer join while the inner tasks
+  // they were waiting on sat unexecuted in the queue. With help-first
+  // joins each blocked submitter drains its own tag's tasks instead.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr size_t kOuter = 600;
+  constexpr size_t kInner = 300;
+  std::vector<std::atomic<long>> totals(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      pool.ParallelForMorsels(kOuter, 64, [&](size_t, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          pool.ParallelForMorsels(kInner, 32, [&](size_t, size_t ib, size_t ie) {
+            totals[static_cast<size_t>(s)] += static_cast<long>(ie - ib);
+          });
+        }
+      });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(totals[static_cast<size_t>(s)].load(),
+              static_cast<long>(kOuter * kInner))
+        << "submitter " << s;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelBodiesInheritTheSubmittersTaskTag) {
+  // Fan-out tasks carry the tag active at the submitting call site — the
+  // mechanism the query scheduler uses to interleave queries fairly and
+  // stamp trace spans with query identity.
+  ThreadPool pool(4);
+  std::atomic<int> tagged{0};
+  TaskTagScope scope(42);
+  pool.ParallelFor(64, [&](int) {
+    if (CurrentTaskTag() == 42) tagged++;
+  });
+  EXPECT_EQ(tagged.load(), 64);
+}
+
+TEST(ThreadPoolTest, PostAndTryRunOneTask) {
+  // A 1-lane pool has no workers: Posted tasks sit queued until someone
+  // lends a thread, which makes dispatch order observable and exact.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  EXPECT_FALSE(pool.TryRunOneTask());  // empty queue
+  pool.Post([&] { order.push_back(1); });
+  pool.Post([&] { order.push_back(2); });
+  EXPECT_TRUE(pool.TryRunOneTask());
+  EXPECT_TRUE(pool.TryRunOneTask());
+  EXPECT_FALSE(pool.TryRunOneTask());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // FIFO within one tag
+}
+
+TEST(ThreadPoolTest, DispatchRoundRobinsAcrossTags) {
+  // Two tags with two queued tasks each: round-robin dispatch alternates
+  // tags instead of draining one tag's backlog first. Deterministic on a
+  // 1-lane pool because only TryRunOneTask executes anything.
+  ThreadPool pool(1);
+  std::vector<uint64_t> order;
+  {
+    TaskTagScope scope(1);
+    pool.Post([&] { order.push_back(1); });
+    pool.Post([&] { order.push_back(1); });
+  }
+  {
+    TaskTagScope scope(2);
+    pool.Post([&] { order.push_back(2); });
+    pool.Post([&] { order.push_back(2); });
+  }
+  while (pool.TryRunOneTask()) {
+  }
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 2, 1, 2}));
+}
+
+TEST(ThreadPoolTest, DestructorRunsLeftoverPostedTasks) {
+  // Post promises the task eventually runs; on a 1-lane pool with no
+  // waiter that has to happen in the destructor's drain.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.Post([&] { ran++; });
+  }
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(ThreadPoolTest, FreeFunctionParallelForStillWorks) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/task_context.h"
 
 namespace pref {
 namespace {
@@ -98,6 +99,33 @@ TEST(Tracer, ClearDropsEvents) {
   std::ostringstream os;
   tracer.WriteChromeTrace(os);
   EXPECT_TRUE(JsonValidator::Valid(os.str()));
+}
+
+TEST(Tracer, SpansInsideTaggedTasksCarryQueryId) {
+  // Query identity (DESIGN.md §10): any span recorded while a task tag is
+  // active gets a "qid" arg, so a multi-query Chrome trace can be filtered
+  // per query. Untagged spans stay unstamped.
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  {
+    TaskTagScope tag(7);
+    TraceSpan span("tagged", "test", &tracer);
+  }
+  { TraceSpan span("untagged", "test", &tracer); }
+  tracer.AddComplete("untagged-complete", "test", 0, 10, Tracer::kSimulatedPid,
+                     0);
+  {
+    TaskTagScope tag(9);
+    tracer.AddComplete("tagged-complete", "test", 0, 10, Tracer::kSimulatedPid,
+                       0, {{"rows", 1}});
+  }
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(JsonValidator::Valid(json)) << json;
+  EXPECT_NE(json.find("\"qid\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"qid\":9"), std::string::npos) << json;
+  EXPECT_EQ(CountOf(json, "\"qid\""), 2u) << json;  // untagged spans clean
 }
 
 TEST(Tracer, SpansFromMultipleThreadsGetDistinctTids) {

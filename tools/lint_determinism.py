@@ -26,17 +26,19 @@ Rules (each finding names one):
                   std::chrono::system_clock outside src/common/random.*.
                   All randomness must flow through the seeded Rng so runs
                   replay; wall-clock time is allowed only in steady_clock
-                  form (stopwatch/trace timing).
+                  form (stopwatch/trace timing). Applies to src/ and
+                  bench/ (benchmark numbers must replay too).
 
   raw-thread      std::thread construction outside src/common/thread_pool.*.
                   Ad-hoc threads bypass the bounded pool (oversubscription,
                   PREF_THREADS ignored) and its deterministic scheduling
-                  contracts.
+                  contracts. Applies to src/ and bench/.
 
-  raw-stdout      std::cout / printf / fprintf(stdout, ...) in src/.
+  raw-stdout      std::cout / printf / fprintf(stdout, ...) in src/ only.
                   Library code must not write to stdout: query output and
                   bench JSON are diffed byte-for-byte, and a stray print
-                  corrupts them. Use stderr for diagnostics.
+                  corrupts them. Use stderr for diagnostics. Bench mains
+                  are exempt — human-readable stdout is their job.
 
 Allowlist: tools/lint_determinism_allowlist.txt holds `rule path` pairs
 (paths relative to the repo root) for whole-file exemptions; each line must
@@ -327,7 +329,9 @@ def check_file(path, rel, allowed):
                     )
                 )
 
-    if not allowed_rule("raw-stdout"):
+    # Bench drivers own their stdout (the human-readable table); only
+    # library code under src/ is barred from printing.
+    if rel_posix.startswith("src/") and not allowed_rule("raw-stdout"):
         for idx, line in enumerate(code):
             m = RAW_STDOUT.search(line)
             if m:
@@ -347,11 +351,11 @@ def check_file(path, rel, allowed):
 def lint(root, allowlist_path):
     allowed = load_allowlist(allowlist_path)
     findings = []
-    src = root / "src"
-    for path in sorted(src.rglob("*")):
-        if path.suffix not in SOURCE_SUFFIXES:
-            continue
-        findings.extend(check_file(path, path.relative_to(root), allowed))
+    for tree in ("src", "bench"):
+        for path in sorted((root / tree).rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            findings.extend(check_file(path, path.relative_to(root), allowed))
     return findings
 
 
