@@ -17,26 +17,41 @@
 // Any result or ExecStats mismatch against the isolated baseline, or any
 // failed query, makes the run exit nonzero.
 //
-// Flags: --clients=N --rounds=R --rate=QPS --mix=tpch|tpcds plus the
-// standard --json=/--trace=. Scale via PREF_BENCH_SF (TPC-H, default 0.01)
-// / PREF_BENCH_DS_SF (TPC-DS, default 0.05).
+// Observability (DESIGN.md §11): --monitor=PATH feeds every completion
+// through a WorkloadMonitor and a MetricsTimeseries (ticked per
+// completion, never by wall clock) and writes both as one JSON document;
+// --shift-mix=tpch|tpcds appends a drift phase that replays the *other*
+// mix through the same monitor, so the drift score crosses its threshold
+// exactly once (the CI smoke asserts this); --profile=PATH dumps the
+// first mix query's deterministic QueryProfile JSON.
+//
+// Flags: --clients=N --rounds=R --rate=QPS --mix=tpch|tpcds
+// --monitor=PATH --shift-mix=MIX --window=N --drift-threshold=X
+// --profile=PATH plus the standard --json=/--trace=. Scale via
+// PREF_BENCH_SF (TPC-H, default 0.01) / PREF_BENCH_DS_SF (TPC-DS,
+// default 0.05).
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics_timeseries.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "datagen/tpcds_gen.h"
 #include "engine/scheduler.h"
+#include "engine/workload_monitor.h"
 #include "partition/presets.h"
 #include "workloads/tpcds_queries.h"
 
@@ -49,6 +64,15 @@ struct ServeArgs {
   int rounds = 2;
   double rate = 0;  // open-loop queries/s; 0 skips the open-loop phase
   std::string mix = "tpch";
+  /// Write the monitor + timeline JSON document here ("" disables both).
+  std::string monitor_path;
+  /// Non-empty appends a drift phase replaying this mix.
+  std::string shift_mix;
+  /// Monitor window in completions; 0 = one window per mix replay.
+  size_t window = 0;
+  double drift_threshold = 0.5;
+  /// Write the first mix query's deterministic profile JSON here.
+  std::string profile_path;
 };
 
 ServeArgs ParseServeArgs(int argc, char** argv) {
@@ -63,6 +87,16 @@ ServeArgs ParseServeArgs(int argc, char** argv) {
       out.rate = std::atof(argv[i] + 7);
     } else if (arg.rfind("--mix=", 0) == 0) {
       out.mix = std::string(arg.substr(6));
+    } else if (arg.rfind("--monitor=", 0) == 0) {
+      out.monitor_path = std::string(arg.substr(10));
+    } else if (arg.rfind("--shift-mix=", 0) == 0) {
+      out.shift_mix = std::string(arg.substr(12));
+    } else if (arg.rfind("--window=", 0) == 0) {
+      out.window = static_cast<size_t>(std::atoll(argv[i] + 9));
+    } else if (arg.rfind("--drift-threshold=", 0) == 0) {
+      out.drift_threshold = std::atof(argv[i] + 18);
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      out.profile_path = std::string(arg.substr(10));
     } else {
       std::fprintf(stderr, "bench_serve: unknown flag '%s'\n", argv[i]);
       std::exit(2);
@@ -111,6 +145,7 @@ bool BitIdentical(const QueryResult& a, const QueryResult& b) {
 bool StatsEqual(const ExecStats& a, const ExecStats& b) {
   if (a.bytes_shuffled != b.bytes_shuffled) return false;
   if (a.rows_shuffled != b.rows_shuffled) return false;
+  if (a.rows_local != b.rows_local) return false;
   if (a.exchanges != b.exchanges) return false;
   if (a.total_rows_processed != b.total_rows_processed) return false;
   if (a.node_rows != b.node_rows) return false;
@@ -124,11 +159,14 @@ bool StatsEqual(const ExecStats& a, const ExecStats& b) {
     const OperatorStats& oa = a.operators[i];
     const OperatorStats& ob = b.operators[i];
     if (oa.op != ob.op || oa.parent != ob.parent) return false;
+    if (oa.detail != ob.detail) return false;
     if (oa.rows_in != ob.rows_in || oa.rows_out != ob.rows_out) return false;
     if (oa.rows_processed != ob.rows_processed) return false;
     if (oa.rows_shuffled != ob.rows_shuffled) return false;
     if (oa.bytes_shuffled != ob.bytes_shuffled) return false;
     if (oa.exchanges != ob.exchanges) return false;
+    if (oa.rows_local != ob.rows_local) return false;
+    if (oa.flows != ob.flows) return false;
     if (oa.node_rows != ob.node_rows) return false;
   }
   return true;
@@ -149,7 +187,8 @@ struct PhaseOutcome {
   size_t queries = 0;
   double wall_seconds = 0;
   double simulated_seconds = 0;
-  std::vector<double> latencies;  // seconds
+  std::vector<double> latencies;    // seconds
+  std::vector<double> queue_waits;  // admission + queue wait, seconds
   size_t errors = 0;
   size_t mismatches = 0;
 };
@@ -166,6 +205,9 @@ void ReportPhase(BenchReport* report, const std::string& name,
   report->Field("p50_ms", PercentileSeconds(out.latencies, 0.50) * 1e3);
   report->Field("p95_ms", PercentileSeconds(out.latencies, 0.95) * 1e3);
   report->Field("p99_ms", PercentileSeconds(out.latencies, 0.99) * 1e3);
+  report->Field("queue_p50_ms", PercentileSeconds(out.queue_waits, 0.50) * 1e3);
+  report->Field("queue_p95_ms", PercentileSeconds(out.queue_waits, 0.95) * 1e3);
+  report->Field("queue_p99_ms", PercentileSeconds(out.queue_waits, 0.99) * 1e3);
   double sum = 0, mx = 0;
   for (double l : out.latencies) {
     sum += l;
@@ -214,9 +256,13 @@ PartitioningConfig MakeTpchServeConfig(const Schema& schema, int n) {
 void Consume(uint64_t id, Result<QueryResult> result, size_t query_index,
              double latency_seconds, const std::vector<QueryResult>& baseline,
              const std::vector<std::string>& names, const CostModel& cost_model,
-             PhaseOutcome* out) {
+             PhaseOutcome* out, const QueryProfile* profile = nullptr) {
   out->queries++;
   out->latencies.push_back(latency_seconds);
+  if (profile != nullptr && profile->has_timings) {
+    out->queue_waits.push_back(profile->timings.admission_wait_seconds +
+                               profile->timings.queue_wait_seconds);
+  }
   if (!result.status().ok()) {
     std::fprintf(stderr, "query %llu (%s) failed: %s\n",
                  static_cast<unsigned long long>(id),
@@ -237,45 +283,91 @@ void Consume(uint64_t id, Result<QueryResult> result, size_t query_index,
   }
 }
 
+/// A replayable mix: generated database, its partitioned form, queries.
+struct MixSetup {
+  Database db{Schema{}};
+  std::unique_ptr<PartitionedDatabase> pdb;
+  std::vector<QuerySpec> mix;
+  double sf = 0;
+};
+
+bool BuildMix(const std::string& mix_name, int nodes, MixSetup* out) {
+  if (mix_name == "tpch") {
+    out->sf = EnvScaleFactor("PREF_BENCH_SF", 0.01);
+    auto generated = GenerateTpch({out->sf, 42});
+    PREF_CHECK_OK(generated.status());
+    out->db = std::move(*generated);
+    auto partitioned =
+        PartitionDatabase(out->db, MakeTpchServeConfig(out->db.schema(), nodes));
+    PREF_CHECK_OK(partitioned.status());
+    out->pdb = std::move(*partitioned);
+    out->mix = TpchQueries(out->db.schema());
+    return true;
+  }
+  if (mix_name == "tpcds") {
+    TpcdsGenOptions gen;
+    gen.scale_factor = out->sf = EnvScaleFactor("PREF_BENCH_DS_SF", 0.05);
+    auto generated = GenerateTpcds(gen);
+    PREF_CHECK_OK(generated.status());
+    out->db = std::move(*generated);
+    auto config = MakeAllHashed(out->db.schema(), nodes);
+    PREF_CHECK_OK(config.status());
+    auto partitioned = PartitionDatabase(out->db, *config);
+    PREF_CHECK_OK(partitioned.status());
+    out->pdb = std::move(*partitioned);
+    auto queries = TpcdsExecutableQueries(out->db.schema());
+    PREF_CHECK_OK(queries.status());
+    out->mix = std::move(*queries);
+    return true;
+  }
+  std::fprintf(stderr, "bench_serve: unknown mix '%s' (tpch|tpcds)\n",
+               mix_name.c_str());
+  return false;
+}
+
 int Main(int argc, char** argv) {
   BenchArgs bench_args = ParseBenchArgs(&argc, argv);
   ServeArgs serve = ParseServeArgs(argc, argv);
 
   const int nodes = 4;
-  Database db{Schema{}};
-  std::unique_ptr<PartitionedDatabase> pdb;
-  std::vector<QuerySpec> mix;
-  double sf = 0;
-  if (serve.mix == "tpch") {
-    sf = EnvScaleFactor("PREF_BENCH_SF", 0.01);
-    auto generated = GenerateTpch({sf, 42});
-    PREF_CHECK_OK(generated.status());
-    db = std::move(*generated);
-    auto partitioned =
-        PartitionDatabase(db, MakeTpchServeConfig(db.schema(), nodes));
-    PREF_CHECK_OK(partitioned.status());
-    pdb = std::move(*partitioned);
-    mix = TpchQueries(db.schema());
-  } else if (serve.mix == "tpcds") {
-    TpcdsGenOptions gen;
-    gen.scale_factor = sf = EnvScaleFactor("PREF_BENCH_DS_SF", 0.05);
-    auto generated = GenerateTpcds(gen);
-    PREF_CHECK_OK(generated.status());
-    db = std::move(*generated);
-    auto config = MakeAllHashed(db.schema(), nodes);
-    PREF_CHECK_OK(config.status());
-    auto partitioned = PartitionDatabase(db, *config);
-    PREF_CHECK_OK(partitioned.status());
-    pdb = std::move(*partitioned);
-    auto queries = TpcdsExecutableQueries(db.schema());
-    PREF_CHECK_OK(queries.status());
-    mix = std::move(*queries);
-  } else {
-    std::fprintf(stderr, "bench_serve: unknown --mix '%s' (tpch|tpcds)\n",
-                 serve.mix.c_str());
-    return 2;
-  }
+  MixSetup setup;
+  if (!BuildMix(serve.mix, nodes, &setup)) return 2;
+  Database& db = setup.db;
+  std::unique_ptr<PartitionedDatabase>& pdb = setup.pdb;
+  std::vector<QuerySpec>& mix = setup.mix;
+  const double sf = setup.sf;
   const CostModel cost_model = PaperScaledModel(sf);
+
+  // Observability: monitor + per-completion timeline, shared across the
+  // concurrent phases (DESIGN.md §11). The drift callback only logs; the
+  // crossing count lands in the monitor JSON for the CI smoke to assert.
+  std::optional<WorkloadMonitor> monitor;
+  std::optional<MetricsTimeseries> timeline;
+  size_t monitored = 0;
+  if (!serve.monitor_path.empty() || !serve.shift_mix.empty()) {
+    MonitorOptions mopts;
+    mopts.window_size = serve.window > 0 ? serve.window : mix.size();
+    mopts.drift_threshold = serve.drift_threshold;
+    monitor.emplace(mopts);
+    monitor->SetDriftCallback([](double score, size_t window) {
+      std::fprintf(stderr,
+                   "monitor: drift score %.3f crossed threshold at window %zu\n",
+                   score, window);
+    });
+    timeline.emplace(
+        std::vector<std::string>{"scheduler.completed", "engine.exchange.rows",
+                                 "engine.exchange.local_rows",
+                                 "engine.rows_processed"},
+        std::vector<std::string>{"scheduler.backlog", "scheduler.in_flight",
+                                 "monitor.drift_milli", "monitor.skew_milli"});
+  }
+  auto observe = [&](const QueryProfile& profile, const QuerySpec& spec,
+                     const Schema& schema) {
+    if (!monitor.has_value()) return;
+    monitor->OnQueryComplete(profile, spec, schema);
+    ++monitored;
+    timeline->Tick(static_cast<double>(monitored));
+  };
   std::vector<std::string> names;
   names.reserve(mix.size());
   for (const auto& q : mix) names.push_back(q.name);
@@ -308,6 +400,22 @@ int Main(int argc, char** argv) {
   }
   ReportPhase(&report, "isolated/total", isolated);
 
+  // The committed example profile: the first mix query's deterministic
+  // sections (no scheduler timings), bit-identical at any PREF_THREADS.
+  if (!serve.profile_path.empty() && !baseline.empty()) {
+    QueryProfile profile =
+        QueryProfile::FromStats(names[0], baseline[0].stats, cost_model);
+    std::ofstream f(serve.profile_path);
+    profile.WriteJson(f);
+    if (!f) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   serve.profile_path.c_str());
+      return 1;
+    }
+    std::printf("profile for %s written to %s\n", names[0].c_str(),
+                serve.profile_path.c_str());
+  }
+
   size_t total_errors = 0, total_mismatches = 0;
 
   // Phase 2: closed loop — `clients` queries outstanding at all times,
@@ -334,8 +442,11 @@ int Main(int argc, char** argv) {
       auto it = inflight.find(id);
       const auto [qidx, t0] = it->second;
       inflight.erase(it);
-      Consume(id, scheduler.Take(id), qidx, now - t0, baseline, names,
-              cost_model, &closed);
+      QueryProfile profile;
+      auto result = scheduler.Take(id, &profile);
+      observe(profile, mix[qidx], db.schema());
+      Consume(id, std::move(result), qidx, now - t0, baseline, names,
+              cost_model, &closed, &profile);
       if (issued < total) submit_next();
     }
     closed.wall_seconds = wall.ElapsedSeconds();
@@ -368,8 +479,11 @@ int Main(int argc, char** argv) {
       auto it = inflight.find(id);
       const auto [qidx, t0] = it->second;
       inflight.erase(it);
-      Consume(id, scheduler.Take(id), qidx, now - t0, baseline, names,
-              cost_model, &open);
+      QueryProfile profile;
+      auto result = scheduler.Take(id, &profile);
+      observe(profile, mix[qidx], db.schema());
+      Consume(id, std::move(result), qidx, now - t0, baseline, names,
+              cost_model, &open, &profile);
       ++done;
     };
     while (done < total) {
@@ -399,6 +513,86 @@ int Main(int argc, char** argv) {
     ReportPhase(&report, label, open);
     total_errors += open.errors;
     total_mismatches += open.mismatches;
+  }
+
+  // Phase 4 (optional): drift — replay the *other* mix through the same
+  // monitor. Its join-frequency vector is (near-)disjoint from the
+  // reference window's, so the drift score jumps above the threshold on
+  // the first shifted window and stays there: exactly one upward crossing
+  // (the CI smoke asserts crossings == 1). No baseline comparison — this
+  // phase runs against a different database; failures still count.
+  if (!serve.shift_mix.empty()) {
+    MixSetup shifted;
+    if (!BuildMix(serve.shift_mix, nodes, &shifted)) return 2;
+    QueryScheduler scheduler(*shifted.pdb, {serve.clients, nullptr});
+    const size_t total =
+        shifted.mix.size() * static_cast<size_t>(serve.rounds);
+    PhaseOutcome shift;
+    std::map<uint64_t, std::pair<size_t, double>> inflight;
+    Stopwatch wall;
+    size_t issued = 0;
+    auto submit_next = [&] {
+      const size_t qidx = issued % shifted.mix.size();
+      SubmitOptions options;
+      options.cost_model = cost_model;
+      const uint64_t id = scheduler.Submit(shifted.mix[qidx], options);
+      inflight.emplace(id, std::make_pair(qidx, wall.ElapsedSeconds()));
+      ++issued;
+    };
+    for (int c = 0; c < serve.clients && issued < total; ++c) submit_next();
+    while (!inflight.empty()) {
+      const uint64_t id = scheduler.WaitAny();
+      const double now = wall.ElapsedSeconds();
+      auto it = inflight.find(id);
+      const auto [qidx, t0] = it->second;
+      inflight.erase(it);
+      QueryProfile profile;
+      auto result = scheduler.Take(id, &profile);
+      observe(profile, shifted.mix[qidx], shifted.db.schema());
+      shift.queries++;
+      shift.latencies.push_back(now - t0);
+      shift.queue_waits.push_back(profile.timings.admission_wait_seconds +
+                                  profile.timings.queue_wait_seconds);
+      if (!result.status().ok()) {
+        std::fprintf(stderr, "shift query %llu (%s) failed: %s\n",
+                     static_cast<unsigned long long>(id),
+                     shifted.mix[qidx].name.c_str(),
+                     result.status().ToString().c_str());
+        shift.errors++;
+      } else {
+        shift.simulated_seconds += result->stats.SimulatedSeconds(cost_model);
+      }
+      if (issued < total) submit_next();
+    }
+    shift.wall_seconds = wall.ElapsedSeconds();
+    ReportPhase(&report, "shift/" + serve.shift_mix, shift);
+    total_errors += shift.errors;
+    std::printf("monitor: %zu windows, drift %.3f, %zu crossing(s)\n",
+                monitor->windows_completed(), monitor->drift_score(),
+                monitor->drift_crossings());
+  }
+
+  // The monitor document: the WorkloadMonitor JSON with the timeline
+  // spliced in as one more top-level key.
+  if (!serve.monitor_path.empty() && monitor.has_value()) {
+    std::ostringstream mon, ts;
+    monitor->WriteJson(mon);
+    timeline->WriteJson(ts);
+    auto trim = [](std::string s) {
+      while (!s.empty() && s.back() == '\n') s.pop_back();
+      return s;
+    };
+    std::string mon_doc = trim(mon.str());
+    mon_doc.pop_back();  // drop the closing '}' to splice the timeline in
+    std::ofstream f(serve.monitor_path);
+    f << mon_doc << ",\"timeseries\":" << trim(ts.str()) << "}\n";
+    if (!f) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   serve.monitor_path.c_str());
+      return 1;
+    }
+    std::printf("monitor document written to %s\n",
+                serve.monitor_path.c_str());
   }
 
   if (!FinishBench(report, bench_args)) return 1;

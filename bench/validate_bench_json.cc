@@ -1,13 +1,20 @@
-// CI schema validator for the bench_fig* --json=<path> output: checks the
-// file parses as JSON and that the fixed top-level keys emitted by
-// pref::bench::BenchReport are all present. Exits nonzero with a message
-// on the first violation so the smoke job fails loudly.
+// CI schema validator for the JSON documents the bench/observability layer
+// emits: checks each file parses as JSON and that the schema's fixed
+// top-level keys are present. Exits nonzero with a message on the first
+// violation so the smoke job fails loudly.
 //
-// Usage: validate_bench_json [--require-fields=a,b,c] <report.json> [...]
+// Usage: validate_bench_json [--schema=bench|profile|monitor]
+//                            [--require-fields=a,b,c] <doc.json> [...]
 //
-// --require-fields=a,b,c additionally demands that each listed result
-// field key (e.g. the latency percentiles bench_serve emits) appears
-// somewhere in every file.
+// Schemas:
+//   bench    (default) — pref::bench::BenchReport output (--json=).
+//   profile  — QueryProfile::WriteJson documents.
+//   monitor  — bench_serve --monitor= documents (WorkloadMonitor JSON with
+//              the spliced-in "timeseries" timeline).
+//
+// --require-fields=a,b,c additionally demands that each listed field key
+// (e.g. latency percentiles, locality/queue-wait fields) appears somewhere
+// in every file.
 
 #include <algorithm>
 #include <cstdio>
@@ -21,7 +28,25 @@
 
 namespace {
 
-const char* kRequiredKeys[] = {"figure", "config", "results", "metrics"};
+struct SchemaDef {
+  const char* name;
+  std::vector<const char*> required_keys;
+};
+
+const SchemaDef kSchemas[] = {
+    {"bench", {"figure", "config", "results", "metrics"}},
+    {"profile", {"query", "summary", "cost_model", "operators"}},
+    {"monitor",
+     {"monitor", "drift", "scan_frequencies", "join_frequencies",
+      "partition_rows", "timeseries"}},
+};
+
+const SchemaDef* FindSchema(std::string_view name) {
+  for (const SchemaDef& s : kSchemas) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
 
 std::vector<std::string> SplitFields(std::string_view csv) {
   std::vector<std::string> out;
@@ -35,7 +60,7 @@ std::vector<std::string> SplitFields(std::string_view csv) {
   return out;
 }
 
-bool ValidateFile(const char* path,
+bool ValidateFile(const char* path, const SchemaDef& schema,
                   const std::vector<std::string>& required_fields) {
   std::ifstream in(path);
   if (!in) {
@@ -51,15 +76,15 @@ bool ValidateFile(const char* path,
     std::fprintf(stderr, "%s: not valid JSON\n", path);
     return false;
   }
-  for (const char* required : kRequiredKeys) {
+  for (const char* required : schema.required_keys) {
     if (std::find(keys.begin(), keys.end(), required) == keys.end()) {
-      std::fprintf(stderr, "%s: missing top-level key \"%s\"\n", path, required);
+      std::fprintf(stderr, "%s: missing top-level key \"%s\" (schema %s)\n",
+                   path, required, schema.name);
       return false;
     }
   }
-  // JsonValidator reports top-level keys only, so required result fields
-  // are checked textually: a field emitted by BenchReport::Field always
-  // appears as a quoted key.
+  // JsonValidator reports top-level keys only, so required nested fields
+  // are checked textually: an emitted field always appears as a quoted key.
   for (const std::string& field : required_fields) {
     const std::string needle = "\"" + field + "\":";
     if (text.find(needle) == std::string::npos) {
@@ -68,18 +93,27 @@ bool ValidateFile(const char* path,
       return false;
     }
   }
-  std::printf("%s: ok (%zu top-level keys)\n", path, keys.size());
+  std::printf("%s: ok (schema %s, %zu top-level keys)\n", path, schema.name,
+              keys.size());
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const SchemaDef* schema = FindSchema("bench");
   std::vector<std::string> required_fields;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
-    if (arg.rfind("--require-fields=", 0) == 0) {
+    if (arg.rfind("--schema=", 0) == 0) {
+      schema = FindSchema(arg.substr(9));
+      if (schema == nullptr) {
+        std::fprintf(stderr, "unknown schema '%s' (bench|profile|monitor)\n",
+                     argv[i] + 9);
+        return 2;
+      }
+    } else if (arg.rfind("--require-fields=", 0) == 0) {
       for (auto& f : SplitFields(arg.substr(17))) {
         required_fields.push_back(std::move(f));
       }
@@ -89,11 +123,14 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--require-fields=a,b,c] <report.json> [...]\n",
+                 "usage: %s [--schema=bench|profile|monitor] "
+                 "[--require-fields=a,b,c] <doc.json> [...]\n",
                  argv[0]);
     return 2;
   }
   bool ok = true;
-  for (const char* path : paths) ok &= ValidateFile(path, required_fields);
+  for (const char* path : paths) {
+    ok &= ValidateFile(path, *schema, required_fields);
+  }
   return ok ? 0 : 1;
 }

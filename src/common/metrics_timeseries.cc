@@ -1,0 +1,90 @@
+#include "common/metrics_timeseries.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace pref {
+
+MetricsTimeseries::MetricsTimeseries(std::vector<std::string> counters,
+                                     std::vector<std::string> gauges,
+                                     TimeseriesOptions options,
+                                     MetricsRegistry* registry)
+    : counter_names_(std::move(counters)),
+      gauge_names_(std::move(gauges)),
+      options_(options),
+      registry_(registry != nullptr ? registry : &MetricsRegistry::Default()),
+      prev_counters_(counter_names_.size(), 0) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.resize(options_.capacity);
+}
+
+void MetricsTimeseries::Tick(double label) {
+  Sample& s = ring_[next_];
+  if (count_ == options_.capacity) ++dropped_;
+  s.label = label;
+  s.counter_deltas.resize(counter_names_.size());
+  s.gauge_values.resize(gauge_names_.size());
+  for (size_t i = 0; i < counter_names_.size(); ++i) {
+    const int64_t now =
+        static_cast<int64_t>(registry_->GetCounter(counter_names_[i]).Get());
+    s.counter_deltas[i] = now - prev_counters_[i];
+    prev_counters_[i] = now;
+  }
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    s.gauge_values[i] = registry_->GetGauge(gauge_names_[i]).Get();
+  }
+  next_ = (next_ + 1) % options_.capacity;
+  if (count_ < options_.capacity) ++count_;
+}
+
+size_t MetricsTimeseries::size() const { return count_; }
+
+void MetricsTimeseries::WriteJson(std::ostream& os) const {
+  JsonWriter w(&os);
+  w.BeginObject();
+  w.Key("capacity");
+  w.UInt(options_.capacity);
+  w.Key("dropped");
+  w.UInt(dropped_);
+  w.Key("counters");
+  w.BeginArray();
+  for (const std::string& n : counter_names_) w.String(n);
+  w.EndArray();
+  w.Key("gauges");
+  w.BeginArray();
+  for (const std::string& n : gauge_names_) w.String(n);
+  w.EndArray();
+  w.Key("samples");
+  w.BeginArray();
+  // Oldest-first: when full, the oldest sample sits at next_.
+  const size_t start = count_ == options_.capacity ? next_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    const Sample& s = ring_[(start + i) % options_.capacity];
+    w.BeginObject();
+    w.Key("label");
+    w.Double(s.label);
+    w.Key("counters");
+    w.BeginArray();
+    for (int64_t d : s.counter_deltas) w.Int(d);
+    w.EndArray();
+    w.Key("gauges");
+    w.BeginArray();
+    for (int64_t v : s.gauge_values) w.Int(v);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+}
+
+std::string MetricsTimeseries::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+}  // namespace pref

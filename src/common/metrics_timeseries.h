@@ -1,0 +1,79 @@
+// Time-series snapshots of MetricsRegistry instruments (DESIGN.md §11).
+//
+// A MetricsTimeseries tracks a fixed set of counters and gauges and, on
+// every Tick(), records one sample into a fixed-capacity ring buffer:
+// counters as *deltas since the previous tick* (rates once divided by the
+// tick spacing), gauges as point-in-time values. Ticks are driven by the
+// caller — per completed query, per N arrivals, whatever the driver's
+// logical clock is — never by wall time, so a timeline is replayable and
+// the class needs no clock (the determinism linter's wall-clock rule
+// checks this).
+//
+// When the ring is full the oldest sample is overwritten and `dropped()`
+// counts it; WriteJson() emits the surviving samples oldest-first.
+//
+// Thread safety: none — tick and export from one thread. The underlying
+// registry reads are relaxed atomics, so concurrent metric *updates* are
+// fine; concurrent Tick() calls are not.
+
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pref {
+
+class MetricsRegistry;
+
+struct TimeseriesOptions {
+  /// Ring capacity in samples; oldest samples drop once exceeded.
+  size_t capacity = 512;
+};
+
+class MetricsTimeseries {
+ public:
+  /// Tracks `counters` (reported as per-tick deltas) and `gauges`
+  /// (reported as values). Instruments that don't exist yet read as zero
+  /// until something registers them. `registry` defaults to
+  /// MetricsRegistry::Default().
+  MetricsTimeseries(std::vector<std::string> counters,
+                    std::vector<std::string> gauges,
+                    TimeseriesOptions options = {},
+                    MetricsRegistry* registry = nullptr);
+
+  /// Records one sample stamped with the caller's logical-clock `label`
+  /// (e.g. completed-query count).
+  void Tick(double label);
+
+  /// Samples currently held (<= capacity).
+  size_t size() const;
+  /// Samples overwritten because the ring was full.
+  size_t dropped() const { return dropped_; }
+
+  /// {"capacity":..,"dropped":..,"counters":[names],"gauges":[names],
+  ///  "samples":[{"label":..,"counters":[deltas],"gauges":[values]}]}
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
+ private:
+  struct Sample {
+    double label = 0;
+    std::vector<int64_t> counter_deltas;
+    std::vector<int64_t> gauge_values;
+  };
+
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  TimeseriesOptions options_;
+  MetricsRegistry* registry_;
+
+  std::vector<int64_t> prev_counters_;
+  std::vector<Sample> ring_;
+  size_t next_ = 0;   // ring slot the next sample writes
+  size_t count_ = 0;  // samples held (saturates at capacity)
+  size_t dropped_ = 0;
+};
+
+}  // namespace pref

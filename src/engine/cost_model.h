@@ -24,6 +24,20 @@ struct CostModel {
   double exchange_latency_seconds = 0.05;
 };
 
+/// \brief One source→target edge of an exchange: how many tuples node
+/// `source` contributed to node `target`, and the simulated network bytes
+/// that move cost (zero when source == target — local tuples never touch
+/// the wire). The executor emits flows in source-major, target-minor order,
+/// so the list is bit-identical at any pool width.
+struct ExchangeFlow {
+  int source = 0;
+  int target = 0;
+  size_t rows = 0;
+  size_t bytes = 0;  // 0 for the local (source == target) diagonal
+
+  bool operator==(const ExchangeFlow&) const = default;
+};
+
 /// \brief One plan operator's share of a query's cost, per simulated node.
 ///
 /// The executor fills one entry per plan node (pre-order `index`, parent
@@ -34,6 +48,9 @@ struct OperatorStats {
   int index = 0;    // pre-order position in the plan tree
   int parent = -1;  // -1 for the root
   std::string op;   // OpKindName of the plan node
+  /// Operator-specific annotation: the scanned table's name for Scan nodes,
+  /// empty elsewhere. Profiles and the workload monitor key on it.
+  std::string detail;
   /// Rows received from child operators (sum of their rows_out).
   size_t rows_in = 0;
   /// Rows this operator produced across all nodes.
@@ -43,6 +60,12 @@ struct OperatorStats {
   size_t rows_shuffled = 0;
   size_t bytes_shuffled = 0;
   int exchanges = 0;
+  /// Exchange operators only: input rows whose target was their own node
+  /// (no network). rows_local + rows_shuffled = exchange input rows.
+  size_t rows_local = 0;
+  /// Exchange operators only: the full source→target tuple/byte matrix
+  /// (sparse, source-major order; includes the local diagonal).
+  std::vector<ExchangeFlow> flows;
   /// CPU-charged rows per simulated node.
   std::vector<size_t> node_rows;
 
@@ -62,12 +85,19 @@ struct ExecStats {
   size_t bytes_shuffled = 0;
   size_t rows_shuffled = 0;
   int exchanges = 0;
+  /// Exchange input rows that stayed on their own node (the local half of
+  /// the locality accounting; rows_shuffled is the remote half).
+  size_t rows_local = 0;
   /// Rows consumed by operators, per simulated node.
   std::vector<size_t> node_rows;
   size_t total_rows_processed = 0;
   /// Real wall-clock of producing this result. ExecutePlan measures plan
   /// execution; ExecuteQuery measures rewrite + execution.
   double wall_seconds = 0;
+  /// Wall-clock from execution start until the first scan morsel ran
+  /// (time-to-first-morsel; wall-clock like wall_seconds, so it is
+  /// excluded from bit-identity comparisons).
+  double first_morsel_seconds = 0;
   /// Morsel-level executor counters, scoped to this query (the per-query
   /// view of the exec.scan.* / exec.agg.* registry metrics — accumulated
   /// inside the executor and folded into the global registry once at query
@@ -89,12 +119,23 @@ struct ExecStats {
     return cpu + net;
   }
 
+  /// Fraction of exchange input tuples that stayed on their own node —
+  /// the run-time analogue of the design-time DL metric. 1.0 when the
+  /// query moved nothing (including the no-exchange case).
+  double LocalityRatio() const {
+    const size_t total = rows_local + rows_shuffled;
+    return total == 0 ? 1.0
+                      : static_cast<double>(rows_local) /
+                            static_cast<double>(total);
+  }
+
   /// Folds one operator's contribution into the aggregate fields (the
   /// executor's fan-in; does not touch `operators`).
   void MergeOperator(const OperatorStats& op) {
     bytes_shuffled += op.bytes_shuffled;
     rows_shuffled += op.rows_shuffled;
     exchanges += op.exchanges;
+    rows_local += op.rows_local;
     total_rows_processed += op.rows_processed;
     if (node_rows.size() < op.node_rows.size()) node_rows.resize(op.node_rows.size(), 0);
     for (size_t p = 0; p < op.node_rows.size(); ++p) node_rows[p] += op.node_rows[p];
@@ -107,6 +148,7 @@ struct ExecStats {
     bytes_shuffled += other.bytes_shuffled;
     rows_shuffled += other.rows_shuffled;
     exchanges += other.exchanges;
+    rows_local += other.rows_local;
     total_rows_processed += other.total_rows_processed;
     wall_seconds += other.wall_seconds;
     scan_morsels += other.scan_morsels;

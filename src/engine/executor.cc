@@ -113,6 +113,7 @@ class Executor {
 
   Result<QueryResult> Run(const PlanNode& root) {
     Stopwatch timer;
+    run_watch_.Restart();
     TraceSpan span("ExecutePlan", "engine");
     const double sim_base_us = Tracer::Default().NowMicros();
     n_ = 0;
@@ -136,6 +137,7 @@ class Executor {
       stats_.MergeOperator(op);
     }
     stats_.wall_seconds = timer.ElapsedSeconds();
+    stats_.first_morsel_seconds = first_morsel_seconds_;
     stats_.operators = std::move(ops_);
 
     {
@@ -143,6 +145,8 @@ class Executor {
       static Counter& queries = registry.GetCounter("engine.queries");
       static Counter& exchange_bytes = registry.GetCounter("engine.exchange.bytes");
       static Counter& exchange_rows = registry.GetCounter("engine.exchange.rows");
+      static Counter& exchange_local_rows =
+          registry.GetCounter("engine.exchange.local_rows");
       static Counter& rows_processed = registry.GetCounter("engine.rows_processed");
       static Histogram& query_seconds = registry.GetHistogram("engine.query_seconds");
       static Counter& scan_morsels = registry.GetCounter("exec.scan.morsels");
@@ -153,6 +157,7 @@ class Executor {
       queries.Add(1);
       exchange_bytes.Add(stats_.bytes_shuffled);
       exchange_rows.Add(stats_.rows_shuffled);
+      exchange_local_rows.Add(stats_.rows_local);
       rows_processed.Add(stats_.total_rows_processed);
       query_seconds.Observe(stats_.wall_seconds);
       // Morsel counters accumulate per query in stats_ (never straight
@@ -248,6 +253,16 @@ class Executor {
   /// and their own node_rows slot (all per-node operators here qualify).
   void ForEachNode(const std::function<void(int)>& fn) { pool_->ParallelFor(n_, fn); }
 
+  /// Records time-to-first-morsel once: the exchange winner alone writes
+  /// the double, and the reader (Run) is ordered after the ParallelFor
+  /// join, so the value is race-free at any pool width.
+  void MarkFirstMorsel() {
+    if (!first_morsel_seen_.load(std::memory_order_relaxed) &&
+        !first_morsel_seen_.exchange(true, std::memory_order_relaxed)) {
+      first_morsel_seconds_ = run_watch_.ElapsedSeconds();
+    }
+  }
+
   /// Lays the finished query out on a simulated-cluster timeline: one span
   /// per operator per node (CPU share at the cost model's throughput) on
   /// pid kSimulatedPid with one track per node, plus exchange spans on a
@@ -303,6 +318,7 @@ class Executor {
     if (pt == nullptr) {
       return Status::Invalid("scan: table not in partitioned database");
     }
+    Op(op).detail = pt->name();
     DistResult out = MakeDist(node, n_);
     const size_t base_cols = node.project_slots.size();
 
@@ -340,6 +356,7 @@ class Executor {
       select_span.AddArg("morsels", static_cast<int64_t>(morsels.size()));
       select_span.AddArg("rows", static_cast<int64_t>(rows_total));
       pool_->ParallelFor(static_cast<int>(morsels.size()), [&](int m) {
+        MarkFirstMorsel();
         const Morsel& mo = morsels[static_cast<size_t>(m)];
         const Partition& part = pt->partition(parts[static_cast<size_t>(mo.part)]);
         const RowBlock& rows = part.rows;
@@ -502,8 +519,13 @@ class Executor {
     DistResult out = MakeDist(node, n_);
     Op(op).exchanges++;
     std::vector<ScatterPlan> plans(static_cast<size_t>(n_));
-    std::vector<size_t> src_rows_shuffled(static_cast<size_t>(n_), 0);
-    std::vector<size_t> src_bytes_shuffled(static_cast<size_t>(n_), 0);
+    // Per-source locality accounting: rows/bytes per target node, written
+    // by the owning source task and folded serially in source order below,
+    // so flows (and every derived counter) are pool-width independent.
+    std::vector<std::vector<size_t>> pair_rows(
+        static_cast<size_t>(n_), std::vector<size_t>(static_cast<size_t>(n_), 0));
+    std::vector<std::vector<size_t>> pair_bytes(
+        static_cast<size_t>(n_), std::vector<size_t>(static_cast<size_t>(n_), 0));
     pool_->ParallelFor(n_, [&](int p) {
       if (child.replicated && p != 0) return;  // one copy feeds the shuffle
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
@@ -518,20 +540,29 @@ class Executor {
       }
       std::vector<size_t> sizes(rows);
       src.RowByteSizes(sizes);
-      size_t moved_rows = 0, moved_bytes = 0;
+      std::vector<size_t>& t_rows = pair_rows[static_cast<size_t>(p)];
+      std::vector<size_t>& t_bytes = pair_bytes[static_cast<size_t>(p)];
       for (size_t r = 0; r < rows; ++r) {
-        if (targets[r] != static_cast<uint32_t>(p)) {
-          moved_rows++;
-          moved_bytes += sizes[r];
-        }
+        t_rows[targets[r]]++;
+        t_bytes[targets[r]] += sizes[r];
       }
-      src_rows_shuffled[static_cast<size_t>(p)] = moved_rows;
-      src_bytes_shuffled[static_cast<size_t>(p)] = moved_bytes;
       plans[static_cast<size_t>(p)] = BuildScatterPlan(targets, n_);
     });
     for (int p = 0; p < n_; ++p) {
-      Op(op).rows_shuffled += src_rows_shuffled[static_cast<size_t>(p)];
-      Op(op).bytes_shuffled += src_bytes_shuffled[static_cast<size_t>(p)];
+      for (int t = 0; t < n_; ++t) {
+        const size_t rows = pair_rows[static_cast<size_t>(p)][static_cast<size_t>(t)];
+        if (rows == 0) continue;
+        const size_t bytes =
+            pair_bytes[static_cast<size_t>(p)][static_cast<size_t>(t)];
+        if (t == p) {
+          Op(op).rows_local += rows;
+          Op(op).flows.push_back({p, t, rows, 0});
+        } else {
+          Op(op).rows_shuffled += rows;
+          Op(op).bytes_shuffled += bytes;
+          Op(op).flows.push_back({p, t, rows, bytes});
+        }
+      }
     }
     pool_->ParallelFor(n_, [&](int t) {
       RowBlock& dst = out.nodes[static_cast<size_t>(t)];
@@ -632,9 +663,15 @@ class Executor {
       const RowBlock& src = in.nodes[static_cast<size_t>(p)];
       Charge(op, p, src.num_rows());
       total += src.num_rows();
+      if (src.num_rows() == 0) continue;
       if (p != 0) {
         Op(op).rows_shuffled += src.num_rows();
         Op(op).bytes_shuffled += src.ByteSize();
+        Op(op).flows.push_back({p, 0, src.num_rows(), src.ByteSize()});
+      } else {
+        // The coordinator's own rows never move: the local diagonal.
+        Op(op).rows_local += src.num_rows();
+        Op(op).flows.push_back({0, 0, src.num_rows(), 0});
       }
     }
     RowBlock& dst = out.nodes[0];
@@ -982,6 +1019,10 @@ class Executor {
   QueryControl* control_;
   int n_ = 0;
   ExecStats stats_;
+  /// Time-to-first-morsel bookkeeping (see MarkFirstMorsel).
+  Stopwatch run_watch_;
+  std::atomic<bool> first_morsel_seen_{false};
+  double first_morsel_seconds_ = 0;
   /// Per-operator accounting, indexed by pre-order plan position. Entries
   /// are appended before children run, so parent links always resolve; an
   /// operator's fan-out only writes disjoint node_rows slots of its own

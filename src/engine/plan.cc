@@ -53,7 +53,37 @@ std::string PlanNode::ToString(const Schema& schema, int indent) const {
     if (!scan_filter.empty()) ss << " [filter]";
   }
   if (kind == OpKind::kSort && limit >= 0) ss << " [limit=" << limit << "]";
+  // Partitioning scheme with co-location provenance: the base (table,
+  // columns) the placement derives from, so EXPLAIN shows why an exchange
+  // was (or wasn't) needed without running the plan.
   ss << " {" << PartitionMethodName(part.method);
+  auto cols = [&](TableId t, const std::vector<ColumnId>& ids) {
+    const TableDef& def = schema.table(t);
+    std::string out;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i) out += ',';
+      out += def.column(ids[i]).name;
+    }
+    return out;
+  };
+  if (part.method == PartitionMethod::kHash &&
+      part.anchor_table != kInvalidTableId) {
+    ss << "(" << schema.table(part.anchor_table).name << "."
+       << cols(part.anchor_table, part.anchor_columns) << ")";
+  } else if (part.method == PartitionMethod::kPref &&
+             part.pref_table != kInvalidTableId) {
+    ss << "(" << schema.table(part.pref_table).name;
+    if (part.pref_spec != nullptr &&
+        part.pref_spec->referenced_table != kInvalidTableId) {
+      ss << " ref=" << schema.table(part.pref_spec->referenced_table).name;
+    }
+    if (part.seed_table != kInvalidTableId) {
+      ss << " seed=" << schema.table(part.seed_table).name << "("
+         << cols(part.seed_table, part.seed_columns) << ")";
+    }
+    ss << ")";
+  }
+  if (part.num_partitions > 0) ss << " x" << part.num_partitions;
   if (!active_dup_slots.empty()) ss << ", dup";
   if (replicated) ss << ", repl";
   ss << "}\n";

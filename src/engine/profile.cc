@@ -1,0 +1,221 @@
+#include "engine/profile.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace pref {
+
+namespace {
+
+/// Fixed-precision seconds — identical doubles render identically, and the
+/// simulated quantities are bit-identical at any pool width.
+std::string Secs(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", s);
+  return buf;
+}
+
+std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+void AppendFlows(std::string* out, const OperatorStats& op) {
+  *out += "  [local=" + std::to_string(op.rows_local) +
+          " remote=" + std::to_string(op.rows_shuffled) +
+          " bytes=" + std::to_string(op.bytes_shuffled) + " flows:";
+  for (const ExchangeFlow& f : op.flows) {
+    *out += ' ';
+    *out += std::to_string(f.source) + "->" + std::to_string(f.target) + ":" +
+            std::to_string(f.rows) + "r";
+    if (f.bytes > 0) *out += "/" + std::to_string(f.bytes) + "B";
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+QueryProfile QueryProfile::FromStats(std::string name, const ExecStats& stats,
+                                     const CostModel& cost_model) {
+  QueryProfile p;
+  p.query_name = std::move(name);
+  p.stats = stats;
+  p.cost_model = cost_model;
+  return p;
+}
+
+std::string QueryProfile::ExplainAnalyze(const ProfileRenderOptions& opts) const {
+  std::string out = "EXPLAIN ANALYZE " +
+                    (query_name.empty() ? std::string("(unnamed)") : query_name) +
+                    "\n";
+  out += "simulated=" + Secs(stats.SimulatedSeconds(cost_model)) +
+         "s locality=" + Pct(stats.LocalityRatio()) +
+         " local=" + std::to_string(stats.rows_local) +
+         " remote=" + std::to_string(stats.rows_shuffled) +
+         " shuffled_bytes=" + std::to_string(stats.bytes_shuffled) +
+         " exchanges=" + std::to_string(stats.exchanges) +
+         " rows_processed=" + std::to_string(stats.total_rows_processed) + "\n";
+  if (opts.include_timings && has_timings) {
+    out += "timings: admission=" + Secs(timings.admission_wait_seconds) +
+           "s queue=" + Secs(timings.queue_wait_seconds) +
+           "s first_morsel=" + Secs(timings.time_to_first_morsel_seconds) +
+           "s run=" + Secs(timings.run_seconds) +
+           "s wall=" + Secs(stats.wall_seconds) + "s\n";
+  }
+
+  // The breakdown is stored in pre-order, so emitting in index order with
+  // parent-depth indentation reproduces the plan tree.
+  std::vector<int> depth(stats.operators.size(), 0);
+  for (size_t i = 0; i < stats.operators.size(); ++i) {
+    const int parent = stats.operators[i].parent;
+    if (parent >= 0 && static_cast<size_t>(parent) < i) {
+      depth[i] = depth[static_cast<size_t>(parent)] + 1;
+    }
+  }
+  for (size_t i = 0; i < stats.operators.size(); ++i) {
+    const OperatorStats& op = stats.operators[i];
+    out.append(static_cast<size_t>(depth[i]) * 2, ' ');
+    out += op.op;
+    if (!op.detail.empty()) out += ' ' + op.detail;
+    out += "  rows_in=" + std::to_string(op.rows_in) +
+           " rows_out=" + std::to_string(op.rows_out) +
+           " sim=" + Secs(op.SimulatedSeconds(cost_model)) + "s";
+    if (op.exchanges > 0) AppendFlows(&out, op);
+    out += '\n';
+  }
+  return out;
+}
+
+void QueryProfile::WriteJson(std::ostream& os,
+                             const ProfileRenderOptions& opts) const {
+  JsonWriter w(&os);
+  w.BeginObject();
+  w.Key("query");
+  w.BeginObject();
+  w.Key("id");
+  // The scheduler-assigned id is run context, like the timings: the
+  // deterministic render pins it so profiles of the same query compare
+  // byte-equal regardless of submission order.
+  w.UInt(opts.include_timings ? query_id : 0);
+  w.Key("name");
+  w.String(query_name);
+  w.EndObject();
+
+  w.Key("summary");
+  w.BeginObject();
+  w.Key("simulated_seconds");
+  w.Double(stats.SimulatedSeconds(cost_model));
+  w.Key("locality_ratio");
+  w.Double(stats.LocalityRatio());
+  w.Key("rows_local");
+  w.UInt(stats.rows_local);
+  w.Key("rows_shuffled");
+  w.UInt(stats.rows_shuffled);
+  w.Key("bytes_shuffled");
+  w.UInt(stats.bytes_shuffled);
+  w.Key("exchanges");
+  w.Int(stats.exchanges);
+  w.Key("total_rows_processed");
+  w.UInt(stats.total_rows_processed);
+  w.Key("scan_rows");
+  w.UInt(stats.scan_rows);
+  w.Key("agg_groups");
+  w.UInt(stats.agg_groups);
+  w.Key("node_rows");
+  w.BeginArray();
+  for (size_t r : stats.node_rows) w.UInt(r);
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("cost_model");
+  w.BeginObject();
+  w.Key("rows_per_second_per_node");
+  w.Double(cost_model.rows_per_second_per_node);
+  w.Key("network_bytes_per_second");
+  w.Double(cost_model.network_bytes_per_second);
+  w.Key("exchange_latency_seconds");
+  w.Double(cost_model.exchange_latency_seconds);
+  w.EndObject();
+
+  w.Key("operators");
+  w.BeginArray();
+  for (const OperatorStats& op : stats.operators) {
+    w.BeginObject();
+    w.Key("index");
+    w.Int(op.index);
+    w.Key("parent");
+    w.Int(op.parent);
+    w.Key("op");
+    w.String(op.op);
+    w.Key("detail");
+    w.String(op.detail);
+    w.Key("rows_in");
+    w.UInt(op.rows_in);
+    w.Key("rows_out");
+    w.UInt(op.rows_out);
+    w.Key("rows_processed");
+    w.UInt(op.rows_processed);
+    w.Key("rows_local");
+    w.UInt(op.rows_local);
+    w.Key("rows_shuffled");
+    w.UInt(op.rows_shuffled);
+    w.Key("bytes_shuffled");
+    w.UInt(op.bytes_shuffled);
+    w.Key("exchanges");
+    w.Int(op.exchanges);
+    w.Key("simulated_seconds");
+    w.Double(op.SimulatedSeconds(cost_model));
+    w.Key("node_rows");
+    w.BeginArray();
+    for (size_t r : op.node_rows) w.UInt(r);
+    w.EndArray();
+    w.Key("flows");
+    w.BeginArray();
+    for (const ExchangeFlow& f : op.flows) {
+      w.BeginObject();
+      w.Key("source");
+      w.Int(f.source);
+      w.Key("target");
+      w.Int(f.target);
+      w.Key("rows");
+      w.UInt(f.rows);
+      w.Key("bytes");
+      w.UInt(f.bytes);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  if (opts.include_timings && has_timings) {
+    w.Key("timings");
+    w.BeginObject();
+    w.Key("admission_wait_seconds");
+    w.Double(timings.admission_wait_seconds);
+    w.Key("queue_wait_seconds");
+    w.Double(timings.queue_wait_seconds);
+    w.Key("time_to_first_morsel_seconds");
+    w.Double(timings.time_to_first_morsel_seconds);
+    w.Key("run_seconds");
+    w.Double(timings.run_seconds);
+    w.Key("wall_seconds");
+    w.Double(stats.wall_seconds);
+    w.EndObject();
+  }
+  w.EndObject();
+  os << '\n';
+}
+
+std::string QueryProfile::ToJson(const ProfileRenderOptions& opts) const {
+  std::ostringstream os;
+  WriteJson(os, opts);
+  return os.str();
+}
+
+}  // namespace pref

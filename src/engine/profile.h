@@ -1,0 +1,76 @@
+// Per-query execution profiles (DESIGN.md §11).
+//
+// A QueryProfile bundles everything the engine knows about one finished
+// query: the per-operator ExecStats breakdown with its locality accounting
+// (local vs. remote exchange tuples, per source→target flow matrices) and
+// the scheduler's timing decomposition (admission wait, queue wait,
+// time-to-first-morsel, run time). It renders two ways:
+//
+//  * ExplainAnalyze() — the plan tree annotated with measured rows, flows
+//    and simulated cost, mirroring EXPLAIN ANALYZE;
+//  * WriteJson()/ToJson() — a machine-readable document (the feedback
+//    signal for advisor-v2 style cost loops).
+//
+// Everything except the `timings` section derives from deterministic
+// executor state, so renders with `include_timings = false` are
+// bit-identical across PREF_THREADS widths and under concurrent serving
+// (enforced by tests/profile_test.cc). Wall-clock quantities live only in
+// the timings section.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "engine/cost_model.h"
+
+namespace pref {
+
+/// Scheduler-side decomposition of one query's latency. All wall-clock.
+struct SchedulerTimings {
+  /// Submit() until the scheduler granted an in-flight slot.
+  double admission_wait_seconds = 0;
+  /// Slot granted until the query task started executing on the pool.
+  double queue_wait_seconds = 0;
+  /// Execution start until the first scan morsel ran.
+  double time_to_first_morsel_seconds = 0;
+  /// Execution start until completion (the executor's wall clock).
+  double run_seconds = 0;
+};
+
+struct ProfileRenderOptions {
+  /// Run context (the scheduler timings, wall_seconds, and the
+  /// scheduler-assigned query id) is the one part of a profile that
+  /// legitimately differs run to run; identity tests render with
+  /// include_timings = false and compare bytes.
+  bool include_timings = true;
+};
+
+struct QueryProfile {
+  /// Scheduler id of the query (0 when produced outside the scheduler).
+  uint64_t query_id = 0;
+  std::string query_name;
+  ExecStats stats;
+  /// The cost model the query ran under (simulated seconds depend on it).
+  CostModel cost_model;
+  SchedulerTimings timings;
+  /// True when the profile came through the scheduler and `timings` holds
+  /// measured values.
+  bool has_timings = false;
+
+  /// Builds a profile directly from executor output (no scheduler timings).
+  static QueryProfile FromStats(std::string name, const ExecStats& stats,
+                                const CostModel& cost_model = {});
+
+  /// The annotated plan tree, reconstructed from the operator breakdown's
+  /// pre-order index/parent links.
+  std::string ExplainAnalyze(const ProfileRenderOptions& opts = {}) const;
+
+  /// JSON document: summary, per-operator breakdown with flows, and (when
+  /// include_timings and has_timings) the timing decomposition.
+  void WriteJson(std::ostream& os, const ProfileRenderOptions& opts = {}) const;
+  std::string ToJson(const ProfileRenderOptions& opts = {}) const;
+};
+
+}  // namespace pref

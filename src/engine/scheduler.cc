@@ -21,7 +21,9 @@ QueryScheduler::QueryScheduler(const PartitionedDatabase& pdb,
   completed_ctr_ = &registry.GetCounter("scheduler.completed");
   cancelled_ = &registry.GetCounter("scheduler.cancelled");
   in_flight_hwm_ = &registry.GetGauge("scheduler.in_flight");
+  backlog_gauge_ = &registry.GetGauge("scheduler.backlog");
   query_seconds_ = &registry.GetHistogram("scheduler.query_seconds");
+  queue_wait_ = &registry.GetHistogram("scheduler.queue_wait_seconds");
 }
 
 QueryScheduler::~QueryScheduler() {
@@ -48,9 +50,14 @@ void QueryScheduler::LaunchLocked() {
     backlog_.pop_front();
     Entry* entry = entries_.find(id)->second.get();
     entry->state = State::kRunning;
+    // Admission wait ends here; restart the watch so RunQuery can read the
+    // launch→execution queue wait off the same clock.
+    entry->admission_wait_seconds = entry->wait_watch.ElapsedSeconds();
+    entry->wait_watch.Restart();
     ++in_flight_;
 #if PREF_METRICS
     in_flight_hwm_->SetMax(in_flight_);
+    backlog_gauge_->Set(static_cast<int64_t>(backlog_.size()));
 #endif
     // The tag scope makes Post capture this query's id, so the query task
     // — and every morsel it fans out — carries it through the pool.
@@ -62,6 +69,8 @@ void QueryScheduler::LaunchLocked() {
 void QueryScheduler::RunQuery(uint64_t id, Entry* entry) {
   TraceSpan span("Query", "scheduler");
   span.AddArg("id", static_cast<int64_t>(id));
+  const double queue_wait = entry->wait_watch.ElapsedSeconds();
+  queue_wait_->Observe(entry->admission_wait_seconds + queue_wait);
   if (entry->options.timeout_seconds > 0) {
     entry->control.ArmTimeout(entry->options.timeout_seconds);
   }
@@ -69,13 +78,28 @@ void QueryScheduler::RunQuery(uint64_t id, Entry* entry) {
   Result<QueryResult> result =
       ExecuteQuery(entry->spec, pdb_, entry->options.query,
                    entry->options.cost_model, pool_, &entry->control);
-  query_seconds_->Observe(timer.ElapsedSeconds());
+  const double run_seconds = timer.ElapsedSeconds();
+  query_seconds_->Observe(run_seconds);
   completed_ctr_->Add(1);
   if (!result.status().ok() && result.status().IsCancelled()) {
     cancelled_->Add(1);
   }
+  QueryProfile profile;
+  profile.query_id = id;
+  profile.query_name = entry->spec.name;
+  profile.cost_model = entry->options.cost_model;
+  profile.has_timings = true;
+  profile.timings.admission_wait_seconds = entry->admission_wait_seconds;
+  profile.timings.queue_wait_seconds = queue_wait;
+  profile.timings.run_seconds = run_seconds;
+  if (result.ok()) {
+    profile.stats = result->stats;
+    profile.timings.time_to_first_morsel_seconds =
+        result->stats.first_morsel_seconds;
+  }
   {
     MutexLock lock(&mu_);
+    entry->profile = std::move(profile);
     entry->result = std::move(result);
     entry->state = State::kDone;
     completed_.push_back(id);
@@ -97,13 +121,16 @@ uint64_t QueryScheduler::Submit(const QuerySpec& query, SubmitOptions options) {
     entries_.emplace(id, std::make_unique<Entry>(query, std::move(options)));
     backlog_.push_back(id);
     LaunchLocked();
+#if PREF_METRICS
+    backlog_gauge_->Set(static_cast<int64_t>(backlog_.size()));
+#endif
   }
   cv_.NotifyAll();
   submitted_->Add(1);
   return id;
 }
 
-Result<QueryResult> QueryScheduler::Take(uint64_t id) {
+Result<QueryResult> QueryScheduler::Take(uint64_t id, QueryProfile* profile) {
   for (;;) {
     {
       MutexLock lock(&mu_);
@@ -119,6 +146,7 @@ Result<QueryResult> QueryScheduler::Take(uint64_t id) {
         entry->state = State::kTaken;
         auto cit = std::find(completed_.begin(), completed_.end(), id);
         if (cit != completed_.end()) completed_.erase(cit);
+        if (profile != nullptr) *profile = std::move(entry->profile);
         return std::move(entry->result);
       }
     }
@@ -172,6 +200,9 @@ void QueryScheduler::Cancel(uint64_t id) {
       // Never started: complete it as cancelled right here.
       auto bit = std::find(backlog_.begin(), backlog_.end(), id);
       if (bit != backlog_.end()) backlog_.erase(bit);
+#if PREF_METRICS
+      backlog_gauge_->Set(static_cast<int64_t>(backlog_.size()));
+#endif
       entry->state = State::kDone;
       entry->result = Status::Cancelled("query cancelled before start");
       completed_.push_back(id);

@@ -40,8 +40,10 @@
 
 #include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/stopwatch.h"
 #include "common/thread_annotations.h"
 #include "engine/executor.h"
+#include "engine/profile.h"
 
 namespace pref {
 
@@ -84,8 +86,10 @@ class QueryScheduler {
   /// cancellations come back as the Status). Each id can be taken once;
   /// taking an unknown or already-taken id returns KeyError. While
   /// waiting, the calling thread executes pool tasks (it never idles a
-  /// lane).
-  Result<QueryResult> Take(uint64_t id);
+  /// lane). When `profile` is non-null it receives the query's
+  /// QueryProfile (stats + scheduler timings; stats are empty when the
+  /// query failed or was cancelled).
+  Result<QueryResult> Take(uint64_t id, QueryProfile* profile = nullptr);
 
   /// Blocks until any not-yet-taken query completes and returns its id
   /// (oldest completion first); 0 when nothing is pending. Pair with
@@ -117,6 +121,14 @@ class QueryScheduler {
     State state = State::kQueued;
     /// Valid once state >= kDone.
     Result<QueryResult> result;
+    /// Started at Submit; read once in LaunchLocked (admission wait) and
+    /// restarted there to measure launch→execution queue wait. The Post
+    /// that hands the entry to RunQuery orders these writes before the
+    /// task's reads.
+    Stopwatch wait_watch;
+    double admission_wait_seconds = 0;
+    /// Assembled by RunQuery; valid once state >= kDone.
+    QueryProfile profile;
 
     Entry(QuerySpec s, SubmitOptions o)
         : spec(std::move(s)), options(std::move(o)),
@@ -149,7 +161,9 @@ class QueryScheduler {
   Counter* completed_ctr_ = nullptr;    // scheduler.completed
   Counter* cancelled_ = nullptr;        // scheduler.cancelled
   Gauge* in_flight_hwm_ = nullptr;      // scheduler.in_flight (high-water)
+  Gauge* backlog_gauge_ = nullptr;      // scheduler.backlog (current depth)
   Histogram* query_seconds_ = nullptr;  // scheduler.query_seconds
+  Histogram* queue_wait_ = nullptr;     // scheduler.queue_wait_seconds
 };
 
 }  // namespace pref

@@ -1,0 +1,301 @@
+#include "engine/workload_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace pref {
+
+namespace {
+
+/// Strips a "prefix." or "prefix_" qualifier if `name` carries one that
+/// matches `ref` (alias-qualified input columns or alias_column output
+/// names). Returns the bare column name, or `name` unchanged.
+std::string StripQualifier(const std::string& name, const TableRef& ref) {
+  const std::string alias = ref.alias.empty() ? ref.table : ref.alias;
+  if (name.size() > alias.size() + 1 &&
+      name.compare(0, alias.size(), alias) == 0 &&
+      (name[alias.size()] == '.' || name[alias.size()] == '_')) {
+    return name.substr(alias.size() + 1);
+  }
+  return name;
+}
+
+/// Resolves one left-side join column of `spec` to (table index, bare
+/// column): first by alias qualifier, then by bare-name lookup across the
+/// tables joined so far. Returns -1 if nothing matches (computed columns).
+int ResolveLeftColumn(const QuerySpec& spec, const Schema& schema,
+                      size_t joined_through, const std::string& column,
+                      std::string* bare) {
+  for (size_t t = 0; t < joined_through && t < spec.tables.size(); ++t) {
+    const std::string stripped = StripQualifier(column, spec.tables[t]);
+    auto table_id = schema.FindTable(spec.tables[t].table);
+    if (!table_id.ok()) continue;
+    if (stripped != column &&
+        schema.table(*table_id).FindColumn(stripped).ok()) {
+      *bare = stripped;
+      return static_cast<int>(t);
+    }
+  }
+  for (size_t t = 0; t < joined_through && t < spec.tables.size(); ++t) {
+    auto table_id = schema.FindTable(spec.tables[t].table);
+    if (!table_id.ok()) continue;
+    if (schema.table(*table_id).FindColumn(column).ok()) {
+      *bare = column;
+      return static_cast<int>(t);
+    }
+  }
+  return -1;
+}
+
+std::string JoinColumns(const std::vector<std::string>& cols) {
+  std::string out;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ',';
+    out += cols[i];
+  }
+  return out;
+}
+
+double L1Distance(const std::map<std::string, size_t>& a,
+                  const std::map<std::string, size_t>& b) {
+  size_t total_a = 0;
+  size_t total_b = 0;
+  for (const auto& [k, v] : a) total_a += v;
+  for (const auto& [k, v] : b) total_b += v;
+  if (total_a == 0 && total_b == 0) return 0;
+  double dist = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  auto norm = [](size_t v, size_t total) {
+    return total == 0 ? 0.0
+                      : static_cast<double>(v) / static_cast<double>(total);
+  };
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      dist += norm(ia->second, total_a);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      dist += norm(ib->second, total_b);
+      ++ib;
+    } else {
+      dist += std::abs(norm(ia->second, total_a) - norm(ib->second, total_b));
+      ++ia;
+      ++ib;
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+/// Canonical key with sides ordered lexicographically, so l⋈r and r⋈l
+/// count as the same join.
+std::string WorkloadMonitor::JoinKey(const JoinRecord& j) {
+  const std::string left = j.left_table + "." + JoinColumns(j.left_columns);
+  const std::string right = j.right_table + "." + JoinColumns(j.right_columns);
+  return left <= right ? left + "=" + right : right + "=" + left;
+}
+
+double WorkloadMonitor::PartitionSkewOf(const Window& win) {
+  if (win.partition_rows.empty()) return 1.0;
+  size_t total = 0;
+  size_t max = 0;
+  for (size_t r : win.partition_rows) {
+    total += r;
+    max = std::max(max, r);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(win.partition_rows.size());
+  return static_cast<double>(max) / mean;
+}
+
+WorkloadMonitor::WorkloadMonitor(MonitorOptions options)
+    : options_(options) {
+  if (options_.window_size == 0) options_.window_size = 1;
+}
+
+void WorkloadMonitor::OnQueryComplete(const QueryProfile& profile,
+                                      const QuerySpec& spec,
+                                      const Schema& schema) {
+  Record rec;
+  rec.name = spec.name;
+  for (const TableRef& t : spec.tables) {
+    rec.tables.push_back(t.table);
+    current_.scan_freq[t.table] += 1;
+  }
+  for (const JoinStep& step : spec.joins) {
+    if (step.table_index < 0 ||
+        static_cast<size_t>(step.table_index) >= spec.tables.size() ||
+        step.left_columns.empty() ||
+        step.left_columns.size() != step.right_columns.size()) {
+      continue;
+    }
+    std::string bare;
+    const int left = ResolveLeftColumn(
+        spec, schema, static_cast<size_t>(step.table_index),
+        step.left_columns[0], &bare);
+    if (left < 0) continue;
+    JoinRecord j;
+    j.left_table = spec.tables[static_cast<size_t>(left)].table;
+    j.right_table = spec.tables[static_cast<size_t>(step.table_index)].table;
+    j.left_columns.push_back(bare);
+    bool ok = true;
+    for (size_t c = 1; c < step.left_columns.size(); ++c) {
+      std::string b;
+      if (ResolveLeftColumn(spec, schema,
+                            static_cast<size_t>(step.table_index),
+                            step.left_columns[c], &b) != left) {
+        ok = false;  // composite keys must sit on one base table
+        break;
+      }
+      j.left_columns.push_back(b);
+    }
+    if (!ok) continue;
+    j.right_columns = step.right_columns;
+    current_.join_freq[JoinKey(j)] += 1;
+    rec.joins.push_back(std::move(j));
+  }
+  if (current_.partition_rows.size() < profile.stats.node_rows.size()) {
+    current_.partition_rows.resize(profile.stats.node_rows.size(), 0);
+  }
+  for (size_t p = 0; p < profile.stats.node_rows.size(); ++p) {
+    current_.partition_rows[p] += profile.stats.node_rows[p];
+  }
+  current_.records.push_back(std::move(rec));
+  ++completions_;
+
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  for (size_t p = 0; p < current_.partition_rows.size(); ++p) {
+    registry.GetGauge("monitor.partition_rows." + std::to_string(p))
+        .Set(static_cast<int64_t>(current_.partition_rows[p]));
+  }
+
+  if (current_.records.size() >= options_.window_size) FinalizeWindow();
+}
+
+void WorkloadMonitor::FinalizeWindow() {
+  ++windows_completed_;
+  if (!has_reference_) {
+    reference_join_freq_ = current_.join_freq;
+    has_reference_ = true;
+    last_drift_ = 0;
+  } else {
+    last_drift_ = L1Distance(current_.join_freq, reference_join_freq_);
+  }
+  const bool above = last_drift_ > options_.drift_threshold;
+  if (above && !above_threshold_) {
+    ++drift_crossings_;
+    if (callback_) callback_(last_drift_, windows_completed_);
+  }
+  above_threshold_ = above;
+
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetGauge("monitor.drift_milli")
+      .Set(static_cast<int64_t>(last_drift_ * 1000.0));
+  registry.GetGauge("monitor.skew_milli")
+      .Set(static_cast<int64_t>(PartitionSkewOf(current_) * 1000.0));
+  registry.GetGauge("monitor.windows_completed")
+      .Set(static_cast<int64_t>(windows_completed_));
+
+  last_ = std::move(current_);
+  current_ = Window{};
+}
+
+std::map<std::string, size_t> WorkloadMonitor::ScanFrequencies() const {
+  return ViewWindow().scan_freq;
+}
+
+std::map<std::string, size_t> WorkloadMonitor::JoinFrequencies() const {
+  return ViewWindow().join_freq;
+}
+
+std::vector<size_t> WorkloadMonitor::PartitionRows() const {
+  return ViewWindow().partition_rows;
+}
+
+double WorkloadMonitor::PartitionSkew() const {
+  return PartitionSkewOf(ViewWindow());
+}
+
+std::vector<QueryGraph> WorkloadMonitor::WindowQueryGraphs(
+    const Schema& schema) const {
+  std::vector<QueryGraph> graphs;
+  for (const Record& rec : ViewWindow().records) {
+    QueryGraphBuilder builder(&schema, rec.name);
+    for (const std::string& t : rec.tables) builder.Table(t);
+    for (const JoinRecord& j : rec.joins) {
+      builder.JoinMulti(j.left_table, j.left_columns, j.right_table,
+                        j.right_columns);
+    }
+    auto graph = builder.Build();
+    if (graph.ok()) graphs.push_back(std::move(*graph));
+  }
+  return graphs;
+}
+
+void WorkloadMonitor::WriteJson(std::ostream& os) const {
+  const Window& win = ViewWindow();
+  JsonWriter w(&os);
+  w.BeginObject();
+  w.Key("monitor");
+  w.BeginObject();
+  w.Key("window_size");
+  w.UInt(options_.window_size);
+  w.Key("completions");
+  w.UInt(completions_);
+  w.Key("windows_completed");
+  w.UInt(windows_completed_);
+  w.EndObject();
+
+  w.Key("drift");
+  w.BeginObject();
+  w.Key("score");
+  w.Double(last_drift_);
+  w.Key("threshold");
+  w.Double(options_.drift_threshold);
+  w.Key("crossings");
+  w.UInt(drift_crossings_);
+  w.Key("has_reference");
+  w.Bool(has_reference_);
+  w.EndObject();
+
+  w.Key("scan_frequencies");
+  w.BeginObject();
+  for (const auto& [table, count] : win.scan_freq) {
+    w.Key(table);
+    w.UInt(count);
+  }
+  w.EndObject();
+
+  w.Key("join_frequencies");
+  w.BeginObject();
+  for (const auto& [join, count] : win.join_freq) {
+    w.Key(join);
+    w.UInt(count);
+  }
+  w.EndObject();
+
+  w.Key("reference_join_frequencies");
+  w.BeginObject();
+  for (const auto& [join, count] : reference_join_freq_) {
+    w.Key(join);
+    w.UInt(count);
+  }
+  w.EndObject();
+
+  w.Key("partition_rows");
+  w.BeginArray();
+  for (size_t r : win.partition_rows) w.UInt(r);
+  w.EndArray();
+  w.Key("partition_skew");
+  w.Double(PartitionSkewOf(win));
+  w.EndObject();
+  os << '\n';
+}
+
+}  // namespace pref

@@ -1,0 +1,133 @@
+// Workload monitor: sliding-window aggregation of completed query profiles
+// for drift detection (DESIGN.md §11).
+//
+// The monitor watches the served workload the same way wd_design reads a
+// declared one: per-table scan frequencies, join-pair access frequencies,
+// and per-partition access skew. Windows are tumbling and advance on query
+// *completion counts*, never wall clock, so a monitored run is as
+// deterministic as the queries feeding it (the determinism linter's
+// wall-clock rule enforces this for the implementation).
+//
+// Drift detection: the first completed window freezes as the *reference*;
+// every later window's normalized join-frequency vector is compared to the
+// reference's by L1 distance (range [0, 2] — 0 means the same join mix,
+// 2 means disjoint). When the score rises above MonitorOptions::
+// drift_threshold the callback fires once per upward crossing (it re-arms
+// only after a window scores back at or below the threshold).
+//
+// WindowQueryGraphs() replays the last completed window as the
+// std::vector<QueryGraph> wd_design consumes, which is what a future
+// live-repartitioning loop would hand to the advisor.
+//
+// Thread safety: none — feed completions from one thread. Both serving
+// drivers (bench_serve, tests) consume completions single-threaded.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "design/query_graph.h"
+#include "engine/profile.h"
+#include "engine/query.h"
+
+namespace pref {
+
+struct MonitorOptions {
+  /// Query completions per tumbling window.
+  size_t window_size = 32;
+  /// Drift score above which the callback fires (L1 over normalized
+  /// join-frequency vectors; range [0, 2]).
+  double drift_threshold = 0.5;
+};
+
+class WorkloadMonitor {
+ public:
+  /// `score` is the window's drift vs. the reference; `window` is the
+  /// 1-based index of the completed window that crossed.
+  using DriftCallback = std::function<void(double score, size_t window)>;
+
+  explicit WorkloadMonitor(MonitorOptions options = {});
+
+  void SetDriftCallback(DriftCallback cb) { callback_ = std::move(cb); }
+
+  /// Folds one completed query into the current window. `spec` supplies
+  /// the join structure (profiles alone don't carry column pairs); joins
+  /// whose sides can't be resolved to base tables are skipped.
+  void OnQueryComplete(const QueryProfile& profile, const QuerySpec& spec,
+                       const Schema& schema);
+
+  size_t completions() const { return completions_; }
+  size_t windows_completed() const { return windows_completed_; }
+  size_t drift_crossings() const { return drift_crossings_; }
+  bool has_reference() const { return has_reference_; }
+  /// Latest completed window's drift vs. the reference (0 before the
+  /// second window completes).
+  double drift_score() const { return last_drift_; }
+
+  /// Aggregates over the last *completed* window (over the partial current
+  /// window before any window completed).
+  std::map<std::string, size_t> ScanFrequencies() const;
+  /// Keys are canonical "left.c1,c2=right.c1,c2" with sides ordered
+  /// lexicographically, so the same join always lands on the same key.
+  std::map<std::string, size_t> JoinFrequencies() const;
+  /// Exchange-input rows charged per simulated node over the window.
+  std::vector<size_t> PartitionRows() const;
+  /// max/mean of PartitionRows(); 1.0 = perfectly even (and when empty).
+  double PartitionSkew() const;
+
+  /// The last completed window replayed as wd_design input: one QueryGraph
+  /// per completed query (queries with no resolvable joins yield graphs
+  /// with nodes only).
+  std::vector<QueryGraph> WindowQueryGraphs(const Schema& schema) const;
+
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  struct JoinRecord {
+    std::string left_table;
+    std::vector<std::string> left_columns;
+    std::string right_table;
+    std::vector<std::string> right_columns;
+  };
+  /// One completed query's footprint, with names resolved to base tables.
+  struct Record {
+    std::string name;
+    std::vector<std::string> tables;  // base table names, spec order
+    std::vector<JoinRecord> joins;
+  };
+  struct Window {
+    std::vector<Record> records;
+    std::map<std::string, size_t> scan_freq;
+    std::map<std::string, size_t> join_freq;
+    std::vector<size_t> partition_rows;
+  };
+
+  static std::string JoinKey(const JoinRecord& j);
+  static double PartitionSkewOf(const Window& win);
+
+  void FinalizeWindow();
+  const Window& ViewWindow() const {
+    return windows_completed_ > 0 ? last_ : current_;
+  }
+
+  MonitorOptions options_;
+  DriftCallback callback_;
+
+  Window current_;
+  Window last_;  // most recently completed
+  std::map<std::string, size_t> reference_join_freq_;
+  bool has_reference_ = false;
+  bool above_threshold_ = false;
+  double last_drift_ = 0;
+  size_t completions_ = 0;
+  size_t windows_completed_ = 0;
+  size_t drift_crossings_ = 0;
+};
+
+}  // namespace pref

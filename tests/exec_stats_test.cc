@@ -137,6 +137,113 @@ TEST(ExecStatsMerge, SumsAggregatesAndAppendsOperators) {
   EXPECT_EQ(a.operators.size(), 3u);
 }
 
+TEST(ExecStatsMerge, EmptyStatsMergeIsIdentity) {
+  ExecStats a;
+  a.bytes_shuffled = 12;
+  a.rows_shuffled = 3;
+  a.rows_local = 9;
+  a.exchanges = 1;
+  a.total_rows_processed = 40;
+  a.wall_seconds = 0.125;
+  a.node_rows = {25, 15};
+  a.operators.resize(2);
+  a.operators[0].op = "Scan";
+  a.operators[1].op = "Exchange";
+
+  // Merging default-constructed stats changes nothing.
+  a.Merge(ExecStats{});
+  EXPECT_EQ(a.bytes_shuffled, 12u);
+  EXPECT_EQ(a.rows_shuffled, 3u);
+  EXPECT_EQ(a.rows_local, 9u);
+  EXPECT_EQ(a.exchanges, 1);
+  EXPECT_EQ(a.total_rows_processed, 40u);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 0.125);
+  EXPECT_EQ(a.node_rows, (std::vector<size_t>{25, 15}));
+  EXPECT_EQ(a.operators.size(), 2u);
+
+  // Merging into empty stats reproduces the source.
+  ExecStats fresh;
+  fresh.Merge(a);
+  EXPECT_EQ(fresh.bytes_shuffled, a.bytes_shuffled);
+  EXPECT_EQ(fresh.rows_shuffled, a.rows_shuffled);
+  EXPECT_EQ(fresh.rows_local, a.rows_local);
+  EXPECT_EQ(fresh.exchanges, a.exchanges);
+  EXPECT_EQ(fresh.total_rows_processed, a.total_rows_processed);
+  EXPECT_DOUBLE_EQ(fresh.wall_seconds, a.wall_seconds);
+  EXPECT_EQ(fresh.node_rows, a.node_rows);
+  ASSERT_EQ(fresh.operators.size(), 2u);
+  EXPECT_EQ(fresh.operators[1].op, "Exchange");
+}
+
+TEST(ExecStatsMerge, DisjointOperatorBreakdownsAppendInOrder) {
+  ExecStats a;
+  OperatorStats scan;
+  scan.index = 0;
+  scan.parent = -1;
+  scan.op = "Scan";
+  scan.detail = "lineitem";
+  scan.rows_out = 100;
+  scan.rows_processed = 100;
+  scan.node_rows = {60, 40};
+  a.operators.push_back(scan);
+  a.total_rows_processed = 100;
+  a.node_rows = {60, 40};
+
+  ExecStats b;
+  OperatorStats ex;
+  ex.index = 0;
+  ex.parent = -1;
+  ex.op = "Exchange";
+  ex.exchanges = 1;
+  ex.rows_local = 30;
+  ex.rows_shuffled = 70;
+  ex.bytes_shuffled = 700;
+  ex.flows = {{0, 0, 30, 0}, {0, 1, 70, 700}};
+  b.operators.push_back(ex);
+  b.exchanges = 1;
+  b.rows_local = 30;
+  b.rows_shuffled = 70;
+  b.bytes_shuffled = 700;
+
+  a.Merge(b);
+  // Disjoint breakdowns append in order with every field intact —
+  // including the flow matrices, which downstream profile renders rely on.
+  ASSERT_EQ(a.operators.size(), 2u);
+  EXPECT_EQ(a.operators[0].detail, "lineitem");
+  EXPECT_EQ(a.operators[1].op, "Exchange");
+  ASSERT_EQ(a.operators[1].flows.size(), 2u);
+  EXPECT_EQ(a.operators[1].flows[1].bytes, 700u);
+  EXPECT_EQ(a.rows_local, 30u);
+  EXPECT_EQ(a.rows_shuffled, 70u);
+  EXPECT_DOUBLE_EQ(a.LocalityRatio(), 0.3);
+}
+
+TEST(ExecStatsMerge, MergeOperatorFoldsFlowTotalsIntoAggregates) {
+  OperatorStats ex;
+  ex.op = "Exchange";
+  ex.exchanges = 1;
+  ex.flows = {{0, 0, 10, 0}, {0, 1, 5, 50}, {1, 0, 7, 70}, {1, 1, 20, 0}};
+  for (const ExchangeFlow& f : ex.flows) {
+    if (f.source == f.target) {
+      ex.rows_local += f.rows;
+    } else {
+      ex.rows_shuffled += f.rows;
+      ex.bytes_shuffled += f.bytes;
+    }
+  }
+
+  ExecStats stats;
+  stats.MergeOperator(ex);
+  EXPECT_EQ(stats.rows_local, 30u);
+  EXPECT_EQ(stats.rows_shuffled, 12u);
+  EXPECT_EQ(stats.bytes_shuffled, 120u);
+  EXPECT_EQ(stats.exchanges, 1);
+  EXPECT_DOUBLE_EQ(stats.LocalityRatio(), 30.0 / 42.0);
+
+  // No exchange input at all counts as fully local.
+  EXPECT_DOUBLE_EQ(ExecStats{}.LocalityRatio(), 1.0);
+}
+
 #if PREF_METRICS
 TEST_F(ExecStatsTest, SimulatedTimelineEmitsOneSpanPerOperatorPerNode) {
   Tracer& tracer = Tracer::Default();

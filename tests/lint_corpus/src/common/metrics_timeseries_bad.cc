@@ -1,0 +1,21 @@
+// Corpus case for the wall-clock rule: clock reads inside the replayable
+// observability paths (profile / workload_monitor / metrics_timeseries)
+// must fire, while count-driven ticking stays clean.
+#include <chrono>
+
+namespace pref {
+
+void TickFromClock() {
+  auto now = std::chrono::steady_clock::now();  // expect: wall-clock
+  (void)now;
+  Stopwatch watch;  // expect: wall-clock
+  (void)watch;
+}
+
+void TickFromCounts(unsigned long completions) {
+  // Clean: the label is a logical clock supplied by the caller.
+  double label = static_cast<double>(completions);
+  (void)label;
+}
+
+}  // namespace pref

@@ -93,6 +93,32 @@ TEST(Histogram, QuantileInOverflowBucketReportsLastFiniteBound) {
 #endif
 }
 
+TEST(Histogram, SingleBucketQuantileEdgeCases) {
+  // One finite bound: bucket (0, 10] plus the overflow bucket.
+  Histogram h({10.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty histogram reports 0
+  for (int i = 0; i < 4; ++i) h.Observe(1.0);
+#if PREF_METRICS
+  // All four observations land in the single finite bucket, so every
+  // quantile interpolates linearly between 0 and the bound.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 2.5);  // clamps to rank 1 of 4
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+#endif
+}
+
+TEST(Histogram, SingleBucketOverflowOnlyReportsTheBound) {
+  Histogram h({10.0});
+  h.Observe(99.0);  // only the overflow bucket is populated
+#if PREF_METRICS
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.01), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 10.0);
+#endif
+}
+
 TEST(Histogram, ConcurrentObservationsKeepTotalExact) {
   Histogram h({0.5});
   ThreadPool pool(4);

@@ -1,0 +1,206 @@
+// QueryProfile identity tests (DESIGN.md §11): the deterministic sections
+// of a profile — EXPLAIN ANALYZE text and JSON rendered without the
+// wall-clock timings section — must be *byte-identical* across pool widths
+// (PREF_THREADS 1/2/4/8) and under concurrent serving at 4 clients, the
+// same invariance the executor promises for results. Also checks the
+// locality accounting is internally consistent (flows sum to the
+// local/remote totals) and the JSON parses.
+//
+// Runs under ThreadSanitizer and AddressSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "datagen/tpch_gen.h"
+#include "engine/profile.h"
+#include "engine/scheduler.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+#include "workloads/tpch_queries.h"
+
+namespace pref {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = GenerateTpch({0.002, 42});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = new Database(std::move(*db));
+    auto config = MakeTpchSdManual(db_->schema(), 4);
+    auto pdb = PartitionDatabase(*db_, config);
+    ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+    pdb_ = pdb->release();
+  }
+  static void TearDownTestSuite() {
+    delete pdb_;
+    delete db_;
+    pdb_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static PartitionedDatabase* pdb_;
+};
+
+Database* ProfileTest::db_ = nullptr;
+PartitionedDatabase* ProfileTest::pdb_ = nullptr;
+
+/// The deterministic renders: EXPLAIN ANALYZE text and JSON, both without
+/// the wall-clock timings section.
+struct Renders {
+  std::string text;
+  std::string json;
+};
+
+Renders RenderDeterministic(const QueryProfile& profile) {
+  ProfileRenderOptions opts;
+  opts.include_timings = false;
+  return {profile.ExplainAnalyze(opts), profile.ToJson(opts)};
+}
+
+TEST_F(ProfileTest, BitIdenticalAcrossPoolWidths) {
+  const auto queries = TpchQueries(db_->schema());
+  std::vector<Renders> reference;
+  {
+    ThreadPool pool(1);
+    for (const auto& q : queries) {
+      auto result = ExecuteQuery(q, *pdb_, {}, {}, &pool);
+      ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+      reference.push_back(RenderDeterministic(
+          QueryProfile::FromStats(q.name, result->stats)));
+    }
+  }
+  for (int width : {2, 4, 8}) {
+    ThreadPool pool(width);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto result = ExecuteQuery(queries[i], *pdb_, {}, {}, &pool);
+      ASSERT_TRUE(result.ok()) << queries[i].name;
+      const Renders got = RenderDeterministic(
+          QueryProfile::FromStats(queries[i].name, result->stats));
+      EXPECT_EQ(got.text, reference[i].text)
+          << queries[i].name << " at width " << width;
+      EXPECT_EQ(got.json, reference[i].json)
+          << queries[i].name << " at width " << width;
+    }
+  }
+}
+
+TEST_F(ProfileTest, BitIdenticalUnderConcurrentServing) {
+  const auto queries = TpchQueries(db_->schema());
+  std::vector<Renders> reference;
+  {
+    ThreadPool pool(1);
+    for (const auto& q : queries) {
+      auto result = ExecuteQuery(q, *pdb_, {}, {}, &pool);
+      ASSERT_TRUE(result.ok()) << q.name;
+      reference.push_back(RenderDeterministic(
+          QueryProfile::FromStats(q.name, result->stats)));
+    }
+  }
+  ThreadPool pool(4);
+  QueryScheduler scheduler(*pdb_, {/*max_in_flight=*/4, &pool});
+  constexpr int kRounds = 2;
+  std::vector<std::pair<uint64_t, size_t>> submitted;
+  for (int r = 0; r < kRounds; ++r) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      submitted.emplace_back(scheduler.Submit(queries[i]), i);
+    }
+  }
+  for (const auto& [id, qidx] : submitted) {
+    QueryProfile profile;
+    auto result = scheduler.Take(id, &profile);
+    ASSERT_TRUE(result.ok()) << queries[qidx].name;
+    EXPECT_TRUE(profile.has_timings);
+    EXPECT_EQ(profile.query_id, id);
+    EXPECT_GE(profile.timings.admission_wait_seconds, 0);
+    EXPECT_GE(profile.timings.queue_wait_seconds, 0);
+    EXPECT_GE(profile.timings.run_seconds, 0);
+    EXPECT_GE(profile.timings.time_to_first_morsel_seconds, 0);
+    EXPECT_LE(profile.timings.time_to_first_morsel_seconds,
+              profile.stats.wall_seconds);
+    const Renders got = RenderDeterministic(profile);
+    EXPECT_EQ(got.text, reference[qidx].text) << queries[qidx].name;
+    EXPECT_EQ(got.json, reference[qidx].json) << queries[qidx].name;
+  }
+}
+
+TEST_F(ProfileTest, LocalityAccountingConsistent) {
+  const auto queries = TpchQueries(db_->schema());
+  for (const auto& q : queries) {
+    auto result = ExecuteQuery(q, *pdb_);
+    ASSERT_TRUE(result.ok()) << q.name;
+    const ExecStats& stats = result->stats;
+    EXPECT_GE(stats.LocalityRatio(), 0.0) << q.name;
+    EXPECT_LE(stats.LocalityRatio(), 1.0) << q.name;
+    size_t op_local = 0, op_remote = 0;
+    for (const auto& op : stats.operators) {
+      size_t flow_rows = 0, flow_local = 0, flow_bytes = 0;
+      int prev = -1;
+      for (const auto& f : op.flows) {
+        // Source-major, target-minor: the emit order is fixed, not
+        // pool-scheduling dependent.
+        const int key = f.source * 1000 + f.target;
+        EXPECT_GT(key, prev) << q.name << " op " << op.op;
+        prev = key;
+        flow_rows += f.rows;
+        flow_bytes += f.bytes;
+        if (f.source == f.target) {
+          flow_local += f.rows;
+          EXPECT_EQ(f.bytes, 0u) << q.name;
+        }
+      }
+      EXPECT_EQ(flow_local, op.rows_local) << q.name << " op " << op.op;
+      EXPECT_EQ(flow_rows - flow_local, op.rows_shuffled)
+          << q.name << " op " << op.op;
+      EXPECT_EQ(flow_bytes, op.bytes_shuffled) << q.name << " op " << op.op;
+      if (op.exchanges == 0) {
+        EXPECT_TRUE(op.flows.empty()) << q.name;
+      }
+      op_local += op.rows_local;
+      op_remote += op.rows_shuffled;
+    }
+    EXPECT_EQ(op_local, stats.rows_local) << q.name;
+    EXPECT_EQ(op_remote, stats.rows_shuffled) << q.name;
+  }
+}
+
+TEST_F(ProfileTest, RendersParseAndAnnotate) {
+  const auto queries = TpchQueries(db_->schema());
+  ASSERT_FALSE(queries.empty());
+  const auto& q = queries[0];
+  auto result = ExecuteQuery(q, *pdb_);
+  ASSERT_TRUE(result.ok());
+  QueryProfile profile = QueryProfile::FromStats(q.name, result->stats);
+  profile.has_timings = true;  // exercise the timings sections too
+  profile.timings.run_seconds = 0.25;
+
+  std::vector<std::string> keys;
+  ASSERT_TRUE(JsonValidator::Valid(profile.ToJson(), &keys));
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "summary"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "operators"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "timings"), keys.end());
+
+  ProfileRenderOptions no_timings;
+  no_timings.include_timings = false;
+  std::vector<std::string> keys2;
+  ASSERT_TRUE(JsonValidator::Valid(profile.ToJson(no_timings), &keys2));
+  EXPECT_EQ(std::find(keys2.begin(), keys2.end(), "timings"), keys2.end());
+
+  const std::string text = profile.ExplainAnalyze();
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(text.find("locality="), std::string::npos);
+  EXPECT_NE(text.find("Scan"), std::string::npos);
+  EXPECT_NE(text.find("timings:"), std::string::npos);
+  EXPECT_EQ(profile.ExplainAnalyze(no_timings).find("timings:"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pref

@@ -1,0 +1,202 @@
+// WorkloadMonitor tests (DESIGN.md §11): windows advance on completion
+// counts, the first window freezes as the drift reference, the L1 drift
+// score separates identical and disjoint join mixes, the threshold
+// callback fires exactly once per upward crossing, and the window replays
+// as the std::vector<QueryGraph> wd_design consumes.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "datagen/tpch_gen.h"
+#include "engine/executor.h"
+#include "engine/workload_monitor.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+#include "workloads/tpch_queries.h"
+
+namespace pref {
+namespace {
+
+class WorkloadMonitorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = GenerateTpch({0.002, 42});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = new Database(std::move(*db));
+    auto config = MakeTpchSdManual(db_->schema(), 4);
+    auto pdb = PartitionDatabase(*db_, config);
+    ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+    pdb_ = pdb->release();
+  }
+  static void TearDownTestSuite() {
+    delete pdb_;
+    delete db_;
+    pdb_ = nullptr;
+    db_ = nullptr;
+  }
+
+  /// Executes `spec` and feeds the completion into `monitor`.
+  static void RunAndFeed(WorkloadMonitor* monitor, const QuerySpec& spec) {
+    auto result = ExecuteQuery(spec, *pdb_);
+    ASSERT_TRUE(result.ok()) << spec.name << ": "
+                             << result.status().ToString();
+    monitor->OnQueryComplete(
+        QueryProfile::FromStats(spec.name, result->stats), spec,
+        db_->schema());
+  }
+
+  static Database* db_;
+  static PartitionedDatabase* pdb_;
+};
+
+Database* WorkloadMonitorTest::db_ = nullptr;
+PartitionedDatabase* WorkloadMonitorTest::pdb_ = nullptr;
+
+/// A two-table join query: lineitem ⋈ orders on orderkey.
+QuerySpec LineitemOrdersQuery(const Schema& schema) {
+  auto spec = QueryBuilder(&schema, "li_ord")
+                  .From("lineitem")
+                  .Join("orders", "l_orderkey", "o_orderkey")
+                  .Agg(AggFunc::kCountStar, "", "cnt")
+                  .Build();
+  PREF_CHECK_OK(spec.status());
+  return *spec;
+}
+
+/// A disjoint-join query: partsupp ⋈ part on partkey.
+QuerySpec PartsuppPartQuery(const Schema& schema) {
+  auto spec = QueryBuilder(&schema, "ps_part")
+                  .From("partsupp")
+                  .Join("part", "ps_partkey", "p_partkey")
+                  .Agg(AggFunc::kCountStar, "", "cnt")
+                  .Build();
+  PREF_CHECK_OK(spec.status());
+  return *spec;
+}
+
+TEST_F(WorkloadMonitorTest, WindowsAdvanceOnCompletionCounts) {
+  MonitorOptions opts;
+  opts.window_size = 3;
+  WorkloadMonitor monitor(opts);
+  const QuerySpec q = LineitemOrdersQuery(db_->schema());
+  for (int i = 0; i < 2; ++i) RunAndFeed(&monitor, q);
+  EXPECT_EQ(monitor.completions(), 2u);
+  EXPECT_EQ(monitor.windows_completed(), 0u);
+  EXPECT_FALSE(monitor.has_reference());
+  RunAndFeed(&monitor, q);
+  EXPECT_EQ(monitor.windows_completed(), 1u);
+  EXPECT_TRUE(monitor.has_reference());
+  EXPECT_EQ(monitor.drift_score(), 0.0);
+}
+
+TEST_F(WorkloadMonitorTest, FrequenciesAndJoinKeys) {
+  MonitorOptions opts;
+  opts.window_size = 4;
+  WorkloadMonitor monitor(opts);
+  const QuerySpec li_ord = LineitemOrdersQuery(db_->schema());
+  const QuerySpec ps_part = PartsuppPartQuery(db_->schema());
+  RunAndFeed(&monitor, li_ord);
+  RunAndFeed(&monitor, li_ord);
+  RunAndFeed(&monitor, ps_part);
+  RunAndFeed(&monitor, li_ord);
+
+  const auto scans = monitor.ScanFrequencies();
+  EXPECT_EQ(scans.at("lineitem"), 3u);
+  EXPECT_EQ(scans.at("orders"), 3u);
+  EXPECT_EQ(scans.at("partsupp"), 1u);
+  EXPECT_EQ(scans.at("part"), 1u);
+
+  const auto joins = monitor.JoinFrequencies();
+  ASSERT_EQ(joins.size(), 2u);
+  EXPECT_EQ(joins.at("lineitem.l_orderkey=orders.o_orderkey"), 3u);
+  EXPECT_EQ(joins.at("part.p_partkey=partsupp.ps_partkey"), 1u);
+
+  // Exchange-input rows accumulated per simulated node.
+  const auto rows = monitor.PartitionRows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_GE(monitor.PartitionSkew(), 1.0);
+}
+
+TEST_F(WorkloadMonitorTest, DriftFiresExactlyOncePerCrossing) {
+  MonitorOptions opts;
+  opts.window_size = 2;
+  opts.drift_threshold = 0.5;
+  WorkloadMonitor monitor(opts);
+  std::vector<std::pair<double, size_t>> fired;
+  monitor.SetDriftCallback([&](double score, size_t window) {
+    fired.emplace_back(score, window);
+  });
+  const QuerySpec li_ord = LineitemOrdersQuery(db_->schema());
+  const QuerySpec ps_part = PartsuppPartQuery(db_->schema());
+
+  // Window 1 (reference) and window 2: the same mix — drift 0, no firing.
+  for (int i = 0; i < 4; ++i) RunAndFeed(&monitor, li_ord);
+  EXPECT_EQ(monitor.windows_completed(), 2u);
+  EXPECT_EQ(monitor.drift_score(), 0.0);
+  EXPECT_TRUE(fired.empty());
+
+  // Windows 3 and 4: a disjoint join mix — L1 distance 2.0. The callback
+  // fires on the upward crossing (window 3) and must NOT fire again while
+  // the score stays above threshold (window 4).
+  for (int i = 0; i < 4; ++i) RunAndFeed(&monitor, ps_part);
+  EXPECT_EQ(monitor.windows_completed(), 4u);
+  EXPECT_DOUBLE_EQ(monitor.drift_score(), 2.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired[0].first, 2.0);
+  EXPECT_EQ(fired[0].second, 3u);
+  EXPECT_EQ(monitor.drift_crossings(), 1u);
+
+  // Back to the reference mix (window 5, drift 0 re-arms), then shifted
+  // again (window 6): a second genuine crossing.
+  for (int i = 0; i < 2; ++i) RunAndFeed(&monitor, li_ord);
+  EXPECT_EQ(monitor.drift_score(), 0.0);
+  for (int i = 0; i < 2; ++i) RunAndFeed(&monitor, ps_part);
+  EXPECT_EQ(monitor.drift_crossings(), 2u);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].second, 6u);
+}
+
+TEST_F(WorkloadMonitorTest, WindowReplaysAsQueryGraphs) {
+  MonitorOptions opts;
+  opts.window_size = 2;
+  WorkloadMonitor monitor(opts);
+  RunAndFeed(&monitor, LineitemOrdersQuery(db_->schema()));
+  RunAndFeed(&monitor, PartsuppPartQuery(db_->schema()));
+  const auto graphs = monitor.WindowQueryGraphs(db_->schema());
+  ASSERT_EQ(graphs.size(), 2u);
+  EXPECT_EQ(graphs[0].name, "li_ord");
+  ASSERT_EQ(graphs[0].equi_joins.size(), 1u);
+  auto li = db_->schema().FindTable("lineitem");
+  auto ord = db_->schema().FindTable("orders");
+  ASSERT_TRUE(li.ok() && ord.ok());
+  EXPECT_TRUE(graphs[0].UsesTable(*li));
+  EXPECT_TRUE(graphs[0].UsesTable(*ord));
+  const JoinPredicate& p = graphs[0].equi_joins[0];
+  EXPECT_TRUE((p.left_table == *li && p.right_table == *ord) ||
+              (p.left_table == *ord && p.right_table == *li));
+  EXPECT_EQ(graphs[1].name, "ps_part");
+  EXPECT_EQ(graphs[1].equi_joins.size(), 1u);
+}
+
+TEST_F(WorkloadMonitorTest, JsonExportsAndParses) {
+  MonitorOptions opts;
+  opts.window_size = 2;
+  WorkloadMonitor monitor(opts);
+  RunAndFeed(&monitor, LineitemOrdersQuery(db_->schema()));
+  RunAndFeed(&monitor, PartsuppPartQuery(db_->schema()));
+  std::ostringstream os;
+  monitor.WriteJson(os);
+  std::vector<std::string> keys;
+  ASSERT_TRUE(JsonValidator::Valid(os.str(), &keys)) << os.str();
+  EXPECT_NE(os.str().find("\"scan_frequencies\":"), std::string::npos);
+  EXPECT_NE(os.str().find("\"drift\":"), std::string::npos);
+  EXPECT_NE(os.str().find("lineitem.l_orderkey=orders.o_orderkey"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pref

@@ -40,6 +40,17 @@ Rules (each finding names one):
                   corrupts them. Use stderr for diagnostics. Bench mains
                   are exempt — human-readable stdout is their job.
 
+  wall-clock      Any clock read (std::chrono::{steady,system,
+                  high_resolution}_clock or a Stopwatch) in the
+                  observability paths that must be replayable:
+                  src/engine/profile.*, src/engine/workload_monitor.*,
+                  src/common/metrics_timeseries.*. Monitor windows and
+                  timeline ticks advance on completion counts, never wall
+                  time (DESIGN.md §11); wall-clock quantities enter a
+                  profile only as values measured elsewhere (ExecStats /
+                  SchedulerTimings). stopwatch.h itself stays the one
+                  sanctioned steady_clock wrapper.
+
 Allowlist: tools/lint_determinism_allowlist.txt holds `rule path` pairs
 (paths relative to the repo root) for whole-file exemptions; each line must
 carry a trailing `# reason`.
@@ -83,6 +94,16 @@ RAW_RANDOM = re.compile(
     r"|std::chrono::system_clock"
 )
 RAW_THREAD = re.compile(r"\bstd::thread\b(?!::hardware_concurrency)")
+
+# Rule (e): the replayable observability layer may not read clocks at all.
+WALL_CLOCK_PATHS = (
+    "src/engine/profile",
+    "src/engine/workload_monitor",
+    "src/common/metrics_timeseries",
+)
+WALL_CLOCK = re.compile(
+    r"std::chrono::(?:steady|system|high_resolution)_clock|\bStopwatch\b"
+)
 RAW_STDOUT = re.compile(r"\bstd::cout\b|(?<![\w:.])printf\s*\(|\bfprintf\s*\(\s*stdout\b")
 
 
@@ -312,6 +333,22 @@ def check_file(path, rel, allowed):
                         f"'{m.group(0).strip()}' outside src/common/random.*; "
                         "route randomness through the seeded Rng and timing "
                         "through steady_clock so runs replay",
+                    )
+                )
+
+    if rel_posix.startswith(WALL_CLOCK_PATHS) and not allowed_rule("wall-clock"):
+        for idx, line in enumerate(code):
+            m = WALL_CLOCK.search(line)
+            if m:
+                findings.append(
+                    Finding(
+                        rel_posix,
+                        idx + 1,
+                        "wall-clock",
+                        f"'{m.group(0).strip()}' in replayable observability "
+                        "code; windows and ticks advance on completion "
+                        "counts, never wall time — take timings from "
+                        "ExecStats/SchedulerTimings measured elsewhere",
                     )
                 )
 
