@@ -25,9 +25,24 @@
 // exactly once (the CI smoke asserts this); --profile=PATH dumps the
 // first mix query's deterministic QueryProfile JSON.
 //
+// Online migration (DESIGN.md §12): --migrate (TPC-H only) appends a
+// self-contained phase that serves an orders-centric submix of the TPC-H
+// queries on a deliberately parts-hostile partitioning, shifts to the
+// parts-centric submix, and lets the drift callback trigger a
+// workload-driven re-design whose MigrationPlan executes in the
+// background while the submix keeps being served. Every completion is
+// verified bit-identical against a serial run on the exact database
+// version it pinned, and the spliced-in "migration" JSON section records
+// movement (moved vs. full-reload copies), the network footprint before
+// and after (locality = fraction of processed tuples that never crossed
+// the simulated network; a co-located join has no exchange, so its
+// shuffle disappearing — not an exchange ratio — is the recovery
+// signal), and the post-Rebase drift. The CI smoke asserts locality
+// recovers with less data shipped than a reload.
+//
 // Flags: --clients=N --rounds=R --rate=QPS --mix=tpch|tpcds
 // --monitor=PATH --shift-mix=MIX --window=N --drift-threshold=X
-// --profile=PATH plus the standard --json=/--trace=. Scale via
+// --profile=PATH --migrate plus the standard --json=/--trace=. Scale via
 // PREF_BENCH_SF (TPC-H, default 0.01) / PREF_BENCH_DS_SF (TPC-DS,
 // default 0.05).
 
@@ -52,6 +67,7 @@
 #include "datagen/tpcds_gen.h"
 #include "engine/scheduler.h"
 #include "engine/workload_monitor.h"
+#include "partition/migration.h"
 #include "partition/presets.h"
 #include "workloads/tpcds_queries.h"
 
@@ -73,6 +89,8 @@ struct ServeArgs {
   double drift_threshold = 0.5;
   /// Write the first mix query's deterministic profile JSON here.
   std::string profile_path;
+  /// Append the online-migration phase (TPC-H only).
+  bool migrate = false;
 };
 
 ServeArgs ParseServeArgs(int argc, char** argv) {
@@ -97,6 +115,8 @@ ServeArgs ParseServeArgs(int argc, char** argv) {
       out.drift_threshold = std::atof(argv[i] + 18);
     } else if (arg.rfind("--profile=", 0) == 0) {
       out.profile_path = std::string(arg.substr(10));
+    } else if (arg == "--migrate") {
+      out.migrate = true;
     } else {
       std::fprintf(stderr, "bench_serve: unknown flag '%s'\n", argv[i]);
       std::exit(2);
@@ -245,6 +265,26 @@ PartitioningConfig MakeTpchServeConfig(const Schema& schema, int n) {
   PREF_CHECK_OK(config.AddPref("partsupp", {"ps_partkey", "ps_suppkey"},
                                "lineitem", {"l_partkey", "l_suppkey"}));
   PREF_CHECK_OK(config.AddPref("part", {"p_partkey"}, "partsupp", {"ps_partkey"}));
+  PREF_CHECK_OK(config.AddReplicated("nation"));
+  PREF_CHECK_OK(config.AddReplicated("region"));
+  PREF_CHECK_OK(config.AddReplicated("supplier"));
+  PREF_CHECK_OK(config.Finalize());
+  return config;
+}
+
+/// The migration scenario's initial configuration: good for the
+/// orders-centric submix (lineitem–orders–customer PREF chain), hostile to
+/// the parts-centric one (part and partsupp hashed on unrelated keys, so
+/// part⋈partsupp and lineitem⋈part shuffle everything).
+PartitioningConfig MakeTpchMigrateConfig(const Schema& schema, int n) {
+  PartitioningConfig config(&schema, n);
+  PREF_CHECK_OK(config.AddHash("lineitem", {"l_orderkey"}));
+  PREF_CHECK_OK(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}));
+  PREF_CHECK_OK(
+      config.AddPref("customer", {"c_custkey"}, "orders", {"o_custkey"}));
+  PREF_CHECK_OK(config.AddHash("partsupp", {"ps_suppkey"}));
+  PREF_CHECK_OK(config.AddHash("part", {"p_partkey"}));
   PREF_CHECK_OK(config.AddReplicated("nation"));
   PREF_CHECK_OK(config.AddReplicated("region"));
   PREF_CHECK_OK(config.AddReplicated("supplier"));
@@ -570,6 +610,360 @@ int Main(int argc, char** argv) {
     std::printf("monitor: %zu windows, drift %.3f, %zu crossing(s)\n",
                 monitor->windows_completed(), monitor->drift_score(),
                 monitor->drift_crossings());
+  }
+
+  // Phase 5 (optional): online migration (DESIGN.md §12). Self-contained —
+  // its own serving stack on the same TPC-H database, its own monitor.
+  // Orders-centric submix on a parts-hostile configuration freezes the
+  // drift reference; shifting to the parts-centric submix crosses the
+  // threshold, and the callback's design → complete → plan → Start chain
+  // migrates the live database in the background while that submix keeps
+  // being served. Every completion is verified against a serial run on the
+  // database *version* it pinned, so results stay bit-identical across the
+  // swap barrier.
+  if (serve.migrate) {
+    if (serve.mix != "tpch") {
+      std::fprintf(stderr, "bench_serve: --migrate requires --mix=tpch\n");
+      return 2;
+    }
+    auto select = [&](const std::vector<std::string>& want,
+                      std::vector<size_t>* out_idx) {
+      for (const auto& name : want) {
+        for (size_t i = 0; i < mix.size(); ++i) {
+          if (mix[i].name == name) {
+            out_idx->push_back(i);
+            break;
+          }
+        }
+      }
+      return out_idx->size() == want.size();
+    };
+    // Orders-centric vs. parts-centric halves of the TPC-H mix: disjoint
+    // join-key sets, so the shift reads as drift; both run on one database.
+    std::vector<size_t> mix_a, mix_b;
+    if (!select({"Q1", "Q3", "Q4", "Q10", "Q12", "Q18"}, &mix_a) ||
+        !select({"Q2", "Q11", "Q14", "Q16", "Q17", "Q19"}, &mix_b)) {
+      std::fprintf(stderr, "bench_serve: --migrate submix queries missing\n");
+      return 2;
+    }
+
+    auto initial =
+        PartitionDatabase(db, MakeTpchMigrateConfig(db.schema(), nodes));
+    PREF_CHECK_OK(initial.status());
+    ServingDatabase serving(
+        std::shared_ptr<const PartitionedDatabase>(std::move(*initial)));
+
+    MonitorOptions mopts;
+    mopts.window_size = serve.window > 0 ? serve.window : mix_a.size();
+    mopts.drift_threshold = serve.drift_threshold;
+    WorkloadMonitor mig_monitor(mopts);
+    bool drifted = false;
+    double fire_score = 0;
+    mig_monitor.SetDriftCallback([&](double score, size_t window) {
+      drifted = true;
+      fire_score = score;
+      std::fprintf(stderr,
+                   "migrate: drift %.3f crossed threshold at window %zu\n",
+                   score, window);
+    });
+
+    // Every version ever served, so a completion pinned to any of them can
+    // be verified against a serial baseline computed on that exact version.
+    std::map<uint64_t, std::shared_ptr<const PartitionedDatabase>> versions;
+    {
+      auto snap = serving.Acquire();
+      versions.emplace(snap.version, snap.pdb);
+    }
+    std::map<std::pair<uint64_t, size_t>, QueryResult> vbaseline;
+    size_t baseline_skipped = 0;
+    auto baseline_for = [&](uint64_t version,
+                            size_t qidx) -> const QueryResult* {
+      const auto key = std::make_pair(version, qidx);
+      if (auto it = vbaseline.find(key); it != vbaseline.end()) {
+        return &it->second;
+      }
+      auto vit = versions.find(version);
+      if (vit == versions.end()) return nullptr;
+      auto result = ExecuteQuery(mix[qidx], *vit->second, {}, cost_model);
+      PREF_CHECK_OK(result.status());
+      return &vbaseline.emplace(key, std::move(*result)).first->second;
+    };
+
+    // Per-version network footprint over the parts-centric completions:
+    // version 1 is "before", the final version is "after". Locality is
+    // reported as the fraction of processed tuples that never crossed the
+    // simulated network (1 - shuffled/processed): a co-located join has no
+    // exchange at all, so the exchange-tuple ratio alone would miss the
+    // recovery — the shuffle *disappearing* is the win.
+    struct VersionFootprint {
+      size_t rows_shuffled = 0;
+      size_t bytes_shuffled = 0;
+      size_t rows_processed = 0;
+      double simulated_seconds = 0;
+    };
+    std::map<uint64_t, VersionFootprint> footprint;
+    std::optional<MigrationExecutor> executor;
+    MigrationPlan planned;  // pre-execution copy for the report
+    double design_seconds = 0;
+    size_t migrations_started = 0;
+    QueryScheduler scheduler(&serving, {serve.clients, nullptr});
+
+    auto serve_submix = [&](const std::vector<size_t>& order, int nrounds,
+                            bool track_locality, PhaseOutcome* out) {
+      const size_t total = order.size() * static_cast<size_t>(nrounds);
+      std::map<uint64_t, std::pair<size_t, double>> inflight;
+      Stopwatch wall;
+      size_t issued = 0;
+      auto submit_next = [&] {
+        const size_t qidx = order[issued % order.size()];
+        SubmitOptions options;
+        options.cost_model = cost_model;
+        const uint64_t id = scheduler.Submit(mix[qidx], options);
+        inflight.emplace(id, std::make_pair(qidx, wall.ElapsedSeconds()));
+        ++issued;
+      };
+      for (int c = 0; c < serve.clients && issued < total; ++c) submit_next();
+      while (!inflight.empty()) {
+        const uint64_t id = scheduler.WaitAny();
+        const double now = wall.ElapsedSeconds();
+        auto it = inflight.find(id);
+        const auto [qidx, t0] = it->second;
+        inflight.erase(it);
+        QueryProfile profile;
+        auto result = scheduler.Take(id, &profile);
+        // Notice newly published versions as soon as possible so late
+        // completions pinned to them verify instead of being skipped.
+        {
+          auto snap = serving.Acquire();
+          versions.emplace(snap.version, snap.pdb);
+        }
+        mig_monitor.OnQueryComplete(profile, mix[qidx], db.schema());
+        out->queries++;
+        out->latencies.push_back(now - t0);
+        if (profile.has_timings) {
+          out->queue_waits.push_back(profile.timings.admission_wait_seconds +
+                                     profile.timings.queue_wait_seconds);
+        }
+        if (!result.status().ok()) {
+          std::fprintf(stderr, "migrate query %llu (%s) failed: %s\n",
+                       static_cast<unsigned long long>(id),
+                       names[qidx].c_str(),
+                       result.status().ToString().c_str());
+          out->errors++;
+        } else {
+          out->simulated_seconds += result->stats.SimulatedSeconds(cost_model);
+          if (track_locality) {
+            VersionFootprint& fp = footprint[profile.database_version];
+            fp.rows_shuffled += result->stats.rows_shuffled;
+            fp.bytes_shuffled += result->stats.bytes_shuffled;
+            fp.rows_processed += result->stats.total_rows_processed;
+            fp.simulated_seconds += result->stats.SimulatedSeconds(cost_model);
+          }
+          const QueryResult* expect =
+              baseline_for(profile.database_version, qidx);
+          if (expect == nullptr) {
+            ++baseline_skipped;
+          } else if (!BitIdentical(*result, *expect) ||
+                     !StatsEqual(result->stats, expect->stats)) {
+            std::fprintf(stderr,
+                         "migrate query %llu (%s): diverges from serial run "
+                         "on version %llu\n",
+                         static_cast<unsigned long long>(id),
+                         names[qidx].c_str(),
+                         static_cast<unsigned long long>(
+                             profile.database_version));
+            out->mismatches++;
+          }
+        }
+        // Act on the crossing exactly once: re-design from the drifted
+        // window and launch the migration; serving continues underneath.
+        if (drifted && !executor.has_value()) {
+          Stopwatch design_watch;
+          auto base = serving.Acquire();
+          WdOptions wopts;
+          wopts.num_partitions = nodes;
+          wopts.replicate_tables = {"nation", "region", "supplier"};
+          auto graphs = mig_monitor.WindowQueryGraphs(db.schema());
+          auto wd = WorkloadDrivenDesign(db, graphs, wopts);
+          PREF_CHECK_OK(wd.status());
+          auto target = CompleteServingConfig(wd->deployment, *base.pdb);
+          PREF_CHECK_OK(target.status());
+          auto plan = PlanMigration(db, *base.pdb, *target);
+          PREF_CHECK_OK(plan.status());
+          design_seconds = design_watch.ElapsedSeconds();
+          planned = *plan;
+          std::printf("%s", plan->ToString().c_str());
+          MigrationOptions mig_opts;
+          mig_opts.verify_colocation = true;
+          executor.emplace(db, &serving, std::move(*plan), mig_opts);
+          executor->Start();
+          ++migrations_started;
+        }
+        if (issued < total) submit_next();
+      }
+      out->wall_seconds = wall.ElapsedSeconds();
+    };
+
+    PhaseOutcome warm, shift_serve, post;
+    serve_submix(mix_a, serve.rounds, false, &warm);
+    ReportPhase(&report, "migrate/orders-mix", warm);
+    serve_submix(mix_b, serve.rounds, true, &shift_serve);
+    ReportPhase(&report, "migrate/parts-shift", shift_serve);
+
+    if (!executor.has_value()) {
+      std::fprintf(stderr,
+                   "bench_serve: --migrate shift never crossed the drift "
+                   "threshold; no migration fired\n");
+      return 1;
+    }
+    Status mig_status = executor->Wait();
+    if (!mig_status.ok()) {
+      std::fprintf(stderr, "bench_serve: migration failed: %s\n",
+                   mig_status.ToString().c_str());
+      return 1;
+    }
+    {
+      auto snap = serving.Acquire();
+      versions.emplace(snap.version, snap.pdb);
+    }
+    // The migrated-for mix is the new normal: the next completed window
+    // freezes as the new drift reference.
+    mig_monitor.Rebase();
+    serve_submix(mix_b, serve.rounds, true, &post);
+    ReportPhase(&report, "migrate/recovered", post);
+    total_errors += warm.errors + shift_serve.errors + post.errors;
+    total_mismatches +=
+        warm.mismatches + shift_serve.mismatches + post.mismatches;
+
+    // Plan fidelity: the executor must have written exactly the copies a
+    // from-scratch load of every rebuilt table ships.
+    size_t rebuilt_copies = 0, rebuilt_expected = 0, total_source_rows = 0;
+    for (const MigrationStep& s : executor->plan().steps) {
+      total_source_rows += db.table(s.table).num_rows();
+      if (s.kind == MigrationStepKind::kKeep) continue;
+      rebuilt_copies += s.rebuilt_copies;
+      rebuilt_expected += s.reload_copies;
+    }
+    if (rebuilt_copies != rebuilt_expected) {
+      std::fprintf(stderr,
+                   "bench_serve: executor rebuilt %zu copies, plan "
+                   "predicted %zu\n",
+                   rebuilt_copies, rebuilt_expected);
+      ++total_errors;
+    }
+
+    auto locality_of = [&](uint64_t version) {
+      auto it = footprint.find(version);
+      if (it == footprint.end() || it->second.rows_processed == 0) return 0.0;
+      return 1.0 - static_cast<double>(it->second.rows_shuffled) /
+                       static_cast<double>(it->second.rows_processed);
+    };
+    const uint64_t final_version = serving.version();
+    const VersionFootprint fp_before = footprint[1];
+    const VersionFootprint fp_after = footprint[final_version];
+    const double locality_before = locality_of(1);
+    const double locality_after = locality_of(final_version);
+    std::printf(
+        "migrate: %zu/%zu tables moved in %d epoch(s), %zu of %zu copies "
+        "shipped (%.1f%% of a full reload), locality %.3f -> %.3f, shuffled "
+        "rows %zu -> %zu, drift after rebase %.3f\n",
+        planned.tables_moved, planned.tables_moved + planned.tables_kept,
+        planned.num_epochs, planned.moved_copies, planned.reload_copies,
+        planned.reload_copies > 0
+            ? 100.0 * static_cast<double>(planned.moved_copies) /
+                  static_cast<double>(planned.reload_copies)
+            : 0.0,
+        locality_before, locality_after, fp_before.rows_shuffled,
+        fp_after.rows_shuffled, mig_monitor.drift_score());
+
+    std::ostringstream ms;
+    {
+      JsonWriter w(&ms);
+      w.BeginObject();
+      w.Key("fired");
+      w.UInt(migrations_started);
+      w.Key("design_seconds");
+      w.Double(design_seconds);
+      w.Key("num_epochs");
+      w.Int(planned.num_epochs);
+      w.Key("epochs_published");
+      w.Int(executor->epochs_published());
+      w.Key("final_version");
+      w.UInt(final_version);
+      w.Key("tables_moved");
+      w.UInt(planned.tables_moved);
+      w.Key("tables_kept");
+      w.UInt(planned.tables_kept);
+      w.Key("moved_rows");
+      w.UInt(planned.moved_rows);
+      w.Key("moved_copies");
+      w.UInt(planned.moved_copies);
+      w.Key("moved_bytes");
+      w.UInt(planned.moved_bytes);
+      w.Key("reload_copies");
+      w.UInt(planned.reload_copies);
+      w.Key("rebuilt_copies");
+      w.UInt(rebuilt_copies);
+      w.Key("total_source_rows");
+      w.UInt(total_source_rows);
+      w.Key("locality_before");
+      w.Double(locality_before);
+      w.Key("locality_after");
+      w.Double(locality_after);
+      w.Key("rows_shuffled_before");
+      w.UInt(fp_before.rows_shuffled);
+      w.Key("rows_shuffled_after");
+      w.UInt(fp_after.rows_shuffled);
+      w.Key("bytes_shuffled_before");
+      w.UInt(fp_before.bytes_shuffled);
+      w.Key("bytes_shuffled_after");
+      w.UInt(fp_after.bytes_shuffled);
+      w.Key("rows_processed_before");
+      w.UInt(fp_before.rows_processed);
+      w.Key("rows_processed_after");
+      w.UInt(fp_after.rows_processed);
+      w.Key("simulated_seconds_before");
+      w.Double(fp_before.simulated_seconds);
+      w.Key("simulated_seconds_after");
+      w.Double(fp_after.simulated_seconds);
+      w.Key("drift_at_fire");
+      w.Double(fire_score);
+      w.Key("drift_after");
+      w.Double(mig_monitor.drift_score());
+      w.Key("drift_threshold");
+      w.Double(mopts.drift_threshold);
+      w.Key("drift_crossings");
+      w.UInt(mig_monitor.drift_crossings());
+      w.Key("rebases");
+      w.UInt(mig_monitor.rebases());
+      w.Key("baseline_skipped");
+      w.UInt(baseline_skipped);
+      w.Key("steps");
+      w.BeginArray();
+      for (const MigrationStep& s : executor->plan().steps) {
+        w.BeginObject();
+        w.Key("table");
+        w.String(s.table_name);
+        w.Key("kind");
+        w.String(MigrationStepKindName(s.kind));
+        w.Key("epoch");
+        w.Int(s.epoch);
+        w.Key("moved_rows");
+        w.UInt(s.moved_rows);
+        w.Key("moved_copies");
+        w.UInt(s.moved_copies);
+        w.Key("moved_bytes");
+        w.UInt(s.moved_bytes);
+        w.Key("reload_copies");
+        w.UInt(s.reload_copies);
+        w.Key("rebuilt_copies");
+        w.UInt(s.rebuilt_copies);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    report.Section("migration", ms.str());
   }
 
   // The monitor document: the WorkloadMonitor JSON with the timeline

@@ -90,6 +90,16 @@ class BenchReport {
     results_.back().fields.emplace_back(key, value);
   }
 
+  /// Attaches a pre-rendered JSON object as one more top-level key,
+  /// spliced in verbatim like the metrics snapshot (bench_serve's
+  /// "migration" section rides along this way).
+  void Section(const std::string& key, std::string json_object) {
+    while (!json_object.empty() && json_object.back() == '\n') {
+      json_object.pop_back();
+    }
+    sections_.emplace_back(key, std::move(json_object));
+  }
+
   Status WriteTo(const std::string& path) const {
     std::ofstream os(path);
     if (!os) return Status::Invalid("cannot open '", path, "' for writing");
@@ -119,6 +129,13 @@ class BenchReport {
       w.EndObject();
     }
     w.EndArray();
+    // Sections are spliced raw, bypassing the writer: the separator is
+    // emitted by hand so the writer's comma state stays anchored at the
+    // results array and the following Key("metrics") still delimits
+    // correctly. Section keys are internal identifiers, never escaped.
+    for (const auto& [k, json] : sections_) {
+      os << ",\"" << k << "\":" << json;
+    }
     // The metrics snapshot is itself a complete JSON object; splice it in
     // verbatim after the key.
     w.Key("metrics");
@@ -138,6 +155,7 @@ class BenchReport {
   std::string figure_;
   std::vector<std::pair<std::string, double>> config_;
   std::vector<Row> results_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 /// Writes the outputs requested by --json/--trace. Returns false (with the

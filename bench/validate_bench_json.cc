@@ -3,7 +3,7 @@
 // top-level keys are present. Exits nonzero with a message on the first
 // violation so the smoke job fails loudly.
 //
-// Usage: validate_bench_json [--schema=bench|profile|monitor]
+// Usage: validate_bench_json [--schema=bench|profile|monitor|migration]
 //                            [--require-fields=a,b,c] <doc.json> [...]
 //
 // Schemas:
@@ -11,6 +11,8 @@
 //   profile  — QueryProfile::WriteJson documents.
 //   monitor  — bench_serve --monitor= documents (WorkloadMonitor JSON with
 //              the spliced-in "timeseries" timeline).
+//   migration — bench_serve --migrate documents: a bench report that also
+//              carries the spliced-in "migration" section.
 //
 // --require-fields=a,b,c additionally demands that each listed field key
 // (e.g. latency percentiles, locality/queue-wait fields) appears somewhere
@@ -39,6 +41,9 @@ const SchemaDef kSchemas[] = {
     {"monitor",
      {"monitor", "drift", "scan_frequencies", "join_frequencies",
       "partition_rows", "timeseries"}},
+    // A bench document carrying the online-migration section bench_serve
+    // --migrate splices in next to the standard report keys.
+    {"migration", {"figure", "config", "results", "migration", "metrics"}},
 };
 
 const SchemaDef* FindSchema(std::string_view name) {
@@ -109,7 +114,7 @@ int main(int argc, char** argv) {
     if (arg.rfind("--schema=", 0) == 0) {
       schema = FindSchema(arg.substr(9));
       if (schema == nullptr) {
-        std::fprintf(stderr, "unknown schema '%s' (bench|profile|monitor)\n",
+        std::fprintf(stderr, "unknown schema '%s' (bench|profile|monitor|migration)\n",
                      argv[i] + 9);
         return 2;
       }
@@ -123,7 +128,7 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--schema=bench|profile|monitor] "
+                 "usage: %s [--schema=bench|profile|monitor|migration] "
                  "[--require-fields=a,b,c] <doc.json> [...]\n",
                  argv[0]);
     return 2;

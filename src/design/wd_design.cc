@@ -273,4 +273,39 @@ Result<WdResult> WorkloadDrivenDesign(const Database& db,
   return result;
 }
 
+Result<PartitioningConfig> CompleteServingConfig(
+    const Deployment& deployment, const PartitionedDatabase& current) {
+  if (deployment.configs().empty()) {
+    return Status::Invalid("deployment has no configurations to complete");
+  }
+  const Schema& schema = current.schema();
+
+  // Pick the designed configuration covering the most serving tables.
+  const PartitioningConfig* best = nullptr;
+  size_t best_covered = 0;
+  for (const PartitioningConfig& cfg : deployment.configs()) {
+    size_t covered = 0;
+    for (const PartitionedTable* t : current.tables()) {
+      if (cfg.Contains(t->id())) ++covered;
+    }
+    if (best == nullptr || covered > best_covered) {
+      best = &cfg;
+      best_covered = covered;
+    }
+  }
+
+  PartitioningConfig out(&schema, best->num_partitions());
+  for (const auto& [id, spec] : best->specs()) {
+    PREF_RETURN_NOT_OK(out.AddSpec(schema.table(id).name, spec));
+  }
+  // Tables the design did not mention keep their serving spec — they plan
+  // as zero-movement kKeep steps unless a PREF chain drags them along.
+  for (const PartitionedTable* t : current.tables()) {
+    if (out.Contains(t->id())) continue;
+    PREF_RETURN_NOT_OK(out.AddSpec(schema.table(t->id()).name, t->spec()));
+  }
+  PREF_RETURN_NOT_OK(out.Finalize());
+  return out;
+}
+
 }  // namespace pref

@@ -48,6 +48,18 @@ Result<WdResult> WorkloadDrivenDesign(const Database& db,
                                       const std::vector<QueryGraph>& workload,
                                       const WdOptions& options);
 
+/// Turns a designed Deployment into one finalized PartitioningConfig a
+/// migration can target: picks the deployment configuration covering the
+/// most tables of `current` (first wins ties), copies its specs verbatim,
+/// and fills every remaining table of `current` with the spec it is
+/// already serving under — so tables the drifted workload never mentioned
+/// plan as kKeep (zero movement) instead of being re-partitioned by
+/// default. Fails if the deployment is empty or the completed config does
+/// not validate (e.g. partition counts disagree along a PREF chain that
+/// spans designed and kept tables).
+Result<PartitioningConfig> CompleteServingConfig(
+    const Deployment& deployment, const PartitionedDatabase& current);
+
 /// Workload-level data locality: each query is routed to its deployment
 /// configuration and contributes the weight of its join edges that execute
 /// locally there (§4.1 maximizes this per query). This is the DL the paper

@@ -102,6 +102,10 @@ void QueryProfile::WriteJson(std::ostream& os,
   // deterministic render pins it so profiles of the same query compare
   // byte-equal regardless of submission order.
   w.UInt(opts.include_timings ? query_id : 0);
+  w.Key("database_version");
+  // Same rule: which serving version a query pinned mid-migration is run
+  // context, not a property of the query.
+  w.UInt(opts.include_timings ? database_version : 0);
   w.Key("name");
   w.String(query_name);
   w.EndObject();

@@ -50,6 +50,11 @@ struct ProfileRenderOptions {
 struct QueryProfile {
   /// Scheduler id of the query (0 when produced outside the scheduler).
   uint64_t query_id = 0;
+  /// ServingDatabase version the query executed against (0 when the
+  /// scheduler was built over a fixed database). Which version a query
+  /// lands on during an online migration depends on timing, so renders
+  /// with include_timings = false pin it to 0, like query_id.
+  uint64_t database_version = 0;
   std::string query_name;
   ExecStats stats;
   /// The cost model the query ran under (simulated seconds depend on it).

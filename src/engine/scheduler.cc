@@ -7,15 +7,26 @@
 #include "common/task_context.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "partition/deployment.h"
 
 namespace pref {
 
 QueryScheduler::QueryScheduler(const PartitionedDatabase& pdb,
                                ScheduleOptions options)
-    : pdb_(pdb),
-      pool_(options.pool != nullptr ? options.pool : &ThreadPool::Default()),
-      max_in_flight_(options.max_in_flight > 0 ? options.max_in_flight
-                                               : pool_->num_threads()) {
+    : pdb_(&pdb) {
+  Init(options);
+}
+
+QueryScheduler::QueryScheduler(ServingDatabase* serving,
+                               ScheduleOptions options)
+    : serving_(serving) {
+  Init(options);
+}
+
+void QueryScheduler::Init(ScheduleOptions options) {
+  pool_ = options.pool != nullptr ? options.pool : &ThreadPool::Default();
+  max_in_flight_ = options.max_in_flight > 0 ? options.max_in_flight
+                                             : pool_->num_threads();
   MetricsRegistry& registry = MetricsRegistry::Default();
   submitted_ = &registry.GetCounter("scheduler.submitted");
   completed_ctr_ = &registry.GetCounter("scheduler.completed");
@@ -74,9 +85,21 @@ void QueryScheduler::RunQuery(uint64_t id, Entry* entry) {
   if (entry->options.timeout_seconds > 0) {
     entry->control.ArmTimeout(entry->options.timeout_seconds);
   }
+  // Pin the database for this whole query. Against a ServingDatabase the
+  // snapshot's shared ownership keeps the pinned version alive even if a
+  // migration publishes newer ones while the query runs.
+  std::shared_ptr<const PartitionedDatabase> pinned;
+  const PartitionedDatabase* pdb = pdb_;
+  uint64_t database_version = 0;
+  if (serving_ != nullptr) {
+    ServingDatabase::Snapshot snap = serving_->Acquire();
+    pinned = std::move(snap.pdb);
+    pdb = pinned.get();
+    database_version = snap.version;
+  }
   Stopwatch timer;
   Result<QueryResult> result =
-      ExecuteQuery(entry->spec, pdb_, entry->options.query,
+      ExecuteQuery(entry->spec, *pdb, entry->options.query,
                    entry->options.cost_model, pool_, &entry->control);
   const double run_seconds = timer.ElapsedSeconds();
   query_seconds_->Observe(run_seconds);
@@ -86,6 +109,7 @@ void QueryScheduler::RunQuery(uint64_t id, Entry* entry) {
   }
   QueryProfile profile;
   profile.query_id = id;
+  profile.database_version = database_version;
   profile.query_name = entry->spec.name;
   profile.cost_model = entry->options.cost_model;
   profile.has_timings = true;

@@ -27,6 +27,15 @@
 //    timeout_seconds arms a per-query deadline the same way. Both surface
 //    as Status::Cancelled through Take.
 //
+// Multi-version serving: a scheduler built over a ServingDatabase (the
+// online-migration handle, partition/deployment.h) pins a snapshot of the
+// current version at each query's *execution start* and runs the whole
+// query against it. The snapshot's shared ownership keeps that version's
+// storage alive even after a migration publishes a newer one, so queries
+// never observe a half-migrated database; the version number lands in
+// QueryProfile::database_version. A scheduler built over a plain
+// PartitionedDatabase behaves exactly as before (version 0).
+//
 // Thread safety: all public methods are thread-safe. The scheduler must
 // outlive its in-flight queries — the destructor drains (runs or cancels
 // nothing; it waits for every submitted query to finish).
@@ -66,9 +75,19 @@ struct SubmitOptions {
   double timeout_seconds = 0;
 };
 
+class ServingDatabase;
+
 class QueryScheduler {
  public:
+  /// Serves a fixed database: every query runs against `pdb`, which must
+  /// stay valid (and unmodified) for the scheduler's lifetime.
   explicit QueryScheduler(const PartitionedDatabase& pdb,
+                          ScheduleOptions options = {});
+  /// Serves a live ServingDatabase: each query pins the version current at
+  /// its execution start (see the header comment). `serving` must outlive
+  /// the scheduler; versions it publishes stay alive until the last query
+  /// pinning them completes.
+  explicit QueryScheduler(ServingDatabase* serving,
                           ScheduleOptions options = {});
   /// Blocks until every submitted query completed (results of queries
   /// never Take()n are discarded).
@@ -135,12 +154,17 @@ class QueryScheduler {
           result(Status::Internal("query not finished")) {}
   };
 
+  /// Shared ctor tail: binds the pool and registers the metrics family.
+  void Init(ScheduleOptions options);
   /// Launches queued queries while in-flight slots are free.
   void LaunchLocked() REQUIRES(mu_);
   /// Runs one query on the pool (entered as a tagged pool task).
   void RunQuery(uint64_t id, Entry* entry);
 
-  const PartitionedDatabase& pdb_;
+  /// Exactly one of the two is set: pdb_ for the fixed-database ctor,
+  /// serving_ for the live one (queries then pin per-execution snapshots).
+  const PartitionedDatabase* pdb_ = nullptr;
+  ServingDatabase* serving_ = nullptr;
   ThreadPool* pool_;
   int max_in_flight_;
 

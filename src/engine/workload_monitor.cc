@@ -206,6 +206,14 @@ void WorkloadMonitor::FinalizeWindow() {
   current_ = Window{};
 }
 
+void WorkloadMonitor::Rebase() {
+  has_reference_ = false;
+  reference_join_freq_.clear();
+  above_threshold_ = false;
+  last_drift_ = 0;
+  ++rebases_;
+}
+
 std::map<std::string, size_t> WorkloadMonitor::ScanFrequencies() const {
   return ViewWindow().scan_freq;
 }
@@ -260,6 +268,8 @@ void WorkloadMonitor::WriteJson(std::ostream& os) const {
   w.Double(options_.drift_threshold);
   w.Key("crossings");
   w.UInt(drift_crossings_);
+  w.Key("rebases");
+  w.UInt(rebases_);
   w.Key("has_reference");
   w.Bool(has_reference_);
   w.EndObject();

@@ -62,9 +62,18 @@ class WorkloadMonitor {
   void OnQueryComplete(const QueryProfile& profile, const QuerySpec& spec,
                        const Schema& schema);
 
+  /// Drops the frozen drift reference and re-arms the callback: the next
+  /// completed window freezes as the *new* reference. Call after a
+  /// completed migration — the served mix the migration was designed for
+  /// becomes the new normal, so the recovered workload must not re-trigger
+  /// the callback (and a later shift away from it must).
+  void Rebase();
+
   size_t completions() const { return completions_; }
   size_t windows_completed() const { return windows_completed_; }
   size_t drift_crossings() const { return drift_crossings_; }
+  /// Times Rebase() was called (exported in the JSON drift section).
+  size_t rebases() const { return rebases_; }
   bool has_reference() const { return has_reference_; }
   /// Latest completed window's drift vs. the reference (0 before the
   /// second window completes).
@@ -128,6 +137,7 @@ class WorkloadMonitor {
   size_t completions_ = 0;
   size_t windows_completed_ = 0;
   size_t drift_crossings_ = 0;
+  size_t rebases_ = 0;
 };
 
 }  // namespace pref

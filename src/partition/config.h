@@ -42,6 +42,13 @@ class PartitioningConfig {
                  const std::string& referenced,
                  const std::vector<std::string>& ref_columns);
 
+  /// Assigns an already-built PartitionSpec to `table`. The escape hatch
+  /// for carrying a serving table's current spec verbatim into a new
+  /// config (design/wd_design.h CompleteServingConfig); the typed Add*
+  /// helpers above cover the common cases. The spec is validated by
+  /// Finalize() like any other.
+  Status AddSpec(const std::string& table, PartitionSpec spec);
+
   /// REF-partition (classic reference partitioning [Eadon et al. 2008]):
   /// co-partition `table` by the destination of its *outgoing* foreign key
   /// `fk_name`. Implemented as the PREF special case whose predicate is the
@@ -69,8 +76,6 @@ class PartitioningConfig {
   std::string ToString() const;
 
  private:
-  Status AddSpec(const std::string& table, PartitionSpec spec);
-
   const Schema* schema_;
   int num_partitions_;
   std::map<TableId, PartitionSpec> specs_;

@@ -5,12 +5,20 @@
 // (§4.3). The "CP individual stars" TPC-DS baseline (§5.3) has the same
 // shape. DR for a deployment counts each distinct (table, scheme) pair
 // once, matching the paper's union semantics.
+//
+// ServingDatabase is the live-serving counterpart (DESIGN.md §12): one
+// *current* immutable PartitionedDatabase version plus an atomic publish
+// point. Queries pin a version for their whole run; an online migration
+// publishes successor versions underneath them without blocking anyone.
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "partition/config.h"
 #include "partition/locality.h"
 #include "partition/partitioner.h"
@@ -49,6 +57,57 @@ class Deployment {
 
  private:
   std::vector<PartitioningConfig> configs_;
+};
+
+/// \brief Multi-version serving handle over a live partitioned database.
+///
+/// Holds the *current* version (an immutable PartitionedDatabase) behind a
+/// short critical section. Queries call Acquire() once at execution start
+/// and run their entire plan against that snapshot — a version stays alive
+/// (shared_ptr) until its last in-flight query drains, so a migration's
+/// Publish() never invalidates running queries. Publish() is the swap
+/// barrier of DESIGN.md §12: a pointer swap under the mutex, after which
+/// new queries route to the new version.
+///
+/// Thread safety: all methods are thread-safe; the critical sections are a
+/// pointer copy/swap (no data-path work under the lock).
+class ServingDatabase {
+ public:
+  /// One pinned version: the database plus its publish sequence number
+  /// (1 = the initially served version).
+  struct Snapshot {
+    std::shared_ptr<const PartitionedDatabase> pdb;
+    uint64_t version = 0;
+  };
+
+  explicit ServingDatabase(std::shared_ptr<const PartitionedDatabase> initial)
+      : current_(std::move(initial)) {}
+
+  /// Pins the current version. The returned snapshot keeps the version's
+  /// storage alive for as long as the caller holds it.
+  Snapshot Acquire() const {
+    MutexLock lock(&mu_);
+    return Snapshot{current_, version_};
+  }
+
+  /// Atomically replaces the served version; returns the new version
+  /// number. Queries already running keep their pinned snapshot.
+  uint64_t Publish(std::shared_ptr<const PartitionedDatabase> next) {
+    MutexLock lock(&mu_);
+    current_ = std::move(next);
+    return ++version_;
+  }
+
+  /// The sequence number of the currently served version.
+  uint64_t version() const {
+    MutexLock lock(&mu_);
+    return version_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::shared_ptr<const PartitionedDatabase> current_ GUARDED_BY(mu_);
+  uint64_t version_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace pref

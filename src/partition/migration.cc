@@ -1,0 +1,647 @@
+#include "partition/migration.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "partition/load_phases.h"
+
+namespace pref {
+
+namespace {
+
+const char* kCategory = "migration";
+
+/// Whether a PREF route against `ref` may take the partition-index path
+/// without mutating `ref`. RoutePlacements builds a missing index on the
+/// referenced table, which is only safe when `ref` is private to the
+/// migration (not visible to any serving version whose queries read
+/// indexes through the rewriter); otherwise the index must already exist
+/// (read-only reuse).
+bool IndexPathSafe(const PartitionedTable& ref, const std::vector<ColumnId>& cols,
+                   bool ref_private) {
+  return ref_private || ref.FindPartitionIndex(cols) != nullptr;
+}
+
+/// True when the two specs share every parameter except the partition
+/// count (the split/merge shape).
+bool SameParams(const PartitionSpec& a, const PartitionSpec& b) {
+  if (a.method != b.method) return false;
+  switch (a.method) {
+    case PartitionMethod::kHash:
+    case PartitionMethod::kRange:
+      return a.attributes == b.attributes;
+    case PartitionMethod::kPref:
+      return a.referenced_table == b.referenced_table &&
+             a.predicate.has_value() && b.predicate.has_value() &&
+             a.predicate->EquivalentTo(*b.predicate);
+    default:
+      return true;  // replicated / round-robin carry no parameters
+  }
+}
+
+MigrationStepKind Classify(const PartitionSpec* old_spec,
+                           const PartitionSpec& new_spec, bool ancestor_moved) {
+  if (old_spec == nullptr) return MigrationStepKind::kMove;
+  if (SpecsEquivalent(*old_spec, new_spec)) {
+    // Hash/range placements are value-deterministic and round-robin is
+    // order-deterministic, so an equivalent spec means identical
+    // placements — except for PREF, whose placement follows the referenced
+    // table's *data*: a moved ancestor re-routes this table too.
+    return ancestor_moved ? MigrationStepKind::kRecolocate
+                          : MigrationStepKind::kKeep;
+  }
+  if (SameParams(*old_spec, new_spec) &&
+      old_spec->num_partitions != new_spec.num_partitions) {
+    return new_spec.num_partitions > old_spec->num_partitions
+               ? MigrationStepKind::kSplit
+               : MigrationStepKind::kMerge;
+  }
+  return MigrationStepKind::kMove;
+}
+
+/// Replays the routing phase for `spec` over `rows` as if the table were
+/// loaded from scratch (fresh empty target, so round-robin counters start
+/// at zero exactly like the initial PartitionDatabase pass). `context`
+/// supplies the referenced table for PREF routing and is only read:
+/// `ref_private` gates the index path per IndexPathSafe.
+Result<std::vector<std::vector<int>>> ReplayPlacements(
+    PartitionedDatabase* context, const TableDef* def, const PartitionSpec& spec,
+    const RowBlock& rows, bool ref_private, bool parallel) {
+  PartitionedTable tmp(def, spec);
+  bool use_index = true;
+  if (spec.method == PartitionMethod::kPref) {
+    const PartitionedTable* ref = context->GetTable(spec.referenced_table);
+    if (ref == nullptr) {
+      return Status::Invalid("PREF-referenced table of '", def->name,
+                             "' missing from migration context");
+    }
+    use_index = IndexPathSafe(*ref, spec.predicate->right_columns, ref_private);
+  }
+  PREF_ASSIGN_OR_RAISE(
+      RoutedPlacements route,
+      RoutePlacements(context, &tmp, rows, use_index, parallel));
+  return std::move(route.placements);
+}
+
+/// Fills one step's movement accounting from its old and new per-row
+/// placements. `old_placements` is empty for a table that did not exist
+/// before (every copy then counts as moved).
+void AccountStep(const RowBlock& rows,
+                 const std::vector<std::vector<int>>& old_placements,
+                 const std::vector<std::vector<int>>& new_placements,
+                 int max_partitions, MigrationStep* step) {
+  static const std::vector<int> kNowhere;
+  step->flows.resize(static_cast<size_t>(max_partitions));
+  for (int p = 0; p < max_partitions; ++p) {
+    step->flows[static_cast<size_t>(p)].partition = p;
+  }
+  std::vector<size_t> bytes(rows.num_rows());
+  rows.RowByteSizes(bytes);
+  std::vector<int> old_sorted, new_sorted;
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    const std::vector<int>& o =
+        old_placements.empty() ? kNowhere : old_placements[r];
+    const std::vector<int>& n = new_placements[r];
+    old_sorted.assign(o.begin(), o.end());
+    new_sorted.assign(n.begin(), n.end());
+    std::sort(old_sorted.begin(), old_sorted.end());
+    std::sort(new_sorted.begin(), new_sorted.end());
+    for (int p : old_sorted) ++step->flows[static_cast<size_t>(p)].rows_before;
+    for (int p : new_sorted) ++step->flows[static_cast<size_t>(p)].rows_after;
+    step->reload_copies += n.size();
+    if (old_sorted != new_sorted) ++step->moved_rows;
+    // Two-pointer set walk: copies shipped in (new \ old) and dropped
+    // (old \ new), charged per partition.
+    size_t i = 0, j = 0;
+    while (i < old_sorted.size() || j < new_sorted.size()) {
+      if (j == new_sorted.size() ||
+          (i < old_sorted.size() && old_sorted[i] < new_sorted[j])) {
+        ++step->flows[static_cast<size_t>(old_sorted[i])].rows_out;
+        ++i;
+      } else if (i == old_sorted.size() || new_sorted[j] < old_sorted[i]) {
+        ++step->flows[static_cast<size_t>(new_sorted[j])].rows_in;
+        ++step->moved_copies;
+        step->moved_bytes += bytes[r];
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+}
+
+/// Union-find over table ids, used for the epoch grouping.
+class UnionFind {
+ public:
+  void Add(TableId id) { parent_.emplace(id, id); }
+  bool Contains(TableId id) const { return parent_.count(id) > 0; }
+  TableId Find(TableId id) {
+    TableId root = id;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[id] != root) {
+      TableId next = parent_[id];
+      parent_[id] = root;
+      id = next;
+    }
+    return root;
+  }
+  void Unite(TableId a, TableId b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::map<TableId, TableId> parent_;
+};
+
+}  // namespace
+
+const char* MigrationStepKindName(MigrationStepKind k) {
+  switch (k) {
+    case MigrationStepKind::kKeep:
+      return "KEEP";
+    case MigrationStepKind::kMove:
+      return "MOVE";
+    case MigrationStepKind::kSplit:
+      return "SPLIT";
+    case MigrationStepKind::kMerge:
+      return "MERGE";
+    case MigrationStepKind::kRecolocate:
+      return "RECOLOCATE";
+  }
+  return "UNKNOWN";
+}
+
+std::string MigrationPlan::ToString() const {
+  std::ostringstream ss;
+  ss << "migration plan: " << tables_moved << " moved, " << tables_kept
+     << " kept, " << num_epochs << " epochs, " << moved_copies << "/"
+     << reload_copies << " copies shipped vs full reload\n";
+  for (const MigrationStep& s : steps) {
+    ss << "  " << s.table_name << ": " << MigrationStepKindName(s.kind);
+    if (s.kind != MigrationStepKind::kKeep) {
+      ss << " epoch " << s.epoch << ", " << s.moved_rows << " rows ("
+         << s.moved_copies << " copies, " << s.moved_bytes << " bytes)";
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+Result<MigrationPlan> PlanMigration(const Database& db,
+                                    const PartitionedDatabase& current,
+                                    const PartitioningConfig& new_config,
+                                    const MigrationOptions& options) {
+  TraceSpan span("PlanMigration", kCategory);
+  static Counter& plans_ctr =
+      MetricsRegistry::Default().GetCounter("migration.plans");
+  if (!new_config.finalized()) {
+    return Status::Invalid("migration target config must be finalized");
+  }
+  if (&current.source() != &db) {
+    return Status::Invalid("serving database was built from a different source");
+  }
+  for (const PartitionedTable* t : current.tables()) {
+    if (!new_config.Contains(t->id())) {
+      return Status::Invalid("migration target config drops table '", t->name(),
+                             "' still being served (complete the design with "
+                             "CompleteServingConfig)");
+    }
+  }
+
+  MigrationPlan plan;
+  std::map<TableId, MigrationStepKind> kinds;
+  // The current database is only *read* during planning: every
+  // RoutePlacements call either reuses an existing partition index or takes
+  // the scan path (IndexPathSafe), so the cast never enables mutation of
+  // serving-shared state.
+  auto* cur = const_cast<PartitionedDatabase*>(&current);
+  // Staging oracle: unchanged tables shared in, changed tables materialized
+  // under their new spec so downstream PREF routing sees the partner
+  // placements it will actually face. Discarded when planning finishes.
+  PartitionedDatabase oracle(&db);
+
+  for (TableId id : new_config.LoadOrder()) {
+    const PartitionSpec& new_spec = new_config.spec(id);
+    const PartitionedTable* old_table = current.GetTable(id);
+    const PartitionSpec* old_spec =
+        old_table != nullptr ? &old_table->spec() : nullptr;
+    const bool ancestor_moved =
+        new_spec.method == PartitionMethod::kPref &&
+        kinds.count(new_spec.referenced_table) > 0 &&
+        kinds[new_spec.referenced_table] != MigrationStepKind::kKeep;
+    const MigrationStepKind kind = Classify(old_spec, new_spec, ancestor_moved);
+    kinds[id] = kind;
+
+    MigrationStep step;
+    step.table = id;
+    step.table_name = db.schema().table(id).name;
+    step.kind = kind;
+    if (old_spec != nullptr) step.old_spec = *old_spec;
+    step.new_spec = new_spec;
+
+    const Table& src = db.table(id);
+    if (kind == MigrationStepKind::kKeep) {
+      PREF_ASSIGN_OR_RAISE(PartitionedTable * shared,
+                           oracle.ShareTable(current.TableHandle(id)));
+      step.reload_copies = shared->TotalRows();
+      plan.reload_copies += step.reload_copies;
+      ++plan.tables_kept;
+    } else {
+      std::vector<std::vector<int>> old_placements;
+      if (old_spec != nullptr) {
+        PREF_ASSIGN_OR_RAISE(
+            old_placements,
+            ReplayPlacements(cur, &db.schema().table(id), *old_spec, src.data(),
+                             /*ref_private=*/false, options.parallel));
+      }
+      PREF_ASSIGN_OR_RAISE(PartitionedTable * out,
+                           oracle.AddTable(id, new_spec));
+      bool use_index = true;
+      if (new_spec.method == PartitionMethod::kPref) {
+        const PartitionedTable* ref = oracle.GetTable(new_spec.referenced_table);
+        if (ref == nullptr) {
+          return Status::Invalid("PREF-referenced table of '", step.table_name,
+                                 "' missing from migration oracle");
+        }
+        const bool ref_private =
+            kinds[new_spec.referenced_table] != MigrationStepKind::kKeep;
+        use_index =
+            IndexPathSafe(*ref, new_spec.predicate->right_columns, ref_private);
+      }
+      PREF_ASSIGN_OR_RAISE(
+          RoutedPlacements route,
+          RoutePlacements(&oracle, out, src.data(), use_index, options.parallel));
+      ApplyPlacements(out, src.data(), route, options.parallel);
+      const int max_partitions =
+          std::max(old_spec != nullptr ? old_spec->num_partitions : 0,
+                   new_spec.num_partitions);
+      AccountStep(src.data(), old_placements, route.placements, max_partitions,
+                  &step);
+      plan.moved_rows += step.moved_rows;
+      plan.moved_copies += step.moved_copies;
+      plan.moved_bytes += step.moved_bytes;
+      plan.reload_copies += step.reload_copies;
+      ++plan.tables_moved;
+    }
+    plan.steps.push_back(std::move(step));
+  }
+
+  // Epoch grouping: changed tables joined by a PREF edge — under the old
+  // *or* the new config — must publish together, or some intermediate
+  // version would pair a PREF placement with referenced data it was not
+  // computed against (see the header). Union-find over the changed tables,
+  // then dense epoch ids in load order.
+  UnionFind uf;
+  for (const MigrationStep& s : plan.steps) {
+    if (s.kind != MigrationStepKind::kKeep) uf.Add(s.table);
+  }
+  for (const MigrationStep& s : plan.steps) {
+    if (s.kind == MigrationStepKind::kKeep) continue;
+    if (s.new_spec.method == PartitionMethod::kPref &&
+        uf.Contains(s.new_spec.referenced_table)) {
+      uf.Unite(s.table, s.new_spec.referenced_table);
+    }
+    if (s.old_spec.method == PartitionMethod::kPref &&
+        uf.Contains(s.old_spec.referenced_table)) {
+      uf.Unite(s.table, s.old_spec.referenced_table);
+    }
+  }
+  std::map<TableId, int> epoch_of_root;
+  for (MigrationStep& s : plan.steps) {
+    if (s.kind == MigrationStepKind::kKeep) continue;
+    const TableId root = uf.Find(s.table);
+    auto it = epoch_of_root.find(root);
+    if (it == epoch_of_root.end()) {
+      it = epoch_of_root.emplace(root, plan.num_epochs++).first;
+    }
+    s.epoch = it->second;
+  }
+
+  plans_ctr.Add(1);
+  span.AddArg("tables_moved", static_cast<int64_t>(plan.tables_moved));
+  span.AddArg("moved_rows", static_cast<int64_t>(plan.moved_rows));
+  span.AddArg("epochs", static_cast<int64_t>(plan.num_epochs));
+  return plan;
+}
+
+Status VerifyColocation(const Database& db, const PartitionedDatabase& pdb) {
+  TraceSpan span("VerifyColocation", kCategory);
+  using Key = PartitionIndex::Key;
+  struct KeyEq {
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+  };
+  using KeySet = std::unordered_set<Key, PartitionIndex::KeyHasher, KeyEq>;
+
+  for (const PartitionedTable* t : pdb.tables()) {
+    const Table& src = db.table(t->id());
+    if (t->DistinctRows() != src.num_rows()) {
+      return Status::Internal("table '", t->name(), "' holds ",
+                              t->DistinctRows(), " distinct rows, source has ",
+                              src.num_rows());
+    }
+    if (t->spec().method != PartitionMethod::kPref) continue;
+    const JoinPredicate& pred = *t->spec().predicate;
+    const PartitionedTable* ref = pdb.GetTable(t->spec().referenced_table);
+    if (ref == nullptr) {
+      return Status::Internal("PREF-referenced table of '", t->name(),
+                              "' missing");
+    }
+    // Per-partition key sets of the referenced side, plus their union for
+    // the orphan check. Lookup-only (never iterated), so unordered is fine.
+    std::vector<KeySet> ref_keys(static_cast<size_t>(ref->num_partitions()));
+    KeySet all_keys;
+    for (int p = 0; p < ref->num_partitions(); ++p) {
+      const RowBlock& rows = ref->partition(p).rows;
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        Key key;
+        key.reserve(pred.right_columns.size());
+        for (ColumnId c : pred.right_columns) {
+          key.push_back(rows.column(c).GetValue(r));
+        }
+        ref_keys[static_cast<size_t>(p)].insert(key);
+        all_keys.insert(std::move(key));
+      }
+    }
+    for (int p = 0; p < t->num_partitions(); ++p) {
+      const Partition& part = t->partition(p);
+      if (part.dup.size() != part.rows.num_rows() ||
+          part.has_partner.size() != part.rows.num_rows()) {
+        return Status::Internal("table '", t->name(), "' partition ", p,
+                                " has inconsistent PREF bitmaps");
+      }
+      for (size_t r = 0; r < part.rows.num_rows(); ++r) {
+        Key key;
+        key.reserve(pred.left_columns.size());
+        for (ColumnId c : pred.left_columns) {
+          key.push_back(part.rows.column(c).GetValue(r));
+        }
+        const bool partner_here =
+            ref_keys[static_cast<size_t>(p)].count(key) > 0;
+        if (part.has_partner.Get(r)) {
+          if (!partner_here) {
+            return Status::Internal(
+                "co-location violated: row of '", t->name(), "' in partition ",
+                p, " has no partitioning partner there");
+          }
+        } else if (all_keys.count(key) > 0) {
+          return Status::Internal("row of '", t->name(), "' in partition ", p,
+                                  " is flagged partnerless but a partner "
+                                  "exists in the referenced table");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+MigrationExecutor::MigrationExecutor(const Database& db,
+                                     ServingDatabase* serving,
+                                     MigrationPlan plan,
+                                     MigrationOptions options)
+    : db_(db),
+      serving_(serving),
+      plan_(std::move(plan)),
+      options_(options),
+      base_(serving->Acquire().pdb),
+      pool_(&ThreadPool::Default()) {}
+
+MigrationExecutor::~MigrationExecutor() {
+  {
+    MutexLock lock(&mu_);
+    if (!started_) return;
+  }
+  WaitTerminal();
+}
+
+void MigrationExecutor::Start(ThreadPool* pool) {
+  {
+    MutexLock lock(&mu_);
+    PREF_CHECK_OK(started_ ? Status::Invalid("migration already started")
+                           : Status::OK());
+    started_ = true;
+    if (pool != nullptr) pool_ = pool;
+  }
+  // One fire-and-forget task; it inherits the submitting thread's tag, so
+  // its morsels form their own round-robin class against tagged queries.
+  pool_->Post([this] {
+    Status s = RunStarted();
+    (void)s;  // terminal status is stored; Wait() reports it
+  });
+}
+
+Status MigrationExecutor::Run() {
+  {
+    MutexLock lock(&mu_);
+    if (started_) return Status::Invalid("migration already started");
+    started_ = true;
+  }
+  return RunStarted();
+}
+
+Status MigrationExecutor::RunStarted() {
+  {
+    MutexLock lock(&mu_);
+    state_ = State::kRunning;
+  }
+  static Counter& completed_ctr =
+      MetricsRegistry::Default().GetCounter("migration.completed");
+  static Counter& cancelled_ctr =
+      MetricsRegistry::Default().GetCounter("migration.cancelled");
+  static Counter& failed_ctr =
+      MetricsRegistry::Default().GetCounter("migration.failed");
+  Status status = Execute();
+  {
+    MutexLock lock(&mu_);
+    final_status_ = status;
+    state_ = status.ok() ? State::kDone
+             : status.IsCancelled() ? State::kCancelled
+                                    : State::kFailed;
+    cv_.NotifyAll();
+  }
+  if (status.ok()) {
+    completed_ctr.Add(1);
+  } else if (status.IsCancelled()) {
+    cancelled_ctr.Add(1);
+  } else {
+    failed_ctr.Add(1);
+  }
+  return status;
+}
+
+Status MigrationExecutor::Execute() {
+  TraceSpan span("Migration", kCategory);
+  static Counter& tables_moved_ctr =
+      MetricsRegistry::Default().GetCounter("migration.tables_moved");
+  static Counter& tables_kept_ctr =
+      MetricsRegistry::Default().GetCounter("migration.tables_kept");
+  static Counter& rows_moved_ctr =
+      MetricsRegistry::Default().GetCounter("migration.rows_moved");
+  static Counter& bytes_moved_ctr =
+      MetricsRegistry::Default().GetCounter("migration.bytes_moved");
+  static Counter& epochs_ctr =
+      MetricsRegistry::Default().GetCounter("migration.epochs_published");
+
+  if (plan_.Empty()) return Status::OK();
+
+  // Staging accumulates the new state: unchanged tables shared from the
+  // base version (pointer-equal storage, zero movement), changed tables
+  // rebuilt epoch by epoch. Published versions share staging's tables, so
+  // a table is never copied no matter how many versions reference it.
+  PartitionedDatabase staging(&db_);
+  for (const MigrationStep& step : plan_.steps) {
+    if (step.kind != MigrationStepKind::kKeep) continue;
+    PREF_ASSIGN_OR_RAISE(PartitionedTable * shared,
+                         staging.ShareTable(base_->TableHandle(step.table)));
+    (void)shared;
+  }
+
+  for (int epoch = 0; epoch < plan_.num_epochs; ++epoch) {
+    TraceSpan epoch_span("Migration.epoch", kCategory);
+    epoch_span.AddArg("epoch", epoch);
+    for (MigrationStep& step : plan_.steps) {
+      if (step.epoch != epoch) continue;
+      if (cancel_.load(std::memory_order_relaxed)) {
+        return Status::Cancelled("migration cancelled after ",
+                                 epochs_published(), " published epochs");
+      }
+      PREF_RETURN_NOT_OK(RebuildTable(&step, &staging));
+    }
+    // Assemble the version this epoch publishes: new state for epochs
+    // <= `epoch`, base state for everything else. Pure pointer shares.
+    auto version = std::make_shared<PartitionedDatabase>(&db_);
+    for (const MigrationStep& step : plan_.steps) {
+      const bool rebuilt =
+          step.kind != MigrationStepKind::kKeep && step.epoch <= epoch;
+      std::shared_ptr<PartitionedTable> handle =
+          rebuilt ? staging.TableHandle(step.table)
+                  : base_->TableHandle(step.table);
+      PREF_ASSIGN_OR_RAISE(PartitionedTable * shared,
+                           version->ShareTable(std::move(handle)));
+      (void)shared;
+    }
+    if (options_.verify_colocation) {
+      PREF_RETURN_NOT_OK(VerifyColocation(db_, *version));
+    }
+    if (cancel_.load(std::memory_order_relaxed)) {
+      // The epoch is staged but not published; serving stays on the last
+      // consistent version.
+      return Status::Cancelled("migration cancelled before publishing epoch ",
+                               epoch);
+    }
+    const uint64_t v = serving_->Publish(std::move(version));
+    {
+      MutexLock lock(&mu_);
+      epochs_published_ = epoch + 1;
+      last_version_ = v;
+    }
+    epochs_ctr.Add(1);
+  }
+
+  tables_moved_ctr.Add(plan_.tables_moved);
+  tables_kept_ctr.Add(plan_.tables_kept);
+  rows_moved_ctr.Add(plan_.moved_rows);
+  bytes_moved_ctr.Add(plan_.moved_bytes);
+  span.AddArg("moved_rows", static_cast<int64_t>(plan_.moved_rows));
+  span.AddArg("epochs", static_cast<int64_t>(plan_.num_epochs));
+  return Status::OK();
+}
+
+Status MigrationExecutor::RebuildTable(MigrationStep* step,
+                                       PartitionedDatabase* staging) {
+  TraceSpan span("Migration.table", kCategory);
+  const Table& src = db_.table(step->table);
+  span.AddArg("rows", static_cast<int64_t>(src.num_rows()));
+  PREF_ASSIGN_OR_RAISE(PartitionedTable * out,
+                       staging->AddTable(step->table, step->new_spec));
+  bool use_index = true;
+  if (step->new_spec.method == PartitionMethod::kPref) {
+    const PartitionedTable* ref =
+        staging->GetTable(step->new_spec.referenced_table);
+    if (ref == nullptr) {
+      return Status::Invalid("PREF-referenced table of '", step->table_name,
+                             "' missing from staging (epoch grouping bug)");
+    }
+    // A referenced table being rebuilt this migration sits unpublished in
+    // staging (private until its epoch's Publish — and same-epoch by the
+    // PREF grouping), so building an index on it is safe; a kept table is
+    // shared with serving and only an existing index may be used.
+    const bool ref_private = !staging->TableShared(ref->id());
+    use_index =
+        IndexPathSafe(*ref, step->new_spec.predicate->right_columns, ref_private);
+  }
+  // The exact route → append → index phases of the initial load: rebuilt
+  // state is bit-identical to a from-scratch PartitionDatabase() under the
+  // new config (fresh empty target, round-robin replay from zero).
+  RoutedPlacements route;
+  PREF_ASSIGN_OR_RAISE(route, RoutePlacements(staging, out, src.data(),
+                                              use_index, options_.parallel));
+  step->rebuilt_copies = ApplyPlacements(out, src.data(), route,
+                                         options_.parallel);
+  MaintainPartitionIndexes(out, src.data(), route, options_.parallel);
+  return Status::OK();
+}
+
+void MigrationExecutor::WaitTerminal() {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (state_ == State::kDone || state_ == State::kCancelled ||
+          state_ == State::kFailed) {
+        return;
+      }
+    }
+    // Lend this thread to the pool: on a 1-lane configuration this is what
+    // actually runs the posted migration task.
+    if (pool_->TryRunOneTask()) continue;
+    MutexLock lock(&mu_);
+    if (state_ == State::kDone || state_ == State::kCancelled ||
+        state_ == State::kFailed) {
+      return;
+    }
+    cv_.Wait(&lock);
+  }
+}
+
+Status MigrationExecutor::Wait() {
+  {
+    MutexLock lock(&mu_);
+    if (!started_) return Status::Invalid("migration not started");
+  }
+  WaitTerminal();
+  MutexLock lock(&mu_);
+  return final_status_;
+}
+
+bool MigrationExecutor::Done() const {
+  MutexLock lock(&mu_);
+  return state_ == State::kDone || state_ == State::kCancelled ||
+         state_ == State::kFailed;
+}
+
+MigrationExecutor::State MigrationExecutor::state() const {
+  MutexLock lock(&mu_);
+  return state_;
+}
+
+int MigrationExecutor::epochs_published() const {
+  MutexLock lock(&mu_);
+  return epochs_published_;
+}
+
+uint64_t MigrationExecutor::last_published_version() const {
+  MutexLock lock(&mu_);
+  return last_version_;
+}
+
+}  // namespace pref

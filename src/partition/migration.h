@@ -1,0 +1,283 @@
+// Online migration (DESIGN.md §12): act on workload drift by moving the
+// live deployment from its current partitioning to a new one with the
+// minimum data movement, while the QueryScheduler keeps serving.
+//
+// Two halves, deliberately decoupled:
+//
+//  * MigrationPlanner (PlanMigration) — diffs the serving database's
+//    current specs against a new PartitioningConfig into a MigrationPlan:
+//    one step per table (keep / move / split / merge / recolocate), exact
+//    moved-rows / moved-copies / moved-bytes accounting, per-partition
+//    in/out flows, and the *epoch* grouping that keeps every published
+//    intermediate version PREF-consistent. The planner replays the real
+//    routing phases (partition/load_phases.h) against the current storage
+//    and a private staging copy of the changed tables, so its numbers are
+//    measurements, not estimates — tests assert the executor moves exactly
+//    what the plan says.
+//
+//  * MigrationExecutor — applies the plan against a live ServingDatabase
+//    in a background pool task. Unchanged tables are carried into every
+//    new version by shared ownership (PartitionedDatabase::ShareTable —
+//    zero bytes copied, pointer-equal storage); changed tables are rebuilt
+//    through the same route → append → index phases the initial load uses,
+//    so the rebuilt state is bit-identical to a from-scratch
+//    PartitionDatabase(new_config) run. After each epoch the executor
+//    publishes a fresh version (ServingDatabase::Publish — the brief swap
+//    barrier); queries pin whichever version was current when they
+//    started, so results and ExecStats of queries that do not touch a
+//    migrating table are unaffected.
+//
+// Epochs. PREF placement is *data-dependent*: a PREF table's rows live
+// wherever their partitioning partners happen to be in the referenced
+// table, so a version that mixed a PREF table's old placement with a moved
+// referenced table would let the rewriter plan a "local" join over rows
+// that are no longer co-located — wrong results, not just slow ones. The
+// planner therefore unions changed tables connected by a PREF edge (in the
+// old *or* the new config) into one epoch, published atomically. Hash /
+// range / round-robin / replicated placements are value- or
+// order-deterministic and never force grouping. A corollary: a table whose
+// spec is textually unchanged but whose transitive PREF-referenced chain
+// moved must itself be rebuilt (kRecolocate) — its rows re-route to follow
+// their partners.
+//
+// Throttling. The executor runs as one tagged background task on the
+// shared ThreadPool; every morsel it fans out carries that tag, so the
+// pool's round-robin tag dispatch interleaves migration work fairly with
+// concurrent queries' morsels instead of letting either starve the other.
+// Cancellation is cooperative (checked between tables and before each
+// publish): a cancelled migration stops after the last completed epoch,
+// leaving the deployment on a consistent published version.
+//
+// Thread safety: PlanMigration is read-only against the current database
+// (it never builds partition indexes on serving-shared tables — routing
+// falls back to the scan path when an index is missing). MigrationExecutor
+// methods are thread-safe; Start() may overlap concurrent query execution
+// against the same ServingDatabase.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "partition/config.h"
+#include "partition/deployment.h"
+#include "storage/partition.h"
+
+namespace pref {
+
+class ThreadPool;
+
+/// What happens to one table during a migration.
+enum class MigrationStepKind : uint8_t {
+  /// Spec unchanged and no transitive PREF-referenced table moved: the
+  /// storage is carried into every new version by shared ownership.
+  kKeep,
+  /// Partitioning scheme changed (method, attributes, predicate or
+  /// referenced table): full re-route under the new spec.
+  kMove,
+  /// Same scheme, more partitions: rows fan out to the new nodes.
+  kSplit,
+  /// Same scheme, fewer partitions: rows collapse onto the survivors.
+  kMerge,
+  /// Spec textually unchanged, but a transitive PREF-referenced table
+  /// moved — PREF placement follows the partners, so the rows re-route.
+  kRecolocate,
+};
+
+const char* MigrationStepKindName(MigrationStepKind k);
+
+/// Per-partition movement of one step (the step's flow matrix diagonal-
+/// complement): how many physical copies enter and leave each partition.
+struct PartitionFlow {
+  int partition = 0;
+  /// Physical copies on this partition before / after the step.
+  size_t rows_before = 0;
+  size_t rows_after = 0;
+  /// Copies shipped to this partition that were not here before.
+  size_t rows_in = 0;
+  /// Copies here before that the new placement drops.
+  size_t rows_out = 0;
+};
+
+/// One table's migration step. Steps appear in the new config's load order
+/// (every PREF-referenced table before its referencing tables).
+struct MigrationStep {
+  TableId table = kInvalidTableId;
+  std::string table_name;
+  MigrationStepKind kind = MigrationStepKind::kKeep;
+  /// Scheme under the current serving version (method kNone for a table
+  /// that did not exist before).
+  PartitionSpec old_spec;
+  PartitionSpec new_spec;
+  /// Publish group (0-based, dense, ascending in load order); -1 for kKeep
+  /// steps, which belong to every version.
+  int epoch = -1;
+  /// Source rows whose partition *set* changed (the paper-level measure of
+  /// movement: a row whose placement is unchanged costs nothing on the
+  /// simulated network, however the rebuild is implemented).
+  size_t moved_rows = 0;
+  /// Physical copies shipped: sum over rows of |new partitions \ old|.
+  size_t moved_copies = 0;
+  /// Payload bytes of those shipped copies.
+  size_t moved_bytes = 0;
+  /// Copies a from-scratch load of this table under the new spec would
+  /// ship (the full-reload baseline this step is measured against).
+  size_t reload_copies = 0;
+  /// Filled by the executor: physical copies actually written while
+  /// rebuilding. Always equals reload_copies (the rebuild is the same
+  /// deterministic load); tests assert it to pin planner fidelity.
+  size_t rebuilt_copies = 0;
+  /// Per-partition in/out flows (empty for kKeep).
+  std::vector<PartitionFlow> flows;
+};
+
+/// \brief The full diff between the serving partitioning and a target
+/// configuration. Produced by PlanMigration; consumed by MigrationExecutor.
+struct MigrationPlan {
+  /// One step per table of the new config, in its load order.
+  std::vector<MigrationStep> steps;
+  /// Number of atomic publish groups (0 when nothing moves).
+  int num_epochs = 0;
+  size_t tables_moved = 0;
+  size_t tables_kept = 0;
+  /// Totals over the non-keep steps (see MigrationStep for semantics).
+  size_t moved_rows = 0;
+  size_t moved_copies = 0;
+  size_t moved_bytes = 0;
+  /// Copies a full reload of *every* table would ship — the baseline that
+  /// makes "minimal movement" a measurable claim (moved_copies <=
+  /// reload_copies, with equality only when everything changed).
+  size_t reload_copies = 0;
+
+  /// True when no table needs to move (the configs partition identically).
+  bool Empty() const { return tables_moved == 0; }
+
+  /// Human-readable step list ("orders: RECOLOCATE epoch 0, 12345 rows").
+  std::string ToString() const;
+};
+
+struct MigrationOptions {
+  /// Run the routing/append phases on the shared ThreadPool. The result is
+  /// bit-identical either way (the phases are deterministic).
+  bool parallel = true;
+  /// After staging each epoch, run VerifyColocation over the would-be
+  /// published version and fail the migration instead of publishing a
+  /// broken one. Costs a full scan of the PREF tables; meant for tests and
+  /// paranoid deployments.
+  bool verify_colocation = false;
+};
+
+/// \brief Diffs `current` (the serving database, which carries its specs)
+/// against `new_config` and returns the minimal-movement plan.
+///
+/// `new_config` must be finalized and must cover every table of `current`
+/// (complete a partial design with CompleteServingConfig first — see
+/// design/wd_design.h). Movement numbers are exact: the planner replays
+/// the deterministic routing phases for both the old and the new spec of
+/// every changed table.
+Result<MigrationPlan> PlanMigration(const Database& db,
+                                    const PartitionedDatabase& current,
+                                    const PartitioningConfig& new_config,
+                                    const MigrationOptions& options = {});
+
+/// \brief Checks that `pdb` upholds the co-location contract queries rely
+/// on: every table holds exactly its source cardinality in non-duplicate
+/// copies, PREF bitmap lengths match partition sizes, and every PREF row
+/// flagged has_partner is physically co-located with a partitioning
+/// partner in the same partition of its referenced table (the invariant
+/// that makes the rewriter's local PREF joins correct).
+Status VerifyColocation(const Database& db, const PartitionedDatabase& pdb);
+
+/// \brief Applies a MigrationPlan against a live ServingDatabase.
+///
+/// Run() executes synchronously on the calling thread; Start() posts Run()
+/// to the pool as one tagged background task and returns immediately
+/// (pair with Wait()/Done()). Either way the executor publishes one new
+/// version per epoch and leaves the serving database on the final version
+/// on success, or on the last successfully published version on
+/// cancellation/failure — never on a half-migrated one.
+class MigrationExecutor {
+ public:
+  enum class State : uint8_t { kPending, kRunning, kDone, kCancelled, kFailed };
+
+  /// `db`, `serving` and the current version's storage must outlive the
+  /// executor. The plan is consumed (moved in).
+  MigrationExecutor(const Database& db, ServingDatabase* serving,
+                    MigrationPlan plan, MigrationOptions options = {});
+  /// Blocks until a started migration finished (like the scheduler, the
+  /// destructor never abandons an in-flight background task).
+  ~MigrationExecutor();
+
+  MigrationExecutor(const MigrationExecutor&) = delete;
+  MigrationExecutor& operator=(const MigrationExecutor&) = delete;
+
+  /// Runs the whole migration on the calling thread. Returns the terminal
+  /// status (also retrievable via Wait()). Must be called at most once,
+  /// and not after Start().
+  Status Run();
+
+  /// Launches Run() as a background task on `pool` (default: the shared
+  /// pool). The task carries a dedicated task tag, so its morsels
+  /// round-robin fairly against concurrently executing queries.
+  void Start(ThreadPool* pool = nullptr);
+
+  /// Blocks until the migration reached a terminal state and returns its
+  /// status (OK / Cancelled / the failure). Helps the pool while waiting,
+  /// so a 1-lane configuration still makes progress.
+  Status Wait();
+
+  /// Requests cooperative cancellation: the migration stops after the
+  /// table it is currently rebuilding, skips the pending epoch's publish,
+  /// and finishes as Cancelled. Published epochs stay published.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  /// True once the migration reached a terminal state.
+  bool Done() const;
+  State state() const;
+
+  /// Epochs successfully published so far (== plan().num_epochs on
+  /// success).
+  int epochs_published() const;
+  /// The version number of the last publish (0 before the first).
+  uint64_t last_published_version() const;
+
+  const MigrationPlan& plan() const { return plan_; }
+
+ private:
+  /// Shared tail of Run()/Start(): flips to kRunning, executes, records
+  /// the terminal state and wakes waiters.
+  Status RunStarted();
+  /// The migration body: rebuild per epoch, publish per epoch.
+  Status Execute();
+  /// Rebuilds one table into `staging` through the shared load phases.
+  Status RebuildTable(MigrationStep* step, PartitionedDatabase* staging);
+  /// Blocks until terminal state, lending the thread to the pool.
+  void WaitTerminal();
+
+  const Database& db_;
+  ServingDatabase* serving_;
+  MigrationPlan plan_;
+  MigrationOptions options_;
+  /// The version the plan was computed against; kept alive for table
+  /// sharing until the migration finishes.
+  std::shared_ptr<const PartitionedDatabase> base_;
+
+  std::atomic<bool> cancel_{false};
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  State state_ GUARDED_BY(mu_) = State::kPending;
+  bool started_ GUARDED_BY(mu_) = false;
+  Status final_status_ GUARDED_BY(mu_) = Status::OK();
+  int epochs_published_ GUARDED_BY(mu_) = 0;
+  uint64_t last_version_ GUARDED_BY(mu_) = 0;
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace pref

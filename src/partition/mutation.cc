@@ -102,6 +102,12 @@ Result<std::set<ColumnId>> Mutator::FrozenColumns(const Schema& schema,
 Result<MutationStats> Mutator::Delete(PartitionedDatabase* pdb,
                                       const std::string& table, const Dnf& filter) {
   PREF_ASSIGN_OR_RAISE(PartitionedTable * pt, pdb->FindTable(table));
+  if (pdb->TableShared(pt->id())) {
+    return Status::Invalid(
+        "table '", table,
+        "' is shared with another live database version (online migration "
+        "in flight); serialize mutations with migrations");
+  }
   PREF_ASSIGN_OR_RAISE(BoundDnf bound, BindDnf(pt->def(), filter));
   MutationStats stats;
   for (int p = 0; p < pt->num_partitions(); ++p) {
@@ -143,6 +149,12 @@ Result<MutationStats> Mutator::Update(PartitionedDatabase* pdb,
                                       const std::string& column, const Value& value,
                                       const Dnf& filter) {
   PREF_ASSIGN_OR_RAISE(PartitionedTable * pt, pdb->FindTable(table));
+  if (pdb->TableShared(pt->id())) {
+    return Status::Invalid(
+        "table '", table,
+        "' is shared with another live database version (online migration "
+        "in flight); serialize mutations with migrations");
+  }
   PREF_ASSIGN_OR_RAISE(ColumnId target, pt->def().FindColumn(column));
   PREF_ASSIGN_OR_RAISE(auto frozen, FrozenColumns(pdb->schema(), pt->id()));
   if (frozen.count(target)) {

@@ -30,6 +30,13 @@ struct MutationStats {
 /// copy of a tuple preserves the invariants, though downstream PREF tables
 /// may be left with orphan placements (the same holds in the paper's
 /// system; re-partitioning restores minimality).
+///
+/// Mutations refuse tables whose storage is shared with another live
+/// database version (PartitionedDatabase::TableShared — the state an
+/// online migration creates): writing through one version would be
+/// visible mid-query in the other. Serialize mutations with migrations;
+/// once the migration finishes and old versions drain, sharing ends and
+/// mutations apply again.
 class Mutator {
  public:
   explicit Mutator(const PartitioningConfig* config) : config_(config) {}

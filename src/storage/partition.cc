@@ -118,10 +118,34 @@ Result<PartitionedTable*> PartitionedDatabase::AddTable(TableId id,
                                  "' already partitioned");
   }
   auto table =
-      std::make_unique<PartitionedTable>(&schema().table(id), std::move(spec));
+      std::make_shared<PartitionedTable>(&schema().table(id), std::move(spec));
   PartitionedTable* ptr = table.get();
   tables_[id] = std::move(table);
   return ptr;
+}
+
+Result<PartitionedTable*> PartitionedDatabase::ShareTable(
+    std::shared_ptr<PartitionedTable> table) {
+  if (table == nullptr) return Status::Invalid("null table handle");
+  TableId id = table->id();
+  if (tables_.count(id)) {
+    return Status::AlreadyExists("table '", schema().table(id).name,
+                                 "' already partitioned");
+  }
+  PartitionedTable* ptr = table.get();
+  tables_[id] = std::move(table);
+  return ptr;
+}
+
+std::shared_ptr<PartitionedTable> PartitionedDatabase::TableHandle(
+    TableId id) const {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+bool PartitionedDatabase::TableShared(TableId id) const {
+  auto it = tables_.find(id);
+  return it != tables_.end() && it->second.use_count() > 1;
 }
 
 Result<PartitionedTable*> PartitionedDatabase::FindTable(const std::string& name) {

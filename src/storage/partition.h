@@ -180,6 +180,12 @@ class PartitionedTable {
 /// \brief The partitioned database D^P: one PartitionedTable per schema
 /// table. Borrows the Schema (and its TableDefs) from the source Database,
 /// which must outlive it.
+///
+/// Tables are held by shared ownership so two database *versions* (e.g. the
+/// pre- and post-migration states of a live deployment) can share the
+/// physical storage of tables whose placement did not change — see
+/// partition/migration.h. A table reachable from more than one version must
+/// be treated as immutable; Mutator refuses to touch shared tables.
 class PartitionedDatabase {
  public:
   explicit PartitionedDatabase(const Database* source) : source_(source) {}
@@ -189,6 +195,21 @@ class PartitionedDatabase {
 
   /// Adds a table with the given spec; fails if already present.
   Result<PartitionedTable*> AddTable(TableId id, PartitionSpec spec);
+
+  /// Adds `table` (already materialized elsewhere) under its own id by
+  /// shared ownership — the storage is *not* copied. Fails if the id is
+  /// already present. This is how a migration carries unchanged tables into
+  /// the next database version with zero data movement.
+  Result<PartitionedTable*> ShareTable(std::shared_ptr<PartitionedTable> table);
+
+  /// The shared-ownership handle for `id` (null if absent). Use when a new
+  /// database version wants to reference this table without copying it.
+  std::shared_ptr<PartitionedTable> TableHandle(TableId id) const;
+
+  /// True when the table's storage is co-owned by another database version
+  /// (ShareTable'd handle still alive). Shared tables are frozen: in-place
+  /// mutation would be visible to every co-owning version.
+  bool TableShared(TableId id) const;
 
   Result<PartitionedTable*> FindTable(const std::string& name);
   Result<const PartitionedTable*> FindTable(const std::string& name) const;
@@ -209,7 +230,7 @@ class PartitionedDatabase {
 
  private:
   const Database* source_;
-  std::map<TableId, std::unique_ptr<PartitionedTable>> tables_;
+  std::map<TableId, std::shared_ptr<PartitionedTable>> tables_;
 };
 
 }  // namespace pref

@@ -1,0 +1,506 @@
+// Online-migration tests (DESIGN.md §12): the planner's diff is minimal
+// and exact (kKeep for untouched tables, kRecolocate for PREF chains
+// dragged along, flows that add up to the totals), the executor's rebuilt
+// state is bit-identical to a from-scratch load with unchanged tables
+// pointer-shared, queries served *during* a migration stay bit-identical
+// to serial runs on the version they pinned, and a cancelled migration
+// leaves the deployment on a consistent published version.
+//
+// Runs under ThreadSanitizer and AddressSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datagen/tpch_gen.h"
+#include "engine/scheduler.h"
+#include "partition/migration.h"
+#include "partition/mutation.h"
+#include "partition/partitioner.h"
+#include "test_util.h"
+#include "workloads/tpch_queries.h"
+
+namespace pref {
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Bit-exact RowBlock comparison: same rows in the same order, doubles
+/// compared by bit pattern (the determinism contract of the load phases).
+void ExpectBlocksIdentical(const RowBlock& a, const RowBlock& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << label;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << label;
+  for (int c = 0; c < a.num_columns(); ++c) {
+    const Column& ca = a.column(c);
+    const Column& cb = b.column(c);
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      if (ca.is_double()) {
+        ASSERT_EQ(DoubleBits(ca.GetDouble(r)), DoubleBits(cb.GetDouble(r)))
+            << label << " col " << c << " row " << r;
+      } else if (ca.is_int()) {
+        ASSERT_EQ(ca.GetInt64(r), cb.GetInt64(r))
+            << label << " col " << c << " row " << r;
+      } else {
+        ASSERT_EQ(ca.GetString(r), cb.GetString(r))
+            << label << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+/// Bit-exact result comparison (same contract as scheduler_test).
+void ExpectBitIdentical(const QueryResult& a, const QueryResult& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.rows.num_rows(), b.rows.num_rows()) << label;
+  EXPECT_EQ(a.column_names, b.column_names) << label;
+  ExpectBlocksIdentical(a.rows, b.rows, label);
+}
+
+/// The parts-rooted alternative to MakeTpchSdManual: part becomes the
+/// hash seed and partsupp follows it, while the orders-side chain
+/// (lineitem / orders / customer) and the replicated tables are textually
+/// unchanged — the shape a parts-heavy workload shift designs to.
+PartitioningConfig MakePartsRooted(const Schema& schema, int n) {
+  PartitioningConfig config(&schema, n);
+  EXPECT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("customer", {"c_custkey"}, "orders", {"o_custkey"}).ok());
+  EXPECT_TRUE(config.AddHash("part", {"p_partkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("partsupp", {"ps_partkey"}, "part", {"p_partkey"}).ok());
+  EXPECT_TRUE(config.AddReplicated("nation").ok());
+  EXPECT_TRUE(config.AddReplicated("region").ok());
+  EXPECT_TRUE(config.AddReplicated("supplier").ok());
+  EXPECT_TRUE(config.Finalize().ok());
+  return config;
+}
+
+/// Like MakeTpchSdManual but with the seed re-keyed: only lineitem's spec
+/// changes textually, yet every PREF table transitively referencing it
+/// must re-route to follow its partners.
+PartitioningConfig MakeSeedRekeyed(const Schema& schema, int n) {
+  PartitioningConfig config(&schema, n);
+  EXPECT_TRUE(config.AddHash("lineitem", {"l_partkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("customer", {"c_custkey"}, "orders", {"o_custkey"}).ok());
+  EXPECT_TRUE(config
+                  .AddPref("partsupp", {"ps_partkey", "ps_suppkey"}, "lineitem",
+                           {"l_partkey", "l_suppkey"})
+                  .ok());
+  EXPECT_TRUE(
+      config.AddPref("part", {"p_partkey"}, "partsupp", {"ps_partkey"}).ok());
+  EXPECT_TRUE(config.AddReplicated("nation").ok());
+  EXPECT_TRUE(config.AddReplicated("region").ok());
+  EXPECT_TRUE(config.AddReplicated("supplier").ok());
+  EXPECT_TRUE(config.Finalize().ok());
+  return config;
+}
+
+/// Two independent changed groups (parts re-rooting + a customer leaf
+/// change), so the plan needs two publish epochs.
+PartitioningConfig MakeTwoEpochTarget(const Schema& schema, int n) {
+  PartitioningConfig config(&schema, n);
+  EXPECT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+  EXPECT_TRUE(config.AddHash("customer", {"c_custkey"}).ok());
+  EXPECT_TRUE(config.AddHash("part", {"p_partkey"}).ok());
+  EXPECT_TRUE(
+      config.AddPref("partsupp", {"ps_partkey"}, "part", {"p_partkey"}).ok());
+  EXPECT_TRUE(config.AddReplicated("nation").ok());
+  EXPECT_TRUE(config.AddReplicated("region").ok());
+  EXPECT_TRUE(config.AddReplicated("supplier").ok());
+  EXPECT_TRUE(config.Finalize().ok());
+  return config;
+}
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = GenerateTpch({0.005, 42});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = new Database(std::move(*db));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static std::shared_ptr<const PartitionedDatabase> Materialize(
+      const PartitioningConfig& config) {
+    auto pdb = PartitionDatabase(*db_, config);
+    EXPECT_TRUE(pdb.ok()) << pdb.status().ToString();
+    return std::shared_ptr<const PartitionedDatabase>(pdb->release());
+  }
+
+  static const MigrationStep& StepFor(const MigrationPlan& plan,
+                                      const std::string& table) {
+    for (const MigrationStep& s : plan.steps) {
+      if (s.table_name == table) return s;
+    }
+    ADD_FAILURE() << "no step for table " << table;
+    static MigrationStep none;
+    return none;
+  }
+
+  static Database* db_;
+};
+
+Database* MigrationTest::db_ = nullptr;
+
+TEST_F(MigrationTest, IdenticalConfigPlansEmpty) {
+  const auto config = MakeTpchSdManual(db_->schema(), 4);
+  auto pdb = Materialize(config);
+  auto plan = PlanMigration(*db_, *pdb, config);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->Empty());
+  EXPECT_EQ(plan->num_epochs, 0);
+  EXPECT_EQ(plan->tables_moved, 0u);
+  EXPECT_EQ(plan->tables_kept, 8u);
+  EXPECT_EQ(plan->moved_rows, 0u);
+  EXPECT_EQ(plan->moved_copies, 0u);
+  for (const MigrationStep& s : plan->steps) {
+    EXPECT_EQ(s.kind, MigrationStepKind::kKeep) << s.table_name;
+    EXPECT_EQ(s.epoch, -1) << s.table_name;
+    EXPECT_TRUE(s.flows.empty()) << s.table_name;
+  }
+}
+
+TEST_F(MigrationTest, PlanIsMinimalAndExact) {
+  // Re-rooting the parts side changes part (PREF -> hash) and partsupp
+  // (new predicate); the orders chain and the replicated tables must be
+  // zero-movement kKeep steps, and the movement totals must be strictly
+  // below the full-reload baseline.
+  const auto old_config = MakeTpchSdManual(db_->schema(), 4);
+  auto pdb = Materialize(old_config);
+  auto plan = PlanMigration(*db_, *pdb, MakePartsRooted(db_->schema(), 4));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  EXPECT_EQ(plan->tables_moved, 2u);
+  EXPECT_EQ(plan->tables_kept, 6u);
+  for (const char* kept :
+       {"lineitem", "orders", "customer", "nation", "region", "supplier"}) {
+    const MigrationStep& s = StepFor(*plan, kept);
+    EXPECT_EQ(s.kind, MigrationStepKind::kKeep) << kept;
+    EXPECT_EQ(s.moved_copies, 0u) << kept;
+  }
+  EXPECT_EQ(StepFor(*plan, "part").kind, MigrationStepKind::kMove);
+  EXPECT_EQ(StepFor(*plan, "partsupp").kind, MigrationStepKind::kMove);
+  // part and partsupp are PREF-connected (old and new config), so they
+  // publish atomically in one epoch.
+  EXPECT_EQ(plan->num_epochs, 1);
+  EXPECT_EQ(StepFor(*plan, "part").epoch, 0);
+  EXPECT_EQ(StepFor(*plan, "partsupp").epoch, 0);
+
+  EXPECT_GT(plan->moved_copies, 0u);
+  EXPECT_LT(plan->moved_copies, plan->reload_copies);
+  // Per-step flows add up to the step totals and conserve cardinality.
+  for (const MigrationStep& s : plan->steps) {
+    if (s.kind == MigrationStepKind::kKeep) continue;
+    size_t in = 0, out = 0, before = 0, after = 0;
+    for (const PartitionFlow& f : s.flows) {
+      in += f.rows_in;
+      out += f.rows_out;
+      before += f.rows_before;
+      after += f.rows_after;
+    }
+    EXPECT_EQ(in, s.moved_copies) << s.table_name;
+    EXPECT_EQ(before + in - out, after) << s.table_name;
+    EXPECT_EQ(after, s.reload_copies) << s.table_name;
+  }
+}
+
+TEST_F(MigrationTest, RecolocateFollowsMovedReferencedChain) {
+  // Only lineitem's spec changes textually, but PREF placement is
+  // data-dependent: every table whose transitive PREF chain reaches
+  // lineitem re-routes (kRecolocate), atomically with it in one epoch.
+  auto pdb = Materialize(MakeTpchSdManual(db_->schema(), 4));
+  auto plan = PlanMigration(*db_, *pdb, MakeSeedRekeyed(db_->schema(), 4));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  EXPECT_EQ(StepFor(*plan, "lineitem").kind, MigrationStepKind::kMove);
+  for (const char* chained : {"orders", "customer", "partsupp", "part"}) {
+    const MigrationStep& s = StepFor(*plan, chained);
+    EXPECT_EQ(s.kind, MigrationStepKind::kRecolocate) << chained;
+    EXPECT_EQ(s.epoch, 0) << chained;
+  }
+  EXPECT_EQ(plan->num_epochs, 1);
+  EXPECT_EQ(plan->tables_kept, 3u);  // the replicated tables
+}
+
+TEST_F(MigrationTest, SplitAndMergeClassification) {
+  const Schema& schema = db_->schema();
+  auto two_table = [&](int n) {
+    PartitioningConfig config(&schema, n);
+    EXPECT_TRUE(config.AddHash("lineitem", {"l_orderkey"}).ok());
+    EXPECT_TRUE(
+        config.AddPref("orders", {"o_orderkey"}, "lineitem", {"l_orderkey"}).ok());
+    EXPECT_TRUE(config.Finalize().ok());
+    return config;
+  };
+  auto four = Materialize(two_table(4));
+  auto grow = PlanMigration(*db_, *four, two_table(6));
+  ASSERT_TRUE(grow.ok()) << grow.status().ToString();
+  EXPECT_EQ(StepFor(*grow, "lineitem").kind, MigrationStepKind::kSplit);
+  EXPECT_EQ(StepFor(*grow, "orders").kind, MigrationStepKind::kSplit);
+
+  auto six = Materialize(two_table(6));
+  auto shrink = PlanMigration(*db_, *six, two_table(4));
+  ASSERT_TRUE(shrink.ok()) << shrink.status().ToString();
+  EXPECT_EQ(StepFor(*shrink, "lineitem").kind, MigrationStepKind::kMerge);
+  EXPECT_EQ(StepFor(*shrink, "orders").kind, MigrationStepKind::kMerge);
+}
+
+TEST_F(MigrationTest, TargetMustCoverEveryServingTable) {
+  const Schema& schema = db_->schema();
+  auto pdb = Materialize(MakeTpchSdManual(schema, 4));
+  PartitioningConfig partial(&schema, 4);
+  ASSERT_TRUE(partial.AddHash("lineitem", {"l_orderkey"}).ok());
+  ASSERT_TRUE(partial.Finalize().ok());
+  auto plan = PlanMigration(*db_, *pdb, partial);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(MigrationTest, ExecutorMatchesFromScratchLoadBitIdentical) {
+  const auto new_config = MakePartsRooted(db_->schema(), 4);
+  auto base = Materialize(MakeTpchSdManual(db_->schema(), 4));
+  ServingDatabase serving(base);
+
+  MigrationOptions options;
+  options.verify_colocation = true;
+  auto plan = PlanMigration(*db_, *base, new_config, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  MigrationExecutor executor(*db_, &serving, std::move(*plan), options);
+  ASSERT_TRUE(executor.Run().ok());
+  EXPECT_EQ(executor.state(), MigrationExecutor::State::kDone);
+  EXPECT_EQ(executor.epochs_published(), executor.plan().num_epochs);
+  EXPECT_EQ(serving.version(), 2u);
+
+  auto scratch = Materialize(new_config);
+  auto final_snap = serving.Acquire();
+  EXPECT_TRUE(VerifyColocation(*db_, *final_snap.pdb).ok());
+  for (const MigrationStep& s : executor.plan().steps) {
+    const PartitionedTable* got = final_snap.pdb->GetTable(s.table);
+    const PartitionedTable* want = scratch->GetTable(s.table);
+    ASSERT_NE(got, nullptr) << s.table_name;
+    ASSERT_NE(want, nullptr) << s.table_name;
+    if (s.kind == MigrationStepKind::kKeep) {
+      // Zero bytes copied: the new version references the base version's
+      // storage object itself.
+      EXPECT_EQ(final_snap.pdb->TableHandle(s.table).get(),
+                base->TableHandle(s.table).get())
+          << s.table_name;
+      continue;
+    }
+    // The rebuild writes exactly what the plan's replay predicted, which
+    // is exactly what a from-scratch load ships.
+    EXPECT_EQ(s.rebuilt_copies, s.reload_copies) << s.table_name;
+    ASSERT_EQ(got->num_partitions(), want->num_partitions()) << s.table_name;
+    for (int p = 0; p < got->num_partitions(); ++p) {
+      const Partition& gp = got->partition(p);
+      const Partition& wp = want->partition(p);
+      const std::string label = s.table_name + " p" + std::to_string(p);
+      ExpectBlocksIdentical(gp.rows, wp.rows, label);
+      // The PREF bitmaps ride along bit-for-bit (hash tables carry none).
+      ASSERT_EQ(gp.dup.size(), wp.dup.size()) << label;
+      ASSERT_EQ(gp.has_partner.size(), wp.has_partner.size()) << label;
+      for (size_t r = 0; r < gp.dup.size(); ++r) {
+        EXPECT_EQ(gp.dup.Get(r), wp.dup.Get(r)) << label << " row " << r;
+      }
+      for (size_t r = 0; r < gp.has_partner.size(); ++r) {
+        EXPECT_EQ(gp.has_partner.Get(r), wp.has_partner.Get(r))
+            << label << " row " << r;
+      }
+    }
+  }
+}
+
+TEST_F(MigrationTest, QueriesStayBitIdenticalMidMigration) {
+  // Queries submitted while the migration rebuilds and publishes in the
+  // background must return exactly what a serial run on their pinned
+  // database version returns — at 1 pool lane (everything interleaves on
+  // the waiter's thread) and at 4 (genuine concurrency; TSan covers it).
+  const Schema& schema = db_->schema();
+  const auto new_config = MakePartsRooted(schema, 4);
+  std::vector<QuerySpec> mix;
+  {
+    auto ps_part = QueryBuilder(&schema, "ps_part")
+                       .From("partsupp")
+                       .Join("part", "ps_partkey", "p_partkey")
+                       .Agg(AggFunc::kCountStar, "", "cnt")
+                       .Build();
+    ASSERT_TRUE(ps_part.ok());
+    mix.push_back(*ps_part);
+    auto li_ord = QueryBuilder(&schema, "li_ord")
+                      .From("lineitem")
+                      .Join("orders", "l_orderkey", "o_orderkey")
+                      .Agg(AggFunc::kSum, "l_extendedprice", "rev")
+                      .Build();
+    ASSERT_TRUE(li_ord.ok());
+    mix.push_back(*li_ord);
+    auto li_part = QueryBuilder(&schema, "li_part")
+                       .From("lineitem")
+                       .Join("part", "l_partkey", "p_partkey")
+                       .Agg(AggFunc::kCountStar, "", "cnt")
+                       .Build();
+    ASSERT_TRUE(li_part.ok());
+    mix.push_back(*li_part);
+  }
+
+  for (int lanes : {1, 4}) {
+    auto base = Materialize(MakeTpchSdManual(schema, 4));
+    ServingDatabase serving(base);
+    ThreadPool pool(lanes);
+    ThreadPool serial(1);
+    QueryScheduler scheduler(&serving, {0, &pool});
+
+    // Version -> pinned storage. The plan has one epoch, so the only
+    // versions are 1 (seeded here) and 2 (recorded after any completion
+    // that observed the publish).
+    std::map<uint64_t, std::shared_ptr<const PartitionedDatabase>> versions;
+    versions.emplace(1, base);
+    // (version, query) -> serial baseline, computed on first need.
+    std::map<std::pair<uint64_t, std::string>, QueryResult> baselines;
+    auto expect_matches_baseline = [&](const QuerySpec& q, uint64_t version,
+                                       const QueryResult& got) {
+      auto it = versions.find(version);
+      ASSERT_NE(it, versions.end()) << "unrecorded version " << version;
+      auto key = std::make_pair(version, q.name);
+      auto cached = baselines.find(key);
+      if (cached == baselines.end()) {
+        auto serial_run = ExecuteQuery(q, *it->second, {}, {}, &serial);
+        ASSERT_TRUE(serial_run.ok()) << serial_run.status().ToString();
+        cached = baselines.emplace(key, std::move(*serial_run)).first;
+      }
+      const std::string label =
+          q.name + " v" + std::to_string(version) + " @" + std::to_string(lanes);
+      ExpectBitIdentical(cached->second, got, label);
+      EXPECT_EQ(cached->second.stats.rows_shuffled, got.stats.rows_shuffled)
+          << label;
+      EXPECT_EQ(cached->second.stats.total_rows_processed,
+                got.stats.total_rows_processed)
+          << label;
+    };
+    auto serve_round = [&] {
+      for (const QuerySpec& q : mix) {
+        const uint64_t id = scheduler.Submit(q);
+        QueryProfile profile;
+        auto result = scheduler.Take(id, &profile);
+        ASSERT_TRUE(result.ok()) << q.name << ": "
+                                 << result.status().ToString();
+        auto snap = serving.Acquire();
+        versions.emplace(snap.version, snap.pdb);
+        expect_matches_baseline(q, profile.database_version, *result);
+      }
+    };
+
+    auto plan = PlanMigration(*db_, *base, new_config);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_EQ(plan->num_epochs, 1);
+    MigrationExecutor executor(*db_, &serving, std::move(*plan), {});
+    executor.Start(&pool);
+    // Serve across the swap barrier: keep submitting until the migration
+    // finished, then one more round pinned entirely on the new version.
+    while (!executor.Done()) serve_round();
+    ASSERT_TRUE(executor.Wait().ok());
+    EXPECT_EQ(serving.version(), 2u);
+    serve_round();
+  }
+}
+
+TEST_F(MigrationTest, CancelledMigrationLeavesConsistentPublishedVersion) {
+  const auto new_config = MakeTwoEpochTarget(db_->schema(), 4);
+  auto base = Materialize(MakeTpchSdManual(db_->schema(), 4));
+  ServingDatabase serving(base);
+  auto plan = PlanMigration(*db_, *base, new_config);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->num_epochs, 2);
+
+  MigrationExecutor executor(*db_, &serving, std::move(*plan), {});
+  // Cancellation is checked before the first table, so cancelling before
+  // Run() deterministically publishes nothing.
+  executor.Cancel();
+  Status s = executor.Run();
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+  EXPECT_EQ(executor.state(), MigrationExecutor::State::kCancelled);
+  EXPECT_EQ(executor.epochs_published(), 0);
+  EXPECT_EQ(serving.version(), 1u);
+  // The deployment still serves the untouched base version.
+  auto snap = serving.Acquire();
+  EXPECT_EQ(snap.pdb.get(), base.get());
+  EXPECT_TRUE(VerifyColocation(*db_, *snap.pdb).ok());
+}
+
+TEST_F(MigrationTest, VerifyColocationCatchesBrokenPlacement) {
+  const Schema& schema = db_->schema();
+  auto good = Materialize(MakeTpchSdManual(schema, 4));
+  EXPECT_TRUE(VerifyColocation(*db_, *good).ok());
+
+  // A frankenversion mixing orders' old placement with a re-keyed
+  // lineitem: exactly the state an unsound migration (one that published
+  // a PREF table without its moved referenced table) would serve. The
+  // co-location contract is broken even though each table individually
+  // holds all its rows.
+  PartitioningConfig rekeyed(&schema, 4);
+  ASSERT_TRUE(rekeyed.AddHash("lineitem", {"l_partkey"}).ok());
+  ASSERT_TRUE(rekeyed.Finalize().ok());
+  auto moved = Materialize(rekeyed);
+
+  PartitionedDatabase franken(db_);
+  ASSERT_TRUE(
+      franken.ShareTable(moved->TableHandle(*schema.FindTable("lineitem"))).ok());
+  for (const char* carried :
+       {"orders", "customer", "partsupp", "part", "nation", "region",
+        "supplier"}) {
+    ASSERT_TRUE(
+        franken.ShareTable(good->TableHandle(*schema.FindTable(carried))).ok());
+  }
+  Status broken = VerifyColocation(*db_, franken);
+  EXPECT_FALSE(broken.ok()) << "frankenversion passed verification";
+}
+
+TEST_F(MigrationTest, MutationsRefuseTablesSharedAcrossVersions) {
+  const Schema& schema = db_->schema();
+  const auto config = MakeTpchSdManual(schema, 4);
+  auto pdb = PartitionDatabase(*db_, config);
+  ASSERT_TRUE(pdb.ok());
+  Mutator mutator(&config);
+  const Dnf filter =
+      Dnf::And({Eq("c_mktsegment", Value(std::string("BUILDING")))});
+
+  {
+    // A second live version sharing customer's storage freezes it.
+    PartitionedDatabase next(db_);
+    ASSERT_TRUE(
+        next.ShareTable((*pdb)->TableHandle(*schema.FindTable("customer"))).ok());
+    auto blocked = mutator.Delete(pdb->get(), "customer", filter);
+    ASSERT_FALSE(blocked.ok());
+    EXPECT_TRUE(blocked.status().IsInvalid()) << blocked.status().ToString();
+    // Tables not shared with the other version stay mutable.
+    auto fine = mutator.Delete(pdb->get(), "nation",
+                               Dnf::And({Eq("n_nationkey", Value(int64_t{3}))}));
+    EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+  }
+  // The old version drained: sharing ended, mutations apply again.
+  auto after = mutator.Delete(pdb->get(), "customer", filter);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+}  // namespace
+}  // namespace pref

@@ -160,6 +160,48 @@ TEST_F(WorkloadMonitorTest, DriftFiresExactlyOncePerCrossing) {
   EXPECT_EQ(fired[1].second, 6u);
 }
 
+TEST_F(WorkloadMonitorTest, RebaseFreezesNewReferenceAndReArmsCrossing) {
+  // After a migration the shifted mix is the new normal: Rebase() drops
+  // the reference so the next completed window freezes as the new one,
+  // the score returns to zero without the mix changing back, and a later
+  // genuine shift crosses the threshold again.
+  MonitorOptions opts;
+  opts.window_size = 2;
+  opts.drift_threshold = 0.5;
+  WorkloadMonitor monitor(opts);
+  std::vector<size_t> fired;
+  monitor.SetDriftCallback(
+      [&](double /*score*/, size_t window) { fired.push_back(window); });
+  const QuerySpec li_ord = LineitemOrdersQuery(db_->schema());
+  const QuerySpec ps_part = PartsuppPartQuery(db_->schema());
+
+  // Reference window on the lineitem mix, then a shifted window: one
+  // crossing, score pinned at the L1 maximum.
+  for (int i = 0; i < 2; ++i) RunAndFeed(&monitor, li_ord);
+  for (int i = 0; i < 2; ++i) RunAndFeed(&monitor, ps_part);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.drift_score(), 2.0);
+
+  monitor.Rebase();
+  EXPECT_EQ(monitor.rebases(), 1u);
+  EXPECT_FALSE(monitor.has_reference());
+  EXPECT_EQ(monitor.drift_score(), 0.0);
+
+  // The next window of the *shifted* mix freezes as the new reference:
+  // drift settles at zero with no new firing.
+  for (int i = 0; i < 4; ++i) RunAndFeed(&monitor, ps_part);
+  EXPECT_TRUE(monitor.has_reference());
+  EXPECT_EQ(monitor.drift_score(), 0.0);
+  EXPECT_EQ(fired.size(), 1u);
+
+  // Shifting back to the original mix is now a fresh departure from the
+  // rebased reference — the callback re-arms and fires once more.
+  for (int i = 0; i < 2; ++i) RunAndFeed(&monitor, li_ord);
+  EXPECT_DOUBLE_EQ(monitor.drift_score(), 2.0);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(monitor.drift_crossings(), 2u);
+}
+
 TEST_F(WorkloadMonitorTest, WindowReplaysAsQueryGraphs) {
   MonitorOptions opts;
   opts.window_size = 2;
