@@ -1,10 +1,17 @@
-// Microbenchmark for the vectorized execution kernels (DESIGN.md §8):
-// hash-join build and probe, and the repartition exchange, each measured
+// Microbenchmark for the vectorized execution kernels (DESIGN.md §8, §13):
+// hash-join build and probe and the repartition exchange, each measured
 // twice — the historical row-at-a-time implementation (std::unordered_
 // multimap build, AppendRow emission) against the kernel path (batch
-// hashing, flat open-addressing JoinHashTable, counting-sort ScatterPlan,
-// column-at-a-time gathers). Both variants produce identical output blocks
-// (checked at startup); the reported rows/s ratio is the kernel speedup.
+// hashing, batch-chain JoinHashTable, counting-sort ScatterPlan,
+// column-at-a-time gathers) — plus the SIMD kernel layer measured
+// scalar-vs-dispatched (prefix sum, batch hash combine, selection
+// compaction), the word-at-a-time string hash against the old FNV-1a, the
+// scratch-reuse scatter-plan path against fresh allocation, and a
+// duplicate-heavy string-key probe with the old flat one-entry-per-row
+// table layout against the contiguous chain layout. Every pair of variants
+// produces identical output (checked at startup); the reported ratio is
+// the kernel speedup. The dispatched SIMD level lands in config.simd_level
+// (0 scalar, 1 AVX2, 2 AVX-512).
 //
 // Joins probe lineitem against an orders build side on orderkey;
 // repartition shuffles lineitem across 10 targets on orderkey. Scale with
@@ -13,9 +20,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string_view>
 #include <unordered_map>
 
 #include "bench_util.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "engine/exchange_kernels.h"
 #include "engine/join_hash_table.h"
@@ -328,6 +337,289 @@ void FillReport(pref::bench::BenchReport* report) {
   report->Field("speedup", t_rep_row / t);
 }
 
+// --- SIMD kernel layer: scalar vs dispatched level ------------------------
+
+/// Deterministic pseudo-random 64-bit stream (splitmix64) for kernel inputs.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The pre-PR byte-at-a-time FNV-1a, kept here as the string-hash baseline.
+uint64_t FnvHashBytes(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The pre-PR flat one-entry-per-row join table layout (verbatim shape):
+/// duplicate keys re-probe the directory once per entry, confirming key
+/// equality per row. The chain layout's baseline for join_probe_dup.
+class FlatJoinTable {
+ public:
+  explicit FlatJoinTable(std::span<const uint64_t> hashes) {
+    size_t cap = 16;
+    while (cap < hashes.size() * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, Entry{0, UINT32_MAX});
+    for (size_t i = 0; i < hashes.size(); ++i) {
+      size_t s = hashes[i] & mask_;
+      while (slots_[s].row != UINT32_MAX) s = (s + 1) & mask_;
+      slots_[s] = Entry{hashes[i], static_cast<uint32_t>(i)};
+    }
+  }
+  template <typename Fn>
+  void ForEachMatch(uint64_t h, Fn&& fn) const {
+    for (size_t s = h & mask_; slots_[s].row != UINT32_MAX; s = (s + 1) & mask_) {
+      if (slots_[s].hash == h) fn(slots_[s].row);
+    }
+  }
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    uint32_t row;
+  };
+  std::vector<Entry> slots_;
+  size_t mask_ = 0;
+};
+
+/// Measures scalar vs dispatched for the SIMD kernels at a cache-resident
+/// working set (the executor touches these arrays per morsel/per block),
+/// the string hash, the scatter-plan scratch reuse, and the flat-vs-chain
+/// duplicate probe. Aborts (returns false) if any variant pair disagrees.
+bool FillSimdReport(pref::bench::BenchReport* report) {
+  const simd::Level active = simd::ActiveLevel();
+  const size_t kN = 65536;
+  uint64_t rng = 42;
+
+  // Exclusive prefix sum over per-target counts (u32 lanes).
+  {
+    std::vector<uint32_t> v(kN);
+    for (auto& x : v) x = static_cast<uint32_t>(NextRand(&rng) % 64);
+    std::vector<uint32_t> ref(kN + 1), out(kN + 1);
+    simd::ExclusiveSum(v.data(), kN, ref.data(), simd::Level::kScalar);
+    simd::ExclusiveSum(v.data(), kN, out.data(), active);
+    if (out != ref) {
+      std::fprintf(stderr, "prefix_sum variants disagree\n");
+      return false;
+    }
+    const int reps = 2000;
+    double t_scalar = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        simd::ExclusiveSum(v.data(), kN, out.data(), simd::Level::kScalar);
+        benchmark::DoNotOptimize(out[kN]);
+      }
+    });
+    report->Result("prefix_sum/scalar", t_scalar);
+    report->Field("elems_per_sec", kN * reps / t_scalar);
+    double t_simd = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        simd::ExclusiveSum(v.data(), kN, out.data(), active);
+        benchmark::DoNotOptimize(out[kN]);
+      }
+    });
+    report->Result("prefix_sum/simd", t_simd);
+    report->Field("elems_per_sec", kN * reps / t_simd);
+    report->Field("speedup", t_scalar / t_simd);
+  }
+
+  // Batch hash combine over int64 keys (the HashRows inner loop).
+  {
+    std::vector<int64_t> keys(kN);
+    for (auto& k : keys) k = static_cast<int64_t>(NextRand(&rng));
+    std::vector<uint64_t> seed(kN);
+    for (auto& a : seed) a = NextRand(&rng);
+    std::vector<uint64_t> ref = seed, acc = seed;
+    simd::HashCombineInt64(keys.data(), kN, ref.data(), simd::Level::kScalar);
+    simd::HashCombineInt64(keys.data(), kN, acc.data(), active);
+    if (acc != ref) {
+      std::fprintf(stderr, "hash_batch variants disagree\n");
+      return false;
+    }
+    const int reps = 500;
+    double t_scalar = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        acc = seed;
+        simd::HashCombineInt64(keys.data(), kN, acc.data(), simd::Level::kScalar);
+        benchmark::DoNotOptimize(acc[0]);
+      }
+    });
+    report->Result("hash_batch/scalar", t_scalar);
+    report->Field("keys_per_sec", kN * reps / t_scalar);
+    double t_simd = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        acc = seed;
+        simd::HashCombineInt64(keys.data(), kN, acc.data(), active);
+        benchmark::DoNotOptimize(acc[0]);
+      }
+    });
+    report->Result("hash_batch/simd", t_simd);
+    report->Field("keys_per_sec", kN * reps / t_simd);
+    report->Field("speedup", t_scalar / t_simd);
+  }
+
+  // Selection compaction (the ExecScan/ExecFilter bitmap → vector pass).
+  {
+    std::vector<uint8_t> bitmap(kN);
+    for (auto& b : bitmap) b = (NextRand(&rng) & 1) ? 1 : 0;
+    std::vector<uint32_t> ref(kN), out(kN);
+    const size_t ref_k =
+        simd::BitmapToSelection(bitmap.data(), kN, 0, ref.data(), simd::Level::kScalar);
+    const size_t got_k = simd::BitmapToSelection(bitmap.data(), kN, 0, out.data(), active);
+    if (got_k != ref_k || !std::equal(ref.begin(), ref.begin() + ref_k, out.begin())) {
+      std::fprintf(stderr, "compact variants disagree\n");
+      return false;
+    }
+    const int reps = 1000;
+    double t_scalar = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        benchmark::DoNotOptimize(
+            simd::BitmapToSelection(bitmap.data(), kN, 0, out.data(), simd::Level::kScalar));
+      }
+    });
+    report->Result("compact/scalar", t_scalar);
+    report->Field("rows_per_sec", kN * reps / t_scalar);
+    double t_simd = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        benchmark::DoNotOptimize(
+            simd::BitmapToSelection(bitmap.data(), kN, 0, out.data(), active));
+      }
+    });
+    report->Result("compact/simd", t_simd);
+    report->Field("rows_per_sec", kN * reps / t_simd);
+    report->Field("speedup", t_scalar / t_simd);
+  }
+
+  // Word-at-a-time string hash vs the old byte-at-a-time FNV-1a, over
+  // TPC-comment-like strings (mixed lengths straddling word boundaries).
+  {
+    std::vector<std::string> strings(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      strings[i] = "lineitem comment field #" + std::to_string(NextRand(&rng) % 100000);
+    }
+    const int reps = 20;
+    uint64_t sink = 0;
+    double t_fnv = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        for (const auto& s : strings) sink ^= FnvHashBytes(s);
+        benchmark::DoNotOptimize(sink);
+      }
+    });
+    report->Result("hash_string/fnv", t_fnv);
+    report->Field("strings_per_sec", kN * reps / t_fnv);
+    double t_word = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        for (const auto& s : strings) sink ^= HashBytes(s);
+        benchmark::DoNotOptimize(sink);
+      }
+    });
+    report->Result("hash_string/word", t_word);
+    report->Field("strings_per_sec", kN * reps / t_word);
+    report->Field("speedup", t_fnv / t_word);
+  }
+
+  // Scatter-plan scratch reuse vs fresh allocation per block (lineitem
+  // targets, the ExecRepartition shape).
+  {
+    const RowBlock& probe = *g_data->probe;
+    std::vector<uint64_t> hashes(probe.num_rows());
+    probe.HashRows(g_data->probe_keys, hashes);
+    std::vector<uint32_t> targets(probe.num_rows());
+    for (size_t r = 0; r < targets.size(); ++r) {
+      targets[r] = static_cast<uint32_t>(hashes[r] % kTargets);
+    }
+    ScatterScratch scratch;
+    ScatterPlan reused;
+    BuildScatterPlanInto(targets, kTargets, scratch, reused);
+    ScatterPlan fresh = BuildScatterPlan(targets, kTargets);
+    if (fresh.offsets != reused.offsets || fresh.ordered != reused.ordered) {
+      std::fprintf(stderr, "scatter_plan variants disagree\n");
+      return false;
+    }
+    const int reps = 10;
+    double t_fresh = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        ScatterPlan plan = BuildScatterPlan(targets, kTargets);
+        benchmark::DoNotOptimize(plan.ordered.data());
+      }
+    });
+    report->Result("scatter_plan/fresh", t_fresh);
+    report->Field("rows_per_sec", targets.size() * reps / t_fresh);
+    double t_scratch = MeasureSeconds([&] {
+      for (int i = 0; i < reps; ++i) {
+        BuildScatterPlanInto(targets, kTargets, scratch, reused);
+        benchmark::DoNotOptimize(reused.ordered.data());
+      }
+    });
+    report->Result("scatter_plan/scratch", t_scratch);
+    report->Field("rows_per_sec", targets.size() * reps / t_scratch);
+    report->Field("speedup", t_fresh / t_scratch);
+  }
+
+  // Duplicate-heavy string-key probe: old flat one-entry-per-row layout
+  // (re-probe + key confirm per duplicate) vs contiguous chains (one
+  // confirm per distinct key, then a cache-resident row-id walk).
+  {
+    RowBlock build(std::vector<DataType>{DataType::kString});
+    RowBlock probe(std::vector<DataType>{DataType::kString});
+    const size_t build_rows = 20000, probe_rows = 10000;
+    for (size_t i = 0; i < build_rows; ++i) {
+      build.column(0).AppendString("order-clerk#" + std::to_string(i % 40));
+    }
+    for (size_t i = 0; i < probe_rows; ++i) {
+      probe.column(0).AppendString("order-clerk#" + std::to_string(i % 60));
+    }
+    const std::vector<ColumnId> key = {0};
+    std::vector<uint64_t> build_hashes(build_rows), probe_hashes(probe_rows);
+    build.HashRows(key, build_hashes);
+    probe.HashRows(key, probe_hashes);
+    FlatJoinTable flat(build_hashes);
+    JoinHashTable chain(build_hashes, build, key);
+    auto probe_flat = [&] {
+      uint64_t digest = 0;
+      for (size_t i = 0; i < probe_rows; ++i) {
+        flat.ForEachMatch(probe_hashes[i], [&](uint32_t b) {
+          if (probe.RowsEqual(key, i, build, key, b)) {
+            digest = HashCombine(digest, (static_cast<uint64_t>(i) << 32) | b);
+          }
+        });
+      }
+      return digest;
+    };
+    auto probe_chain = [&] {
+      uint64_t digest = 0;
+      for (size_t i = 0; i < probe_rows; ++i) {
+        chain.ForEachChain(probe_hashes[i], [&](std::span<const uint32_t> rows) {
+          if (!probe.RowsEqual(key, i, build, key, rows.front())) return;
+          for (uint32_t b : rows) {
+            digest = HashCombine(digest, (static_cast<uint64_t>(i) << 32) | b);
+          }
+        });
+      }
+      return digest;
+    };
+    if (probe_flat() != probe_chain()) {
+      std::fprintf(stderr, "join_probe_dup variants disagree\n");
+      return false;
+    }
+    double t_flat = MeasureSeconds([&] { benchmark::DoNotOptimize(probe_flat()); });
+    report->Result("join_probe_dup/flat", t_flat);
+    report->Field("probes_per_sec", probe_rows / t_flat);
+    double t_chain = MeasureSeconds([&] { benchmark::DoNotOptimize(probe_chain()); });
+    report->Result("join_probe_dup/chain", t_chain);
+    report->Field("probes_per_sec", probe_rows / t_chain);
+    report->Field("speedup", t_flat / t_chain);
+  }
+
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -355,7 +647,9 @@ int main(int argc, char** argv) {
   pref::bench::BenchReport report("bench_kernels", sf, kTargets);
   report.Config("probe_rows", static_cast<double>(data.probe->num_rows()));
   report.Config("build_rows", static_cast<double>(data.build->num_rows()));
+  report.Config("simd_level", static_cast<double>(pref::simd::ActiveLevel()));
   FillReport(&report);
+  if (!FillSimdReport(&report)) return 1;
 
   benchmark::RegisterBenchmark("kernels/join_build/rowatatime", BM_JoinBuildRowAtATime)
       ->Unit(benchmark::kMillisecond);

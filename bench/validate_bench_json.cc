@@ -4,7 +4,8 @@
 // violation so the smoke job fails loudly.
 //
 // Usage: validate_bench_json [--schema=bench|profile|monitor|migration]
-//                            [--require-fields=a,b,c] <doc.json> [...]
+//                            [--require-fields=a,b,c]
+//                            [--require-results=x,y/z] <doc.json> [...]
 //
 // Schemas:
 //   bench    (default) — pref::bench::BenchReport output (--json=).
@@ -17,6 +18,10 @@
 // --require-fields=a,b,c additionally demands that each listed field key
 // (e.g. latency percentiles, locality/queue-wait fields) appears somewhere
 // in every file.
+//
+// --require-results=x,y additionally demands a result row named x (and y,
+// ...) in every file — how CI pins the simd-vs-scalar kernel entries of
+// bench_kernels without asserting on their timings.
 
 #include <algorithm>
 #include <cstdio>
@@ -66,7 +71,8 @@ std::vector<std::string> SplitFields(std::string_view csv) {
 }
 
 bool ValidateFile(const char* path, const SchemaDef& schema,
-                  const std::vector<std::string>& required_fields) {
+                  const std::vector<std::string>& required_fields,
+                  const std::vector<std::string>& required_results) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "%s: cannot open\n", path);
@@ -98,6 +104,16 @@ bool ValidateFile(const char* path, const SchemaDef& schema,
       return false;
     }
   }
+  // Result rows serialize as {"name":"<x>",...}; check for the exact
+  // quoted pair the writer emits.
+  for (const std::string& result : required_results) {
+    const std::string needle = "\"name\":\"" + result + "\"";
+    if (text.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "%s: missing required result row \"%s\"\n", path,
+                   result.c_str());
+      return false;
+    }
+  }
   std::printf("%s: ok (schema %s, %zu top-level keys)\n", path, schema.name,
               keys.size());
   return true;
@@ -108,6 +124,7 @@ bool ValidateFile(const char* path, const SchemaDef& schema,
 int main(int argc, char** argv) {
   const SchemaDef* schema = FindSchema("bench");
   std::vector<std::string> required_fields;
+  std::vector<std::string> required_results;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -122,6 +139,10 @@ int main(int argc, char** argv) {
       for (auto& f : SplitFields(arg.substr(17))) {
         required_fields.push_back(std::move(f));
       }
+    } else if (arg.rfind("--require-results=", 0) == 0) {
+      for (auto& r : SplitFields(arg.substr(18))) {
+        required_results.push_back(std::move(r));
+      }
     } else {
       paths.push_back(argv[i]);
     }
@@ -129,13 +150,14 @@ int main(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--schema=bench|profile|monitor|migration] "
-                 "[--require-fields=a,b,c] <doc.json> [...]\n",
+                 "[--require-fields=a,b,c] [--require-results=x,y] "
+                 "<doc.json> [...]\n",
                  argv[0]);
     return 2;
   }
   bool ok = true;
   for (const char* path : paths) {
-    ok &= ValidateFile(path, *schema, required_fields);
+    ok &= ValidateFile(path, *schema, required_fields, required_results);
   }
   return ok ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace pref {
@@ -19,13 +20,43 @@ inline uint64_t HashInt64(int64_t v) {
   return k;
 }
 
-/// FNV-1a for strings.
+/// Word-at-a-time string hash (MurmurHash64A). Processes 8 bytes per
+/// multiply instead of the one byte per multiply of FNV-1a, which matters
+/// for the comment/name columns in the TPC schemas. Loads go through
+/// memcpy so the tail never reads past the buffer (ASan-clean); the byte
+/// order of the loads makes the value platform-endian, which is fine — all
+/// hashes are recomputed per run and never persisted.
 inline uint64_t HashBytes(std::string_view s) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
+  constexpr uint64_t kMul = 0xc6a4a7935bd1e995ULL;
+  constexpr int kShift = 47;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(s.data());
+  size_t n = s.size();
+  uint64_t h = 0xcbf29ce484222325ULL ^ (static_cast<uint64_t>(n) * kMul);
+  for (; n >= 8; p += 8, n -= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k *= kMul;
+    k ^= k >> kShift;
+    k *= kMul;
+    h ^= k;
+    h *= kMul;
   }
+  switch (n) {
+    case 7: h ^= static_cast<uint64_t>(p[6]) << 48; [[fallthrough]];
+    case 6: h ^= static_cast<uint64_t>(p[5]) << 40; [[fallthrough]];
+    case 5: h ^= static_cast<uint64_t>(p[4]) << 32; [[fallthrough]];
+    case 4: h ^= static_cast<uint64_t>(p[3]) << 24; [[fallthrough]];
+    case 3: h ^= static_cast<uint64_t>(p[2]) << 16; [[fallthrough]];
+    case 2: h ^= static_cast<uint64_t>(p[1]) << 8; [[fallthrough]];
+    case 1:
+      h ^= static_cast<uint64_t>(p[0]);
+      h *= kMul;
+      break;
+    default: break;
+  }
+  h ^= h >> kShift;
+  h *= kMul;
+  h ^= h >> kShift;
   return h;
 }
 

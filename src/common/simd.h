@@ -1,0 +1,394 @@
+// SIMD kernel layer with runtime CPU dispatch (DESIGN.md §13).
+//
+// This header is the single home of raw vector intrinsics in the tree
+// (tools/lint_determinism.py flags <immintrin.h> anywhere else). Every
+// kernel comes in a scalar form that is always compiled and always
+// correct, plus AVX2 / AVX-512 forms compiled via per-function target
+// attributes (so the translation unit itself needs no -mavx2) and chosen
+// at run time. The vector forms are *bit-identical* to the scalar forms —
+// all kernels are pure integer arithmetic — which tests/kernels_test.cc
+// pins at every supported level and CI re-checks with the whole suite
+// under PREF_FORCE_SCALAR=1.
+//
+// Dispatch rules:
+//   * DetectLevel() probes the CPU once (AVX-512 needs F+DQ+BW+VL; AVX2
+//     stands alone) and honors PREF_FORCE_SCALAR=1, the CI escape hatch.
+//   * Every kernel takes an optional explicit Level so tests and benches
+//     can pit the paths against each other in one process; production
+//     callers use the default (the cached detected level).
+//
+// Kernels:
+//   * ExclusiveSum     — the counting-sort scan gating both exchange
+//                        passes, per *Parallel Prefix Sum with SIMD*
+//                        (PAPERS.md): in-register lane scan + carried
+//                        block total, no serial per-element chain.
+//   * HashCombineInt64 / HashCombineF64 — batch MurmurHash3-finalizer
+//                        lanes feeding Column::HashCombineInto (join
+//                        build/probe keys, hash-partitioning targets).
+//   * BitmapToSelection — selection-bitmap → selection-vector compaction
+//                        (movemask + ctz on AVX2, compress-store on
+//                        AVX-512) behind ExecScan/ExecFilter.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/hash.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PREF_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define PREF_SIMD_X86 0
+#endif
+
+// GCC's AVX-512 intrinsic wrappers pass _mm512_undefined_epi32() as the
+// merge operand of unmasked operations, which -Wmaybe-uninitialized
+// reports at every inline expansion (GCC PR 105593). The value is dead by
+// construction (the mask is all-ones), so silence the false positive for
+// this header's kernels only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace pref::simd {
+
+/// Instruction-set tiers, ordered: a level implies every lower one.
+enum class Level : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+inline const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+/// Probes the CPU (once per call — callers cache via ActiveLevel). The
+/// PREF_FORCE_SCALAR=1 environment variable pins the scalar tier no matter
+/// what the hardware offers; CI runs the whole suite that way.
+inline Level DetectLevel() {
+  const char* force = std::getenv("PREF_FORCE_SCALAR");
+  if (force != nullptr && force[0] == '1') return Level::kScalar;
+#if PREF_SIMD_X86
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") && __builtin_cpu_supports("avx512vl")) {
+    return Level::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+namespace internal {
+inline std::atomic<int>& ActiveLevelStorage() {
+  static std::atomic<int> level{static_cast<int>(DetectLevel())};
+  return level;
+}
+}  // namespace internal
+
+/// The cached dispatch level every kernel defaults to.
+inline Level ActiveLevel() {
+  return static_cast<Level>(
+      internal::ActiveLevelStorage().load(std::memory_order_relaxed));
+}
+
+/// Test hook: overrides the dispatch level (clamped to what the CPU
+/// actually supports, so forcing kAvx512 on an AVX2 box stays correct).
+inline void SetActiveLevelForTest(Level level) {
+  const Level detected = DetectLevel();
+  if (static_cast<int>(level) > static_cast<int>(detected)) level = detected;
+  internal::ActiveLevelStorage().store(static_cast<int>(level),
+                                       std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Exclusive prefix sum: out[0] = 0, out[i+1] = out[i] + v[i], out has n+1
+// entries (the trailing one holds the total) — the ScatterPlan offsets and
+// JoinHashTable chain-offsets shape. Elements are uint32_t on purpose: the
+// operands are row counts (row ids are uint32_t everywhere in the engine),
+// and halving the lane width doubles SIMD throughput, per the 32-bit scans
+// in *Parallel Prefix Sum with SIMD*.
+// ---------------------------------------------------------------------------
+
+inline void ExclusiveSumScalar(const uint32_t* v, size_t n, uint32_t* out) {
+  uint32_t run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = run;
+    run += v[i];
+  }
+  out[n] = run;
+}
+
+#if PREF_SIMD_X86
+
+/// AVX2 8-lane scan: per block, an in-register inclusive scan (in-lane
+/// byte shifts + one cross-lane fix-up) produces the block's running sums
+/// without a per-element serial chain; only the block total carries
+/// between iterations. The inclusive block stores at out+i+1 — exactly the
+/// exclusive sums shifted by one — so no extra shuffle pays for
+/// exclusivity.
+__attribute__((target("avx2"))) inline void ExclusiveSumAvx2(const uint32_t* v,
+                                                             size_t n,
+                                                             uint32_t* out) {
+  out[0] = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i lane3 = _mm256_set1_epi32(3);
+  const __m256i lane7 = _mm256_set1_epi32(7);
+  __m256i run = zero;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    // Each 128-bit half now holds its own scan; push the low half's total
+    // into every element of the high half.
+    __m256i t = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(x, lane3), zero,
+                                   0x0F);
+    x = _mm256_add_epi32(x, t);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 1),
+                        _mm256_add_epi32(x, run));
+    run = _mm256_add_epi32(run, _mm256_permutevar8x32_epi32(x, lane7));
+  }
+  uint32_t carry =
+      static_cast<uint32_t>(_mm_cvtsi128_si32(_mm256_castsi256_si128(run)));
+  for (; i < n; ++i) {
+    out[i] = carry;
+    carry += v[i];
+  }
+  out[n] = carry;
+}
+
+/// AVX-512 16-lane scan: four global valignd shift-add steps
+/// (Hillis-Steele over the full register), same out+1 store trick.
+__attribute__((target("avx512f,avx512dq,avx512bw,avx512vl"))) inline void
+ExclusiveSumAvx512(const uint32_t* v, size_t n, uint32_t* out) {
+  out[0] = 0;
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i lane15 = _mm512_set1_epi32(15);
+  __m512i run = zero;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512i x = _mm512_loadu_si512(v + i);
+    x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 15));  // shl 1
+    x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 14));  // shl 2
+    x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 12));  // shl 4
+    x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 8));   // shl 8
+    _mm512_storeu_si512(out + i + 1, _mm512_add_epi32(x, run));
+    run = _mm512_add_epi32(run, _mm512_permutexvar_epi32(lane15, x));
+  }
+  uint32_t carry =
+      static_cast<uint32_t>(_mm_cvtsi128_si32(_mm512_castsi512_si128(run)));
+  for (; i < n; ++i) {
+    out[i] = carry;
+    carry += v[i];
+  }
+  out[n] = carry;
+}
+
+#endif  // PREF_SIMD_X86
+
+inline void ExclusiveSum(const uint32_t* v, size_t n, uint32_t* out,
+                         Level level = ActiveLevel()) {
+#if PREF_SIMD_X86
+  if (level == Level::kAvx512) return ExclusiveSumAvx512(v, n, out);
+  if (level == Level::kAvx2) return ExclusiveSumAvx2(v, n, out);
+#else
+  (void)level;
+#endif
+  ExclusiveSumScalar(v, n, out);
+}
+
+// ---------------------------------------------------------------------------
+// Batch hash combine: acc[i] = HashCombine(acc[i], HashInt64(keys[i])) — the
+// whole join/partitioning key-hash loop as data-parallel integer lanes.
+// ---------------------------------------------------------------------------
+
+inline void HashCombineInt64Scalar(const int64_t* keys, size_t n,
+                                   uint64_t* acc) {
+  for (size_t i = 0; i < n; ++i) acc[i] = HashCombine(acc[i], HashInt64(keys[i]));
+}
+
+#if PREF_SIMD_X86
+
+/// 64×64→64 multiply from 32-bit halves (AVX2 has no vpmullq).
+__attribute__((target("avx2"))) inline __m256i Mul64Avx2(__m256i a, __m256i b) {
+  __m256i lo = _mm256_mul_epu32(a, b);
+  __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline void HashCombineInt64Avx2(
+    const int64_t* keys, size_t n, uint64_t* acc) {
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<int64_t>(0xff51afd7ed558ccdULL));
+  const __m256i c2 = _mm256_set1_epi64x(static_cast<int64_t>(0xc4ceb9fe1a85ec53ULL));
+  const __m256i gold =
+      _mm256_set1_epi64x(static_cast<int64_t>(0x9e3779b97f4a7c15ULL));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i k = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+    k = Mul64Avx2(k, c1);
+    k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+    k = Mul64Avx2(k, c2);
+    k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    // HashCombine(a, k) = a ^ (k + gold + (a << 6) + (a >> 2)).
+    __m256i mix = _mm256_add_epi64(
+        _mm256_add_epi64(k, gold),
+        _mm256_add_epi64(_mm256_slli_epi64(a, 6), _mm256_srli_epi64(a, 2)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_xor_si256(a, mix));
+  }
+  HashCombineInt64Scalar(keys + i, n - i, acc + i);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512bw,avx512vl"))) inline void
+HashCombineInt64Avx512(const int64_t* keys, size_t n, uint64_t* acc) {
+  const __m512i c1 = _mm512_set1_epi64(static_cast<int64_t>(0xff51afd7ed558ccdULL));
+  const __m512i c2 = _mm512_set1_epi64(static_cast<int64_t>(0xc4ceb9fe1a85ec53ULL));
+  const __m512i gold =
+      _mm512_set1_epi64(static_cast<int64_t>(0x9e3779b97f4a7c15ULL));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i k = _mm512_loadu_si512(keys + i);
+    k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+    k = _mm512_mullo_epi64(k, c1);
+    k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+    k = _mm512_mullo_epi64(k, c2);
+    k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+    __m512i a = _mm512_loadu_si512(acc + i);
+    __m512i mix = _mm512_add_epi64(
+        _mm512_add_epi64(k, gold),
+        _mm512_add_epi64(_mm512_slli_epi64(a, 6), _mm512_srli_epi64(a, 2)));
+    _mm512_storeu_si512(acc + i, _mm512_xor_si512(a, mix));
+  }
+  HashCombineInt64Scalar(keys + i, n - i, acc + i);
+}
+
+#endif  // PREF_SIMD_X86
+
+inline void HashCombineInt64(const int64_t* keys, size_t n, uint64_t* acc,
+                             Level level = ActiveLevel()) {
+#if PREF_SIMD_X86
+  if (level == Level::kAvx512) return HashCombineInt64Avx512(keys, n, acc);
+  if (level == Level::kAvx2) return HashCombineInt64Avx2(keys, n, acc);
+#else
+  (void)level;
+#endif
+  HashCombineInt64Scalar(keys, n, acc);
+}
+
+/// Double keys hash by bit pattern (Column::HashAt semantics); the vector
+/// paths load the same 64-bit patterns the scalar memcpy produces, so all
+/// levels agree bit for bit (NaNs and -0.0 included).
+inline void HashCombineF64(const double* keys, size_t n, uint64_t* acc,
+                           Level level = ActiveLevel()) {
+#if PREF_SIMD_X86
+  if (level != Level::kScalar) {
+    static_assert(sizeof(double) == sizeof(int64_t));
+    return HashCombineInt64(reinterpret_cast<const int64_t*>(keys), n, acc,
+                            level);
+  }
+#else
+  (void)level;
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    int64_t bits;
+    std::memcpy(&bits, &keys[i], sizeof(bits));
+    acc[i] = HashCombine(acc[i], HashInt64(bits));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection compaction: bitmap bytes (0 = drop, nonzero = keep) → selection
+// vector of row ids base+i. Returns the number of ids written; `out` must
+// have room for n entries.
+// ---------------------------------------------------------------------------
+
+inline size_t BitmapToSelectionScalar(const uint8_t* bitmap, size_t n,
+                                      uint32_t base, uint32_t* out) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (bitmap[i] != 0) out[k++] = base + static_cast<uint32_t>(i);
+  }
+  return k;
+}
+
+#if PREF_SIMD_X86
+
+/// AVX2: 32 bitmap bytes → one movemask word, then emit one id per set bit
+/// (ctz + clear-lowest). Branch-free per chunk; cost scales with matches,
+/// not with rows, once the bitmap is sparse.
+__attribute__((target("avx2"))) inline size_t BitmapToSelectionAvx2(
+    const uint8_t* bitmap, size_t n, uint32_t base, uint32_t* out) {
+  const __m256i zero = _mm256_setzero_si256();
+  size_t k = 0;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bitmap + i));
+    uint32_t mask = static_cast<uint32_t>(
+        ~_mm256_movemask_epi8(_mm256_cmpeq_epi8(b, zero)));
+    while (mask != 0) {
+      const uint32_t bit = static_cast<uint32_t>(__builtin_ctz(mask));
+      out[k++] = base + static_cast<uint32_t>(i) + bit;
+      mask &= mask - 1;
+    }
+  }
+  k += BitmapToSelectionScalar(bitmap + i, n - i,
+                               base + static_cast<uint32_t>(i), out + k);
+  return k;
+}
+
+/// AVX-512: 16 bytes → mask, then one vpcompressd stores exactly the
+/// selected ids — no per-bit loop at all.
+__attribute__((target("avx512f,avx512dq,avx512bw,avx512vl"))) inline size_t
+BitmapToSelectionAvx512(const uint8_t* bitmap, size_t n, uint32_t base,
+                        uint32_t* out) {
+  const __m512i step = _mm512_set1_epi32(16);
+  __m512i idx = _mm512_add_epi32(
+      _mm512_set1_epi32(static_cast<int>(base)),
+      _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15));
+  size_t k = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bitmap + i));
+    const __mmask16 m = _mm_test_epi8_mask(b, b);
+    _mm512_mask_compressstoreu_epi32(out + k, m, idx);
+    k += static_cast<size_t>(__builtin_popcount(m));
+    idx = _mm512_add_epi32(idx, step);
+  }
+  k += BitmapToSelectionScalar(bitmap + i, n - i,
+                               base + static_cast<uint32_t>(i), out + k);
+  return k;
+}
+
+#endif  // PREF_SIMD_X86
+
+inline size_t BitmapToSelection(const uint8_t* bitmap, size_t n, uint32_t base,
+                                uint32_t* out, Level level = ActiveLevel()) {
+#if PREF_SIMD_X86
+  if (level == Level::kAvx512) return BitmapToSelectionAvx512(bitmap, n, base, out);
+  if (level == Level::kAvx2) return BitmapToSelectionAvx2(bitmap, n, base, out);
+#else
+  (void)level;
+#endif
+  return BitmapToSelectionScalar(bitmap, n, base, out);
+}
+
+}  // namespace pref::simd
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -7,6 +7,10 @@
 // in ascending source-row order — exactly the order a serial row loop would
 // append them — so a consumer that gathers the slices source-by-source
 // reproduces the serial exchange output bit for bit (DESIGN.md §8).
+//
+// Counts and offsets are uint32_t: a block never holds 4G rows (row ids are
+// uint32_t engine-wide), and the narrower lanes double the throughput of the
+// vectorized scan in common/simd.h (DESIGN.md §13).
 
 #pragma once
 
@@ -14,13 +18,15 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.h"
+
 namespace pref {
 
 /// Exclusive prefix sum: returns [0, v[0], v[0]+v[1], ...] with one extra
-/// trailing element holding the total.
-inline std::vector<size_t> ExclusiveSum(std::span<const size_t> v) {
-  std::vector<size_t> out(v.size() + 1, 0);
-  for (size_t i = 0; i < v.size(); ++i) out[i + 1] = out[i] + v[i];
+/// trailing element holding the total. Dispatches to the SIMD scan.
+inline std::vector<uint32_t> ExclusiveSum(std::span<const uint32_t> v) {
+  std::vector<uint32_t> out(v.size() + 1);
+  simd::ExclusiveSum(v.data(), v.size(), out.data());
   return out;
 }
 
@@ -29,7 +35,7 @@ inline std::vector<size_t> ExclusiveSum(std::span<const size_t> v) {
 /// plans (empty offsets) mean "no rows" and are skipped by consumers.
 struct ScatterPlan {
   std::vector<uint32_t> ordered;
-  std::vector<size_t> offsets;  // size num_targets + 1; exclusive scan
+  std::vector<uint32_t> offsets;  // size num_targets + 1; exclusive scan
 
   bool empty() const { return offsets.empty(); }
   size_t CountFor(int target) const {
@@ -43,19 +49,39 @@ struct ScatterPlan {
   }
 };
 
-/// Builds the plan for one source block. `targets[r]` is row r's target in
+/// Reusable per-caller scratch for BuildScatterPlanInto. The counts and
+/// cursor vectors otherwise get re-allocated for every morsel; exchange
+/// operators keep one of these per source node and amortize the
+/// allocations across all blocks of a query.
+struct ScatterScratch {
+  std::vector<uint32_t> counts;
+  std::vector<uint32_t> cursor;
+};
+
+/// Builds the plan for one source block into `plan`, reusing `scratch` and
+/// the plan's own vectors. `targets[r]` is row r's target in
 /// [0, num_targets). Two passes: count, exclusive-scan, scatter.
+inline void BuildScatterPlanInto(std::span<const uint32_t> targets,
+                                 int num_targets, ScatterScratch& scratch,
+                                 ScatterPlan& plan) {
+  const size_t nt = static_cast<size_t>(num_targets);
+  scratch.counts.assign(nt, 0);
+  for (uint32_t t : targets) scratch.counts[t]++;
+  plan.offsets.resize(nt + 1);
+  simd::ExclusiveSum(scratch.counts.data(), nt, plan.offsets.data());
+  plan.ordered.resize(targets.size());
+  scratch.cursor.assign(plan.offsets.begin(), plan.offsets.end() - 1);
+  for (size_t r = 0; r < targets.size(); ++r) {
+    plan.ordered[scratch.cursor[targets[r]]++] = static_cast<uint32_t>(r);
+  }
+}
+
+/// Convenience wrapper with fresh scratch (tests and one-shot callers).
 inline ScatterPlan BuildScatterPlan(std::span<const uint32_t> targets,
                                     int num_targets) {
+  ScatterScratch scratch;
   ScatterPlan plan;
-  std::vector<size_t> counts(static_cast<size_t>(num_targets), 0);
-  for (uint32_t t : targets) counts[t]++;
-  plan.offsets = ExclusiveSum(counts);
-  plan.ordered.resize(targets.size());
-  std::vector<size_t> cursor(plan.offsets.begin(), plan.offsets.end() - 1);
-  for (size_t r = 0; r < targets.size(); ++r) {
-    plan.ordered[cursor[targets[r]]++] = static_cast<uint32_t>(r);
-  }
+  BuildScatterPlanInto(targets, num_targets, scratch, plan);
   return plan;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -122,6 +123,7 @@ class Executor {
     }
     if (n_ == 0) return Status::Invalid("partitioned database has no tables");
     stats_.node_rows.assign(static_cast<size_t>(n_), 0);
+    scatter_scratch_.resize(static_cast<size_t>(n_));
 
     PREF_ASSIGN_OR_RAISE(DistResult dist, Exec(root, /*parent=*/-1));
     QueryResult result;
@@ -382,12 +384,11 @@ class Executor {
         Charge(op, p, rows.num_rows());
         RowBlock& dst = out.nodes[static_cast<size_t>(p)];
         const auto& s = sel[static_cast<size_t>(i)];
-        // Selection bitmap → selection vector, then one gather per column.
-        std::vector<uint32_t> picked;
-        picked.reserve(rows.num_rows());
-        for (size_t r = 0; r < rows.num_rows(); ++r) {
-          if (s[r] != 0) picked.push_back(static_cast<uint32_t>(r));
-        }
+        // Selection bitmap → selection vector via the SIMD compaction
+        // kernel, then one gather per column.
+        std::vector<uint32_t> picked(rows.num_rows());
+        picked.resize(
+            simd::BitmapToSelection(s.data(), rows.num_rows(), 0, picked.data()));
         for (size_t c = 0; c < base_cols; ++c) {
           dst.column(static_cast<int>(c))
               .AppendGather(rows.column(node.project_slots[c]), picked);
@@ -416,10 +417,15 @@ class Executor {
       // separate CPU charge (as in the paper's engine, where filters are
       // pushed into the per-node DBMS scan).
       RowBlock& dst = out.nodes[static_cast<size_t>(p)];
-      std::vector<uint32_t> picked;
+      // Predicate → bitmap, then the SIMD compaction kernel turns it into
+      // a selection vector in one pass.
+      std::vector<uint8_t> bits(src.num_rows(), 0);
       for (size_t r = 0; r < src.num_rows(); ++r) {
-        if (EvalDnf(node.filter, src, r)) picked.push_back(static_cast<uint32_t>(r));
+        if (EvalDnf(node.filter, src, r)) bits[r] = 1;
       }
+      std::vector<uint32_t> picked(src.num_rows());
+      picked.resize(
+          simd::BitmapToSelection(bits.data(), src.num_rows(), 0, picked.data()));
       dst.AppendGather(src, picked);
     });
     return out;
@@ -441,18 +447,21 @@ class Executor {
       const RowBlock& r = right.nodes[static_cast<size_t>(p)];
       Charge(op, p, l.num_rows() + r.num_rows());
       if (l.num_rows() == 0) return;
-      // Build: batch-hash the right side, then insert (hash, row) pairs
-      // into a flat open-addressing table (DESIGN.md §8).
+      // Build: batch-hash the right side, then group build rows into
+      // contiguous per-distinct-key chains (DESIGN.md §8, §13). The keyed
+      // build confirms equality per chain, so string keys hash + compare
+      // once per distinct key, not once per duplicate.
       std::vector<uint64_t> build_hashes(r.num_rows());
       r.HashRows(rs, build_hashes);
-      JoinHashTable table(build_hashes);
+      JoinHashTable table(build_hashes, r, rs);
       // Probe into per-morsel selection-vector pairs. Morsels are processed
       // in ascending row order; matches per probe row are emitted in
       // *descending* build-row order — the order the previous
       // std::unordered_multimap path produced (libstdc++ prepends equal
       // keys, so equal_range iterates newest-first) — keeping join output,
       // and therefore every downstream stable sort with ties, bit-identical
-      // to the historical executor.
+      // to the historical executor. Chains hold rows ascending, so copying
+      // the matching chain and reversing reproduces exactly that order.
       std::vector<uint64_t> probe_hashes(l.num_rows());
       l.HashRows(ls, probe_hashes);
       struct MorselSel {
@@ -467,11 +476,11 @@ class Executor {
         for (size_t i = m * kMorselRows; i < row_end; ++i) {
           bool matched = false;
           match_buf.clear();
-          table.ForEachMatch(probe_hashes[i], [&](uint32_t b) {
-            if (!inner && matched) return;  // semi/anti need one witness
-            if (!l.RowsEqual(ls, i, r, rs, b)) return;
+          table.ForEachChain(probe_hashes[i], [&](std::span<const uint32_t> rows) {
+            if (matched) return;  // at most one chain holds the key
+            if (!l.RowsEqual(ls, i, r, rs, rows.front())) return;
             matched = true;
-            if (inner) match_buf.push_back(b);
+            if (inner) match_buf.assign(rows.begin(), rows.end());
           });
           for (size_t k = match_buf.size(); k-- > 0;) {
             sel.left.push_back(static_cast<uint32_t>(i));
@@ -546,7 +555,10 @@ class Executor {
         t_rows[targets[r]]++;
         t_bytes[targets[r]] += sizes[r];
       }
-      plans[static_cast<size_t>(p)] = BuildScatterPlan(targets, n_);
+      // Scratch is per source node: each task owns slot p exclusively, and
+      // the buffers carry over to the next exchange of this query.
+      BuildScatterPlanInto(targets, n_, scatter_scratch_[static_cast<size_t>(p)],
+                           plans[static_cast<size_t>(p)]);
     });
     for (int p = 0; p < n_; ++p) {
       for (int t = 0; t < n_; ++t) {
@@ -1019,6 +1031,10 @@ class Executor {
   QueryControl* control_;
   int n_ = 0;
   ExecStats stats_;
+  /// Reusable counting-sort scratch, one slot per source node: exchange
+  /// tasks index it by their own node id, so writes never overlap, and the
+  /// buffers amortize across every exchange of the query.
+  std::vector<ScatterScratch> scatter_scratch_;
   /// Time-to-first-morsel bookkeeping (see MarkFirstMorsel).
   Stopwatch run_watch_;
   std::atomic<bool> first_morsel_seen_{false};

@@ -1,59 +1,140 @@
-// Flat open-addressing hash table for the executor's hash joins.
+// Batch-chain hash table for the executor's hash joins.
 //
-// One contiguous vector of (hash, row) entries with power-of-two capacity
-// and linear probing, replacing std::unordered_multimap<uint64_t, size_t>
-// (one heap node + pointer chase per build row). Duplicate hashes are
-// supported: every (hash, row) pair is inserted at the first free slot at
-// or after its home slot, so a probe that scans forward from the home slot
-// until the first empty slot visits same-hash entries in insertion order —
-// ascending build-row order, which is also the match-emission order the
-// std::unordered_multimap path produced (equal keys keep insertion order).
+// Two layers, both contiguous (DESIGN.md §13):
+//   * slots_ — power-of-two open-addressing directory of (hash, chain id)
+//     with linear probing, one entry per *distinct key* (keyed build) or
+//     per *distinct hash* (hash-only build), replacing the old one-entry-
+//     per-row layout.
+//   * chain_rows_ / chain_offsets_ — every chain's build-row ids packed
+//     into one contiguous span, laid out by counting sort (count per
+//     chain → SIMD exclusive prefix sum → scatter). Chain c's rows sit in
+//     chain_rows_[chain_offsets_[c], chain_offsets_[c+1]) in ascending
+//     build-row order.
+//
+// Duplicate-heavy probes therefore walk one cache-resident row block per
+// key instead of re-probing the directory once per duplicate, and key
+// equality is confirmed once per chain, not once per row — which is what
+// makes string join keys first-class: the expensive string compare runs
+// per distinct key. Ascending row order within a chain is a contract: the
+// executor reverses each probe row's matches to reproduce the historical
+// std::unordered_multimap emission order (newest build row first), keeping
+// join output bit-identical across the rewrite.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "common/simd.h"
+#include "storage/table.h"
 
 namespace pref {
 
 class JoinHashTable {
  public:
-  /// Builds the table over one hash per build row; row ids are dense
-  /// [0, hashes.size()). Load factor is at most 1/2.
+  /// Hash-only build: rows that share a hash value share a chain, even if
+  /// their keys differ (callers confirm equality per row). Row ids are
+  /// dense [0, hashes.size()).
   explicit JoinHashTable(std::span<const uint64_t> hashes) {
-    size_t cap = 16;
-    while (cap < hashes.size() * 2) cap <<= 1;
-    mask_ = cap - 1;
-    slots_.assign(cap, Entry{0, kEmpty});
-    for (size_t i = 0; i < hashes.size(); ++i) {
-      size_t s = hashes[i] & mask_;
-      while (slots_[s].row != kEmpty) s = (s + 1) & mask_;
-      slots_[s] = Entry{hashes[i], static_cast<uint32_t>(i)};
+    Build(hashes, [](size_t, size_t) { return true; });
+  }
+
+  /// Keyed build: rows join a chain only if their key columns compare
+  /// equal to the chain's first row, so colliding distinct keys get
+  /// distinct chains and a probe confirms equality once per chain.
+  JoinHashTable(std::span<const uint64_t> hashes, const RowBlock& build,
+                const std::vector<ColumnId>& key_slots) {
+    Build(hashes, [&](size_t a, size_t b) {
+      return build.RowsEqual(key_slots, a, build, key_slots, b);
+    });
+  }
+
+  /// Invokes fn(rows) once per chain whose hash equals `h`, where `rows`
+  /// is a std::span<const uint32_t> of build-row ids in ascending order.
+  /// A keyed table calls fn at most once per distinct key; callers still
+  /// confirm key equality against rows.front() — equal hashes may be
+  /// colliding distinct keys.
+  template <typename Fn>
+  void ForEachChain(uint64_t h, Fn&& fn) const {
+    for (size_t s = h & mask_; slots_[s].chain != kEmpty; s = (s + 1) & mask_) {
+      if (slots_[s].hash == h) fn(ChainRows(slots_[s].chain));
     }
   }
 
   /// Invokes fn(row) for every build row whose hash equals `h`, in
-  /// ascending build-row order. Callers still confirm key equality — equal
-  /// hashes may be colliding distinct keys.
+  /// ascending build-row order — the row-at-a-time view over the chains.
   template <typename Fn>
   void ForEachMatch(uint64_t h, Fn&& fn) const {
-    for (size_t s = h & mask_; slots_[s].row != kEmpty; s = (s + 1) & mask_) {
-      if (slots_[s].hash == h) fn(slots_[s].row);
-    }
+    ForEachChain(h, [&](std::span<const uint32_t> rows) {
+      for (uint32_t r : rows) fn(r);
+    });
+  }
+
+  std::span<const uint32_t> ChainRows(uint32_t chain) const {
+    const size_t begin = chain_offsets_[chain];
+    return std::span<const uint32_t>(chain_rows_)
+        .subspan(begin, chain_offsets_[chain + 1] - begin);
   }
 
   size_t capacity() const { return slots_.size(); }
+  size_t num_chains() const { return chain_offsets_.size() - 1; }
 
  private:
   static constexpr uint32_t kEmpty = UINT32_MAX;
 
-  struct Entry {
+  struct Slot {
     uint64_t hash;
-    uint32_t row;
+    uint32_t chain;
   };
 
-  std::vector<Entry> slots_;
+  /// Shared build: assign every row a chain (probing the directory, with
+  /// `equal(row, chain_first_row)` deciding chain membership on hash
+  /// ties), then counting-sort the row ids into contiguous chains. Load
+  /// factor is at most 1/2 (chains ≤ rows).
+  template <typename EqualFn>
+  void Build(std::span<const uint64_t> hashes, EqualFn&& equal) {
+    size_t cap = 16;
+    while (cap < hashes.size() * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, Slot{0, kEmpty});
+    std::vector<uint32_t> chain_of(hashes.size());
+    std::vector<uint32_t> chain_first;  // first (lowest) row of each chain
+    std::vector<uint32_t> counts;
+    for (size_t i = 0; i < hashes.size(); ++i) {
+      uint32_t chain = kEmpty;
+      size_t s = hashes[i] & mask_;
+      for (; slots_[s].chain != kEmpty; s = (s + 1) & mask_) {
+        if (slots_[s].hash == hashes[i] &&
+            equal(i, chain_first[slots_[s].chain])) {
+          chain = slots_[s].chain;
+          break;
+        }
+      }
+      if (chain == kEmpty) {
+        chain = static_cast<uint32_t>(counts.size());
+        slots_[s] = Slot{hashes[i], chain};
+        chain_first.push_back(static_cast<uint32_t>(i));
+        counts.push_back(0);
+      }
+      counts[chain]++;
+      chain_of[i] = chain;
+    }
+    chain_offsets_.resize(counts.size() + 1);
+    simd::ExclusiveSum(counts.data(), counts.size(), chain_offsets_.data());
+    chain_rows_.resize(hashes.size());
+    // Scatter in ascending row order: cursor reuses `counts` as the
+    // per-chain write position seeded from the offsets.
+    std::copy(chain_offsets_.begin(), chain_offsets_.end() - 1, counts.begin());
+    for (size_t i = 0; i < hashes.size(); ++i) {
+      chain_rows_[counts[chain_of[i]]++] = static_cast<uint32_t>(i);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> chain_offsets_;  // num_chains + 1; exclusive scan
+  std::vector<uint32_t> chain_rows_;     // all chains' rows, back to back
   size_t mask_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "storage/column.h"
 
+#include "common/simd.h"
+
 namespace pref {
 
 Column::Column(DataType type) : type_(type) {
@@ -110,18 +112,13 @@ void Column::AppendColumn(const Column& src) {
 }
 
 void Column::HashCombineInto(std::span<uint64_t> acc, size_t begin) const {
+  // Int and double lanes vectorize (common/simd.h); strings stay row-at-a-
+  // time but hash word-at-a-time inside HashBytes. All paths produce the
+  // exact per-row values HashAt computes, at every dispatch level.
   if (is_int()) {
-    const int64_t* v = ints().data() + begin;
-    for (size_t i = 0; i < acc.size(); ++i) {
-      acc[i] = HashCombine(acc[i], HashInt64(v[i]));
-    }
+    simd::HashCombineInt64(ints().data() + begin, acc.size(), acc.data());
   } else if (is_double()) {
-    const double* v = doubles().data() + begin;
-    for (size_t i = 0; i < acc.size(); ++i) {
-      int64_t bits;
-      __builtin_memcpy(&bits, &v[i], sizeof(bits));
-      acc[i] = HashCombine(acc[i], HashInt64(bits));
-    }
+    simd::HashCombineF64(doubles().data() + begin, acc.size(), acc.data());
   } else {
     const std::string* v = strings().data() + begin;
     for (size_t i = 0; i < acc.size(); ++i) {

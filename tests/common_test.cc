@@ -196,6 +196,42 @@ TEST(HashTest, Bytes) {
   EXPECT_NE(HashBytes(""), HashBytes("a"));
 }
 
+TEST(HashTest, BytesTailSensitivity) {
+  // The word-at-a-time hash must distinguish strings that differ only in
+  // the sub-word tail, at every length mod 8, and must include the length
+  // (a prefix never hashes like its extension).
+  std::string base = "abcdefghijklmnopqrstuvwxyz01234";
+  for (size_t len = 1; len <= base.size(); ++len) {
+    std::string a = base.substr(0, len);
+    std::string b = a;
+    b.back() ^= 1;
+    EXPECT_NE(HashBytes(a), HashBytes(b)) << "len " << len;
+    EXPECT_NE(HashBytes(a), HashBytes(base.substr(0, len - 1))) << "len " << len;
+  }
+}
+
+TEST(HashTest, BytesCollisionSmoke) {
+  // Hash-quality smoke test: distinct TPC-like strings must be
+  // collision-free at this scale (64k keys vs a 64-bit range — any
+  // collision indicates a broken mixer, not bad luck), and low 6 bits
+  // (join-table home-slot bits at small capacities) must spread evenly.
+  std::set<uint64_t> seen;
+  std::map<uint64_t, size_t> low_bits;
+  const size_t n = 65536;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = HashBytes("customer#" + std::to_string(i));
+    seen.insert(h);
+    low_bits[h & 63]++;
+  }
+  EXPECT_EQ(seen.size(), n);
+  // Each of the 64 buckets expects n/64 = 1024 keys; allow ±25%.
+  ASSERT_EQ(low_bits.size(), 64u);
+  for (const auto& [bucket, count] : low_bits) {
+    EXPECT_GT(count, 768u) << "bucket " << bucket;
+    EXPECT_LT(count, 1280u) << "bucket " << bucket;
+  }
+}
+
 TEST(MathTest, StirlingSmallValues) {
   StirlingTable t(10);
   // S(3,2) = 3, S(4,2) = 7, S(5,3) = 25

@@ -1,14 +1,24 @@
-// Unit tests for the vectorized execution kernels (DESIGN.md §8): the
+// Unit tests for the vectorized execution kernels (DESIGN.md §8, §13): the
 // column/row-block gather kernels, the batch hash/byte-size kernels, the
-// flat open-addressing join hash table, and the counting-sort ScatterPlan
-// the exchange operators are built on.
+// SIMD kernel layer (prefix sum, batch hash combine, selection compaction)
+// at every dispatch level, the batch-chain join hash table, and the
+// counting-sort ScatterPlan the exchange operators are built on.
+//
+// Every SIMD kernel is pinned bit-identical to its scalar form over
+// unaligned lengths (0, 1, lane-1, lane, lane+1, large) at every level the
+// host CPU supports; CI additionally reruns the suite with
+// PREF_FORCE_SCALAR=1 and under TSan/ASan/UBSan.
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "engine/exchange_kernels.h"
 #include "engine/join_hash_table.h"
 #include "storage/table.h"
@@ -26,6 +36,29 @@ RowBlock MakeBlock(size_t rows) {
   }
   return block;
 }
+
+/// Deterministic pseudo-random 64-bit stream (splitmix64) for kernel inputs.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Every dispatch level the host CPU can actually run (kScalar always).
+std::vector<simd::Level> SupportedLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  const simd::Level detected = simd::DetectLevel();
+  if (detected >= simd::Level::kAvx2) levels.push_back(simd::Level::kAvx2);
+  if (detected >= simd::Level::kAvx512) levels.push_back(simd::Level::kAvx512);
+  return levels;
+}
+
+/// Unaligned lengths around both vector widths (8/16 u32 lanes, 4/8 u64
+/// lanes, 16/32 bitmap bytes) plus large odd sizes.
+const std::vector<size_t> kKernelLengths = {0,  1,  3,  4,  5,   7,   8,    9,
+                                            15, 16, 17, 31, 32,  33,  100,  1000,
+                                            4096, 4097};
 
 TEST(AppendGatherTest, MatchesRowAtATimeAppend) {
   RowBlock src = MakeBlock(100);
@@ -117,6 +150,136 @@ TEST(BatchByteSizeTest, MatchesRowAtATimeRowByteSize) {
   EXPECT_EQ(total, src.ByteSize());
 }
 
+// --- SIMD kernel layer: every level bit-identical to scalar ---------------
+
+TEST(SimdLevelTest, DetectAndOverride) {
+  const simd::Level detected = simd::DetectLevel();
+  EXPECT_EQ(simd::ActiveLevel(), detected);
+  simd::SetActiveLevelForTest(simd::Level::kScalar);
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  // The override clamps to what the CPU supports, so restoring via the
+  // detected level always round-trips.
+  simd::SetActiveLevelForTest(detected);
+  EXPECT_EQ(simd::ActiveLevel(), detected);
+}
+
+TEST(SimdExclusiveSumTest, AllLevelsMatchScalarAtUnalignedLengths) {
+  uint64_t rng = 7;
+  for (size_t n : kKernelLengths) {
+    std::vector<uint32_t> v(n);
+    for (auto& x : v) x = static_cast<uint32_t>(NextRand(&rng));
+    std::vector<uint32_t> ref(n + 1);
+    simd::ExclusiveSumScalar(v.data(), n, ref.data());
+    for (simd::Level level : SupportedLevels()) {
+      std::vector<uint32_t> out(n + 1, 0xdeadbeef);
+      simd::ExclusiveSum(v.data(), n, out.data(), level);
+      EXPECT_EQ(out, ref) << "n=" << n << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdExclusiveSumTest, BasicValues) {
+  const std::vector<uint32_t> v = {3, 0, 2, 5};
+  std::vector<uint32_t> out(v.size() + 1);
+  for (simd::Level level : SupportedLevels()) {
+    simd::ExclusiveSum(v.data(), v.size(), out.data(), level);
+    EXPECT_EQ(out, (std::vector<uint32_t>{0, 3, 3, 5, 10}))
+        << simd::LevelName(level);
+  }
+}
+
+TEST(SimdHashCombineTest, Int64AllLevelsMatchScalar) {
+  uint64_t rng = 99;
+  for (size_t n : kKernelLengths) {
+    std::vector<int64_t> keys(n);
+    for (auto& k : keys) k = static_cast<int64_t>(NextRand(&rng));
+    std::vector<uint64_t> seed(n);
+    for (auto& a : seed) a = NextRand(&rng);
+    std::vector<uint64_t> ref = seed;
+    simd::HashCombineInt64Scalar(keys.data(), n, ref.data());
+    for (simd::Level level : SupportedLevels()) {
+      std::vector<uint64_t> acc = seed;
+      simd::HashCombineInt64(keys.data(), n, acc.data(), level);
+      EXPECT_EQ(acc, ref) << "n=" << n << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdHashCombineTest, F64AllLevelsMatchScalarIncludingSpecials) {
+  uint64_t rng = 1234;
+  for (size_t n : kKernelLengths) {
+    std::vector<double> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+      switch (i % 5) {
+        case 0: keys[i] = static_cast<double>(NextRand(&rng)) * 1e-3; break;
+        case 1: keys[i] = -0.0; break;
+        case 2: keys[i] = std::numeric_limits<double>::quiet_NaN(); break;
+        case 3: keys[i] = std::numeric_limits<double>::infinity(); break;
+        default: keys[i] = -static_cast<double>(NextRand(&rng)); break;
+      }
+    }
+    std::vector<uint64_t> seed(n);
+    for (auto& a : seed) a = NextRand(&rng);
+    std::vector<uint64_t> ref = seed;
+    simd::HashCombineF64(keys.data(), n, ref.data(), simd::Level::kScalar);
+    for (simd::Level level : SupportedLevels()) {
+      std::vector<uint64_t> acc = seed;
+      simd::HashCombineF64(keys.data(), n, acc.data(), level);
+      EXPECT_EQ(acc, ref) << "n=" << n << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdCompactTest, AllLevelsMatchScalarOverPatterns) {
+  uint64_t rng = 5;
+  for (size_t n : kKernelLengths) {
+    // Dense, empty, and ~1/8-sparse bitmaps.
+    std::vector<std::vector<uint8_t>> patterns;
+    patterns.emplace_back(n, uint8_t{1});
+    patterns.emplace_back(n, uint8_t{0});
+    std::vector<uint8_t> sparse(n);
+    for (auto& b : sparse) b = (NextRand(&rng) % 8 == 0) ? 1 : 0;
+    patterns.push_back(std::move(sparse));
+    for (const auto& bitmap : patterns) {
+      const uint32_t base = static_cast<uint32_t>(NextRand(&rng) % 1000);
+      std::vector<uint32_t> ref(n + 1, 0xdeadbeef);
+      const size_t ref_k =
+          simd::BitmapToSelectionScalar(bitmap.data(), n, base, ref.data());
+      for (simd::Level level : SupportedLevels()) {
+        std::vector<uint32_t> out(n + 1, 0xdeadbeef);
+        const size_t k =
+            simd::BitmapToSelection(bitmap.data(), n, base, out.data(), level);
+        ASSERT_EQ(k, ref_k) << "n=" << n << " level=" << simd::LevelName(level);
+        for (size_t i = 0; i < k; ++i) {
+          ASSERT_EQ(out[i], ref[i])
+              << "n=" << n << " i=" << i << " level=" << simd::LevelName(level);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdCompactTest, NonzeroBytesAllSelect) {
+  // The bitmap contract is 0 = drop, any nonzero byte = keep; all levels
+  // must agree on arbitrary byte values, not just 0/1.
+  std::vector<uint8_t> bitmap(64);
+  for (size_t i = 0; i < bitmap.size(); ++i) {
+    bitmap[i] = static_cast<uint8_t>((i * 37) & 0xff);  // 0 only at i = 0
+  }
+  std::vector<uint32_t> ref(bitmap.size());
+  const size_t ref_k =
+      simd::BitmapToSelectionScalar(bitmap.data(), bitmap.size(), 0, ref.data());
+  for (simd::Level level : SupportedLevels()) {
+    std::vector<uint32_t> out(bitmap.size());
+    const size_t k =
+        simd::BitmapToSelection(bitmap.data(), bitmap.size(), 0, out.data(), level);
+    ASSERT_EQ(k, ref_k) << simd::LevelName(level);
+    for (size_t i = 0; i < k; ++i) EXPECT_EQ(out[i], ref[i]);
+  }
+}
+
+// --- Join hash table: batch-chain layout ----------------------------------
+
 TEST(JoinHashTableTest, FindsAllDuplicateKeysInAscendingOrder) {
   // Rows 1, 3, 5 share a hash; 0, 2, 4 are singletons.
   std::vector<uint64_t> hashes = {11, 77, 22, 77, 33, 77};
@@ -127,6 +290,19 @@ TEST(JoinHashTableTest, FindsAllDuplicateKeysInAscendingOrder) {
   matches.clear();
   table.ForEachMatch(22, [&](uint32_t r) { matches.push_back(r); });
   EXPECT_EQ(matches, (std::vector<uint32_t>{2}));
+}
+
+TEST(JoinHashTableTest, ChainsGroupDuplicatesContiguously) {
+  std::vector<uint64_t> hashes = {11, 77, 22, 77, 33, 77};
+  JoinHashTable table(hashes);
+  EXPECT_EQ(table.num_chains(), 4u);  // 11, 77, 22, 33
+  int calls = 0;
+  table.ForEachChain(77, [&](std::span<const uint32_t> rows) {
+    calls++;
+    EXPECT_EQ(std::vector<uint32_t>(rows.begin(), rows.end()),
+              (std::vector<uint32_t>{1, 3, 5}));
+  });
+  EXPECT_EQ(calls, 1);  // one chain per distinct hash in hash-only mode
 }
 
 TEST(JoinHashTableTest, MissingHashYieldsNoMatches) {
@@ -144,6 +320,7 @@ TEST(JoinHashTableTest, EmptyBuildSideProbesCleanly) {
   table.ForEachMatch(12345, [&](uint32_t) { count++; });
   EXPECT_EQ(count, 0);
   EXPECT_GE(table.capacity(), 1u);
+  EXPECT_EQ(table.num_chains(), 0u);
 }
 
 TEST(JoinHashTableTest, CollidingHomeSlotsStillResolve) {
@@ -164,6 +341,7 @@ TEST(JoinHashTableTest, CollidingHomeSlotsStillResolve) {
 TEST(JoinHashTableTest, ManyDuplicatesOfOneKey) {
   std::vector<uint64_t> hashes(1000, 42);
   JoinHashTable table(hashes);
+  EXPECT_EQ(table.num_chains(), 1u);
   std::vector<uint32_t> matches;
   table.ForEachMatch(42, [&](uint32_t r) { matches.push_back(r); });
   ASSERT_EQ(matches.size(), 1000u);
@@ -172,10 +350,112 @@ TEST(JoinHashTableTest, ManyDuplicatesOfOneKey) {
   }
 }
 
+TEST(JoinHashTableTest, KeyedBuildSplitsCollidingDistinctKeys) {
+  // Four distinct int keys forced onto the same hash: the keyed build must
+  // give each its own chain, and probes confirm per chain, not per row.
+  RowBlock build(std::vector<DataType>{DataType::kInt64});
+  for (int i = 0; i < 12; ++i) build.column(0).AppendInt64(i % 4);
+  std::vector<uint64_t> hashes(12, 42);
+  const std::vector<ColumnId> keys = {0};
+  JoinHashTable table(hashes, build, keys);
+  EXPECT_EQ(table.num_chains(), 4u);
+  // Each chain's rows all carry the chain's key, ascending; the 4 chains
+  // cover all 12 rows.
+  size_t total = 0;
+  table.ForEachChain(42, [&](std::span<const uint32_t> rows) {
+    ASSERT_FALSE(rows.empty());
+    const int64_t key = build.column(0).GetInt64(rows.front());
+    uint32_t prev = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(build.column(0).GetInt64(rows[i]), key);
+      if (i > 0) {
+        EXPECT_GT(rows[i], prev);
+      }
+      prev = rows[i];
+    }
+    total += rows.size();
+  });
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(JoinHashTableTest, KeyedStringBuildAllEqualKeys) {
+  // The all-equal worst case: one chain holds every row.
+  RowBlock build(std::vector<DataType>{DataType::kString});
+  const size_t n = 500;
+  for (size_t i = 0; i < n; ++i) build.column(0).AppendString("same-key");
+  const std::vector<ColumnId> keys = {0};
+  std::vector<uint64_t> hashes(n);
+  build.HashRows(keys, hashes);
+  JoinHashTable table(hashes, build, keys);
+  EXPECT_EQ(table.num_chains(), 1u);
+  table.ForEachChain(hashes[0], [&](std::span<const uint32_t> rows) {
+    ASSERT_EQ(rows.size(), n);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(rows[i], static_cast<uint32_t>(i));
+  });
+}
+
+/// The executor's probe loop (ForEachChain + confirm against the chain's
+/// first row + reversed emission) against a nested-loop reference that
+/// emits matches in descending build-row order — the historical
+/// std::unordered_multimap emission order the executor preserves.
+void ExpectProbeMatchesReference(const RowBlock& probe, const RowBlock& build,
+                                 const std::vector<ColumnId>& ls,
+                                 const std::vector<ColumnId>& rs) {
+  std::vector<uint64_t> build_hashes(build.num_rows());
+  build.HashRows(rs, build_hashes);
+  JoinHashTable table(build_hashes, build, rs);
+  std::vector<uint64_t> probe_hashes(probe.num_rows());
+  probe.HashRows(ls, probe_hashes);
+
+  std::vector<std::pair<uint32_t, uint32_t>> got, want;
+  std::vector<uint32_t> match_buf;
+  for (size_t i = 0; i < probe.num_rows(); ++i) {
+    bool matched = false;
+    match_buf.clear();
+    table.ForEachChain(probe_hashes[i], [&](std::span<const uint32_t> rows) {
+      if (matched) return;
+      if (!probe.RowsEqual(ls, i, build, rs, rows.front())) return;
+      matched = true;
+      match_buf.assign(rows.begin(), rows.end());
+    });
+    for (size_t k = match_buf.size(); k-- > 0;) {
+      got.emplace_back(static_cast<uint32_t>(i), match_buf[k]);
+    }
+    for (size_t b = build.num_rows(); b-- > 0;) {
+      if (probe.RowsEqual(ls, i, build, rs, b)) {
+        want.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(b));
+      }
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(JoinHashTableTest, StringKeyProbeMatchesDescendingReference) {
+  RowBlock build(std::vector<DataType>{DataType::kString});
+  RowBlock probe(std::vector<DataType>{DataType::kString});
+  // Duplicate-heavy build side over a handful of string keys, with lengths
+  // straddling the 8-byte hash words.
+  for (size_t i = 0; i < 200; ++i) {
+    build.column(0).AppendString("customer-key-" + std::to_string(i % 7));
+  }
+  for (size_t i = 0; i < 50; ++i) {
+    probe.column(0).AppendString("customer-key-" + std::to_string(i % 10));
+  }
+  ExpectProbeMatchesReference(probe, build, {0}, {0});
+}
+
+TEST(JoinHashTableTest, MultiColumnKeyProbeMatchesDescendingReference) {
+  RowBlock build = MakeBlock(300);  // int, double, string columns
+  RowBlock probe = MakeBlock(80);
+  ExpectProbeMatchesReference(probe, build, {0, 2}, {0, 2});
+}
+
+// --- Exchange kernels -----------------------------------------------------
+
 TEST(ExclusiveSumTest, BasicAndEmpty) {
-  std::vector<size_t> v = {3, 0, 2, 5};
-  EXPECT_EQ(ExclusiveSum(v), (std::vector<size_t>{0, 3, 3, 5, 10}));
-  EXPECT_EQ(ExclusiveSum(std::vector<size_t>{}), (std::vector<size_t>{0}));
+  std::vector<uint32_t> v = {3, 0, 2, 5};
+  EXPECT_EQ(ExclusiveSum(v), (std::vector<uint32_t>{0, 3, 3, 5, 10}));
+  EXPECT_EQ(ExclusiveSum(std::vector<uint32_t>{}), (std::vector<uint32_t>{0}));
 }
 
 TEST(ScatterPlanTest, GroupsRowsByTargetInRowOrder) {
@@ -217,6 +497,27 @@ TEST(ScatterPlanTest, EmptySourceHasZeroCounts) {
   ScatterPlan unbuilt;
   EXPECT_TRUE(unbuilt.empty());
   EXPECT_EQ(unbuilt.CountFor(0), 0u);
+}
+
+TEST(ScatterPlanTest, ScratchReuseMatchesFreshPlans) {
+  // One scratch + one plan threaded through blocks of different sizes and
+  // target counts (the exchange operators' reuse pattern) must reproduce
+  // fresh-allocation plans exactly.
+  uint64_t rng = 77;
+  ScatterScratch scratch;
+  ScatterPlan reused;
+  for (int round = 0; round < 6; ++round) {
+    const size_t rows = static_cast<size_t>(NextRand(&rng) % 3000);
+    const int nt = 1 + static_cast<int>(NextRand(&rng) % 12);
+    std::vector<uint32_t> targets(rows);
+    for (auto& t : targets) {
+      t = static_cast<uint32_t>(NextRand(&rng) % static_cast<uint64_t>(nt));
+    }
+    BuildScatterPlanInto(targets, nt, scratch, reused);
+    ScatterPlan fresh = BuildScatterPlan(targets, nt);
+    EXPECT_EQ(reused.offsets, fresh.offsets) << "round " << round;
+    EXPECT_EQ(reused.ordered, fresh.ordered) << "round " << round;
+  }
 }
 
 TEST(ScatterPlanTest, ScatterThenGatherReproducesSerialAppendOrder) {

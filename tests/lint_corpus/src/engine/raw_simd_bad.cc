@@ -1,0 +1,17 @@
+// Golden corpus: rule [raw-simd] — raw intrinsics headers outside
+// src/common/simd.h. Any *intrin.h angle include fires; project headers
+// (including common/simd.h itself, the sanctioned wrapper) do not.
+#include <immintrin.h>  // expect: raw-simd
+#include <x86intrin.h>  // expect: raw-simd
+#include <emmintrin.h>  // expect: raw-simd
+
+#include <cstring>
+
+#include "common/simd.h"  // no finding: the dispatched kernel layer
+
+namespace pref {
+
+// Mentions in comments or strings must not fire: #include <immintrin.h>
+const char* kDoc = "#include <immintrin.h>";
+
+}  // namespace pref

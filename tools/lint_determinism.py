@@ -40,6 +40,15 @@ Rules (each finding names one):
                   corrupts them. Use stderr for diagnostics. Bench mains
                   are exempt — human-readable stdout is their job.
 
+  raw-simd        #include of a raw intrinsics header (<immintrin.h>,
+                  <x86intrin.h>, <emmintrin.h>, ...) outside
+                  src/common/simd.h. All vector code lives behind the
+                  dispatched kernels in common/simd.h, whose scalar
+                  fallbacks are pinned bit-identical (DESIGN.md §13);
+                  ad-hoc intrinsics elsewhere escape the
+                  PREF_FORCE_SCALAR escape hatch and the identity tests.
+                  Applies to src/ and bench/.
+
   wall-clock      Any clock read (std::chrono::{steady,system,
                   high_resolution}_clock or a Stopwatch) in the
                   observability paths that must be replayable:
@@ -94,6 +103,11 @@ RAW_RANDOM = re.compile(
     r"|std::chrono::system_clock"
 )
 RAW_THREAD = re.compile(r"\bstd::thread\b(?!::hardware_concurrency)")
+
+# Rule (raw-simd): every x86 intrinsics umbrella/sub-header ends in
+# "intrin.h" and is included in angle form (quoted includes are project
+# headers). strip_code leaves angle includes in the code stream.
+RAW_SIMD = re.compile(r"#\s*include\s*<\w*intrin\.h>")
 
 # Rule (e): the replayable observability layer may not read clocks at all.
 WALL_CLOCK_PATHS = (
@@ -349,6 +363,23 @@ def check_file(path, rel, allowed):
                         "code; windows and ticks advance on completion "
                         "counts, never wall time — take timings from "
                         "ExecStats/SchedulerTimings measured elsewhere",
+                    )
+                )
+
+    in_simd = rel_posix.startswith("src/common/simd")
+    if not in_simd and not allowed_rule("raw-simd"):
+        for idx, line in enumerate(code):
+            m = RAW_SIMD.search(line)
+            if m:
+                findings.append(
+                    Finding(
+                        rel_posix,
+                        idx + 1,
+                        "raw-simd",
+                        f"'{m.group(0).strip()}' outside src/common/simd.h; "
+                        "raw intrinsics belong behind the dispatched "
+                        "kernels (scalar-fallback + bit-identity contract, "
+                        "DESIGN.md §13)",
                     )
                 )
 
