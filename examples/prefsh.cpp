@@ -22,7 +22,7 @@
 #include "design/sd_design.h"
 #include "design/wd_design.h"
 #include "engine/executor.h"
-#include "partition/mutation.h"
+#include "engine/mutation.h"
 #include "partition/partitioner.h"
 #include "partition/presets.h"
 #include "sql/parser.h"

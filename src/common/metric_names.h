@@ -1,0 +1,137 @@
+#pragma once
+// Canonical registry of every metric, span, and trace-category name the
+// library emits — the single source of truth for the observability schema.
+//
+// Why a header of constants instead of ad-hoc literals: the BENCH_*.json
+// metric snapshots and Chrome-trace exports are consumed by name. A typo'd
+// literal ("scheduler.comitted") doesn't fail any test — it silently forks
+// the schema into a twin nobody reads. Centralizing the names makes the
+// compiler catch misspellings at call sites, and gives the observability-
+// schema rule in tools/pref_analyze.py a ground truth to check string
+// literals against (unregistered names and edit-distance-1 near-duplicates
+// of a registered name are findings; see DESIGN.md §14).
+//
+// Conventions (DESIGN.md §6):
+//  * Metric names are dot-separated lowercase paths, subsystem first.
+//  * Constants ending in `Prefix` name dynamic families — call sites
+//    append a runtime suffix ("pool.worker_busy_us." + std::to_string(i)).
+//    The analyzer matches such literals by prefix.
+//  * Span names are CamelCase with dotted sub-phases (BulkLoad.route);
+//    trace categories are lowercase dotted.
+//
+// Adding a metric: add the constant here, use it at the call site, and
+// mention it in DESIGN.md §6 if it feeds a bench schema. pref_analyze's
+// metric-name rule fails CI on a literal that bypasses this header.
+
+namespace pref {
+namespace metric_names {
+
+// ---- counters ------------------------------------------------------------
+// ThreadPool (src/common/thread_pool.cc)
+inline constexpr char kPoolTasksExecuted[] = "pool.tasks_executed";
+// Design enumeration (src/design)
+inline constexpr char kDesignConfigsEnumerated[] = "design.configs_enumerated";
+inline constexpr char kDesignConfigsPruned[] = "design.configs_pruned";
+inline constexpr char kDesignEstimatorInvocations[] =
+    "design.estimator_invocations";
+// QueryScheduler (src/engine/scheduler.cc)
+inline constexpr char kSchedulerSubmitted[] = "scheduler.submitted";
+inline constexpr char kSchedulerCompleted[] = "scheduler.completed";
+inline constexpr char kSchedulerCancelled[] = "scheduler.cancelled";
+// Executor (src/engine/executor.cc)
+inline constexpr char kEngineQueries[] = "engine.queries";
+inline constexpr char kEngineExchangeBytes[] = "engine.exchange.bytes";
+inline constexpr char kEngineExchangeRows[] = "engine.exchange.rows";
+inline constexpr char kEngineExchangeLocalRows[] = "engine.exchange.local_rows";
+inline constexpr char kEngineRowsProcessed[] = "engine.rows_processed";
+inline constexpr char kExecScanMorsels[] = "exec.scan.morsels";
+inline constexpr char kExecScanRows[] = "exec.scan.rows";
+inline constexpr char kExecAggMorsels[] = "exec.agg.morsels";
+inline constexpr char kExecAggRows[] = "exec.agg.rows";
+inline constexpr char kExecAggGroups[] = "exec.agg.groups";
+// Migration (src/partition/migration.cc)
+inline constexpr char kMigrationPlans[] = "migration.plans";
+inline constexpr char kMigrationCompleted[] = "migration.completed";
+inline constexpr char kMigrationCancelled[] = "migration.cancelled";
+inline constexpr char kMigrationFailed[] = "migration.failed";
+inline constexpr char kMigrationTablesMoved[] = "migration.tables_moved";
+inline constexpr char kMigrationTablesKept[] = "migration.tables_kept";
+inline constexpr char kMigrationRowsMoved[] = "migration.rows_moved";
+inline constexpr char kMigrationBytesMoved[] = "migration.bytes_moved";
+inline constexpr char kMigrationEpochsPublished[] =
+    "migration.epochs_published";
+// Partitioner (src/partition/partitioner.cc)
+inline constexpr char kPartitionTables[] = "partition.tables";
+inline constexpr char kPartitionRowsRouted[] = "partition.rows_routed";
+inline constexpr char kPartitionCopiesWritten[] = "partition.copies_written";
+inline constexpr char kPartitionIndexLookups[] = "partition.index_lookups";
+// Bulk loader (src/partition/bulk_loader.cc)
+inline constexpr char kLoadRowsInserted[] = "load.rows_inserted";
+inline constexpr char kLoadCopiesWritten[] = "load.copies_written";
+inline constexpr char kLoadIndexLookups[] = "load.index_lookups";
+inline constexpr char kLoadScanProbes[] = "load.scan_probes";
+
+// ---- gauges --------------------------------------------------------------
+inline constexpr char kPoolQueueDepth[] = "pool.queue_depth";
+inline constexpr char kSchedulerInFlight[] = "scheduler.in_flight";
+inline constexpr char kSchedulerBacklog[] = "scheduler.backlog";
+inline constexpr char kMonitorDriftMilli[] = "monitor.drift_milli";
+inline constexpr char kMonitorSkewMilli[] = "monitor.skew_milli";
+inline constexpr char kMonitorWindowsCompleted[] = "monitor.windows_completed";
+
+// ---- histograms ----------------------------------------------------------
+inline constexpr char kSchedulerQuerySeconds[] = "scheduler.query_seconds";
+inline constexpr char kSchedulerQueueWaitSeconds[] =
+    "scheduler.queue_wait_seconds";
+inline constexpr char kEngineQuerySeconds[] = "engine.query_seconds";
+inline constexpr char kLoadAppendSeconds[] = "load.append_seconds";
+
+// ---- dynamic families (runtime suffix appended to the prefix) ------------
+// pool.worker_busy_us.<worker index>
+inline constexpr char kPoolWorkerBusyUsPrefix[] = "pool.worker_busy_us.";
+// monitor.partition_rows.<partition id>
+inline constexpr char kMonitorPartitionRowsPrefix[] = "monitor.partition_rows.";
+
+// ---- trace span names ----------------------------------------------------
+inline constexpr char kSpanQuery[] = "Query";
+inline constexpr char kSpanExecuteQuery[] = "ExecuteQuery";
+inline constexpr char kSpanExecutePlan[] = "ExecutePlan";
+inline constexpr char kSpanRewrite[] = "Rewrite";
+inline constexpr char kSpanScanSelect[] = "Scan.select";
+inline constexpr char kSpanScanAppend[] = "Scan.append";
+inline constexpr char kSpanAggGroup[] = "Agg.group";
+inline constexpr char kSpanAggFold[] = "Agg.fold";
+inline constexpr char kSpanPlanMigration[] = "PlanMigration";
+inline constexpr char kSpanVerifyColocation[] = "VerifyColocation";
+inline constexpr char kSpanMigration[] = "Migration";
+inline constexpr char kSpanMigrationEpoch[] = "Migration.epoch";
+inline constexpr char kSpanMigrationTable[] = "Migration.table";
+inline constexpr char kSpanPartitionDatabase[] = "PartitionDatabase";
+inline constexpr char kSpanPartitionTable[] = "PartitionTable";
+inline constexpr char kSpanPartitionTableRoute[] = "PartitionTable.route";
+inline constexpr char kSpanPartitionTableAppend[] = "PartitionTable.append";
+inline constexpr char kSpanPartitionTableIndex[] = "PartitionTable.index";
+inline constexpr char kSpanBulkLoad[] = "BulkLoad";
+inline constexpr char kSpanBulkLoadRoute[] = "BulkLoad.route";
+inline constexpr char kSpanBulkLoadAppend[] = "BulkLoad.append";
+inline constexpr char kSpanBulkLoadIndex[] = "BulkLoad.index";
+// Simulated-timeline exchange spans are dynamic: "<op name>" on sim.node
+// tracks and "<op name>.exchange" on the network track (executor.cc
+// EmitSimulatedTimeline); the per-operator span in ExecOperator uses
+// OpKindName(kind). Those names come from the plan, not this registry.
+inline constexpr char kSpanExchangeSuffix[] = ".exchange";
+
+// ---- trace categories ----------------------------------------------------
+inline constexpr char kCategoryDefault[] = "default";
+inline constexpr char kCategoryScheduler[] = "scheduler";
+inline constexpr char kCategoryEngine[] = "engine";
+inline constexpr char kCategoryEngineOp[] = "engine.op";
+inline constexpr char kCategoryEngineMorsel[] = "engine.morsel";
+inline constexpr char kCategoryPartition[] = "partition";
+inline constexpr char kCategoryLoad[] = "load";
+inline constexpr char kCategoryMigration[] = "migration";
+inline constexpr char kCategorySimNode[] = "sim.node";
+inline constexpr char kCategorySimNet[] = "sim.net";
+
+}  // namespace metric_names
+}  // namespace pref

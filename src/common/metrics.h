@@ -199,7 +199,9 @@ class MetricsRegistry {
  private:
   // The maps are guarded; the instruments behind the unique_ptrs are not —
   // they are internally thread-safe (relaxed atomics) and handed out by
-  // reference precisely so the hot path never touches mu_.
+  // reference precisely so the hot path never touches mu_. Leaf in the
+  // global lock order (common/mutex.h): registration never calls out of
+  // this class while holding it.
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);

@@ -15,6 +15,25 @@
 // reacquires the underlying mutex, but from the analysis's point of view
 // the capability is held across the call (the Abseil convention): guarded
 // reads in the wait predicate are exactly the pattern this models.
+//
+// Global lock order. Every long-lived Mutex in the library sits in one
+// acyclic hierarchy, declared at the member with ACQUIRED_BEFORE /
+// ACQUIRED_AFTER (checked by Clang under -Wthread-safety-beta; always
+// documentation). A thread holding a mutex may only acquire mutexes to the
+// right of it:
+//
+//   QueryScheduler::mu_  ─┐
+//   MigrationExecutor::mu_┴─► ThreadPool::mu_ ─► ForkJoin::mu
+//                                Tracer::mu_  ─► Tracer::ThreadBuffer::mu
+//                                MetricsRegistry::mu_   (leaf)
+//                                ServingDatabase::mu_   (leaf;
+//                                  MigrationExecutor::mu_ orders before it)
+//
+// Leaf mutexes guard registration/publication maps and are never held
+// across a call into another subsystem. Cross-class edges use the
+// "private mutex" accessor pattern (a RETURN_CAPABILITY getter like
+// ThreadPool::pool_mu()) so the ordering can be declared without making
+// the mutex itself public.
 
 #pragma once
 

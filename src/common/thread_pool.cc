@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.h"
 #include "common/task_context.h"
+#include "common/metric_names.h"
 
 namespace pref {
 
@@ -19,7 +20,7 @@ thread_local const ThreadPool* t_worker_pool = nullptr;
 
 }  // namespace
 
-void ThreadPool::ForkJoin::Finish(ThreadPool* pool, std::exception_ptr e) {
+void ThreadPool::ForkJoin::Finish(std::exception_ptr e) {
   if (e) {
     MutexLock lock(&mu);
     if (!error) error = e;
@@ -43,13 +44,13 @@ ThreadPool::ThreadPool(int num_threads) {
   // finishes construction before this pool does and outlives it, so worker
   // threads can update counters right up to shutdown.
   MetricsRegistry& registry = MetricsRegistry::Default();
-  tasks_executed_ = &registry.GetCounter("pool.tasks_executed");
-  queue_depth_ = &registry.GetGauge("pool.queue_depth");
+  tasks_executed_ = &registry.GetCounter(metric_names::kPoolTasksExecuted);
+  queue_depth_ = &registry.GetGauge(metric_names::kPoolQueueDepth);
   workers_.reserve(static_cast<size_t>(num_threads - 1));
   worker_busy_us_.reserve(static_cast<size_t>(num_threads - 1));
   for (int i = 0; i < num_threads - 1; ++i) {
     worker_busy_us_.push_back(
-        &registry.GetCounter("pool.worker_busy_us." + std::to_string(i)));
+        &registry.GetCounter(metric_names::kPoolWorkerBusyUsPrefix + std::to_string(i)));
   }
   for (int i = 0; i < num_threads - 1; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -208,7 +209,7 @@ void ThreadPool::ParallelForChunks(
   const size_t base = n / static_cast<size_t>(chunks);
   const size_t extra = n % static_cast<size_t>(chunks);
 
-  ForkJoin join;
+  ForkJoin join(this);
   join.remaining.store(chunks, std::memory_order_relaxed);
   const uint64_t tag = CurrentTaskTag();
   {
@@ -227,7 +228,7 @@ void ThreadPool::ParallelForChunks(
                            } catch (...) {
                              err = std::current_exception();
                            }
-                           join.Finish(this, err);
+                           join.Finish(err);
                          }});
     }
   }
@@ -241,7 +242,7 @@ void ThreadPool::ParallelForChunks(
     } catch (...) {
       err = std::current_exception();
     }
-    join.Finish(this, err);
+    join.Finish(err);
   }
   HelpUntilDone(join, tag);
 }
@@ -267,7 +268,7 @@ void ThreadPool::ParallelForMorsels(
   // Morsel boundaries depend only on n and morsel_size, so results stay
   // bit-identical no matter which lanes (or helping joiners) run them.
   std::atomic<size_t> next{0};
-  ForkJoin join;
+  ForkJoin join(this);
   const int tasks = static_cast<int>(
       std::min<size_t>(morsels, static_cast<size_t>(lanes)));
   join.remaining.store(tasks, std::memory_order_relaxed);
@@ -281,7 +282,7 @@ void ThreadPool::ParallelForMorsels(
     } catch (...) {
       err = std::current_exception();
     }
-    join.Finish(this, err);
+    join.Finish(err);
   };
   const uint64_t tag = CurrentTaskTag();
   {

@@ -117,6 +117,13 @@ class ThreadPool {
   /// Process-wide shared pool (constructed on first use).
   static ThreadPool& Default();
 
+  /// Capability accessor for lock-ordering annotations in other classes
+  /// (the Clang "private mutex" pattern): callers never lock through this —
+  /// it exists so e.g. QueryScheduler can declare
+  /// `Mutex mu_ ACQUIRED_BEFORE(pool_->pool_mu())` against a mutex that
+  /// stays private. See the global lock order in common/mutex.h.
+  Mutex* pool_mu() const RETURN_CAPABILITY(mu_) { return &mu_; }
+
  private:
   struct Task {
     uint64_t tag = 0;
@@ -128,11 +135,20 @@ class ThreadPool {
   /// without taking a lock inside a condition predicate that already holds
   /// the pool mutex.
   struct ForkJoin {
+    explicit ForkJoin(ThreadPool* p) : pool(p) {}
+
+    /// The pool this join's chunks run on; Finish touches pool->mu_ for
+    /// the wake-up handshake, and the lock-order annotation below needs a
+    /// named object to order against.
+    ThreadPool* const pool;
     std::atomic<int> remaining{0};
-    Mutex mu;
+    /// Ordered after the pool mutex in the global hierarchy (see
+    /// common/mutex.h): a lane may publish its error or rethrow while the
+    /// pool is between handshakes, but never takes mu with mu_ held.
+    Mutex mu ACQUIRED_AFTER(pool->mu_);
     std::exception_ptr error GUARDED_BY(mu);
 
-    void Finish(ThreadPool* pool, std::exception_ptr e);
+    void Finish(std::exception_ptr e);
   };
 
   void WorkerLoop(int worker_index);

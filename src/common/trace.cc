@@ -33,7 +33,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   static thread_local std::unordered_map<uint64_t, ThreadBuffer*> t_buffers;
   auto it = t_buffers.find(id_);
   if (it != t_buffers.end()) return *it->second;
-  auto buffer = std::make_unique<ThreadBuffer>();
+  auto buffer = std::make_unique<ThreadBuffer>(this);
   buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
   ThreadBuffer* raw = buffer.get();
   {

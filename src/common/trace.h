@@ -92,9 +92,14 @@ class Tracer {
 
   /// One recording thread's buffer. Each writer locks only its own buffer;
   /// the tracer-wide mutex is taken for registration and export (mu_ is
-  /// always acquired before any buffer's mu, never the reverse).
+  /// always acquired before any buffer's mu, never the reverse — the
+  /// ACQUIRED_AFTER annotation states that order for the analyzer; see the
+  /// global hierarchy in common/mutex.h).
   struct ThreadBuffer {
-    Mutex mu;
+    explicit ThreadBuffer(Tracer* t) : owner(t) {}
+
+    Tracer* const owner;  // the tracer whose mu_ orders before this mu
+    Mutex mu ACQUIRED_AFTER(owner->mu_);
     std::vector<Event> events GUARDED_BY(mu);
     int tid = 0;  // immutable after publication; read without the lock
   };
@@ -102,6 +107,10 @@ class Tracer {
   ThreadBuffer& LocalBuffer();
   void Append(ThreadBuffer& buffer, Event event);
 
+  /// Ordered before every buffer's mu (common/mutex.h): export and Clear
+  /// hold mu_ while walking buffers_ and locking each buffer in turn; the
+  /// reverse nesting never happens (ThreadBuffer::mu carries the matching
+  /// ACQUIRED_AFTER).
   mutable Mutex mu_;
   /// The vector (and ThreadBuffer ownership) is guarded; the buffers
   /// themselves carry their own locks, so writers touch only mu of their

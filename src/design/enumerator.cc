@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/metrics.h"
+#include "common/metric_names.h"
 
 namespace pref {
 
@@ -181,9 +182,9 @@ double BestPlanForSubTree(const SubTree& tree, const Schema& schema,
   // Every (sub-tree, seed) pair is one candidate configuration; constraint
   // failures (infinite size) count as pruned.
   static Counter& enumerated =
-      MetricsRegistry::Default().GetCounter("design.configs_enumerated");
+      MetricsRegistry::Default().GetCounter(metric_names::kDesignConfigsEnumerated);
   static Counter& pruned =
-      MetricsRegistry::Default().GetCounter("design.configs_pruned");
+      MetricsRegistry::Default().GetCounter(metric_names::kDesignConfigsPruned);
   double best = std::numeric_limits<double>::infinity();
   for (TableId seed : tree.nodes) {
     // A constrained table is a fine seed; an unconstrained seed is fine

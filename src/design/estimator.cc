@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/metric_names.h"
 #include "storage/partition.h"
 
 namespace pref {
@@ -112,7 +113,7 @@ double RedundancyEstimator::EdgeFactor(const JoinPredicate& p,
                                        const CopyProfile* parent,
                                        CopyProfile* child) {
   static Counter& invocations =
-      MetricsRegistry::Default().GetCounter("design.estimator_invocations");
+      MetricsRegistry::Default().GetCounter(metric_names::kDesignEstimatorInvocations);
   invocations.Add(1);
   const TableId referencing = p.left_table;
   const TableId referenced = p.right_table;

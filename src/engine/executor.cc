@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "common/metric_names.h"
 #include "engine/exchange_kernels.h"
 #include "engine/join_hash_table.h"
 
@@ -115,7 +116,7 @@ class Executor {
   Result<QueryResult> Run(const PlanNode& root) {
     Stopwatch timer;
     run_watch_.Restart();
-    TraceSpan span("ExecutePlan", "engine");
+    TraceSpan span(metric_names::kSpanExecutePlan, metric_names::kCategoryEngine);
     const double sim_base_us = Tracer::Default().NowMicros();
     n_ = 0;
     for (const auto* t : pdb_.tables()) {
@@ -144,18 +145,18 @@ class Executor {
 
     {
       MetricsRegistry& registry = MetricsRegistry::Default();
-      static Counter& queries = registry.GetCounter("engine.queries");
-      static Counter& exchange_bytes = registry.GetCounter("engine.exchange.bytes");
-      static Counter& exchange_rows = registry.GetCounter("engine.exchange.rows");
+      static Counter& queries = registry.GetCounter(metric_names::kEngineQueries);
+      static Counter& exchange_bytes = registry.GetCounter(metric_names::kEngineExchangeBytes);
+      static Counter& exchange_rows = registry.GetCounter(metric_names::kEngineExchangeRows);
       static Counter& exchange_local_rows =
-          registry.GetCounter("engine.exchange.local_rows");
-      static Counter& rows_processed = registry.GetCounter("engine.rows_processed");
-      static Histogram& query_seconds = registry.GetHistogram("engine.query_seconds");
-      static Counter& scan_morsels = registry.GetCounter("exec.scan.morsels");
-      static Counter& scan_rows = registry.GetCounter("exec.scan.rows");
-      static Counter& agg_morsels = registry.GetCounter("exec.agg.morsels");
-      static Counter& agg_rows = registry.GetCounter("exec.agg.rows");
-      static Counter& agg_groups = registry.GetCounter("exec.agg.groups");
+          registry.GetCounter(metric_names::kEngineExchangeLocalRows);
+      static Counter& rows_processed = registry.GetCounter(metric_names::kEngineRowsProcessed);
+      static Histogram& query_seconds = registry.GetHistogram(metric_names::kEngineQuerySeconds);
+      static Counter& scan_morsels = registry.GetCounter(metric_names::kExecScanMorsels);
+      static Counter& scan_rows = registry.GetCounter(metric_names::kExecScanRows);
+      static Counter& agg_morsels = registry.GetCounter(metric_names::kExecAggMorsels);
+      static Counter& agg_rows = registry.GetCounter(metric_names::kExecAggRows);
+      static Counter& agg_groups = registry.GetCounter(metric_names::kExecAggGroups);
       queries.Add(1);
       exchange_bytes.Add(stats_.bytes_shuffled);
       exchange_rows.Add(stats_.rows_shuffled);
@@ -209,7 +210,7 @@ class Executor {
       op.node_rows.assign(static_cast<size_t>(n_), 0);
       ops_.push_back(std::move(op));
     }
-    TraceSpan span(OpKindName(node.kind), "engine.op");
+    TraceSpan span(OpKindName(node.kind), metric_names::kCategoryEngineOp);
     PREF_ASSIGN_OR_RAISE(DistResult out, Dispatch(node, idx));
     size_t rows_out = 0;
     for (const RowBlock& block : out.nodes) rows_out += block.num_rows();
@@ -285,7 +286,7 @@ class Executor {
         size_t rows = op.node_rows[static_cast<size_t>(p)];
         double dur = static_cast<double>(rows) /
                      cost_model_.rows_per_second_per_node * 1e6;
-        tracer.AddComplete(op.op, "sim.node", cursor[static_cast<size_t>(p)], dur,
+        tracer.AddComplete(op.op, metric_names::kCategorySimNode, cursor[static_cast<size_t>(p)], dur,
                            pid, p,
                            {{"rows", static_cast<int64_t>(rows)},
                             {"op_index", op.index}});
@@ -298,7 +299,7 @@ class Executor {
                 cost_model_.network_bytes_per_second * 1e6 +
             static_cast<double>(op.exchanges) *
                 cost_model_.exchange_latency_seconds * 1e6;
-        tracer.AddComplete(op.op + ".exchange", "sim.net", max_end, net_us, pid, n_,
+        tracer.AddComplete(op.op + metric_names::kSpanExchangeSuffix, metric_names::kCategorySimNet, max_end, net_us, pid, n_,
                            {{"bytes", static_cast<int64_t>(op.bytes_shuffled)},
                             {"rows", static_cast<int64_t>(op.rows_shuffled)}});
         // An exchange is a barrier: every node resumes after it completes.
@@ -354,7 +355,7 @@ class Executor {
     }
 
     {
-      TraceSpan select_span("Scan.select", "engine.morsel");
+      TraceSpan select_span(metric_names::kSpanScanSelect, metric_names::kCategoryEngineMorsel);
       select_span.AddArg("morsels", static_cast<int64_t>(morsels.size()));
       select_span.AddArg("rows", static_cast<int64_t>(rows_total));
       pool_->ParallelFor(static_cast<int>(morsels.size()), [&](int m) {
@@ -376,7 +377,7 @@ class Executor {
     }
 
     {
-      TraceSpan append_span("Scan.append", "engine.morsel");
+      TraceSpan append_span(metric_names::kSpanScanAppend, metric_names::kCategoryEngineMorsel);
       pool_->ParallelFor(static_cast<int>(parts.size()), [&](int i) {
         const int p = parts[static_cast<size_t>(i)];
         const Partition& part = pt->partition(p);
@@ -750,7 +751,7 @@ class Executor {
     };
     std::vector<MorselGroups> partial((rows + kMorselRows - 1) / kMorselRows);
     {
-      TraceSpan span("Agg.group", "engine.morsel");
+      TraceSpan span(metric_names::kSpanAggGroup, metric_names::kCategoryEngineMorsel);
       span.AddArg("morsels", static_cast<int64_t>(partial.size()));
       span.AddArg("rows", static_cast<int64_t>(rows));
       pool_->ParallelForMorsels(
@@ -813,7 +814,7 @@ class Executor {
       // GroupRows) for serial-identical floating-point sums.
       std::vector<std::vector<AggState>> states(slots.size());
       {
-        TraceSpan fold_span("Agg.fold", "engine.morsel");
+        TraceSpan fold_span(metric_names::kSpanAggFold, metric_names::kCategoryEngineMorsel);
         pool_->ParallelFor(static_cast<int>(slots.size()), [&](int g) {
           auto& st = states[static_cast<size_t>(g)];
           st.resize(node.aggs.size());
@@ -887,7 +888,7 @@ class Executor {
       const auto slots = SlotsInOrder(groups);
       std::vector<std::vector<AggState>> states(slots.size());
       {
-        TraceSpan fold_span("Agg.fold", "engine.morsel");
+        TraceSpan fold_span(metric_names::kSpanAggFold, metric_names::kCategoryEngineMorsel);
         pool_->ParallelFor(static_cast<int>(slots.size()), [&](int g) {
           auto& st = states[static_cast<size_t>(g)];
           st.resize(node.aggs.size());
@@ -1066,9 +1067,9 @@ Result<QueryResult> ExecuteQuery(const QuerySpec& query,
                                  const CostModel& cost_model, ThreadPool* pool,
                                  QueryControl* control) {
   Stopwatch timer;
-  TraceSpan span("ExecuteQuery", "engine");
+  TraceSpan span(metric_names::kSpanExecuteQuery, metric_names::kCategoryEngine);
   auto plan = [&] {
-    TraceSpan rewrite_span("Rewrite", "engine");
+    TraceSpan rewrite_span(metric_names::kSpanRewrite, metric_names::kCategoryEngine);
     return RewriteQuery(query, pdb, options);
   }();
   PREF_RETURN_NOT_OK(plan.status());

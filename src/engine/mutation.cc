@@ -1,4 +1,4 @@
-#include "partition/mutation.h"
+#include "engine/mutation.h"
 
 #include <set>
 

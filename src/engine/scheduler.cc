@@ -7,6 +7,7 @@
 #include "common/task_context.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "common/metric_names.h"
 #include "partition/deployment.h"
 
 namespace pref {
@@ -28,13 +29,13 @@ void QueryScheduler::Init(ScheduleOptions options) {
   max_in_flight_ = options.max_in_flight > 0 ? options.max_in_flight
                                              : pool_->num_threads();
   MetricsRegistry& registry = MetricsRegistry::Default();
-  submitted_ = &registry.GetCounter("scheduler.submitted");
-  completed_ctr_ = &registry.GetCounter("scheduler.completed");
-  cancelled_ = &registry.GetCounter("scheduler.cancelled");
-  in_flight_hwm_ = &registry.GetGauge("scheduler.in_flight");
-  backlog_gauge_ = &registry.GetGauge("scheduler.backlog");
-  query_seconds_ = &registry.GetHistogram("scheduler.query_seconds");
-  queue_wait_ = &registry.GetHistogram("scheduler.queue_wait_seconds");
+  submitted_ = &registry.GetCounter(metric_names::kSchedulerSubmitted);
+  completed_ctr_ = &registry.GetCounter(metric_names::kSchedulerCompleted);
+  cancelled_ = &registry.GetCounter(metric_names::kSchedulerCancelled);
+  in_flight_hwm_ = &registry.GetGauge(metric_names::kSchedulerInFlight);
+  backlog_gauge_ = &registry.GetGauge(metric_names::kSchedulerBacklog);
+  query_seconds_ = &registry.GetHistogram(metric_names::kSchedulerQuerySeconds);
+  queue_wait_ = &registry.GetHistogram(metric_names::kSchedulerQueueWaitSeconds);
 }
 
 QueryScheduler::~QueryScheduler() {
@@ -78,7 +79,7 @@ void QueryScheduler::LaunchLocked() {
 }
 
 void QueryScheduler::RunQuery(uint64_t id, Entry* entry) {
-  TraceSpan span("Query", "scheduler");
+  TraceSpan span(metric_names::kSpanQuery, metric_names::kCategoryScheduler);
   span.AddArg("id", static_cast<int64_t>(id));
   const double queue_wait = entry->wait_watch.ElapsedSeconds();
   queue_wait_->Observe(entry->admission_wait_seconds + queue_wait);

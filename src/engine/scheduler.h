@@ -51,12 +51,12 @@
 #include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "common/thread_annotations.h"
+#include "common/thread_pool.h"  // full type: mu_'s lock-order annotation
+                                 // names pool_->pool_mu()
 #include "engine/executor.h"
 #include "engine/profile.h"
 
 namespace pref {
-
-class ThreadPool;
 
 struct ScheduleOptions {
   /// Queries executing concurrently at most; 0 means the pool's lane count
@@ -168,7 +168,10 @@ class QueryScheduler {
   ThreadPool* pool_;
   int max_in_flight_;
 
-  mutable Mutex mu_;
+  /// Held while admitting/finishing queries, during which the scheduler
+  /// posts tasks (ThreadPool::mu_) — hence ordered before the pool mutex
+  /// in the global hierarchy (common/mutex.h).
+  mutable Mutex mu_ ACQUIRED_BEFORE(pool_->pool_mu());
   CondVar cv_;
   /// All submissions by id; entries are stable (unique_ptr) so RunQuery
   /// can touch its entry without holding mu_ while the map grows.

@@ -6,6 +6,7 @@
 
 #include "common/json.h"
 #include "common/metrics.h"
+#include "common/metric_names.h"
 
 namespace pref {
 
@@ -171,7 +172,7 @@ void WorkloadMonitor::OnQueryComplete(const QueryProfile& profile,
 
   MetricsRegistry& registry = MetricsRegistry::Default();
   for (size_t p = 0; p < current_.partition_rows.size(); ++p) {
-    registry.GetGauge("monitor.partition_rows." + std::to_string(p))
+    registry.GetGauge(metric_names::kMonitorPartitionRowsPrefix + std::to_string(p))
         .Set(static_cast<int64_t>(current_.partition_rows[p]));
   }
 
@@ -195,11 +196,11 @@ void WorkloadMonitor::FinalizeWindow() {
   above_threshold_ = above;
 
   MetricsRegistry& registry = MetricsRegistry::Default();
-  registry.GetGauge("monitor.drift_milli")
+  registry.GetGauge(metric_names::kMonitorDriftMilli)
       .Set(static_cast<int64_t>(last_drift_ * 1000.0));
-  registry.GetGauge("monitor.skew_milli")
+  registry.GetGauge(metric_names::kMonitorSkewMilli)
       .Set(static_cast<int64_t>(PartitionSkewOf(current_) * 1000.0));
-  registry.GetGauge("monitor.windows_completed")
+  registry.GetGauge(metric_names::kMonitorWindowsCompleted)
       .Set(static_cast<int64_t>(windows_completed_));
 
   last_ = std::move(current_);

@@ -3,6 +3,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "common/metric_names.h"
 #include "partition/load_phases.h"
 
 namespace pref {
@@ -20,7 +21,7 @@ Result<BulkLoadStats> BulkLoader::Append(PartitionedDatabase* pdb, TableId id,
   }
   BulkLoadStats stats;
   stats.rows_inserted = new_rows.num_rows();
-  TraceSpan load_span("BulkLoad", "load");
+  TraceSpan load_span(metric_names::kSpanBulkLoad, metric_names::kCategoryLoad);
   load_span.AddArg("rows", static_cast<int64_t>(new_rows.num_rows()));
 
   // The three-phase pipeline shared with PartitionDatabase (see
@@ -28,7 +29,7 @@ Result<BulkLoadStats> BulkLoader::Append(PartitionedDatabase* pdb, TableId id,
   RoutedPlacements route;
   {
     ScopedTimer route_timer(&stats.route_seconds);
-    TraceSpan route_span("BulkLoad.route", "load");
+    TraceSpan route_span(metric_names::kSpanBulkLoadRoute, metric_names::kCategoryLoad);
     PREF_ASSIGN_OR_RAISE(
         route, RoutePlacements(pdb, table, new_rows, use_partition_index_,
                                parallel_));
@@ -37,27 +38,27 @@ Result<BulkLoadStats> BulkLoader::Append(PartitionedDatabase* pdb, TableId id,
   }
   {
     ScopedTimer append_timer(&stats.append_seconds);
-    TraceSpan append_span("BulkLoad.append", "load");
+    TraceSpan append_span(metric_names::kSpanBulkLoadAppend, metric_names::kCategoryLoad);
     stats.copies_written = ApplyPlacements(table, new_rows, route, parallel_);
   }
   {
     ScopedTimer index_timer(&stats.index_seconds);
-    TraceSpan index_span("BulkLoad.index", "load");
+    TraceSpan index_span(metric_names::kSpanBulkLoadIndex, metric_names::kCategoryLoad);
     MaintainPartitionIndexes(table, new_rows, route, parallel_);
   }
 
   // Registry counters mirror the returned stats so bench --json snapshots
   // and long-running loads can be inspected without plumbing BulkLoadStats.
   static Counter& rows_inserted_ctr =
-      MetricsRegistry::Default().GetCounter("load.rows_inserted");
+      MetricsRegistry::Default().GetCounter(metric_names::kLoadRowsInserted);
   static Counter& copies_written_ctr =
-      MetricsRegistry::Default().GetCounter("load.copies_written");
+      MetricsRegistry::Default().GetCounter(metric_names::kLoadCopiesWritten);
   static Counter& index_lookups_ctr =
-      MetricsRegistry::Default().GetCounter("load.index_lookups");
+      MetricsRegistry::Default().GetCounter(metric_names::kLoadIndexLookups);
   static Counter& scan_probes_ctr =
-      MetricsRegistry::Default().GetCounter("load.scan_probes");
+      MetricsRegistry::Default().GetCounter(metric_names::kLoadScanProbes);
   static Histogram& load_seconds_hist =
-      MetricsRegistry::Default().GetHistogram("load.append_seconds");
+      MetricsRegistry::Default().GetHistogram(metric_names::kLoadAppendSeconds);
   rows_inserted_ctr.Add(stats.rows_inserted);
   copies_written_ctr.Add(stats.copies_written);
   index_lookups_ctr.Add(stats.index_lookups);

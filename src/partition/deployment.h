@@ -104,7 +104,15 @@ class ServingDatabase {
     return version_;
   }
 
+  /// Capability accessor for lock-ordering annotations (the Clang
+  /// "private mutex" pattern — see common/mutex.h): lets
+  /// MigrationExecutor declare its mutex ACQUIRED_BEFORE this one without
+  /// the mutex going public. Never used to lock.
+  Mutex* serving_mu() const RETURN_CAPABILITY(mu_) { return &mu_; }
+
  private:
+  /// Leaf in the global lock order (common/mutex.h): only pointer
+  /// copy/swap happens under it, never a call into another subsystem.
   mutable Mutex mu_;
   std::shared_ptr<const PartitionedDatabase> current_ GUARDED_BY(mu_);
   uint64_t version_ GUARDED_BY(mu_) = 1;

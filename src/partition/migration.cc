@@ -9,13 +9,14 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "common/metric_names.h"
 #include "partition/load_phases.h"
 
 namespace pref {
 
 namespace {
 
-const char* kCategory = "migration";
+const char* kCategory = metric_names::kCategoryMigration;
 
 /// Whether a PREF route against `ref` may take the partition-index path
 /// without mutating `ref`. RoutePlacements builds a missing index on the
@@ -196,9 +197,9 @@ Result<MigrationPlan> PlanMigration(const Database& db,
                                     const PartitionedDatabase& current,
                                     const PartitioningConfig& new_config,
                                     const MigrationOptions& options) {
-  TraceSpan span("PlanMigration", kCategory);
+  TraceSpan span(metric_names::kSpanPlanMigration, kCategory);
   static Counter& plans_ctr =
-      MetricsRegistry::Default().GetCounter("migration.plans");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationPlans);
   if (!new_config.finalized()) {
     return Status::Invalid("migration target config must be finalized");
   }
@@ -330,7 +331,7 @@ Result<MigrationPlan> PlanMigration(const Database& db,
 }
 
 Status VerifyColocation(const Database& db, const PartitionedDatabase& pdb) {
-  TraceSpan span("VerifyColocation", kCategory);
+  TraceSpan span(metric_names::kSpanVerifyColocation, kCategory);
   using Key = PartitionIndex::Key;
   struct KeyEq {
     bool operator()(const Key& a, const Key& b) const {
@@ -436,7 +437,9 @@ void MigrationExecutor::Start(ThreadPool* pool) {
   // its morsels form their own round-robin class against tagged queries.
   pool_->Post([this] {
     Status s = RunStarted();
-    (void)s;  // terminal status is stored; Wait() reports it
+    // lint:status-ok: the terminal status is stored in final_status_ under
+    // mu_ by RunStarted itself; Wait()/status() report it to the caller.
+    (void)s;
   });
 }
 
@@ -455,11 +458,11 @@ Status MigrationExecutor::RunStarted() {
     state_ = State::kRunning;
   }
   static Counter& completed_ctr =
-      MetricsRegistry::Default().GetCounter("migration.completed");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationCompleted);
   static Counter& cancelled_ctr =
-      MetricsRegistry::Default().GetCounter("migration.cancelled");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationCancelled);
   static Counter& failed_ctr =
-      MetricsRegistry::Default().GetCounter("migration.failed");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationFailed);
   Status status = Execute();
   {
     MutexLock lock(&mu_);
@@ -480,17 +483,17 @@ Status MigrationExecutor::RunStarted() {
 }
 
 Status MigrationExecutor::Execute() {
-  TraceSpan span("Migration", kCategory);
+  TraceSpan span(metric_names::kSpanMigration, kCategory);
   static Counter& tables_moved_ctr =
-      MetricsRegistry::Default().GetCounter("migration.tables_moved");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationTablesMoved);
   static Counter& tables_kept_ctr =
-      MetricsRegistry::Default().GetCounter("migration.tables_kept");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationTablesKept);
   static Counter& rows_moved_ctr =
-      MetricsRegistry::Default().GetCounter("migration.rows_moved");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationRowsMoved);
   static Counter& bytes_moved_ctr =
-      MetricsRegistry::Default().GetCounter("migration.bytes_moved");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationBytesMoved);
   static Counter& epochs_ctr =
-      MetricsRegistry::Default().GetCounter("migration.epochs_published");
+      MetricsRegistry::Default().GetCounter(metric_names::kMigrationEpochsPublished);
 
   if (plan_.Empty()) return Status::OK();
 
@@ -507,7 +510,7 @@ Status MigrationExecutor::Execute() {
   }
 
   for (int epoch = 0; epoch < plan_.num_epochs; ++epoch) {
-    TraceSpan epoch_span("Migration.epoch", kCategory);
+    TraceSpan epoch_span(metric_names::kSpanMigrationEpoch, kCategory);
     epoch_span.AddArg("epoch", epoch);
     for (MigrationStep& step : plan_.steps) {
       if (step.epoch != epoch) continue;
@@ -559,7 +562,7 @@ Status MigrationExecutor::Execute() {
 
 Status MigrationExecutor::RebuildTable(MigrationStep* step,
                                        PartitionedDatabase* staging) {
-  TraceSpan span("Migration.table", kCategory);
+  TraceSpan span(metric_names::kSpanMigrationTable, kCategory);
   const Table& src = db_.table(step->table);
   span.AddArg("rows", static_cast<int64_t>(src.num_rows()));
   PREF_ASSIGN_OR_RAISE(PartitionedTable * out,

@@ -65,13 +65,14 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/thread_pool.h"  // full type: mu_'s lock-order annotation
+                                 // names pool_->pool_mu()
 #include "partition/config.h"
 #include "partition/deployment.h"
 #include "storage/partition.h"
 
 namespace pref {
 
-class ThreadPool;
 
 /// What happens to one table during a migration.
 enum class MigrationStepKind : uint8_t {
@@ -270,7 +271,10 @@ class MigrationExecutor {
 
   std::atomic<bool> cancel_{false};
 
-  mutable Mutex mu_;
+  /// Held across state transitions that publish epochs (ServingDatabase)
+  /// and dispatch rebuild tasks (ThreadPool) — ordered before both in the
+  /// global hierarchy (common/mutex.h).
+  mutable Mutex mu_ ACQUIRED_BEFORE(serving_->serving_mu(), pool_->pool_mu());
   CondVar cv_;
   State state_ GUARDED_BY(mu_) = State::kPending;
   bool started_ GUARDED_BY(mu_) = false;

@@ -2,6 +2,7 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/metric_names.h"
 #include "partition/load_phases.h"
 
 namespace pref {
@@ -35,15 +36,15 @@ Result<std::unique_ptr<PartitionedDatabase>> PartitionDatabase(
   if (!config.finalized()) {
     PREF_RETURN_NOT_OK(config.Finalize());
   }
-  TraceSpan span("PartitionDatabase", "partition");
+  TraceSpan span(metric_names::kSpanPartitionDatabase, metric_names::kCategoryPartition);
   static Counter& tables_ctr =
-      MetricsRegistry::Default().GetCounter("partition.tables");
+      MetricsRegistry::Default().GetCounter(metric_names::kPartitionTables);
   static Counter& rows_routed_ctr =
-      MetricsRegistry::Default().GetCounter("partition.rows_routed");
+      MetricsRegistry::Default().GetCounter(metric_names::kPartitionRowsRouted);
   static Counter& copies_written_ctr =
-      MetricsRegistry::Default().GetCounter("partition.copies_written");
+      MetricsRegistry::Default().GetCounter(metric_names::kPartitionCopiesWritten);
   static Counter& index_lookups_ctr =
-      MetricsRegistry::Default().GetCounter("partition.index_lookups");
+      MetricsRegistry::Default().GetCounter(metric_names::kPartitionIndexLookups);
 
   auto pdb = std::make_unique<PartitionedDatabase>(&db);
   size_t total_rows = 0;
@@ -57,25 +58,25 @@ Result<std::unique_ptr<PartitionedDatabase>> PartitionDatabase(
     // bounded ThreadPool when `parallel`. For PREF tables, RoutePlacements
     // builds (and the database retains) the partition index on the
     // referenced table's predicate columns.
-    TraceSpan table_span("PartitionTable", "partition");
+    TraceSpan table_span(metric_names::kSpanPartitionTable, metric_names::kCategoryPartition);
     table_span.AddArg("rows", static_cast<int64_t>(src.data().num_rows()));
     RoutedPlacements route;
     {
-      TraceSpan route_span("PartitionTable.route", "partition");
+      TraceSpan route_span(metric_names::kSpanPartitionTableRoute, metric_names::kCategoryPartition);
       PREF_ASSIGN_OR_RAISE(route,
                            RoutePlacements(pdb.get(), out, src.data(),
                                            /*use_partition_index=*/true, parallel));
     }
     size_t copies;
     {
-      TraceSpan append_span("PartitionTable.append", "partition");
+      TraceSpan append_span(metric_names::kSpanPartitionTableAppend, metric_names::kCategoryPartition);
       copies = ApplyPlacements(out, src.data(), route, parallel);
     }
     {
       // Freshly added tables carry no registered indexes yet; this is the
       // same phase the bulk loader runs, kept for symmetry and for future
       // callers that pre-register indexes.
-      TraceSpan index_span("PartitionTable.index", "partition");
+      TraceSpan index_span(metric_names::kSpanPartitionTableIndex, metric_names::kCategoryPartition);
       MaintainPartitionIndexes(out, src.data(), route, parallel);
     }
     total_rows += src.data().num_rows();

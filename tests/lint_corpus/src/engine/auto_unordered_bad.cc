@@ -1,0 +1,38 @@
+// Golden corpus: determinism v2 — unordered iteration reached through
+// auto, typedef/alias chains, and accessor return types: exactly the
+// resolution steps the old regex linter could not perform.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pref {
+
+typedef std::unordered_set<int> RawSeenSet;
+using SeenSetAlias = RawSeenSet;  // alias of a typedef: a two-hop chain
+
+struct CorpusConfig {
+  std::unordered_map<int, int> limits;
+  const std::unordered_map<int, int>& limit_map() const { return limits; }
+};
+
+int AutoFromAccessor(const CorpusConfig& cfg) {
+  auto snapshot = cfg.limit_map();  // auto hides the unordered type
+  int total = 0;
+  for (const auto& [k, v] : snapshot) total += v;  // expect: unordered-iter
+  return total;
+}
+
+int AliasChain() {
+  SeenSetAlias visited{1, 2, 3};
+  int total = 0;
+  for (int v : visited) total += v;  // expect: unordered-iter
+  return total;
+}
+
+int OrderedAutoStaysClean(const int (&values)[4]) {
+  auto copy = values;  // auto over an ordered range: no finding
+  int total = 0;
+  for (int v : copy) total += v;
+  return total;
+}
+
+}  // namespace pref

@@ -1,0 +1,29 @@
+// Golden corpus: observability schema — string literals handed to the
+// metrics/trace APIs must be registered in src/common/metric_names.h
+// (the real registry: these cases reference real registered names).
+// Unregistered names and edit-distance-1 near-duplicates both fire.
+namespace pref {
+
+struct CorpusCounter {
+  void Add(unsigned long n) {}
+};
+
+struct CorpusRegistry {
+  CorpusCounter& GetCounter(const char* name) {
+    static CorpusCounter c;
+    return c;
+  }
+  CorpusCounter& GetGauge(const char* name) {
+    static CorpusCounter g;
+    return g;
+  }
+};
+
+void RecordMetrics(CorpusRegistry& registry) {
+  registry.GetCounter("scheduler.submitted").Add(1);  // no finding: registered
+  registry.GetCounter("scheduler.submited").Add(1);  // expect: metric-name
+  registry.GetGauge("engine.bogus_gauge").Add(1);  // expect: metric-name
+  registry.GetCounter("pool.worker_busy_us.3").Add(1);  // no finding: prefix family
+}
+
+}  // namespace pref

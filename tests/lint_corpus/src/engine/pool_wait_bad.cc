@@ -1,0 +1,61 @@
+// Golden corpus: pool discipline — a blocking call inside a lambda
+// submitted to the ThreadPool parks a pool lane on work the pool itself
+// may have to run (the PR 6 deadlock class). A justified
+// `// lint:pool-wait` tag suppresses; a bare tag is itself a finding.
+#include <chrono>
+#include <thread>
+
+namespace pref {
+
+class CorpusPool {
+ public:
+  template <typename F>
+  void Post(F&& fn) {}
+  template <typename F>
+  void ParallelFor(int n, F&& fn) {}
+};
+
+struct CorpusLatch {
+  void Wait() {}
+  void Notify() {}
+};
+
+struct CorpusWorker {
+  void join() {}
+};
+
+void BlockingInsidePostedLambda(CorpusPool* pool, CorpusLatch* latch) {
+  pool->Post([latch] {
+    latch->Wait();  // expect: pool-discipline
+  });
+  pool->Post([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // expect: pool-discipline
+  });
+}
+
+void JoinInsideParallelFor(CorpusPool* pool, CorpusWorker* worker) {
+  pool->ParallelFor(4, [worker](int) {
+    worker->join();  // not matched by the dot-join pattern on purpose...
+    CorpusWorker local;
+    local.join();  // expect: pool-discipline
+  });
+}
+
+void JustifiedWait(CorpusPool* pool, CorpusLatch* latch) {
+  pool->Post([latch] {
+    // lint:pool-wait: the latch is always signalled before this task is
+    // queued (construction order), so the wait can never park the lane.
+    latch->Wait();
+  });
+}
+
+void NonBlockingTaskStaysClean(CorpusPool* pool, CorpusLatch* latch) {
+  pool->Post([] {
+    int work = 1;
+    work += 2;
+  });
+  // Blocking *outside* any submitted lambda is the caller's business.
+  latch->Wait();  // no finding
+}
+
+}  // namespace pref

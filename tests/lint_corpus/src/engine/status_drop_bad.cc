@@ -1,0 +1,37 @@
+// Golden corpus: status discipline — Status/Result values constructed
+// and dropped: never read after initialization, swallowed by a (void)
+// cast (which defeats [[nodiscard]]), or a bare call statement whose
+// declared return type is Status everywhere. A justified
+// `// lint:status-ok` tag suppresses a deliberate drop.
+#include "common/status.h"
+
+namespace pref {
+
+Status DoRebuild();
+Status DoPublish();
+
+void DropEveryWay() {
+  Status ignored = DoRebuild();  // expect: status-discipline
+  (void)DoPublish();  // expect: status-discipline
+  DoRebuild();  // expect: status-discipline
+}
+
+void SwallowedLocal() {
+  Status s = DoRebuild();
+  (void)s;  // expect: status-discipline
+}
+
+void JustifiedDrop() {
+  Status s = DoRebuild();
+  // lint:status-ok: this path only warms the staging cache; the terminal
+  // status is re-read and surfaced to callers by Wait().
+  (void)s;
+}
+
+Status UsedProperly() {
+  Status first = DoRebuild();
+  if (!first.ok()) return first;
+  return DoPublish();  // no finding: returned to the caller
+}
+
+}  // namespace pref

@@ -1,0 +1,12 @@
+// Golden corpus: layering — the include DAG is
+// common < catalog < storage < datagen/partition < design < engine < sql
+// < workloads. A partition header reaching up into engine or design is a
+// back-edge; downward edges and system includes stay clean.
+#pragma once
+
+#include <vector>            // no finding: system header, outside the DAG
+
+#include "common/mutex.h"    // no finding: downward edge
+#include "design/wd_design.h"   // expect: layering
+#include "engine/plan.h"        // expect: layering
+#include "storage/partition.h"  // no finding: downward edge

@@ -21,7 +21,7 @@
 #include "datagen/tpch_gen.h"
 #include "engine/scheduler.h"
 #include "partition/migration.h"
-#include "partition/mutation.h"
+#include "engine/mutation.h"
 #include "partition/partitioner.h"
 #include "test_util.h"
 #include "workloads/tpch_queries.h"

@@ -4,7 +4,7 @@
 
 #include "datagen/tpch_gen.h"
 #include "engine/executor.h"
-#include "partition/mutation.h"
+#include "engine/mutation.h"
 #include "partition/partitioner.h"
 #include "test_util.h"
 

@@ -1,0 +1,275 @@
+"""Shared infrastructure for the repo's source linters.
+
+Both tools/lint_determinism.py (regex-appropriate conventions: raw
+randomness, ad-hoc threads, stdout writes, raw intrinsics, wall-clock
+reads) and tools/pref_analyze.py (type- and scope-aware AST rules) build
+on the helpers here:
+
+  * strip_code     — comment/string-aware per-line source splitter
+  * Finding        — one (path, line, rule, message) diagnostic
+  * load_allowlist — the shared whole-file exemption list
+
+Allowlist: tools/lint_allowlist.txt is shared by both tools (rule names
+are disjoint across them). One `<rule> <path>` pair per line, path
+relative to the repo root, followed by a mandatory `# reason`. This file
+replaces the old per-tool tools/lint_determinism_allowlist.txt; the
+format is unchanged, so old entries migrate by concatenation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SOURCE_SUFFIXES = {".cc", ".h", ".cpp", ".hpp"}
+
+ALLOWLIST_NAME = "lint_allowlist.txt"
+
+
+def strip_code(text):
+    """Returns (code_lines, comment_lines): per-line source with comments
+    and string/char literals blanked, and the comment text alone (where
+    suppression tags live). Line count is preserved."""
+    code = []
+    comments = []
+    i = 0
+    n = len(text)
+    cur_code = []
+    cur_comment = []
+    state = "code"  # code | line_comment | block_comment | string | char | raw_string
+    raw_delim = ""
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            code.append("".join(cur_code))
+            comments.append("".join(cur_comment))
+            cur_code, cur_comment = [], []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if ch == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw_string"
+                    i += m.end()
+                    continue
+            if ch == '"':
+                state = "string"
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                i += 1
+                continue
+            cur_code.append(ch)
+            i += 1
+        elif state == "line_comment":
+            cur_comment.append(ch)
+            i += 1
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                cur_comment.append(ch)
+                i += 1
+        elif state == "string":
+            if ch == "\\":
+                i += 2
+            elif ch == '"':
+                state = "code"
+                i += 1
+            else:
+                i += 1
+        elif state == "char":
+            if ch == "\\":
+                i += 2
+            elif ch == "'":
+                state = "code"
+                i += 1
+            else:
+                i += 1
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                i += len(raw_delim)
+            else:
+                i += 1
+    code.append("".join(cur_code))
+    comments.append("".join(cur_comment))
+    return code, comments
+
+
+def extract_strings(text):
+    """Per-line plain (non-raw) string literal contents: a list (one entry
+    per source line) of lists of literal bodies, escapes left unresolved.
+    The complement of strip_code for rules that inspect literals (metric
+    names); raw strings and char literals are skipped."""
+    per_line = [[]]
+    i = 0
+    n = len(text)
+    state = "code"
+    raw_delim = ""
+    cur = []
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n" and state != "string":
+            per_line.append([])
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+            elif ch == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+            elif ch == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw_string"
+                    i += m.end()
+                else:
+                    i += 1
+            elif ch == '"':
+                state = "string"
+                cur = []
+                i += 1
+            elif ch == "'":
+                state = "char"
+                i += 1
+            else:
+                i += 1
+        elif state == "line_comment":
+            i += 1
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                i += 2
+            else:
+                i += 1
+        elif state == "string":
+            if ch == "\\":
+                cur.append(text[i:i + 2])
+                i += 2
+            elif ch == '"':
+                per_line[-1].append("".join(cur))
+                state = "code"
+                i += 1
+            elif ch == "\n":  # unterminated; keep line count consistent
+                per_line.append([])
+                state = "code"
+                i += 1
+            else:
+                cur.append(ch)
+                i += 1
+        elif state == "char":
+            if ch == "\\":
+                i += 2
+            elif ch == "'":
+                state = "code"
+                i += 1
+            else:
+                i += 1
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                i += len(raw_delim)
+            else:
+                i += 1
+    return per_line
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def load_allowlist(path):
+    """Parses the shared allowlist into a set of (rule, posix_path) pairs.
+    Exits with a usage error on a malformed entry (a pair without a
+    `# reason` is malformed on purpose: exemptions must be justified)."""
+    allowed = set()
+    if not path.exists():
+        return allowed
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, reason = line.partition("#")
+        parts = body.split()
+        if len(parts) != 2 or not reason.strip():
+            sys.exit(
+                f"{path}:{lineno}: allowlist entries are '<rule> <path>  # reason'"
+            )
+        allowed.add((parts[0], parts[1]))
+    return allowed
+
+
+def default_allowlist(root):
+    return root / "tools" / ALLOWLIST_NAME
+
+
+def iter_source_files(root, trees):
+    """Yields source files under `trees` (dirs relative to root), sorted."""
+    for tree in trees:
+        base = root / tree
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES:
+                yield path
+
+
+def suppression(code, comments, idx, tag, findings, rel_posix, rule):
+    """True if line `idx` (0-based) is covered by a justified `tag`
+    suppression comment — on the line itself or in the contiguous
+    comment-only block immediately above. A bare tag without a reason is
+    itself reported as a finding on `rule` (and still suppresses, so the
+    site is not double-reported)."""
+    candidates = [idx]
+    j = idx - 1
+    while j >= 0 and not code[j].strip() and comments[j].strip():
+        candidates.append(j)
+        j -= 1
+    for j in candidates:
+        comment = comments[j]
+        if tag in comment:
+            after = comment.split(tag, 1)[1]
+            reason = after.lstrip(":").strip()
+            if reason:
+                return True
+            findings.append(
+                Finding(
+                    rel_posix,
+                    j + 1,
+                    rule,
+                    f"'{tag}' suppression without a reason; write "
+                    f"'// {tag}: <why this site is safe>'",
+                )
+            )
+            return True  # malformed tag already reported; don't double-fire
+    return False

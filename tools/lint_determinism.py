@@ -1,26 +1,20 @@
 #!/usr/bin/env python3
-"""Determinism / convention linter for the pref source tree.
+"""Determinism / convention linter for the pref source tree (regex tier).
 
 The paper's evaluation depends on every run being repeatable: parallel
 folds are bit-identical by construction (DESIGN.md par.7), exchange counters
-are deterministic (par.8), and query output must not depend on hash-map
-iteration order, wall-clock time, or ad-hoc threads. This linter enforces
-the conventions that keep it that way — the half of the invariants the
-compiler can't see (the other half is Clang thread-safety analysis and
-[[nodiscard]] Status; DESIGN.md par.9).
+are deterministic (par.8), and query output must not depend on wall-clock
+time or ad-hoc threads. This linter enforces the conventions that are
+genuinely *lexical* — a forbidden token in a forbidden place — where a
+regex over comment-stripped source is exact, fast, and build-free.
+
+Type- and scope-sensitive invariants (unordered-container iteration
+through `auto`/typedef chains, pool blocking discipline, include layering,
+metric-name schema, dropped Status values) live in tools/pref_analyze.py,
+which supersedes this tool's former unordered-iter rule with canonical-
+type-aware checks (DESIGN.md §14).
 
 Rules (each finding names one):
-
-  unordered-iter  Range-for / iterator loops over std::unordered_{map,set}
-                  (and multi variants) in result-producing code
-                  (src/engine, src/partition, src/design). Iteration order
-                  is unspecified: feeding it into query output, a float
-                  fold, or anything order-sensitive breaks repeatability.
-                  Suppress a deliberate site with a justified comment on
-                  the same or preceding line:
-                      // lint:ordered-fold: <why ordering is safe>
-                  A bare "lint:ordered-fold" without a reason is itself a
-                  finding.
 
   raw-random      rand(), std::random_device, time(), or
                   std::chrono::system_clock outside src/common/random.*.
@@ -60,17 +54,19 @@ Rules (each finding names one):
                   SchedulerTimings). stopwatch.h itself stays the one
                   sanctioned steady_clock wrapper.
 
-Allowlist: tools/lint_determinism_allowlist.txt holds `rule path` pairs
-(paths relative to the repo root) for whole-file exemptions; each line must
-carry a trailing `# reason`.
+Allowlist: tools/lint_allowlist.txt (shared with pref_analyze.py) holds
+`rule path` pairs for whole-file exemptions; each line must carry a
+trailing `# reason`.
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 
 Self-test: `--self-test` runs the linter over tests/lint_corpus/, where
 each file declares its expected findings with `// expect: <rule>` markers
-on the offending line (and suppressed lines expect nothing). This golden
-corpus runs under CTest (lint_determinism_selftest) so a linter regression
-fails the suite like any other bug.
+on the offending line. Markers naming rules owned by other tools
+(pref_analyze's) are ignored here — each tool audits its own rules over
+the shared corpus. The corpus runs under CTest
+(lint_determinism_selftest) so a linter regression fails the suite like
+any other bug.
 """
 
 import argparse
@@ -78,25 +74,17 @@ import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-
-SOURCE_SUFFIXES = {".cc", ".h", ".cpp", ".hpp"}
-
-# Rule (a) only bites where unspecified order can reach results: the
-# executor, the partitioning/loading layer, and the design/estimation
-# stack (whose cost numbers feed figure JSON).
-ORDER_SENSITIVE_DIRS = ("src/engine", "src/partition", "src/design")
-
-SUPPRESS_TAG = "lint:ordered-fold"
-
-UNORDERED_DECL = re.compile(
-    r"\bstd::unordered_(?:multi)?(?:map|set)\s*<[^;]*?>\s*&?\s*(\w+)\s*[;({=]"
+from lint_common import (
+    REPO_ROOT,
+    SOURCE_SUFFIXES,
+    Finding,
+    default_allowlist,
+    iter_source_files,
+    load_allowlist,
+    strip_code,
 )
-UNORDERED_ALIAS = re.compile(
-    r"\busing\s+(\w+)\s*=\s*std::unordered_(?:multi)?(?:map|set)\b"
-)
-RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*\*?([A-Za-z_][\w.\->]*)\s*\)")
-ITERATOR_USE = re.compile(r"\b([A-Za-z_][\w.\->]*?)(?:\.|->)(?:begin|cbegin)\s*\(")
+
+RULES = ("raw-random", "raw-thread", "raw-stdout", "raw-simd", "wall-clock")
 
 RAW_RANDOM = re.compile(
     r"(?<![\w:])rand\s*\(|std::random_device|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
@@ -109,7 +97,7 @@ RAW_THREAD = re.compile(r"\bstd::thread\b(?!::hardware_concurrency)")
 # headers). strip_code leaves angle includes in the code stream.
 RAW_SIMD = re.compile(r"#\s*include\s*<\w*intrin\.h>")
 
-# Rule (e): the replayable observability layer may not read clocks at all.
+# Rule (wall-clock): the replayable observability layer may not read clocks.
 WALL_CLOCK_PATHS = (
     "src/engine/profile",
     "src/engine/workload_monitor",
@@ -121,218 +109,17 @@ WALL_CLOCK = re.compile(
 RAW_STDOUT = re.compile(r"\bstd::cout\b|(?<![\w:.])printf\s*\(|\bfprintf\s*\(\s*stdout\b")
 
 
-def strip_code(text):
-    """Returns (code_lines, comment_lines): per-line source with comments
-    and string/char literals blanked, and the comment text alone (where
-    suppression tags live). Line count is preserved."""
-    code = []
-    comments = []
-    i = 0
-    n = len(text)
-    cur_code = []
-    cur_comment = []
-    state = "code"  # code | line_comment | block_comment | string | char | raw_string
-    raw_delim = ""
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "\n":
-            code.append("".join(cur_code))
-            comments.append("".join(cur_comment))
-            cur_code, cur_comment = [], []
-            if state == "line_comment":
-                state = "code"
-            i += 1
-            continue
-        if state == "code":
-            if ch == "/" and nxt == "/":
-                state = "line_comment"
-                i += 2
-                continue
-            if ch == "/" and nxt == "*":
-                state = "block_comment"
-                i += 2
-                continue
-            if ch == "R" and nxt == '"':
-                m = re.match(r'R"([^(\s]*)\(', text[i:])
-                if m:
-                    raw_delim = ")" + m.group(1) + '"'
-                    state = "raw_string"
-                    i += m.end()
-                    continue
-            if ch == '"':
-                state = "string"
-                i += 1
-                continue
-            if ch == "'":
-                state = "char"
-                i += 1
-                continue
-            cur_code.append(ch)
-            i += 1
-        elif state == "line_comment":
-            cur_comment.append(ch)
-            i += 1
-        elif state == "block_comment":
-            if ch == "*" and nxt == "/":
-                state = "code"
-                i += 2
-            else:
-                cur_comment.append(ch)
-                i += 1
-        elif state == "string":
-            if ch == "\\":
-                i += 2
-            elif ch == '"':
-                state = "code"
-                i += 1
-            else:
-                i += 1
-        elif state == "char":
-            if ch == "\\":
-                i += 2
-            elif ch == "'":
-                state = "code"
-                i += 1
-            else:
-                i += 1
-        elif state == "raw_string":
-            if text.startswith(raw_delim, i):
-                state = "code"
-                i += len(raw_delim)
-            else:
-                i += 1
-    code.append("".join(cur_code))
-    comments.append("".join(cur_comment))
-    return code, comments
-
-
-class Finding:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line  # 1-based
-        self.rule = rule
-        self.message = message
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def load_allowlist(path):
-    allowed = set()
-    if not path.exists():
-        return allowed
-    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        body, _, reason = line.partition("#")
-        parts = body.split()
-        if len(parts) != 2 or not reason.strip():
-            sys.exit(
-                f"{path}:{lineno}: allowlist entries are '<rule> <path>  # reason'"
-            )
-        allowed.add((parts[0], parts[1]))
-    return allowed
-
-
-def unordered_names(code_lines):
-    """Names of variables/members/aliases in this file whose type is an
-    unordered container (one file at a time: good enough for our tree,
-    where such containers are function-local or private members)."""
-    names = set()
-    aliases = set()
-    text = "\n".join(code_lines)
-    for m in UNORDERED_DECL.finditer(text):
-        names.add(m.group(1))
-    for m in UNORDERED_ALIAS.finditer(text):
-        aliases.add(m.group(1))
-    if aliases:
-        alias_decl = re.compile(
-            r"\b(?:" + "|".join(re.escape(a) for a in aliases) + r")\s+(\w+)\s*[;({=]"
-        )
-        for m in alias_decl.finditer(text):
-            names.add(m.group(1))
-    return names
-
-
-def base_name(expr):
-    """`mg.index` -> `index`, `groups` -> `groups`, `it->second` -> `second`."""
-    return re.split(r"\.|->", expr)[-1]
-
-
 def check_file(path, rel, allowed):
     findings = []
     try:
         text = path.read_text()
     except UnicodeDecodeError:
         return findings
-    code, comments = strip_code(text)
+    code, _ = strip_code(text)
     rel_posix = rel.as_posix()
 
     def allowed_rule(rule):
         return (rule, rel_posix) in allowed
-
-    def suppressed(idx):
-        """lint:ordered-fold on this line or in the contiguous comment
-        block immediately above it; the tag must carry a reason (anything
-        after the colon, possibly continuing on later comment lines)."""
-        candidates = [idx]
-        j = idx - 1
-        # Walk up through comment-only lines so a multi-line justification
-        # (tag on its first line) still covers the loop beneath it.
-        while j >= 0 and not code[j].strip() and comments[j].strip():
-            candidates.append(j)
-            j -= 1
-        for j in candidates:
-            comment = comments[j]
-            if SUPPRESS_TAG in comment:
-                after = comment.split(SUPPRESS_TAG, 1)[1]
-                reason = after.lstrip(":").strip()
-                if reason:
-                    return True
-                findings.append(
-                    Finding(
-                        rel_posix,
-                        j + 1,
-                        "unordered-iter",
-                        f"'{SUPPRESS_TAG}' suppression without a reason; write "
-                        f"'// {SUPPRESS_TAG}: <why ordering is safe>'",
-                    )
-                )
-                return True  # malformed tag already reported; don't double-fire
-        return False
-
-    order_sensitive = rel_posix.startswith(ORDER_SENSITIVE_DIRS)
-    if order_sensitive and not allowed_rule("unordered-iter"):
-        names = unordered_names(code)
-        # Members declared in the sibling header (foo.cc -> foo.h) are
-        # visible here too; unordered members iterated from the .cc would
-        # otherwise slip through the per-file scan.
-        sibling = path.with_suffix(".h")
-        if path.suffix in (".cc", ".cpp") and sibling.is_file():
-            names |= unordered_names(strip_code(sibling.read_text())[0])
-        for idx, line in enumerate(code):
-            hits = []
-            m = RANGE_FOR.search(line)
-            if m:
-                hits.append(m.group(1))
-            for it in ITERATOR_USE.finditer(line):
-                hits.append(it.group(1))
-            for expr in hits:
-                if base_name(expr) in names:
-                    if not suppressed(idx):
-                        findings.append(
-                            Finding(
-                                rel_posix,
-                                idx + 1,
-                                "unordered-iter",
-                                f"iteration over unordered container '{expr}' in "
-                                "result-producing code; order is unspecified — fold "
-                                f"deterministically or justify with '// {SUPPRESS_TAG}: ...'",
-                            )
-                        )
-                    break  # one finding per line
 
     in_random = rel_posix.startswith("src/common/random")
     if not in_random and not allowed_rule("raw-random"):
@@ -419,19 +206,18 @@ def check_file(path, rel, allowed):
 def lint(root, allowlist_path):
     allowed = load_allowlist(allowlist_path)
     findings = []
-    for tree in ("src", "bench"):
-        for path in sorted((root / tree).rglob("*")):
-            if path.suffix not in SOURCE_SUFFIXES:
-                continue
-            findings.extend(check_file(path, path.relative_to(root), allowed))
+    for path in iter_source_files(root, ("src", "bench")):
+        findings.extend(check_file(path, path.relative_to(root), allowed))
     return findings
 
 
 def self_test(root):
     """Golden corpus: each tests/lint_corpus file names its expected
-    findings with `// expect: <rule>` on the offending line. The corpus is
-    laid out as <corpus>/src/... so path-scoped rules apply exactly as they
-    do in the real tree."""
+    findings with `// expect: <rule>` on the offending line. Only markers
+    naming this tool's RULES are audited; pref_analyze markers in the same
+    files are its self-test's job. The corpus is laid out as
+    <corpus>/src/... so path-scoped rules apply exactly as in the real
+    tree."""
     corpus = root / "tests" / "lint_corpus"
     if not corpus.is_dir():
         print(f"self-test corpus missing: {corpus}", file=sys.stderr)
@@ -447,10 +233,12 @@ def self_test(root):
         expected = set()
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
             for m in expect_re.finditer(line):
-                expected.add((lineno, m.group(1)))
+                if m.group(1) in RULES:
+                    expected.add((lineno, m.group(1)))
         got = {
             (f.line, f.rule)
             for f in check_file(path, rel, allowed=set())
+            if f.rule in RULES
         }
         for miss in sorted(expected - got):
             failures.append(f"{rel}:{miss[0]}: expected [{miss[1]}] did not fire")
@@ -473,14 +261,14 @@ def main():
     parser.add_argument("--root", type=Path, default=REPO_ROOT,
                         help="repo root (default: the checkout this script lives in)")
     parser.add_argument("--allowlist", type=Path, default=None,
-                        help="allowlist file (default: tools/lint_determinism_allowlist.txt)")
+                        help="allowlist file (default: tools/lint_allowlist.txt)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the golden-corpus self-check instead of linting src/")
     args = parser.parse_args()
     root = args.root.resolve()
     if args.self_test:
         sys.exit(self_test(root))
-    allowlist = args.allowlist or root / "tools" / "lint_determinism_allowlist.txt"
+    allowlist = args.allowlist or default_allowlist(root)
     findings = lint(root, allowlist)
     for f in findings:
         print(f)
